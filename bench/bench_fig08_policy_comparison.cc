@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 8: cleaning cost of the greedy, locality-gathering and
+ * hybrid (16 segments/partition) policies across the paper's
+ * localities of reference, on a 128-segment array at 80%
+ * utilization.
+ *
+ * Expected shape (paper): greedy is best under uniform access and
+ * degrades as locality rises; locality gathering is pinned at cost 4
+ * under uniform access and improves with locality; hybrid tracks
+ * greedy at the uniform end, beats locality gathering everywhere,
+ * and drops toward 1 at 5/95.
+ */
+
+#include "envysim/experiment.hh"
+#include "envysim/policy_sim.hh"
+#include "envysim/system.hh"
+
+using namespace envy;
+
+int
+main()
+{
+    const bool full = fullScaleRequested();
+    const char *localities[] = {"50/50", "40/60", "30/70",
+                                "20/80", "10/90", "5/95"};
+
+    ResultTable t("Figure 8: Comparison of Cleaning Algorithms "
+                  "(128 segments, 80% utilization)");
+    t.setColumns({"locality", "greedy", "locality gathering",
+                  "hybrid (16/partition)"});
+
+    for (const char *loc : localities) {
+        std::string row[3];
+        const PolicyKind kinds[3] = {PolicyKind::Greedy,
+                                     PolicyKind::LocalityGathering,
+                                     PolicyKind::Hybrid};
+        for (int i = 0; i < 3; ++i) {
+            PolicySimParams p;
+            p.numSegments = 128;
+            p.pagesPerSegment = full ? 16384 : 4096;
+            p.policy = kinds[i];
+            p.partitionSize = 16;
+            p.locality = LocalitySpec::parse(loc);
+            const PolicySimResult r = runPolicySim(p);
+            row[i] = ResultTable::num(r.cleaningCost, 2);
+        }
+        t.addRow({loc, row[0], row[1], row[2]});
+    }
+    t.addNote("paper's qualitative claims: greedy rises with "
+              "locality; locality gathering flat at 4 until ~30/70 "
+              "then falls; hybrid close to greedy at uniform and "
+              "consistently beats pure locality gathering");
+    if (!full)
+        t.addNote("quick scale (4096 pages/segment); "
+                  "ENVY_SCALE=full uses 16384");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the core data paths: page
+ * table walks, MMU-cached translations, host word reads/writes,
+ * copy-on-write, flush and a full segment clean.  These quantify the
+ * simulator's own costs (useful when sizing paper-scale runs), not
+ * the modelled hardware latencies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "envy/envy_store.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace envy;
+
+EnvyConfig
+benchConfig(bool store_data)
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    cfg.geom.writeBufferPages = 64;
+    cfg.storeData = store_data;
+    return cfg;
+}
+
+void
+BM_PageTableLookup(benchmark::State &state)
+{
+    SramArray sram(PageTable::bytesNeeded(1 << 16));
+    PageTable table(sram, 0, 1 << 16);
+    for (std::uint64_t p = 0; p < (1 << 16); ++p)
+        table.mapToFlash(LogicalPageId(p),
+                         {SegmentId(p % 15),
+                          static_cast<std::uint32_t>(p)});
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            table.lookup(LogicalPageId(rng.below(1 << 16))));
+    }
+}
+BENCHMARK(BM_PageTableLookup);
+
+void
+BM_MmuHit(benchmark::State &state)
+{
+    SramArray sram(PageTable::bytesNeeded(1 << 16));
+    PageTable table(sram, 0, 1 << 16);
+    Mmu mmu(table, 1024);
+    table.mapToSram(LogicalPageId(7), 3);
+    mmu.lookup(LogicalPageId(7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mmu.lookup(LogicalPageId(7)));
+}
+BENCHMARK(BM_MmuHit);
+
+void
+BM_HostRead(benchmark::State &state)
+{
+    EnvyStore store(benchConfig(true));
+    Rng rng(2);
+    std::uint8_t buf[8];
+    for (auto _ : state)
+        store.read(rng.below(store.size() - 8), buf);
+}
+BENCHMARK(BM_HostRead);
+
+void
+BM_HostWriteBufferHit(benchmark::State &state)
+{
+    EnvyStore store(benchConfig(true));
+    store.writeU64(0, 1); // resident page
+    std::uint64_t v = 0;
+    for (auto _ : state)
+        store.writeU64(0, ++v);
+}
+BENCHMARK(BM_HostWriteBufferHit);
+
+void
+BM_CopyOnWriteChurn(benchmark::State &state)
+{
+    // Every write touches a fresh page: worst-case COW + flush +
+    // cleaning mix (the paper's whole write path).
+    EnvyStore store(benchConfig(state.range(0) != 0));
+    const std::uint32_t ps = store.config().geom.pageSize;
+    Rng rng(3);
+    for (auto _ : state) {
+        std::uint8_t b = 1;
+        store.write(rng.below(store.size() / ps) * ps, {&b, 1});
+    }
+    state.SetLabel(state.range(0) ? "functional" : "metadata-only");
+}
+BENCHMARK(BM_CopyOnWriteChurn)->Arg(1)->Arg(0);
+
+void
+BM_SegmentClean(benchmark::State &state)
+{
+    EnvyConfig cfg = benchConfig(false);
+    cfg.policy = PolicyKind::Fifo;
+    EnvyStore store(cfg);
+    const std::uint32_t ps = cfg.geom.pageSize;
+    Rng rng(4);
+    std::uint64_t cleans = 0;
+    for (auto _ : state) {
+        // Drive writes until one more clean has happened.
+        const std::uint64_t target =
+            store.cleanerRef().statCleans.value() + 1;
+        while (store.cleanerRef().statCleans.value() < target) {
+            std::uint8_t b = 1;
+            store.write(rng.below(store.size() / ps) * ps, {&b, 1});
+        }
+        ++cleans;
+    }
+    state.counters["pages/clean"] = benchmark::Counter(
+        static_cast<double>(
+            store.cleanerRef().statCleanerPrograms.value()) /
+        static_cast<double>(cleans));
+}
+BENCHMARK(BM_SegmentClean);
+
+} // namespace
+
+BENCHMARK_MAIN();

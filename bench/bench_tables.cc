@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figures 1 and 12 of the paper: the storage-technology comparison
+ * and the simulation-parameter tables.  Printed from the same
+ * headers/structs the simulator actually uses, so the tables cannot
+ * drift from the implementation.
+ */
+
+#include "common/geometry.hh"
+#include "envysim/experiment.hh"
+#include "envysim/system.hh"
+#include "flash/flash_timing.hh"
+#include "workload/tpca.hh"
+
+using namespace envy;
+
+namespace {
+
+/** Paper Figure 1 (1994 values, reproduced verbatim as constants). */
+void
+figure1()
+{
+    ResultTable t("Figure 1: Feature Comparison of Storage "
+                  "Technologies (1994 values)");
+    t.setColumns({"feature", "disk", "DRAM", "SRAM(lp)", "Flash"});
+    t.addRow({"read access", "8.3ms", "60ns", "85ns", "85ns"});
+    t.addRow({"write access", "8.3ms", "60ns", "85ns", "4-10us"});
+    t.addRow({"cost/MByte", "$1.00", "$35.00", "$120", "$30.00"});
+    t.addRow({"retention current/GB", "0A", "1A", "2mA", "0A"});
+    t.addNote("historic prices quoted from the paper; used only for "
+              "the cost ratios in section 5.1");
+    t.print();
+
+    // The paper's cost arithmetic (§3.3, §5.1) from these numbers.
+    ResultTable c("Derived cost figures (paper section 3.3 / 5.1)");
+    c.setColumns({"quantity", "paper", "computed"});
+    const Geometry g = Geometry::paperSystem();
+    const double flash_cost = 30.0 * (g.flashBytes() / double(MiB));
+    const double pt_sram_mb = g.pageTableBytes() / double(MiB);
+    const double buf_sram_mb =
+        g.effectiveWriteBufferPages() * g.pageSize / double(MiB);
+    const double sram_cost = 120.0 * (pt_sram_mb + buf_sram_mb);
+    c.addRow({"page table SRAM / GB flash", "24 MB",
+              ResultTable::num(pt_sram_mb / 2.0, 0) + " MB"});
+    c.addRow({"total system cost", "~$70,000",
+              "$" + ResultTable::integer(static_cast<std::uint64_t>(
+                        flash_cost + sram_cost))});
+    c.addRow({"pure SRAM system of same size", "~$250,000",
+              "$" + ResultTable::integer(static_cast<std::uint64_t>(
+                        120.0 * (g.flashBytes() / double(MiB))))});
+    c.print();
+}
+
+/** Paper Figure 12: simulation parameters actually in force. */
+void
+figure12()
+{
+    const Geometry g = Geometry::paperSystem();
+    const FlashTiming ft;
+    ResultTable t("Figure 12: eNVy Simulation Parameters");
+    t.setColumns({"parameter", "paper", "this simulator"});
+    auto row = [&t](const char *name, const char *paper,
+                    std::string mine) {
+        t.addRow({name, paper, std::move(mine)});
+    };
+    row("flash array size", "2 GBytes",
+        ResultTable::integer(g.flashBytes() / GiB) + " GiB");
+    row("flash chip type", "1 MByte x 8 bits",
+        ResultTable::integer(g.chipBytes() / MiB) + " MiB x 8");
+    row("# of flash chips", "2048",
+        ResultTable::integer(g.numChips()));
+    row("# of flash banks", "8", ResultTable::integer(g.numBanks));
+    row("chips per bank", "256", ResultTable::integer(g.pageSize));
+    row("read time", "100ns",
+        ResultTable::integer(ft.readTime) + "ns");
+    row("program time", "4000ns",
+        ResultTable::integer(ft.programTime) + "ns");
+    row("erase time", "50ms",
+        ResultTable::integer(ft.eraseTime / 1000000) + "ms");
+    row("erase blocks/chip", "16",
+        ResultTable::integer(g.blocksPerChip));
+    row("segments", "128 x 16 MB",
+        ResultTable::integer(g.numSegments()) + " x " +
+            ResultTable::integer(g.segmentBytes() / MiB) + " MB");
+    row("SRAM write buffer", "16 MBytes",
+        ResultTable::integer(g.effectiveWriteBufferPages() *
+                             g.pageSize / MiB) +
+            " MiB");
+    row("page table SRAM", "48 MBytes",
+        ResultTable::integer(g.pageTableBytes() / MiB) + " MiB");
+    t.print();
+
+    const TpcaConfig tpc =
+        TpcaConfig::forStoreBytes(g.logicalBytes());
+    TpcaWorkload w(tpc, 1);
+    ResultTable tp("Figure 12 (cont.): TPC Parameters");
+    tp.setColumns({"parameter", "paper", "this simulator"});
+    tp.addRow({"BTree fanout", "32 pointers/node",
+               ResultTable::integer(tpc.treeFanout)});
+    tp.addRow({"branch records / index levels", "155 / 2",
+               ResultTable::integer(tpc.numBranches()) + " / " +
+                   ResultTable::integer(w.branchLevels())});
+    tp.addRow({"teller records / index levels", "1550 / 3",
+               ResultTable::integer(tpc.numTellers()) + " / " +
+                   ResultTable::integer(w.tellerLevels())});
+    tp.addRow({"account records / index levels", "15.5 million / 5",
+               ResultTable::integer(tpc.numAccounts) + " / " +
+                   ResultTable::integer(w.accountLevels())});
+    tp.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    figure1();
+    figure12();
+    return 0;
+}

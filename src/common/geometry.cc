@@ -1,0 +1,31 @@
+#include "common/geometry.hh"
+
+namespace envy {
+
+const char *
+Geometry::validate() const
+{
+    if (pageSize == 0 || (pageSize & (pageSize - 1)) != 0)
+        return "pageSize must be a nonzero power of two";
+    if (blockBytes == 0)
+        return "blockBytes must be nonzero";
+    if (blocksPerChip == 0)
+        return "blocksPerChip must be nonzero";
+    if (numBanks == 0)
+        return "numBanks must be nonzero";
+    if (numSegments() < 3)
+        return "need at least 3 segments (one reserve, two data)";
+    if (targetUtilization <= 0.0 || targetUtilization >= 1.0)
+        return "targetUtilization must be in (0, 1)";
+    // Live data must fit with one segment held in reserve and at
+    // least some free headroom for cleaning to make progress.
+    const std::uint64_t usable =
+        (std::uint64_t(numSegments()) - 1) * pagesPerSegment();
+    if (effectiveLogicalPages() >= usable)
+        return "logical space leaves no free headroom for cleaning";
+    if (effectiveWriteBufferPages() < 4)
+        return "write buffer too small";
+    return nullptr;
+}
+
+} // namespace envy

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Physical and logical geometry of an eNVy system.
+ *
+ * Defaults reproduce the simulated system of the paper's Figure 12:
+ * 2 GB of Flash built from 2048 1MB x 8 chips, organised as 8 banks of
+ * 256 byte-wide chips.  A page is one byte per chip across a bank
+ * (256 bytes); a segment is one 64 KB erase block across a bank
+ * (16 MB, i.e. 65536 pages); the array therefore has 128 segments.
+ */
+
+#ifndef ENVY_COMMON_GEOMETRY_HH
+#define ENVY_COMMON_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace envy {
+
+struct Geometry
+{
+    /** Bytes transferred per memory cycle == chips per bank. */
+    std::uint32_t pageSize = 256;
+    /** Bytes per independently erasable block inside one chip. */
+    std::uint32_t blockBytes = 64 * KiB;
+    /** Erase blocks per chip (chip capacity = blockBytes * this). */
+    std::uint32_t blocksPerChip = 16;
+    /** Number of banks of pageSize chips. */
+    std::uint32_t numBanks = 8;
+
+    /**
+     * Host-visible pages.  0 means "derive from targetUtilization".
+     * Array utilization is logicalPages / physicalPages.
+     */
+    std::uint64_t logicalPages = 0;
+    /** Fraction of the array holding live data (paper limit: 0.8). */
+    double targetUtilization = 0.8;
+
+    /** Slots in the battery-backed SRAM FIFO write buffer.
+     *  0 means "one segment's worth" (the paper's choice). */
+    std::uint32_t writeBufferPages = 0;
+
+    // ---- derived quantities -------------------------------------
+
+    /** Pages per segment: one byte per chip, so blockBytes pages. */
+    std::uint64_t pagesPerSegment() const { return blockBytes; }
+
+    std::uint64_t segmentBytes() const
+    {
+        return std::uint64_t(blockBytes) * pageSize;
+    }
+
+    std::uint32_t numSegments() const { return numBanks * blocksPerChip; }
+
+    std::uint64_t physicalPages() const
+    {
+        return std::uint64_t(numSegments()) * pagesPerSegment();
+    }
+
+    std::uint64_t flashBytes() const
+    {
+        return physicalPages() * pageSize;
+    }
+
+    std::uint64_t chipBytes() const
+    {
+        return std::uint64_t(blockBytes) * blocksPerChip;
+    }
+
+    std::uint32_t numChips() const { return numBanks * pageSize; }
+
+    std::uint64_t effectiveLogicalPages() const
+    {
+        if (logicalPages)
+            return logicalPages;
+        return static_cast<std::uint64_t>(
+            targetUtilization * static_cast<double>(physicalPages()));
+    }
+
+    std::uint64_t logicalBytes() const
+    {
+        return effectiveLogicalPages() * pageSize;
+    }
+
+    std::uint32_t effectiveWriteBufferPages() const
+    {
+        return writeBufferPages ? writeBufferPages
+                                : static_cast<std::uint32_t>(
+                                      pagesPerSegment());
+    }
+
+    /** 6-byte entries, sized for the whole physical space (§3.3). */
+    std::uint64_t pageTableBytes() const { return physicalPages() * 6; }
+
+    /** Which bank owns a segment. */
+    std::uint32_t bankOf(SegmentId seg) const
+    {
+        return static_cast<std::uint32_t>(seg.value() / blocksPerChip);
+    }
+
+    /** Erase-block index of a segment inside its bank's chips. */
+    std::uint32_t blockOf(SegmentId seg) const
+    {
+        return static_cast<std::uint32_t>(seg.value() % blocksPerChip);
+    }
+
+    /** Validate invariants; returns a problem description or nullptr. */
+    const char *validate() const;
+
+    /** Paper Figure 12 system: 2 GB, 128 x 16 MB segments. */
+    static Geometry paperSystem() { return Geometry{}; }
+
+    /**
+     * A small system for functional tests and examples: 8 MB flash
+     * (16 segments of 512 KB), 4 KB pages-per-segment... see fields.
+     */
+    static Geometry
+    tiny()
+    {
+        Geometry g;
+        g.pageSize = 64;
+        g.blockBytes = 2 * KiB;   // 2048 pages per segment
+        g.blocksPerChip = 8;
+        g.numBanks = 2;           // 16 segments, 2 MB flash
+        return g;
+    }
+};
+
+} // namespace envy
+
+#endif // ENVY_COMMON_GEOMETRY_HH

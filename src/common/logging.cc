@@ -1,0 +1,44 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace envy {
+
+namespace {
+bool g_verbose = true;
+}
+
+void setVerbose(bool verbose) { g_verbose = verbose; }
+bool verbose() { return g_verbose; }
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbose)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace envy

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  — the *user* asked for something impossible (bad geometry,
+ *            out-of-range address); exits with an error code.
+ * warn()   — something works but is suspicious or approximated.
+ * inform() — purely informational status output.
+ */
+
+#ifndef ENVY_COMMON_LOGGING_HH
+#define ENVY_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace envy {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace envy
+
+#define ENVY_PANIC(...) \
+    ::envy::panicImpl(__FILE__, __LINE__, ::envy::detail::format(__VA_ARGS__))
+
+#define ENVY_FATAL(...) \
+    ::envy::fatalImpl(__FILE__, __LINE__, ::envy::detail::format(__VA_ARGS__))
+
+#define ENVY_WARN(...) \
+    ::envy::warnImpl(::envy::detail::format(__VA_ARGS__))
+
+#define ENVY_INFORM(...) \
+    ::envy::informImpl(::envy::detail::format(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG; failure is always a bug. */
+#define ENVY_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::envy::panicImpl(__FILE__, __LINE__,                          \
+                ::envy::detail::format("assertion failed: " #cond " ",     \
+                                       ##__VA_ARGS__));                    \
+        }                                                                  \
+    } while (0)
+
+#endif // ENVY_COMMON_LOGGING_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fundamental value types used throughout the eNVy simulator.
+ *
+ * Strongly-typed identifiers prevent the classic flash-translation bug
+ * of mixing logical and physical page numbers.  Each identifier is a
+ * thin wrapper around a 64-bit integer with an explicit invalid value.
+ */
+
+#ifndef ENVY_COMMON_TYPES_HH
+#define ENVY_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace envy {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Byte address within the linear logical (host-visible) array. */
+using Addr = std::uint64_t;
+
+/**
+ * Strongly typed integer identifier.
+ *
+ * @tparam Tag   Phantom tag type distinguishing id families.
+ */
+template <typename Tag>
+class Id
+{
+  public:
+    using value_type = std::uint64_t;
+
+    static constexpr value_type invalidValue =
+        std::numeric_limits<value_type>::max();
+
+    constexpr Id() : value_(invalidValue) {}
+    constexpr explicit Id(value_type v) : value_(v) {}
+
+    /** Sentinel id that maps to nothing. */
+    static constexpr Id invalid() { return Id(); }
+
+    constexpr value_type value() const { return value_; }
+    constexpr bool valid() const { return value_ != invalidValue; }
+
+    constexpr bool operator==(const Id &) const = default;
+    constexpr auto operator<=>(const Id &) const = default;
+
+  private:
+    value_type value_;
+};
+
+struct LogicalPageTag {};
+struct SegmentTag {};
+struct PartitionTag {};
+
+/** Index of a 256-byte page in the host-visible logical address space. */
+using LogicalPageId = Id<LogicalPageTag>;
+
+/** Index of a flash segment (one erase unit across a whole bank). */
+using SegmentId = Id<SegmentTag>;
+
+/** Index of a group of adjacent segments managed together (hybrid). */
+using PartitionId = Id<PartitionTag>;
+
+/**
+ * Physical location of a page inside the flash array: a (segment, slot)
+ * pair.  Slot k of segment s is byte k of erase block s in each chip of
+ * the owning bank (Fig 4 of the paper).
+ */
+struct FlashPageAddr
+{
+    SegmentId segment;
+    std::uint32_t slot = 0;
+
+    constexpr bool valid() const { return segment.valid(); }
+    constexpr bool operator==(const FlashPageAddr &) const = default;
+};
+
+} // namespace envy
+
+namespace std {
+
+template <typename Tag>
+struct hash<envy::Id<Tag>>
+{
+    size_t
+    operator()(const envy::Id<Tag> &id) const noexcept
+    {
+        return std::hash<std::uint64_t>()(id.value());
+    }
+};
+
+} // namespace std
+
+#endif // ENVY_COMMON_TYPES_HH

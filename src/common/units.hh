@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Size and time unit helpers shared across the simulator.
+ */
+
+#ifndef ENVY_COMMON_UNITS_HH
+#define ENVY_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace envy {
+
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/** Ticks are nanoseconds. */
+constexpr std::uint64_t nanoseconds(std::uint64_t n) { return n; }
+constexpr std::uint64_t microseconds(std::uint64_t n) { return n * 1000ull; }
+constexpr std::uint64_t
+milliseconds(std::uint64_t n)
+{
+    return n * 1000ull * 1000ull;
+}
+constexpr std::uint64_t
+seconds(std::uint64_t n)
+{
+    return n * 1000ull * 1000ull * 1000ull;
+}
+
+/** Convert a tick count to (floating point) seconds. */
+constexpr double ticksToSeconds(std::uint64_t t) { return t * 1e-9; }
+
+} // namespace envy
+
+#endif // ENVY_COMMON_UNITS_HH

@@ -1,0 +1,295 @@
+#include "db/btree.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+/** In-core image of one 256-byte node. */
+struct BTree::Node
+{
+    std::uint64_t idx = 0;
+    bool leaf = true;
+    std::uint32_t count = 0;
+    std::uint64_t keys[leafCapacity];
+    std::uint64_t vals[leafCapacity + 1]; // values or children
+
+    std::uint32_t
+    lowerBound(std::uint64_t key) const
+    {
+        std::uint32_t i = 0;
+        while (i < count && keys[i] < key)
+            ++i;
+        return i;
+    }
+};
+
+BTree::BTree(EnvyStore &store, Addr base, std::uint64_t bytes)
+    : BTree(store, base, bytes, OpenTag{})
+{
+    root_ = allocNode();
+    Node root;
+    root.idx = root_;
+    root.leaf = true;
+    root.count = 0;
+    storeNode(root);
+    persistHeader();
+}
+
+BTree::BTree(EnvyStore &store, Addr base, std::uint64_t bytes, OpenTag)
+    : store_(store), base_(base)
+{
+    ENVY_ASSERT(bytes > headerBytes + nodeBytes,
+                "B-tree region too small");
+    capacityNodes_ = (bytes - headerBytes) / nodeBytes;
+}
+
+BTree
+BTree::open(EnvyStore &store, Addr base, std::uint64_t bytes)
+{
+    BTree t(store, base, bytes, OpenTag{});
+    const std::uint64_t m = store.readU64(base);
+    if (m != magic)
+        ENVY_FATAL("no B-tree found at address ", base);
+    t.root_ = store.readU64(base + 8);
+    t.nextNode_ = store.readU64(base + 16);
+    t.count_ = store.readU64(base + 24);
+    t.height_ = static_cast<std::uint32_t>(store.readU64(base + 32));
+    return t;
+}
+
+void
+BTree::persistHeader()
+{
+    store_.writeU64(base_, magic);
+    store_.writeU64(base_ + 8, root_);
+    store_.writeU64(base_ + 16, nextNode_);
+    store_.writeU64(base_ + 24, count_);
+    store_.writeU64(base_ + 32, height_);
+}
+
+std::uint64_t
+BTree::allocNode()
+{
+    if (nextNode_ >= capacityNodes_)
+        ENVY_FATAL("B-tree node region exhausted (",
+                   capacityNodes_, " nodes)");
+    return nextNode_++;
+}
+
+BTree::Node
+BTree::load(std::uint64_t idx)
+{
+    std::uint8_t raw[nodeBytes];
+    store_.read(nodeAddr(idx), raw);
+    Node n;
+    n.idx = idx;
+    n.leaf = raw[0] == 1;
+    n.count = raw[1];
+    ENVY_ASSERT(n.count <= leafCapacity, "corrupt node ", idx);
+    const std::uint32_t vals =
+        n.leaf ? n.count : n.count + 1;
+    std::memcpy(n.keys, raw + 8, n.count * 8);
+    std::memcpy(n.vals, raw + 8 + 8 * leafCapacity, vals * 8);
+    return n;
+}
+
+void
+BTree::storeNode(const Node &n)
+{
+    std::uint8_t raw[nodeBytes] = {};
+    raw[0] = n.leaf ? 1 : 0;
+    raw[1] = static_cast<std::uint8_t>(n.count);
+    const std::uint32_t vals = n.leaf ? n.count : n.count + 1;
+    std::memcpy(raw + 8, n.keys, n.count * 8);
+    std::memcpy(raw + 8 + 8 * leafCapacity, n.vals, vals * 8);
+    store_.write(nodeAddr(n.idx), raw);
+}
+
+std::optional<std::uint64_t>
+BTree::lookup(std::uint64_t key)
+{
+    std::uint64_t idx = root_;
+    for (;;) {
+        const Node n = load(idx);
+        const std::uint32_t i = n.lowerBound(key);
+        if (n.leaf) {
+            if (i < n.count && n.keys[i] == key)
+                return n.vals[i];
+            return std::nullopt;
+        }
+        // Internal: keys[i-1] <= key < keys[i]; equal keys descend
+        // right of the separator.
+        idx = n.vals[(i < n.count && n.keys[i] == key) ? i + 1 : i];
+    }
+}
+
+BTree::Split
+BTree::insertInto(std::uint64_t idx, std::uint64_t key,
+                  std::uint64_t value, bool &added)
+{
+    Node n = load(idx);
+
+    if (n.leaf) {
+        const std::uint32_t i = n.lowerBound(key);
+        if (i < n.count && n.keys[i] == key) {
+            n.vals[i] = value; // update in place
+            added = false;
+            storeNode(n);
+            return {};
+        }
+        added = true;
+        ENVY_ASSERT(n.count < leafCapacity, "leaf overflow");
+        for (std::uint32_t j = n.count; j > i; --j) {
+            n.keys[j] = n.keys[j - 1];
+            n.vals[j] = n.vals[j - 1];
+        }
+        n.keys[i] = key;
+        n.vals[i] = value;
+        ++n.count;
+
+        if (n.count < leafCapacity) {
+            storeNode(n);
+            return {};
+        }
+        // Split the full leaf.
+        Node right;
+        right.idx = allocNode();
+        right.leaf = true;
+        const std::uint32_t half = n.count / 2;
+        right.count = n.count - half;
+        std::memcpy(right.keys, n.keys + half, right.count * 8);
+        std::memcpy(right.vals, n.vals + half, right.count * 8);
+        n.count = half;
+        storeNode(n);
+        storeNode(right);
+        return {true, right.keys[0], right.idx};
+    }
+
+    const std::uint32_t i = n.lowerBound(key);
+    const std::uint32_t child =
+        (i < n.count && n.keys[i] == key) ? i + 1 : i;
+    const Split s = insertInto(n.vals[child], key, value, added);
+    if (!s.happened)
+        return {};
+
+    ENVY_ASSERT(n.count < internalKeys, "internal overflow");
+    for (std::uint32_t j = n.count; j > child; --j) {
+        n.keys[j] = n.keys[j - 1];
+        n.vals[j + 1] = n.vals[j];
+    }
+    n.keys[child] = s.key;
+    n.vals[child + 1] = s.right;
+    ++n.count;
+
+    if (n.count < internalKeys) {
+        storeNode(n);
+        return {};
+    }
+    // Split the full internal node; the middle key moves up.
+    Node right;
+    right.idx = allocNode();
+    right.leaf = false;
+    const std::uint32_t mid = n.count / 2;
+    const std::uint64_t up = n.keys[mid];
+    right.count = n.count - mid - 1;
+    std::memcpy(right.keys, n.keys + mid + 1, right.count * 8);
+    std::memcpy(right.vals, n.vals + mid + 1, (right.count + 1) * 8);
+    n.count = mid;
+    storeNode(n);
+    storeNode(right);
+    return {true, up, right.idx};
+}
+
+void
+BTree::insert(std::uint64_t key, std::uint64_t value)
+{
+    bool added = false;
+    const Split s = insertInto(root_, key, value, added);
+    if (s.happened) {
+        Node root;
+        root.idx = allocNode();
+        root.leaf = false;
+        root.count = 1;
+        root.keys[0] = s.key;
+        root.vals[0] = root_;
+        root.vals[1] = s.right;
+        storeNode(root);
+        root_ = root.idx;
+        ++height_;
+    }
+    if (added)
+        ++count_;
+    persistHeader();
+}
+
+void
+BTree::scan(
+    const std::function<void(std::uint64_t, std::uint64_t)> &fn)
+{
+    // Depth-first without recursion on store state: explicit stack of
+    // (node, next child) pairs.
+    struct Frame
+    {
+        std::uint64_t idx;
+        std::uint32_t next;
+    };
+    std::vector<Frame> stack{{root_, 0}};
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        const Node n = load(f.idx);
+        if (n.leaf) {
+            for (std::uint32_t i = 0; i < n.count; ++i)
+                fn(n.keys[i], n.vals[i]);
+            stack.pop_back();
+            continue;
+        }
+        if (f.next > n.count) {
+            stack.pop_back();
+            continue;
+        }
+        const std::uint32_t child = f.next++;
+        stack.push_back({n.vals[child], 0});
+    }
+}
+
+bool
+BTree::validateNode(std::uint64_t idx, std::uint32_t depth,
+                    std::uint64_t lo, std::uint64_t hi,
+                    std::uint64_t &seen)
+{
+    const Node n = load(idx);
+    for (std::uint32_t i = 0; i + 1 < n.count; ++i) {
+        if (n.keys[i] >= n.keys[i + 1])
+            return false;
+    }
+    for (std::uint32_t i = 0; i < n.count; ++i) {
+        if (n.keys[i] < lo || n.keys[i] >= hi)
+            return false;
+    }
+    if (n.leaf) {
+        if (depth + 1 != height_)
+            return false;
+        seen += n.count;
+        return true;
+    }
+    for (std::uint32_t i = 0; i <= n.count; ++i) {
+        const std::uint64_t clo = i == 0 ? lo : n.keys[i - 1];
+        const std::uint64_t chi = i == n.count ? hi : n.keys[i];
+        if (!validateNode(n.vals[i], depth + 1, clo, chi, seen))
+            return false;
+    }
+    return true;
+}
+
+bool
+BTree::validate()
+{
+    std::uint64_t seen = 0;
+    if (!validateNode(root_, 0, 0, ~0ull, seen))
+        return false;
+    return seen == count_;
+}
+
+} // namespace envy

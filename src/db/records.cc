@@ -1,0 +1,60 @@
+#include "db/records.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+RecordTable::RecordTable(EnvyStore &store, Addr base,
+                         std::uint32_t record_bytes,
+                         std::uint64_t capacity)
+    : store_(store),
+      base_(base),
+      recordBytes_(record_bytes),
+      capacity_(capacity)
+{
+    ENVY_ASSERT(record_bytes > 8, "record too small for a balance");
+    ENVY_ASSERT(base + regionBytes() <= store.size(),
+                "record table does not fit the store");
+}
+
+Addr
+RecordTable::addrOf(std::uint64_t id) const
+{
+    ENVY_ASSERT(id < capacity_, "record id out of range: ", id);
+    return base_ + id * recordBytes_;
+}
+
+void
+RecordTable::readRecord(std::uint64_t id, std::span<std::uint8_t> out)
+{
+    ENVY_ASSERT(out.size() >= recordBytes_, "buffer too small");
+    store_.read(addrOf(id), out.subspan(0, recordBytes_));
+}
+
+void
+RecordTable::writeRecord(std::uint64_t id,
+                         std::span<const std::uint8_t> in)
+{
+    ENVY_ASSERT(in.size() >= recordBytes_, "buffer too small");
+    store_.write(addrOf(id), in.subspan(0, recordBytes_));
+}
+
+std::int64_t
+RecordTable::balance(std::uint64_t id)
+{
+    return static_cast<std::int64_t>(store_.readU64(addrOf(id)));
+}
+
+void
+RecordTable::setBalance(std::uint64_t id, std::int64_t value)
+{
+    store_.writeU64(addrOf(id), static_cast<std::uint64_t>(value));
+}
+
+void
+RecordTable::addToBalance(std::uint64_t id, std::int64_t delta)
+{
+    setBalance(id, balance(id) + delta);
+}
+
+} // namespace envy

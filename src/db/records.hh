@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-size record tables in the eNVy array (paper §5.2).
+ *
+ * TPC-A keeps "balance information for each bank, teller, and account
+ * ... in the form of a 100 byte record".  Records are packed
+ * back-to-back (they deliberately straddle page boundaries — the
+ * memory-mapped interface makes that a non-issue, unlike a block
+ * device).
+ */
+
+#ifndef ENVY_DB_RECORDS_HH
+#define ENVY_DB_RECORDS_HH
+
+#include <cstdint>
+#include <span>
+
+#include "envy/envy_store.hh"
+
+namespace envy {
+
+class RecordTable
+{
+  public:
+    /**
+     * @param store        backing eNVy store
+     * @param base         first byte of the table region
+     * @param record_bytes fixed record size (TPC-A: 100)
+     * @param capacity     record slots
+     */
+    RecordTable(EnvyStore &store, Addr base,
+                std::uint32_t record_bytes, std::uint64_t capacity);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint32_t recordBytes() const { return recordBytes_; }
+    std::uint64_t regionBytes() const
+    {
+        return capacity_ * recordBytes_;
+    }
+
+    Addr addrOf(std::uint64_t id) const;
+
+    void readRecord(std::uint64_t id, std::span<std::uint8_t> out);
+    void writeRecord(std::uint64_t id,
+                     std::span<const std::uint8_t> in);
+
+    /** Balance field helpers (first 8 bytes of a record). */
+    std::int64_t balance(std::uint64_t id);
+    void setBalance(std::uint64_t id, std::int64_t value);
+    void addToBalance(std::uint64_t id, std::int64_t delta);
+
+  private:
+    EnvyStore &store_;
+    Addr base_;
+    std::uint32_t recordBytes_;
+    std::uint64_t capacity_;
+};
+
+} // namespace envy
+
+#endif // ENVY_DB_RECORDS_HH

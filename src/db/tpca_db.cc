@@ -1,0 +1,175 @@
+#include "db/tpca_db.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+TpcaDatabase::TpcaDatabase(EnvyStore &store, const Params &params)
+    : store_(store), params_(params)
+{
+    ENVY_ASSERT(params.accounts > 0, "need at least one account");
+    tellers_ = (params.accounts + params.accountsPerTeller - 1) /
+               params.accountsPerTeller;
+    branches_ =
+        (tellers_ + params.tellersPerBranch - 1) /
+        params.tellersPerBranch;
+
+    // Layout: three record tables, then three index regions sized
+    // generously for the B-tree's bump allocator.
+    Addr cursor = 64; // keep address 0 free
+    auto place = [&cursor](std::uint64_t bytes) {
+        const Addr at = cursor;
+        cursor += bytes;
+        return at;
+    };
+    auto tree_bytes = [](std::uint64_t keys) {
+        // Leaves hold >= 7 pairs after splits; triple it for slack.
+        return (keys / 4 + 64) * BTree::nodeBytes;
+    };
+
+    branchRecs_ = std::make_unique<RecordTable>(
+        store_, place(branches_ * params.recordBytes),
+        params.recordBytes, branches_);
+    tellerRecs_ = std::make_unique<RecordTable>(
+        store_, place(tellers_ * params.recordBytes),
+        params.recordBytes, tellers_);
+    accountRecs_ = std::make_unique<RecordTable>(
+        store_, place(params.accounts * params.recordBytes),
+        params.recordBytes, params.accounts);
+
+    const Addr b_idx = place(tree_bytes(branches_));
+    const Addr t_idx = place(tree_bytes(tellers_));
+    const Addr a_idx = place(tree_bytes(params.accounts));
+    ENVY_ASSERT(cursor <= store.size(),
+                "database does not fit: needs ", cursor, " bytes, ",
+                "store has ", store.size());
+
+    branchIdx_ = std::make_unique<BTree>(store_, b_idx,
+                                         tree_bytes(branches_));
+    tellerIdx_ = std::make_unique<BTree>(store_, t_idx,
+                                         tree_bytes(tellers_));
+    accountIdx_ = std::make_unique<BTree>(store_, a_idx,
+                                          tree_bytes(params.accounts));
+
+    // Load phase: balances and index entries.
+    for (std::uint64_t b = 0; b < branches_; ++b) {
+        branchRecs_->setBalance(b, 0);
+        branchIdx_->insert(b, branchRecs_->addrOf(b));
+    }
+    for (std::uint64_t t = 0; t < tellers_; ++t) {
+        tellerRecs_->setBalance(t, 0);
+        tellerIdx_->insert(t, tellerRecs_->addrOf(t));
+    }
+    for (std::uint64_t a = 0; a < params.accounts; ++a) {
+        accountRecs_->setBalance(a, params.initialBalance);
+        accountIdx_->insert(a, accountRecs_->addrOf(a));
+    }
+}
+
+std::uint64_t
+TpcaDatabase::tellerOf(std::uint64_t account) const
+{
+    return account / params_.accountsPerTeller;
+}
+
+void
+TpcaDatabase::run(std::uint64_t account, std::int64_t amount)
+{
+    ENVY_ASSERT(account < params_.accounts, "no such account");
+    const std::uint64_t teller = tellerOf(account);
+    const std::uint64_t branch = teller / params_.tellersPerBranch;
+
+    // The three index searches of §5.2 (the record address each
+    // returns is used, so the lookups cannot be optimised away).
+    const Addr a_rec = accountIdx_->lookup(account).value();
+    const Addr t_rec = tellerIdx_->lookup(teller).value();
+    const Addr b_rec = branchIdx_->lookup(branch).value();
+
+    store_.writeU64(a_rec, store_.readU64(a_rec) + amount);
+    store_.writeU64(t_rec, store_.readU64(t_rec) + amount);
+    store_.writeU64(b_rec, store_.readU64(b_rec) + amount);
+}
+
+void
+TpcaDatabase::runAtomic(ShadowManager &txns, std::uint64_t account,
+                        std::int64_t amount, int fail_at)
+{
+    ENVY_ASSERT(account < params_.accounts, "no such account");
+    const std::uint64_t teller = tellerOf(account);
+    const std::uint64_t branch = teller / params_.tellersPerBranch;
+
+    const Addr recs[3] = {accountIdx_->lookup(account).value(),
+                          tellerIdx_->lookup(teller).value(),
+                          branchIdx_->lookup(branch).value()};
+
+    const ShadowManager::TxnId txn = txns.begin();
+    for (int i = 0; i < 3; ++i) {
+        if (fail_at == i) {
+            txns.abort(txn);
+            return;
+        }
+        std::uint8_t buf[8];
+        txns.read(recs[i], buf);
+        std::uint64_t v = 0;
+        for (int b = 7; b >= 0; --b)
+            v = (v << 8) | buf[b];
+        v += static_cast<std::uint64_t>(amount);
+        for (int b = 0; b < 8; ++b)
+            buf[b] = static_cast<std::uint8_t>(v >> (8 * b));
+        txns.write(txn, recs[i], buf);
+    }
+    txns.commit(txn);
+}
+
+std::int64_t
+TpcaDatabase::accountBalance(std::uint64_t account)
+{
+    return accountRecs_->balance(account);
+}
+
+std::int64_t
+TpcaDatabase::tellerBalance(std::uint64_t teller)
+{
+    return tellerRecs_->balance(teller);
+}
+
+std::int64_t
+TpcaDatabase::branchBalance(std::uint64_t branch)
+{
+    return branchRecs_->balance(branch);
+}
+
+bool
+TpcaDatabase::consistent()
+{
+    // Teller sums must equal branch balances; account sums must equal
+    // branch balance plus the initial float.
+    std::vector<std::int64_t> teller_sum(branches_, 0);
+    std::vector<std::int64_t> account_sum(branches_, 0);
+    for (std::uint64_t t = 0; t < tellers_; ++t)
+        teller_sum[t / params_.tellersPerBranch] += tellerBalance(t);
+    for (std::uint64_t a = 0; a < params_.accounts; ++a) {
+        account_sum[tellerOf(a) / params_.tellersPerBranch] +=
+            accountBalance(a) - params_.initialBalance;
+    }
+    for (std::uint64_t b = 0; b < branches_; ++b) {
+        if (teller_sum[b] != branchBalance(b))
+            return false;
+        if (account_sum[b] != branchBalance(b))
+            return false;
+    }
+    // Index integrity: every key resolves to the matching record.
+    if (!accountIdx_->validate() || !tellerIdx_->validate() ||
+        !branchIdx_->validate())
+        return false;
+    for (std::uint64_t a = 0; a < params_.accounts;
+         a += std::max<std::uint64_t>(1, params_.accounts / 64)) {
+        if (accountIdx_->lookup(a) != accountRecs_->addrOf(a))
+            return false;
+    }
+    return true;
+}
+
+} // namespace envy

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A functional TPC-A database on the eNVy store (paper §5.2).
+ *
+ * Where workload/tpca.hh reproduces the *access shape* for the timing
+ * experiments, this is the real thing at laptop scale: branch, teller
+ * and account record tables plus three B-tree indices, all resident
+ * in one EnvyStore, executing genuine debit/credit transactions with
+ * the paper's ratios (10 tellers per branch, N accounts per teller).
+ *
+ * The defining invariant of TPC-A — the sum of account balances per
+ * branch equals the branch balance, and teller balances sum to the
+ * branch balance — is checkable at any time, which the tests use to
+ * verify that cleaning, wear-leveling and crash recovery never
+ * corrupt data.  With a ShadowManager supplied, transactions execute
+ * atomically and can be aborted mid-flight (§6).
+ */
+
+#ifndef ENVY_DB_TPCA_DB_HH
+#define ENVY_DB_TPCA_DB_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "db/btree.hh"
+#include "db/records.hh"
+#include "txn/shadow.hh"
+
+namespace envy {
+
+class TpcaDatabase
+{
+  public:
+    struct Params
+    {
+        std::uint64_t accounts = 10000;
+        std::uint32_t accountsPerTeller = 1000;
+        std::uint32_t tellersPerBranch = 10;
+        std::uint32_t recordBytes = 100;
+        std::int64_t initialBalance = 1000;
+    };
+
+    /** Build (and load) a fresh database occupying @p store. */
+    TpcaDatabase(EnvyStore &store, const Params &params);
+
+    std::uint64_t accounts() const { return params_.accounts; }
+    std::uint64_t tellers() const { return tellers_; }
+    std::uint64_t branches() const { return branches_; }
+
+    /**
+     * Execute one debit/credit transaction: move @p amount into
+     * @p account and reflect it in the responsible teller and branch
+     * records (all located through the indices).
+     */
+    void run(std::uint64_t account, std::int64_t amount);
+
+    /** As run(), but atomic under the shadow manager: a @p fail_at
+     *  value of 0-2 aborts after that many record updates. */
+    void runAtomic(ShadowManager &txns, std::uint64_t account,
+                   std::int64_t amount, int fail_at = -1);
+
+    std::int64_t accountBalance(std::uint64_t account);
+    std::int64_t tellerBalance(std::uint64_t teller);
+    std::int64_t branchBalance(std::uint64_t branch);
+
+    /**
+     * Full invariant sweep: per-branch sums of teller and account
+     * balances match the branch record, and every index lookup
+     * resolves to the right record.
+     */
+    bool consistent();
+
+    BTree &accountIndex() { return *accountIdx_; }
+
+  private:
+    std::uint64_t tellerOf(std::uint64_t account) const;
+
+    EnvyStore &store_;
+    Params params_;
+    std::uint64_t tellers_;
+    std::uint64_t branches_;
+
+    std::unique_ptr<RecordTable> branchRecs_;
+    std::unique_ptr<RecordTable> tellerRecs_;
+    std::unique_ptr<RecordTable> accountRecs_;
+    std::unique_ptr<BTree> branchIdx_;
+    std::unique_ptr<BTree> tellerIdx_;
+    std::unique_ptr<BTree> accountIdx_;
+};
+
+} // namespace envy
+
+#endif // ENVY_DB_TPCA_DB_HH

@@ -1,0 +1,194 @@
+#include "envy/cleaner.hh"
+
+#include "common/logging.hh"
+#include "envy/wear_leveler.hh"
+
+namespace envy {
+
+Cleaner::Cleaner(SegmentSpace &space, Mmu &mmu,
+                 WearLeveler *wear_leveler, StatGroup *parent)
+    : StatGroup("cleaner", parent),
+      statCleans(this, "cleans", "segment cleaning operations"),
+      statCleanerPrograms(this, "cleanerPrograms",
+                          "page programs performed by the cleaner"),
+      statWearRotations(this, "wearRotations",
+                        "wear-leveling data rotations"),
+      space_(space),
+      mmu_(mmu),
+      wearLeveler_(wear_leveler)
+{
+    if (space_.flash().storesData())
+        scratch_.resize(space_.flash().geom().pageSize);
+}
+
+void
+Cleaner::relocate(SegmentId src_phys, std::uint32_t slot,
+                  LogicalPageId logical, SegmentId dst_phys)
+{
+    FlashArray &flash = space_.flash();
+    const FlashPageAddr src{src_phys, slot};
+    if (flash.storesData())
+        flash.readPage(src, scratch_);
+    const FlashPageAddr dst =
+        flash.appendPage(dst_phys, logical, scratch_);
+    mmu_.mapToFlash(logical, dst);
+    flash.invalidatePage(src);
+    ++statCleanerPrograms;
+    busyTime_ +=
+        flash.timing().readTime +
+        flash.timing().programTimeAfter(flash.eraseCycles(dst_phys));
+}
+
+Cleaner::CleanResult
+Cleaner::clean(std::uint32_t seg, CleaningPolicy *policy)
+{
+    return cleanInternal(seg, policy, false);
+}
+
+Cleaner::CleanResult
+Cleaner::resume(std::uint32_t seg)
+{
+    return cleanInternal(seg, nullptr, true);
+}
+
+Cleaner::CleanResult
+Cleaner::cleanInternal(std::uint32_t seg, CleaningPolicy *policy,
+                       bool resuming)
+{
+    FlashArray &flash = space_.flash();
+    const SegmentId victim = space_.physOf(seg);
+    const SegmentId dest = space_.reserve();
+    if (!resuming) {
+        ENVY_ASSERT(flash.usedSlots(dest) == 0, "reserve segment ",
+                    dest.value(), " is not erased");
+    }
+
+    space_.beginCleanRecord(seg, victim, dest);
+
+    CleanResult result;
+    const Tick busy0 = busyTime_;
+    const std::uint64_t live_total = flash.liveCount(victim);
+
+    // Collect the live slots first: relocation mutates the segment's
+    // owner table as it invalidates source pages.
+    std::vector<std::pair<std::uint32_t, LogicalPageId>> live;
+    live.reserve(live_total);
+    flash.forEachLive(victim,
+                      [&](std::uint32_t slot, LogicalPageId logical) {
+                          live.emplace_back(slot, logical);
+                      });
+
+    bool crashed = false;
+    for (std::uint64_t idx = 0; idx < live.size(); ++idx) {
+        const auto [slot, logical] = live[idx];
+        std::uint32_t target = seg;
+        if (policy)
+            target = policy->divert(seg, idx, live_total);
+        SegmentId dst = dest;
+        if (target != seg) {
+            const SegmentId other = space_.physOf(target);
+            if (flash.freeSlots(other) > 0) {
+                dst = other;
+                ++result.diverted;
+            } else {
+                target = seg; // divert target full; keep the page
+            }
+        }
+        if (target == seg)
+            ++result.copied;
+        relocate(victim, slot, logical, dst);
+        if (crashHook && crashHook()) {
+            crashed = true;
+            break;
+        }
+    }
+    if (crashed) {
+        // Simulated power failure: leave the persistent clean record
+        // set; recovery will finish the job.
+        result.busyTime = busyTime_ - busy0;
+        return result;
+    }
+
+    // Carry transaction shadow copies (§6) along to the new segment.
+    std::vector<std::uint32_t> shadows;
+    flash.forEachShadow(victim, [&](std::uint32_t slot) {
+        shadows.push_back(slot);
+    });
+    for (const std::uint32_t slot : shadows) {
+        const FlashPageAddr src{victim, slot};
+        if (flash.storesData())
+            flash.readPage(src, scratch_);
+        const FlashPageAddr dst = flash.appendShadow(dest, scratch_);
+        flash.invalidatePage(src);
+        ++statCleanerPrograms;
+        busyTime_ += flash.timing().readTime +
+                     flash.timing().programTime;
+        ++result.copied;
+        if (shadowMoved)
+            shadowMoved(src, dst);
+    }
+
+    busyTime_ += flash.eraseSegment(victim);
+    result.busyTime = busyTime_ - busy0;
+    space_.commitClean(seg);
+    space_.noteClean(seg);
+    space_.clearCleanRecord();
+    ++statCleans;
+
+    if (policy)
+        policy->onCleaned(seg);
+    if (wearLeveler_)
+        wearLeveler_->maybeRotate(space_, *this);
+    return result;
+}
+
+std::uint64_t
+Cleaner::movePages(std::uint32_t from, std::uint32_t to, bool from_tail,
+                   std::uint64_t count)
+{
+    ENVY_ASSERT(from != to, "moving pages to the same segment");
+    FlashArray &flash = space_.flash();
+    const SegmentId src = space_.physOf(from);
+    const SegmentId dst = space_.physOf(to);
+
+    count = std::min({count, flash.liveCount(src),
+                      flash.freeSlots(dst)});
+    if (count == 0)
+        return 0;
+
+    std::uint64_t moved = 0;
+    const std::uint32_t used =
+        static_cast<std::uint32_t>(flash.usedSlots(src));
+    if (from_tail) {
+        for (std::uint32_t i = used; i-- > 0 && moved < count;) {
+            const FlashPageAddr addr{src, i};
+            const LogicalPageId owner = flash.pageOwner(addr);
+            if (!owner.valid())
+                continue;
+            relocate(src, i, owner, dst);
+            ++moved;
+        }
+    } else {
+        for (std::uint32_t i = 0; i < used && moved < count; ++i) {
+            const FlashPageAddr addr{src, i};
+            const LogicalPageId owner = flash.pageOwner(addr);
+            if (!owner.valid())
+                continue;
+            relocate(src, i, owner, dst);
+            ++moved;
+        }
+    }
+    return moved;
+}
+
+double
+Cleaner::cleaningCost() const
+{
+    const std::uint64_t flushed = space_.flushClock();
+    if (flushed == 0)
+        return 0.0;
+    return static_cast<double>(statCleanerPrograms.value()) /
+           static_cast<double>(flushed);
+}
+
+} // namespace envy

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared cleaning mechanics (paper §3.4, Fig 5).
+ *
+ * Cleaning copies the live pages of a victim segment, in slot order,
+ * into the reserved erased segment, updates the page table as each
+ * page lands, then erases the victim — which becomes the new reserve.
+ * Policies parameterise the process through divert(): individual live
+ * pages can be sent to *other* segments instead, which is how locality
+ * gathering and the hybrid scheme redistribute data (§4.3, §4.4).
+ *
+ * The cleaning cost of §4.1 is cleaner program operations per flushed
+ * page; this class owns the program-side counters and SegmentSpace
+ * owns the flush clock.
+ */
+
+#ifndef ENVY_ENVY_CLEANER_HH
+#define ENVY_ENVY_CLEANER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "envy/mmu.hh"
+#include "envy/policy/cleaning_policy.hh"
+#include "envy/segment_space.hh"
+#include "sim/stats.hh"
+
+namespace envy {
+
+class WearLeveler;
+
+class Cleaner : public StatGroup
+{
+  public:
+    struct CleanResult
+    {
+        std::uint64_t copied = 0;   //!< programs into the new segment
+        std::uint64_t diverted = 0; //!< programs into other segments
+        Tick busyTime = 0;          //!< device time consumed
+    };
+
+    Cleaner(SegmentSpace &space, Mmu &mmu,
+            WearLeveler *wear_leveler = nullptr,
+            StatGroup *parent = nullptr);
+
+    /**
+     * Clean logical segment @p seg.  @p policy (may be null) steers
+     * per-page diverts and is notified on completion.
+     */
+    CleanResult clean(std::uint32_t seg, CleaningPolicy *policy);
+
+    /**
+     * Finish a clean that a power failure interrupted: the reserve
+     * already holds the pages relocated before the crash, so the
+     * erased-reserve precondition is waived and no policy diverts
+     * apply.
+     */
+    CleanResult resume(std::uint32_t seg);
+
+    /**
+     * Relocate up to @p count live pages from the head (coldest) or
+     * tail (hottest) of @p from into @p to's free space.  Used by
+     * pull-style redistribution and by the wear leveler.
+     *
+     * @return pages actually moved.
+     */
+    std::uint64_t movePages(std::uint32_t from, std::uint32_t to,
+                            bool from_tail, std::uint64_t count);
+
+    /** Cleaning cost so far: cleaner programs / pages flushed. */
+    double cleaningCost() const;
+
+    /** Device time consumed by cleaning + erasing since reset. */
+    Tick busyTime() const { return busyTime_; }
+
+    /**
+     * Test hook: invoked after every relocated page; return true to
+     * abandon the clean mid-flight (simulated power failure).
+     */
+    std::function<bool()> crashHook;
+
+    /**
+     * Invoked whenever a shadow copy (§6 transactions) is relocated
+     * so its owner can re-point at the new slot.
+     */
+    std::function<void(FlashPageAddr from, FlashPageAddr to)>
+        shadowMoved;
+
+    Counter statCleans;
+    Counter statCleanerPrograms;
+    Counter statWearRotations;
+
+    SegmentSpace &space() { return space_; }
+    Mmu &mmu() { return mmu_; }
+
+  private:
+    CleanResult cleanInternal(std::uint32_t seg,
+                              CleaningPolicy *policy, bool resuming);
+
+    /** Relocate one live page; updates map and invalidates source. */
+    void relocate(SegmentId src_phys, std::uint32_t slot,
+                  LogicalPageId logical, SegmentId dst_phys);
+
+    SegmentSpace &space_;
+    Mmu &mmu_;
+    WearLeveler *wearLeveler_;
+    std::vector<std::uint8_t> scratch_;
+    Tick busyTime_ = 0;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_CLEANER_HH

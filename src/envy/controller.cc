@@ -1,0 +1,267 @@
+#include "envy/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+Controller::Controller(const Geometry &geom, FlashArray &flash,
+                       Mmu &mmu, WriteBuffer &buffer,
+                       SegmentSpace &space, Cleaner &cleaner,
+                       CleaningPolicy &policy, bool auto_drain,
+                       StatGroup *parent)
+    : StatGroup("controller", parent),
+      statHostReads(this, "hostReads", "host read accesses"),
+      statHostWrites(this, "hostWrites", "host write accesses"),
+      statCows(this, "cows", "copy-on-write operations"),
+      statBufferHits(this, "bufferHits",
+                     "writes absorbed by a resident buffer page"),
+      statForegroundFlushes(this, "foregroundFlushes",
+                            "flushes a host write had to wait for"),
+      geom_(geom),
+      flash_(flash),
+      mmu_(mmu),
+      buffer_(buffer),
+      space_(space),
+      cleaner_(cleaner),
+      policy_(policy),
+      autoDrain_(auto_drain),
+      scratch_(flash.storesData() ? geom.pageSize : 0)
+{
+    policy_.attach(space_, cleaner_);
+}
+
+void
+Controller::populate(Placement placement, std::uint32_t aged_stride)
+{
+    const std::uint64_t pages = geom_.effectiveLogicalPages();
+    const std::uint32_t segs = space_.numLogical();
+    std::vector<std::uint8_t> zeros(
+        flash_.storesData() ? geom_.pageSize : 0, 0);
+
+    if (placement == Placement::Striped) {
+        for (std::uint64_t p = 0; p < pages; ++p) {
+            const SegmentId seg = space_.physOf(
+                static_cast<std::uint32_t>(p % segs));
+            const FlashPageAddr addr =
+                flash_.appendPage(seg, LogicalPageId(p), zeros);
+            mmu_.mapToFlash(LogicalPageId(p), addr);
+        }
+        return;
+    }
+
+    // Sequential and Aged place an even run of consecutive logical
+    // pages in each segment.
+    const std::uint64_t cap = geom_.pagesPerSegment();
+    const std::uint64_t share = (pages + segs - 1) / segs;
+    std::uint64_t next = 0;
+    for (std::uint32_t s = 0; s < segs; ++s) {
+        const std::uint64_t here =
+            std::min(share, pages - std::min(pages, next));
+        const SegmentId phys = space_.physOf(s);
+        const bool aged = placement == Placement::Aged &&
+                          aged_stride > 0 &&
+                          s % aged_stride != aged_stride - 1;
+        const std::uint64_t dead = aged ? cap - here : 0;
+        // Interleave the dead filler slots evenly between the live
+        // pages, approximating a segment that has seen scattered
+        // copy-on-write invalidations.
+        const std::uint64_t total = here + dead;
+        std::uint64_t placed = 0;
+        for (std::uint64_t i = 0; i < total; ++i) {
+            if ((i + 1) * here / total > placed) {
+                const LogicalPageId page(next + placed);
+                const FlashPageAddr addr =
+                    flash_.appendPage(phys, page, zeros);
+                mmu_.mapToFlash(page, addr);
+                ++placed;
+            } else {
+                // A slot that was programmed and later invalidated:
+                // append under a scratch owner, then kill it.
+                const FlashPageAddr addr =
+                    flash_.appendPage(phys, LogicalPageId(0), zeros);
+                flash_.invalidatePage(addr);
+            }
+        }
+        next += here;
+    }
+}
+
+void
+Controller::checkRange(Addr addr, std::size_t len) const
+{
+    if (addr + len > size())
+        ENVY_FATAL("host access [", addr, ", ", addr + len,
+                   ") beyond the ", size(), "-byte array");
+}
+
+Controller::AccessOutcome
+Controller::read(Addr addr, std::span<std::uint8_t> out)
+{
+    checkRange(addr, out.size());
+    AccessOutcome outcome;
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const Addr a = addr + done;
+        const LogicalPageId page = pageOf(a);
+        const std::uint32_t off = a % geom_.pageSize;
+        const std::size_t n = std::min<std::size_t>(
+            out.size() - done, geom_.pageSize - off);
+        ++statHostReads;
+
+        const PageTable::Location loc = mmu_.lookup(page);
+        switch (loc.kind) {
+          case PageTable::LocKind::Sram:
+            outcome.hitSram = true;
+            if (flash_.storesData()) {
+                auto src = buffer_.slotData(loc.sramSlot);
+                std::copy_n(src.begin() + off, n, out.begin() + done);
+            }
+            break;
+          case PageTable::LocKind::Flash:
+            if (flash_.storesData()) {
+                flash_.readPage(loc.flash, scratch_);
+                std::copy_n(scratch_.begin() + off, n,
+                            out.begin() + done);
+            }
+            break;
+          case PageTable::LocKind::Unmapped:
+            // Never-written space reads as zeroes.
+            std::fill_n(out.begin() + done, n, 0);
+            break;
+        }
+        done += n;
+    }
+    return outcome;
+}
+
+bool
+Controller::probeRead(Addr addr)
+{
+    checkRange(addr, 1);
+    ++statHostReads;
+    const std::uint64_t misses = mmu_.statMisses.value();
+    mmu_.lookup(pageOf(addr));
+    return mmu_.statMisses.value() != misses;
+}
+
+std::uint32_t
+Controller::copyOnWrite(LogicalPageId page,
+                        const PageTable::Location &stale_loc,
+                        AccessOutcome &outcome)
+{
+    // Make room first: a full buffer stalls the host behind a flush
+    // (and possibly a clean) — this is the latency cliff of Fig 15.
+    PageTable::Location loc = stale_loc;
+    while (buffer_.full()) {
+        outcome.deviceBusy += flushOne();
+        ++outcome.foregroundFlushes;
+        ++statForegroundFlushes;
+        // Cleaning may have relocated the page we are copying.
+        loc = mmu_.lookup(page);
+    }
+
+    std::uint64_t origin;
+    if (loc.kind == PageTable::LocKind::Flash) {
+        const std::uint32_t seg = space_.logOf(loc.flash.segment);
+        ENVY_ASSERT(seg != SegmentSpace::noLogical,
+                    "live page on the reserve segment");
+        origin = policy_.originTag(seg);
+    } else {
+        origin = policy_.defaultOrigin(page);
+    }
+
+    const std::uint32_t slot = buffer_.push(page, origin);
+    if (flash_.storesData()) {
+        auto dst = buffer_.slotData(slot);
+        if (loc.kind == PageTable::LocKind::Flash)
+            flash_.readPage(loc.flash, dst);
+        else
+            std::fill(dst.begin(), dst.end(), 0);
+    }
+    // The page table swing makes the new copy visible atomically...
+    mmu_.mapToSram(page, slot);
+    // ...then the stale flash copy is invalidated — or kept as a
+    // pinned shadow when a transaction wants rollback ability (§6).
+    if (loc.kind == PageTable::LocKind::Flash) {
+        if (cowShadowHook && cowShadowHook(page, loc.flash))
+            flash_.convertToShadow(loc.flash);
+        else
+            flash_.invalidatePage(loc.flash);
+    }
+
+    outcome.cow = true;
+    ++statCows;
+    return slot;
+}
+
+Controller::AccessOutcome
+Controller::write(Addr addr, std::span<const std::uint8_t> in)
+{
+    checkRange(addr, in.size());
+    AccessOutcome outcome;
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const Addr a = addr + done;
+        const LogicalPageId page = pageOf(a);
+        const std::uint32_t off = a % geom_.pageSize;
+        const std::size_t n = std::min<std::size_t>(
+            in.size() - done, geom_.pageSize - off);
+        ++statHostWrites;
+
+        const PageTable::Location loc = mmu_.lookup(page);
+        std::uint32_t slot;
+        if (loc.kind == PageTable::LocKind::Sram) {
+            slot = loc.sramSlot;
+            outcome.hitSram = true;
+            ++statBufferHits;
+        } else {
+            slot = copyOnWrite(page, loc, outcome);
+        }
+        if (flash_.storesData()) {
+            auto dst = buffer_.slotData(slot);
+            std::copy_n(in.begin() + done, n, dst.begin() + off);
+        }
+        done += n;
+    }
+
+    if (autoDrain_) {
+        while (buffer_.aboveThreshold())
+            flushOne();
+    }
+    return outcome;
+}
+
+Tick
+Controller::flushOne()
+{
+    const WriteBuffer::TailInfo tail = buffer_.tail();
+    const Tick clean_busy0 = cleaner_.busyTime();
+    const std::uint32_t dest = policy_.flushDestination(tail.origin);
+    const SegmentId phys = space_.physOf(dest);
+    ENVY_ASSERT(flash_.freeSlots(phys) > 0,
+                "policy returned a full flush destination");
+
+    std::span<const std::uint8_t> data;
+    if (flash_.storesData())
+        data = buffer_.slotData(tail.slot);
+    const FlashPageAddr addr =
+        flash_.appendPage(phys, tail.logical, data);
+    mmu_.mapToFlash(tail.logical, addr);
+    buffer_.popTail();
+    space_.noteFlush();
+
+    const Tick program = flash_.timing().programTimeAfter(
+        flash_.eraseCycles(phys));
+    return program + (cleaner_.busyTime() - clean_busy0);
+}
+
+void
+Controller::flushAll()
+{
+    while (!buffer_.empty())
+        flushOne();
+}
+
+} // namespace envy

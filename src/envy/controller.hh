@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The eNVy memory controller (paper §3, §5.1).
+ *
+ * Presents the flash array as a linear, word-addressable non-volatile
+ * memory.  Reads translate through the MMU and go to flash or to the
+ * SRAM write buffer.  Writes hit resident buffer pages in place;
+ * otherwise a copy-on-write moves the page into the buffer (Fig 3):
+ * copy the flash page to SRAM over the 256-byte-wide path, apply the
+ * write, swing the page table, invalidate the old copy.  Flushing
+ * pages from the buffer tail back to flash — and the cleaning that
+ * makes room for those flushes — is delegated to the cleaning policy.
+ *
+ * The controller is purely functional: it reports how much device
+ * time each operation consumed and lets the caller decide what that
+ * means.  The timed simulation (envysim/timed_system.hh) drives
+ * background flushing explicitly; in normal library use the
+ * controller drains the buffer to its threshold automatically.
+ */
+
+#ifndef ENVY_ENVY_CONTROLLER_HH
+#define ENVY_ENVY_CONTROLLER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/geometry.hh"
+#include "envy/cleaner.hh"
+#include "envy/mmu.hh"
+#include "envy/policy/cleaning_policy.hh"
+#include "envy/segment_space.hh"
+#include "sim/stats.hh"
+#include "sram/write_buffer.hh"
+
+namespace envy {
+
+class Controller : public StatGroup
+{
+  public:
+    Controller(const Geometry &geom, FlashArray &flash, Mmu &mmu,
+               WriteBuffer &buffer, SegmentSpace &space,
+               Cleaner &cleaner, CleaningPolicy &policy,
+               bool auto_drain, StatGroup *parent = nullptr);
+
+    /** What a host access made the device do (for timing models). */
+    struct AccessOutcome
+    {
+        bool hitSram = false;      //!< data was in the write buffer
+        bool cow = false;          //!< a copy-on-write was performed
+        std::uint64_t foregroundFlushes = 0; //!< full-buffer stalls
+        Tick deviceBusy = 0; //!< flush/clean/erase time consumed
+    };
+
+    /**
+     * Populate every logical page with zeroes, establishing the
+     * array utilization.  Sequential puts consecutive runs of
+     * logical pages in each segment; Striped deals them round-robin;
+     * Aged additionally synthesises a steady-state segment picture —
+     * most segments completely written (live data interleaved with
+     * already-invalidated slots), free space concentrated in one
+     * segment per @p aged_stride — so cleaning starts immediately
+     * instead of after the array's initial free space has been
+     * consumed (minutes of simulated time on a fresh 2 GB array).
+     */
+    enum class Placement { Sequential, Striped, Aged };
+    void populate(Placement placement, std::uint32_t aged_stride = 16);
+
+    /** Host-visible bytes. */
+    std::uint64_t size() const { return geom_.logicalBytes(); }
+
+    AccessOutcome read(Addr addr, std::span<std::uint8_t> out);
+    AccessOutcome write(Addr addr, std::span<const std::uint8_t> in);
+
+    /**
+     * Lightweight host read for timing models: performs the MMU
+     * translation and statistics of a word read without moving data.
+     *
+     * @return true if the translation missed the TLB (the table walk
+     *         costs an extra SRAM access).
+     */
+    bool probeRead(Addr addr);
+
+    /**
+     * Flush the buffer's tail page to flash (cleaning as needed).
+     *
+     * @return device time consumed (program + any cleaning/erasing).
+     */
+    Tick flushOne();
+
+    /** Drain the whole buffer (orderly shutdown). */
+    void flushAll();
+
+    /** True when background flushing has work to do. */
+    bool
+    needsBackgroundFlush() const
+    {
+        return buffer_.aboveThreshold();
+    }
+
+    const Geometry &geom() const { return geom_; }
+    WriteBuffer &buffer() { return buffer_; }
+    SegmentSpace &space() { return space_; }
+    Cleaner &cleaner() { return cleaner_; }
+    Mmu &mmu() { return mmu_; }
+    CleaningPolicy &policy() { return policy_; }
+
+    /**
+     * §6 transaction hook: consulted when a copy-on-write supersedes
+     * a flash copy.  Returning true preserves the old copy as a
+     * pinned shadow (for rollback) instead of invalidating it.
+     */
+    std::function<bool(LogicalPageId, FlashPageAddr)> cowShadowHook;
+
+    Counter statHostReads;
+    Counter statHostWrites;
+    Counter statCows;
+    Counter statBufferHits;
+    Counter statForegroundFlushes;
+
+  private:
+    LogicalPageId pageOf(Addr addr) const
+    {
+        return LogicalPageId(addr / geom_.pageSize);
+    }
+
+    /** Copy a page into the write buffer (the COW of Fig 3). */
+    std::uint32_t copyOnWrite(LogicalPageId page,
+                              const PageTable::Location &stale_loc,
+                              AccessOutcome &outcome);
+
+    void checkRange(Addr addr, std::size_t len) const;
+
+    Geometry geom_;
+    FlashArray &flash_;
+    Mmu &mmu_;
+    WriteBuffer &buffer_;
+    SegmentSpace &space_;
+    Cleaner &cleaner_;
+    CleaningPolicy &policy_;
+    bool autoDrain_;
+    std::vector<std::uint8_t> scratch_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_CONTROLLER_HH

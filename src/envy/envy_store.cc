@@ -1,0 +1,140 @@
+#include "envy/envy_store.hh"
+
+#include "common/logging.hh"
+#include "envy/recovery.hh"
+
+namespace envy {
+
+EnvyStore::EnvyStore(const EnvyConfig &cfg)
+    : StatGroup("envy"), cfg_(cfg)
+{
+    const Geometry &g = cfg_.geom;
+    if (const char *problem = g.validate())
+        ENVY_FATAL("bad geometry: ", problem);
+
+    // Battery-backed SRAM layout: page table, segment-space state,
+    // write buffer (metadata + page frames).
+    ptBase_ = 0;
+    spaceBase_ = ptBase_ + PageTable::bytesNeeded(g.physicalPages());
+    bufferBase_ =
+        spaceBase_ + SegmentSpace::bytesNeeded(g.numSegments());
+    const std::uint64_t sram_bytes =
+        bufferBase_ + WriteBuffer::bytesNeeded(
+                          g.effectiveWriteBufferPages(), g.pageSize,
+                          cfg_.storeData);
+
+    sram_ = std::make_unique<SramArray>(sram_bytes, true);
+    flash_ = std::make_unique<FlashArray>(g, cfg_.timing,
+                                          cfg_.storeData, this);
+    pageTable_ = std::make_unique<PageTable>(*sram_, ptBase_,
+                                             g.physicalPages());
+    mmu_ = std::make_unique<Mmu>(*pageTable_, cfg_.tlbSize, this);
+    buffer_ = std::make_unique<WriteBuffer>(
+        *sram_, bufferBase_, g.effectiveWriteBufferPages(), g.pageSize,
+        cfg_.storeData, cfg_.bufferThreshold, this);
+    space_ = std::make_unique<SegmentSpace>(*flash_, *sram_,
+                                            spaceBase_);
+    wearLeveler_ =
+        std::make_unique<WearLeveler>(cfg_.wearThreshold, this);
+    cleaner_ = std::make_unique<Cleaner>(*space_, *mmu_,
+                                         wearLeveler_.get(), this);
+    policy_ = makePolicy(cfg_.policy, cfg_.partitionSize);
+    controller_ = std::make_unique<Controller>(
+        g, *flash_, *mmu_, *buffer_, *space_, *cleaner_, *policy_,
+        cfg_.autoDrain, this);
+
+    if (cfg_.prePopulate)
+        controller_->populate(cfg_.placement, cfg_.agedStride);
+}
+
+EnvyStore::~EnvyStore() = default;
+
+std::uint64_t
+EnvyStore::size() const
+{
+    return cfg_.geom.logicalBytes();
+}
+
+void
+EnvyStore::read(Addr addr, std::span<std::uint8_t> out)
+{
+    controller_->read(addr, out);
+}
+
+void
+EnvyStore::write(Addr addr, std::span<const std::uint8_t> in)
+{
+    controller_->write(addr, in);
+}
+
+std::uint8_t
+EnvyStore::readU8(Addr addr)
+{
+    std::uint8_t v;
+    read(addr, {&v, 1});
+    return v;
+}
+
+std::uint32_t
+EnvyStore::readU32(Addr addr)
+{
+    std::uint8_t b[4];
+    read(addr, b);
+    return std::uint32_t(b[0]) | std::uint32_t(b[1]) << 8 |
+           std::uint32_t(b[2]) << 16 | std::uint32_t(b[3]) << 24;
+}
+
+std::uint64_t
+EnvyStore::readU64(Addr addr)
+{
+    std::uint8_t b[8];
+    read(addr, b);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+void
+EnvyStore::writeU8(Addr addr, std::uint8_t v)
+{
+    write(addr, {&v, 1});
+}
+
+void
+EnvyStore::writeU32(Addr addr, std::uint32_t v)
+{
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    write(addr, b);
+}
+
+void
+EnvyStore::writeU64(Addr addr, std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    write(addr, b);
+}
+
+void
+EnvyStore::flushAll()
+{
+    controller_->flushAll();
+}
+
+double
+EnvyStore::cleaningCost() const
+{
+    return cleaner_->cleaningCost();
+}
+
+void
+EnvyStore::powerFailAndRecover()
+{
+    Recovery::run(*this);
+}
+
+} // namespace envy

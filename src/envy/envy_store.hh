@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Public facade of the eNVy storage system.
+ *
+ * An EnvyStore assembles the whole stack — flash array, battery-backed
+ * SRAM (page table, segment state, write buffer), MMU, cleaner, policy
+ * and controller — and presents the paper's programming model: a
+ * linear, persistent, word-addressable memory array with transparent
+ * in-place updates.
+ *
+ *     EnvyConfig cfg;               // paper's 2 GB system by default
+ *     cfg.geom = Geometry::tiny();  // ...or something laptop-sized
+ *     EnvyStore store(cfg);
+ *     store.writeU64(0x1000, 42);
+ *     assert(store.readU64(0x1000) == 42);
+ */
+
+#ifndef ENVY_ENVY_ENVY_STORE_HH
+#define ENVY_ENVY_ENVY_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/geometry.hh"
+#include "envy/controller.hh"
+#include "envy/page_table.hh"
+#include "envy/wear_leveler.hh"
+#include "flash/flash_array.hh"
+#include "sram/sram_array.hh"
+
+namespace envy {
+
+struct EnvyConfig
+{
+    Geometry geom = Geometry::tiny();
+    FlashTiming timing;
+    PolicyKind policy = PolicyKind::Hybrid;
+    std::uint32_t partitionSize = 16;
+    /** Keep real page contents (functional) or metadata only. */
+    bool storeData = true;
+    /** Background flush threshold; 0 = half the buffer. */
+    std::uint32_t bufferThreshold = 0;
+    /** Wear-leveling trigger (max-min erase-cycle spread). */
+    std::uint64_t wearThreshold = 100;
+    Controller::Placement placement = Controller::Placement::Striped;
+    /** Segments per free-space island for Placement::Aged. */
+    std::uint32_t agedStride = 16;
+    /** Populate all logical pages at construction. */
+    bool prePopulate = true;
+    /** Drain the buffer to threshold after every write. */
+    bool autoDrain = true;
+    std::uint32_t tlbSize = 1024;
+};
+
+class EnvyStore : public StatGroup
+{
+  public:
+    explicit EnvyStore(const EnvyConfig &cfg);
+    ~EnvyStore();
+
+    EnvyStore(const EnvyStore &) = delete;
+    EnvyStore &operator=(const EnvyStore &) = delete;
+
+    /** Host-visible bytes. */
+    std::uint64_t size() const;
+
+    // ---- the memory-mapped interface ----------------------------
+
+    void read(Addr addr, std::span<std::uint8_t> out);
+    void write(Addr addr, std::span<const std::uint8_t> in);
+
+    std::uint8_t readU8(Addr addr);
+    std::uint32_t readU32(Addr addr);
+    std::uint64_t readU64(Addr addr);
+    void writeU8(Addr addr, std::uint8_t v);
+    void writeU32(Addr addr, std::uint32_t v);
+    void writeU64(Addr addr, std::uint64_t v);
+
+    /** Push every buffered page to flash (orderly shutdown). */
+    void flushAll();
+
+    // ---- introspection -------------------------------------------
+
+    const EnvyConfig &config() const { return cfg_; }
+    double cleaningCost() const;
+    Controller &controller() { return *controller_; }
+    FlashArray &flash() { return *flash_; }
+    SramArray &sram() { return *sram_; }
+    PageTable &pageTable() { return *pageTable_; }
+    WriteBuffer &writeBuffer() { return *buffer_; }
+    SegmentSpace &space() { return *space_; }
+    Cleaner &cleanerRef() { return *cleaner_; }
+    WearLeveler &wearLeveler() { return *wearLeveler_; }
+
+    /**
+     * Simulate a power failure and recovery: every in-core structure
+     * is rebuilt from battery-backed SRAM and flash metadata, any
+     * interrupted clean is completed, and orphaned copies produced by
+     * a crash mid-operation are reclaimed.  See recovery.cc.
+     */
+    void powerFailAndRecover();
+
+  private:
+    EnvyConfig cfg_;
+    std::unique_ptr<SramArray> sram_;
+    std::unique_ptr<FlashArray> flash_;
+    std::unique_ptr<PageTable> pageTable_;
+    std::unique_ptr<Mmu> mmu_;
+    std::unique_ptr<WriteBuffer> buffer_;
+    std::unique_ptr<SegmentSpace> space_;
+    std::unique_ptr<WearLeveler> wearLeveler_;
+    std::unique_ptr<Cleaner> cleaner_;
+    std::unique_ptr<CleaningPolicy> policy_;
+    std::unique_ptr<Controller> controller_;
+
+    // SRAM layout offsets.
+    Addr ptBase_ = 0;
+    Addr spaceBase_ = 0;
+    Addr bufferBase_ = 0;
+
+    friend class Recovery;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_ENVY_STORE_HH

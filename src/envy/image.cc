@@ -1,0 +1,192 @@
+#include "envy/image.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+namespace {
+
+constexpr char magic[8] = {'E', 'N', 'V', 'Y', 'I', 'M', 'G', '1'};
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    if (std::fwrite(b, 1, 8, f) != 8)
+        ENVY_FATAL("image write failed");
+}
+
+std::uint64_t
+getU64(std::FILE *f)
+{
+    std::uint8_t b[8];
+    if (std::fread(b, 1, 8, f) != 8)
+        ENVY_FATAL("image file is truncated");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+void
+putBytes(std::FILE *f, std::span<const std::uint8_t> bytes)
+{
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+        ENVY_FATAL("image write failed");
+}
+
+void
+getBytes(std::FILE *f, std::span<std::uint8_t> bytes)
+{
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size())
+        ENVY_FATAL("image file is truncated");
+}
+
+// Owner encoding in the image, mirroring the array's internal one.
+constexpr std::uint64_t imgDead = 0xFFFFFFFFull;
+constexpr std::uint64_t imgShadow = 0xFFFFFFFEull;
+
+} // namespace
+
+void
+EnvyImage::save(EnvyStore &store, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        ENVY_FATAL("cannot open image file '", path,
+                   "' for writing");
+
+    const EnvyConfig &cfg = store.config();
+    const Geometry &g = cfg.geom;
+    if (std::fwrite(magic, 1, sizeof(magic), f) != sizeof(magic))
+        ENVY_FATAL("image write failed");
+    putU64(f, g.pageSize);
+    putU64(f, g.blockBytes);
+    putU64(f, g.blocksPerChip);
+    putU64(f, g.numBanks);
+    putU64(f, g.effectiveLogicalPages());
+    putU64(f, g.effectiveWriteBufferPages());
+    putU64(f, cfg.storeData ? 1 : 0);
+    putU64(f, static_cast<std::uint64_t>(cfg.policy));
+    putU64(f, cfg.partitionSize);
+    putU64(f, cfg.bufferThreshold);
+    putU64(f, cfg.wearThreshold);
+    putU64(f, cfg.tlbSize);
+    putU64(f, cfg.autoDrain ? 1 : 0);
+
+    // Battery-backed SRAM: page table, segment map, write buffer.
+    SramArray &sram = store.sram();
+    putU64(f, sram.size());
+    putBytes(f, sram.raw());
+
+    // Flash: per-segment state and (functional mode) cell contents.
+    FlashArray &flash = store.flash();
+    std::vector<std::uint8_t> page(g.pageSize);
+    for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
+        const SegmentId seg{s};
+        const std::uint64_t used = flash.usedSlots(seg);
+        putU64(f, used);
+        putU64(f, flash.eraseCycles(seg));
+        for (std::uint32_t slot = 0; slot < used; ++slot) {
+            const FlashPageAddr addr{seg, slot};
+            const LogicalPageId owner = flash.pageOwner(addr);
+            if (owner.valid())
+                putU64(f, owner.value());
+            else if (flash.pageIsShadow(addr))
+                putU64(f, imgShadow);
+            else
+                putU64(f, imgDead);
+            if (cfg.storeData) {
+                flash.readPage(addr, page);
+                putBytes(f, page);
+            }
+        }
+    }
+    if (std::fclose(f) != 0)
+        ENVY_FATAL("error writing image file '", path, "'");
+}
+
+std::unique_ptr<EnvyStore>
+EnvyImage::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        ENVY_FATAL("cannot open image file '", path, "'");
+
+    char m[8];
+    if (std::fread(m, 1, sizeof(m), f) != sizeof(m) ||
+        std::memcmp(m, magic, sizeof(m)) != 0)
+        ENVY_FATAL("'", path, "' is not an eNVy image");
+
+    EnvyConfig cfg;
+    cfg.geom.pageSize = static_cast<std::uint32_t>(getU64(f));
+    cfg.geom.blockBytes = static_cast<std::uint32_t>(getU64(f));
+    cfg.geom.blocksPerChip = static_cast<std::uint32_t>(getU64(f));
+    cfg.geom.numBanks = static_cast<std::uint32_t>(getU64(f));
+    cfg.geom.logicalPages = getU64(f);
+    cfg.geom.writeBufferPages =
+        static_cast<std::uint32_t>(getU64(f));
+    cfg.storeData = getU64(f) != 0;
+    cfg.policy = static_cast<PolicyKind>(getU64(f));
+    cfg.partitionSize = static_cast<std::uint32_t>(getU64(f));
+    cfg.bufferThreshold = static_cast<std::uint32_t>(getU64(f));
+    cfg.wearThreshold = getU64(f);
+    cfg.tlbSize = static_cast<std::uint32_t>(getU64(f));
+    cfg.autoDrain = getU64(f) != 0;
+    cfg.prePopulate = false; // state comes from the image
+
+    auto store = std::make_unique<EnvyStore>(cfg);
+
+    // SRAM blob straight over the battery-backed array.
+    const std::uint64_t sram_bytes = getU64(f);
+    if (sram_bytes != store->sram().size()) {
+        std::fclose(f);
+        ENVY_FATAL("image SRAM size mismatch: ", sram_bytes, " vs ",
+                   store->sram().size());
+    }
+    getBytes(f, store->sram().raw());
+
+    // Flash: replay each used slot in order, then restore wear.
+    FlashArray &flash = store->flash();
+    std::vector<std::uint8_t> page(cfg.geom.pageSize);
+    for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
+        const SegmentId seg{s};
+        const std::uint64_t used = getU64(f);
+        const std::uint64_t cycles = getU64(f);
+        for (std::uint64_t slot = 0; slot < used; ++slot) {
+            const std::uint64_t owner = getU64(f);
+            if (cfg.storeData)
+                getBytes(f, page);
+            std::span<const std::uint8_t> data =
+                cfg.storeData ? std::span<const std::uint8_t>(page)
+                              : std::span<const std::uint8_t>{};
+            if (owner == imgShadow) {
+                flash.appendShadow(seg, data);
+            } else if (owner == imgDead) {
+                const FlashPageAddr a =
+                    flash.appendPage(seg, LogicalPageId(0), data);
+                flash.invalidatePage(a);
+            } else {
+                flash.appendPage(seg, LogicalPageId(owner), data);
+            }
+        }
+        flash.restoreWear(seg, cycles);
+    }
+    std::fclose(f);
+
+    // The recovery path rebuilds every in-core mirror (page-table
+    // consistency scan, buffer ring, segment map, policy state) from
+    // the non-volatile domains we just restored.
+    store->powerFailAndRecover();
+    return store;
+}
+
+} // namespace envy

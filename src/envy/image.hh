@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Whole-system images: serialise an EnvyStore's non-volatile domains
+ * (flash cell/segment state and battery-backed SRAM) to a host file
+ * and reconstruct the store later.
+ *
+ * In the real hardware nothing needs "saving" — flash and
+ * battery-backed SRAM simply persist.  For a simulator library,
+ * images are what make that property usable across process runs:
+ * save on exit, load on start, and the page table / write buffer /
+ * cleaning state come back exactly as the power-fail recovery path
+ * would find them (loading in fact reuses that path to rebuild the
+ * in-core mirrors).
+ *
+ * Format (little-endian): header {magic "ENVYIMG1", config fields},
+ * SRAM blob, then per-segment {writePtr, eraseCycles, owner words,
+ * and in functional mode the page bytes of every used slot}.
+ */
+
+#ifndef ENVY_ENVY_IMAGE_HH
+#define ENVY_ENVY_IMAGE_HH
+
+#include <memory>
+#include <string>
+
+#include "envy/envy_store.hh"
+
+namespace envy {
+
+class EnvyImage
+{
+  public:
+    /** Serialise @p store (as-is, buffered state included). */
+    static void save(EnvyStore &store, const std::string &path);
+
+    /** Reconstruct a store from an image file; fatals on format or
+     *  I/O problems. */
+    static std::unique_ptr<EnvyStore> load(const std::string &path);
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_IMAGE_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Typed views over the eNVy linear array.
+ *
+ * The paper's interface argument (§1): persistent storage accessed
+ * "by means of word-sized reads and writes, just as with
+ * conventional memory" shrinks code because there are no block
+ * boundaries or save formats.  These small wrappers carry that idea
+ * into typed C++: a MappedValue<T> or MappedArray<T> behaves like a
+ * T (or T[]) that happens to be persistent — every load/store goes
+ * through the controller, so copy-on-write, cleaning and recovery
+ * all apply transparently.
+ *
+ * T must be trivially copyable; values are stored in the host's
+ * byte order (the store is the host's memory, not an interchange
+ * format).
+ */
+
+#ifndef ENVY_ENVY_MAPPED_HH
+#define ENVY_ENVY_MAPPED_HH
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "envy/envy_store.hh"
+
+namespace envy {
+
+template <typename T>
+class MappedValue
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "mapped types must be trivially copyable");
+
+  public:
+    MappedValue(EnvyStore &store, Addr addr)
+        : store_(&store), addr_(addr)
+    {
+    }
+
+    /** Load the persistent value. */
+    T
+    get() const
+    {
+        alignas(T) std::uint8_t raw[sizeof(T)];
+        store_->read(addr_, raw);
+        T v;
+        std::memcpy(&v, raw, sizeof(T));
+        return v;
+    }
+
+    /** Store a new value (in place, as far as the host can tell). */
+    void
+    set(const T &v)
+    {
+        std::uint8_t raw[sizeof(T)];
+        std::memcpy(raw, &v, sizeof(T));
+        store_->write(addr_, raw);
+    }
+
+    operator T() const { return get(); }
+    MappedValue &
+    operator=(const T &v)
+    {
+        set(v);
+        return *this;
+    }
+
+    /** Read-modify-write helper. */
+    template <typename Fn>
+    T
+    update(Fn &&fn)
+    {
+        T v = get();
+        fn(v);
+        set(v);
+        return v;
+    }
+
+    Addr address() const { return addr_; }
+
+  private:
+    EnvyStore *store_;
+    Addr addr_;
+};
+
+template <typename T>
+class MappedArray
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "mapped types must be trivially copyable");
+
+  public:
+    MappedArray(EnvyStore &store, Addr base, std::uint64_t count)
+        : store_(&store), base_(base), count_(count)
+    {
+    }
+
+    std::uint64_t size() const { return count_; }
+    std::uint64_t bytes() const { return count_ * sizeof(T); }
+
+    MappedValue<T>
+    operator[](std::uint64_t i) const
+    {
+        return MappedValue<T>(*store_, base_ + i * sizeof(T));
+    }
+
+    T at(std::uint64_t i) const { return (*this)[i].get(); }
+    void
+    put(std::uint64_t i, const T &v)
+    {
+        (*this)[i].set(v);
+    }
+
+    /** Bulk fill (one controller call per element's span). */
+    void
+    fill(const T &v)
+    {
+        for (std::uint64_t i = 0; i < count_; ++i)
+            put(i, v);
+    }
+
+    Addr address() const { return base_; }
+
+  private:
+    EnvyStore *store_;
+    Addr base_;
+    std::uint64_t count_;
+};
+
+/**
+ * Bump allocator for laying out mapped structures in a region of
+ * the array (the moral equivalent of a linker script for NVM).
+ */
+class MappedArena
+{
+  public:
+    MappedArena(EnvyStore &store, Addr base, std::uint64_t bytes)
+        : store_(&store), cursor_(base), limit_(base + bytes)
+    {
+    }
+
+    template <typename T>
+    MappedValue<T>
+    value()
+    {
+        return MappedValue<T>(*store_, take(sizeof(T), alignof(T)));
+    }
+
+    template <typename T>
+    MappedArray<T>
+    array(std::uint64_t count)
+    {
+        return MappedArray<T>(
+            *store_, take(count * sizeof(T), alignof(T)), count);
+    }
+
+    Addr
+    take(std::uint64_t bytes, std::uint64_t align = 8)
+    {
+        cursor_ = (cursor_ + align - 1) / align * align;
+        const Addr at = cursor_;
+        cursor_ += bytes;
+        if (cursor_ > limit_)
+            ENVY_FATAL("mapped arena exhausted");
+        return at;
+    }
+
+    std::uint64_t remaining() const { return limit_ - cursor_; }
+
+  private:
+    EnvyStore *store_;
+    Addr cursor_;
+    Addr limit_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_MAPPED_HH

@@ -1,0 +1,60 @@
+#include "envy/mmu.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+Mmu::Mmu(PageTable &table, std::uint32_t tlb_size, StatGroup *parent)
+    : StatGroup("mmu", parent),
+      statHits(this, "tlbHits", "translations served from the TLB"),
+      statMisses(this, "tlbMisses", "translations walking the table"),
+      table_(table),
+      mask_(tlb_size - 1),
+      tlb_(tlb_size)
+{
+    ENVY_ASSERT(tlb_size > 0 && (tlb_size & (tlb_size - 1)) == 0,
+                "TLB size must be a power of two");
+}
+
+PageTable::Location
+Mmu::lookup(LogicalPageId page)
+{
+    TlbEntry &e = tlb_[indexOf(page)];
+    if (e.page == page) {
+        ++statHits;
+        return e.loc;
+    }
+    ++statMisses;
+    e.page = page;
+    e.loc = table_.lookup(page);
+    return e.loc;
+}
+
+void
+Mmu::mapToFlash(LogicalPageId page, FlashPageAddr addr)
+{
+    table_.mapToFlash(page, addr);
+    TlbEntry &e = tlb_[indexOf(page)];
+    e.page = page;
+    e.loc.kind = PageTable::LocKind::Flash;
+    e.loc.flash = addr;
+}
+
+void
+Mmu::mapToSram(LogicalPageId page, std::uint32_t slot)
+{
+    table_.mapToSram(page, slot);
+    TlbEntry &e = tlb_[indexOf(page)];
+    e.page = page;
+    e.loc.kind = PageTable::LocKind::Sram;
+    e.loc.sramSlot = slot;
+}
+
+void
+Mmu::flushTlb()
+{
+    for (auto &e : tlb_)
+        e.page = LogicalPageId::invalid();
+}
+
+} // namespace envy

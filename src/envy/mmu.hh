@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The eNVy controller's memory-management unit (paper §5.1).
+ *
+ * The MMU caches recently used page-table mappings so that most host
+ * accesses avoid the SRAM table walk.  It is write-through: updates go
+ * to the page table immediately and refresh the cached entry, matching
+ * the hardware's "page table mapping is updated in parallel with the
+ * data transfer" behaviour.
+ */
+
+#ifndef ENVY_ENVY_MMU_HH
+#define ENVY_ENVY_MMU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "envy/page_table.hh"
+#include "sim/stats.hh"
+
+namespace envy {
+
+class Mmu : public StatGroup
+{
+  public:
+    /**
+     * @param table     the backing page table
+     * @param tlb_size  cached mappings (power of two, direct mapped)
+     */
+    Mmu(PageTable &table, std::uint32_t tlb_size = 1024,
+        StatGroup *parent = nullptr);
+
+    /** Translate through the TLB, falling back to the page table. */
+    PageTable::Location lookup(LogicalPageId page);
+
+    /** Write-through update used by COW, flush and the cleaner. */
+    void mapToFlash(LogicalPageId page, FlashPageAddr addr);
+    void mapToSram(LogicalPageId page, std::uint32_t slot);
+
+    /** Drop every cached mapping (recovery does this). */
+    void flushTlb();
+
+    PageTable &table() { return table_; }
+
+    Counter statHits;
+    Counter statMisses;
+
+  private:
+    struct TlbEntry
+    {
+        LogicalPageId page; //!< invalid id marks an empty way
+        PageTable::Location loc;
+    };
+
+    std::uint32_t indexOf(LogicalPageId page) const
+    {
+        return static_cast<std::uint32_t>(page.value()) & mask_;
+    }
+
+    PageTable &table_;
+    std::uint32_t mask_;
+    std::vector<TlbEntry> tlb_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_MMU_HH

@@ -1,0 +1,79 @@
+#include "envy/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+PageTable::PageTable(SramArray &sram, Addr base, std::uint64_t entries)
+    : sram_(sram), base_(base), entries_(entries)
+{
+    ENVY_ASSERT(base + bytesNeeded(entries) <= sram.size(),
+                "page table does not fit in SRAM");
+    for (std::uint64_t p = 0; p < entries_; ++p)
+        sram_.writeUint(base_ + p * entryBytes, rawUnmapped, entryBytes);
+}
+
+void
+PageTable::checkPage(LogicalPageId page) const
+{
+    ENVY_ASSERT(page.valid() && page.value() < entries_,
+                "logical page out of range: ", page.value());
+}
+
+PageTable::Location
+PageTable::lookup(LogicalPageId page) const
+{
+    checkPage(page);
+    const std::uint64_t raw = sram_.readUint(entryAddr(page), entryBytes);
+    Location loc;
+    if (raw == rawUnmapped) {
+        loc.kind = LocKind::Unmapped;
+    } else if (raw & sramFlag) {
+        loc.kind = LocKind::Sram;
+        loc.sramSlot = static_cast<std::uint32_t>(raw);
+    } else {
+        loc.kind = LocKind::Flash;
+        loc.flash.segment = SegmentId((raw >> 32) & 0x7FFF);
+        loc.flash.slot = static_cast<std::uint32_t>(raw);
+    }
+    return loc;
+}
+
+void
+PageTable::mapToFlash(LogicalPageId page, FlashPageAddr addr)
+{
+    checkPage(page);
+    ENVY_ASSERT(addr.segment.valid() && addr.segment.value() < 0x7FFF,
+                "segment id does not fit the 6-byte entry");
+    const std::uint64_t raw =
+        (addr.segment.value() << 32) | addr.slot;
+    sram_.writeUint(entryAddr(page), raw, entryBytes);
+}
+
+void
+PageTable::mapToSram(LogicalPageId page, std::uint32_t slot)
+{
+    checkPage(page);
+    sram_.writeUint(entryAddr(page), sramFlag | slot, entryBytes);
+}
+
+void
+PageTable::unmap(LogicalPageId page)
+{
+    checkPage(page);
+    sram_.writeUint(entryAddr(page), rawUnmapped, entryBytes);
+}
+
+std::uint64_t
+PageTable::countMapped() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t p = 0; p < entries_; ++p) {
+        if (sram_.readUint(base_ + p * entryBytes, entryBytes) !=
+            rawUnmapped)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace envy

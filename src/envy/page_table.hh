@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The logical-to-physical page table (paper §3.3).
+ *
+ * The table maps each 256-byte logical page to either a flash location
+ * (segment, slot) or a write-buffer slot in SRAM.  Mappings change in
+ * place on every copy-on-write, so the table itself must live in
+ * battery-backed SRAM — flash cannot hold it.  Entries are packed into
+ * 6 bytes, the figure the paper uses for its cost analysis (24 MB of
+ * SRAM per GB of flash).
+ *
+ * Entry layout (48 bits, little-endian in SRAM):
+ *   all-ones                  unmapped
+ *   bit 47 = 1                SRAM:  bits [31:0]  buffer slot
+ *   bit 47 = 0                flash: bits [46:32] segment,
+ *                                    bits [31:0]  slot
+ */
+
+#ifndef ENVY_ENVY_PAGE_TABLE_HH
+#define ENVY_ENVY_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sram/sram_array.hh"
+
+namespace envy {
+
+class PageTable
+{
+  public:
+    enum class LocKind : std::uint8_t { Unmapped, Flash, Sram };
+
+    struct Location
+    {
+        LocKind kind = LocKind::Unmapped;
+        FlashPageAddr flash;     //!< valid when kind == Flash
+        std::uint32_t sramSlot = 0; //!< valid when kind == Sram
+
+        bool mapped() const { return kind != LocKind::Unmapped; }
+    };
+
+    static constexpr unsigned entryBytes = 6;
+
+    /**
+     * @param sram     backing battery-backed SRAM
+     * @param base     byte offset of the table inside @p sram
+     * @param entries  number of logical pages
+     */
+    PageTable(SramArray &sram, Addr base, std::uint64_t entries);
+
+    static std::uint64_t
+    bytesNeeded(std::uint64_t entries)
+    {
+        return entries * entryBytes;
+    }
+
+    std::uint64_t entries() const { return entries_; }
+
+    Location lookup(LogicalPageId page) const;
+    void mapToFlash(LogicalPageId page, FlashPageAddr addr);
+    void mapToSram(LogicalPageId page, std::uint32_t slot);
+    void unmap(LogicalPageId page);
+
+    /** Count of mapped entries (linear scan; for tests/recovery). */
+    std::uint64_t countMapped() const;
+
+  private:
+    static constexpr std::uint64_t rawUnmapped = 0xFFFFFFFFFFFFull;
+    static constexpr std::uint64_t sramFlag = 1ull << 47;
+
+    Addr entryAddr(LogicalPageId page) const
+    {
+        return base_ + page.value() * entryBytes;
+    }
+
+    void checkPage(LogicalPageId page) const;
+
+    SramArray &sram_;
+    Addr base_;
+    std::uint64_t entries_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_PAGE_TABLE_HH

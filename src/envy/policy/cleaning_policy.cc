@@ -1,0 +1,50 @@
+#include "envy/policy/cleaning_policy.hh"
+
+#include "common/logging.hh"
+#include "envy/policy/fifo.hh"
+#include "envy/policy/greedy.hh"
+#include "envy/policy/hybrid.hh"
+#include "envy/policy/locality_gathering.hh"
+
+namespace envy {
+
+void
+CleaningPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
+{
+    (void)space;
+    (void)cleaner;
+}
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Greedy:
+        return "greedy";
+      case PolicyKind::Fifo:
+        return "fifo";
+      case PolicyKind::LocalityGathering:
+        return "locality-gathering";
+      case PolicyKind::Hybrid:
+        return "hybrid";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<CleaningPolicy>
+makePolicy(PolicyKind kind, std::uint32_t partition_size)
+{
+    switch (kind) {
+      case PolicyKind::Greedy:
+        return std::make_unique<GreedyPolicy>();
+      case PolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case PolicyKind::LocalityGathering:
+        return std::make_unique<LocalityGatheringPolicy>();
+      case PolicyKind::Hybrid:
+        return std::make_unique<HybridPolicy>(partition_size);
+    }
+    ENVY_PANIC("unknown policy kind");
+}
+
+} // namespace envy

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Interface of the cleaning policies studied in paper §4.
+ *
+ * A policy answers three questions: *where* to write a page being
+ * flushed from the write buffer, *which* segment to clean when that
+ * destination has no room, and *how* to redistribute data while a
+ * segment is being cleaned.  The mechanics of cleaning (copying live
+ * pages to the reserved erased segment, updating the page table,
+ * erasing — Fig 5) are shared and live in Cleaner.
+ *
+ * Policies reason in terms of *logical* segment numbers.  A logical
+ * segment keeps its identity when the cleaner relocates its contents
+ * into the reserved physical segment; the ordering of logical segments
+ * is what locality gathering uses to migrate hot data toward segment 0
+ * (§4.3).
+ */
+
+#ifndef ENVY_ENVY_POLICY_CLEANING_POLICY_HH
+#define ENVY_ENVY_POLICY_CLEANING_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace envy {
+
+class SegmentSpace;
+class Cleaner;
+
+class CleaningPolicy
+{
+  public:
+    virtual ~CleaningPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Wire the policy to a space; called once before any flush. */
+    virtual void attach(SegmentSpace &space, Cleaner &cleaner);
+
+    /**
+     * Pick (and make room in) the logical segment that should receive
+     * a page being flushed from the write buffer.  On return the
+     * segment has at least one free slot; the policy triggers cleaning
+     * through its Cleaner as needed.
+     *
+     * @param origin_tag  the tag recorded when the page entered the
+     *                    buffer (see originTag()).
+     */
+    virtual std::uint32_t flushDestination(std::uint64_t origin_tag) = 0;
+
+    /**
+     * Redistribution hook: while logical segment @p seg is being
+     * cleaned, the @p idx-th of its @p total live pages (in slot
+     * order, i.e. coldest first) may be diverted to another logical
+     * segment.  Return @p seg to keep the page.
+     */
+    virtual std::uint32_t
+    divert(std::uint32_t seg, std::uint64_t idx, std::uint64_t total)
+    {
+        (void)idx;
+        (void)total;
+        return seg;
+    }
+
+    /** Called after a clean of @p seg completes (for pull-style
+     *  redistribution and bookkeeping). */
+    virtual void onCleaned(std::uint32_t seg) { (void)seg; }
+
+    /**
+     * Tag to record when a page whose old copy lived in logical
+     * segment @p seg enters the write buffer.  Locality gathering
+     * flushes a page back to its origin segment; hybrid back to its
+     * origin partition (both encode the segment and derive the
+     * partition later); greedy/FIFO ignore the tag.
+     */
+    virtual std::uint64_t originTag(std::uint32_t seg) const
+    {
+        return seg;
+    }
+
+    /** Origin tag for a page that never lived in flash. */
+    virtual std::uint64_t defaultOrigin(LogicalPageId page) const = 0;
+};
+
+/** Policy selector used by configuration code. */
+enum class PolicyKind { Greedy, Fifo, LocalityGathering, Hybrid };
+
+const char *policyKindName(PolicyKind kind);
+
+/**
+ * Build a policy.  @p partition_size only matters for Hybrid (the
+ * paper's tuned value is 16 segments per partition, §4.4).
+ */
+std::unique_ptr<CleaningPolicy> makePolicy(PolicyKind kind,
+                                           std::uint32_t partition_size);
+
+} // namespace envy
+
+#endif // ENVY_ENVY_POLICY_CLEANING_POLICY_HH

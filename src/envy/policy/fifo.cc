@@ -1,0 +1,22 @@
+#include "envy/policy/fifo.hh"
+
+#include "envy/segment_space.hh"
+
+namespace envy {
+
+void
+FifoPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
+{
+    GreedyPolicy::attach(space, cleaner);
+    next_ = 0;
+}
+
+std::uint32_t
+FifoPolicy::pickVictim()
+{
+    const std::uint32_t victim = next_;
+    next_ = (next_ + 1) % space_->numLogical();
+    return victim;
+}
+
+} // namespace envy

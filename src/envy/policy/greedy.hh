@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Greedy cleaning policy (paper §4.2).
+ *
+ * All flushes go to a single active segment.  When it fills, the
+ * segment with the most invalidated space is cleaned and becomes the
+ * new active segment.  Unlike Sprite LFS's greedy variant there is no
+ * age sorting and only one segment is cleaned at a time (§4.1 explains
+ * why: eNVy's segments are few and enormous).
+ *
+ * Under uniform access the policy degenerates to FIFO cleaning order
+ * and performs well; with high locality every segment converges to the
+ * same hot/cold mixture and the cost climbs (Fig 8).
+ */
+
+#ifndef ENVY_ENVY_POLICY_GREEDY_HH
+#define ENVY_ENVY_POLICY_GREEDY_HH
+
+#include "envy/policy/cleaning_policy.hh"
+
+namespace envy {
+
+class GreedyPolicy : public CleaningPolicy
+{
+  public:
+    const char *name() const override { return "greedy"; }
+
+    void attach(SegmentSpace &space, Cleaner &cleaner) override;
+    std::uint32_t flushDestination(std::uint64_t origin_tag) override;
+    std::uint64_t defaultOrigin(LogicalPageId page) const override;
+
+  protected:
+    /** Pick the next victim; greedy takes the most-invalidated. */
+    virtual std::uint32_t pickVictim();
+
+    SegmentSpace *space_ = nullptr;
+    Cleaner *cleaner_ = nullptr;
+    std::uint32_t active_ = 0;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_POLICY_GREEDY_HH

@@ -1,0 +1,310 @@
+#include "envy/policy/hybrid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "envy/cleaner.hh"
+#include "envy/segment_space.hh"
+
+namespace envy {
+
+HybridPolicy::HybridPolicy(std::uint32_t partition_size)
+    : partitionSize_(partition_size)
+{
+    ENVY_ASSERT(partition_size > 0, "partition size must be positive");
+}
+
+void
+HybridPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
+{
+    space_ = &space;
+    cleaner_ = &cleaner;
+    partitionSize_ = std::min(partitionSize_, space.numLogical());
+    numPartitions_ =
+        (space.numLogical() + partitionSize_ - 1) / partitionSize_;
+
+    active_.assign(numPartitions_, 0);
+    fifoNext_.assign(numPartitions_, 0);
+    writes_.assign(numPartitions_, 1.0); // uniform prior
+    sinceDecay_ = 0;
+    decayPeriod_ = std::max<std::uint64_t>(
+        4096, space.numLogical() * space.segmentCapacity() / 4);
+
+    for (std::uint32_t p = 0; p < numPartitions_; ++p)
+        active_[p] = firstSeg(p);
+}
+
+std::uint32_t
+HybridPolicy::segsIn(std::uint32_t part) const
+{
+    const std::uint32_t first = firstSeg(part);
+    return std::min(partitionSize_, space_->numLogical() - first);
+}
+
+std::uint64_t
+HybridPolicy::partitionLive(std::uint32_t part) const
+{
+    std::uint64_t live = 0;
+    for (std::uint32_t i = 0; i < segsIn(part); ++i)
+        live += space_->liveCount(firstSeg(part) + i);
+    return live;
+}
+
+std::uint64_t
+HybridPolicy::partitionCapacity(std::uint32_t part) const
+{
+    return std::uint64_t(segsIn(part)) * space_->segmentCapacity();
+}
+
+std::uint64_t
+HybridPolicy::partitionFree(std::uint32_t part) const
+{
+    std::uint64_t room = 0;
+    for (std::uint32_t i = 0; i < segsIn(part); ++i)
+        room += space_->freeSlots(firstSeg(part) + i);
+    return room;
+}
+
+std::uint32_t
+HybridPolicy::divertTarget(std::uint32_t part) const
+{
+    if (space_->freeSlots(active_[part]) > 0)
+        return active_[part];
+    for (std::uint32_t i = 0; i < segsIn(part); ++i) {
+        const std::uint32_t seg = firstSeg(part) + i;
+        if (space_->freeSlots(seg) > 0)
+            return seg;
+    }
+    return active_[part]; // full; the cleaner will keep the page
+}
+
+std::uint32_t
+HybridPolicy::flushDestination(std::uint64_t origin_tag)
+{
+    const auto origin = static_cast<std::uint32_t>(origin_tag);
+    ENVY_ASSERT(origin < space_->numLogical(), "bad origin tag");
+    const std::uint32_t part = partitionOf(origin);
+
+    writes_[part] += 1.0;
+    if (++sinceDecay_ >= decayPeriod_) {
+        for (double &w : writes_)
+            w *= 0.5;
+        sinceDecay_ = 0;
+    }
+
+    if (space_->freeSlots(active_[part]) > 0)
+        return active_[part];
+
+    // A not-yet-filled segment in the partition (fresh array) is
+    // cheaper than cleaning.
+    for (std::uint32_t i = 0; i < segsIn(part); ++i) {
+        const std::uint32_t seg = firstSeg(part) + i;
+        if (space_->freeSlots(seg) > 0) {
+            active_[part] = seg;
+            return seg;
+        }
+    }
+
+    const std::uint32_t victim = cleanNext(part);
+    active_[part] = victim;
+    if (space_->freeSlots(victim) == 0) {
+        // The forced shed may have parked the room elsewhere in the
+        // partition; find it.
+        for (std::uint32_t i = 0; i < segsIn(part); ++i) {
+            const std::uint32_t seg = firstSeg(part) + i;
+            if (space_->freeSlots(seg) > 0) {
+                active_[part] = seg;
+                return seg;
+            }
+        }
+        ENVY_PANIC("clean of segment ", victim,
+                   " left partition ", part, " with no room");
+    }
+    return victim;
+}
+
+std::uint32_t
+HybridPolicy::cleanNext(std::uint32_t part)
+{
+    const std::uint32_t victim =
+        firstSeg(part) + fifoNext_[part] % segsIn(part);
+    fifoNext_[part] = (fifoNext_[part] + 1) % segsIn(part);
+    planRedistribution(part, victim);
+    cleaner_->clean(victim, this);
+    return victim;
+}
+
+double
+HybridPolicy::targetLive(std::uint32_t part) const
+{
+    // Same sqrt(write-rate) free-space allocation as locality
+    // gathering (see locality_gathering.cc), at partition
+    // granularity.
+    double sum_sqrt = 0.0;
+    for (std::uint32_t p = 0; p < numPartitions_; ++p)
+        sum_sqrt += std::sqrt(writes_[p]) * segsIn(p);
+
+    double total_live = 0.0, total_pages = 0.0;
+    for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+        total_live += static_cast<double>(partitionLive(p));
+        total_pages += static_cast<double>(partitionCapacity(p));
+    }
+    const double total_free = total_pages - total_live;
+
+    const double cap = static_cast<double>(partitionCapacity(part));
+    const double share =
+        std::sqrt(writes_[part]) * segsIn(part) / sum_sqrt;
+    const double want_free = std::min(total_free * share, cap * 0.9);
+    return std::max(cap - want_free, 0.0);
+}
+
+void
+HybridPolicy::planRedistribution(std::uint32_t part,
+                                 std::uint32_t victim)
+{
+    const double seg_cap =
+        static_cast<double>(space_->segmentCapacity());
+    const double victim_live =
+        static_cast<double>(space_->liveCount(victim));
+    const double live = static_cast<double>(partitionLive(part));
+
+    planVictim_ = victim;
+    planPart_ = part;
+    shedCold_ = shedHot_ = pullCold_ = pullHot_ = 0;
+    shedColdPart_ = shedHotPart_ = part;
+
+    const double max_shift = seg_cap * maxShiftFraction;
+    double delta = std::clamp(live - targetLive(part), -max_shift,
+                              max_shift);
+
+    // The cleaned segment becomes the partition's active segment: it
+    // must come out of the clean with room for flush traffic.
+    const double min_free = std::max(seg_cap / 64.0, 4.0);
+    const double other_free =
+        static_cast<double>(partitionFree(part)) -
+        (seg_cap - victim_live);
+    const double forced = victim_live - (seg_cap - min_free) -
+                          std::max(other_free, 0.0);
+    const double dead_band = std::max(seg_cap / 64.0, 4.0);
+    if (std::abs(delta) < dead_band && forced <= 0.0)
+        return;
+    delta = std::max(delta, forced);
+
+    // Direction of the deficit/surplus relative to the allocator's
+    // targets (see locality_gathering.cc for why 50/50 circulates).
+    double below_need = 0.0, above_need = 0.0;
+    double below_surplus = 0.0, above_surplus = 0.0;
+    for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+        if (p == part)
+            continue;
+        const double gap =
+            targetLive(p) - static_cast<double>(partitionLive(p));
+        if (gap > 0.0)
+            (p < part ? below_need : above_need) += gap;
+        else
+            (p < part ? below_surplus : above_surplus) -= gap;
+    }
+
+    if (delta > 0.0) {
+        auto shed = static_cast<std::uint64_t>(delta);
+        shed = std::min<std::uint64_t>(
+            shed, static_cast<std::uint64_t>(victim_live));
+        const double need = below_need + above_need;
+        shedHot_ = need > 0.0
+                       ? static_cast<std::uint64_t>(
+                             shed * (below_need / need))
+                       : shed / 2;
+        shedCold_ = shed - shedHot_;
+        shedHotPart_ = findPartitionRoom(part, -1);
+        shedColdPart_ = findPartitionRoom(part, +1);
+        if (shedHotPart_ == part) {
+            shedCold_ += shedHot_;
+            shedHot_ = 0;
+        }
+        if (shedColdPart_ == part) {
+            if (shedHotPart_ != part)
+                shedHot_ += shedCold_;
+            shedCold_ = 0;
+        }
+        if (shedHotPart_ != part)
+            shedHot_ = std::min(
+                shedHot_, partitionFree(shedHotPart_) - 1);
+        if (shedColdPart_ != part)
+            shedCold_ = std::min(
+                shedCold_, partitionFree(shedColdPart_) - 1);
+    } else {
+        auto pull = static_cast<std::uint64_t>(-delta);
+        const double surplus = below_surplus + above_surplus;
+        pullCold_ = surplus > 0.0
+                        ? static_cast<std::uint64_t>(
+                              pull * (below_surplus / surplus))
+                        : pull / 2;
+        pullHot_ = pull - pullCold_;
+        if (part == 0)
+            pullCold_ = 0;
+        if (part + 1 >= numPartitions_)
+            pullHot_ = 0;
+    }
+}
+
+std::uint32_t
+HybridPolicy::findPartitionRoom(std::uint32_t part, int dir) const
+{
+    std::int64_t p = std::int64_t(part) + dir;
+    while (p >= 0 && p < std::int64_t(numPartitions_)) {
+        if (partitionFree(static_cast<std::uint32_t>(p)) > 1)
+            return static_cast<std::uint32_t>(p);
+        p += dir;
+    }
+    return part;
+}
+
+std::uint32_t
+HybridPolicy::divert(std::uint32_t seg, std::uint64_t idx,
+                     std::uint64_t total)
+{
+    if (seg != planVictim_)
+        return seg;
+    if (idx < shedCold_ && shedColdPart_ != planPart_)
+        return divertTarget(shedColdPart_);
+    if (shedHot_ > 0 && shedHotPart_ != planPart_ &&
+        idx >= total - std::min(shedHot_, total))
+        return divertTarget(shedHotPart_);
+    return seg;
+}
+
+void
+HybridPolicy::onCleaned(std::uint32_t seg)
+{
+    if (seg != planVictim_)
+        return;
+    const std::uint32_t part = planPart_;
+    const std::uint64_t room = space_->freeSlots(seg);
+    std::uint64_t budget = room > 1 ? room - 1 : 0;
+
+    // Pull from the neighbouring partitions' oldest (next-victim)
+    // segments in temperature-preserving directions.
+    if (pullHot_ > 0 && part + 1 < numPartitions_ && budget > 0) {
+        const std::uint32_t src = firstSeg(part + 1) +
+                                  fifoNext_[part + 1] %
+                                      segsIn(part + 1);
+        const std::uint64_t n = std::min(pullHot_, budget);
+        budget -= cleaner_->movePages(src, seg, true, n);
+    }
+    if (pullCold_ > 0 && part > 0 && budget > 0) {
+        const std::uint32_t src =
+            firstSeg(part - 1) + fifoNext_[part - 1] % segsIn(part - 1);
+        const std::uint64_t n = std::min(pullCold_, budget);
+        cleaner_->movePages(src, seg, false, n);
+    }
+    shedCold_ = shedHot_ = pullCold_ = pullHot_ = 0;
+}
+
+std::uint64_t
+HybridPolicy::defaultOrigin(LogicalPageId page) const
+{
+    return page.value() % space_->numLogical();
+}
+
+} // namespace envy

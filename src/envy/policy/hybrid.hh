@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hybrid cleaning policy (paper §4.4) — the policy eNVy ships with.
+ *
+ * Adjacent logical segments are grouped into partitions (16 segments
+ * per partition is the paper's tuned value, Fig 9).  Between
+ * partitions the locality-gathering machinery runs: flushed pages
+ * return to their origin *partition* and free space is redistributed
+ * to equalise the product of cleaning frequency and cleaning cost.
+ * Within a partition segments are cleaned in plain FIFO order, which
+ * handles the near-uniform traffic inside a temperature band as well
+ * as greedy does while being trivial to implement in hardware.
+ */
+
+#ifndef ENVY_ENVY_POLICY_HYBRID_HH
+#define ENVY_ENVY_POLICY_HYBRID_HH
+
+#include <vector>
+
+#include "envy/policy/cleaning_policy.hh"
+
+namespace envy {
+
+class HybridPolicy : public CleaningPolicy
+{
+  public:
+    explicit HybridPolicy(std::uint32_t partition_size = 16);
+
+    const char *name() const override { return "hybrid"; }
+
+    void attach(SegmentSpace &space, Cleaner &cleaner) override;
+    std::uint32_t flushDestination(std::uint64_t origin_tag) override;
+    std::uint32_t divert(std::uint32_t seg, std::uint64_t idx,
+                         std::uint64_t total) override;
+    void onCleaned(std::uint32_t seg) override;
+    std::uint64_t defaultOrigin(LogicalPageId page) const override;
+
+    std::uint32_t partitionSize() const { return partitionSize_; }
+    std::uint32_t numPartitions() const { return numPartitions_; }
+    std::uint32_t partitionOf(std::uint32_t seg) const
+    {
+        return seg / partitionSize_;
+    }
+
+    /** Free-space allocator's live-page target (for tests). */
+    double targetLive(std::uint32_t part) const;
+
+  private:
+    static constexpr double maxShiftFraction = 0.25;
+
+    std::uint32_t firstSeg(std::uint32_t part) const
+    {
+        return part * partitionSize_;
+    }
+    std::uint32_t segsIn(std::uint32_t part) const;
+
+    /** Partition-aggregate live page count. */
+    std::uint64_t partitionLive(std::uint32_t part) const;
+    std::uint64_t partitionCapacity(std::uint32_t part) const;
+    std::uint64_t partitionFree(std::uint32_t part) const;
+
+    /** Segment in @p part with a free slot for diverted pages. */
+    std::uint32_t divertTarget(std::uint32_t part) const;
+
+    void planRedistribution(std::uint32_t part, std::uint32_t victim);
+    std::uint32_t cleanNext(std::uint32_t part);
+    std::uint32_t findPartitionRoom(std::uint32_t part, int dir) const;
+
+    std::uint32_t partitionSize_;
+    std::uint32_t numPartitions_ = 0;
+
+    SegmentSpace *space_ = nullptr;
+    Cleaner *cleaner_ = nullptr;
+
+    std::vector<std::uint32_t> active_;   //!< append segment per part
+    std::vector<std::uint32_t> fifoNext_; //!< victim rotation per part
+    std::vector<double> writes_; //!< decayed flush counts per part
+    std::uint64_t sinceDecay_ = 0;
+    std::uint64_t decayPeriod_ = 1 << 20;
+
+    // Plan for the clean in flight.
+    std::uint32_t planVictim_ = 0;
+    std::uint32_t planPart_ = 0;
+    std::uint64_t shedCold_ = 0;
+    std::uint64_t shedHot_ = 0;
+    std::uint32_t shedColdPart_ = 0;
+    std::uint32_t shedHotPart_ = 0;
+    std::uint64_t pullCold_ = 0;
+    std::uint64_t pullHot_ = 0;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_POLICY_HYBRID_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Locality-gathering cleaning policy (paper §4.3).
+ *
+ * Two cooperating mechanisms:
+ *
+ * 1. *Locality preservation*: a flushed page returns to the segment it
+ *    was copied out of (the write buffer records the origin), so
+ *    segments develop stable temperatures.  Within a segment the
+ *    cleaner preserves slot order and flushes append at the tail, so
+ *    pages near the tail are hotter than average.
+ *
+ * 2. *Free-space redistribution*: the policy aims for an equal product
+ *    of (cleaning frequency x cleaning cost) across segments — a
+ *    segment cleaned ten times more often should have a tenth the
+ *    cost.  On each clean the segment's product is compared with the
+ *    array average: if above, pages are shed (hot tail pages to the
+ *    lower-numbered neighbour, cold head pages to the higher-numbered
+ *    one — this is what gathers hot data near segment 0); if below,
+ *    pages are pulled from the neighbours in the same
+ *    temperature-preserving directions.
+ *
+ * Under uniform access the products are equal from the start, nothing
+ * moves, every segment sits at the array utilization and the cost is
+ * pinned at u/(1-u) — 4 at 80% (Fig 8's flat locality-gathering line).
+ */
+
+#ifndef ENVY_ENVY_POLICY_LOCALITY_GATHERING_HH
+#define ENVY_ENVY_POLICY_LOCALITY_GATHERING_HH
+
+#include <vector>
+
+#include "envy/policy/cleaning_policy.hh"
+
+namespace envy {
+
+class LocalityGatheringPolicy : public CleaningPolicy
+{
+  public:
+    const char *name() const override { return "locality-gathering"; }
+
+    void attach(SegmentSpace &space, Cleaner &cleaner) override;
+    std::uint32_t flushDestination(std::uint64_t origin_tag) override;
+    std::uint32_t divert(std::uint32_t seg, std::uint64_t idx,
+                         std::uint64_t total) override;
+    void onCleaned(std::uint32_t seg) override;
+    std::uint64_t defaultOrigin(LogicalPageId page) const override;
+
+    /** Decayed share of flush traffic into a segment (for tests). */
+    double writeShare(std::uint32_t seg) const;
+
+    /** Free-space allocator's live-page target (for tests). */
+    double targetLive(std::uint32_t seg) const;
+
+  private:
+    /** Fraction of a segment that may move per clean. */
+    static constexpr double maxShiftFraction = 0.25;
+
+    void planRedistribution(std::uint32_t seg);
+    std::uint32_t findRoom(std::uint32_t seg, int dir) const;
+    double cachedTarget(std::uint32_t seg, double sum_sqrt,
+                        double total_free) const;
+
+    SegmentSpace *space_ = nullptr;
+    Cleaner *cleaner_ = nullptr;
+
+    std::vector<double> writes_; //!< decayed flush counts per segment
+    std::uint64_t sinceDecay_ = 0;
+    std::uint64_t decayPeriod_ = 1 << 20;
+
+    // Plan for the clean currently in flight.
+    std::uint32_t planSeg_ = 0;
+    std::uint64_t shedCold_ = 0; //!< head pages -> shedColdDest_
+    std::uint64_t shedHot_ = 0;  //!< tail pages -> shedHotDest_
+    std::uint32_t shedColdDest_ = 0;
+    std::uint32_t shedHotDest_ = 0;
+    std::uint64_t pullCold_ = 0; //!< head of seg - 1 -> seg
+    std::uint64_t pullHot_ = 0;  //!< tail of seg + 1 -> seg
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_POLICY_LOCALITY_GATHERING_HH

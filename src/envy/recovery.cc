@@ -1,0 +1,106 @@
+#include "envy/recovery.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "envy/envy_store.hh"
+
+namespace envy {
+
+void
+Recovery::run(EnvyStore &store)
+{
+    SramArray &sram = *store.sram_;
+    FlashArray &flash = *store.flash_;
+    PageTable &pt = *store.pageTable_;
+    WriteBuffer &buffer = *store.buffer_;
+    SegmentSpace &space = *store.space_;
+    Mmu &mmu = *store.mmu_;
+    Cleaner &cleaner = *store.cleaner_;
+
+    // 1. Power failure: battery-backed SRAM survives; all in-core
+    // caches are now suspect.
+    sram.powerFail();
+    mmu.flushTlb();
+    space.recover();
+    buffer.recover();
+
+    // 2. Reclaim stale flash duplicates: a slot owned by logical page
+    // L is live only if the page table still points at it (the table
+    // swing is the commit point).
+    for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
+        const SegmentId seg{s};
+        std::vector<FlashPageAddr> stale;
+        flash.forEachLive(seg, [&](std::uint32_t slot,
+                                   LogicalPageId logical) {
+            const PageTable::Location loc = pt.lookup(logical);
+            const FlashPageAddr here{seg, slot};
+            if (loc.kind != PageTable::LocKind::Flash ||
+                !(loc.flash == here)) {
+                stale.push_back(here);
+            }
+        });
+        for (const FlashPageAddr &addr : stale)
+            flash.invalidatePage(addr);
+    }
+
+    // 3. Rebuild the write buffer, dropping orphan slots (a push whose
+    // page-table swing never happened).  Surviving entries keep their
+    // FIFO order; the page table is rewritten to the new slot indices.
+    struct Entry
+    {
+        LogicalPageId logical;
+        std::uint64_t origin;
+        std::vector<std::uint8_t> data;
+    };
+    std::vector<Entry> entries;
+    const std::uint32_t cap = buffer.capacity();
+    const std::uint32_t count = buffer.size();
+    const bool data_mode = flash.storesData();
+    const std::uint32_t tail_slot = count ? buffer.tail().slot : 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        // Oldest first: the slot layout is a ring.
+        const std::uint32_t slot = (tail_slot + i) % cap;
+        const LogicalPageId owner = buffer.slotOwner(slot);
+        if (!owner.valid())
+            continue; // hole left by a partial push
+        const PageTable::Location loc = pt.lookup(owner);
+        if (loc.kind != PageTable::LocKind::Sram ||
+            loc.sramSlot != slot)
+            continue; // orphan: table never swung to this slot
+        Entry e;
+        e.logical = owner;
+        e.origin = buffer.slotOrigin(slot);
+        if (data_mode) {
+            auto src = buffer.slotData(slot);
+            e.data.assign(src.begin(), src.end());
+        }
+        entries.push_back(std::move(e));
+    }
+    buffer.reset();
+    for (const Entry &e : entries) {
+        const std::uint32_t slot = buffer.push(e.logical, e.origin);
+        if (data_mode) {
+            auto dst = buffer.slotData(slot);
+            std::copy(e.data.begin(), e.data.end(), dst.begin());
+        }
+        mmu.mapToSram(e.logical, slot);
+    }
+
+    // 4. Finish an interrupted clean.
+    const SegmentSpace::CleanRecord rec = space.cleanRecord();
+    if (rec.inProgress) {
+        ENVY_ASSERT(space.physOf(rec.logical).value() == rec.victimPhys,
+                    "clean record does not match the segment map");
+        ENVY_ASSERT(space.reserve().value() == rec.destPhys,
+                    "clean record does not match the reserve");
+        ENVY_INFORM("recovery: resuming clean of logical segment ",
+                    rec.logical);
+        cleaner.resume(rec.logical);
+    }
+
+    // 5. Reset policy heuristics against the recovered reality.
+    store.controller_->policy().attach(space, cleaner);
+}
+
+} // namespace envy

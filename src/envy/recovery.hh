@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Crash recovery (paper §3.2–§3.4).
+ *
+ * eNVy survives power failure because every piece of state that
+ * matters is non-volatile: page data is in flash or in battery-backed
+ * SRAM, the page table is in battery-backed SRAM, and "the state of
+ * the cleaning process is kept in persistent memory so the controller
+ * can recover quickly after a failure" (§3.4).
+ *
+ * Recovery rebuilds the in-core mirrors from those domains, then
+ * repairs the two inconsistency windows the design allows:
+ *
+ *  - a page programmed into flash whose page-table swing never
+ *    happened (crash during a flush) leaves a stale duplicate that is
+ *    simply re-invalidated;
+ *  - a write-buffer slot populated whose page-table swing never
+ *    happened (crash during a copy-on-write) leaves an orphan slot
+ *    that is dropped while the buffer is rebuilt.
+ *
+ * Finally, an interrupted clean — recognisable from the persistent
+ * clean record — is resumed and committed.  In all cases the page
+ * table is the commit point: a logical page's data is whatever the
+ * table pointed at when power died, which is exactly the paper's
+ * "changes do not become visible until the page table is updated".
+ */
+
+#ifndef ENVY_ENVY_RECOVERY_HH
+#define ENVY_ENVY_RECOVERY_HH
+
+namespace envy {
+
+class EnvyStore;
+
+class Recovery
+{
+  public:
+    /** Simulate power failure on @p store and bring it back up. */
+    static void run(EnvyStore &store);
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_RECOVERY_HH

@@ -1,0 +1,188 @@
+#include "envy/segment_space.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base)
+    : flash_(flash),
+      sram_(sram),
+      base_(base),
+      numLogical_(flash.numSegments() - 1)
+{
+    ENVY_ASSERT(base + bytesNeeded(flash.numSegments()) <= sram.size(),
+                "segment space state does not fit in SRAM");
+
+    // Fresh system: logical segment L starts on physical segment L;
+    // the last physical segment is the erased reserve.
+    physOf_.resize(numLogical_);
+    logOf_.assign(flash.numSegments(), noLogical);
+    for (std::uint32_t l = 0; l < numLogical_; ++l) {
+        physOf_[l] = SegmentId(l);
+        logOf_[l] = l;
+    }
+    reserve_ = SegmentId(numLogical_);
+
+    cleanCount_.assign(numLogical_, 0);
+    lastCleanClock_.assign(numLogical_, 0);
+
+    persistAll();
+    clearCleanRecord();
+}
+
+std::uint64_t
+SegmentSpace::bytesNeeded(std::uint32_t num_segments)
+{
+    return headerBytes + std::uint64_t(num_segments) * 4;
+}
+
+SegmentId
+SegmentSpace::physOf(std::uint32_t logical) const
+{
+    ENVY_ASSERT(logical < numLogical_, "bad logical segment ", logical);
+    return physOf_[logical];
+}
+
+std::uint32_t
+SegmentSpace::logOf(SegmentId phys) const
+{
+    ENVY_ASSERT(phys.valid() && phys.value() < logOf_.size(),
+                "bad physical segment");
+    return logOf_[phys.value()];
+}
+
+std::uint64_t
+SegmentSpace::freeSlots(std::uint32_t logical) const
+{
+    return flash_.freeSlots(physOf(logical));
+}
+
+std::uint64_t
+SegmentSpace::liveCount(std::uint32_t logical) const
+{
+    return flash_.liveCount(physOf(logical));
+}
+
+std::uint64_t
+SegmentSpace::invalidCount(std::uint32_t logical) const
+{
+    return flash_.invalidCount(physOf(logical));
+}
+
+double
+SegmentSpace::utilization(std::uint32_t logical) const
+{
+    return flash_.utilization(physOf(logical));
+}
+
+void
+SegmentSpace::commitClean(std::uint32_t logical)
+{
+    ENVY_ASSERT(logical < numLogical_, "bad logical segment");
+    const SegmentId old = physOf_[logical];
+    const SegmentId fresh = reserve_;
+    physOf_[logical] = fresh;
+    logOf_[fresh.value()] = logical;
+    logOf_[old.value()] = noLogical;
+    reserve_ = old;
+    persistAll();
+}
+
+void
+SegmentSpace::rotateForWear(std::uint32_t a, std::uint32_t b)
+{
+    ENVY_ASSERT(a < numLogical_ && b < numLogical_ && a != b,
+                "bad wear rotation");
+    // Caller has already moved the data; here we only rewire names:
+    // a -> old reserve, b -> a's old home, b's old home -> reserve.
+    const SegmentId physA = physOf_[a];
+    const SegmentId physB = physOf_[b];
+    const SegmentId fresh = reserve_;
+
+    physOf_[a] = fresh;
+    logOf_[fresh.value()] = a;
+    physOf_[b] = physA;
+    logOf_[physA.value()] = b;
+    logOf_[physB.value()] = noLogical;
+    reserve_ = physB;
+    persistAll();
+}
+
+std::uint64_t
+SegmentSpace::cleanCount(std::uint32_t logical) const
+{
+    ENVY_ASSERT(logical < numLogical_, "bad logical segment");
+    return cleanCount_[logical];
+}
+
+std::uint64_t
+SegmentSpace::lastCleanClock(std::uint32_t logical) const
+{
+    ENVY_ASSERT(logical < numLogical_, "bad logical segment");
+    return lastCleanClock_[logical];
+}
+
+void
+SegmentSpace::noteClean(std::uint32_t logical)
+{
+    ENVY_ASSERT(logical < numLogical_, "bad logical segment");
+    ++cleanCount_[logical];
+    lastCleanClock_[logical] = flushClock_;
+}
+
+void
+SegmentSpace::beginCleanRecord(std::uint32_t logical, SegmentId victim,
+                               SegmentId dest)
+{
+    sram_.writeUint(base_ + 4, 1, 4);
+    sram_.writeUint(base_ + 8, logical, 4);
+    sram_.writeUint(base_ + 12, victim.value(), 4);
+    sram_.writeUint(base_ + 16, dest.value(), 4);
+}
+
+void
+SegmentSpace::clearCleanRecord()
+{
+    sram_.writeUint(base_ + 4, 0, 4);
+}
+
+SegmentSpace::CleanRecord
+SegmentSpace::cleanRecord() const
+{
+    CleanRecord r;
+    r.inProgress = sram_.readUint(base_ + 4, 4) != 0;
+    r.logical = static_cast<std::uint32_t>(sram_.readUint(base_ + 8, 4));
+    r.victimPhys = sram_.readUint(base_ + 12, 4);
+    r.destPhys = sram_.readUint(base_ + 16, 4);
+    return r;
+}
+
+void
+SegmentSpace::persistAll()
+{
+    sram_.writeUint(base_, reserve_.value(), 4);
+    for (std::uint32_t l = 0; l < numLogical_; ++l)
+        sram_.writeUint(physOfAddr(l), physOf_[l].value(), 4);
+}
+
+void
+SegmentSpace::recover()
+{
+    reserve_ = SegmentId(sram_.readUint(base_, 4));
+    ENVY_ASSERT(reserve_.value() < flash_.numSegments(),
+                "corrupt reserve pointer after power failure");
+    logOf_.assign(flash_.numSegments(), noLogical);
+    for (std::uint32_t l = 0; l < numLogical_; ++l) {
+        physOf_[l] = SegmentId(sram_.readUint(physOfAddr(l), 4));
+        ENVY_ASSERT(physOf_[l].value() < flash_.numSegments(),
+                    "corrupt physOf table after power failure");
+        logOf_[physOf_[l].value()] = l;
+    }
+    // Policy clocks restart: they are performance heuristics, not
+    // correctness state.
+    flushClock_ = 0;
+    cleanCount_.assign(numLogical_, 0);
+    lastCleanClock_.assign(numLogical_, 0);
+}
+
+} // namespace envy

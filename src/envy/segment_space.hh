@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Logical/physical segment identity, the erased reserve, and the
+ * per-segment clocks the cleaning policies feed on.
+ *
+ * eNVy always keeps one segment fully erased so a clean can start
+ * immediately (§3.4).  When logical segment L is cleaned, its live
+ * pages move into the reserve; the reserve becomes L's new physical
+ * home and L's old, now empty, physical segment becomes the new
+ * reserve.  The physOf table, the reserve pointer and the
+ * clean-in-progress record are persisted in battery-backed SRAM so the
+ * controller "can recover quickly after a failure" (§3.4).
+ */
+
+#ifndef ENVY_ENVY_SEGMENT_SPACE_HH
+#define ENVY_ENVY_SEGMENT_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "flash/flash_array.hh"
+#include "sram/sram_array.hh"
+
+namespace envy {
+
+class SegmentSpace
+{
+  public:
+    /**
+     * @param flash  the flash array (must be fully erased at start)
+     * @param sram   battery-backed SRAM for the persistent state
+     * @param base   byte offset of that state inside @p sram
+     */
+    SegmentSpace(FlashArray &flash, SramArray &sram, Addr base);
+
+    /** SRAM bytes needed for @p num_segments segments. */
+    static std::uint64_t bytesNeeded(std::uint32_t num_segments);
+
+    /** Data segments; one physical segment is always the reserve. */
+    std::uint32_t numLogical() const { return numLogical_; }
+
+    std::uint64_t segmentCapacity() const
+    {
+        return flash_.pagesPerSegment();
+    }
+
+    SegmentId physOf(std::uint32_t logical) const;
+    /** Logical owner of a physical segment; invalid for the reserve. */
+    std::uint32_t logOf(SegmentId phys) const;
+    SegmentId reserve() const { return reserve_; }
+    static constexpr std::uint32_t noLogical = 0xFFFFFFFFu;
+
+    // Convenience queries in logical-segment terms.
+    std::uint64_t freeSlots(std::uint32_t logical) const;
+    std::uint64_t liveCount(std::uint32_t logical) const;
+    std::uint64_t invalidCount(std::uint32_t logical) const;
+    double utilization(std::uint32_t logical) const;
+
+    /**
+     * Commit a completed clean: @p logical now lives in what was the
+     * reserve; its old physical segment becomes the reserve.
+     */
+    void commitClean(std::uint32_t logical);
+
+    /**
+     * Swap the physical homes of two logical segments through the
+     * reserve (wear-leveling, §4.3).  @p a lands on the old reserve,
+     * @p b on @p a's old home, and @p b's old home becomes reserve.
+     */
+    void rotateForWear(std::uint32_t a, std::uint32_t b);
+
+    // ---- policy clocks -------------------------------------------
+
+    /** Advances once per page flushed from the write buffer. */
+    std::uint64_t flushClock() const { return flushClock_; }
+    void noteFlush() { ++flushClock_; }
+
+    std::uint64_t cleanCount(std::uint32_t logical) const;
+    std::uint64_t lastCleanClock(std::uint32_t logical) const;
+    void noteClean(std::uint32_t logical);
+
+    // ---- crash recovery ------------------------------------------
+
+    struct CleanRecord
+    {
+        bool inProgress = false;
+        std::uint32_t logical = 0;
+        std::uint64_t victimPhys = 0;
+        std::uint64_t destPhys = 0;
+    };
+
+    /** Persist the record before the first page of a clean moves. */
+    void beginCleanRecord(std::uint32_t logical, SegmentId victim,
+                          SegmentId dest);
+    /** Clear the record once the clean has fully committed. */
+    void clearCleanRecord();
+    CleanRecord cleanRecord() const;
+
+    /** Rebuild in-core mirrors from SRAM after a power failure. */
+    void recover();
+
+    FlashArray &flash() { return flash_; }
+    const FlashArray &flash() const { return flash_; }
+
+  private:
+    // SRAM header layout: 0 reserve, 4 cleanInProgress, 8 cleanLogical,
+    // 12 victimPhys, 16 destPhys, 20 pad; physOf table follows.
+    static constexpr Addr headerBytes = 24;
+
+    Addr physOfAddr(std::uint32_t logical) const
+    {
+        return base_ + headerBytes + Addr(logical) * 4;
+    }
+
+    void persistAll();
+
+    FlashArray &flash_;
+    SramArray &sram_;
+    Addr base_;
+    std::uint32_t numLogical_;
+
+    // In-core mirrors (authoritative copies live in SRAM).
+    std::vector<SegmentId> physOf_;
+    std::vector<std::uint32_t> logOf_;
+    SegmentId reserve_;
+
+    // Policy clocks (reconstructed, not persisted: heuristics only).
+    std::uint64_t flushClock_ = 0;
+    std::vector<std::uint64_t> cleanCount_;
+    std::vector<std::uint64_t> lastCleanClock_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_SEGMENT_SPACE_HH

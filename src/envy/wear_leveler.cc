@@ -1,0 +1,122 @@
+#include "envy/wear_leveler.hh"
+
+#include "common/logging.hh"
+#include "envy/cleaner.hh"
+#include "envy/segment_space.hh"
+
+namespace envy {
+
+WearLeveler::WearLeveler(std::uint64_t threshold, StatGroup *parent)
+    : StatGroup("wearLeveler", parent),
+      statRotations(this, "rotations", "oldest/youngest data rotations"),
+      threshold_(threshold)
+{
+}
+
+std::uint64_t
+WearLeveler::spread(const SegmentSpace &space) const
+{
+    const FlashArray &flash = space.flash();
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
+        const std::uint64_t c = flash.eraseCycles(space.physOf(l));
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    return hi - lo;
+}
+
+bool
+WearLeveler::maybeRotate(SegmentSpace &space, Cleaner &cleaner)
+{
+    if (busy_)
+        return false;
+
+    FlashArray &flash = space.flash();
+    if (lastRotation_.size() < flash.numSegments())
+        lastRotation_.assign(flash.numSegments(), 0);
+
+    // The oldest *eligible* segment: one that has aged a further
+    // threshold since it last took part in a rotation (see header).
+    std::uint32_t oldest = 0, youngest = 0;
+    std::uint64_t lo = ~0ull, hi = 0;
+    bool have_oldest = false;
+    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
+        const SegmentId phys = space.physOf(l);
+        const std::uint64_t c = flash.eraseCycles(phys);
+        const bool eligible =
+            c >= lastRotation_[phys.value()] + threshold_;
+        if (eligible && (!have_oldest || c > hi)) {
+            hi = c;
+            oldest = l;
+            have_oldest = true;
+        }
+        if (c < lo) {
+            lo = c;
+            youngest = l;
+        }
+    }
+    if (!have_oldest || hi - lo <= threshold_ || oldest == youngest)
+        return false;
+
+    busy_ = true;
+    // Rotation through the reserve (see file comment in the header):
+    //   1. data of `oldest` (hot)  -> reserve
+    //   2. data of `youngest` (cold) -> oldest's worn home
+    //   3. youngest's old home becomes the new reserve
+    const SegmentId physOld = space.physOf(oldest);
+    const SegmentId physYoung = space.physOf(youngest);
+    const SegmentId fresh = space.reserve();
+
+    FlashArray &fa = space.flash();
+    auto moveAll = [&](SegmentId src, SegmentId dst) {
+        std::vector<std::pair<std::uint32_t, LogicalPageId>> live;
+        fa.forEachLive(src, [&](std::uint32_t slot, LogicalPageId p) {
+            live.emplace_back(slot, p);
+        });
+        std::vector<std::uint8_t> buf(
+            fa.storesData() ? fa.geom().pageSize : 0);
+        for (auto [slot, logical] : live) {
+            const FlashPageAddr s{src, slot};
+            if (fa.storesData())
+                fa.readPage(s, buf);
+            const FlashPageAddr d = fa.appendPage(dst, logical, buf);
+            cleaner.mmu().mapToFlash(logical, d);
+            fa.invalidatePage(s);
+            ++cleaner.statCleanerPrograms;
+        }
+        std::vector<std::uint32_t> shadows;
+        fa.forEachShadow(src, [&](std::uint32_t slot) {
+            shadows.push_back(slot);
+        });
+        for (const std::uint32_t slot : shadows) {
+            const FlashPageAddr s{src, slot};
+            if (fa.storesData())
+                fa.readPage(s, buf);
+            const FlashPageAddr d = fa.appendShadow(dst, buf);
+            fa.invalidatePage(s);
+            ++cleaner.statCleanerPrograms;
+            if (cleaner.shadowMoved)
+                cleaner.shadowMoved(s, d);
+        }
+    };
+
+    moveAll(physOld, fresh);
+    fa.eraseSegment(physOld);
+    moveAll(physYoung, physOld);
+    fa.eraseSegment(physYoung);
+    space.rotateForWear(oldest, youngest);
+
+    // Every participant waits out a full threshold of further wear
+    // before rotating again.
+    lastRotation_[physOld.value()] = fa.eraseCycles(physOld);
+    lastRotation_[physYoung.value()] = fa.eraseCycles(physYoung);
+    lastRotation_[fresh.value()] = fa.eraseCycles(fresh);
+
+    ++statRotations;
+    ++cleaner.statWearRotations;
+    busy_ = false;
+    return true;
+}
+
+} // namespace envy

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Even-wear enforcement (paper §4.3).
+ *
+ * Locality gathering deliberately cleans hot segments far more often
+ * than cold ones, so physical erase counts would diverge without
+ * intervention.  eNVy tracks program/erase cycles per segment and,
+ * "when the oldest segment gets over 100 cycles older than the
+ * youngest, a cleaning operation is initiated that swaps the data in
+ * the two areas."
+ *
+ * The swap is implemented as a rotation through the reserve: the hot
+ * logical segment (living on the most-worn physical segment) moves to
+ * the current reserve, the cold logical segment moves onto the worn
+ * physical segment, and the cold segment's old home becomes the new
+ * reserve.  Two segment copies instead of three, same wear effect.
+ */
+
+#ifndef ENVY_ENVY_WEAR_LEVELER_HH
+#define ENVY_ENVY_WEAR_LEVELER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace envy {
+
+class Cleaner;
+class SegmentSpace;
+
+class WearLeveler : public StatGroup
+{
+  public:
+    /**
+     * @param threshold  trigger when max-min erase-cycle spread
+     *                   exceeds this (paper: 100)
+     */
+    explicit WearLeveler(std::uint64_t threshold = 100,
+                         StatGroup *parent = nullptr);
+
+    std::uint64_t threshold() const { return threshold_; }
+
+    /**
+     * Called by the Cleaner after every erase.  If the wear spread
+     * exceeds the threshold, rotates the most- and least-worn data
+     * segments through the reserve.
+     *
+     * @return true if a rotation was performed.
+     */
+    bool maybeRotate(SegmentSpace &space, Cleaner &cleaner);
+
+    /** Current max-min spread of erase cycles over data segments. */
+    std::uint64_t spread(const SegmentSpace &space) const;
+
+    Counter statRotations;
+
+  private:
+    std::uint64_t threshold_;
+    bool busy_ = false; //!< rotation itself erases; avoid recursion
+    /**
+     * Cycle count of each physical segment at its last rotation.
+     * Parking cold data on a worn segment does not reduce its cycle
+     * count, so a plain spread comparison would re-fire on the same
+     * segment forever; a segment only becomes eligible again after
+     * aging a further threshold's worth of erases.
+     */
+    std::vector<std::uint64_t> lastRotation_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_WEAR_LEVELER_HH

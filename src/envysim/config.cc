@@ -1,0 +1,94 @@
+#include "envysim/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0)
+            ENVY_FATAL("expected key=value, got '", arg, "'");
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Options::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    used_[key] = true;
+    return it->second;
+}
+
+std::uint64_t
+Options::getUint(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    used_[key] = true;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    used_[key] = true;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Options::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    used_[key] = true;
+    return it->second == "1" || it->second == "true" ||
+           it->second == "yes";
+}
+
+PolicyKind
+Options::getPolicy(const std::string &key, PolicyKind def) const
+{
+    const std::string v = getString(key, "");
+    if (v.empty())
+        return def;
+    if (v == "greedy")
+        return PolicyKind::Greedy;
+    if (v == "fifo")
+        return PolicyKind::Fifo;
+    if (v == "locality-gathering" || v == "lg")
+        return PolicyKind::LocalityGathering;
+    if (v == "hybrid")
+        return PolicyKind::Hybrid;
+    ENVY_FATAL("unknown policy '", v,
+               "'; use greedy|fifo|lg|hybrid");
+}
+
+void
+Options::warnUnused() const
+{
+    for (const auto &[key, value] : values_) {
+        if (!used_.count(key))
+            ENVY_WARN("option '", key, "=", value, "' was not used");
+    }
+}
+
+} // namespace envy

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * key=value command-line option parsing for the examples and
+ * benchmark harnesses (e.g. `policy_explorer policy=hybrid
+ * locality=10/90 segments=128`).
+ */
+
+#ifndef ENVY_ENVYSIM_CONFIG_HH
+#define ENVY_ENVYSIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "envy/policy/cleaning_policy.hh"
+
+namespace envy {
+
+class Options
+{
+  public:
+    Options(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** greedy | fifo | locality-gathering (or lg) | hybrid. */
+    PolicyKind getPolicy(const std::string &key, PolicyKind def) const;
+
+    /** Keys that were provided but never read (typo detection). */
+    void warnUnused() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> used_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVYSIM_CONFIG_HH

@@ -1,0 +1,94 @@
+#include "envysim/experiment.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+ResultTable::ResultTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+ResultTable::setColumns(std::initializer_list<std::string> names)
+{
+    columns_.assign(names);
+}
+
+void
+ResultTable::addRow(std::initializer_list<std::string> cells)
+{
+    ENVY_ASSERT(cells.size() == columns_.size(),
+                "row width does not match the header");
+    rows_.emplace_back(cells);
+}
+
+void
+ResultTable::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+ResultTable::num(double v, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+ResultTable::integer(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+ResultTable::percent(double fraction, int digits)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits,
+                  fraction * 100.0);
+    return buf;
+}
+
+void
+ResultTable::print() const
+{
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        width[c] = columns_[c].size();
+        for (const auto &row : rows_)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::size_t total = columns_.empty() ? 0 : 2 * columns_.size() - 2;
+    for (auto w : width)
+        total += w;
+
+    std::cout << "\n== " << title_ << " ==\n";
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::printf("%-*s", static_cast<int>(width[c]),
+                        cells[c].c_str());
+            if (c + 1 < cells.size())
+                std::printf("  ");
+        }
+        std::printf("\n");
+    };
+    printRow(columns_);
+    std::cout << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        printRow(row);
+    for (const auto &n : notes_)
+        std::cout << "note: " << n << "\n";
+    std::cout.flush();
+}
+
+} // namespace envy

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small helpers shared by the benchmark harnesses: fixed-width table
+ * printing in the style of the paper's figures, and paper-vs-measured
+ * comparison rows for EXPERIMENTS.md.
+ */
+
+#ifndef ENVY_ENVYSIM_EXPERIMENT_HH
+#define ENVY_ENVYSIM_EXPERIMENT_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace envy {
+
+/** Console table with a banner, aligned columns and a footer note. */
+class ResultTable
+{
+  public:
+    explicit ResultTable(std::string title);
+
+    void setColumns(std::initializer_list<std::string> names);
+    void addRow(std::initializer_list<std::string> cells);
+    void addNote(std::string note);
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+    static std::string integer(std::uint64_t v);
+    static std::string percent(double fraction, int digits = 0);
+
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVYSIM_EXPERIMENT_HH

@@ -1,0 +1,56 @@
+#include "envysim/replay.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+ReplayResult
+replayTrace(EnvyStore &store, const Trace &trace)
+{
+    Controller &ctl = store.controller();
+    const std::uint64_t size = store.size();
+    ENVY_ASSERT(size > 0, "empty store");
+
+    const std::uint64_t cows0 = ctl.statCows.value();
+    const std::uint64_t hits0 = ctl.statBufferHits.value();
+    const std::uint64_t flushes0 =
+        store.writeBuffer().statFlushes.value();
+    const std::uint64_t cleans0 =
+        store.cleanerRef().statCleans.value();
+    const std::uint64_t programs0 =
+        store.cleanerRef().statCleanerPrograms.value();
+
+    ReplayResult r;
+    std::uint8_t buf[256];
+    for (const StorageAccess &a : trace) {
+        const std::uint16_t n = std::min<std::uint16_t>(
+            a.bytes, static_cast<std::uint16_t>(sizeof(buf)));
+        Addr addr = a.addr % size;
+        if (addr + n > size)
+            addr = size - n;
+        if (a.isWrite) {
+            std::fill_n(buf, n, static_cast<std::uint8_t>(a.addr));
+            ctl.write(addr, {buf, n});
+            ++r.writes;
+        } else {
+            ctl.read(addr, {buf, n});
+            ++r.reads;
+        }
+    }
+
+    r.cows = ctl.statCows.value() - cows0;
+    r.bufferHits = ctl.statBufferHits.value() - hits0;
+    r.flushes = store.writeBuffer().statFlushes.value() - flushes0;
+    r.cleans = store.cleanerRef().statCleans.value() - cleans0;
+    const std::uint64_t programs =
+        store.cleanerRef().statCleanerPrograms.value() - programs0;
+    r.cleaningCost =
+        r.flushes ? static_cast<double>(programs) /
+                        static_cast<double>(r.flushes)
+                  : 0.0;
+    return r;
+}
+
+} // namespace envy

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trace replay: drive a captured storage-access trace through an
+ * EnvyStore and report what the machinery did.  Useful for A/B
+ * comparisons between configurations (same byte stream, different
+ * policy/geometry) and for regression-testing against recorded
+ * workloads.
+ */
+
+#ifndef ENVY_ENVYSIM_REPLAY_HH
+#define ENVY_ENVYSIM_REPLAY_HH
+
+#include "envy/envy_store.hh"
+#include "workload/trace.hh"
+
+namespace envy {
+
+struct ReplayResult
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t cows = 0;
+    std::uint64_t bufferHits = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t cleans = 0;
+    double cleaningCost = 0.0;
+};
+
+/**
+ * Replay @p trace against @p store.  Accesses beyond the store's
+ * size are wrapped (so a trace captured on a larger system still
+ * exercises a smaller one).
+ */
+ReplayResult replayTrace(EnvyStore &store, const Trace &trace);
+
+} // namespace envy
+
+#endif // ENVY_ENVYSIM_REPLAY_HH

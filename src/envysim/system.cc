@@ -1,0 +1,72 @@
+#include "envysim/system.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+EnvyConfig
+paperConfig(double utilization, double scale)
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::paperSystem();
+    cfg.geom.targetUtilization = utilization;
+    if (scale < 1.0) {
+        // Shrink the segment count, never the segment size: the cost
+        // of an erase per recovered page is scale-invariant that way.
+        auto banks = static_cast<std::uint32_t>(
+            cfg.geom.numBanks * scale + 0.5);
+        cfg.geom.numBanks = std::max<std::uint32_t>(banks, 2);
+    }
+    cfg.storeData = false;
+    cfg.policy = PolicyKind::Hybrid;
+    cfg.partitionSize = 16;
+    cfg.placement = Controller::Placement::Aged;
+    cfg.agedStride = cfg.partitionSize;
+    cfg.autoDrain = false;
+    return cfg;
+}
+
+EnvyConfig
+tinyConfig()
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    cfg.storeData = true;
+    cfg.autoDrain = true;
+    return cfg;
+}
+
+TimedParams
+paperTimedParams(double request_rate, double utilization, double scale)
+{
+    TimedParams p;
+    p.envy = paperConfig(utilization, scale);
+    p.tpca = TpcaConfig::forStoreBytes(p.envy.geom.logicalBytes());
+    p.requestRate = request_rate;
+    if (scale >= 1.0) {
+        p.warmupSeconds = 60.0;
+        p.measureSeconds = 60.0;
+    } else {
+        p.warmupSeconds = 15.0;
+        p.measureSeconds = 15.0;
+    }
+    return p;
+}
+
+bool
+fullScaleRequested()
+{
+    const char *env = std::getenv("ENVY_SCALE");
+    return env && std::strcmp(env, "full") == 0;
+}
+
+double
+defaultScale()
+{
+    return fullScaleRequested() ? 1.0 : 0.25;
+}
+
+} // namespace envy

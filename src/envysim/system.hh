@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ready-made system configurations.
+ *
+ * paperSystem() is the Figure 12 machine: 2 GB of flash in 128
+ * segments of 16 MB, a 16 MB (one-segment) SRAM write buffer, the
+ * hybrid policy with 16-segment partitions, 80% utilization.  It runs
+ * metadata-only so the timing experiments do not need 2 GB of host
+ * memory.  Set `scale` below 1.0 to shrink the segment count for
+ * quick runs (segment *size* is preserved — erase time per recovered
+ * page is what shapes the throughput ceiling).
+ */
+
+#ifndef ENVY_ENVYSIM_SYSTEM_HH
+#define ENVY_ENVYSIM_SYSTEM_HH
+
+#include "envy/envy_store.hh"
+#include "envysim/timed_system.hh"
+
+namespace envy {
+
+/** The paper's simulated 2 GB system (Fig 12), metadata-only. */
+EnvyConfig paperConfig(double utilization = 0.8, double scale = 1.0);
+
+/** A small fully-functional store for examples and tests. */
+EnvyConfig tinyConfig();
+
+/** Timed-simulation parameters for the Fig 13-15 experiments. */
+TimedParams paperTimedParams(double request_rate,
+                             double utilization = 0.8,
+                             double scale = 1.0);
+
+/** True when ENVY_SCALE=full is set (paper-length runs). */
+bool fullScaleRequested();
+
+/** Scale factor honouring ENVY_SCALE (full -> 1.0, else quick). */
+double defaultScale();
+
+} // namespace envy
+
+#endif // ENVY_ENVYSIM_SYSTEM_HH

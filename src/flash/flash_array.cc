@@ -1,0 +1,253 @@
+#include "flash/flash_array.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
+                       bool store_data, StatGroup *parent)
+    : StatGroup("flash", parent),
+      statPagesProgrammed(this, "pagesProgrammed",
+                          "pages programmed into the array"),
+      statPagesInvalidated(this, "pagesInvalidated",
+                           "pages marked dead by copy-on-write/clean"),
+      statSegmentErases(this, "segmentErases",
+                        "whole-segment erase operations"),
+      statPageReads(this, "pageReads", "page reads via the wide path"),
+      geom_(geom),
+      timing_(timing),
+      storeData_(store_data)
+{
+    if (const char *problem = geom_.validate())
+        ENVY_FATAL("bad geometry: ", problem);
+
+    banks_.reserve(geom_.numBanks);
+    for (std::uint32_t b = 0; b < geom_.numBanks; ++b)
+        banks_.emplace_back(geom_.pageSize, geom_.blockBytes,
+                            geom_.blocksPerChip, timing_, store_data);
+
+    segments_.resize(geom_.numSegments());
+    for (auto &s : segments_)
+        s.owner.assign(geom_.pagesPerSegment(), ownerDead);
+}
+
+FlashArray::SegmentState &
+FlashArray::state(SegmentId seg)
+{
+    ENVY_ASSERT(seg.valid() && seg.value() < segments_.size(),
+                "bad segment id");
+    return segments_[seg.value()];
+}
+
+const FlashArray::SegmentState &
+FlashArray::state(SegmentId seg) const
+{
+    ENVY_ASSERT(seg.valid() && seg.value() < segments_.size(),
+                "bad segment id");
+    return segments_[seg.value()];
+}
+
+FlashPageAddr
+FlashArray::appendRaw(SegmentId seg, std::uint32_t owner,
+                      std::span<const std::uint8_t> data)
+{
+    SegmentState &s = state(seg);
+    ENVY_ASSERT(s.writePtr < geom_.pagesPerSegment(),
+                "append to a full segment ", seg.value());
+
+    const std::uint32_t slot = s.writePtr++;
+    s.owner[slot] = owner;
+    ++s.live;
+    ++totalLive_;
+    ++statPagesProgrammed;
+
+    if (storeData_) {
+        ENVY_ASSERT(data.size() >= geom_.pageSize,
+                    "page data missing in functional mode");
+        FlashBank &bank = banks_[geom_.bankOf(seg)];
+        bank.programPage(geom_.blockOf(seg), slot, data);
+        // The controller checks the status of all chips in parallel
+        // after every operation (paper section 5.1).  A program
+        // error here means a slot was reused without an erase -- a
+        // controller bug, not a device failure.
+        ENVY_ASSERT(bank.allProgrammedOk(),
+                    "program error in segment ", seg.value(),
+                    " slot ", slot);
+    }
+    return FlashPageAddr{seg, slot};
+}
+
+FlashPageAddr
+FlashArray::appendPage(SegmentId seg, LogicalPageId logical,
+                       std::span<const std::uint8_t> data)
+{
+    ENVY_ASSERT(logical.valid() && logical.value() < ownerShadow,
+                "bad logical page");
+    return appendRaw(seg,
+                     static_cast<std::uint32_t>(logical.value()),
+                     data);
+}
+
+FlashPageAddr
+FlashArray::appendShadow(SegmentId seg,
+                         std::span<const std::uint8_t> data)
+{
+    return appendRaw(seg, ownerShadow, data);
+}
+
+void
+FlashArray::invalidatePage(FlashPageAddr addr)
+{
+    SegmentState &s = state(addr.segment);
+    ENVY_ASSERT(addr.slot < s.writePtr, "invalidate of unwritten slot");
+    ENVY_ASSERT(s.owner[addr.slot] != ownerDead,
+                "double invalidate of segment ", addr.segment.value(),
+                " slot ", addr.slot);
+    s.owner[addr.slot] = ownerDead;
+    ENVY_ASSERT(s.live > 0, "live underflow");
+    --s.live;
+    --totalLive_;
+    ++statPagesInvalidated;
+}
+
+void
+FlashArray::readPage(FlashPageAddr addr, std::span<std::uint8_t> out)
+{
+    const SegmentState &s = state(addr.segment);
+    ENVY_ASSERT(addr.slot < s.writePtr, "read of unwritten slot");
+    ++statPageReads;
+    if (!storeData_)
+        return;
+    banks_[geom_.bankOf(addr.segment)].readPage(
+        geom_.blockOf(addr.segment), addr.slot, out);
+}
+
+LogicalPageId
+FlashArray::pageOwner(FlashPageAddr addr) const
+{
+    const SegmentState &s = state(addr.segment);
+    if (addr.slot >= s.writePtr || s.owner[addr.slot] >= ownerShadow)
+        return LogicalPageId::invalid();
+    return LogicalPageId(s.owner[addr.slot]);
+}
+
+void
+FlashArray::convertToShadow(FlashPageAddr addr)
+{
+    SegmentState &s = state(addr.segment);
+    ENVY_ASSERT(addr.slot < s.writePtr &&
+                    s.owner[addr.slot] < ownerShadow,
+                "only a live page can become a shadow");
+    s.owner[addr.slot] = ownerShadow;
+    // Still counted live: the cleaner must carry shadows along.
+}
+
+bool
+FlashArray::pageIsShadow(FlashPageAddr addr) const
+{
+    const SegmentState &s = state(addr.segment);
+    return addr.slot < s.writePtr &&
+           s.owner[addr.slot] == ownerShadow;
+}
+
+void
+FlashArray::forEachShadow(
+    SegmentId seg,
+    const std::function<void(std::uint32_t)> &fn) const
+{
+    const SegmentState &s = state(seg);
+    for (std::uint32_t slot = 0; slot < s.writePtr; ++slot) {
+        if (s.owner[slot] == ownerShadow)
+            fn(slot);
+    }
+}
+
+bool
+FlashArray::pageLive(FlashPageAddr addr) const
+{
+    return pageOwner(addr).valid();
+}
+
+std::uint64_t
+FlashArray::freeSlots(SegmentId seg) const
+{
+    return geom_.pagesPerSegment() - state(seg).writePtr;
+}
+
+std::uint64_t
+FlashArray::liveCount(SegmentId seg) const
+{
+    return state(seg).live;
+}
+
+std::uint64_t
+FlashArray::invalidCount(SegmentId seg) const
+{
+    const SegmentState &s = state(seg);
+    return s.writePtr - s.live;
+}
+
+std::uint64_t
+FlashArray::usedSlots(SegmentId seg) const
+{
+    return state(seg).writePtr;
+}
+
+double
+FlashArray::utilization(SegmentId seg) const
+{
+    return static_cast<double>(state(seg).live) /
+           static_cast<double>(geom_.pagesPerSegment());
+}
+
+std::uint64_t
+FlashArray::eraseCycles(SegmentId seg) const
+{
+    return state(seg).eraseCycles;
+}
+
+Tick
+FlashArray::eraseSegment(SegmentId seg)
+{
+    SegmentState &s = state(seg);
+    ENVY_ASSERT(s.live == 0, "erasing segment ", seg.value(),
+                " with ", s.live, " live pages");
+    std::fill(s.owner.begin(), s.owner.begin() + s.writePtr, ownerDead);
+    s.writePtr = 0;
+    ++s.eraseCycles;
+    ++statSegmentErases;
+    return banks_[geom_.bankOf(seg)].eraseSegment(geom_.blockOf(seg));
+}
+
+void
+FlashArray::forEachLive(
+    SegmentId seg,
+    const std::function<void(std::uint32_t, LogicalPageId)> &fn) const
+{
+    const SegmentState &s = state(seg);
+    for (std::uint32_t slot = 0; slot < s.writePtr; ++slot) {
+        if (s.owner[slot] < ownerShadow)
+            fn(slot, LogicalPageId(s.owner[slot]));
+    }
+}
+
+void
+FlashArray::restoreWear(SegmentId seg, std::uint64_t cycles)
+{
+    state(seg).eraseCycles = cycles;
+    FlashBank &bank = banks_[geom_.bankOf(seg)];
+    for (std::uint32_t c = 0; c < geom_.pageSize; ++c)
+        bank.chip(c).restoreCycles(geom_.blockOf(seg), cycles);
+}
+
+bool
+FlashArray::outOfSpec() const
+{
+    for (const auto &b : banks_) {
+        if (b.outOfSpec())
+            return true;
+    }
+    return false;
+}
+
+} // namespace envy

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The whole Flash array: banks, segments and per-page bookkeeping.
+ *
+ * The array is append-only within a segment: slots [0, writePtr) of a
+ * segment hold data (valid or invalidated), the rest are erased and
+ * writable.  This matches the paper's cleaning mechanics (Fig 5):
+ * cleaning copies the live pages of a victim, in order, to the head of
+ * an empty segment, and new flushes append behind them.
+ *
+ * Each physical page slot records the logical page that owns it (the
+ * reverse mapping the cleaner needs to update the page table when it
+ * relocates data).  Actual cell contents live in the chips and are
+ * optional: metadata-only mode lets the 2 GB-geometry experiments run
+ * without 2 GB of host RAM while exercising identical state machines.
+ */
+
+#ifndef ENVY_FLASH_FLASH_ARRAY_HH
+#define ENVY_FLASH_FLASH_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/types.hh"
+#include "flash/flash_bank.hh"
+#include "sim/stats.hh"
+
+namespace envy {
+
+class FlashArray : public StatGroup
+{
+  public:
+    FlashArray(const Geometry &geom, const FlashTiming &timing,
+               bool store_data, StatGroup *parent = nullptr);
+
+    const Geometry &geom() const { return geom_; }
+    const FlashTiming &timing() const { return timing_; }
+    bool storesData() const { return storeData_; }
+
+    std::uint32_t numSegments() const { return geom_.numSegments(); }
+    std::uint64_t pagesPerSegment() const
+    {
+        return geom_.pagesPerSegment();
+    }
+
+    // ---- page-level operations ----------------------------------
+
+    /**
+     * Program the next free slot of @p seg with @p logical's data.
+     * @p data may be empty in metadata-only mode.
+     *
+     * @return address of the slot that was written.
+     */
+    FlashPageAddr appendPage(SegmentId seg, LogicalPageId logical,
+                             std::span<const std::uint8_t> data = {});
+
+    /** Mark a previously valid slot dead (copy-on-write, Fig 3). */
+    void invalidatePage(FlashPageAddr addr);
+
+    // ---- shadow pages (§6 atomic-transaction extension) ----------
+    //
+    // A shadow is a superseded page copy that must survive cleaning
+    // so a transaction can roll back to it.  Shadows count as live
+    // (they occupy space and the cleaner must relocate them) but have
+    // no logical owner.
+
+    /** Turn a live slot into a shadow (copy-on-write under a txn). */
+    void convertToShadow(FlashPageAddr addr);
+
+    /** Program a relocated shadow into the next free slot of @p seg. */
+    FlashPageAddr appendShadow(SegmentId seg,
+                               std::span<const std::uint8_t> data = {});
+
+    /** True if the slot holds a pinned shadow copy. */
+    bool pageIsShadow(FlashPageAddr addr) const;
+
+    /** Visit the shadow slots of a segment in slot order. */
+    void forEachShadow(
+        SegmentId seg,
+        const std::function<void(std::uint32_t slot)> &fn) const;
+
+    /** Read a page through the wide path (functional mode). */
+    void readPage(FlashPageAddr addr, std::span<std::uint8_t> out);
+
+    /** Owner of a slot; invalid id if the slot is dead or erased. */
+    LogicalPageId pageOwner(FlashPageAddr addr) const;
+
+    /** True if the slot holds live data. */
+    bool pageLive(FlashPageAddr addr) const;
+
+    // ---- segment-level operations -------------------------------
+
+    /** Free (erased, writable) slots remaining in a segment. */
+    std::uint64_t freeSlots(SegmentId seg) const;
+
+    /** Live (valid) pages in a segment. */
+    std::uint64_t liveCount(SegmentId seg) const;
+
+    /** Dead (invalidated) pages in a segment. */
+    std::uint64_t invalidCount(SegmentId seg) const;
+
+    /** Used slots (valid + dead) in a segment. */
+    std::uint64_t usedSlots(SegmentId seg) const;
+
+    /** Utilization of the segment: live / capacity. */
+    double utilization(SegmentId seg) const;
+
+    /** Erase cycles the segment has consumed. */
+    std::uint64_t eraseCycles(SegmentId seg) const;
+
+    /**
+     * Erase a segment.  All pages must already be dead: erasing live
+     * data is a cleaner bug.
+     *
+     * @return device busy time.
+     */
+    Tick eraseSegment(SegmentId seg);
+
+    /**
+     * Visit the live pages of a segment in slot order (the order the
+     * cleaner preserves, §4.3).  @p fn may not mutate the segment.
+     */
+    void forEachLive(
+        SegmentId seg,
+        const std::function<void(std::uint32_t slot,
+                                 LogicalPageId)> &fn) const;
+
+    /** Any chip out of spec (operations overran their rated window)? */
+    bool outOfSpec() const;
+
+    /**
+     * Restore a segment's erase-cycle count (image loading only):
+     * sets the segment counter and the matching block counter in
+     * every chip of the owning bank.
+     */
+    void restoreWear(SegmentId seg, std::uint64_t cycles);
+
+    /** Direct bank access for the timing model / tests. */
+    FlashBank &bank(std::uint32_t i) { return banks_[i]; }
+    const FlashBank &bank(std::uint32_t i) const { return banks_[i]; }
+
+    /** Total live pages across the array. */
+    std::uint64_t totalLive() const { return totalLive_; }
+
+    // Statistics (public so experiment harnesses can read them).
+    Counter statPagesProgrammed;
+    Counter statPagesInvalidated;
+    Counter statSegmentErases;
+    Counter statPageReads;
+
+  private:
+    struct SegmentState
+    {
+        /** Owner per used slot; ownerDead marks invalidated pages. */
+        std::vector<std::uint32_t> owner;
+        std::uint32_t writePtr = 0;
+        std::uint32_t live = 0;
+        std::uint64_t eraseCycles = 0;
+    };
+
+    static constexpr std::uint32_t ownerDead = 0xFFFFFFFFu;
+    static constexpr std::uint32_t ownerShadow = 0xFFFFFFFEu;
+
+    FlashPageAddr appendRaw(SegmentId seg, std::uint32_t owner,
+                            std::span<const std::uint8_t> data);
+
+    SegmentState &state(SegmentId seg);
+    const SegmentState &state(SegmentId seg) const;
+
+    Geometry geom_;
+    FlashTiming timing_;
+    bool storeData_;
+    std::vector<FlashBank> banks_;
+    std::vector<SegmentState> segments_;
+    std::uint64_t totalLive_ = 0;
+};
+
+} // namespace envy
+
+#endif // ENVY_FLASH_FLASH_ARRAY_HH

@@ -1,0 +1,99 @@
+#include "flash/flash_bank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+FlashBank::FlashBank(std::uint32_t chips_per_bank,
+                     std::uint32_t block_bytes,
+                     std::uint32_t blocks_per_chip,
+                     const FlashTiming &timing, bool store_data)
+    : chipsPerBank_(chips_per_bank),
+      blockBytes_(block_bytes),
+      blocksPerChip_(blocks_per_chip),
+      storeData_(store_data),
+      timing_(timing)
+{
+    chips_.reserve(chipsPerBank_);
+    for (std::uint32_t i = 0; i < chipsPerBank_; ++i)
+        chips_.emplace_back(block_bytes, blocks_per_chip, timing,
+                            store_data);
+}
+
+Tick
+FlashBank::readPage(std::uint32_t block, std::uint32_t page,
+                    std::span<std::uint8_t> out) const
+{
+    ENVY_ASSERT(block < blocksPerChip_ && page < blockBytes_,
+                "bank read out of range");
+    ENVY_ASSERT(out.size() >= chipsPerBank_, "output span too small");
+    const std::uint64_t addr = byteAddr(block, page);
+    for (std::uint32_t j = 0; j < chipsPerBank_; ++j)
+        out[j] = chips_[j].read(addr);
+    // One wide cycle regardless of width.
+    return timing_.readTime;
+}
+
+Tick
+FlashBank::programPage(std::uint32_t block, std::uint32_t page,
+                       std::span<const std::uint8_t> data)
+{
+    ENVY_ASSERT(block < blocksPerChip_ && page < blockBytes_,
+                "bank program out of range");
+    ENVY_ASSERT(data.size() >= chipsPerBank_, "input span too small");
+    const std::uint64_t addr = byteAddr(block, page);
+    Tick busy = 0;
+    for (std::uint32_t j = 0; j < chipsPerBank_; ++j) {
+        chips_[j].writeCommand(FlashCmd::ProgramSetup);
+        busy = std::max(busy, chips_[j].programByte(addr, data[j]));
+    }
+    return busy;
+}
+
+Tick
+FlashBank::eraseSegment(std::uint32_t block)
+{
+    ENVY_ASSERT(block < blocksPerChip_, "bank erase out of range");
+    Tick busy = 0;
+    for (auto &chip : chips_) {
+        chip.writeCommand(FlashCmd::EraseSetup);
+        busy = std::max(busy, chip.eraseBlock(block));
+    }
+    return busy;
+}
+
+bool
+FlashBank::allReady() const
+{
+    return std::all_of(chips_.begin(), chips_.end(),
+                       [](const FlashChip &c) {
+                           return (c.status() & FlashStatus::ready) != 0;
+                       });
+}
+
+bool
+FlashBank::allProgrammedOk() const
+{
+    return std::all_of(chips_.begin(), chips_.end(),
+                       [](const FlashChip &c) {
+                           return (c.status() &
+                                   FlashStatus::programError) == 0;
+                       });
+}
+
+bool
+FlashBank::outOfSpec() const
+{
+    return std::any_of(chips_.begin(), chips_.end(),
+                       [](const FlashChip &c) { return c.outOfSpec(); });
+}
+
+std::uint64_t
+FlashBank::segmentCycles(std::uint32_t block) const
+{
+    return chips_[0].blockCycles(block);
+}
+
+} // namespace envy

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A bank of byte-wide Flash chips with a page-wide data path.
+ *
+ * Following §3.3 / Figure 4 of the paper, a bank gangs `pageSize`
+ * chips side by side so that one memory cycle moves a whole page
+ * (byte j of the page lives in chip j).  The smallest independently
+ * erasable unit of a bank is one erase block across every chip — a
+ * *segment*.  Page p of the segment built from block b is byte
+ * (b * blockBytes + p) of each chip.
+ */
+
+#ifndef ENVY_FLASH_FLASH_BANK_HH
+#define ENVY_FLASH_FLASH_BANK_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flash/flash_chip.hh"
+
+namespace envy {
+
+class FlashBank
+{
+  public:
+    /**
+     * @param chips_per_bank  width of the data path in bytes
+     * @param block_bytes     erase-block bytes per chip (= pages per
+     *                        segment)
+     * @param blocks_per_chip segments hosted by this bank
+     * @param timing          chip timing parameters
+     * @param store_data      functional (true) or metadata-only mode
+     */
+    FlashBank(std::uint32_t chips_per_bank, std::uint32_t block_bytes,
+              std::uint32_t blocks_per_chip, const FlashTiming &timing,
+              bool store_data);
+
+    std::uint32_t pageSize() const { return chipsPerBank_; }
+    std::uint32_t pagesPerSegment() const { return blockBytes_; }
+    std::uint32_t segments() const { return blocksPerChip_; }
+    bool storesData() const { return storeData_; }
+
+    /**
+     * Read page @p page of local segment @p block through the wide
+     * path: one cycle, one byte per chip.
+     */
+    Tick readPage(std::uint32_t block, std::uint32_t page,
+                  std::span<std::uint8_t> out) const;
+
+    /**
+     * Program a whole page: every chip programs its byte in parallel,
+     * so the operation takes one (wear-adjusted) program time, not
+     * pageSize of them.  The controller checks all chips' status in
+     * parallel (§5.1).
+     *
+     * @return time the bank is busy.
+     */
+    Tick programPage(std::uint32_t block, std::uint32_t page,
+                     std::span<const std::uint8_t> data);
+
+    /**
+     * Erase local segment @p block (the same block in every chip, all
+     * in parallel).
+     *
+     * @return time the bank is busy.
+     */
+    Tick eraseSegment(std::uint32_t block);
+
+    /** Parallel status check across all chips (§5.1). */
+    bool allReady() const;
+
+    /** Parallel status check: no chip flagged a program error. */
+    bool allProgrammedOk() const;
+
+    /** True if any chip exceeded its specified operation window. */
+    bool outOfSpec() const;
+
+    /** Wear of local segment @p block (cycles, same on all chips). */
+    std::uint64_t segmentCycles(std::uint32_t block) const;
+
+    FlashChip &chip(std::uint32_t i) { return chips_[i]; }
+    const FlashChip &chip(std::uint32_t i) const { return chips_[i]; }
+
+  private:
+    std::uint64_t byteAddr(std::uint32_t block, std::uint32_t page) const
+    {
+        return std::uint64_t(block) * blockBytes_ + page;
+    }
+
+    std::uint32_t chipsPerBank_;
+    std::uint32_t blockBytes_;
+    std::uint32_t blocksPerChip_;
+    bool storeData_;
+    FlashTiming timing_;
+    std::vector<FlashChip> chips_;
+};
+
+} // namespace envy
+
+#endif // ENVY_FLASH_FLASH_BANK_HH

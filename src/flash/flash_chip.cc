@@ -1,0 +1,139 @@
+#include "flash/flash_chip.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+FlashChip::FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
+                     const FlashTiming &timing, bool store_data)
+    : blockBytes_(block_bytes),
+      numBlocks_(num_blocks),
+      timing_(timing),
+      storeData_(store_data),
+      cycles_(num_blocks, 0)
+{
+    ENVY_ASSERT(block_bytes > 0 && num_blocks > 0, "degenerate chip");
+    if (storeData_) {
+        data_.assign(std::uint64_t(blockBytes_) * numBlocks_, 0xFF);
+    }
+}
+
+std::uint8_t
+FlashChip::read(std::uint64_t addr) const
+{
+    if (mode_ == Mode::ReadStatus)
+        return status_;
+    ENVY_ASSERT(mode_ == Mode::ReadArray,
+                "array read while CUI busy (mode ",
+                static_cast<int>(mode_), ")");
+    if (!storeData_)
+        return 0xFF;
+    ENVY_ASSERT(addr < data_.size(), "chip read out of range");
+    return data_[addr];
+}
+
+void
+FlashChip::writeCommand(FlashCmd cmd)
+{
+    switch (cmd) {
+      case FlashCmd::ReadArray:
+        mode_ = Mode::ReadArray;
+        break;
+      case FlashCmd::ReadStatus:
+        mode_ = Mode::ReadStatus;
+        break;
+      case FlashCmd::ClearStatus:
+        status_ = FlashStatus::ready;
+        mode_ = Mode::ReadArray;
+        break;
+      case FlashCmd::ProgramSetup:
+        mode_ = Mode::ProgramPending;
+        break;
+      case FlashCmd::EraseSetup:
+        mode_ = Mode::ErasePending;
+        break;
+      case FlashCmd::Suspend:
+        // Long operations are sequenced by the caller; the chip only
+        // reflects the state in its status register.
+        status_ |= FlashStatus::suspended;
+        break;
+      default:
+        ENVY_PANIC("unexpected CUI command ",
+                   static_cast<int>(cmd));
+    }
+}
+
+Tick
+FlashChip::programByte(std::uint64_t addr, std::uint8_t value)
+{
+    ENVY_ASSERT(mode_ == Mode::ProgramPending,
+                "programByte without ProgramSetup");
+    mode_ = Mode::ReadArray;
+    status_ &= ~FlashStatus::suspended;
+
+    const std::uint32_t block =
+        static_cast<std::uint32_t>(addr / blockBytes_);
+    ENVY_ASSERT(block < numBlocks_, "program out of range");
+
+    if (storeData_) {
+        // Programming can only clear bits.  Requesting a 0 -> 1
+        // transition is a program error: the internal verify loop
+        // never sees the desired data (§2).
+        const std::uint8_t cell = data_[addr];
+        if ((value & ~cell) != 0) {
+            status_ |= FlashStatus::programError;
+            return timing_.programTimeAfter(cycles_[block]);
+        }
+        data_[addr] = cell & value;
+    }
+
+    const Tick t = timing_.programTimeAfter(cycles_[block]);
+    if (t > timing_.maxProgramTime)
+        outOfSpec_ = true;
+    return t;
+}
+
+Tick
+FlashChip::eraseBlock(std::uint32_t block)
+{
+    ENVY_ASSERT(mode_ == Mode::ErasePending,
+                "eraseBlock without EraseSetup");
+    mode_ = Mode::ReadArray;
+    status_ &= ~FlashStatus::suspended;
+    ENVY_ASSERT(block < numBlocks_, "erase out of range");
+
+    if (storeData_) {
+        auto first = data_.begin() + std::uint64_t(block) * blockBytes_;
+        std::fill(first, first + blockBytes_, 0xFF);
+    }
+
+    const Tick t = timing_.eraseTimeAfter(cycles_[block]);
+    ++cycles_[block];
+    if (t > timing_.maxEraseTime)
+        outOfSpec_ = true;
+    return t;
+}
+
+std::uint64_t
+FlashChip::blockCycles(std::uint32_t block) const
+{
+    ENVY_ASSERT(block < numBlocks_, "block out of range");
+    return cycles_[block];
+}
+
+void
+FlashChip::restoreCycles(std::uint32_t block, std::uint64_t cycles)
+{
+    ENVY_ASSERT(block < numBlocks_, "block out of range");
+    cycles_[block] = cycles;
+}
+
+std::uint64_t
+FlashChip::maxCycles() const
+{
+    return *std::max_element(cycles_.begin(), cycles_.end());
+}
+
+} // namespace envy

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Model of a single byte-wide Flash chip (paper §2).
+ *
+ * The chip behaves like an EPROM in its default read-array mode; all
+ * other functions go through the Command User Interface (CUI).  A
+ * program operation can only clear bits (1 -> 0); restoring bits
+ * requires erasing a whole block.  Program and erase durations grow
+ * with wear and the chip records a spec "failure" once an operation
+ * overruns its rated window — existing data stays readable (§2).
+ *
+ * The chip is a passive device: callers sequence CUI commands and are
+ * told how long each operation takes; there is no internal clock.
+ */
+
+#ifndef ENVY_FLASH_FLASH_CHIP_HH
+#define ENVY_FLASH_FLASH_CHIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/flash_timing.hh"
+
+namespace envy {
+
+/** CUI command codes (modelled after Intel 28F-series parts). */
+enum class FlashCmd : std::uint8_t
+{
+    ReadArray = 0xFF,
+    ReadStatus = 0x70,
+    ClearStatus = 0x50,
+    ProgramSetup = 0x40,
+    EraseSetup = 0x20,
+    EraseConfirm = 0xD0,
+    Suspend = 0xB0,
+    Resume = 0xD0,
+};
+
+/** Status register bits. */
+struct FlashStatus
+{
+    static constexpr std::uint8_t ready = 0x80;
+    static constexpr std::uint8_t suspended = 0x40;
+    static constexpr std::uint8_t eraseError = 0x20;
+    static constexpr std::uint8_t programError = 0x10;
+};
+
+class FlashChip
+{
+  public:
+    /**
+     * @param block_bytes       bytes per erase block
+     * @param num_blocks        erase blocks on the chip
+     * @param timing            device timing/endurance parameters
+     * @param store_data        keep actual cell contents (functional
+     *                          mode) or only block state (metadata-only
+     *                          mode used by 2 GB-scale simulations)
+     */
+    FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
+              const FlashTiming &timing, bool store_data);
+
+    std::uint64_t capacity() const { return data_.size() ? data_.size()
+        : std::uint64_t(blockBytes_) * numBlocks_; }
+    std::uint32_t blockBytes() const { return blockBytes_; }
+    std::uint32_t numBlocks() const { return numBlocks_; }
+    bool storesData() const { return storeData_; }
+
+    /** Read-array access; only legal when no operation is active. */
+    std::uint8_t read(std::uint64_t addr) const;
+
+    /**
+     * Issue a CUI command.  ProgramSetup must be followed by a call to
+     * programByte(); EraseSetup by eraseBlock() (which models the
+     * confirm cycle internally).
+     */
+    void writeCommand(FlashCmd cmd);
+
+    /**
+     * Program one byte (after ProgramSetup).  Bits can only be
+     * cleared; programming models the internal program/verify loop.
+     *
+     * @return the time the operation occupies the chip.
+     */
+    Tick programByte(std::uint64_t addr, std::uint8_t value);
+
+    /**
+     * Erase one block (after EraseSetup).  Restores all bytes to 0xFF
+     * and consumes one program/erase cycle.
+     *
+     * @return the time the operation occupies the chip.
+     */
+    Tick eraseBlock(std::uint32_t block);
+
+    /** Status register, as returned by the ReadStatus command. */
+    std::uint8_t status() const { return status_; }
+
+    /** Program/erase cycles a block has consumed. */
+    std::uint64_t blockCycles(std::uint32_t block) const;
+
+    /** Restore a block's cycle count (image loading only). */
+    void restoreCycles(std::uint32_t block, std::uint64_t cycles);
+
+    /** Worst wear across all blocks. */
+    std::uint64_t maxCycles() const;
+
+    /**
+     * True once any operation overran its specified window.  Per §2
+     * this is flash "failure": data remains readable, the part is
+     * simply out of spec.
+     */
+    bool outOfSpec() const { return outOfSpec_; }
+
+  private:
+    enum class Mode { ReadArray, ReadStatus, ProgramPending,
+                      ErasePending };
+
+    std::uint32_t blockBytes_;
+    std::uint32_t numBlocks_;
+    FlashTiming timing_;
+    bool storeData_;
+
+    std::vector<std::uint8_t> data_;
+    std::vector<std::uint64_t> cycles_; //!< per-block wear
+    Mode mode_ = Mode::ReadArray;
+    std::uint8_t status_ = FlashStatus::ready;
+    bool outOfSpec_ = false;
+};
+
+} // namespace envy
+
+#endif // ENVY_FLASH_FLASH_CHIP_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Raw device timing and endurance parameters (paper Figure 12 and §2).
+ *
+ * Times are in ticks (nanoseconds).  The degradation model follows §2:
+ * program and erase slow down slightly with every cycle; a chip "fails"
+ * (in the flash sense — operations exceed their specified window, data
+ * remains readable) once an operation overruns its rated maximum.
+ */
+
+#ifndef ENVY_FLASH_FLASH_TIMING_HH
+#define ENVY_FLASH_FLASH_TIMING_HH
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace envy {
+
+struct FlashTiming
+{
+    /** Array read access of one page via the wide path. */
+    Tick readTime = 100;
+    /** Byte program time (whole page programs in parallel, §3.3). */
+    Tick programTime = microseconds(4);
+    /** Block erase time; a segment erase runs all chips in parallel. */
+    Tick eraseTime = milliseconds(50);
+
+    /** Cycles the manufacturer guarantees (§5.5 uses 1M-cycle parts). */
+    std::uint64_t ratedCycles = 1000 * 1000;
+
+    /**
+     * Fractional slow-down of program/erase per completed cycle.
+     * §2 reports a 10k-rated chip still programming in 4us after 2M
+     * cycles (rated max 250us), i.e. degradation is tiny; the default
+     * reaches ~2x the base time at 5M cycles.
+     */
+    double wearSlowdownPerCycle = 2e-7;
+
+    /** Specified not-to-exceed windows; overruns count as failure. */
+    Tick maxProgramTime = microseconds(250);
+    Tick maxEraseTime = seconds(10);
+
+    /** Effective program time after @p cycles program/erase cycles. */
+    Tick
+    programTimeAfter(std::uint64_t cycles) const
+    {
+        return static_cast<Tick>(
+            programTime * (1.0 + wearSlowdownPerCycle * cycles));
+    }
+
+    /** Effective erase time after @p cycles program/erase cycles. */
+    Tick
+    eraseTimeAfter(std::uint64_t cycles) const
+    {
+        return static_cast<Tick>(
+            eraseTime * (1.0 + wearSlowdownPerCycle * cycles));
+    }
+};
+
+} // namespace envy
+
+#endif // ENVY_FLASH_FLASH_TIMING_HH

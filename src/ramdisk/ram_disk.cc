@@ -1,0 +1,54 @@
+#include "ramdisk/ram_disk.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+RamDisk::RamDisk(EnvyStore &store)
+    : store_(store), sectors_(store.size() / sectorBytes)
+{
+    ENVY_ASSERT(sectors_ > 0, "store smaller than one sector");
+}
+
+void
+RamDisk::readSector(std::uint64_t sector, std::span<std::uint8_t> out)
+{
+    ENVY_ASSERT(sector < sectors_, "sector out of range: ", sector);
+    ENVY_ASSERT(out.size() >= sectorBytes, "buffer too small");
+    store_.read(sector * sectorBytes, out.subspan(0, sectorBytes));
+    ++reads_;
+}
+
+void
+RamDisk::writeSector(std::uint64_t sector,
+                     std::span<const std::uint8_t> in)
+{
+    ENVY_ASSERT(sector < sectors_, "sector out of range: ", sector);
+    ENVY_ASSERT(in.size() >= sectorBytes, "buffer too small");
+    store_.write(sector * sectorBytes, in.subspan(0, sectorBytes));
+    ++writes_;
+}
+
+void
+RamDisk::read(std::uint64_t sector, std::uint32_t count,
+              std::span<std::uint8_t> out)
+{
+    ENVY_ASSERT(out.size() >= std::uint64_t(count) * sectorBytes,
+                "buffer too small");
+    for (std::uint32_t i = 0; i < count; ++i)
+        readSector(sector + i,
+                   out.subspan(std::uint64_t(i) * sectorBytes));
+}
+
+void
+RamDisk::write(std::uint64_t sector, std::uint32_t count,
+               std::span<const std::uint8_t> in)
+{
+    ENVY_ASSERT(in.size() >= std::uint64_t(count) * sectorBytes,
+                "buffer too small");
+    for (std::uint32_t i = 0; i < count; ++i)
+        writeSector(sector + i,
+                    in.subspan(std::uint64_t(i) * sectorBytes));
+}
+
+} // namespace envy

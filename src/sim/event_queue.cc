@@ -1,0 +1,47 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    ENVY_ASSERT(when >= now_, "scheduling into the past: ", when,
+                " < ", now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top returns const&; move out via const_cast is
+    // avoided by copying the (cheap) handle and popping first.
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+}
+
+} // namespace envy

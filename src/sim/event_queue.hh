@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal discrete-event engine.
+ *
+ * The heavy TPC-A timing runs use a specialised sequential loop (see
+ * envysim/timed_system.hh) for speed, but several components — the
+ * background flusher tests, the parallel-bank extension and the
+ * failure-injection tests — need a general calendar of timed events.
+ */
+
+#ifndef ENVY_SIM_EVENT_QUEUE_HH
+#define ENVY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace envy {
+
+/** Time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Run a single event; returns false when the queue is empty. */
+    bool step();
+
+    /** Run events until the queue drains or @p limit is reached. */
+    void runUntil(Tick limit);
+
+    /** Run every pending event. */
+    void runAll();
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; //!< FIFO tiebreak for simultaneous events.
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace envy
+
+#endif // ENVY_SIM_EVENT_QUEUE_HH

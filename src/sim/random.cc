@@ -1,0 +1,126 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+namespace {
+
+/** splitmix64, used to expand a single seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    ENVY_ASSERT(bound > 0, "below(0) is meaningless");
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            m = static_cast<__uint128_t>(next()) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    ENVY_ASSERT(lo <= hi, "inverted range");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+BimodalPicker::BimodalPicker(std::uint64_t population, double hot_fraction,
+                             double hot_access)
+    : population_(population),
+      hotCount_(static_cast<std::uint64_t>(population * hot_fraction)),
+      hotFraction_(hot_fraction),
+      hotAccess_(hot_access)
+{
+    ENVY_ASSERT(population > 0, "empty population");
+    ENVY_ASSERT(hot_fraction > 0.0 && hot_fraction <= 1.0,
+                "hot fraction out of range: ", hot_fraction);
+    ENVY_ASSERT(hot_access >= 0.0 && hot_access <= 1.0,
+                "hot access fraction out of range: ", hot_access);
+    if (hotCount_ == 0)
+        hotCount_ = 1;
+}
+
+std::uint64_t
+BimodalPicker::pick(Rng &rng) const
+{
+    if (hotCount_ >= population_)
+        return rng.below(population_);
+    if (rng.chance(hotAccess_))
+        return rng.below(hotCount_);
+    return hotCount_ + rng.below(population_ - hotCount_);
+}
+
+} // namespace envy

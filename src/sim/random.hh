@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * A self-contained xoshiro256** generator is used instead of
+ * std::mt19937 so that simulation results are reproducible across
+ * standard library implementations.  Distribution helpers cover the
+ * paper's needs: uniform account selection, exponential transaction
+ * inter-arrival times (§5.2) and the bimodal "x/y" write locality used
+ * throughout §4.
+ */
+
+#ifndef ENVY_SIM_RANDOM_HH
+#define ENVY_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace envy {
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Raw 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Exponentially distributed double with the given mean. */
+    double exponential(double mean);
+
+    /** Bernoulli draw. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Bimodal access distribution over [0, population).
+ *
+ * "hotFraction/hotAccess" in the paper's notation "x/y": a fraction
+ * hotAccess of draws land uniformly inside the first hotFraction of
+ * the population; the rest land uniformly in the remainder.  "50/50"
+ * therefore degenerates to a uniform distribution.
+ */
+class BimodalPicker
+{
+  public:
+    BimodalPicker(std::uint64_t population, double hot_fraction,
+                  double hot_access);
+
+    std::uint64_t pick(Rng &rng) const;
+
+    std::uint64_t population() const { return population_; }
+    std::uint64_t hotCount() const { return hotCount_; }
+    double hotFraction() const { return hotFraction_; }
+    double hotAccess() const { return hotAccess_; }
+
+  private:
+    std::uint64_t population_;
+    std::uint64_t hotCount_;
+    double hotFraction_;
+    double hotAccess_;
+};
+
+} // namespace envy
+
+#endif // ENVY_SIM_RANDOM_HH

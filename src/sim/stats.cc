@@ -1,0 +1,153 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+Stat::Stat(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    ENVY_ASSERT(group != nullptr, "stat ", name_, " needs a group");
+    group->addStat(this);
+}
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << value_;
+}
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << mean() << " (n=" << count_ << ", min=" << min()
+       << ", max=" << max() << ")";
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(StatGroup *group, std::string name, std::string desc)
+    : Stat(group, std::move(name), std::move(desc)),
+      buckets_(numBuckets, 0)
+{
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    // Bucket k holds values in [2^(k-1), 2^k); bucket 0 holds {0}.
+    int bucket = v == 0 ? 0 : 64 - std::countl_zero(v);
+    buckets_[std::min(bucket, numBuckets - 1)]++;
+    ++count_;
+    sum_ += static_cast<double>(v);
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    const double target = count_ * p / 100.0;
+    double seen = 0.0;
+    for (int k = 0; k < numBuckets; ++k) {
+        seen += static_cast<double>(buckets_[k]);
+        if (seen >= target)
+            return k == 0 ? 0 : (1ull << std::min(k, 63));
+    }
+    return 1ull << 63;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << "mean=" << mean() << " p50=" << percentile(50)
+       << " p99=" << percentile(99) << " n=" << count_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+StatGroup::addStat(Stat *stat)
+{
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    std::erase(children_, child);
+}
+
+void
+StatGroup::printStats(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const Stat *s : stats_) {
+        std::ostringstream value;
+        s->print(value);
+        os << std::left << std::setw(44) << (full + "." + s->name())
+           << " " << std::setw(28) << value.str()
+           << " # " << s->desc() << "\n";
+    }
+    for (const StatGroup *c : children_)
+        c->printStats(os, full);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (Stat *s : stats_)
+        s->reset();
+    for (StatGroup *c : children_)
+        c->resetStats();
+}
+
+} // namespace envy

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of the gem5 Stats API.
+ *
+ * Statistics register themselves with a StatGroup, which can render a
+ * formatted report.  The simulator uses these to produce the numbers
+ * behind every figure in the paper's evaluation (Section 5).
+ */
+
+#ifndef ENVY_SIM_STATS_HH
+#define ENVY_SIM_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace envy {
+
+class StatGroup;
+
+/** Base class for named, self-describing statistics. */
+class Stat
+{
+  public:
+    Stat(StatGroup *group, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the value column(s) for the report. */
+    virtual void print(std::ostream &os) const = 0;
+    /** Reset to the just-constructed state (measurement windows). */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonically increasing event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max of a sampled quantity. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Power-of-two bucketed histogram for latency-like quantities. */
+class Histogram : public Stat
+{
+  public:
+    Histogram(StatGroup *group, std::string name, std::string desc);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Approximate p-th percentile (0 < p < 100) from the buckets. */
+    std::uint64_t percentile(double p) const;
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    static constexpr int numBuckets = 64;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Container for the statistics of one component.  Groups nest; the
+ * report walks the tree depth-first.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &statName() const { return name_; }
+
+    void addStat(Stat *stat);
+    void addChild(StatGroup *child);
+    void removeChild(StatGroup *child);
+
+    /** Recursively render "group.stat  value  # desc" lines. */
+    void printStats(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Recursively reset all statistics in this subtree. */
+    void resetStats();
+
+  private:
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<Stat *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace envy
+
+#endif // ENVY_SIM_STATS_HH

@@ -1,0 +1,79 @@
+#include "sram/sram_array.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+SramArray::SramArray(std::uint64_t bytes, bool battery_backed)
+    : data_(bytes, 0), batteryBacked_(battery_backed)
+{
+}
+
+std::uint8_t
+SramArray::readByte(Addr a) const
+{
+    ENVY_ASSERT(a < data_.size(), "SRAM read out of range: ", a);
+    return data_[a];
+}
+
+void
+SramArray::writeByte(Addr a, std::uint8_t v)
+{
+    ENVY_ASSERT(a < data_.size(), "SRAM write out of range: ", a);
+    data_[a] = v;
+}
+
+void
+SramArray::read(Addr a, std::span<std::uint8_t> out) const
+{
+    ENVY_ASSERT(a + out.size() <= data_.size(),
+                "SRAM block read out of range");
+    std::copy_n(data_.begin() + a, out.size(), out.begin());
+}
+
+void
+SramArray::write(Addr a, std::span<const std::uint8_t> in)
+{
+    ENVY_ASSERT(a + in.size() <= data_.size(),
+                "SRAM block write out of range");
+    std::copy(in.begin(), in.end(), data_.begin() + a);
+}
+
+std::uint64_t
+SramArray::readUint(Addr a, unsigned bytes) const
+{
+    ENVY_ASSERT(bytes <= 8 && a + bytes <= data_.size(),
+                "SRAM uint read out of range");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= std::uint64_t(data_[a + i]) << (8 * i);
+    return v;
+}
+
+void
+SramArray::writeUint(Addr a, std::uint64_t v, unsigned bytes)
+{
+    ENVY_ASSERT(bytes <= 8 && a + bytes <= data_.size(),
+                "SRAM uint write out of range");
+    for (unsigned i = 0; i < bytes; ++i)
+        data_[a + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+SramArray::powerFail()
+{
+    if (batteryBacked_)
+        return;
+    // Deterministic garbage so recovery tests are reproducible.
+    std::uint64_t x = 0xDEADBEEFCAFEF00Dull;
+    for (auto &b : data_) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        b = static_cast<std::uint8_t>(x);
+    }
+}
+
+} // namespace envy

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Battery-backed SRAM model (paper §3.2, §3.3).
+ *
+ * eNVy keeps two critical structures in battery-backed SRAM: the page
+ * table (mappings must update in place, which Flash cannot do) and the
+ * FIFO write buffer (after a copy-on-write the SRAM copy is the *only*
+ * copy, so it must survive power failure).
+ *
+ * The array is the persistence domain of the simulator: components
+ * that must survive a crash keep their authoritative state inside this
+ * byte array, and the recovery tests "power fail" the system by
+ * discarding every in-core structure and rebuilding from these bytes.
+ */
+
+#ifndef ENVY_SRAM_SRAM_ARRAY_HH
+#define ENVY_SRAM_SRAM_ARRAY_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace envy {
+
+class SramArray
+{
+  public:
+    explicit SramArray(std::uint64_t bytes, bool battery_backed = true);
+
+    std::uint64_t size() const { return data_.size(); }
+    bool batteryBacked() const { return batteryBacked_; }
+
+    std::uint8_t readByte(Addr a) const;
+    void writeByte(Addr a, std::uint8_t v);
+
+    void read(Addr a, std::span<std::uint8_t> out) const;
+    void write(Addr a, std::span<const std::uint8_t> in);
+
+    /** Little-endian fixed-width integer helpers. */
+    std::uint64_t readUint(Addr a, unsigned bytes) const;
+    void writeUint(Addr a, std::uint64_t v, unsigned bytes);
+
+    /**
+     * Simulate a power failure.  Battery-backed contents survive;
+     * without a battery the array comes back as garbage (a fixed
+     * pseudo-random pattern, so tests are deterministic).
+     */
+    void powerFail();
+
+    /** Raw view for components that live inside the array. */
+    std::span<std::uint8_t> raw() { return {data_.data(), data_.size()}; }
+
+  private:
+    std::vector<std::uint8_t> data_;
+    bool batteryBacked_;
+};
+
+} // namespace envy
+
+#endif // ENVY_SRAM_SRAM_ARRAY_HH

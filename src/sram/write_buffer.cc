@@ -1,0 +1,152 @@
+#include "sram/write_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+WriteBuffer::WriteBuffer(SramArray &sram, Addr base,
+                         std::uint32_t capacity, std::uint32_t page_size,
+                         bool store_data, std::uint32_t threshold,
+                         StatGroup *parent)
+    : StatGroup("writeBuffer", parent),
+      statInserts(this, "inserts", "pages inserted by copy-on-write"),
+      statFlushes(this, "flushes", "pages flushed to flash"),
+      sram_(sram),
+      base_(base),
+      capacity_(capacity),
+      pageSize_(page_size),
+      storeData_(store_data),
+      threshold_(threshold ? threshold : capacity / 2),
+      dataBase_(base + slotsOff + Addr(capacity) * 8)
+{
+    ENVY_ASSERT(capacity_ >= 2, "buffer needs at least two slots");
+    ENVY_ASSERT(threshold_ <= capacity_, "threshold above capacity");
+    ENVY_ASSERT(base_ + bytesNeeded(capacity, page_size, store_data) <=
+                    sram.size(),
+                "write buffer does not fit in SRAM");
+    // Fresh buffer: mark every slot unowned.
+    for (std::uint32_t s = 0; s < capacity_; ++s) {
+        sram_.writeUint(slotMetaAddr(s), noOwner, 4);
+        sram_.writeUint(slotMetaAddr(s) + 4, 0, 4);
+    }
+    syncHeader();
+}
+
+std::uint64_t
+WriteBuffer::bytesNeeded(std::uint32_t capacity, std::uint32_t page_size,
+                         bool store_data)
+{
+    std::uint64_t n = slotsOff + std::uint64_t(capacity) * 8;
+    if (store_data)
+        n += std::uint64_t(capacity) * page_size;
+    return n;
+}
+
+void
+WriteBuffer::syncHeader()
+{
+    sram_.writeUint(base_ + headOff, head_, 4);
+    sram_.writeUint(base_ + countOff, count_, 4);
+}
+
+std::uint32_t
+WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
+{
+    ENVY_ASSERT(!full(), "push into a full write buffer");
+    ENVY_ASSERT(logical.valid() && logical.value() < noOwner,
+                "bad logical page");
+    const std::uint32_t slot = head_;
+    sram_.writeUint(slotMetaAddr(slot),
+                    static_cast<std::uint32_t>(logical.value()), 4);
+    sram_.writeUint(slotMetaAddr(slot) + 4,
+                    static_cast<std::uint32_t>(origin), 4);
+    head_ = (head_ + 1) % capacity_;
+    ++count_;
+    syncHeader();
+    ++statInserts;
+    return slot;
+}
+
+WriteBuffer::TailInfo
+WriteBuffer::tail() const
+{
+    ENVY_ASSERT(!empty(), "tail of an empty write buffer");
+    const std::uint32_t slot =
+        (head_ + capacity_ - count_) % capacity_;
+    return TailInfo{slot, slotOwner(slot), slotOrigin(slot)};
+}
+
+void
+WriteBuffer::popTail()
+{
+    ENVY_ASSERT(!empty(), "pop of an empty write buffer");
+    const std::uint32_t slot =
+        (head_ + capacity_ - count_) % capacity_;
+    sram_.writeUint(slotMetaAddr(slot), noOwner, 4);
+    --count_;
+    syncHeader();
+    ++statFlushes;
+}
+
+LogicalPageId
+WriteBuffer::slotOwner(std::uint32_t slot) const
+{
+    ENVY_ASSERT(slot < capacity_, "slot out of range");
+    const std::uint64_t v = sram_.readUint(slotMetaAddr(slot), 4);
+    if (v == noOwner)
+        return LogicalPageId::invalid();
+    return LogicalPageId(v);
+}
+
+std::uint64_t
+WriteBuffer::slotOrigin(std::uint32_t slot) const
+{
+    ENVY_ASSERT(slot < capacity_, "slot out of range");
+    return sram_.readUint(slotMetaAddr(slot) + 4, 4);
+}
+
+std::span<std::uint8_t>
+WriteBuffer::slotData(std::uint32_t slot)
+{
+    ENVY_ASSERT(storeData_, "slotData in metadata-only mode");
+    ENVY_ASSERT(slot < capacity_, "slot out of range");
+    return sram_.raw().subspan(slotDataAddr(slot), pageSize_);
+}
+
+std::span<const std::uint8_t>
+WriteBuffer::slotData(std::uint32_t slot) const
+{
+    ENVY_ASSERT(storeData_, "slotData in metadata-only mode");
+    ENVY_ASSERT(slot < capacity_, "slot out of range");
+    return std::span<const std::uint8_t>(sram_.raw())
+        .subspan(slotDataAddr(slot), pageSize_);
+}
+
+bool
+WriteBuffer::slotResident(std::uint32_t slot) const
+{
+    return slotOwner(slot).valid();
+}
+
+void
+WriteBuffer::reset()
+{
+    for (std::uint32_t s = 0; s < capacity_; ++s)
+        sram_.writeUint(slotMetaAddr(s), noOwner, 4);
+    head_ = 0;
+    count_ = 0;
+    syncHeader();
+}
+
+void
+WriteBuffer::recover()
+{
+    head_ = static_cast<std::uint32_t>(
+        sram_.readUint(base_ + headOff, 4));
+    count_ = static_cast<std::uint32_t>(
+        sram_.readUint(base_ + countOff, 4));
+    ENVY_ASSERT(head_ < capacity_ && count_ <= capacity_,
+                "corrupt write buffer header after power failure");
+}
+
+} // namespace envy

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The battery-backed SRAM FIFO write buffer (paper §3.2).
+ *
+ * Copy-on-write lands the fresh copy of a page here; the page table is
+ * swung to point at it, making the SRAM copy the only valid one.  The
+ * buffer is a strict FIFO — "new pages are inserted at the head and
+ * pages are flushed from the tail" — because anything fancier would be
+ * hard to build in hardware.  Re-writes of a resident page update it
+ * in place without moving it, which is what absorbs the hot TPC-A
+ * teller/branch records and keeps the flush rate near one page per
+ * transaction.
+ *
+ * All durable state (slot owners, origin tags, head/count) lives in
+ * the provided SramArray region so that recovery can rebuild the
+ * buffer after a power failure.  Because slots are only allocated at
+ * the head and released at the tail, a ring layout gives every
+ * resident page a stable slot index for the page table to reference.
+ */
+
+#ifndef ENVY_SRAM_WRITE_BUFFER_HH
+#define ENVY_SRAM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+#include "sram/sram_array.hh"
+
+namespace envy {
+
+class WriteBuffer : public StatGroup
+{
+  public:
+    /**
+     * @param sram        backing battery-backed SRAM
+     * @param base        byte offset of this buffer's region in @p sram
+     * @param capacity    page slots
+     * @param page_size   bytes per page
+     * @param store_data  false in metadata-only simulations
+     * @param threshold   background flushing starts at this occupancy;
+     *                    0 picks the default (capacity / 2)
+     */
+    WriteBuffer(SramArray &sram, Addr base, std::uint32_t capacity,
+                std::uint32_t page_size, bool store_data,
+                std::uint32_t threshold = 0, StatGroup *parent = nullptr);
+
+    /** Bytes of SRAM the buffer occupies (header + slots). */
+    static std::uint64_t bytesNeeded(std::uint32_t capacity,
+                                     std::uint32_t page_size,
+                                     bool store_data);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == capacity_; }
+    /** Occupancy at or above which background flushing should run. */
+    bool aboveThreshold() const { return count_ >= threshold_; }
+    std::uint32_t threshold() const { return threshold_; }
+
+    /**
+     * Insert a page at the head.  The caller (controller) must make
+     * room first if the buffer is full.
+     *
+     * @param logical  owning logical page
+     * @param origin   policy tag: the flash segment the page was
+     *                 copied from (locality gathering flushes it back
+     *                 there; hybrid flushes back to its partition)
+     * @return slot index for the page table to reference
+     */
+    std::uint32_t push(LogicalPageId logical, std::uint64_t origin);
+
+    /** Oldest resident page (the next flush victim). */
+    struct TailInfo
+    {
+        std::uint32_t slot;
+        LogicalPageId logical;
+        std::uint64_t origin;
+    };
+    TailInfo tail() const;
+
+    /** Release the tail slot after its page has been flushed. */
+    void popTail();
+
+    LogicalPageId slotOwner(std::uint32_t slot) const;
+    std::uint64_t slotOrigin(std::uint32_t slot) const;
+
+    /** Page bytes of a resident slot (functional mode). */
+    std::span<std::uint8_t> slotData(std::uint32_t slot);
+    std::span<const std::uint8_t> slotData(std::uint32_t slot) const;
+
+    /** True if @p slot currently holds a resident page. */
+    bool slotResident(std::uint32_t slot) const;
+
+    /**
+     * Rebuild the in-core mirrors from SRAM after a power failure.
+     * Only metadata is mirrored, so this re-reads the header.
+     */
+    void recover();
+
+    /** Empty the buffer (recovery rebuilds it entry by entry). */
+    void reset();
+
+    Counter statInserts;
+    Counter statFlushes;
+
+  private:
+    // SRAM layout: [head:4][count:4] then per-slot {owner:4, origin:4},
+    // then page data.
+    static constexpr Addr headOff = 0;
+    static constexpr Addr countOff = 4;
+    static constexpr Addr slotsOff = 8;
+    static constexpr std::uint32_t noOwner = 0xFFFFFFFFu;
+
+    Addr slotMetaAddr(std::uint32_t slot) const
+    {
+        return base_ + slotsOff + Addr(slot) * 8;
+    }
+    Addr slotDataAddr(std::uint32_t slot) const
+    {
+        return dataBase_ + Addr(slot) * pageSize_;
+    }
+
+    void syncHeader();
+
+    SramArray &sram_;
+    Addr base_;
+    std::uint32_t capacity_;
+    std::uint32_t pageSize_;
+    bool storeData_;
+    std::uint32_t threshold_;
+    Addr dataBase_;
+
+    // In-core mirrors of the SRAM header (authoritative copy is SRAM).
+    std::uint32_t head_ = 0; //!< next insertion position
+    std::uint32_t count_ = 0;
+};
+
+} // namespace envy
+
+#endif // ENVY_SRAM_WRITE_BUFFER_HH

@@ -1,0 +1,164 @@
+#include "txn/shadow.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+ShadowManager::ShadowManager(EnvyStore &store) : store_(store)
+{
+    ENVY_ASSERT(store.flash().storesData(),
+                "transactions need a functional (data-bearing) store");
+
+    Controller &ctl = store_.controller();
+    ENVY_ASSERT(!ctl.cowShadowHook,
+                "another shadow manager is already attached");
+
+    // Arm the COW hook: the first supersession of a page owned by an
+    // open transaction keeps the old flash copy as the shadow.
+    ctl.cowShadowHook = [this](LogicalPageId page, FlashPageAddr old) {
+        auto owner = pageOwner_.find(page.value());
+        if (owner == pageOwner_.end())
+            return false;
+        Txn &txn = txns_.at(owner->second);
+        auto [it, fresh] = txn.pages.try_emplace(page.value());
+        if (!fresh)
+            return false; // shadow already armed earlier
+        it->second.inFlash = true;
+        it->second.shadow = old;
+        byAddr_[key(old)] = {owner->second, page.value()};
+        return true;
+    };
+
+    // Track shadows the cleaner relocates.
+    store_.cleanerRef().shadowMoved = [this](FlashPageAddr from,
+                                             FlashPageAddr to) {
+        auto it = byAddr_.find(key(from));
+        ENVY_ASSERT(it != byAddr_.end(),
+                    "cleaner moved an unknown shadow");
+        const auto [txn_id, page] = it->second;
+        byAddr_.erase(it);
+        byAddr_[key(to)] = {txn_id, page};
+        txns_.at(txn_id).pages.at(page).shadow = to;
+    };
+}
+
+ShadowManager::~ShadowManager()
+{
+    // Abort anything still open so no pinned shadows leak.
+    while (!txns_.empty())
+        abort(txns_.begin()->first);
+    store_.controller().cowShadowHook = nullptr;
+    store_.cleanerRef().shadowMoved = nullptr;
+}
+
+ShadowManager::TxnId
+ShadowManager::begin()
+{
+    const TxnId id = next_++;
+    txns_[id];
+    return id;
+}
+
+void
+ShadowManager::write(TxnId txn_id, Addr addr,
+                     std::span<const std::uint8_t> data)
+{
+    auto it = txns_.find(txn_id);
+    ENVY_ASSERT(it != txns_.end(), "write on unknown transaction");
+    Txn &txn = it->second;
+
+    const std::uint32_t page_size = store_.config().geom.pageSize;
+    const std::uint64_t first = addr / page_size;
+    const std::uint64_t last = (addr + data.size() - 1) / page_size;
+
+    for (std::uint64_t p = first; p <= last; ++p) {
+        auto owner = pageOwner_.find(p);
+        if (owner != pageOwner_.end()) {
+            ENVY_ASSERT(owner->second == txn_id,
+                        "page ", p, " is owned by transaction ",
+                        owner->second);
+        } else {
+            pageOwner_[p] = txn_id;
+        }
+        if (txn.pages.count(p))
+            continue; // version already captured
+
+        // If the page has no flash copy (resident in the write
+        // buffer), snapshot its bytes now; otherwise the COW hook
+        // will pin the flash copy when the write supersedes it.
+        const PageTable::Location loc =
+            store_.pageTable().lookup(LogicalPageId(p));
+        if (loc.kind != PageTable::LocKind::Flash) {
+            PageVersion v;
+            v.inFlash = false;
+            v.bytes.resize(page_size);
+            store_.read(Addr(p) * page_size, v.bytes);
+            txn.pages.emplace(p, std::move(v));
+        }
+    }
+
+    store_.write(addr, data);
+}
+
+void
+ShadowManager::read(Addr addr, std::span<std::uint8_t> out)
+{
+    store_.read(addr, out);
+}
+
+void
+ShadowManager::release(Txn &txn)
+{
+    for (auto &[page, version] : txn.pages) {
+        pageOwner_.erase(page);
+        if (version.inFlash) {
+            byAddr_.erase(key(version.shadow));
+            store_.flash().invalidatePage(version.shadow);
+        }
+    }
+    txn.pages.clear();
+}
+
+void
+ShadowManager::commit(TxnId txn_id)
+{
+    auto it = txns_.find(txn_id);
+    ENVY_ASSERT(it != txns_.end(), "commit on unknown transaction");
+    // Drop ownership first so the release-path invalidations can
+    // never be mistaken for transactional writes.
+    release(it->second);
+    txns_.erase(it);
+}
+
+void
+ShadowManager::abort(TxnId txn_id)
+{
+    auto it = txns_.find(txn_id);
+    ENVY_ASSERT(it != txns_.end(), "abort on unknown transaction");
+    Txn &txn = it->second;
+
+    const std::uint32_t page_size = store_.config().geom.pageSize;
+    std::vector<std::uint8_t> buf(page_size);
+
+    // Roll back: copy each pre-image over the page.  Ownership is
+    // cleared up-front so these restoring writes do not re-arm
+    // shadows.
+    std::map<std::uint64_t, PageVersion> pages;
+    pages.swap(txn.pages);
+    for (auto &[page, version] : pages)
+        pageOwner_.erase(page);
+
+    for (auto &[page, version] : pages) {
+        if (version.inFlash) {
+            store_.flash().readPage(version.shadow, buf);
+            byAddr_.erase(key(version.shadow));
+            store_.flash().invalidatePage(version.shadow);
+            store_.write(Addr(page) * page_size, buf);
+        } else {
+            store_.write(Addr(page) * page_size, version.bytes);
+        }
+    }
+    txns_.erase(it);
+}
+
+} // namespace envy

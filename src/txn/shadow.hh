@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hardware atomic transactions via shadow pages (paper §6).
+ *
+ * "eNVy automatically copies all modified data from Flash to SRAM as
+ * part of its copy-on-write mechanism.  The original data in Flash is
+ * not destroyed, and it can be used to provide a free shadow copy.
+ * An application can roll back a transaction simply by copying data
+ * back from Flash.  In order to implement this feature, the
+ * controller has to keep track of the location of the shadow copies
+ * and protect them from being cleaned."
+ *
+ * ShadowManager does exactly that: writes issued through it convert
+ * the superseded flash copy of each touched page into a pinned
+ * *shadow* instead of dead space; the cleaner relocates shadows along
+ * with live data and reports the new locations back here.  abort()
+ * copies the shadow contents back over the page; commit() releases
+ * the shadows for normal reclamation.
+ *
+ * Pages that had no flash copy when first touched (they were already
+ * dirty in the SRAM write buffer) are snapshotted into manager-held
+ * memory — the battery-backed SRAM of a real controller.
+ *
+ * One writer per page: concurrent transactions may not overlap page
+ * sets (the paper's hardware has a single host).
+ */
+
+#ifndef ENVY_TXN_SHADOW_HH
+#define ENVY_TXN_SHADOW_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "envy/envy_store.hh"
+
+namespace envy {
+
+class ShadowManager
+{
+  public:
+    using TxnId = std::uint64_t;
+
+    explicit ShadowManager(EnvyStore &store);
+    ~ShadowManager();
+
+    ShadowManager(const ShadowManager &) = delete;
+    ShadowManager &operator=(const ShadowManager &) = delete;
+
+    TxnId begin();
+
+    /** Transactional write; the first touch of each page arms its
+     *  shadow. */
+    void write(TxnId txn, Addr addr,
+               std::span<const std::uint8_t> data);
+
+    /** Reads go straight through (no versioning needed). */
+    void read(Addr addr, std::span<std::uint8_t> out);
+
+    /** Make the transaction's writes permanent. */
+    void commit(TxnId txn);
+
+    /** Restore every touched page to its pre-transaction contents. */
+    void abort(TxnId txn);
+
+    /** Transactions currently open. */
+    std::size_t activeTransactions() const { return txns_.size(); }
+
+    /** Pinned flash shadows across all transactions (for tests). */
+    std::size_t shadowCount() const { return byAddr_.size(); }
+
+  private:
+    struct PageVersion
+    {
+        bool inFlash = false;
+        FlashPageAddr shadow;            //!< valid when inFlash
+        std::vector<std::uint8_t> bytes; //!< SRAM snapshot otherwise
+    };
+
+    struct Txn
+    {
+        std::map<std::uint64_t, PageVersion> pages; //!< by page id
+    };
+
+    static std::uint64_t
+    key(FlashPageAddr a)
+    {
+        return (a.segment.value() << 32) | a.slot;
+    }
+
+    void release(Txn &txn);
+
+    EnvyStore &store_;
+    TxnId next_ = 1;
+    std::map<TxnId, Txn> txns_;
+    /** Owner lookup for pages touched by any open transaction. */
+    std::map<std::uint64_t, TxnId> pageOwner_; //!< by logical page
+    /** Shadow location -> (txn, logical page), for cleaner updates. */
+    std::map<std::uint64_t, std::pair<TxnId, std::uint64_t>> byAddr_;
+};
+
+} // namespace envy
+
+#endif // ENVY_TXN_SHADOW_HH

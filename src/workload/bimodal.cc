@@ -1,0 +1,43 @@
+#include "workload/bimodal.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+LocalitySpec
+LocalitySpec::parse(const std::string &text)
+{
+    double x = 0.0, y = 0.0;
+    if (std::sscanf(text.c_str(), "%lf/%lf", &x, &y) != 2 || x <= 0.0 ||
+        x > 100.0 || y < 0.0 || y > 100.0)
+        ENVY_FATAL("bad locality spec '", text, "'; expected e.g. 10/90");
+    return LocalitySpec{x / 100.0, y / 100.0};
+}
+
+std::string
+LocalitySpec::label() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g/%g", hotFraction * 100.0,
+                  hotAccess * 100.0);
+    return buf;
+}
+
+BimodalWriteWorkload::BimodalWriteWorkload(std::uint64_t logical_pages,
+                                           const LocalitySpec &spec,
+                                           std::uint64_t seed)
+    : spec_(spec),
+      picker_(logical_pages, spec.hotFraction, spec.hotAccess),
+      rng_(seed)
+{
+}
+
+LogicalPageId
+BimodalWriteWorkload::nextPage()
+{
+    return LogicalPageId(picker_.pick(rng_));
+}
+
+} // namespace envy

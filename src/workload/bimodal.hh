@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bimodal page-write workload (paper §4, Figures 8-10).
+ *
+ * The paper labels localities "x/y": y% of all accesses go to the
+ * first x% of the data, the remaining (100-y)% spread uniformly over
+ * the rest.  "50/50" is uniform; "5/95" is very hot.  Only writes
+ * matter to cleaning (§4.1), so the workload is a stream of page
+ * writes.
+ */
+
+#ifndef ENVY_WORKLOAD_BIMODAL_HH
+#define ENVY_WORKLOAD_BIMODAL_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "sim/random.hh"
+
+namespace envy {
+
+/** A locality spec like "10/90". */
+struct LocalitySpec
+{
+    double hotFraction = 0.5; //!< x/100: fraction of data that is hot
+    double hotAccess = 0.5;   //!< y/100: fraction of accesses to it
+
+    /** Parse "x/y"; fatals on malformed input. */
+    static LocalitySpec parse(const std::string &text);
+
+    std::string label() const;
+    bool uniform() const { return hotAccess <= hotFraction; }
+};
+
+class BimodalWriteWorkload
+{
+  public:
+    BimodalWriteWorkload(std::uint64_t logical_pages,
+                         const LocalitySpec &spec, std::uint64_t seed);
+
+    /** Next page to (over)write. */
+    LogicalPageId nextPage();
+
+    const LocalitySpec &spec() const { return spec_; }
+    std::uint64_t logicalPages() const { return picker_.population(); }
+
+  private:
+    LocalitySpec spec_;
+    BimodalPicker picker_;
+    Rng rng_;
+};
+
+} // namespace envy
+
+#endif // ENVY_WORKLOAD_BIMODAL_HH

@@ -1,0 +1,183 @@
+#include "workload/tpca.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+TpcaConfig
+TpcaConfig::forStoreBytes(std::uint64_t bytes, std::uint64_t slack)
+{
+    // Per account: one 100-byte record plus its share of the account
+    // tree; tellers and branches add about 1/1000 and 1/10000 of
+    // that again.  Iterate once to let the tree levels settle.
+    TpcaConfig cfg;
+    ENVY_ASSERT(bytes > slack, "store too small for TPC-A");
+    const std::uint64_t budget = bytes - slack;
+    std::uint64_t accounts = budget / (cfg.recordBytes + 10);
+    for (int pass = 0; pass < 4; ++pass) {
+        cfg.numAccounts = std::max<std::uint64_t>(accounts, 1);
+        TpcaWorkload probe(cfg, 1);
+        const std::uint64_t foot = probe.footprintBytes();
+        if (foot > budget) {
+            accounts = accounts * 95 / 100;
+        } else if (budget - foot > budget / 50) {
+            accounts += (budget - foot) / (cfg.recordBytes + 10);
+        } else {
+            break;
+        }
+    }
+    cfg.numAccounts = std::max<std::uint64_t>(accounts, 1);
+    return cfg;
+}
+
+BTreeShape::BTreeShape(std::uint64_t keys, std::uint32_t fanout,
+                       std::uint32_t page_size, Addr base)
+    : keys_(keys), fanout_(fanout), pageSize_(page_size), base_(base)
+{
+    ENVY_ASSERT(keys > 0 && fanout > 1, "degenerate tree");
+    // Levels: smallest L with fanout^L >= keys (leaves hold fanout
+    // entries each); a single root still counts as one level.
+    levels_ = 1;
+    std::uint64_t reach = fanout_;
+    while (reach < keys_) {
+        // Guard against overflow for absurd key counts.
+        if (reach > keys_ / fanout_ + 1)
+            reach = keys_;
+        else
+            reach *= fanout_;
+        ++levels_;
+    }
+
+    levelBase_.resize(levels_);
+    keysPerNode_.resize(levels_);
+    totalNodes_ = 0;
+    // Level l (0 = root) has ceil(keys / fanout^(levels-l)) nodes;
+    // each covers fanout^(levels-l) keys.
+    for (std::uint32_t l = 0; l < levels_; ++l) {
+        std::uint64_t span = 1;
+        for (std::uint32_t i = 0; i < levels_ - l; ++i) {
+            if (span > keys_)
+                break;
+            span *= fanout_;
+        }
+        keysPerNode_[l] = span;
+        levelBase_[l] = totalNodes_;
+        totalNodes_ += (keys_ + span - 1) / span;
+    }
+}
+
+Addr
+BTreeShape::nodeAddr(std::uint32_t l, std::uint64_t key) const
+{
+    ENVY_ASSERT(l < levels_ && key < keys_, "bad tree lookup");
+    const std::uint64_t idx = key / keysPerNode_[l];
+    return base_ + (levelBase_[l] + idx) * pageSize_;
+}
+
+TpcaWorkload::TpcaWorkload(const TpcaConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    ENVY_ASSERT(cfg.numAccounts > 0, "TPC-A needs accounts");
+    const std::uint64_t branches = cfg_.numBranches();
+    const std::uint64_t tellers = cfg_.numTellers();
+
+    Addr cursor = 0;
+    auto reserve = [&cursor](std::uint64_t bytes) {
+        const Addr at = cursor;
+        cursor += bytes;
+        return at;
+    };
+
+    branchRecBase_ = reserve(branches * cfg_.recordBytes);
+    tellerRecBase_ = reserve(tellers * cfg_.recordBytes);
+    accountRecBase_ = reserve(cfg_.numAccounts * cfg_.recordBytes);
+
+    branchTree_ = BTreeShape(branches, cfg_.treeFanout, cfg_.pageSize,
+                             reserve(0));
+    cursor += branchTree_.bytes();
+    tellerTree_ = BTreeShape(tellers, cfg_.treeFanout, cfg_.pageSize,
+                             reserve(0));
+    cursor += tellerTree_.bytes();
+    accountTree_ = BTreeShape(cfg_.numAccounts, cfg_.treeFanout,
+                              cfg_.pageSize, reserve(0));
+    cursor += accountTree_.bytes();
+
+    footprint_ = cursor;
+}
+
+Addr
+TpcaWorkload::accountRecordAddr(std::uint64_t id) const
+{
+    return accountRecBase_ + id * cfg_.recordBytes;
+}
+
+Addr
+TpcaWorkload::tellerRecordAddr(std::uint64_t id) const
+{
+    return tellerRecBase_ + id * cfg_.recordBytes;
+}
+
+Addr
+TpcaWorkload::branchRecordAddr(std::uint64_t id) const
+{
+    return branchRecBase_ + id * cfg_.recordBytes;
+}
+
+void
+TpcaWorkload::emitSearch(const BTreeShape &tree, std::uint64_t key,
+                         std::vector<StorageAccess> &out) const
+{
+    for (std::uint32_t l = 0; l < tree.levels(); ++l) {
+        const Addr node = tree.nodeAddr(l, key);
+        // Binary-search probes within the one-page node.
+        for (std::uint32_t p = 0; p < cfg_.probesPerNode; ++p) {
+            const Addr off =
+                (p * 61) % (cfg_.pageSize - cfg_.wordBytes);
+            out.push_back({node + off,
+                           static_cast<std::uint16_t>(cfg_.wordBytes),
+                           false});
+        }
+    }
+}
+
+void
+TpcaWorkload::emitRecordUpdate(Addr record,
+                               std::vector<StorageAccess> &out) const
+{
+    for (std::uint32_t w = 0; w < cfg_.recordReadWords; ++w)
+        out.push_back({record + w * cfg_.wordBytes,
+                       static_cast<std::uint16_t>(cfg_.wordBytes),
+                       false});
+    for (std::uint32_t w = 0; w < cfg_.recordWriteWords; ++w)
+        out.push_back({record + w * cfg_.wordBytes,
+                       static_cast<std::uint16_t>(cfg_.wordBytes),
+                       true});
+}
+
+std::uint64_t
+TpcaWorkload::nextTransaction(std::vector<StorageAccess> &out)
+{
+    out.clear();
+    // Uniform account (paper §5.2); the teller and branch are the
+    // ones responsible for it.
+    const std::uint64_t account = rng_.below(cfg_.numAccounts);
+    const std::uint64_t teller = account / cfg_.accountsPerTeller;
+    const std::uint64_t branch = teller / cfg_.tellersPerBranch;
+
+    emitSearch(branchTree_, branch, out);
+    emitRecordUpdate(branchRecordAddr(branch), out);
+    emitSearch(tellerTree_, teller, out);
+    emitRecordUpdate(tellerRecordAddr(teller), out);
+    emitSearch(accountTree_, account, out);
+    emitRecordUpdate(accountRecordAddr(account), out);
+    return account;
+}
+
+Tick
+TpcaWorkload::nextInterarrival(double rate)
+{
+    ENVY_ASSERT(rate > 0.0, "nonpositive transaction rate");
+    return static_cast<Tick>(rng_.exponential(1e9 / rate));
+}
+
+} // namespace envy

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * TPC-A storage workload (paper §5.2, Figure 12).
+ *
+ * The paper's simulator is driven by the *I/O stream* of the TPC-A
+ * banking benchmark: per bank 10 tellers, per teller 10,000 accounts;
+ * 100-byte balance records for each entity; each transaction searches
+ * three B-tree indices (32 entries per node — exactly one 256-byte
+ * page per node) and updates the three records.  Account numbers are
+ * uniform, arrivals exponential.  Like the paper we make no claim
+ * about end-to-end TPC ratings — this models the storage accesses.
+ *
+ * The generator lays the database out in the eNVy linear address
+ * space (records packed at 100 bytes, tree nodes one page each) and
+ * emits, per transaction, the exact word-sized reads and writes the
+ * host would issue.  At the paper's 2 GB scale this is 15.5 million
+ * account records and index trees of 2/3/5 levels.
+ */
+
+#ifndef ENVY_WORKLOAD_TPCA_HH
+#define ENVY_WORKLOAD_TPCA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/random.hh"
+
+namespace envy {
+
+struct TpcaConfig
+{
+    std::uint64_t numAccounts = 0;
+    std::uint32_t accountsPerTeller = 10000;
+    std::uint32_t tellersPerBranch = 10;
+
+    std::uint32_t recordBytes = 100;
+    std::uint32_t pageSize = 256;   //!< node size == page size
+    std::uint32_t treeFanout = 32;  //!< entries per node (Fig 12)
+
+    std::uint32_t wordBytes = 4;    //!< host bus word (32-bit RISC)
+    /** Word probes per B-tree node visited (binary search of 32,
+     *  key compare included). */
+    std::uint32_t probesPerNode = 6;
+    /** Words read from a record before updating it. */
+    std::uint32_t recordReadWords = 8;
+    /** Words written back (the balance field). */
+    std::uint32_t recordWriteWords = 1;
+
+    std::uint64_t numTellers() const
+    {
+        return (numAccounts + accountsPerTeller - 1) / accountsPerTeller;
+    }
+    std::uint64_t numBranches() const
+    {
+        const std::uint64_t t = numTellers();
+        return (t + tellersPerBranch - 1) / tellersPerBranch;
+    }
+
+    /**
+     * Size the database for a store of @p bytes, mimicking the
+     * paper's "the database can be scaled to fit any storage system":
+     * records plus index nodes fill the store, leaving @p slack
+     * bytes unused.
+     */
+    static TpcaConfig forStoreBytes(std::uint64_t bytes,
+                                    std::uint64_t slack = 0);
+};
+
+/** One word-sized storage access of a transaction. */
+struct StorageAccess
+{
+    Addr addr;
+    std::uint16_t bytes;
+    bool isWrite;
+};
+
+/**
+ * A complete 32-ary index shape: node n of level l sits at a fixed
+ * page; looking up key k visits one node per level.
+ */
+class BTreeShape
+{
+  public:
+    BTreeShape() = default;
+    BTreeShape(std::uint64_t keys, std::uint32_t fanout,
+               std::uint32_t page_size, Addr base);
+
+    std::uint32_t levels() const { return levels_; }
+    std::uint64_t totalNodes() const { return totalNodes_; }
+    std::uint64_t bytes() const
+    {
+        return totalNodes_ * pageSize_;
+    }
+
+    /** Page address of the level-@p l node on @p key's search path. */
+    Addr nodeAddr(std::uint32_t l, std::uint64_t key) const;
+
+  private:
+    std::uint64_t keys_ = 0;
+    std::uint32_t fanout_ = 32;
+    std::uint32_t pageSize_ = 256;
+    Addr base_ = 0;
+    std::uint32_t levels_ = 0;
+    std::uint64_t totalNodes_ = 0;
+    /** Nodes in levels above l (prefix sums) and keys per node. */
+    std::vector<std::uint64_t> levelBase_;
+    std::vector<std::uint64_t> keysPerNode_;
+};
+
+class TpcaWorkload
+{
+  public:
+    TpcaWorkload(const TpcaConfig &cfg, std::uint64_t seed);
+
+    const TpcaConfig &config() const { return cfg_; }
+
+    /** Bytes of store the database occupies. */
+    std::uint64_t footprintBytes() const { return footprint_; }
+
+    /** Index levels, for checking against the paper's Fig 12. */
+    std::uint32_t branchLevels() const { return branchTree_.levels(); }
+    std::uint32_t tellerLevels() const { return tellerTree_.levels(); }
+    std::uint32_t accountLevels() const
+    {
+        return accountTree_.levels();
+    }
+
+    /**
+     * Generate the storage accesses of one transaction into @p out
+     * (cleared first).  Returns the account id used.
+     */
+    std::uint64_t nextTransaction(std::vector<StorageAccess> &out);
+
+    /** Exponential inter-arrival time for @p rate transactions/s. */
+    Tick nextInterarrival(double rate);
+
+    Addr accountRecordAddr(std::uint64_t id) const;
+    Addr tellerRecordAddr(std::uint64_t id) const;
+    Addr branchRecordAddr(std::uint64_t id) const;
+
+  private:
+    void emitSearch(const BTreeShape &tree, std::uint64_t key,
+                    std::vector<StorageAccess> &out) const;
+    void emitRecordUpdate(Addr record, std::vector<StorageAccess> &out)
+        const;
+
+    TpcaConfig cfg_;
+    Rng rng_;
+
+    Addr branchRecBase_ = 0;
+    Addr tellerRecBase_ = 0;
+    Addr accountRecBase_ = 0;
+    BTreeShape branchTree_;
+    BTreeShape tellerTree_;
+    BTreeShape accountTree_;
+    std::uint64_t footprint_ = 0;
+};
+
+} // namespace envy
+
+#endif // ENVY_WORKLOAD_TPCA_HH

@@ -1,0 +1,84 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+namespace {
+constexpr char magic[8] = {'E', 'N', 'V', 'Y', 'T', 'R', 'C', '1'};
+}
+
+std::uint64_t
+Trace::writeCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &a : accesses_)
+        n += a.isWrite ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+Trace::readCount() const
+{
+    return accesses_.size() - writeCount();
+}
+
+void
+Trace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        ENVY_FATAL("cannot open trace file '", path, "' for writing");
+
+    const std::uint64_t count = accesses_.size();
+    std::fwrite(magic, 1, sizeof(magic), f);
+    std::fwrite(&count, sizeof(count), 1, f);
+    for (const auto &a : accesses_) {
+        std::uint8_t rec[16] = {};
+        std::memcpy(rec, &a.addr, 8);
+        std::memcpy(rec + 8, &a.bytes, 2);
+        rec[10] = a.isWrite ? 1 : 0;
+        std::fwrite(rec, 1, sizeof(rec), f);
+    }
+    if (std::fclose(f) != 0)
+        ENVY_FATAL("error writing trace file '", path, "'");
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        ENVY_FATAL("cannot open trace file '", path, "'");
+
+    char m[8];
+    std::uint64_t count = 0;
+    if (std::fread(m, 1, sizeof(m), f) != sizeof(m) ||
+        std::memcmp(m, magic, sizeof(magic)) != 0 ||
+        std::fread(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        ENVY_FATAL("'", path, "' is not an eNVy trace file");
+    }
+
+    Trace t;
+    t.accesses_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint8_t rec[16];
+        if (std::fread(rec, 1, sizeof(rec), f) != sizeof(rec)) {
+            std::fclose(f);
+            ENVY_FATAL("trace file '", path, "' is truncated");
+        }
+        StorageAccess a;
+        std::memcpy(&a.addr, rec, 8);
+        std::memcpy(&a.bytes, rec + 8, 2);
+        a.isWrite = rec[10] != 0;
+        t.accesses_.push_back(a);
+    }
+    std::fclose(f);
+    return t;
+}
+
+} // namespace envy

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Recording and replaying storage access traces.
+ *
+ * Useful for regression tests (replay a captured workload against two
+ * configurations and compare), for feeding the policy simulator with
+ * externally produced write streams, and for the trace_tool example.
+ * The on-disk format is a little-endian binary: a 16-byte header
+ * ("ENVYTRC1", count) followed by {addr:8, bytes:2, flags:1, pad:5}
+ * records.
+ */
+
+#ifndef ENVY_WORKLOAD_TRACE_HH
+#define ENVY_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/tpca.hh"
+
+namespace envy {
+
+class Trace
+{
+  public:
+    void append(const StorageAccess &a) { accesses_.push_back(a); }
+    void
+    append(Addr addr, std::uint16_t bytes, bool is_write)
+    {
+        accesses_.push_back({addr, bytes, is_write});
+    }
+
+    std::size_t size() const { return accesses_.size(); }
+    bool empty() const { return accesses_.empty(); }
+    const StorageAccess &operator[](std::size_t i) const
+    {
+        return accesses_[i];
+    }
+
+    auto begin() const { return accesses_.begin(); }
+    auto end() const { return accesses_.end(); }
+
+    std::uint64_t writeCount() const;
+    std::uint64_t readCount() const;
+
+    /** Serialise to a file; fatals on I/O errors. */
+    void save(const std::string &path) const;
+    /** Load from a file; fatals on I/O or format errors. */
+    static Trace load(const std::string &path);
+
+  private:
+    std::vector<StorageAccess> accesses_;
+};
+
+} // namespace envy
+
+#endif // ENVY_WORKLOAD_TRACE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the §6 event-driven bank concurrency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "envysim/bank_model.hh"
+
+namespace envy {
+namespace {
+
+BankModelParams
+base()
+{
+    BankModelParams p;
+    p.numBanks = 8;
+    p.pages = 2048;
+    return p;
+}
+
+TEST(BankModel, SerialIssueMatchesProgramTime)
+{
+    BankModelParams p = base();
+    p.issueDepth = 1;
+    const auto r = runBankModel(p);
+    // One at a time: every page costs a full program (plus the
+    // transfer cycle hidden inside it).
+    EXPECT_NEAR(r.effectivePageTimeNs, 4000.0, 150.0);
+}
+
+TEST(BankModel, PaperClaimFourToEightConcurrentOps)
+{
+    // §6: "with the cleaner executing 4 to 8 concurrent programming
+    // operations, the average time to flush a page can drop from
+    // 4us to less than 1us."
+    for (const std::uint32_t depth : {4u, 8u}) {
+        BankModelParams p = base();
+        p.issueDepth = depth;
+        const auto r = runBankModel(p);
+        EXPECT_LT(r.effectivePageTimeNs, 1100.0)
+            << "depth " << depth;
+    }
+    BankModelParams p8 = base();
+    p8.issueDepth = 8;
+    EXPECT_LT(runBankModel(p8).effectivePageTimeNs, 1000.0);
+}
+
+TEST(BankModel, MoreDepthNeverSlower)
+{
+    double prev = 1e18;
+    for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+        BankModelParams p = base();
+        p.issueDepth = depth;
+        const double t = runBankModel(p).effectivePageTimeNs;
+        EXPECT_LE(t, prev * 1.02) << "depth " << depth;
+        prev = t;
+    }
+}
+
+TEST(BankModel, DepthBeyondBanksHitsTheBankLimit)
+{
+    BankModelParams p = base();
+    p.numBanks = 4;
+    p.issueDepth = 64; // more outstanding ops than banks
+    const auto r = runBankModel(p);
+    // Bound: 4 banks of 4us programs -> >= 1us per page.
+    EXPECT_GE(r.effectivePageTimeNs, 990.0);
+    EXPECT_GT(r.avgBankUtilization, 0.9);
+}
+
+TEST(BankModel, BusIsNeverTheBottleneckAtTheseSizes)
+{
+    BankModelParams p = base();
+    p.issueDepth = 8;
+    const auto r = runBankModel(p);
+    // 100ns transfer vs 4us program: bus utilization stays low.
+    EXPECT_LT(r.busUtilization, 0.3);
+}
+
+TEST(BankModel, ErasesOverlapWithPrograms)
+{
+    // An erase parks one bank for 50ms; with concurrency the other
+    // banks keep programming, so the makespan grows far less than
+    // the serial sum of erase times.
+    BankModelParams serial = base();
+    serial.pages = 1024;
+    serial.eraseEvery = 256;
+    serial.issueDepth = 1;
+    BankModelParams par = serial;
+    par.issueDepth = 8;
+    const auto rs = runBankModel(serial);
+    const auto rp = runBankModel(par);
+    EXPECT_LT(rp.makespan, rs.makespan / 2);
+}
+
+TEST(BankModel, Deterministic)
+{
+    BankModelParams p = base();
+    p.issueDepth = 4;
+    EXPECT_EQ(runBankModel(p).makespan, runBankModel(p).makespan);
+}
+
+} // namespace
+} // namespace envy

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the cleaning mechanics of Figure 5: copy live data in
+ * order to the reserve, swing the page table, erase, rotate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "envy/cleaner.hh"
+#include "envy/wear_leveler.hh"
+
+namespace envy {
+namespace {
+
+class CleanerTest : public ::testing::Test
+{
+  protected:
+    CleanerTest()
+        : flash(Geometry::tiny(), FlashTiming{}, true),
+          sram(PageTable::bytesNeeded(flash.geom().physicalPages()) +
+               SegmentSpace::bytesNeeded(flash.numSegments())),
+          table(sram, 0, flash.geom().physicalPages()),
+          mmu(table, 64),
+          space(flash, sram,
+                PageTable::bytesNeeded(flash.geom().physicalPages())),
+          cleaner(space, mmu)
+    {
+        pageData.resize(flash.geom().pageSize);
+    }
+
+    /** Write logical page p into logical segment seg. */
+    FlashPageAddr
+    put(std::uint32_t seg, std::uint64_t page, std::uint8_t fill)
+    {
+        std::fill(pageData.begin(), pageData.end(), fill);
+        const FlashPageAddr a = flash.appendPage(
+            space.physOf(seg), LogicalPageId(page), pageData);
+        mmu.mapToFlash(LogicalPageId(page), a);
+        return a;
+    }
+
+    std::uint8_t
+    firstByte(std::uint64_t page)
+    {
+        const auto loc = table.lookup(LogicalPageId(page));
+        EXPECT_EQ(loc.kind, PageTable::LocKind::Flash);
+        std::vector<std::uint8_t> buf(flash.geom().pageSize);
+        flash.readPage(loc.flash, buf);
+        return buf[0];
+    }
+
+    FlashArray flash;
+    SramArray sram;
+    PageTable table;
+    Mmu mmu;
+    SegmentSpace space;
+    Cleaner cleaner;
+    std::vector<std::uint8_t> pageData;
+};
+
+TEST_F(CleanerTest, CleanMovesLiveDataAndErases)
+{
+    put(2, 10, 0xA1);
+    const FlashPageAddr dead = put(2, 11, 0xB2);
+    put(2, 12, 0xC3);
+    flash.invalidatePage(dead);
+    table.unmap(LogicalPageId(11));
+
+    const SegmentId old_phys = space.physOf(2);
+    const SegmentId old_reserve = space.reserve();
+    const auto result = cleaner.clean(2, nullptr);
+
+    EXPECT_EQ(result.copied, 2u);
+    EXPECT_EQ(result.diverted, 0u);
+    EXPECT_EQ(space.physOf(2), old_reserve);
+    EXPECT_EQ(space.reserve(), old_phys);
+    // The old physical segment is erased and reusable.
+    EXPECT_EQ(flash.usedSlots(old_phys), 0u);
+    EXPECT_EQ(flash.eraseCycles(old_phys), 1u);
+    // Data still reachable through the page table.
+    EXPECT_EQ(firstByte(10), 0xA1);
+    EXPECT_EQ(firstByte(12), 0xC3);
+}
+
+TEST_F(CleanerTest, CleanPreservesSlotOrder)
+{
+    std::vector<FlashPageAddr> addrs;
+    for (std::uint64_t p = 0; p < 8; ++p)
+        addrs.push_back(put(1, p, static_cast<std::uint8_t>(p)));
+    // Kill the even pages; odd ones must stay in order.
+    for (std::uint64_t p = 0; p < 8; p += 2) {
+        flash.invalidatePage(addrs[p]);
+        table.unmap(LogicalPageId(p));
+    }
+    cleaner.clean(1, nullptr);
+
+    const SegmentId fresh = space.physOf(1);
+    std::vector<std::uint64_t> order;
+    flash.forEachLive(fresh, [&](std::uint32_t, LogicalPageId p) {
+        order.push_back(p.value());
+    });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 3, 5, 7}));
+}
+
+TEST_F(CleanerTest, CleaningCostCountsProgramsPerFlush)
+{
+    put(0, 1, 1);
+    put(0, 2, 2);
+    space.noteFlush();
+    space.noteFlush();
+    cleaner.clean(0, nullptr);
+    // 2 cleaner programs over 2 flushed pages = cost 1.
+    EXPECT_DOUBLE_EQ(cleaner.cleaningCost(), 1.0);
+}
+
+TEST_F(CleanerTest, MovePagesFromTailTakesHottest)
+{
+    for (std::uint64_t p = 0; p < 6; ++p)
+        put(3, p, 0);
+    const std::uint64_t moved = cleaner.movePages(3, 4, true, 2);
+    EXPECT_EQ(moved, 2u);
+    // The last two appended (4, 5) moved to segment 4.
+    std::vector<std::uint64_t> in4;
+    flash.forEachLive(space.physOf(4),
+                      [&](std::uint32_t, LogicalPageId p) {
+                          in4.push_back(p.value());
+                      });
+    EXPECT_EQ(in4, (std::vector<std::uint64_t>{5, 4}));
+    EXPECT_EQ(space.liveCount(3), 4u);
+}
+
+TEST_F(CleanerTest, MovePagesFromHeadTakesColdest)
+{
+    for (std::uint64_t p = 10; p < 16; ++p)
+        put(5, p, 0);
+    cleaner.movePages(5, 6, false, 3);
+    std::vector<std::uint64_t> in6;
+    flash.forEachLive(space.physOf(6),
+                      [&](std::uint32_t, LogicalPageId p) {
+                          in6.push_back(p.value());
+                      });
+    EXPECT_EQ(in6, (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST_F(CleanerTest, MovePagesRespectsDestinationRoom)
+{
+    // Fill destination segment 7 completely.
+    const auto cap = flash.pagesPerSegment();
+    for (std::uint64_t i = 0; i < cap; ++i)
+        put(7, 1000 + i, 0);
+    put(8, 1, 0);
+    EXPECT_EQ(cleaner.movePages(8, 7, false, 5), 0u);
+}
+
+TEST_F(CleanerTest, MovePagesUpdatesMappings)
+{
+    put(9, 42, 0x77);
+    cleaner.movePages(9, 10, false, 1);
+    const auto loc = table.lookup(LogicalPageId(42));
+    ASSERT_EQ(loc.kind, PageTable::LocKind::Flash);
+    EXPECT_EQ(loc.flash.segment, space.physOf(10));
+    EXPECT_EQ(firstByte(42), 0x77);
+}
+
+TEST_F(CleanerTest, DivertSendsPagesElsewhere)
+{
+    struct DivertEven : CleaningPolicy
+    {
+        const char *name() const override { return "test"; }
+        std::uint32_t
+        flushDestination(std::uint64_t) override
+        {
+            return 0;
+        }
+        std::uint32_t
+        divert(std::uint32_t seg, std::uint64_t idx,
+               std::uint64_t) override
+        {
+            return idx % 2 == 0 ? seg + 1 : seg;
+        }
+        std::uint64_t
+        defaultOrigin(LogicalPageId) const override
+        {
+            return 0;
+        }
+    } policy;
+
+    for (std::uint64_t p = 0; p < 6; ++p)
+        put(11, p, 0);
+    const auto result = cleaner.clean(11, &policy);
+    EXPECT_EQ(result.diverted, 3u);
+    EXPECT_EQ(result.copied, 3u);
+    EXPECT_EQ(space.liveCount(12), 3u);
+    EXPECT_EQ(space.liveCount(11), 3u);
+}
+
+TEST_F(CleanerTest, ShadowsAreCarriedAlong)
+{
+    put(13, 5, 0x55);
+    const auto loc = table.lookup(LogicalPageId(5));
+    flash.convertToShadow(loc.flash);
+    table.unmap(LogicalPageId(5)); // shadows have no owner
+
+    FlashPageAddr moved_to{};
+    cleaner.shadowMoved = [&](FlashPageAddr, FlashPageAddr to) {
+        moved_to = to;
+    };
+    cleaner.clean(13, nullptr);
+
+    ASSERT_TRUE(moved_to.valid());
+    EXPECT_EQ(moved_to.segment, space.physOf(13));
+    EXPECT_TRUE(flash.pageIsShadow(moved_to));
+    std::vector<std::uint8_t> buf(flash.geom().pageSize);
+    flash.readPage(moved_to, buf);
+    EXPECT_EQ(buf[0], 0x55);
+}
+
+TEST_F(CleanerTest, CrashMidCleanLeavesResumableState)
+{
+    for (std::uint64_t p = 0; p < 10; ++p)
+        put(14, p, static_cast<std::uint8_t>(p));
+
+    int copies = 0;
+    cleaner.crashHook = [&] { return ++copies == 4; };
+    cleaner.clean(14, nullptr);
+    cleaner.crashHook = nullptr;
+
+    // The persistent record still marks the clean.
+    const auto rec = space.cleanRecord();
+    ASSERT_TRUE(rec.inProgress);
+    EXPECT_EQ(rec.logical, 14u);
+
+    // Resume finishes the job.
+    cleaner.resume(14);
+    EXPECT_FALSE(space.cleanRecord().inProgress);
+    EXPECT_EQ(space.liveCount(14), 10u);
+    for (std::uint64_t p = 0; p < 10; ++p)
+        EXPECT_EQ(firstByte(p), static_cast<std::uint8_t>(p));
+}
+
+TEST_F(CleanerTest, BusyTimeAccumulates)
+{
+    put(0, 1, 0);
+    space.noteFlush();
+    EXPECT_EQ(cleaner.busyTime(), 0u);
+    cleaner.clean(0, nullptr);
+    // One copy (read + program) plus one erase.
+    const FlashTiming t;
+    EXPECT_GE(cleaner.busyTime(),
+              t.readTime + t.programTime + t.eraseTime);
+}
+
+} // namespace
+} // namespace envy

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the discrete-event engine (sim/event_queue.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace envy {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty)
+{
+    EventQueue q;
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.schedule(1, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace envy

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the bank organisation of Figure 4: byte j of a page lives
+ * in chip j, a whole page moves in one cycle, and a segment is one
+ * erase block across every chip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "flash/flash_bank.hh"
+
+namespace envy {
+namespace {
+
+FlashBank
+makeBank(bool store_data = true)
+{
+    // 16 chips, 128-byte blocks, 4 blocks per chip.
+    return FlashBank(16, 128, 4, FlashTiming{}, store_data);
+}
+
+TEST(FlashBank, PageRoundTrip)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16);
+    std::iota(page.begin(), page.end(), 1);
+
+    bank.programPage(2, 77, page);
+
+    std::vector<std::uint8_t> out(16, 0);
+    bank.readPage(2, 77, out);
+    EXPECT_EQ(out, page);
+}
+
+TEST(FlashBank, BytesStripeAcrossChips)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16);
+    std::iota(page.begin(), page.end(), 0x10);
+    bank.programPage(1, 5, page);
+
+    // Byte j of page p in block b = chip j, address b*128 + p.
+    for (std::uint32_t j = 0; j < 16; ++j)
+        EXPECT_EQ(bank.chip(j).read(1 * 128 + 5), 0x10 + j);
+}
+
+TEST(FlashBank, ProgramTakesOneParallelProgramTime)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16, 0xAB);
+    const Tick t = bank.programPage(0, 0, page);
+    EXPECT_EQ(t, FlashTiming{}.programTime); // parallel, not 16x
+}
+
+TEST(FlashBank, EraseSegmentClearsEveryChip)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16, 0x00);
+    bank.programPage(3, 9, page);
+
+    const Tick t = bank.eraseSegment(3);
+    EXPECT_GE(t, FlashTiming{}.eraseTime);
+
+    std::vector<std::uint8_t> out(16, 0);
+    bank.readPage(3, 9, out);
+    for (auto b : out)
+        EXPECT_EQ(b, 0xFF);
+}
+
+TEST(FlashBank, EraseLeavesOtherSegmentsAlone)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16, 0x42);
+    bank.programPage(0, 1, page);
+    bank.programPage(1, 1, page);
+    bank.eraseSegment(0);
+
+    std::vector<std::uint8_t> out(16, 0);
+    bank.readPage(1, 1, out);
+    EXPECT_EQ(out[0], 0x42);
+}
+
+TEST(FlashBank, SegmentWearCountsErases)
+{
+    FlashBank bank = makeBank();
+    EXPECT_EQ(bank.segmentCycles(2), 0u);
+    bank.eraseSegment(2);
+    bank.eraseSegment(2);
+    EXPECT_EQ(bank.segmentCycles(2), 2u);
+    EXPECT_EQ(bank.segmentCycles(0), 0u);
+}
+
+TEST(FlashBank, ParallelStatusCheck)
+{
+    FlashBank bank = makeBank();
+    EXPECT_TRUE(bank.allReady());
+    EXPECT_FALSE(bank.outOfSpec());
+}
+
+TEST(FlashBank, MetadataOnlyStillTracksWear)
+{
+    FlashBank bank = makeBank(false);
+    std::vector<std::uint8_t> page(16, 0x00);
+    bank.programPage(0, 0, page);
+    bank.eraseSegment(0);
+    EXPECT_EQ(bank.segmentCycles(0), 1u);
+}
+
+TEST(FlashBankDeathTest, OutOfRangeProgramPanics)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16, 0);
+    EXPECT_DEATH(bank.programPage(4, 0, page), "out of range");
+    EXPECT_DEATH(bank.programPage(0, 128, page), "out of range");
+}
+
+} // namespace
+} // namespace envy

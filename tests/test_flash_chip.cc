@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the Flash chip model (paper §2): CUI sequencing,
+ * program-only-clears-bits, bulk erase, wear and spec overrun.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_chip.hh"
+
+namespace envy {
+namespace {
+
+FlashTiming
+fastTiming()
+{
+    FlashTiming t;
+    t.programTime = 4000;
+    t.eraseTime = 50000000;
+    return t;
+}
+
+TEST(FlashChip, ErasedChipReadsAllOnes)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    for (std::uint64_t a = 0; a < chip.capacity(); a += 97)
+        EXPECT_EQ(chip.read(a), 0xFF);
+}
+
+TEST(FlashChip, ProgramStoresValue)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    const Tick t = chip.programByte(100, 0xA5);
+    EXPECT_EQ(t, 4000u);
+    EXPECT_EQ(chip.read(100), 0xA5);
+    EXPECT_EQ(chip.status() & FlashStatus::programError, 0);
+}
+
+TEST(FlashChip, ProgramOnlyClearsBits)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(5, 0xF0);
+    // A second program can clear more bits...
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(5, 0x30);
+    EXPECT_EQ(chip.read(5), 0x30);
+}
+
+TEST(FlashChip, SettingBitsIsAProgramError)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(5, 0x00);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(5, 0x01); // would set a bit
+    chip.writeCommand(FlashCmd::ReadStatus);
+    EXPECT_NE(chip.read(0) & FlashStatus::programError, 0);
+    chip.writeCommand(FlashCmd::ClearStatus);
+    EXPECT_EQ(chip.status(), FlashStatus::ready);
+}
+
+TEST(FlashChip, EraseRestoresBlockToOnes)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(2048 + 7, 0x00); // block 2
+    chip.writeCommand(FlashCmd::EraseSetup);
+    const Tick t = chip.eraseBlock(2);
+    EXPECT_GE(t, 50000000u);
+    EXPECT_EQ(chip.read(2048 + 7), 0xFF);
+}
+
+TEST(FlashChip, EraseOnlyAffectsItsBlock)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(0, 0x11); // block 0
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(1024, 0x22); // block 1
+    chip.writeCommand(FlashCmd::EraseSetup);
+    chip.eraseBlock(0);
+    EXPECT_EQ(chip.read(0), 0xFF);
+    EXPECT_EQ(chip.read(1024), 0x22);
+}
+
+TEST(FlashChip, EraseCountsWearPerBlock)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    for (int i = 0; i < 3; ++i) {
+        chip.writeCommand(FlashCmd::EraseSetup);
+        chip.eraseBlock(1);
+    }
+    EXPECT_EQ(chip.blockCycles(0), 0u);
+    EXPECT_EQ(chip.blockCycles(1), 3u);
+    EXPECT_EQ(chip.maxCycles(), 3u);
+}
+
+TEST(FlashChip, WearSlowsOperationsDown)
+{
+    FlashTiming t = fastTiming();
+    t.wearSlowdownPerCycle = 0.1; // exaggerated for the test
+    FlashChip chip(256, 2, t, true);
+    chip.writeCommand(FlashCmd::EraseSetup);
+    const Tick first = chip.eraseBlock(0);
+    chip.writeCommand(FlashCmd::EraseSetup);
+    const Tick second = chip.eraseBlock(0);
+    EXPECT_GT(second, first);
+
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    const Tick prog = chip.programByte(0, 0x00);
+    EXPECT_GT(prog, t.programTime); // two cycles of wear by now
+}
+
+TEST(FlashChip, SpecOverrunIsFlaggedNotFatal)
+{
+    FlashTiming t = fastTiming();
+    t.wearSlowdownPerCycle = 1.0;
+    t.maxEraseTime = t.eraseTime * 2; // fail on the 3rd erase
+    FlashChip chip(256, 2, t, true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(3, 0x5A);
+    for (int i = 0; i < 3 && !chip.outOfSpec(); ++i) {
+        chip.writeCommand(FlashCmd::EraseSetup);
+        chip.eraseBlock(1);
+    }
+    EXPECT_TRUE(chip.outOfSpec());
+    // §2: "existing data will remain readable" after flash failure.
+    EXPECT_EQ(chip.read(3), 0x5A);
+}
+
+TEST(FlashChip, MetadataOnlyModeSkipsData)
+{
+    FlashChip chip(1024, 4, fastTiming(), false);
+    EXPECT_FALSE(chip.storesData());
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(0, 0x12);
+    EXPECT_EQ(chip.read(0), 0xFF); // no cells to store it
+    chip.writeCommand(FlashCmd::EraseSetup);
+    chip.eraseBlock(0);
+    EXPECT_EQ(chip.blockCycles(0), 1u); // wear still tracked
+}
+
+TEST(FlashChip, SuspendReflectsInStatus)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::Suspend);
+    EXPECT_NE(chip.status() & FlashStatus::suspended, 0);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    chip.programByte(0, 0x00);
+    EXPECT_EQ(chip.status() & FlashStatus::suspended, 0);
+}
+
+TEST(FlashChipDeathTest, ProgramWithoutSetupPanics)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    EXPECT_DEATH(chip.programByte(0, 0x00), "ProgramSetup");
+}
+
+TEST(FlashChipDeathTest, EraseWithoutSetupPanics)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    EXPECT_DEATH(chip.eraseBlock(0), "EraseSetup");
+}
+
+TEST(FlashChipDeathTest, ReadDuringPendingOperationPanics)
+{
+    FlashChip chip(1024, 4, fastTiming(), true);
+    chip.writeCommand(FlashCmd::ProgramSetup);
+    EXPECT_DEATH((void)chip.read(0), "CUI busy");
+}
+
+} // namespace
+} // namespace envy

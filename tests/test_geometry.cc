@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for Geometry against the paper's Figure 12 numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hh"
+
+namespace envy {
+namespace {
+
+TEST(Geometry, PaperSystemMatchesFigure12)
+{
+    const Geometry g = Geometry::paperSystem();
+    EXPECT_EQ(g.flashBytes(), 2 * GiB);         // 2 GB array
+    EXPECT_EQ(g.numChips(), 2048u);             // 2048 1MBx8 chips
+    EXPECT_EQ(g.chipBytes(), 1 * MiB);
+    EXPECT_EQ(g.numBanks, 8u);                  // 8 banks
+    EXPECT_EQ(g.pageSize, 256u);                // 256 chips/bank
+    EXPECT_EQ(g.numSegments(), 128u);           // 128 segments
+    EXPECT_EQ(g.segmentBytes(), 16 * MiB);      // 16 MB each
+    EXPECT_EQ(g.pagesPerSegment(), 64 * 1024u); // 64 KB erase blocks
+    EXPECT_EQ(g.blocksPerChip, 16u);            // 16 blocks/chip
+}
+
+TEST(Geometry, SramSizingMatchesPaperSection33)
+{
+    const Geometry g = Geometry::paperSystem();
+    // "For every gigabyte of Flash, 24 MBytes of SRAM is required for
+    // the page table" -> 48 MB for 2 GB.
+    EXPECT_EQ(g.pageTableBytes(), 48 * MiB);
+    // "The buffer size is chosen to be the size of one segment."
+    EXPECT_EQ(std::uint64_t(g.effectiveWriteBufferPages()) *
+                  g.pageSize,
+              16 * MiB);
+}
+
+TEST(Geometry, UtilizationDerivesLogicalPages)
+{
+    Geometry g = Geometry::paperSystem();
+    g.targetUtilization = 0.8;
+    EXPECT_EQ(g.effectiveLogicalPages(),
+              std::uint64_t(0.8 * 128 * 65536));
+    g.logicalPages = 1000;
+    EXPECT_EQ(g.effectiveLogicalPages(), 1000u);
+}
+
+TEST(Geometry, SegmentToBankMapping)
+{
+    const Geometry g = Geometry::paperSystem();
+    EXPECT_EQ(g.bankOf(SegmentId(0)), 0u);
+    EXPECT_EQ(g.bankOf(SegmentId(15)), 0u);
+    EXPECT_EQ(g.bankOf(SegmentId(16)), 1u);
+    EXPECT_EQ(g.bankOf(SegmentId(127)), 7u);
+    EXPECT_EQ(g.blockOf(SegmentId(0)), 0u);
+    EXPECT_EQ(g.blockOf(SegmentId(17)), 1u);
+}
+
+TEST(Geometry, ValidCases)
+{
+    EXPECT_EQ(Geometry::paperSystem().validate(), nullptr);
+    EXPECT_EQ(Geometry::tiny().validate(), nullptr);
+}
+
+TEST(Geometry, RejectsBadPageSize)
+{
+    Geometry g = Geometry::tiny();
+    g.pageSize = 100; // not a power of two
+    EXPECT_NE(g.validate(), nullptr);
+    g.pageSize = 0;
+    EXPECT_NE(g.validate(), nullptr);
+}
+
+TEST(Geometry, RejectsOverfullLogicalSpace)
+{
+    Geometry g = Geometry::tiny();
+    // All space minus less than one reserve segment.
+    g.logicalPages = (g.numSegments() - 1) * g.pagesPerSegment();
+    EXPECT_NE(g.validate(), nullptr);
+}
+
+TEST(Geometry, RejectsBadUtilization)
+{
+    Geometry g = Geometry::tiny();
+    g.targetUtilization = 1.0;
+    EXPECT_NE(g.validate(), nullptr);
+    g.targetUtilization = 0.0;
+    EXPECT_NE(g.validate(), nullptr);
+}
+
+TEST(Geometry, RejectsTooFewSegments)
+{
+    Geometry g = Geometry::tiny();
+    g.numBanks = 1;
+    g.blocksPerChip = 2;
+    EXPECT_NE(g.validate(), nullptr);
+}
+
+} // namespace
+} // namespace envy

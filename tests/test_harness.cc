@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the experiment harness helpers: option parsing and
+ * result tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "envysim/config.hh"
+#include "envysim/experiment.hh"
+#include "envysim/system.hh"
+
+namespace envy {
+namespace {
+
+Options
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<char *> argv{const_cast<char *>("prog")};
+    for (const char *a : args)
+        argv.push_back(const_cast<char *>(a));
+    return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesTypes)
+{
+    const Options o =
+        parse({"segments=128", "util=0.85", "verbose=true",
+               "policy=hybrid", "name=run1"});
+    EXPECT_EQ(o.getUint("segments", 0), 128u);
+    EXPECT_DOUBLE_EQ(o.getDouble("util", 0.0), 0.85);
+    EXPECT_TRUE(o.getBool("verbose", false));
+    EXPECT_EQ(o.getPolicy("policy", PolicyKind::Greedy),
+              PolicyKind::Hybrid);
+    EXPECT_EQ(o.getString("name", ""), "run1");
+}
+
+TEST(Options, DefaultsWhenMissing)
+{
+    const Options o = parse({});
+    EXPECT_EQ(o.getUint("segments", 42), 42u);
+    EXPECT_DOUBLE_EQ(o.getDouble("util", 0.5), 0.5);
+    EXPECT_FALSE(o.getBool("verbose", false));
+    EXPECT_EQ(o.getPolicy("policy", PolicyKind::Fifo),
+              PolicyKind::Fifo);
+}
+
+TEST(Options, PolicyAliases)
+{
+    EXPECT_EQ(parse({"p=lg"}).getPolicy("p", PolicyKind::Greedy),
+              PolicyKind::LocalityGathering);
+    EXPECT_EQ(parse({"p=fifo"}).getPolicy("p", PolicyKind::Greedy),
+              PolicyKind::Fifo);
+}
+
+TEST(OptionsDeathTest, MalformedArgumentIsFatal)
+{
+    EXPECT_DEATH(parse({"notakeyvalue"}), "key=value");
+    EXPECT_DEATH(parse({"p=bogus"}).getPolicy("p", PolicyKind::Fifo),
+                 "unknown policy");
+}
+
+TEST(ResultTable, FormatsAlignedColumns)
+{
+    ResultTable t("Figure X");
+    t.setColumns({"locality", "cost"});
+    t.addRow({"50/50", ResultTable::num(4.0, 2)});
+    t.addRow({"5/95", ResultTable::num(0.72, 2)});
+    t.addNote("quick scale");
+
+    ::testing::internal::CaptureStdout();
+    t.print();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("Figure X"), std::string::npos);
+    EXPECT_NE(out.find("locality"), std::string::npos);
+    EXPECT_NE(out.find("4.00"), std::string::npos);
+    EXPECT_NE(out.find("note: quick scale"), std::string::npos);
+}
+
+TEST(ResultTable, Formatters)
+{
+    EXPECT_EQ(ResultTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ResultTable::integer(12345), "12345");
+    EXPECT_EQ(ResultTable::percent(0.405, 0), "40%");
+    EXPECT_EQ(ResultTable::percent(0.405, 1), "40.5%");
+}
+
+TEST(SystemPresets, PaperConfigIsFigure12)
+{
+    const EnvyConfig cfg = paperConfig();
+    EXPECT_EQ(cfg.geom.numSegments(), 128u);
+    EXPECT_FALSE(cfg.storeData);
+    EXPECT_EQ(cfg.policy, PolicyKind::Hybrid);
+    EXPECT_EQ(cfg.partitionSize, 16u);
+    EXPECT_EQ(cfg.geom.validate(), nullptr);
+}
+
+TEST(SystemPresets, ScaleShrinksSegmentCountNotSize)
+{
+    const EnvyConfig full = paperConfig(0.8, 1.0);
+    const EnvyConfig quarter = paperConfig(0.8, 0.25);
+    EXPECT_EQ(quarter.geom.segmentBytes(), full.geom.segmentBytes());
+    EXPECT_LT(quarter.geom.numSegments(), full.geom.numSegments());
+}
+
+TEST(SystemPresets, TimedParamsSizeTpcaToTheStore)
+{
+    const TimedParams p = paperTimedParams(10000, 0.8, 0.25);
+    TpcaWorkload w(p.tpca, 1);
+    EXPECT_LE(w.footprintBytes(), p.envy.geom.logicalBytes());
+}
+
+} // namespace
+} // namespace envy

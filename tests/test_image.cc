@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for whole-system images: a store serialised to a host file
+ * and reloaded must be byte-identical to the host, keep its wear
+ * history, and keep working (including its buffered, not-yet-flushed
+ * state).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "db/btree.hh"
+#include "envy/image.hh"
+#include "sim/random.hh"
+
+namespace envy {
+namespace {
+
+std::string
+tempImage(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+EnvyConfig
+imageConfig()
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    cfg.geom.writeBufferPages = 32;
+    return cfg;
+}
+
+TEST(EnvyImage, RoundTripsHostBytes)
+{
+    const std::string path = tempImage("roundtrip.img");
+    std::vector<std::uint8_t> ref;
+    {
+        EnvyStore store(imageConfig());
+        ref.assign(store.size(), 0);
+        Rng rng(1);
+        for (int i = 0; i < 20000; ++i) {
+            const std::uint64_t a = rng.below(store.size() - 8);
+            const std::uint64_t v = rng.next();
+            std::uint8_t buf[8];
+            for (int b = 0; b < 8; ++b) {
+                buf[b] = static_cast<std::uint8_t>(v >> (8 * b));
+                ref[a + b] = buf[b];
+            }
+            store.write(a, buf);
+        }
+        EnvyImage::save(store, path);
+    } // original store destroyed
+
+    auto store = EnvyImage::load(path);
+    ASSERT_EQ(store->size(), ref.size());
+    std::vector<std::uint8_t> buf(4096);
+    for (std::uint64_t a = 0; a < store->size(); a += buf.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(buf.size(), store->size() - a);
+        store->read(a, {buf.data(), n});
+        for (std::uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(buf[i], ref[a + i]) << "byte " << a + i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(EnvyImage, BufferedStateSurvives)
+{
+    const std::string path = tempImage("buffered.img");
+    {
+        EnvyConfig cfg = imageConfig();
+        cfg.autoDrain = false; // keep pages in the SRAM buffer
+        EnvyStore store(cfg);
+        for (int i = 0; i < 10; ++i)
+            store.writeU32(i * 4096, 0xAB000000u + i);
+        EXPECT_FALSE(store.writeBuffer().empty());
+        EnvyImage::save(store, path);
+    }
+    auto store = EnvyImage::load(path);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(store->readU32(i * 4096), 0xAB000000u + i);
+    std::remove(path.c_str());
+}
+
+TEST(EnvyImage, WearHistorySurvives)
+{
+    const std::string path = tempImage("wear.img");
+    std::vector<std::uint64_t> cycles;
+    {
+        EnvyStore store(imageConfig());
+        Rng rng(2);
+        for (int i = 0; i < 30000; ++i)
+            store.writeU8(rng.below(store.size()), 1);
+        ASSERT_GT(store.flash().statSegmentErases.value(), 0u);
+        for (std::uint32_t s = 0;
+             s < store.flash().numSegments(); ++s)
+            cycles.push_back(
+                store.flash().eraseCycles(SegmentId(s)));
+        EnvyImage::save(store, path);
+    }
+    auto store = EnvyImage::load(path);
+    for (std::uint32_t s = 0; s < store->flash().numSegments(); ++s)
+        EXPECT_EQ(store->flash().eraseCycles(SegmentId(s)),
+                  cycles[s]);
+    std::remove(path.c_str());
+}
+
+TEST(EnvyImage, LoadedStoreKeepsWorking)
+{
+    const std::string path = tempImage("working.img");
+    {
+        EnvyStore store(imageConfig());
+        BTree tree(store, 0, 128 * KiB);
+        for (std::uint64_t k = 0; k < 200; ++k)
+            tree.insert(k, k * 3);
+        EnvyImage::save(store, path);
+    }
+    auto store = EnvyImage::load(path);
+    BTree tree = BTree::open(*store, 0, 128 * KiB);
+    for (std::uint64_t k = 0; k < 200; ++k)
+        ASSERT_EQ(tree.lookup(k), k * 3);
+    // Writable, cleanable, and re-saveable.
+    for (std::uint64_t k = 200; k < 400; ++k)
+        tree.insert(k, k * 3);
+    EXPECT_TRUE(tree.validate());
+    EnvyImage::save(*store, path);
+    auto again = EnvyImage::load(path);
+    BTree t2 = BTree::open(*again, 0, 128 * KiB);
+    EXPECT_EQ(t2.size(), 400u);
+    std::remove(path.c_str());
+}
+
+TEST(EnvyImage, MetadataOnlyStoresImageToo)
+{
+    const std::string path = tempImage("meta.img");
+    std::uint64_t live;
+    {
+        EnvyConfig cfg = imageConfig();
+        cfg.storeData = false;
+        EnvyStore store(cfg);
+        Rng rng(3);
+        for (int i = 0; i < 20000; ++i)
+            store.writeU8(rng.below(store.size()), 1);
+        store.flushAll();
+        live = store.flash().totalLive();
+        EnvyImage::save(store, path);
+    }
+    auto store = EnvyImage::load(path);
+    EXPECT_FALSE(store->flash().storesData());
+    EXPECT_EQ(store->flash().totalLive(), live);
+    std::remove(path.c_str());
+}
+
+TEST(EnvyImageDeathTest, GarbageFileIsRejected)
+{
+    const std::string path = tempImage("garbage.img");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not an image", f);
+    std::fclose(f);
+    EXPECT_DEATH(EnvyImage::load(path), "not an eNVy image");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace envy

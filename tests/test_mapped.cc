@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the typed views (envy/mapped.hh): MappedValue,
+ * MappedArray and MappedArena on top of the word interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "envy/mapped.hh"
+
+namespace envy {
+namespace {
+
+EnvyConfig
+cfg()
+{
+    EnvyConfig c;
+    c.geom = Geometry::tiny();
+    return c;
+}
+
+struct Point
+{
+    std::int32_t x;
+    std::int32_t y;
+    bool operator==(const Point &) const = default;
+};
+
+TEST(MappedValue, GetSetRoundTrip)
+{
+    EnvyStore store(cfg());
+    MappedValue<std::uint64_t> v(store, 0x200);
+    v = 12345;
+    EXPECT_EQ(v.get(), 12345u);
+    EXPECT_EQ(static_cast<std::uint64_t>(v), 12345u);
+}
+
+TEST(MappedValue, StructsWork)
+{
+    EnvyStore store(cfg());
+    MappedValue<Point> p(store, 0x300);
+    p = Point{3, -4};
+    EXPECT_EQ(p.get(), (Point{3, -4}));
+}
+
+TEST(MappedValue, UpdateIsReadModifyWrite)
+{
+    EnvyStore store(cfg());
+    MappedValue<std::uint32_t> counter(store, 0x400);
+    counter = 10;
+    const std::uint32_t result =
+        counter.update([](std::uint32_t &v) { v += 5; });
+    EXPECT_EQ(result, 15u);
+    EXPECT_EQ(counter.get(), 15u);
+}
+
+TEST(MappedValue, SurvivesPowerFailure)
+{
+    EnvyStore store(cfg());
+    MappedValue<double> v(store, 0x500);
+    v = 2.71828;
+    store.powerFailAndRecover();
+    EXPECT_DOUBLE_EQ(v.get(), 2.71828);
+}
+
+TEST(MappedArray, ElementAccess)
+{
+    EnvyStore store(cfg());
+    MappedArray<std::uint32_t> arr(store, 0x1000, 100);
+    EXPECT_EQ(arr.size(), 100u);
+    for (std::uint64_t i = 0; i < arr.size(); ++i)
+        arr.put(i, static_cast<std::uint32_t>(i * i));
+    for (std::uint64_t i = 0; i < arr.size(); ++i)
+        EXPECT_EQ(arr.at(i), i * i);
+}
+
+TEST(MappedArray, ElementsSpanPages)
+{
+    // 12-byte structs in 64-byte pages: elements straddle pages.
+    struct Wide
+    {
+        std::uint32_t a, b, c;
+        bool operator==(const Wide &) const = default;
+    };
+    EnvyStore store(cfg());
+    MappedArray<Wide> arr(store, 0x1000, 50);
+    for (std::uint32_t i = 0; i < 50; ++i)
+        arr.put(i, Wide{i, i + 1, i + 2});
+    for (std::uint32_t i = 0; i < 50; ++i)
+        EXPECT_EQ(arr.at(i), (Wide{i, i + 1, i + 2}));
+}
+
+TEST(MappedArray, Fill)
+{
+    EnvyStore store(cfg());
+    MappedArray<std::uint16_t> arr(store, 0x2000, 64);
+    arr.fill(0xBEEF);
+    for (std::uint64_t i = 0; i < arr.size(); ++i)
+        EXPECT_EQ(arr.at(i), 0xBEEF);
+}
+
+TEST(MappedArena, LaysOutAligned)
+{
+    EnvyStore store(cfg());
+    MappedArena arena(store, 0x1001, 4096); // deliberately unaligned
+    auto v8 = arena.value<std::uint64_t>();
+    EXPECT_EQ(v8.address() % alignof(std::uint64_t), 0u);
+    auto arr = arena.array<std::uint32_t>(10);
+    EXPECT_EQ(arr.address() % alignof(std::uint32_t), 0u);
+    EXPECT_GE(arr.address(), v8.address() + 8);
+
+    v8 = 7;
+    arr.put(9, 99);
+    EXPECT_EQ(v8.get(), 7u);
+    EXPECT_EQ(arr.at(9), 99u);
+}
+
+TEST(MappedArenaDeathTest, ExhaustionIsFatal)
+{
+    EnvyStore store(cfg());
+    MappedArena arena(store, 0, 64);
+    arena.take(60);
+    EXPECT_DEATH(arena.take(8), "exhausted");
+}
+
+} // namespace
+} // namespace envy

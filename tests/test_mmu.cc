@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the MMU mapping cache (§5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "envy/mmu.hh"
+
+namespace envy {
+namespace {
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest()
+        : sram(PageTable::bytesNeeded(4096)),
+          table(sram, 0, 4096),
+          mmu(table, 16)
+    {
+    }
+
+    SramArray sram;
+    PageTable table;
+    Mmu mmu;
+};
+
+TEST_F(MmuTest, MissThenHit)
+{
+    table.mapToSram(LogicalPageId(1), 7);
+    EXPECT_EQ(mmu.lookup(LogicalPageId(1)).sramSlot, 7u);
+    EXPECT_EQ(mmu.statMisses.value(), 1u);
+    EXPECT_EQ(mmu.statHits.value(), 0u);
+
+    EXPECT_EQ(mmu.lookup(LogicalPageId(1)).sramSlot, 7u);
+    EXPECT_EQ(mmu.statHits.value(), 1u);
+}
+
+TEST_F(MmuTest, WriteThroughUpdatesBothTlbAndTable)
+{
+    mmu.mapToFlash(LogicalPageId(2), {SegmentId(3), 4});
+    // Table sees it...
+    EXPECT_EQ(table.lookup(LogicalPageId(2)).kind,
+              PageTable::LocKind::Flash);
+    // ...and the TLB serves it without a miss.
+    const auto loc = mmu.lookup(LogicalPageId(2));
+    EXPECT_EQ(loc.flash.slot, 4u);
+    EXPECT_EQ(mmu.statMisses.value(), 0u);
+}
+
+TEST_F(MmuTest, DirectMappedConflictEvicts)
+{
+    // Pages 5 and 5+16 collide in a 16-entry direct-mapped TLB.
+    table.mapToSram(LogicalPageId(5), 1);
+    table.mapToSram(LogicalPageId(21), 2);
+    mmu.lookup(LogicalPageId(5));
+    mmu.lookup(LogicalPageId(21));
+    mmu.lookup(LogicalPageId(5));
+    EXPECT_EQ(mmu.statMisses.value(), 3u);
+    EXPECT_EQ(mmu.statHits.value(), 0u);
+}
+
+TEST_F(MmuTest, FlushTlbForcesWalks)
+{
+    table.mapToSram(LogicalPageId(3), 9);
+    mmu.lookup(LogicalPageId(3));
+    mmu.flushTlb();
+    mmu.lookup(LogicalPageId(3));
+    EXPECT_EQ(mmu.statMisses.value(), 2u);
+}
+
+TEST_F(MmuTest, StaleTlbNeverSurvivesWriteThrough)
+{
+    table.mapToSram(LogicalPageId(6), 1);
+    mmu.lookup(LogicalPageId(6)); // cached as SRAM slot 1
+    mmu.mapToFlash(LogicalPageId(6), {SegmentId(2), 8});
+    const auto loc = mmu.lookup(LogicalPageId(6));
+    ASSERT_EQ(loc.kind, PageTable::LocKind::Flash);
+    EXPECT_EQ(loc.flash.slot, 8u);
+}
+
+TEST_F(MmuTest, UnmappedLookupsWork)
+{
+    EXPECT_EQ(mmu.lookup(LogicalPageId(100)).kind,
+              PageTable::LocKind::Unmapped);
+}
+
+TEST(MmuDeathTest, NonPowerOfTwoTlbPanics)
+{
+    SramArray sram(PageTable::bytesNeeded(16));
+    PageTable table(sram, 0, 16);
+    EXPECT_DEATH(Mmu(table, 15), "power of two");
+}
+
+} // namespace
+} // namespace envy

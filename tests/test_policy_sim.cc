@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Band tests for the §4 cleaning-cost experiments: the qualitative
+ * results of Figures 6 and 8 must hold at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "envysim/policy_sim.hh"
+
+namespace envy {
+namespace {
+
+PolicySimParams
+quick(PolicyKind kind, const char *locality)
+{
+    PolicySimParams p;
+    p.numSegments = 32;
+    p.pagesPerSegment = 1024;
+    p.policy = kind;
+    p.partitionSize = 4;
+    p.locality = LocalitySpec::parse(locality);
+    p.warmupChunks = 8;
+    p.measureChunks = 3;
+    return p;
+}
+
+TEST(PolicySim, UniformLocalityGatheringCostIsFour)
+{
+    // §4.3: under uniform access, locality gathering pins every
+    // segment at the array utilization, so the cost is exactly
+    // u/(1-u) — "a fixed cleaning cost of 4" at 80%.  The data
+    // segments run slightly above the nominal utilization because
+    // one segment is always the erased reserve.
+    auto p = quick(PolicyKind::LocalityGathering, "50/50");
+    const double u_eff = p.utilization *
+                         static_cast<double>(p.numSegments) /
+                         (p.numSegments - 1);
+    const double expect = u_eff / (1.0 - u_eff);
+    const auto r = runPolicySim(p);
+    EXPECT_NEAR(r.cleaningCost, expect, expect * 0.12);
+}
+
+TEST(PolicySim, CostFollowsUtilizationCurve)
+{
+    // Fig 6: cost = u/(1-u).  Check two points on the curve.
+    for (const double u : {0.5, 0.7}) {
+        auto p = quick(PolicyKind::LocalityGathering, "50/50");
+        p.utilization = u;
+        const auto r = runPolicySim(p);
+        const double u_eff =
+            u * p.numSegments / (p.numSegments - 1.0);
+        const double expect = u_eff / (1.0 - u_eff);
+        EXPECT_NEAR(r.cleaningCost, expect, expect * 0.15 + 0.1)
+            << "at utilization " << u;
+    }
+}
+
+TEST(PolicySim, GreedyDegradesWithLocality)
+{
+    const auto uniform =
+        runPolicySim(quick(PolicyKind::Greedy, "50/50"));
+    auto hot = quick(PolicyKind::Greedy, "5/95");
+    hot.warmupChunks = 24;
+    const auto skewed = runPolicySim(hot);
+    EXPECT_GT(skewed.cleaningCost, uniform.cleaningCost);
+}
+
+TEST(PolicySim, HybridBeatsGreedyAtHighLocality)
+{
+    auto g = quick(PolicyKind::Greedy, "5/95");
+    g.warmupChunks = 24;
+    auto h = quick(PolicyKind::Hybrid, "5/95");
+    h.warmupChunks = 24;
+    const auto greedy = runPolicySim(g);
+    const auto hybrid = runPolicySim(h);
+    EXPECT_LT(hybrid.cleaningCost, greedy.cleaningCost);
+}
+
+TEST(PolicySim, HybridNearGreedyAtUniform)
+{
+    // Fig 8: "the hybrid approach comes close to the performance of
+    // the greedy algorithm for uniform access distributions."
+    const auto greedy =
+        runPolicySim(quick(PolicyKind::Greedy, "50/50"));
+    const auto hybrid =
+        runPolicySim(quick(PolicyKind::Hybrid, "50/50"));
+    EXPECT_LT(hybrid.cleaningCost, greedy.cleaningCost + 1.0);
+}
+
+TEST(PolicySim, HybridBeatsPureLocalityGathering)
+{
+    // Fig 8: hybrid "consistently beats pure locality gathering."
+    for (const char *loc : {"50/50", "10/90"}) {
+        auto h = quick(PolicyKind::Hybrid, loc);
+        auto l = quick(PolicyKind::LocalityGathering, loc);
+        h.warmupChunks = l.warmupChunks = 16;
+        EXPECT_LT(runPolicySim(h).cleaningCost,
+                  runPolicySim(l).cleaningCost)
+            << "at locality " << loc;
+    }
+}
+
+TEST(PolicySim, ResultsAreDeterministic)
+{
+    const auto a = runPolicySim(quick(PolicyKind::Hybrid, "20/80"));
+    const auto b = runPolicySim(quick(PolicyKind::Hybrid, "20/80"));
+    EXPECT_DOUBLE_EQ(a.cleaningCost, b.cleaningCost);
+    EXPECT_EQ(a.cleans, b.cleans);
+}
+
+TEST(PolicySim, HybridAdaptsToAMovingHotSet)
+{
+    // With the hot region drifting, costs rise but must stay sane:
+    // the decaying write-rate tracker re-learns the new region
+    // instead of pinning free space to the stale one.
+    auto still = quick(PolicyKind::Hybrid, "5/95");
+    auto moving = still;
+    still.warmupChunks = moving.warmupChunks = 16;
+    still.measureChunks = moving.measureChunks = 6;
+    moving.shiftPerChunk = still.pagesPerSegment; // 1 segment/chunk
+    const auto r_still = runPolicySim(still);
+    const auto r_moving = runPolicySim(moving);
+    EXPECT_GT(r_moving.cleaningCost, r_still.cleaningCost);
+    EXPECT_LT(r_moving.cleaningCost, 8.0);
+}
+
+TEST(PolicySim, WearLevelingBoundsTheSpread)
+{
+    auto p = quick(PolicyKind::LocalityGathering, "5/95");
+    p.wearThreshold = 8;
+    p.warmupChunks = 24;
+    const auto r = runPolicySim(p);
+    EXPECT_GT(r.wearRotations, 0u);
+    EXPECT_LT(r.wearSpread, 3 * 8 + 4);
+}
+
+} // namespace
+} // namespace envy

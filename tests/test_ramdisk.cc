@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the block-device adapter (paper §1's RAM-disk
+ * compatibility path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ramdisk/ram_disk.hh"
+
+namespace envy {
+namespace {
+
+EnvyConfig
+diskConfig()
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    return cfg;
+}
+
+TEST(RamDisk, GeometryDerivesFromStore)
+{
+    EnvyStore store(diskConfig());
+    RamDisk disk(store);
+    EXPECT_EQ(disk.numSectors(), store.size() / 512);
+    EXPECT_LE(disk.capacityBytes(), store.size());
+}
+
+TEST(RamDisk, SectorRoundTrip)
+{
+    EnvyStore store(diskConfig());
+    RamDisk disk(store);
+    std::vector<std::uint8_t> sector(512);
+    std::iota(sector.begin(), sector.end(), 0);
+    disk.writeSector(5, sector);
+
+    std::vector<std::uint8_t> back(512);
+    disk.readSector(5, back);
+    EXPECT_EQ(back, sector);
+}
+
+TEST(RamDisk, SectorsDoNotOverlap)
+{
+    EnvyStore store(diskConfig());
+    RamDisk disk(store);
+    std::vector<std::uint8_t> a(512, 0xAA), b(512, 0xBB);
+    disk.writeSector(0, a);
+    disk.writeSector(1, b);
+    std::vector<std::uint8_t> back(512);
+    disk.readSector(0, back);
+    EXPECT_EQ(back[511], 0xAA);
+    disk.readSector(1, back);
+    EXPECT_EQ(back[0], 0xBB);
+}
+
+TEST(RamDisk, MultiSectorTransfer)
+{
+    EnvyStore store(diskConfig());
+    RamDisk disk(store);
+    std::vector<std::uint8_t> data(4 * 512);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 13);
+    disk.write(3, 4, data);
+
+    std::vector<std::uint8_t> back(4 * 512);
+    disk.read(3, 4, back);
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(disk.sectorWrites(), 4u);
+    EXPECT_EQ(disk.sectorReads(), 4u);
+}
+
+TEST(RamDisk, SharesTheStoreWithMappedAccess)
+{
+    // The two interfaces see the same bytes — a file system could
+    // run next to memory-mapped structures.
+    EnvyStore store(diskConfig());
+    RamDisk disk(store);
+    std::vector<std::uint8_t> sector(512, 0x5A);
+    disk.writeSector(2, sector);
+    EXPECT_EQ(store.readU8(2 * 512 + 17), 0x5A);
+    store.writeU8(2 * 512 + 17, 0x99);
+    std::vector<std::uint8_t> back(512);
+    disk.readSector(2, back);
+    EXPECT_EQ(back[17], 0x99);
+}
+
+TEST(RamDiskDeathTest, OutOfRangeSectorPanics)
+{
+    EnvyStore store(diskConfig());
+    RamDisk disk(store);
+    std::vector<std::uint8_t> sector(512);
+    EXPECT_DEATH(disk.readSector(disk.numSectors(), sector),
+                 "out of range");
+}
+
+} // namespace
+} // namespace envy

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for logical/physical segment identity and the persistent
+ * cleaning state (§3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "envy/segment_space.hh"
+
+namespace envy {
+namespace {
+
+class SegmentSpaceTest : public ::testing::Test
+{
+  protected:
+    SegmentSpaceTest()
+        : flash(Geometry::tiny(), FlashTiming{}, false),
+          sram(SegmentSpace::bytesNeeded(flash.numSegments())),
+          space(flash, sram, 0)
+    {
+    }
+
+    FlashArray flash;
+    SramArray sram;
+    SegmentSpace space;
+};
+
+TEST_F(SegmentSpaceTest, FreshIdentityMapping)
+{
+    EXPECT_EQ(space.numLogical(), flash.numSegments() - 1);
+    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
+        EXPECT_EQ(space.physOf(l).value(), l);
+        EXPECT_EQ(space.logOf(SegmentId(l)), l);
+    }
+    EXPECT_EQ(space.reserve().value(), space.numLogical());
+    EXPECT_EQ(space.logOf(space.reserve()), SegmentSpace::noLogical);
+}
+
+TEST_F(SegmentSpaceTest, CommitCleanRotatesReserve)
+{
+    const SegmentId old_phys = space.physOf(3);
+    const SegmentId old_reserve = space.reserve();
+
+    space.commitClean(3);
+
+    EXPECT_EQ(space.physOf(3), old_reserve);
+    EXPECT_EQ(space.reserve(), old_phys);
+    EXPECT_EQ(space.logOf(old_reserve), 3u);
+    EXPECT_EQ(space.logOf(old_phys), SegmentSpace::noLogical);
+}
+
+TEST_F(SegmentSpaceTest, RepeatedCleansKeepMappingBijective)
+{
+    for (std::uint32_t i = 0; i < 100; ++i)
+        space.commitClean(i % space.numLogical());
+
+    std::vector<bool> seen(flash.numSegments(), false);
+    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
+        const SegmentId p = space.physOf(l);
+        EXPECT_FALSE(seen[p.value()]);
+        seen[p.value()] = true;
+        EXPECT_EQ(space.logOf(p), l);
+    }
+    EXPECT_FALSE(seen[space.reserve().value()]);
+}
+
+TEST_F(SegmentSpaceTest, WearRotationRewiresThreeWays)
+{
+    const SegmentId pa = space.physOf(2);
+    const SegmentId pb = space.physOf(9);
+    const SegmentId res = space.reserve();
+
+    space.rotateForWear(2, 9);
+
+    EXPECT_EQ(space.physOf(2), res); // hot -> old reserve
+    EXPECT_EQ(space.physOf(9), pa);  // cold -> hot's worn home
+    EXPECT_EQ(space.reserve(), pb);  // cold's home becomes reserve
+}
+
+TEST_F(SegmentSpaceTest, FlushClockAndPerSegmentClocks)
+{
+    EXPECT_EQ(space.flushClock(), 0u);
+    space.noteFlush();
+    space.noteFlush();
+    EXPECT_EQ(space.flushClock(), 2u);
+
+    EXPECT_EQ(space.cleanCount(5), 0u);
+    space.noteClean(5);
+    EXPECT_EQ(space.cleanCount(5), 1u);
+    EXPECT_EQ(space.lastCleanClock(5), 2u);
+}
+
+TEST_F(SegmentSpaceTest, CleanRecordRoundTrip)
+{
+    EXPECT_FALSE(space.cleanRecord().inProgress);
+    space.beginCleanRecord(4, SegmentId(4), space.reserve());
+    const auto rec = space.cleanRecord();
+    EXPECT_TRUE(rec.inProgress);
+    EXPECT_EQ(rec.logical, 4u);
+    EXPECT_EQ(rec.victimPhys, 4u);
+    EXPECT_EQ(rec.destPhys, space.reserve().value());
+    space.clearCleanRecord();
+    EXPECT_FALSE(space.cleanRecord().inProgress);
+}
+
+TEST_F(SegmentSpaceTest, RecoverRebuildsFromSram)
+{
+    space.commitClean(7);
+    space.commitClean(2);
+    const SegmentId phys7 = space.physOf(7);
+    const SegmentId phys2 = space.physOf(2);
+    const SegmentId reserve = space.reserve();
+
+    // recover() must rebuild exactly what persistAll() wrote, even
+    // after the in-core mirrors are clobbered.
+    space.recover();
+    EXPECT_EQ(space.physOf(7), phys7);
+    EXPECT_EQ(space.physOf(2), phys2);
+    EXPECT_EQ(space.reserve(), reserve);
+}
+
+TEST_F(SegmentSpaceTest, QueriesForwardToFlash)
+{
+    const SegmentId phys = space.physOf(1);
+    flash.appendPage(phys, LogicalPageId(0));
+    flash.appendPage(phys, LogicalPageId(1));
+    flash.invalidatePage({phys, 0});
+    EXPECT_EQ(space.liveCount(1), 1u);
+    EXPECT_EQ(space.invalidCount(1), 1u);
+    EXPECT_EQ(space.freeSlots(1), flash.pagesPerSegment() - 2);
+    EXPECT_DOUBLE_EQ(space.utilization(1),
+                     1.0 / flash.pagesPerSegment());
+}
+
+} // namespace
+} // namespace envy

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the statistics package (sim/stats.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace envy {
+namespace {
+
+TEST(Counter, CountsAndResets)
+{
+    StatGroup g("g");
+    Counter c(&g, "c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMinMaxMean)
+{
+    StatGroup g("g");
+    Average a(&g, "a", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10.0);
+    a.sample(20.0);
+    a.sample(30.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Average, SingleSample)
+{
+    StatGroup g("g");
+    Average a(&g, "a", "");
+    a.sample(-5.0);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), -5.0);
+}
+
+TEST(Histogram, MeanAndPercentiles)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "a histogram");
+    for (int i = 0; i < 99; ++i)
+        h.sample(100);
+    h.sample(1 << 20);
+    EXPECT_EQ(h.count(), 100u);
+    // p50 falls in the bucket containing 100: [64, 128) -> 128.
+    EXPECT_EQ(h.percentile(50), 128u);
+    // p99 is still within the dense bucket; p100 would hit the spike.
+    EXPECT_LE(h.percentile(99), 128u);
+    EXPECT_NEAR(h.mean(), (99 * 100.0 + (1 << 20)) / 100.0, 1.0);
+}
+
+TEST(Histogram, ZeroBucket)
+{
+    StatGroup g("g");
+    Histogram h(&g, "h", "");
+    h.sample(0);
+    EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(StatGroup, PrintsHierarchy)
+{
+    StatGroup root("system");
+    StatGroup child("component", &root);
+    Counter c(&child, "events", "number of events");
+    c += 7;
+
+    std::ostringstream os;
+    root.printStats(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("system.component.events"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("number of events"), std::string::npos);
+}
+
+TEST(StatGroup, ResetRecurses)
+{
+    StatGroup root("r");
+    StatGroup child("c", &root);
+    Counter a(&root, "a", "");
+    Counter b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetStats();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, ChildDetachesOnDestruction)
+{
+    StatGroup root("r");
+    {
+        StatGroup child("c", &root);
+    }
+    std::ostringstream os;
+    root.printStats(os);
+    EXPECT_EQ(os.str().find("c."), std::string::npos);
+}
+
+} // namespace
+} // namespace envy

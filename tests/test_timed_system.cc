@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Band tests for the §5 timed simulation: below saturation the
+ * system keeps up with the offered load at near-constant latencies
+ * (Figs 13/15); past saturation throughput flattens and write
+ * latency blows up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "envysim/system.hh"
+
+namespace envy {
+namespace {
+
+TimedParams
+quickParams(double rate)
+{
+    TimedParams p = paperTimedParams(rate, 0.8, 0.25);
+    p.warmupSeconds = 4.0;
+    p.measureSeconds = 4.0;
+    return p;
+}
+
+TEST(TimedSystem, KeepsUpBelowSaturation)
+{
+    const auto r = runTimedSim(quickParams(10000));
+    EXPECT_NEAR(r.completedTps, 10000, 400);
+    EXPECT_EQ(r.foregroundStalls, 0u);
+}
+
+TEST(TimedSystem, LatenciesNearPaperValues)
+{
+    const auto r = runTimedSim(quickParams(10000));
+    // Paper: ~180 ns reads, ~200 ns writes.
+    EXPECT_GT(r.readLatencyNs, 150.0);
+    EXPECT_LT(r.readLatencyNs, 220.0);
+    EXPECT_GT(r.writeLatencyNs, 170.0);
+    EXPECT_LT(r.writeLatencyNs, 300.0);
+}
+
+TEST(TimedSystem, SaturationFlattensThroughput)
+{
+    const auto at50k = runTimedSim(quickParams(50000));
+    // Requested 50k, completed far less; and the write latency
+    // cliff of Fig 15 appears.
+    EXPECT_LT(at50k.completedTps, 45000);
+    EXPECT_GT(at50k.foregroundStalls, 0u);
+    EXPECT_GT(at50k.writeLatencyNs, 1000.0);
+    // Reads stay fast even at saturation (Fig 15).
+    EXPECT_LT(at50k.readLatencyNs, 250.0);
+}
+
+TEST(TimedSystem, BusyFractionsAreAFullPartition)
+{
+    const auto r = runTimedSim(quickParams(20000));
+    const double total = r.fracRead + r.fracFlush + r.fracClean +
+                         r.fracErase + r.fracIdle;
+    EXPECT_NEAR(total, 1.0, 0.02);
+    EXPECT_GT(r.fracRead, 0.0);
+    EXPECT_GT(r.fracFlush, 0.0);
+    EXPECT_GT(r.fracClean, 0.0);
+}
+
+TEST(TimedSystem, FlushRateAboutOnePagePerTransaction)
+{
+    // Paper §5.5: 10,376 pages/s at 10,000 TPS.
+    const auto r = runTimedSim(quickParams(10000));
+    EXPECT_NEAR(r.flushPagesPerSec, 10000, 1500);
+}
+
+TEST(TimedSystem, LifetimeFormulaMatchesPaperArithmetic)
+{
+    // §5.5's worked example: 2 GB, 1M-cycle parts, 10,376 pages/s at
+    // cost 1.97 -> 3,151 days.
+    TimedResult r;
+    r.flushPagesPerSec = 10376;
+    r.cleaningCost = 1.97;
+    const double days =
+        r.lifetimeDays(Geometry::paperSystem(), 1000000);
+    EXPECT_NEAR(days, 3151, 40);
+}
+
+TEST(TimedSystem, ParallelOpsRaiseTheCeiling)
+{
+    auto base = quickParams(45000);
+    auto par = base;
+    par.parallelOps = 8; // §6 extension
+    const auto serial = runTimedSim(base);
+    const auto parallel = runTimedSim(par);
+    EXPECT_GT(parallel.completedTps, serial.completedTps);
+}
+
+TEST(TimedSystem, Deterministic)
+{
+    const auto a = runTimedSim(quickParams(20000));
+    const auto b = runTimedSim(quickParams(20000));
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_DOUBLE_EQ(a.readLatencyNs, b.readLatencyNs);
+    EXPECT_DOUBLE_EQ(a.writeLatencyNs, b.writeLatencyNs);
+}
+
+TEST(TimedSystem, OverloadStillDeliversCapacity)
+{
+    // Even when the offered load is far beyond the ceiling, the
+    // completion counter must report the system's capacity, not
+    // collapse (transactions complete continuously, just late).
+    auto p = quickParams(80000);
+    const auto r = runTimedSim(p);
+    EXPECT_GT(r.completedTps, 10000.0);
+    EXPECT_LT(r.completedTps, 60000.0);
+}
+
+TEST(TimedSystem, BreakdownNeverDoubleCountsStalls)
+{
+    // Foreground stalls pay for device work inside the host span;
+    // the buckets must not count it twice even at heavy overload.
+    const auto r = runTimedSim(quickParams(60000));
+    const double total = r.fracRead + r.fracFlush + r.fracClean +
+                         r.fracErase + r.fracIdle;
+    EXPECT_LT(total, 1.05);
+    EXPECT_GT(total, 0.90);
+}
+
+TEST(TimedSystem, HigherUtilizationCostsMore)
+{
+    auto low = paperTimedParams(15000, 0.6, 0.25);
+    auto high = paperTimedParams(15000, 0.9, 0.25);
+    low.warmupSeconds = high.warmupSeconds = 4.0;
+    low.measureSeconds = high.measureSeconds = 4.0;
+    const auto r_low = runTimedSim(low);
+    const auto r_high = runTimedSim(high);
+    EXPECT_GT(r_high.cleaningCost, r_low.cleaningCost);
+}
+
+} // namespace
+} // namespace envy

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the TPC-A access-shape generator against the paper's
+ * Figure 12 (record counts, index levels) and for trace record and
+ * replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/units.hh"
+#include "workload/tpca.hh"
+#include "workload/trace.hh"
+
+namespace envy {
+namespace {
+
+TEST(TpcaShape, PaperScaleMatchesFigure12)
+{
+    // Paper: 2 GB store at 80% -> 15.5 million accounts, 1550
+    // tellers, 155 branches, trees of 5/3/2 levels.
+    const TpcaConfig cfg =
+        TpcaConfig::forStoreBytes(std::uint64_t(0.8 * 2 * GiB));
+    TpcaWorkload w(cfg, 1);
+
+    EXPECT_NEAR(static_cast<double>(cfg.numAccounts), 15.5e6, 0.5e6);
+    EXPECT_EQ(cfg.numTellers(),
+              (cfg.numAccounts + 9999) / 10000);
+    EXPECT_EQ(w.accountLevels(), 5u);
+    EXPECT_EQ(w.tellerLevels(), 3u);
+    EXPECT_EQ(w.branchLevels(), 2u);
+    // The database fills the store without overflowing it.
+    EXPECT_LE(w.footprintBytes(), std::uint64_t(0.8 * 2 * GiB));
+    EXPECT_GT(w.footprintBytes(), std::uint64_t(0.7 * 2 * GiB));
+}
+
+TEST(TpcaShape, TransactionShape)
+{
+    TpcaConfig cfg;
+    cfg.numAccounts = 100000;
+    TpcaWorkload w(cfg, 2);
+
+    std::vector<StorageAccess> txn;
+    w.nextTransaction(txn);
+
+    // Reads: probes per node over all three trees' levels plus the
+    // record pre-reads; writes: one balance word per record.
+    const std::uint32_t levels =
+        w.accountLevels() + w.tellerLevels() + w.branchLevels();
+    std::uint32_t reads = 0, writes = 0;
+    for (const auto &a : txn) {
+        (a.isWrite ? writes : reads) += 1;
+        EXPECT_EQ(a.bytes, cfg.wordBytes);
+    }
+    EXPECT_EQ(reads, levels * cfg.probesPerNode +
+                         3 * cfg.recordReadWords);
+    EXPECT_EQ(writes, 3 * cfg.recordWriteWords);
+}
+
+TEST(TpcaShape, WritesHitTheThreeRecords)
+{
+    TpcaConfig cfg;
+    cfg.numAccounts = 50000;
+    TpcaWorkload w(cfg, 3);
+    std::vector<StorageAccess> txn;
+    const std::uint64_t account = w.nextTransaction(txn);
+    const std::uint64_t teller = account / cfg.accountsPerTeller;
+    const std::uint64_t branch = teller / cfg.tellersPerBranch;
+
+    std::set<Addr> writes;
+    for (const auto &a : txn)
+        if (a.isWrite)
+            writes.insert(a.addr);
+    EXPECT_TRUE(writes.count(w.accountRecordAddr(account)));
+    EXPECT_TRUE(writes.count(w.tellerRecordAddr(teller)));
+    EXPECT_TRUE(writes.count(w.branchRecordAddr(branch)));
+}
+
+TEST(TpcaShape, AccountsAreUniform)
+{
+    TpcaConfig cfg;
+    cfg.numAccounts = 1000;
+    TpcaWorkload w(cfg, 4);
+    std::vector<StorageAccess> txn;
+    std::vector<int> hits(cfg.numAccounts, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits[w.nextTransaction(txn)]++;
+    for (auto h : hits)
+        EXPECT_NEAR(h, 100, 60); // loose 6-sigma-ish band
+}
+
+TEST(TpcaShape, InterarrivalsAreExponential)
+{
+    TpcaConfig cfg;
+    cfg.numAccounts = 1000;
+    TpcaWorkload w(cfg, 5);
+    const double rate = 10000.0;
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(w.nextInterarrival(rate));
+    // Mean inter-arrival = 1e9 / rate nanoseconds.
+    EXPECT_NEAR(sum / n, 1e9 / rate, 1e9 / rate * 0.02);
+}
+
+TEST(TpcaShape, RegionsDoNotOverlap)
+{
+    TpcaConfig cfg;
+    cfg.numAccounts = 30000;
+    TpcaWorkload w(cfg, 6);
+    // Record regions and trees are laid out back to back: spot-check
+    // ordering via addresses.
+    EXPECT_LT(w.branchRecordAddr(0), w.tellerRecordAddr(0));
+    EXPECT_LT(w.tellerRecordAddr(0), w.accountRecordAddr(0));
+    EXPECT_LT(w.accountRecordAddr(cfg.numAccounts - 1),
+              w.footprintBytes());
+}
+
+class BTreeShapeSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BTreeShapeSweep, ShapeInvariants)
+{
+    const std::uint64_t keys = GetParam();
+    BTreeShape tree(keys, 32, 256, 0x1000);
+
+    // Levels: smallest L with 32^L >= keys.
+    std::uint64_t reach = 32;
+    std::uint32_t expect_levels = 1;
+    while (reach < keys) {
+        reach *= 32;
+        ++expect_levels;
+    }
+    EXPECT_EQ(tree.levels(), expect_levels);
+
+    // Every key's path stays inside the region, visits one node per
+    // level, and distinct keys share prefixes exactly when their
+    // high digits agree.
+    const std::uint64_t probes[] = {0, 1, keys / 2, keys - 1};
+    for (const std::uint64_t k : probes) {
+        if (k >= keys)
+            continue;
+        for (std::uint32_t l = 0; l < tree.levels(); ++l) {
+            const Addr a = tree.nodeAddr(l, k);
+            EXPECT_GE(a, 0x1000u);
+            EXPECT_LT(a, 0x1000 + tree.bytes());
+            EXPECT_EQ((a - 0x1000) % 256, 0u);
+        }
+        // The root is shared by all keys.
+        EXPECT_EQ(tree.nodeAddr(0, k), tree.nodeAddr(0, 0));
+    }
+    // Leaves of far-apart keys differ (when more than one leaf).
+    if (keys > 32) {
+        EXPECT_NE(tree.nodeAddr(tree.levels() - 1, 0),
+                  tree.nodeAddr(tree.levels() - 1, keys - 1));
+    }
+    // Node count is at least keys/32 and at most ~keys/31 + levels.
+    EXPECT_GE(tree.totalNodes(), (keys + 31) / 32);
+    EXPECT_LE(tree.totalNodes(), keys / 16 + tree.levels() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyCounts, BTreeShapeSweep,
+                         ::testing::Values(1, 31, 32, 33, 155, 1024,
+                                           1550, 32768, 32769,
+                                           1000000, 15500000));
+
+TEST(Trace, RecordAndCounts)
+{
+    Trace t;
+    t.append(100, 4, false);
+    t.append(200, 4, true);
+    t.append(300, 8, true);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.readCount(), 1u);
+    EXPECT_EQ(t.writeCount(), 2u);
+    EXPECT_EQ(t[1].addr, 200u);
+    EXPECT_TRUE(t[1].isWrite);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t;
+    for (int i = 0; i < 1000; ++i)
+        t.append(i * 37, static_cast<std::uint16_t>(4 + i % 8),
+                 i % 3 == 0);
+
+    const std::string path = ::testing::TempDir() + "/trace.bin";
+    t.save(path);
+    const Trace back = Trace::load(path);
+
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].addr, t[i].addr);
+        EXPECT_EQ(back[i].bytes, t[i].bytes);
+        EXPECT_EQ(back[i].isWrite, t[i].isWrite);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, LoadRejectsGarbage)
+{
+    const std::string path = ::testing::TempDir() + "/garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH(Trace::load(path), "not an eNVy trace");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace envy
