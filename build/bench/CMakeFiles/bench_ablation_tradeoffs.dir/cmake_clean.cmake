@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tradeoffs.dir/bench_ablation_tradeoffs.cc.o"
+  "CMakeFiles/bench_ablation_tradeoffs.dir/bench_ablation_tradeoffs.cc.o.d"
+  "bench_ablation_tradeoffs"
+  "bench_ablation_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tables.cc" "bench/CMakeFiles/bench_tables.dir/bench_tables.cc.o" "gcc" "bench/CMakeFiles/bench_tables.dir/bench_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/envy_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_ramdisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_envysim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramdisk_tool.dir/ramdisk_tool.cpp.o"
+  "CMakeFiles/ramdisk_tool.dir/ramdisk_tool.cpp.o.d"
+  "ramdisk_tool"
+  "ramdisk_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramdisk_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

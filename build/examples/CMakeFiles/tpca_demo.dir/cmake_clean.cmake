@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpca_demo.dir/tpca_demo.cpp.o"
+  "CMakeFiles/tpca_demo.dir/tpca_demo.cpp.o.d"
+  "tpca_demo"
+  "tpca_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpca_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_common.dir/common/geometry.cc.o"
+  "CMakeFiles/envy_common.dir/common/geometry.cc.o.d"
+  "CMakeFiles/envy_common.dir/common/logging.cc.o"
+  "CMakeFiles/envy_common.dir/common/logging.cc.o.d"
+  "libenvy_common.a"
+  "libenvy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envy/cleaner.cc" "src/CMakeFiles/envy_core.dir/envy/cleaner.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/cleaner.cc.o.d"
+  "/root/repo/src/envy/controller.cc" "src/CMakeFiles/envy_core.dir/envy/controller.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/controller.cc.o.d"
+  "/root/repo/src/envy/envy_store.cc" "src/CMakeFiles/envy_core.dir/envy/envy_store.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/envy_store.cc.o.d"
+  "/root/repo/src/envy/image.cc" "src/CMakeFiles/envy_core.dir/envy/image.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/image.cc.o.d"
+  "/root/repo/src/envy/mmu.cc" "src/CMakeFiles/envy_core.dir/envy/mmu.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/mmu.cc.o.d"
+  "/root/repo/src/envy/page_table.cc" "src/CMakeFiles/envy_core.dir/envy/page_table.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/page_table.cc.o.d"
+  "/root/repo/src/envy/policy/cleaning_policy.cc" "src/CMakeFiles/envy_core.dir/envy/policy/cleaning_policy.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/policy/cleaning_policy.cc.o.d"
+  "/root/repo/src/envy/policy/fifo.cc" "src/CMakeFiles/envy_core.dir/envy/policy/fifo.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/policy/fifo.cc.o.d"
+  "/root/repo/src/envy/policy/greedy.cc" "src/CMakeFiles/envy_core.dir/envy/policy/greedy.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/policy/greedy.cc.o.d"
+  "/root/repo/src/envy/policy/hybrid.cc" "src/CMakeFiles/envy_core.dir/envy/policy/hybrid.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/policy/hybrid.cc.o.d"
+  "/root/repo/src/envy/policy/locality_gathering.cc" "src/CMakeFiles/envy_core.dir/envy/policy/locality_gathering.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/policy/locality_gathering.cc.o.d"
+  "/root/repo/src/envy/recovery.cc" "src/CMakeFiles/envy_core.dir/envy/recovery.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/recovery.cc.o.d"
+  "/root/repo/src/envy/segment_space.cc" "src/CMakeFiles/envy_core.dir/envy/segment_space.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/segment_space.cc.o.d"
+  "/root/repo/src/envy/wear_leveler.cc" "src/CMakeFiles/envy_core.dir/envy/wear_leveler.cc.o" "gcc" "src/CMakeFiles/envy_core.dir/envy/wear_leveler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/envy_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_core.dir/envy/cleaner.cc.o"
+  "CMakeFiles/envy_core.dir/envy/cleaner.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/controller.cc.o"
+  "CMakeFiles/envy_core.dir/envy/controller.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/envy_store.cc.o"
+  "CMakeFiles/envy_core.dir/envy/envy_store.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/image.cc.o"
+  "CMakeFiles/envy_core.dir/envy/image.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/mmu.cc.o"
+  "CMakeFiles/envy_core.dir/envy/mmu.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/page_table.cc.o"
+  "CMakeFiles/envy_core.dir/envy/page_table.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/policy/cleaning_policy.cc.o"
+  "CMakeFiles/envy_core.dir/envy/policy/cleaning_policy.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/policy/fifo.cc.o"
+  "CMakeFiles/envy_core.dir/envy/policy/fifo.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/policy/greedy.cc.o"
+  "CMakeFiles/envy_core.dir/envy/policy/greedy.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/policy/hybrid.cc.o"
+  "CMakeFiles/envy_core.dir/envy/policy/hybrid.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/policy/locality_gathering.cc.o"
+  "CMakeFiles/envy_core.dir/envy/policy/locality_gathering.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/recovery.cc.o"
+  "CMakeFiles/envy_core.dir/envy/recovery.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/segment_space.cc.o"
+  "CMakeFiles/envy_core.dir/envy/segment_space.cc.o.d"
+  "CMakeFiles/envy_core.dir/envy/wear_leveler.cc.o"
+  "CMakeFiles/envy_core.dir/envy/wear_leveler.cc.o.d"
+  "libenvy_core.a"
+  "libenvy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_db.dir/db/btree.cc.o"
+  "CMakeFiles/envy_db.dir/db/btree.cc.o.d"
+  "CMakeFiles/envy_db.dir/db/records.cc.o"
+  "CMakeFiles/envy_db.dir/db/records.cc.o.d"
+  "CMakeFiles/envy_db.dir/db/tpca_db.cc.o"
+  "CMakeFiles/envy_db.dir/db/tpca_db.cc.o.d"
+  "libenvy_db.a"
+  "libenvy_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envysim/bank_model.cc" "src/CMakeFiles/envy_envysim.dir/envysim/bank_model.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/bank_model.cc.o.d"
+  "/root/repo/src/envysim/config.cc" "src/CMakeFiles/envy_envysim.dir/envysim/config.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/config.cc.o.d"
+  "/root/repo/src/envysim/experiment.cc" "src/CMakeFiles/envy_envysim.dir/envysim/experiment.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/experiment.cc.o.d"
+  "/root/repo/src/envysim/policy_sim.cc" "src/CMakeFiles/envy_envysim.dir/envysim/policy_sim.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/policy_sim.cc.o.d"
+  "/root/repo/src/envysim/replay.cc" "src/CMakeFiles/envy_envysim.dir/envysim/replay.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/replay.cc.o.d"
+  "/root/repo/src/envysim/system.cc" "src/CMakeFiles/envy_envysim.dir/envysim/system.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/system.cc.o.d"
+  "/root/repo/src/envysim/timed_system.cc" "src/CMakeFiles/envy_envysim.dir/envysim/timed_system.cc.o" "gcc" "src/CMakeFiles/envy_envysim.dir/envysim/timed_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/envy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

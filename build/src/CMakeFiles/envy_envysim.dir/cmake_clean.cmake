@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_envysim.dir/envysim/bank_model.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/bank_model.cc.o.d"
+  "CMakeFiles/envy_envysim.dir/envysim/config.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/config.cc.o.d"
+  "CMakeFiles/envy_envysim.dir/envysim/experiment.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/experiment.cc.o.d"
+  "CMakeFiles/envy_envysim.dir/envysim/policy_sim.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/policy_sim.cc.o.d"
+  "CMakeFiles/envy_envysim.dir/envysim/replay.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/replay.cc.o.d"
+  "CMakeFiles/envy_envysim.dir/envysim/system.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/system.cc.o.d"
+  "CMakeFiles/envy_envysim.dir/envysim/timed_system.cc.o"
+  "CMakeFiles/envy_envysim.dir/envysim/timed_system.cc.o.d"
+  "libenvy_envysim.a"
+  "libenvy_envysim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_envysim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_flash.dir/flash/flash_array.cc.o"
+  "CMakeFiles/envy_flash.dir/flash/flash_array.cc.o.d"
+  "CMakeFiles/envy_flash.dir/flash/flash_bank.cc.o"
+  "CMakeFiles/envy_flash.dir/flash/flash_bank.cc.o.d"
+  "CMakeFiles/envy_flash.dir/flash/flash_chip.cc.o"
+  "CMakeFiles/envy_flash.dir/flash/flash_chip.cc.o.d"
+  "libenvy_flash.a"
+  "libenvy_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_ramdisk.dir/ramdisk/ram_disk.cc.o"
+  "CMakeFiles/envy_ramdisk.dir/ramdisk/ram_disk.cc.o.d"
+  "libenvy_ramdisk.a"
+  "libenvy_ramdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_ramdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

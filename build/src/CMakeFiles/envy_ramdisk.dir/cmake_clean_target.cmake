@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenvy_ramdisk.a"
+)

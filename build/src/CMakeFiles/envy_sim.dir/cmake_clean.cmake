@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/envy_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/envy_sim.dir/sim/random.cc.o"
+  "CMakeFiles/envy_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/envy_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/envy_sim.dir/sim/stats.cc.o.d"
+  "libenvy_sim.a"
+  "libenvy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/sram_array.cc" "src/CMakeFiles/envy_sram.dir/sram/sram_array.cc.o" "gcc" "src/CMakeFiles/envy_sram.dir/sram/sram_array.cc.o.d"
+  "/root/repo/src/sram/write_buffer.cc" "src/CMakeFiles/envy_sram.dir/sram/write_buffer.cc.o" "gcc" "src/CMakeFiles/envy_sram.dir/sram/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/envy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/envy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_sram.dir/sram/sram_array.cc.o"
+  "CMakeFiles/envy_sram.dir/sram/sram_array.cc.o.d"
+  "CMakeFiles/envy_sram.dir/sram/write_buffer.cc.o"
+  "CMakeFiles/envy_sram.dir/sram/write_buffer.cc.o.d"
+  "libenvy_sram.a"
+  "libenvy_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_txn.dir/txn/shadow.cc.o"
+  "CMakeFiles/envy_txn.dir/txn/shadow.cc.o.d"
+  "libenvy_txn.a"
+  "libenvy_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envy_workload.dir/workload/bimodal.cc.o"
+  "CMakeFiles/envy_workload.dir/workload/bimodal.cc.o.d"
+  "CMakeFiles/envy_workload.dir/workload/tpca.cc.o"
+  "CMakeFiles/envy_workload.dir/workload/tpca.cc.o.d"
+  "CMakeFiles/envy_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/envy_workload.dir/workload/trace.cc.o.d"
+  "libenvy_workload.a"
+  "libenvy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_model.dir/test_bank_model.cc.o"
+  "CMakeFiles/test_bank_model.dir/test_bank_model.cc.o.d"
+  "test_bank_model"
+  "test_bank_model.pdb"
+  "test_bank_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_envy_store.dir/test_envy_store.cc.o"
+  "CMakeFiles/test_envy_store.dir/test_envy_store.cc.o.d"
+  "test_envy_store"
+  "test_envy_store.pdb"
+  "test_envy_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_envy_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash_array.dir/test_flash_array.cc.o"
+  "CMakeFiles/test_flash_array.dir/test_flash_array.cc.o.d"
+  "test_flash_array"
+  "test_flash_array.pdb"
+  "test_flash_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

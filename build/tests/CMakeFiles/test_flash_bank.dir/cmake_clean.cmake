@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash_bank.dir/test_flash_bank.cc.o"
+  "CMakeFiles/test_flash_bank.dir/test_flash_bank.cc.o.d"
+  "test_flash_bank"
+  "test_flash_bank.pdb"
+  "test_flash_bank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash_chip.dir/test_flash_chip.cc.o"
+  "CMakeFiles/test_flash_chip.dir/test_flash_chip.cc.o.d"
+  "test_flash_chip"
+  "test_flash_chip.pdb"
+  "test_flash_chip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapped.dir/test_mapped.cc.o"
+  "CMakeFiles/test_mapped.dir/test_mapped.cc.o.d"
+  "test_mapped"
+  "test_mapped.pdb"
+  "test_mapped[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_sim.dir/test_policy_sim.cc.o"
+  "CMakeFiles/test_policy_sim.dir/test_policy_sim.cc.o.d"
+  "test_policy_sim"
+  "test_policy_sim.pdb"
+  "test_policy_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

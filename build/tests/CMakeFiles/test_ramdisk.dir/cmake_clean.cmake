@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramdisk.dir/test_ramdisk.cc.o"
+  "CMakeFiles/test_ramdisk.dir/test_ramdisk.cc.o.d"
+  "test_ramdisk"
+  "test_ramdisk.pdb"
+  "test_ramdisk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_txn.dir/test_shadow_txn.cc.o"
+  "CMakeFiles/test_shadow_txn.dir/test_shadow_txn.cc.o.d"
+  "test_shadow_txn"
+  "test_shadow_txn.pdb"
+  "test_shadow_txn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpca_db.dir/test_tpca_db.cc.o"
+  "CMakeFiles/test_tpca_db.dir/test_tpca_db.cc.o.d"
+  "test_tpca_db"
+  "test_tpca_db.pdb"
+  "test_tpca_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpca_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

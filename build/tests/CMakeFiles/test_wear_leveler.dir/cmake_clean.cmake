@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wear_leveler.dir/test_wear_leveler.cc.o"
+  "CMakeFiles/test_wear_leveler.dir/test_wear_leveler.cc.o.d"
+  "test_wear_leveler"
+  "test_wear_leveler.pdb"
+  "test_wear_leveler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wear_leveler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
