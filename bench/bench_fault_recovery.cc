@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Recovery cost by crash-point class.
+ *
+ * For every registered crash point, power is cut at a few of its
+ * occurrences inside a deterministic churn-plus-transactions
+ * workload; Recovery::run then rebuilds the store.  The table
+ * reports, per class of crash point, how expensive that rebuild was
+ * (host wall-clock) and how much repair work it did: stale flash
+ * copies reclaimed, pinned shadows swept, buffered pages kept, and
+ * how often an interrupted clean or wear rotation had to be resumed.
+ *
+ * The paper's recovery story (§3.4) is "switch on and go" — the
+ * interesting part is that the cost is dominated by the page-table
+ * scan, not by which operation the failure interrupted.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "envy/envy_store.hh"
+#include "faults/fault_injector.hh"
+#include "sim/random.hh"
+#include "txn/shadow.hh"
+
+using namespace envy;
+
+namespace {
+
+EnvyConfig
+benchStore()
+{
+    EnvyConfig cfg;
+    cfg.geom.pageSize = 64;
+    cfg.geom.blockBytes = 128;
+    cfg.geom.blocksPerChip = 4;
+    cfg.geom.numBanks = 2;
+    cfg.geom.logicalPages = 640;
+    cfg.geom.writeBufferPages = 16;
+    cfg.partitionSize = 4;
+    cfg.wearThreshold = 0; // rotate eagerly so wear points are hit
+    return cfg;
+}
+
+/** Churn with a shadow transaction every few ops; may throw PowerLoss. */
+void
+workload(EnvyStore &store, std::uint64_t ops)
+{
+    Rng rng(41);
+    ShadowManager txns(store);
+    std::vector<std::uint8_t> data(2 * store.config().geom.pageSize);
+    const std::uint64_t size = store.size();
+
+    try {
+        for (std::uint64_t op = 0; op < ops; ++op) {
+            const Addr addr = rng.chance(0.7) ? rng.below(size / 4)
+                                              : rng.below(size);
+            const std::uint64_t len =
+                std::min<std::uint64_t>(rng.between(1, data.size()),
+                                        size - addr);
+            for (std::uint64_t i = 0; i < len; ++i)
+                data[i] = static_cast<std::uint8_t>(rng.next());
+            if (rng.chance(0.25)) {
+                const auto id = txns.begin();
+                txns.write(id, addr, {data.data(), len});
+                if (rng.chance(0.4))
+                    txns.abort(id);
+                else
+                    txns.commit(id);
+            } else {
+                store.write(addr, {data.data(), len});
+            }
+        }
+    } catch (const PowerLoss &) {
+        // The machine died: the manager must not write rollbacks
+        // through the dead store from its destructor.
+        txns.powerLost();
+        throw;
+    }
+}
+
+/** Class of a crash point: its name up to the second dot. */
+std::string
+classOf(const std::string &point)
+{
+    const auto first = point.find('.');
+    const auto second = point.find('.', first + 1);
+    return point.substr(0, second);
+}
+
+struct ClassStats
+{
+    std::uint64_t cases = 0;
+    double totalUs = 0, maxUs = 0;
+    std::uint64_t stale = 0, shadows = 0, kept = 0, orphans = 0;
+    std::uint64_t cleansResumed = 0, wearResumed = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t ops = 300;
+
+    // Probe: how often does each point fire in this workload?
+    std::map<std::string, std::uint64_t> hits;
+    {
+        FaultInjector probe(FaultPlan{});
+        probe.arm();
+        EnvyStore store(benchStore());
+        probe.attachFlash(store.flash());
+        workload(store, ops);
+        probe.disarm();
+        hits = probe.hitCounts();
+    }
+
+    std::map<std::string, ClassStats> classes;
+    for (const auto &[point, count] : hits) {
+        // First, middle and last occurrence of every point.
+        std::vector<std::uint64_t> occs{1};
+        if (count > 2)
+            occs.push_back(count / 2);
+        if (count > 1)
+            occs.push_back(count);
+        for (const std::uint64_t occ : occs) {
+            FaultPlan plan;
+            plan.crashPoint = point;
+            plan.crashOccurrence = occ;
+            FaultInjector inj(plan);
+            inj.arm();
+            EnvyStore store(benchStore());
+            inj.attachFlash(store.flash());
+            bool crashed = false;
+            try {
+                workload(store, ops);
+            } catch (const PowerLoss &) {
+                crashed = true;
+            }
+            inj.disarm();
+            if (!crashed)
+                continue;
+
+            const auto t0 = std::chrono::steady_clock::now();
+            const RecoveryReport rep = store.powerFailAndRecover();
+            const auto t1 = std::chrono::steady_clock::now();
+            const double us =
+                std::chrono::duration<double, std::micro>(t1 - t0)
+                    .count();
+
+            ClassStats &c = classes[classOf(point)];
+            ++c.cases;
+            c.totalUs += us;
+            c.maxUs = std::max(c.maxUs, us);
+            c.stale += rep.staleFlashReclaimed;
+            c.shadows += rep.shadowsSwept;
+            c.kept += rep.bufferEntriesKept;
+            c.orphans += rep.bufferOrphansDropped;
+            c.cleansResumed += rep.cleanResumed ? 1 : 0;
+            c.wearResumed += rep.wearResumed ? 1 : 0;
+        }
+    }
+
+    std::printf("# Recovery cost by crash-point class\n");
+    std::printf("# store: 8 segments x 128 pages x 64 B, %llu-op "
+                "churn/txn workload\n\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("%-18s %5s %9s %9s %7s %8s %6s %7s %6s %5s\n",
+                "class", "cases", "mean_us", "max_us", "stale",
+                "shadows", "kept", "orphans", "clean", "wear");
+    for (const auto &[name, c] : classes) {
+        std::printf(
+            "%-18s %5llu %9.1f %9.1f %7.1f %8.2f %6.1f %7.2f "
+            "%6llu %5llu\n",
+            name.c_str(), static_cast<unsigned long long>(c.cases),
+            c.totalUs / static_cast<double>(c.cases), c.maxUs,
+            static_cast<double>(c.stale) /
+                static_cast<double>(c.cases),
+            static_cast<double>(c.shadows) /
+                static_cast<double>(c.cases),
+            static_cast<double>(c.kept) /
+                static_cast<double>(c.cases),
+            static_cast<double>(c.orphans) /
+                static_cast<double>(c.cases),
+            static_cast<unsigned long long>(c.cleansResumed),
+            static_cast<unsigned long long>(c.wearResumed));
+    }
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "envy/wear_leveler.hh"
+#include "faults/crash_point.hh"
 
 namespace envy {
 
@@ -31,12 +32,40 @@ Cleaner::relocate(SegmentId src_phys, std::uint32_t slot,
         flash.readPage(src, scratch_);
     const FlashPageAddr dst =
         flash.appendPage(dst_phys, logical, scratch_);
+    ENVY_CRASH_POINT("cleaner.relocate.after_program");
     mmu_.mapToFlash(logical, dst);
+    ENVY_CRASH_POINT("cleaner.relocate.after_map");
     flash.invalidatePage(src);
+    ENVY_CRASH_POINT("cleaner.relocate.done");
     ++statCleanerPrograms;
     busyTime_ +=
         flash.timing().readTime +
         flash.timing().programTimeAfter(flash.eraseCycles(dst_phys));
+}
+
+std::uint64_t
+Cleaner::moveShadows(SegmentId src, SegmentId dst)
+{
+    FlashArray &flash = space_.flash();
+    std::vector<std::uint32_t> shadows;
+    flash.forEachShadow(src, [&](std::uint32_t slot) {
+        shadows.push_back(slot);
+    });
+    for (const std::uint32_t slot : shadows) {
+        const FlashPageAddr from{src, slot};
+        if (flash.storesData())
+            flash.readPage(from, scratch_);
+        const FlashPageAddr to = flash.appendShadow(dst, scratch_);
+        ENVY_CRASH_POINT("cleaner.shadow.after_program");
+        flash.invalidatePage(from);
+        ++statCleanerPrograms;
+        busyTime_ += flash.timing().readTime +
+                     flash.timing().programTime;
+        if (shadowMoved)
+            shadowMoved(from, to);
+        ENVY_CRASH_POINT("cleaner.shadow.done");
+    }
+    return shadows.size();
 }
 
 Cleaner::CleanResult
@@ -64,6 +93,7 @@ Cleaner::cleanInternal(std::uint32_t seg, CleaningPolicy *policy,
     }
 
     space_.beginCleanRecord(seg, victim, dest);
+    ENVY_CRASH_POINT("cleaner.clean.begin");
 
     CleanResult result;
     const Tick busy0 = busyTime_;
@@ -78,7 +108,6 @@ Cleaner::cleanInternal(std::uint32_t seg, CleaningPolicy *policy,
                           live.emplace_back(slot, logical);
                       });
 
-    bool crashed = false;
     for (std::uint64_t idx = 0; idx < live.size(); ++idx) {
         const auto [slot, logical] = live[idx];
         std::uint32_t target = seg;
@@ -97,40 +126,20 @@ Cleaner::cleanInternal(std::uint32_t seg, CleaningPolicy *policy,
         if (target == seg)
             ++result.copied;
         relocate(victim, slot, logical, dst);
-        if (crashHook && crashHook()) {
-            crashed = true;
-            break;
-        }
-    }
-    if (crashed) {
-        // Simulated power failure: leave the persistent clean record
-        // set; recovery will finish the job.
-        result.busyTime = busyTime_ - busy0;
-        return result;
     }
 
     // Carry transaction shadow copies (§6) along to the new segment.
-    std::vector<std::uint32_t> shadows;
-    flash.forEachShadow(victim, [&](std::uint32_t slot) {
-        shadows.push_back(slot);
-    });
-    for (const std::uint32_t slot : shadows) {
-        const FlashPageAddr src{victim, slot};
-        if (flash.storesData())
-            flash.readPage(src, scratch_);
-        const FlashPageAddr dst = flash.appendShadow(dest, scratch_);
-        flash.invalidatePage(src);
-        ++statCleanerPrograms;
-        busyTime_ += flash.timing().readTime +
-                     flash.timing().programTime;
-        ++result.copied;
-        if (shadowMoved)
-            shadowMoved(src, dst);
-    }
+    result.copied += moveShadows(victim, dest);
 
-    busyTime_ += flash.eraseSegment(victim);
+    ENVY_CRASH_POINT("cleaner.clean.before_erase");
+    // On resume the victim may already have been erased just before
+    // the crash; do not burn a second cycle on it.
+    if (!(resuming && flash.usedSlots(victim) == 0))
+        busyTime_ += flash.eraseSegment(victim);
+    ENVY_CRASH_POINT("cleaner.clean.after_erase");
     result.busyTime = busyTime_ - busy0;
     space_.commitClean(seg);
+    ENVY_CRASH_POINT("cleaner.clean.after_commit");
     space_.noteClean(seg);
     space_.clearCleanRecord();
     ++statCleans;
@@ -179,6 +188,19 @@ Cleaner::movePages(std::uint32_t from, std::uint32_t to, bool from_tail,
         }
     }
     return moved;
+}
+
+std::uint64_t
+Cleaner::moveAllPhysical(SegmentId src, SegmentId dst)
+{
+    FlashArray &flash = space_.flash();
+    std::vector<std::pair<std::uint32_t, LogicalPageId>> live;
+    flash.forEachLive(src, [&](std::uint32_t slot, LogicalPageId p) {
+        live.emplace_back(slot, p);
+    });
+    for (const auto &[slot, logical] : live)
+        relocate(src, slot, logical, dst);
+    return live.size() + moveShadows(src, dst);
 }
 
 double

@@ -68,17 +68,20 @@ class Cleaner : public StatGroup
     std::uint64_t movePages(std::uint32_t from, std::uint32_t to,
                             bool from_tail, std::uint64_t count);
 
+    /**
+     * Move every live page and shadow of *physical* segment @p src
+     * into @p dst (wear-leveling rotations and their crash recovery;
+     * the segments need not have logical identities yet).
+     *
+     * @return pages moved.
+     */
+    std::uint64_t moveAllPhysical(SegmentId src, SegmentId dst);
+
     /** Cleaning cost so far: cleaner programs / pages flushed. */
     double cleaningCost() const;
 
     /** Device time consumed by cleaning + erasing since reset. */
     Tick busyTime() const { return busyTime_; }
-
-    /**
-     * Test hook: invoked after every relocated page; return true to
-     * abandon the clean mid-flight (simulated power failure).
-     */
-    std::function<bool()> crashHook;
 
     /**
      * Invoked whenever a shadow copy (§6 transactions) is relocated
@@ -101,6 +104,9 @@ class Cleaner : public StatGroup
     /** Relocate one live page; updates map and invalidates source. */
     void relocate(SegmentId src_phys, std::uint32_t slot,
                   LogicalPageId logical, SegmentId dst_phys);
+
+    /** Carry every shadow of @p src into @p dst; returns count. */
+    std::uint64_t moveShadows(SegmentId src, SegmentId dst);
 
     SegmentSpace &space_;
     Mmu &mmu_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "faults/crash_point.hh"
 
 namespace envy {
 
@@ -19,6 +20,8 @@ Controller::Controller(const Geometry &geom, FlashArray &flash,
                      "writes absorbed by a resident buffer page"),
       statForegroundFlushes(this, "foregroundFlushes",
                             "flushes a host write had to wait for"),
+      statFlushRetries(this, "flushRetries",
+                       "flush programs retried after a spec-failure"),
       geom_(geom),
       flash_(flash),
       mmu_(mmu),
@@ -180,8 +183,10 @@ Controller::copyOnWrite(LogicalPageId page,
         else
             std::fill(dst.begin(), dst.end(), 0);
     }
+    ENVY_CRASH_POINT("ctl.cow.after_push");
     // The page table swing makes the new copy visible atomically...
     mmu_.mapToSram(page, slot);
+    ENVY_CRASH_POINT("ctl.cow.after_map");
     // ...then the stale flash copy is invalidated — or kept as a
     // pinned shadow when a transaction wants rollback ability (§6).
     if (loc.kind == PageTable::LocKind::Flash) {
@@ -190,6 +195,7 @@ Controller::copyOnWrite(LogicalPageId page,
         else
             flash_.invalidatePage(loc.flash);
     }
+    ENVY_CRASH_POINT("ctl.cow.done");
 
     outcome.cow = true;
     ++statCows;
@@ -238,19 +244,39 @@ Controller::flushOne()
 {
     const WriteBuffer::TailInfo tail = buffer_.tail();
     const Tick clean_busy0 = cleaner_.busyTime();
-    const std::uint32_t dest = policy_.flushDestination(tail.origin);
-    const SegmentId phys = space_.physOf(dest);
-    ENVY_ASSERT(flash_.freeSlots(phys) > 0,
-                "policy returned a full flush destination");
 
     std::span<const std::uint8_t> data;
     if (flash_.storesData())
         data = buffer_.slotData(tail.slot);
-    const FlashPageAddr addr =
-        flash_.appendPage(phys, tail.logical, data);
+
+    // A program can fail out of spec (§5.1: the status register
+    // reports it); the slot is then retired and the page retried in
+    // the next usable slot.  The policy is re-consulted each attempt
+    // because a retirement may leave the destination without free
+    // slots, forcing a clean.
+    FlashPageAddr addr;
+    SegmentId phys;
+    for (;;) {
+        const std::uint32_t dest = policy_.flushDestination(tail.origin);
+        phys = space_.physOf(dest);
+        ENVY_ASSERT(flash_.freeSlots(phys) > 0,
+                    "policy returned a full flush destination");
+        ENVY_CRASH_POINT("ctl.flush.before_program");
+        const FlashArray::AppendResult res =
+            flash_.tryAppendPage(phys, tail.logical, data);
+        if (!res.failed) {
+            addr = res.addr;
+            break;
+        }
+        ++statFlushRetries;
+        ENVY_CRASH_POINT("ctl.flush.after_program_failure");
+    }
+    ENVY_CRASH_POINT("ctl.flush.after_program");
     mmu_.mapToFlash(tail.logical, addr);
+    ENVY_CRASH_POINT("ctl.flush.after_map");
     buffer_.popTail();
     space_.noteFlush();
+    ENVY_CRASH_POINT("ctl.flush.done");
 
     const Tick program = flash_.timing().programTimeAfter(
         flash_.eraseCycles(phys));

@@ -116,6 +116,7 @@ class Controller : public StatGroup
     Counter statCows;
     Counter statBufferHits;
     Counter statForegroundFlushes;
+    Counter statFlushRetries;
 
   private:
     LogicalPageId pageOf(Addr addr) const

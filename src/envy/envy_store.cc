@@ -131,10 +131,10 @@ EnvyStore::cleaningCost() const
     return cleaner_->cleaningCost();
 }
 
-void
+RecoveryReport
 EnvyStore::powerFailAndRecover()
 {
-    Recovery::run(*this);
+    return Recovery::run(*this);
 }
 
 } // namespace envy

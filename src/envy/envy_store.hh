@@ -25,6 +25,7 @@
 #include "common/geometry.hh"
 #include "envy/controller.hh"
 #include "envy/page_table.hh"
+#include "envy/recovery.hh"
 #include "envy/wear_leveler.hh"
 #include "flash/flash_array.hh"
 #include "sram/sram_array.hh"
@@ -96,10 +97,11 @@ class EnvyStore : public StatGroup
     /**
      * Simulate a power failure and recovery: every in-core structure
      * is rebuilt from battery-backed SRAM and flash metadata, any
-     * interrupted clean is completed, and orphaned copies produced by
-     * a crash mid-operation are reclaimed.  See recovery.cc.
+     * interrupted clean or wear rotation is completed, and orphaned
+     * copies produced by a crash mid-operation are reclaimed.  See
+     * recovery.cc.
      */
-    void powerFailAndRecover();
+    RecoveryReport powerFailAndRecover();
 
   private:
     EnvyConfig cfg_;

@@ -10,7 +10,7 @@ namespace envy {
 
 namespace {
 
-constexpr char magic[8] = {'E', 'N', 'V', 'Y', 'I', 'M', 'G', '1'};
+constexpr char magic[8] = {'E', 'N', 'V', 'Y', 'I', 'M', 'G', '2'};
 
 void
 putU64(std::FILE *f, std::uint64_t v)
@@ -53,6 +53,10 @@ getBytes(std::FILE *f, std::span<std::uint8_t> bytes)
 // Owner encoding in the image, mirroring the array's internal one.
 constexpr std::uint64_t imgDead = 0xFFFFFFFFull;
 constexpr std::uint64_t imgShadow = 0xFFFFFFFEull;
+// A slot consumed by a program spec-failure.  Retirement is physical
+// damage, so it is part of the flash state an image must carry; a
+// retired slot stores no cell data.
+constexpr std::uint64_t imgRetired = 0xFFFFFFFDull;
 
 } // namespace
 
@@ -93,10 +97,29 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
         const std::uint64_t used = flash.usedSlots(seg);
+        const std::uint64_t cap = flash.pagesPerSegment();
         putU64(f, used);
         putU64(f, flash.eraseCycles(seg));
+
+        // Retired slots ahead of the write pointer (retirements that
+        // survived an erase of the segment).
+        std::vector<std::uint64_t> retired_ahead;
+        for (std::uint64_t slot = used; slot < cap; ++slot) {
+            const FlashPageAddr addr{seg,
+                                     static_cast<std::uint32_t>(slot)};
+            if (flash.slotRetired(addr))
+                retired_ahead.push_back(slot);
+        }
+        putU64(f, retired_ahead.size());
+        for (const std::uint64_t slot : retired_ahead)
+            putU64(f, slot);
+
         for (std::uint32_t slot = 0; slot < used; ++slot) {
             const FlashPageAddr addr{seg, slot};
+            if (flash.slotRetired(addr)) {
+                putU64(f, imgRetired);
+                continue; // retired slots carry no data
+            }
             const LogicalPageId owner = flash.pageOwner(addr);
             if (owner.valid())
                 putU64(f, owner.value());
@@ -161,8 +184,18 @@ EnvyImage::load(const std::string &path)
         const SegmentId seg{s};
         const std::uint64_t used = getU64(f);
         const std::uint64_t cycles = getU64(f);
+        const std::uint64_t ahead = getU64(f);
+        std::vector<std::uint32_t> retired_ahead(ahead);
+        for (std::uint64_t i = 0; i < ahead; ++i)
+            retired_ahead[i] = static_cast<std::uint32_t>(getU64(f));
         for (std::uint64_t slot = 0; slot < used; ++slot) {
             const std::uint64_t owner = getU64(f);
+            if (owner == imgRetired) {
+                // Replayed in slot order, so the segment's write
+                // pointer is sitting exactly on this slot.
+                flash.retireNextSlot(seg);
+                continue;
+            }
             if (cfg.storeData)
                 getBytes(f, page);
             std::span<const std::uint8_t> data =
@@ -178,6 +211,8 @@ EnvyImage::load(const std::string &path)
                 flash.appendPage(seg, LogicalPageId(owner), data);
             }
         }
+        for (const std::uint32_t slot : retired_ahead)
+            flash.restoreRetiredAhead(seg, slot);
         flash.restoreWear(seg, cycles);
     }
     std::fclose(f);

@@ -7,9 +7,10 @@
 
 namespace envy {
 
-void
+RecoveryReport
 Recovery::run(EnvyStore &store)
 {
+    RecoveryReport report;
     SramArray &sram = *store.sram_;
     FlashArray &flash = *store.flash_;
     PageTable &pt = *store.pageTable_;
@@ -17,6 +18,7 @@ Recovery::run(EnvyStore &store)
     SegmentSpace &space = *store.space_;
     Mmu &mmu = *store.mmu_;
     Cleaner &cleaner = *store.cleaner_;
+    WearLeveler &wear = *store.wearLeveler_;
 
     // 1. Power failure: battery-backed SRAM survives; all in-core
     // caches are now suspect.
@@ -25,7 +27,24 @@ Recovery::run(EnvyStore &store)
     space.recover();
     buffer.recover();
 
-    // 2. Reclaim stale flash duplicates: a slot owned by logical page
+    // 2. Sweep transaction shadows (§6).  The ShadowManager's
+    // shadow-to-transaction bookkeeping is volatile, so every pinned
+    // shadow is now an orphan; the committed state of each page is
+    // whatever the page table points at.  Sweeping first also means
+    // the resumed clean/rotation below never relocates a shadow
+    // nobody is tracking.
+    for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
+        const SegmentId seg{s};
+        std::vector<std::uint32_t> shadows;
+        flash.forEachShadow(seg, [&](std::uint32_t slot) {
+            shadows.push_back(slot);
+        });
+        for (const std::uint32_t slot : shadows)
+            flash.invalidatePage({seg, slot});
+        report.shadowsSwept += shadows.size();
+    }
+
+    // 3. Reclaim stale flash duplicates: a slot owned by logical page
     // L is live only if the page table still points at it (the table
     // swing is the commit point).
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
@@ -42,9 +61,10 @@ Recovery::run(EnvyStore &store)
         });
         for (const FlashPageAddr &addr : stale)
             flash.invalidatePage(addr);
+        report.staleFlashReclaimed += stale.size();
     }
 
-    // 3. Rebuild the write buffer, dropping orphan slots (a push whose
+    // 4. Rebuild the write buffer, dropping orphan slots (a push whose
     // page-table swing never happened).  Surviving entries keep their
     // FIFO order; the page table is rewritten to the new slot indices.
     struct Entry
@@ -62,12 +82,16 @@ Recovery::run(EnvyStore &store)
         // Oldest first: the slot layout is a ring.
         const std::uint32_t slot = (tail_slot + i) % cap;
         const LogicalPageId owner = buffer.slotOwner(slot);
-        if (!owner.valid())
+        if (!owner.valid()) {
+            ++report.bufferOrphansDropped;
             continue; // hole left by a partial push
+        }
         const PageTable::Location loc = pt.lookup(owner);
         if (loc.kind != PageTable::LocKind::Sram ||
-            loc.sramSlot != slot)
+            loc.sramSlot != slot) {
+            ++report.bufferOrphansDropped;
             continue; // orphan: table never swung to this slot
+        }
         Entry e;
         e.logical = owner;
         e.origin = buffer.slotOrigin(slot);
@@ -86,21 +110,41 @@ Recovery::run(EnvyStore &store)
         }
         mmu.mapToSram(e.logical, slot);
     }
+    report.bufferEntriesKept = entries.size();
 
-    // 4. Finish an interrupted clean.
+    // 5. Finish an interrupted wear-leveling rotation.  Mutually
+    // exclusive with an interrupted clean: a rotation only starts
+    // after the clean's record is cleared.
+    report.wearResumed = wear.resumeRotation(space, cleaner);
+
+    // 6. Finish an interrupted clean.
     const SegmentSpace::CleanRecord rec = space.cleanRecord();
     if (rec.inProgress) {
-        ENVY_ASSERT(space.physOf(rec.logical).value() == rec.victimPhys,
-                    "clean record does not match the segment map");
-        ENVY_ASSERT(space.reserve().value() == rec.destPhys,
-                    "clean record does not match the reserve");
-        ENVY_INFORM("recovery: resuming clean of logical segment ",
-                    rec.logical);
-        cleaner.resume(rec.logical);
+        if (space.physOf(rec.logical).value() == rec.destPhys) {
+            // The crash fell between commitClean and the record
+            // clear: the segment map already names the destination,
+            // the old victim is erased and is the reserve.
+            ENVY_ASSERT(space.reserve().value() == rec.victimPhys,
+                        "committed clean record does not match the "
+                        "reserve");
+            space.clearCleanRecord();
+            report.cleanRecordOnlyCleared = true;
+        } else {
+            ENVY_ASSERT(
+                space.physOf(rec.logical).value() == rec.victimPhys,
+                "clean record does not match the segment map");
+            ENVY_ASSERT(space.reserve().value() == rec.destPhys,
+                        "clean record does not match the reserve");
+            ENVY_INFORM("recovery: resuming clean of logical segment ",
+                        rec.logical);
+            cleaner.resume(rec.logical);
+            report.cleanResumed = true;
+        }
     }
 
-    // 5. Reset policy heuristics against the recovered reality.
+    // 7. Reset policy heuristics against the recovered reality.
     store.controller_->policy().attach(space, cleaner);
+    return report;
 }
 
 } // namespace envy

@@ -9,34 +9,64 @@
  * can recover quickly after a failure" (§3.4).
  *
  * Recovery rebuilds the in-core mirrors from those domains, then
- * repairs the two inconsistency windows the design allows:
+ * repairs the inconsistency windows the design allows:
  *
  *  - a page programmed into flash whose page-table swing never
- *    happened (crash during a flush) leaves a stale duplicate that is
- *    simply re-invalidated;
+ *    happened (crash during a flush or a cleaner relocation) leaves a
+ *    stale duplicate that is simply re-invalidated;
  *  - a write-buffer slot populated whose page-table swing never
  *    happened (crash during a copy-on-write) leaves an orphan slot
- *    that is dropped while the buffer is rebuilt.
+ *    that is dropped while the buffer is rebuilt;
+ *  - transaction shadows (§6) whose bookkeeping lived in the (lost)
+ *    ShadowManager are swept back to reclaimable space — the page
+ *    table already holds each page's committed location;
+ *  - an interrupted wear-leveling rotation — recognisable from the
+ *    persistent wear record — is driven to completion;
+ *  - an interrupted clean — recognisable from the persistent clean
+ *    record — is resumed and committed (or, if the crash landed
+ *    between the commit and the record clear, merely acknowledged).
  *
- * Finally, an interrupted clean — recognisable from the persistent
- * clean record — is resumed and committed.  In all cases the page
- * table is the commit point: a logical page's data is whatever the
- * table pointed at when power died, which is exactly the paper's
- * "changes do not become visible until the page table is updated".
+ * In all cases the page table is the commit point: a logical page's
+ * data is whatever the table pointed at when power died, which is
+ * exactly the paper's "changes do not become visible until the page
+ * table is updated".
  */
 
 #ifndef ENVY_ENVY_RECOVERY_HH
 #define ENVY_ENVY_RECOVERY_HH
 
+#include <cstdint>
+
 namespace envy {
 
 class EnvyStore;
+
+/** What recovery found and repaired (one power failure's worth). */
+struct RecoveryReport
+{
+    /** Flash slots whose page-table swing never happened. */
+    std::uint64_t staleFlashReclaimed = 0;
+    /** §6 shadow slots reclaimed (their transactions died with
+     *  the power). */
+    std::uint64_t shadowsSwept = 0;
+    /** Write-buffer pages that survived with their FIFO order. */
+    std::uint64_t bufferEntriesKept = 0;
+    /** Buffer slots dropped: pushes whose table swing never
+     *  happened. */
+    std::uint64_t bufferOrphansDropped = 0;
+    /** A clean was in flight and has been resumed to completion. */
+    bool cleanResumed = false;
+    /** The clean had already committed; only its record was stale. */
+    bool cleanRecordOnlyCleared = false;
+    /** A wear-leveling rotation was in flight and has been finished. */
+    bool wearResumed = false;
+};
 
 class Recovery
 {
   public:
     /** Simulate power failure on @p store and bring it back up. */
-    static void run(EnvyStore &store);
+    static RecoveryReport run(EnvyStore &store);
 };
 
 } // namespace envy

@@ -28,6 +28,7 @@ SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base)
 
     persistAll();
     clearCleanRecord();
+    clearWearRecord();
 }
 
 std::uint64_t
@@ -154,6 +155,46 @@ SegmentSpace::cleanRecord() const
     r.logical = static_cast<std::uint32_t>(sram_.readUint(base_ + 8, 4));
     r.victimPhys = sram_.readUint(base_ + 12, 4);
     r.destPhys = sram_.readUint(base_ + 16, 4);
+    return r;
+}
+
+void
+SegmentSpace::beginWearRecord(std::uint32_t hot, std::uint32_t cold,
+                              SegmentId phys_old, SegmentId phys_young,
+                              SegmentId fresh)
+{
+    sram_.writeUint(base_ + 24, hot, 4);
+    sram_.writeUint(base_ + 28, cold, 4);
+    sram_.writeUint(base_ + 32, phys_old.value(), 4);
+    sram_.writeUint(base_ + 36, phys_young.value(), 4);
+    sram_.writeUint(base_ + 40, fresh.value(), 4);
+    // Stage last: the record is only meaningful once complete.
+    sram_.writeUint(base_ + 20, 1, 4);
+}
+
+void
+SegmentSpace::advanceWearRecord(std::uint32_t stage)
+{
+    ENVY_ASSERT(stage == 2, "bad wear stage");
+    sram_.writeUint(base_ + 20, stage, 4);
+}
+
+void
+SegmentSpace::clearWearRecord()
+{
+    sram_.writeUint(base_ + 20, 0, 4);
+}
+
+SegmentSpace::WearRecord
+SegmentSpace::wearRecord() const
+{
+    WearRecord r;
+    r.stage = static_cast<std::uint32_t>(sram_.readUint(base_ + 20, 4));
+    r.hot = static_cast<std::uint32_t>(sram_.readUint(base_ + 24, 4));
+    r.cold = static_cast<std::uint32_t>(sram_.readUint(base_ + 28, 4));
+    r.physOld = sram_.readUint(base_ + 32, 4);
+    r.physYoung = sram_.readUint(base_ + 36, 4);
+    r.fresh = sram_.readUint(base_ + 40, 4);
     return r;
 }
 

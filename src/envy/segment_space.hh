@@ -97,6 +97,41 @@ class SegmentSpace
     void clearCleanRecord();
     CleanRecord cleanRecord() const;
 
+    /**
+     * Persistent record of an in-flight wear-leveling rotation
+     * (§4.3).  The rotation moves data twice through the reserve, so
+     * — unlike a clean — it has two windows in which live pages sit
+     * on segments the naming commit has not blessed yet.  The stage
+     * field tells recovery how far the rotation got:
+     *
+     *   1  moving `hot`'s data from physOld onto fresh (the reserve)
+     *   2  physOld erased; moving `cold`'s data onto it
+     *
+     * The naming rewire (rotateForWear) and clearWearRecord() bracket
+     * the commit; recovery distinguishes "committed but record not
+     * yet cleared" by checking whether physOf(hot) already equals
+     * fresh.
+     */
+    struct WearRecord
+    {
+        std::uint32_t stage = 0; //!< 0 = no rotation in flight
+        std::uint32_t hot = 0;   //!< logical segment being demoted
+        std::uint32_t cold = 0;  //!< logical segment being promoted
+        std::uint64_t physOld = 0;
+        std::uint64_t physYoung = 0;
+        std::uint64_t fresh = 0;
+    };
+
+    /** Persist stage 1 before the first page of a rotation moves. */
+    void beginWearRecord(std::uint32_t hot, std::uint32_t cold,
+                         SegmentId phys_old, SegmentId phys_young,
+                         SegmentId fresh);
+    /** Advance the persisted stage (after the first erase). */
+    void advanceWearRecord(std::uint32_t stage);
+    /** Clear the record once the rotation has fully committed. */
+    void clearWearRecord();
+    WearRecord wearRecord() const;
+
     /** Rebuild in-core mirrors from SRAM after a power failure. */
     void recover();
 
@@ -105,8 +140,10 @@ class SegmentSpace
 
   private:
     // SRAM header layout: 0 reserve, 4 cleanInProgress, 8 cleanLogical,
-    // 12 victimPhys, 16 destPhys, 20 pad; physOf table follows.
-    static constexpr Addr headerBytes = 24;
+    // 12 victimPhys, 16 destPhys, 20 wearStage, 24 wearHot, 28 wearCold,
+    // 32 wearPhysOld, 36 wearPhysYoung, 40 wearFresh, 44 pad; the
+    // physOf table follows.
+    static constexpr Addr headerBytes = 48;
 
     Addr physOfAddr(std::uint32_t logical) const
     {

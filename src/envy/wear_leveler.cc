@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "envy/cleaner.hh"
 #include "envy/segment_space.hh"
+#include "faults/crash_point.hh"
 
 namespace envy {
 
@@ -64,59 +65,90 @@ WearLeveler::maybeRotate(SegmentSpace &space, Cleaner &cleaner)
     //   1. data of `oldest` (hot)  -> reserve
     //   2. data of `youngest` (cold) -> oldest's worn home
     //   3. youngest's old home becomes the new reserve
+    // The persistent wear record stages the progress: a power
+    // failure at any point leaves enough state for resumeRotation()
+    // to finish the job.
     const SegmentId physOld = space.physOf(oldest);
     const SegmentId physYoung = space.physOf(youngest);
     const SegmentId fresh = space.reserve();
+    FlashArray &fa = space.flash();
+
+    space.beginWearRecord(oldest, youngest, physOld, physYoung, fresh);
+    ENVY_CRASH_POINT("wear.rotate.begin");
+    cleaner.moveAllPhysical(physOld, fresh);
+    ENVY_CRASH_POINT("wear.rotate.after_first_move");
+    fa.eraseSegment(physOld);
+    ENVY_CRASH_POINT("wear.rotate.after_first_erase");
+    space.advanceWearRecord(2);
+    cleaner.moveAllPhysical(physYoung, physOld);
+    ENVY_CRASH_POINT("wear.rotate.after_second_move");
+    fa.eraseSegment(physYoung);
+    ENVY_CRASH_POINT("wear.rotate.after_second_erase");
+    space.rotateForWear(oldest, youngest);
+    ENVY_CRASH_POINT("wear.rotate.after_commit");
+    space.clearWearRecord();
+
+    finishRotation(space, cleaner, physOld, physYoung, fresh);
+    return true;
+}
+
+bool
+WearLeveler::resumeRotation(SegmentSpace &space, Cleaner &cleaner)
+{
+    // A power failure wiped the in-core recursion guard with the
+    // rest of the machine.
+    busy_ = false;
+
+    const SegmentSpace::WearRecord rec = space.wearRecord();
+    if (rec.stage == 0)
+        return false;
 
     FlashArray &fa = space.flash();
-    auto moveAll = [&](SegmentId src, SegmentId dst) {
-        std::vector<std::pair<std::uint32_t, LogicalPageId>> live;
-        fa.forEachLive(src, [&](std::uint32_t slot, LogicalPageId p) {
-            live.emplace_back(slot, p);
-        });
-        std::vector<std::uint8_t> buf(
-            fa.storesData() ? fa.geom().pageSize : 0);
-        for (auto [slot, logical] : live) {
-            const FlashPageAddr s{src, slot};
-            if (fa.storesData())
-                fa.readPage(s, buf);
-            const FlashPageAddr d = fa.appendPage(dst, logical, buf);
-            cleaner.mmu().mapToFlash(logical, d);
-            fa.invalidatePage(s);
-            ++cleaner.statCleanerPrograms;
-        }
-        std::vector<std::uint32_t> shadows;
-        fa.forEachShadow(src, [&](std::uint32_t slot) {
-            shadows.push_back(slot);
-        });
-        for (const std::uint32_t slot : shadows) {
-            const FlashPageAddr s{src, slot};
-            if (fa.storesData())
-                fa.readPage(s, buf);
-            const FlashPageAddr d = fa.appendShadow(dst, buf);
-            fa.invalidatePage(s);
-            ++cleaner.statCleanerPrograms;
-            if (cleaner.shadowMoved)
-                cleaner.shadowMoved(s, d);
-        }
-    };
+    if (lastRotation_.size() < fa.numSegments())
+        lastRotation_.assign(fa.numSegments(), 0);
+    const SegmentId physOld{rec.physOld};
+    const SegmentId physYoung{rec.physYoung};
+    const SegmentId fresh{rec.fresh};
 
-    moveAll(physOld, fresh);
-    fa.eraseSegment(physOld);
-    moveAll(physYoung, physOld);
-    fa.eraseSegment(physYoung);
-    space.rotateForWear(oldest, youngest);
+    busy_ = true;
+    if (rec.stage == 1) {
+        // Finish moving hot's remaining pages onto the old reserve.
+        cleaner.moveAllPhysical(physOld, fresh);
+        if (fa.usedSlots(physOld) > 0)
+            fa.eraseSegment(physOld);
+        space.advanceWearRecord(2);
+    }
+    // Stage 2: cold's data moves onto the worn segment and the
+    // naming commit follows — unless the commit already happened
+    // (crash between rotateForWear and clearWearRecord),
+    // recognisable because hot already lives on fresh.
+    if (space.physOf(rec.hot).value() != rec.fresh) {
+        cleaner.moveAllPhysical(physYoung, physOld);
+        if (fa.usedSlots(physYoung) > 0)
+            fa.eraseSegment(physYoung);
+        space.rotateForWear(rec.hot, rec.cold);
+    }
+    space.clearWearRecord();
 
+    finishRotation(space, cleaner, physOld, physYoung, fresh);
+    return true;
+}
+
+void
+WearLeveler::finishRotation(SegmentSpace &space, Cleaner &cleaner,
+                            SegmentId phys_old, SegmentId phys_young,
+                            SegmentId fresh)
+{
     // Every participant waits out a full threshold of further wear
     // before rotating again.
-    lastRotation_[physOld.value()] = fa.eraseCycles(physOld);
-    lastRotation_[physYoung.value()] = fa.eraseCycles(physYoung);
+    const FlashArray &fa = space.flash();
+    lastRotation_[phys_old.value()] = fa.eraseCycles(phys_old);
+    lastRotation_[phys_young.value()] = fa.eraseCycles(phys_young);
     lastRotation_[fresh.value()] = fa.eraseCycles(fresh);
 
     ++statRotations;
     ++cleaner.statWearRotations;
     busy_ = false;
-    return true;
 }
 
 } // namespace envy

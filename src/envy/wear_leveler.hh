@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/types.hh"
 #include "sim/stats.hh"
 
 namespace envy {
@@ -44,11 +45,21 @@ class WearLeveler : public StatGroup
     /**
      * Called by the Cleaner after every erase.  If the wear spread
      * exceeds the threshold, rotates the most- and least-worn data
-     * segments through the reserve.
+     * segments through the reserve.  The rotation's progress is
+     * staged through the persistent wear record in SegmentSpace so a
+     * power failure at any instant leaves a resumable state.
      *
      * @return true if a rotation was performed.
      */
     bool maybeRotate(SegmentSpace &space, Cleaner &cleaner);
+
+    /**
+     * Finish a rotation a power failure interrupted (recovery path;
+     * a no-op when no wear record is pending).
+     *
+     * @return true if a rotation was resumed.
+     */
+    bool resumeRotation(SegmentSpace &space, Cleaner &cleaner);
 
     /** Current max-min spread of erase cycles over data segments. */
     std::uint64_t spread(const SegmentSpace &space) const;
@@ -56,6 +67,11 @@ class WearLeveler : public StatGroup
     Counter statRotations;
 
   private:
+    /** Shared epilogue of a fresh and a resumed rotation. */
+    void finishRotation(SegmentSpace &space, Cleaner &cleaner,
+                        SegmentId phys_old, SegmentId phys_young,
+                        SegmentId fresh);
+
     std::uint64_t threshold_;
     bool busy_ = false; //!< rotation itself erases; avoid recursion
     /**

@@ -1,0 +1,578 @@
+#include "envysim/crash_explorer.hh"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "db/tpca_db.hh"
+#include "sim/random.hh"
+#include "txn/shadow.hh"
+
+namespace envy {
+
+namespace {
+
+/**
+ * A workload the explorer can crash anywhere: runs deterministic
+ * operations against the store, maintains a reference model of the
+ * expected contents, and knows — at every instant — which pages the
+ * in-flight operation leaves in an either-or state.
+ */
+class WorkloadDriver
+{
+  public:
+    virtual ~WorkloadDriver() = default;
+    /** Run @p ops operations; may be cut short by PowerLoss. */
+    virtual void run(std::uint64_t ops) = 0;
+    /** Drop volatile state (the machine died mid-operation). */
+    virtual void onPowerLost() = 0;
+    /**
+     * Compare the recovered store against the model; pages touched
+     * by the interrupted operation may hold their pre- or post-image.
+     * The resolved contents are adopted into the model.
+     */
+    virtual void verifyAfterRecovery(
+        std::vector<std::string> &out) = 0;
+    /** Exercise the recovered store some more (no crash possible). */
+    virtual void aftershock(std::uint64_t ops) = 0;
+    /** Strict model comparison (after the aftershock). */
+    virtual void verifyExact(std::vector<std::string> &out) = 0;
+};
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Random single-page-ish writes, a fraction inside shadow txns. */
+class ChurnDriver final : public WorkloadDriver
+{
+  public:
+    ChurnDriver(EnvyStore &store, const CrashExplorerConfig &cfg)
+        : store_(store),
+          cfg_(cfg),
+          rng_(cfg.seed ^ 0x636875726E000000ull), // "churn"
+          txns_(store),
+          pageSize_(store.config().geom.pageSize),
+          model_(store.size(), 0)
+    {
+    }
+
+    void
+    run(std::uint64_t ops) override
+    {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            if (rng_.chance(cfg_.txnChance))
+                txnOp();
+            else
+                plainWrite();
+        }
+    }
+
+    void onPowerLost() override { txns_.powerLost(); }
+
+    void
+    verifyAfterRecovery(std::vector<std::string> &out) override
+    {
+        std::vector<std::uint8_t> got(pageSize_);
+        const std::uint64_t npages = model_.size() / pageSize_;
+        for (std::uint64_t p = 0; p < npages; ++p) {
+            store_.read(p * pageSize_, got);
+            const auto it = pending_.find(p);
+            if (it != pending_.end()) {
+                bool any = false;
+                for (const auto &alt : it->second)
+                    any = any || std::equal(got.begin(), got.end(),
+                                            alt.begin());
+                if (!any) {
+                    out.push_back(format(
+                        "page ", p, " matches neither the pre- nor "
+                        "the post-image of the interrupted write"));
+                }
+                // Adopt whichever alternative recovery resolved to.
+                std::copy(got.begin(), got.end(), modelPage(p));
+            } else if (!std::equal(got.begin(), got.end(),
+                                   modelPage(p))) {
+                out.push_back(format(
+                    "page ", p,
+                    " diverged from the reference model"));
+            }
+        }
+        pending_.clear();
+    }
+
+    void
+    aftershock(std::uint64_t ops) override
+    {
+        for (std::uint64_t i = 0; i < ops; ++i)
+            plainWrite();
+        pending_.clear();
+    }
+
+    void
+    verifyExact(std::vector<std::string> &out) override
+    {
+        std::vector<std::uint8_t> got(pageSize_);
+        const std::uint64_t npages = model_.size() / pageSize_;
+        for (std::uint64_t p = 0; p < npages; ++p) {
+            store_.read(p * pageSize_, got);
+            if (!std::equal(got.begin(), got.end(), modelPage(p))) {
+                out.push_back(format("page ", p,
+                                     " diverged after the "
+                                     "aftershock workload"));
+            }
+        }
+    }
+
+  private:
+    std::vector<std::uint8_t>::iterator
+    modelPage(std::uint64_t page)
+    {
+        return model_.begin() +
+               static_cast<std::ptrdiff_t>(page * pageSize_);
+    }
+
+    std::vector<std::uint8_t>
+    modelPageCopy(std::uint64_t page)
+    {
+        return {modelPage(page), modelPage(page + 1)};
+    }
+
+    struct Op
+    {
+        Addr addr;
+        std::vector<std::uint8_t> data;
+    };
+
+    Op
+    genWrite()
+    {
+        const std::uint64_t size = model_.size();
+        // Concentrate most writes in a hot quarter so pages are
+        // rewritten, invalidated and cleaned repeatedly.
+        const Addr addr = rng_.chance(0.7) ? rng_.below(size / 4)
+                                           : rng_.below(size);
+        std::uint64_t len = rng_.between(1, 2 * pageSize_);
+        len = std::min<std::uint64_t>(len, size - addr);
+        std::vector<std::uint8_t> data(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng_.next());
+        return {addr, std::move(data)};
+    }
+
+    /** Pages an op touches get {before, after} alternatives. */
+    void
+    setPendingForWrite(const Op &op)
+    {
+        const std::uint64_t first = op.addr / pageSize_;
+        const std::uint64_t last =
+            (op.addr + op.data.size() - 1) / pageSize_;
+        for (std::uint64_t p = first; p <= last; ++p) {
+            std::vector<std::uint8_t> before = modelPageCopy(p);
+            std::vector<std::uint8_t> after = before;
+            const Addr page_base = p * pageSize_;
+            const Addr lo = std::max<Addr>(op.addr, page_base);
+            const Addr hi = std::min<Addr>(op.addr + op.data.size(),
+                                           page_base + pageSize_);
+            std::copy(op.data.begin() +
+                          static_cast<std::ptrdiff_t>(lo - op.addr),
+                      op.data.begin() +
+                          static_cast<std::ptrdiff_t>(hi - op.addr),
+                      after.begin() +
+                          static_cast<std::ptrdiff_t>(lo - page_base));
+            pending_[p] = {std::move(before), std::move(after)};
+        }
+    }
+
+    void
+    applyToModel(const Op &op)
+    {
+        std::copy(op.data.begin(), op.data.end(),
+                  model_.begin() +
+                      static_cast<std::ptrdiff_t>(op.addr));
+    }
+
+    void
+    plainWrite()
+    {
+        const Op op = genWrite();
+        setPendingForWrite(op);
+        store_.write(op.addr, op.data);
+        applyToModel(op);
+        pending_.clear();
+    }
+
+    void
+    txnOp()
+    {
+        const ShadowManager::TxnId id = txns_.begin();
+        // First-touch pre-images, for the abort alternatives.
+        std::map<std::uint64_t, std::vector<std::uint8_t>> pre;
+        const std::uint64_t writes = 1 + rng_.below(3);
+        for (std::uint64_t w = 0; w < writes; ++w) {
+            const Op op = genWrite();
+            const std::uint64_t first = op.addr / pageSize_;
+            const std::uint64_t last =
+                (op.addr + op.data.size() - 1) / pageSize_;
+            for (std::uint64_t p = first; p <= last; ++p)
+                pre.try_emplace(p, modelPageCopy(p));
+            setPendingForWrite(op);
+            txns_.write(id, op.addr, op.data);
+            applyToModel(op);
+            pending_.clear();
+        }
+        if (rng_.chance(cfg_.abortChance)) {
+            // A crash mid-abort leaves each touched page either
+            // rolled back or still holding the transaction's value.
+            for (auto &[p, img] : pre)
+                pending_[p] = {img, modelPageCopy(p)};
+            txns_.abort(id);
+            for (auto &[p, img] : pre)
+                std::copy(img.begin(), img.end(), modelPage(p));
+            pending_.clear();
+        } else {
+            // Commit releases shadows without touching page data, so
+            // no either-or window exists.
+            txns_.commit(id);
+        }
+    }
+
+    EnvyStore &store_;
+    const CrashExplorerConfig &cfg_;
+    Rng rng_;
+    ShadowManager txns_;
+    std::uint32_t pageSize_;
+    std::vector<std::uint8_t> model_;
+    /** page -> allowed post-recovery images of the in-flight op. */
+    std::map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
+        pending_;
+};
+
+/** Atomic TPC-A debit/credit transactions with a balance model. */
+class TpcaDriver final : public WorkloadDriver
+{
+  public:
+    TpcaDriver(EnvyStore &store, const CrashExplorerConfig &cfg)
+        : store_(store),
+          cfg_(cfg),
+          rng_(cfg.seed ^ 0x7470636100000000ull), // "tpca"
+          txns_(store),
+          db_(store, params(cfg))
+    {
+        acct_.resize(db_.accounts());
+        tell_.resize(db_.tellers());
+        brch_.resize(db_.branches());
+        snapshot();
+    }
+
+    void
+    run(std::uint64_t ops) override
+    {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            const std::uint64_t a = rng_.below(db_.accounts());
+            const std::int64_t amount =
+                static_cast<std::int64_t>(rng_.between(1, 500)) - 250;
+            pending_ = Pending{true, a, tellerOf(a),
+                               branchOf(tellerOf(a)), amount};
+            db_.runAtomic(txns_, a, amount);
+            acct_[a] += amount;
+            tell_[tellerOf(a)] += amount;
+            brch_[branchOf(tellerOf(a))] += amount;
+            pending_.active = false;
+        }
+    }
+
+    void onPowerLost() override { txns_.powerLost(); }
+
+    void
+    verifyAfterRecovery(std::vector<std::string> &out) override
+    {
+        // Record-level either-or for the interrupted transaction:
+        // each of its three records is independently pre or post (the
+        // shadow sweep neither completes nor rolls back a torn
+        // transaction — the page table is the only commit point).
+        checkAll(out, true);
+        snapshot(); // adopt what recovery resolved
+        pending_.active = false;
+    }
+
+    void
+    aftershock(std::uint64_t ops) override
+    {
+        run(ops);
+    }
+
+    void
+    verifyExact(std::vector<std::string> &out) override
+    {
+        checkAll(out, false);
+    }
+
+  private:
+    static TpcaDatabase::Params
+    params(const CrashExplorerConfig &cfg)
+    {
+        TpcaDatabase::Params p;
+        p.accounts = cfg.tpcaAccounts;
+        p.accountsPerTeller =
+            static_cast<std::uint32_t>(cfg.tpcaAccounts / 4);
+        p.tellersPerBranch = 2;
+        // One record per page: record updates are page-atomic, so
+        // the record-level either-or verification is sound.
+        p.recordBytes = cfg.store.geom.pageSize;
+        return p;
+    }
+
+    std::uint64_t
+    tellerOf(std::uint64_t account) const
+    {
+        return account / (cfg_.tpcaAccounts / 4);
+    }
+
+    std::uint64_t
+    branchOf(std::uint64_t teller) const
+    {
+        return teller / 2;
+    }
+
+    void
+    snapshot()
+    {
+        for (std::uint64_t a = 0; a < db_.accounts(); ++a)
+            acct_[a] = db_.accountBalance(a);
+        for (std::uint64_t t = 0; t < db_.tellers(); ++t)
+            tell_[t] = db_.tellerBalance(t);
+        for (std::uint64_t b = 0; b < db_.branches(); ++b)
+            brch_[b] = db_.branchBalance(b);
+    }
+
+    void
+    checkOne(std::vector<std::string> &out, const char *kind,
+             std::uint64_t id, std::int64_t got, std::int64_t want,
+             bool either_or)
+    {
+        if (got == want)
+            return;
+        if (either_or && pending_.active &&
+            got == want + pending_.amount)
+            return;
+        out.push_back(format(kind, " ", id, " balance ", got,
+                             " != expected ", want,
+                             either_or && pending_.active
+                                 ? format(" (or ",
+                                          want + pending_.amount, ")")
+                                 : std::string()));
+    }
+
+    void
+    checkAll(std::vector<std::string> &out, bool allow_pending)
+    {
+        for (std::uint64_t a = 0; a < db_.accounts(); ++a) {
+            checkOne(out, "account", a, db_.accountBalance(a),
+                     acct_[a],
+                     allow_pending && pending_.active &&
+                         a == pending_.account);
+        }
+        for (std::uint64_t t = 0; t < db_.tellers(); ++t) {
+            checkOne(out, "teller", t, db_.tellerBalance(t), tell_[t],
+                     allow_pending && pending_.active &&
+                         t == pending_.teller);
+        }
+        for (std::uint64_t b = 0; b < db_.branches(); ++b) {
+            checkOne(out, "branch", b, db_.branchBalance(b), brch_[b],
+                     allow_pending && pending_.active &&
+                         b == pending_.branch);
+        }
+    }
+
+    struct Pending
+    {
+        bool active = false;
+        std::uint64_t account = 0;
+        std::uint64_t teller = 0;
+        std::uint64_t branch = 0;
+        std::int64_t amount = 0;
+    };
+
+    EnvyStore &store_;
+    const CrashExplorerConfig &cfg_;
+    Rng rng_;
+    ShadowManager txns_;
+    TpcaDatabase db_;
+    std::vector<std::int64_t> acct_, tell_, brch_;
+    Pending pending_;
+};
+
+std::unique_ptr<WorkloadDriver>
+makeDriver(EnvyStore &store, const CrashExplorerConfig &cfg)
+{
+    if (cfg.workload == CrashExplorerConfig::Workload::Tpca)
+        return std::make_unique<TpcaDriver>(store, cfg);
+    return std::make_unique<ChurnDriver>(store, cfg);
+}
+
+} // namespace
+
+EnvyConfig
+CrashExplorerConfig::churnStore()
+{
+    EnvyConfig cfg;
+    cfg.geom.pageSize = 64;
+    cfg.geom.blockBytes = 128; // 128 pages per segment
+    cfg.geom.blocksPerChip = 4;
+    cfg.geom.numBanks = 2; // 8 segments, 1024 physical pages
+    // Enough slack that cleans stay cheap and a handful of retired
+    // slots can never overflow a cleaning destination.
+    cfg.geom.logicalPages = 640;
+    cfg.geom.writeBufferPages = 16;
+    cfg.partitionSize = 4;
+    // Reserve rotation spreads erases almost perfectly on its own,
+    // so only a zero threshold makes data rotations happen inside a
+    // short exploration run.
+    cfg.wearThreshold = 0;
+    return cfg;
+}
+
+EnvyConfig
+CrashExplorerConfig::tpcaStore()
+{
+    EnvyConfig cfg = churnStore();
+    cfg.geom.blockBytes = 256; // 256 pages per segment
+    cfg.geom.logicalPages = 1600;
+    cfg.geom.writeBufferPages = 32;
+    return cfg;
+}
+
+std::string
+CrashExplorerResult::firstFailure() const
+{
+    for (const CrashCaseResult &c : cases) {
+        if (!c.ok()) {
+            return format("crash at ", c.point, " occurrence ",
+                          c.occurrence, ": ", c.violations.front());
+        }
+    }
+    return {};
+}
+
+CrashPointExplorer::CrashPointExplorer(CrashExplorerConfig cfg)
+    : cfg_(std::move(cfg))
+{
+}
+
+CrashCaseResult
+CrashPointExplorer::runCase(const std::string &point,
+                            std::uint64_t occurrence)
+{
+    CrashCaseResult cr;
+    cr.point = point;
+    cr.occurrence = occurrence;
+
+    FaultPlan plan;
+    plan.seed = cfg_.seed;
+    plan.crashPoint = point;
+    plan.crashOccurrence = occurrence;
+    plan.programFailureRate = cfg_.programFailureRate;
+    plan.eraseFailureRate = cfg_.eraseFailureRate;
+    plan.failProgramOps = cfg_.failProgramOps;
+    plan.failEraseOps = cfg_.failEraseOps;
+
+    EnvyStore store(cfg_.store);
+    auto driver = makeDriver(store, cfg_);
+    FaultInjector inj(plan);
+    inj.arm();
+    inj.attachFlash(store.flash());
+    try {
+        driver->run(cfg_.opsPerCase);
+    } catch (const PowerLoss &) {
+        cr.crashed = true;
+    }
+    inj.disarm();
+
+    if (!cr.crashed) {
+        cr.violations.push_back(
+            "the planned crash point was never reached");
+        return cr;
+    }
+
+    driver->onPowerLost();
+    cr.recovery = store.powerFailAndRecover();
+
+    InvariantChecker::Options opts;
+    opts.expectNoShadows = true; // the sweep reclaims every shadow
+    const InvariantReport inv = InvariantChecker::check(store, opts);
+    cr.violations.insert(cr.violations.end(), inv.violations.begin(),
+                         inv.violations.end());
+    driver->verifyAfterRecovery(cr.violations);
+
+    driver->aftershock(cfg_.aftershockOps);
+    driver->verifyExact(cr.violations);
+    const InvariantReport after = InvariantChecker::check(store, opts);
+    for (const std::string &v : after.violations)
+        cr.violations.push_back("after aftershock: " + v);
+    return cr;
+}
+
+CrashExplorerResult
+CrashPointExplorer::run()
+{
+    CrashExplorerResult result;
+
+    // Probe: the workload with no power loss (device-fault rates
+    // still apply — they are part of every run), counting hits.
+    {
+        FaultPlan plan;
+        plan.seed = cfg_.seed;
+        plan.programFailureRate = cfg_.programFailureRate;
+        plan.eraseFailureRate = cfg_.eraseFailureRate;
+        plan.failProgramOps = cfg_.failProgramOps;
+        plan.failEraseOps = cfg_.failEraseOps;
+        EnvyStore store(cfg_.store);
+        auto driver = makeDriver(store, cfg_);
+        FaultInjector inj(plan);
+        inj.arm();
+        inj.attachFlash(store.flash());
+        driver->run(cfg_.opsPerCase);
+        inj.disarm();
+        result.probeHits = inj.hitCounts();
+    }
+
+    // Schedule: every occurrence of every point, or a seeded sample
+    // per point that always includes the first and the last hit.
+    Rng pick(cfg_.seed ^ 0xC3A5C85C97CB3127ull);
+    std::vector<std::pair<std::string, std::uint64_t>> schedule;
+    for (const std::string &point : crash_points::allPoints()) {
+        const auto it = result.probeHits.find(point);
+        const std::uint64_t hits =
+            it == result.probeHits.end() ? 0 : it->second;
+        if (hits == 0) {
+            result.pointsNeverHit.push_back(point);
+            continue;
+        }
+        if (cfg_.maxCasesPerPoint == 0 ||
+            hits <= cfg_.maxCasesPerPoint) {
+            for (std::uint64_t o = 1; o <= hits; ++o)
+                schedule.emplace_back(point, o);
+        } else {
+            std::set<std::uint64_t> sample{1, hits};
+            while (sample.size() < cfg_.maxCasesPerPoint)
+                sample.insert(pick.between(1, hits));
+            for (const std::uint64_t o : sample)
+                schedule.emplace_back(point, o);
+        }
+    }
+
+    for (const auto &[point, occurrence] : schedule) {
+        result.cases.push_back(runCase(point, occurrence));
+        if (!result.cases.back().ok())
+            ++result.failures;
+    }
+    return result;
+}
+
+} // namespace envy

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Systematic crash-point exploration.
+ *
+ * The paper's durability argument (§3.2–§3.4) is that the
+ * battery-backed page table makes eNVy safe against power failure at
+ * *any* instant.  The CrashPointExplorer tests that claim the hard
+ * way: it runs a deterministic workload once to learn how often each
+ * registered crash point fires (the probe), then re-runs it from
+ * scratch once per scheduled (point, occurrence) pair with a
+ * FaultInjector primed to throw PowerLoss exactly there.  After each
+ * simulated power loss it runs Recovery::run and verifies:
+ *
+ *  - every structural invariant of the store (InvariantChecker);
+ *  - every logical page's contents against a reference model — pages
+ *    touched by the interrupted operation may hold either their
+ *    pre- or post-image (the commit point had or had not been
+ *    reached), all others must match exactly;
+ *  - that the store still works: an "aftershock" workload runs on the
+ *    recovered store and is verified exactly.
+ *
+ * Exploration is exhaustive (every occurrence of every point) by
+ * default; maxCasesPerPoint switches to seeded-random sampling of
+ * occurrences (always keeping the first and the last).  Everything —
+ * workload, device faults, sampling — derives from one RNG seed, so
+ * a failing case reproduces from the config alone.
+ */
+
+#ifndef ENVY_ENVYSIM_CRASH_EXPLORER_HH
+#define ENVY_ENVYSIM_CRASH_EXPLORER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "envy/envy_store.hh"
+#include "faults/fault_injector.hh"
+#include "faults/invariant_checker.hh"
+
+namespace envy {
+
+struct CrashExplorerConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Store under test; defaults to churnStore(). */
+    EnvyConfig store;
+
+    enum class Workload
+    {
+        Churn, //!< random writes + shadow transactions
+        Tpca,  //!< atomic TPC-A debit/credit transactions
+    };
+    Workload workload = Workload::Churn;
+
+    std::uint64_t opsPerCase = 300;
+    std::uint64_t aftershockOps = 48;
+
+    /** Occurrences tested per point; 0 = exhaustive. */
+    std::uint64_t maxCasesPerPoint = 0;
+
+    /** Standing device-fault rates, active in every run. */
+    double programFailureRate = 0.0;
+    double eraseFailureRate = 0.0;
+
+    /**
+     * Program / erase attempts (1-based global ordinals) that
+     * spec-fail in every run.  Ordinals keep the retirement count
+     * per run small and deterministic, where a rate would compound
+     * across thousands of operations and could retire enough slots
+     * to overflow a cleaning destination.
+     */
+    std::vector<std::uint64_t> failProgramOps;
+    std::vector<std::uint64_t> failEraseOps;
+
+    // Churn workload shape.
+    double txnChance = 0.25;  //!< ops that run inside a transaction
+    double abortChance = 0.4; //!< of those, share that aborts
+
+    // TPC-A workload shape.
+    std::uint64_t tpcaAccounts = 200;
+
+    CrashExplorerConfig() { store = churnStore(); }
+
+    /** Small, high-churn store: cleans and rotations come quickly. */
+    static EnvyConfig churnStore();
+    /** Slightly roomier store that fits the small TPC-A database. */
+    static EnvyConfig tpcaStore();
+};
+
+struct CrashCaseResult
+{
+    std::string point;
+    std::uint64_t occurrence = 0;
+    bool crashed = false; //!< the planned PowerLoss fired
+    RecoveryReport recovery;
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+struct CrashExplorerResult
+{
+    /** Crash-point hit counts observed by the probe run. */
+    std::map<std::string, std::uint64_t> probeHits;
+    /** Registered points the workload never reached. */
+    std::vector<std::string> pointsNeverHit;
+    std::vector<CrashCaseResult> cases;
+    std::uint64_t failures = 0;
+
+    bool allPassed() const { return failures == 0; }
+    /** First failing case's description, for test messages. */
+    std::string firstFailure() const;
+};
+
+class CrashPointExplorer
+{
+  public:
+    explicit CrashPointExplorer(CrashExplorerConfig cfg);
+
+    CrashExplorerResult run();
+
+    /** One case: crash at the given occurrence of a point, recover,
+     *  verify.  Exposed for targeted tests and the benchmark. */
+    CrashCaseResult runCase(const std::string &point,
+                            std::uint64_t occurrence);
+
+  private:
+    CrashExplorerConfig cfg_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVYSIM_CRASH_EXPLORER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Named crash points: the hooks the fault-injection subsystem uses to
+ * cut execution at precisely-defined instants.
+ *
+ * The paper's central durability claim (§3.2–§3.4) is that eNVy
+ * survives power failure at *any* instant because the battery-backed
+ * SRAM page table is the single commit point.  To test that claim
+ * systematically rather than at a few hand-picked spots, every
+ * interesting ordering boundary in the controller, cleaner, wear
+ * leveler and transaction manager is marked with
+ *
+ *     ENVY_CRASH_POINT("ctl.flush.after_program");
+ *
+ * In normal operation a crash point is one predicate check (no sink
+ * installed — nothing happens).  A test or the CrashPointExplorer
+ * installs a CrashSink; the sink sees every hit and may throw
+ * PowerLoss to model the machine dying right there.  The exception
+ * unwinds to the harness, which then runs Recovery::run against
+ * whatever durable state (flash + battery-backed SRAM) was left
+ * behind — exactly what a real power failure would present.
+ *
+ * Points register themselves on first execution; in addition the
+ * canonical inventory (crash_point.cc) is pre-registered at startup
+ * so allPoints() lists every point compiled into the system, not
+ * only the ones a particular workload happens to reach.
+ *
+ * The model is single-threaded, like the paper's controller: one
+ * global sink, no locking.
+ */
+
+#ifndef ENVY_FAULTS_CRASH_POINT_HH
+#define ENVY_FAULTS_CRASH_POINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace envy {
+
+/** Thrown by a sink to model power dying at a crash point. */
+struct PowerLoss
+{
+    const char *point;         //!< crash point that fired
+    std::uint64_t occurrence;  //!< 1-based hit count at the throw
+};
+
+/** Receives every crash-point hit while installed. */
+class CrashSink
+{
+  public:
+    virtual ~CrashSink() = default;
+    /** May throw PowerLoss to cut execution here. */
+    virtual void onCrashPoint(const char *name) = 0;
+};
+
+namespace crash_points {
+
+/** Add @p name to the global registry (idempotent); returns name. */
+const char *registerPoint(const char *name);
+
+/** All registered point names, sorted. */
+std::vector<std::string> allPoints();
+
+/** Install @p sink (nullptr to clear).  Returns the previous sink. */
+CrashSink *setSink(CrashSink *sink);
+
+CrashSink *currentSink();
+
+namespace detail {
+extern CrashSink *sink; // single-threaded: plain pointer
+
+struct Registrar
+{
+    explicit Registrar(const char *name) { registerPoint(name); }
+};
+} // namespace detail
+
+inline void
+hit(const char *name)
+{
+    if (detail::sink)
+        detail::sink->onCrashPoint(name);
+}
+
+} // namespace crash_points
+} // namespace envy
+
+/**
+ * Mark a crash point.  Use only at statement scope inside a function;
+ * `name` must be a string literal, unique per point, dotted
+ * `component.operation.moment` style.
+ */
+#define ENVY_CRASH_POINT(name)                                         \
+    do {                                                               \
+        static ::envy::crash_points::detail::Registrar                 \
+            envyCrashPointReg_{name};                                  \
+        ::envy::crash_points::hit(name);                               \
+    } while (0)
+
+#endif // ENVY_FAULTS_CRASH_POINT_HH

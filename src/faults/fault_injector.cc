@@ -1,0 +1,102 @@
+#include "faults/fault_injector.hh"
+
+#include <algorithm>
+
+#include "flash/flash_array.hh"
+
+namespace envy {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed)
+{
+    // Ordinal lists are matched by binary search.
+    std::sort(plan_.failProgramOps.begin(), plan_.failProgramOps.end());
+    std::sort(plan_.failEraseOps.begin(), plan_.failEraseOps.end());
+}
+
+FaultInjector::~FaultInjector()
+{
+    disarm();
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        return;
+    previous_ = crash_points::setSink(this);
+    armed_ = true;
+}
+
+void
+FaultInjector::disarm()
+{
+    if (armed_) {
+        crash_points::setSink(previous_);
+        previous_ = nullptr;
+        armed_ = false;
+    }
+    if (flash_) {
+        flash_->programFaultHook = nullptr;
+        flash_->eraseFaultHook = nullptr;
+        flash_ = nullptr;
+    }
+}
+
+void
+FaultInjector::attachFlash(FlashArray &flash)
+{
+    flash_ = &flash;
+    flash.programFaultHook = [this](SegmentId, std::uint32_t) {
+        return shouldFailProgram();
+    };
+    flash.eraseFaultHook = [this](SegmentId) {
+        return shouldFailErase();
+    };
+}
+
+void
+FaultInjector::onCrashPoint(const char *name)
+{
+    const std::uint64_t n = ++hits_[name];
+    if (!powerLossFired_ && !plan_.crashPoint.empty() &&
+        plan_.crashPoint == name && n == plan_.crashOccurrence) {
+        powerLossFired_ = true;
+        throw PowerLoss{name, n};
+    }
+}
+
+std::uint64_t
+FaultInjector::hits(const std::string &point) const
+{
+    const auto it = hits_.find(point);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+bool
+FaultInjector::shouldFailProgram()
+{
+    const std::uint64_t n = ++programAttempts_;
+    bool fail = std::binary_search(plan_.failProgramOps.begin(),
+                                   plan_.failProgramOps.end(), n);
+    if (!fail && plan_.programFailureRate > 0.0)
+        fail = rng_.chance(plan_.programFailureRate);
+    if (fail)
+        ++programFailures_;
+    return fail;
+}
+
+bool
+FaultInjector::shouldFailErase()
+{
+    const std::uint64_t n = ++eraseAttempts_;
+    bool fail = std::binary_search(plan_.failEraseOps.begin(),
+                                   plan_.failEraseOps.end(), n);
+    if (!fail && plan_.eraseFailureRate > 0.0)
+        fail = rng_.chance(plan_.eraseFailureRate);
+    if (fail)
+        ++eraseFailures_;
+    return fail;
+}
+
+} // namespace envy

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * A FaultPlan describes everything that will go wrong in a run:
+ * program operations that spec-fail (by global attempt ordinal or at
+ * a seeded random rate), erase operations that transiently fail the
+ * same way, and at most one power loss, pinned to the N-th hit of a
+ * named crash point.  The FaultInjector executes the plan: it is a
+ * CrashSink for the crash-point side and arms the FlashArray's fault
+ * hooks for the device side.  Same plan + same workload = same
+ * faults, every time — the property the CrashPointExplorer builds
+ * its reproducibility guarantee on.
+ *
+ * An injector with an empty plan is a pure recorder: it counts every
+ * crash-point hit and device operation without perturbing anything,
+ * which is how the explorer probes a workload to learn what there is
+ * to crash.
+ */
+
+#ifndef ENVY_FAULTS_FAULT_INJECTOR_HH
+#define ENVY_FAULTS_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faults/crash_point.hh"
+#include "sim/random.hh"
+
+namespace envy {
+
+class FlashArray;
+
+struct FaultPlan
+{
+    std::uint64_t seed = 1; //!< drives the random failure rates
+
+    /** Crash point to die at; empty = never lose power. */
+    std::string crashPoint;
+    /** Die at this (1-based) hit of crashPoint. */
+    std::uint64_t crashOccurrence = 1;
+
+    /** Program attempts (1-based global ordinals) that spec-fail. */
+    std::vector<std::uint64_t> failProgramOps;
+    /** Erase attempts (1-based global ordinals) that fail once. */
+    std::vector<std::uint64_t> failEraseOps;
+
+    /** Additional per-attempt random failure probabilities. */
+    double programFailureRate = 0.0;
+    double eraseFailureRate = 0.0;
+};
+
+class FaultInjector final : public CrashSink
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+    ~FaultInjector() override;
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install as the global crash sink. */
+    void arm();
+    /** Restore the previous sink and detach any flash hooks. */
+    void disarm();
+
+    /** Arm the program/erase fault hooks of @p flash. */
+    void attachFlash(FlashArray &flash);
+
+    // CrashSink
+    void onCrashPoint(const char *name) override;
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // ---- observations --------------------------------------------
+
+    /** Crash-point hits recorded while armed, by name. */
+    const std::map<std::string, std::uint64_t> &hitCounts() const
+    {
+        return hits_;
+    }
+    std::uint64_t hits(const std::string &point) const;
+
+    std::uint64_t programAttempts() const { return programAttempts_; }
+    std::uint64_t eraseAttempts() const { return eraseAttempts_; }
+    std::uint64_t programFailuresInjected() const
+    {
+        return programFailures_;
+    }
+    std::uint64_t eraseFailuresInjected() const
+    {
+        return eraseFailures_;
+    }
+    /** True once the planned PowerLoss has been thrown. */
+    bool powerLossFired() const { return powerLossFired_; }
+
+  private:
+    bool shouldFailProgram();
+    bool shouldFailErase();
+
+    FaultPlan plan_;
+    Rng rng_;
+    bool armed_ = false;
+    CrashSink *previous_ = nullptr;
+    FlashArray *flash_ = nullptr;
+
+    std::map<std::string, std::uint64_t> hits_;
+    std::uint64_t programAttempts_ = 0;
+    std::uint64_t eraseAttempts_ = 0;
+    std::uint64_t programFailures_ = 0;
+    std::uint64_t eraseFailures_ = 0;
+    bool powerLossFired_ = false;
+};
+
+} // namespace envy
+
+#endif // ENVY_FAULTS_FAULT_INJECTOR_HH

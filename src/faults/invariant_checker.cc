@@ -1,0 +1,238 @@
+#include "faults/invariant_checker.hh"
+
+#include <sstream>
+
+#include "envy/envy_store.hh"
+
+namespace envy {
+
+namespace {
+
+/** Collects formatted violation strings. */
+class Log
+{
+  public:
+    explicit Log(std::vector<std::string> &out) : out_(out) {}
+
+    template <typename... Args>
+    void
+    operator()(Args &&...args)
+    {
+        std::ostringstream os;
+        (os << ... << args);
+        out_.push_back(os.str());
+    }
+
+  private:
+    std::vector<std::string> &out_;
+};
+
+} // namespace
+
+std::string
+InvariantReport::summary() const
+{
+    std::string out;
+    for (const auto &v : violations) {
+        if (!out.empty())
+            out += "; ";
+        out += v;
+    }
+    return out;
+}
+
+InvariantReport
+InvariantChecker::check(EnvyStore &store, Options opts)
+{
+    InvariantReport rep;
+    Log bad(rep.violations);
+
+    FlashArray &flash = store.flash();
+    PageTable &pt = store.pageTable();
+    WriteBuffer &buffer = store.writeBuffer();
+    SegmentSpace &space = store.space();
+    const Geometry &g = store.config().geom;
+    const std::uint32_t nseg = flash.numSegments();
+    const std::uint64_t pages = g.effectiveLogicalPages();
+    const std::uint64_t seg_cap = flash.pagesPerSegment();
+
+    // ---- persistent records are quiescent ------------------------
+    if (space.cleanRecord().inProgress)
+        bad("clean record still pending after recovery");
+    if (const auto wr = space.wearRecord(); wr.stage != 0)
+        bad("wear record still pending (stage ", wr.stage, ")");
+
+    // ---- segment map is a bijection, reserve erased --------------
+    std::vector<std::uint32_t> ownerOf(nseg, SegmentSpace::noLogical);
+    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
+        const SegmentId phys = space.physOf(l);
+        if (!phys.valid() || phys.value() >= nseg) {
+            bad("logical segment ", l, " maps to no physical segment");
+            continue;
+        }
+        if (ownerOf[phys.value()] != SegmentSpace::noLogical) {
+            bad("physical segment ", phys.value(),
+                " claimed by logical segments ", ownerOf[phys.value()],
+                " and ", l);
+        }
+        ownerOf[phys.value()] = l;
+        if (space.logOf(phys) != l) {
+            bad("logOf(", phys.value(), ") = ", space.logOf(phys),
+                " but physOf(", l, ") points there");
+        }
+    }
+    const SegmentId reserve = space.reserve();
+    if (!reserve.valid() || reserve.value() >= nseg) {
+        bad("reserve segment id is invalid");
+    } else {
+        if (ownerOf[reserve.value()] != SegmentSpace::noLogical) {
+            bad("reserve segment ", reserve.value(),
+                " is also mapped to logical segment ",
+                ownerOf[reserve.value()]);
+        }
+        if (space.logOf(reserve) != SegmentSpace::noLogical)
+            bad("logOf(reserve) is not noLogical");
+        if (flash.usedSlots(reserve) != 0) {
+            bad("reserve segment ", reserve.value(), " is not erased (",
+                flash.usedSlots(reserve), " used slots)");
+        }
+    }
+
+    // ---- page table -> storage -----------------------------------
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        const PageTable::Location loc = pt.lookup(LogicalPageId(p));
+        switch (loc.kind) {
+          case PageTable::LocKind::Flash: {
+            ++rep.pagesInFlash;
+            if (!loc.flash.segment.valid() ||
+                loc.flash.segment.value() >= nseg ||
+                loc.flash.slot >= seg_cap) {
+                bad("page ", p, " maps to an out-of-range flash slot");
+                break;
+            }
+            const LogicalPageId owner = flash.pageOwner(loc.flash);
+            if (!owner.valid() || owner.value() != p) {
+                bad("page ", p, " maps to segment ",
+                    loc.flash.segment.value(), " slot ", loc.flash.slot,
+                    " which does not hold it");
+            }
+            if (flash.slotRetired(loc.flash))
+                bad("page ", p, " maps to a retired slot");
+            if (loc.flash.segment == reserve)
+                bad("page ", p, " lives on the reserve segment");
+            break;
+          }
+          case PageTable::LocKind::Sram: {
+            ++rep.pagesInBuffer;
+            const std::uint32_t slot = loc.sramSlot;
+            if (slot >= buffer.capacity()) {
+                bad("page ", p, " maps to out-of-range buffer slot ",
+                    slot);
+            } else if (!buffer.slotResident(slot) ||
+                       buffer.slotOwner(slot).value() != p) {
+                bad("page ", p, " maps to buffer slot ", slot,
+                    " which does not hold it");
+            }
+            break;
+          }
+          case PageTable::LocKind::Unmapped:
+            break;
+        }
+    }
+
+    // ---- storage -> page table (no lost/duplicated live pages) ---
+    for (std::uint32_t s = 0; s < nseg; ++s) {
+        const SegmentId seg{s};
+        std::uint64_t live_here = 0, shadows_here = 0;
+        flash.forEachLive(seg, [&](std::uint32_t slot,
+                                   LogicalPageId logical) {
+            ++live_here;
+            ++rep.liveSlots;
+            if (logical.value() >= pages) {
+                bad("segment ", s, " slot ", slot,
+                    " owned by out-of-range page ", logical.value());
+                return;
+            }
+            const PageTable::Location loc = pt.lookup(logical);
+            const FlashPageAddr here{seg, slot};
+            if (loc.kind != PageTable::LocKind::Flash ||
+                !(loc.flash == here)) {
+                bad("live slot ", s, "/", slot, " holds page ",
+                    logical.value(),
+                    " but is not the table's copy of it");
+            }
+        });
+        flash.forEachShadow(seg, [&](std::uint32_t) {
+            ++shadows_here;
+            ++rep.shadowSlots;
+        });
+        rep.retiredSlots += flash.retiredCount(seg);
+
+        if (flash.liveCount(seg) != live_here + shadows_here) {
+            bad("segment ", s, " live count ", flash.liveCount(seg),
+                " but ", live_here + shadows_here,
+                " live+shadow slots were found");
+        }
+        if (flash.liveCount(seg) + flash.invalidCount(seg) +
+                flash.freeSlots(seg) + flash.retiredCount(seg) !=
+            seg_cap) {
+            bad("segment ", s, " slot accounting does not add up: ",
+                flash.liveCount(seg), " live + ",
+                flash.invalidCount(seg), " invalid + ",
+                flash.freeSlots(seg), " free + ",
+                flash.retiredCount(seg), " retired != ", seg_cap);
+        }
+        if (flash.retiredCount(seg) > 0) {
+            for (std::uint32_t slot = 0; slot < seg_cap; ++slot) {
+                const FlashPageAddr addr{seg, slot};
+                if (flash.slotRetired(addr) && flash.pageLive(addr))
+                    bad("retired slot ", s, "/", slot, " holds data");
+            }
+        }
+    }
+    if (flash.totalLive() != rep.liveSlots + rep.shadowSlots) {
+        bad("global live total ", flash.totalLive(), " but ",
+            rep.liveSlots + rep.shadowSlots, " slots were found");
+    }
+    if (rep.pagesInFlash != rep.liveSlots) {
+        bad("table maps ", rep.pagesInFlash, " pages to flash but ",
+            rep.liveSlots, " live slots exist");
+    }
+
+    // ---- write buffer is a contiguous FIFO ring ------------------
+    const std::uint32_t count = buffer.size();
+    const std::uint32_t cap = buffer.capacity();
+    const std::uint32_t tail = count ? buffer.tail().slot : 0;
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        const std::uint32_t slot = (tail + i) % cap;
+        if (i < count) {
+            if (!buffer.slotResident(slot)) {
+                bad("buffer ring has a hole at slot ", slot);
+                continue;
+            }
+            const LogicalPageId owner = buffer.slotOwner(slot);
+            const PageTable::Location loc = pt.lookup(owner);
+            if (loc.kind != PageTable::LocKind::Sram ||
+                loc.sramSlot != slot) {
+                bad("buffer slot ", slot, " holds page ",
+                    owner.value(),
+                    " but is not the table's copy of it");
+            }
+        } else if (buffer.slotResident(slot)) {
+            bad("resident buffer slot ", slot, " outside the ring");
+        }
+    }
+    if (rep.pagesInBuffer != count) {
+        bad("table maps ", rep.pagesInBuffer,
+            " pages to SRAM but the buffer holds ", count);
+    }
+
+    if (opts.expectNoShadows && rep.shadowSlots != 0) {
+        bad(rep.shadowSlots,
+            " shadow slots survive where none were expected");
+    }
+
+    return rep;
+}
+
+} // namespace envy

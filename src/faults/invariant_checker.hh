@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Whole-store structural invariants.
+ *
+ * After any quiescent point — and in particular after a recovery from
+ * an injected power loss — the following must hold:
+ *
+ *  - the logical→physical segment map is a bijection and the reserve
+ *    is a fully-erased segment outside it;
+ *  - no clean or wear-rotation record is pending;
+ *  - every page-table entry points at storage that agrees it holds
+ *    that page (a live flash slot or a resident buffer slot), and
+ *    every live flash slot / resident buffer slot is pointed back at
+ *    by the table — no lost and no duplicated live pages;
+ *  - retired slots hold nothing live;
+ *  - the write buffer is a contiguous FIFO ring;
+ *  - per-segment slot accounting (live + invalid + free + retired =
+ *    capacity) and the global live total are consistent.
+ *
+ * The checker never mutates the store.  It reports human-readable
+ * violations instead of asserting so the CrashPointExplorer can
+ * attribute failures to the crash point that caused them.
+ */
+
+#ifndef ENVY_FAULTS_INVARIANT_CHECKER_HH
+#define ENVY_FAULTS_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace envy {
+
+class EnvyStore;
+
+struct InvariantReport
+{
+    std::vector<std::string> violations;
+
+    // Census, for tests and the explorer's reporting.
+    std::uint64_t pagesInFlash = 0;  //!< table entries in flash
+    std::uint64_t pagesInBuffer = 0; //!< table entries in SRAM
+    std::uint64_t liveSlots = 0;     //!< owned live flash slots
+    std::uint64_t shadowSlots = 0;   //!< pinned §6 shadows
+    std::uint64_t retiredSlots = 0;  //!< spec-failed slots
+
+    bool ok() const { return violations.empty(); }
+    /** All violations joined, for test failure messages. */
+    std::string summary() const;
+};
+
+class InvariantChecker
+{
+  public:
+    struct Options
+    {
+        /**
+         * Demand shadowSlots == 0.  True after a recovery (the sweep
+         * reclaims every shadow); false while transactions run.
+         */
+        bool expectNoShadows = false;
+    };
+
+    static InvariantReport check(EnvyStore &store, Options opts);
+    static InvariantReport check(EnvyStore &store)
+    {
+        return check(store, Options{});
+    }
+};
+
+} // namespace envy
+
+#endif // ENVY_FAULTS_INVARIANT_CHECKER_HH

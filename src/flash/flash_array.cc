@@ -14,6 +14,15 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
       statSegmentErases(this, "segmentErases",
                         "whole-segment erase operations"),
       statPageReads(this, "pageReads", "page reads via the wide path"),
+      statSlotsRetired(this, "slotsRetired",
+                       "slots retired after a program spec-failure"),
+      statProgramSpecFailures(this, "programSpecFailures",
+                              "program operations that spec-failed"),
+      statEraseRetries(this, "eraseRetries",
+                       "erase operations retried (transient failure)"),
+      statEraseSpecFailures(this, "eraseSpecFailures",
+                            "erase operations that overran their "
+                            "rated window"),
       geom_(geom),
       timing_(timing),
       storeData_(store_data)
@@ -27,8 +36,10 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
                             geom_.blocksPerChip, timing_, store_data);
 
     segments_.resize(geom_.numSegments());
-    for (auto &s : segments_)
+    for (auto &s : segments_) {
         s.owner.assign(geom_.pagesPerSegment(), ownerDead);
+        s.retired.assign(geom_.pagesPerSegment(), false);
+    }
 }
 
 FlashArray::SegmentState &
@@ -47,34 +58,80 @@ FlashArray::state(SegmentId seg) const
     return segments_[seg.value()];
 }
 
-FlashPageAddr
-FlashArray::appendRaw(SegmentId seg, std::uint32_t owner,
-                      std::span<const std::uint8_t> data)
+void
+FlashArray::retireCurrentSlot(SegmentState &s)
+{
+    const std::uint32_t slot = s.writePtr;
+    s.retired[slot] = true;
+    s.owner[slot] = ownerDead;
+    ++s.retiredTotal;
+    ++s.writePtr; // the slot is consumed, but holds nothing live
+}
+
+FlashArray::AppendResult
+FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
+                         std::span<const std::uint8_t> data)
 {
     SegmentState &s = state(seg);
-    ENVY_ASSERT(s.writePtr < geom_.pagesPerSegment(),
+    const std::uint64_t cap = geom_.pagesPerSegment();
+
+    // Skip slots retired in an earlier life of this segment.
+    while (s.writePtr < cap && s.retired[s.writePtr]) {
+        ++s.writePtr;
+        ENVY_ASSERT(s.retiredAhead > 0, "retired-slot accounting");
+        --s.retiredAhead;
+    }
+    ENVY_ASSERT(s.writePtr < cap,
                 "append to a full segment ", seg.value());
 
-    const std::uint32_t slot = s.writePtr++;
-    s.owner[slot] = owner;
-    ++s.live;
-    ++totalLive_;
-    ++statPagesProgrammed;
+    const std::uint32_t slot = s.writePtr;
+    const std::uint32_t block = geom_.blockOf(seg);
+    FlashBank &bank = banks_[geom_.bankOf(seg)];
+
+    if (programFaultHook && programFaultHook(seg, slot))
+        bank.chip(0).forceProgramSpecFailure(block);
 
     if (storeData_) {
         ENVY_ASSERT(data.size() >= geom_.pageSize,
                     "page data missing in functional mode");
-        FlashBank &bank = banks_[geom_.bankOf(seg)];
-        bank.programPage(geom_.blockOf(seg), slot, data);
-        // The controller checks the status of all chips in parallel
-        // after every operation (paper section 5.1).  A program
-        // error here means a slot was reused without an erase -- a
-        // controller bug, not a device failure.
-        ENVY_ASSERT(bank.allProgrammedOk(),
+        bank.programPage(block, slot, data);
+    }
+
+    // The controller checks the status of all chips in parallel
+    // after every operation (paper section 5.1).
+    if (!bank.allProgrammedOk()) {
+        // A spec-failure (wear overrun or injected fault) retires
+        // the slot: the damage is physical, so the mark survives
+        // erase and the slot is never programmed again.  Any other
+        // program error means a slot was reused without an erase --
+        // a controller bug, not a device failure.
+        ENVY_ASSERT(bank.blockSpecFailed(block),
                     "program error in segment ", seg.value(),
                     " slot ", slot);
+        bank.clearStatus();
+        retireCurrentSlot(s);
+        ++statSlotsRetired;
+        ++statProgramSpecFailures;
+        return AppendResult{FlashPageAddr{}, true};
     }
-    return FlashPageAddr{seg, slot};
+
+    ++s.writePtr;
+    s.owner[slot] = owner;
+    ++s.live;
+    ++totalLive_;
+    ++statPagesProgrammed;
+    return AppendResult{FlashPageAddr{seg, slot}, false};
+}
+
+FlashPageAddr
+FlashArray::appendRaw(SegmentId seg, std::uint32_t owner,
+                      std::span<const std::uint8_t> data)
+{
+    for (;;) {
+        const AppendResult r = tryAppendRaw(seg, owner, data);
+        if (!r.failed)
+            return r.addr;
+    }
 }
 
 FlashPageAddr
@@ -86,6 +143,17 @@ FlashArray::appendPage(SegmentId seg, LogicalPageId logical,
     return appendRaw(seg,
                      static_cast<std::uint32_t>(logical.value()),
                      data);
+}
+
+FlashArray::AppendResult
+FlashArray::tryAppendPage(SegmentId seg, LogicalPageId logical,
+                          std::span<const std::uint8_t> data)
+{
+    ENVY_ASSERT(logical.valid() && logical.value() < ownerShadow,
+                "bad logical page");
+    return tryAppendRaw(seg,
+                        static_cast<std::uint32_t>(logical.value()),
+                        data);
 }
 
 FlashPageAddr
@@ -171,7 +239,8 @@ FlashArray::pageLive(FlashPageAddr addr) const
 std::uint64_t
 FlashArray::freeSlots(SegmentId seg) const
 {
-    return geom_.pagesPerSegment() - state(seg).writePtr;
+    const SegmentState &s = state(seg);
+    return geom_.pagesPerSegment() - s.writePtr - s.retiredAhead;
 }
 
 std::uint64_t
@@ -183,8 +252,11 @@ FlashArray::liveCount(SegmentId seg) const
 std::uint64_t
 FlashArray::invalidCount(SegmentId seg) const
 {
+    // Retired slots behind the write pointer are not reclaimable
+    // dead space: an erase does not bring them back.
     const SegmentState &s = state(seg);
-    return s.writePtr - s.live;
+    const std::uint32_t retired_behind = s.retiredTotal - s.retiredAhead;
+    return s.writePtr - s.live - retired_behind;
 }
 
 std::uint64_t
@@ -212,11 +284,90 @@ FlashArray::eraseSegment(SegmentId seg)
     SegmentState &s = state(seg);
     ENVY_ASSERT(s.live == 0, "erasing segment ", seg.value(),
                 " with ", s.live, " live pages");
+
+    FlashBank &bank = banks_[geom_.bankOf(seg)];
+    const std::uint32_t block = geom_.blockOf(seg);
+
+    Tick busy = 0;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        const bool transient = eraseFaultHook && eraseFaultHook(seg);
+        busy += bank.eraseSegment(block);
+        ++s.eraseCycles;
+        ++statSegmentErases;
+        if (!transient)
+            break;
+        // Transient bad block: the erase did not verify; retry.
+        ++statEraseRetries;
+        ENVY_ASSERT(attempt < 8, "segment ", seg.value(),
+                    " repeatedly failed to erase");
+    }
+    if (!bank.allErasedOk()) {
+        // Wear overrun (§2): the block is erased, just slower than
+        // spec allows.  Record the failure and carry on; the block
+        // stays usable and the chips remember it spec-failed.
+        ++statEraseSpecFailures;
+        bank.clearStatus();
+    }
+
     std::fill(s.owner.begin(), s.owner.begin() + s.writePtr, ownerDead);
     s.writePtr = 0;
-    ++s.eraseCycles;
-    ++statSegmentErases;
-    return banks_[geom_.bankOf(seg)].eraseSegment(geom_.blockOf(seg));
+    // Retired slots stay retired: the damage is physical.
+    s.retiredAhead = s.retiredTotal;
+    return busy;
+}
+
+bool
+FlashArray::slotRetired(FlashPageAddr addr) const
+{
+    const SegmentState &s = state(addr.segment);
+    ENVY_ASSERT(addr.slot < geom_.pagesPerSegment(), "bad slot");
+    return s.retired[addr.slot];
+}
+
+std::uint64_t
+FlashArray::retiredCount(SegmentId seg) const
+{
+    return state(seg).retiredTotal;
+}
+
+void
+FlashArray::retireNextSlot(SegmentId seg)
+{
+    SegmentState &s = state(seg);
+    ENVY_ASSERT(s.writePtr < geom_.pagesPerSegment(),
+                "retire in a full segment ", seg.value());
+    ENVY_ASSERT(!s.retired[s.writePtr], "slot already retired");
+    retireCurrentSlot(s);
+}
+
+void
+FlashArray::restoreRetiredAhead(SegmentId seg, std::uint32_t slot)
+{
+    SegmentState &s = state(seg);
+    ENVY_ASSERT(slot < geom_.pagesPerSegment(), "bad slot");
+    ENVY_ASSERT(slot >= s.writePtr,
+                "restoreRetiredAhead below the write pointer");
+    ENVY_ASSERT(!s.retired[slot], "slot already retired");
+    s.retired[slot] = true;
+    ++s.retiredTotal;
+    ++s.retiredAhead;
+}
+
+bool
+FlashArray::segmentSpecFailed(SegmentId seg) const
+{
+    return banks_[geom_.bankOf(seg)].blockSpecFailed(geom_.blockOf(seg));
+}
+
+std::vector<SegmentId>
+FlashArray::specFailedSegments() const
+{
+    std::vector<SegmentId> out;
+    for (std::uint32_t i = 0; i < geom_.numSegments(); ++i) {
+        if (segmentSpecFailed(SegmentId(i)))
+            out.push_back(SegmentId(i));
+    }
+    return out;
 }
 
 void

@@ -52,10 +52,31 @@ class FlashArray : public StatGroup
      * Program the next free slot of @p seg with @p logical's data.
      * @p data may be empty in metadata-only mode.
      *
+     * A program spec-failure (wear overrun or injected fault) retires
+     * the failing slot and retries the next one transparently; use
+     * tryAppendPage() to observe individual failures.
+     *
      * @return address of the slot that was written.
      */
     FlashPageAddr appendPage(SegmentId seg, LogicalPageId logical,
                              std::span<const std::uint8_t> data = {});
+
+    /** Outcome of a single (fallible) program attempt. */
+    struct AppendResult
+    {
+        FlashPageAddr addr{}; //!< valid only when !failed
+        bool failed = false;  //!< slot spec-failed and was retired
+    };
+
+    /**
+     * One program attempt into the next free slot of @p seg.  On a
+     * spec-failure (the §5.1 parallel status check reports a program
+     * error from a wear overrun or an injected fault) the slot is
+     * retired — marked permanently unusable, surviving erase — and
+     * the caller retries, usually into the next slot.
+     */
+    AppendResult tryAppendPage(SegmentId seg, LogicalPageId logical,
+                               std::span<const std::uint8_t> data = {});
 
     /** Mark a previously valid slot dead (copy-on-write, Fig 3). */
     void invalidatePage(FlashPageAddr addr);
@@ -131,6 +152,40 @@ class FlashArray : public StatGroup
     /** Any chip out of spec (operations overran their rated window)? */
     bool outOfSpec() const;
 
+    // ---- fault injection & block retirement ----------------------
+
+    /**
+     * Test hooks: consulted before every program (erase).  Returning
+     * true injects a spec-failure into the operation, exercising the
+     * same retire/retry path a natural wear overrun takes.
+     */
+    std::function<bool(SegmentId, std::uint32_t slot)> programFaultHook;
+    std::function<bool(SegmentId)> eraseFaultHook;
+
+    /** True if the slot has been retired (spec-failed program). */
+    bool slotRetired(FlashPageAddr addr) const;
+
+    /** Retired slots in a segment (they survive erase). */
+    std::uint64_t retiredCount(SegmentId seg) const;
+
+    /**
+     * Retire the slot at the segment's write pointer without
+     * programming it (image restoration of prior retirements).
+     */
+    void retireNextSlot(SegmentId seg);
+
+    /**
+     * Re-mark an erased slot beyond the write pointer as retired
+     * (image restoration of a retirement that survived an erase).
+     */
+    void restoreRetiredAhead(SegmentId seg, std::uint32_t slot);
+
+    /** True if any chip spec-failed an operation on this segment. */
+    bool segmentSpecFailed(SegmentId seg) const;
+
+    /** Segments whose erase block has spec-failed on any chip. */
+    std::vector<SegmentId> specFailedSegments() const;
+
     /**
      * Restore a segment's erase-cycle count (image loading only):
      * sets the segment counter and the matching block counter in
@@ -150,14 +205,22 @@ class FlashArray : public StatGroup
     Counter statPagesInvalidated;
     Counter statSegmentErases;
     Counter statPageReads;
+    Counter statSlotsRetired;
+    Counter statProgramSpecFailures;
+    Counter statEraseRetries;
+    Counter statEraseSpecFailures;
 
   private:
     struct SegmentState
     {
         /** Owner per used slot; ownerDead marks invalidated pages. */
         std::vector<std::uint32_t> owner;
+        /** Spec-failed slots; physical damage, survives erase. */
+        std::vector<bool> retired;
         std::uint32_t writePtr = 0;
         std::uint32_t live = 0;
+        std::uint32_t retiredTotal = 0; //!< retired slots, whole segment
+        std::uint32_t retiredAhead = 0; //!< retired in [writePtr, cap)
         std::uint64_t eraseCycles = 0;
     };
 
@@ -166,6 +229,9 @@ class FlashArray : public StatGroup
 
     FlashPageAddr appendRaw(SegmentId seg, std::uint32_t owner,
                             std::span<const std::uint8_t> data);
+    AppendResult tryAppendRaw(SegmentId seg, std::uint32_t owner,
+                              std::span<const std::uint8_t> data);
+    void retireCurrentSlot(SegmentState &s);
 
     SegmentState &state(SegmentId seg);
     const SegmentState &state(SegmentId seg) const;

@@ -84,6 +84,43 @@ FlashBank::allProgrammedOk() const
 }
 
 bool
+FlashBank::allErasedOk() const
+{
+    return std::all_of(chips_.begin(), chips_.end(),
+                       [](const FlashChip &c) {
+                           return (c.status() &
+                                   FlashStatus::eraseError) == 0;
+                       });
+}
+
+void
+FlashBank::clearStatus()
+{
+    for (auto &chip : chips_)
+        chip.writeCommand(FlashCmd::ClearStatus);
+}
+
+bool
+FlashBank::blockSpecFailed(std::uint32_t block) const
+{
+    return std::any_of(chips_.begin(), chips_.end(),
+                       [block](const FlashChip &c) {
+                           return c.blockSpecFailed(block);
+                       });
+}
+
+std::vector<std::uint32_t>
+FlashBank::specFailedBlocks() const
+{
+    std::vector<std::uint32_t> blocks;
+    for (std::uint32_t b = 0; b < blocksPerChip_; ++b) {
+        if (blockSpecFailed(b))
+            blocks.push_back(b);
+    }
+    return blocks;
+}
+
+bool
 FlashBank::outOfSpec() const
 {
     return std::any_of(chips_.begin(), chips_.end(),

@@ -73,8 +73,20 @@ class FlashBank
     /** Parallel status check: no chip flagged a program error. */
     bool allProgrammedOk() const;
 
+    /** Parallel status check: no chip flagged an erase error. */
+    bool allErasedOk() const;
+
+    /** ClearStatus on every chip (after handling a failure). */
+    void clearStatus();
+
     /** True if any chip exceeded its specified operation window. */
     bool outOfSpec() const;
+
+    /** True if any chip spec-failed an operation on @p block. */
+    bool blockSpecFailed(std::uint32_t block) const;
+
+    /** Blocks on which any chip has spec-failed, ascending. */
+    std::vector<std::uint32_t> specFailedBlocks() const;
 
     /** Wear of local segment @p block (cycles, same on all chips). */
     std::uint64_t segmentCycles(std::uint32_t block) const;

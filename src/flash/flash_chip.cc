@@ -12,7 +12,8 @@ FlashChip::FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
       numBlocks_(num_blocks),
       timing_(timing),
       storeData_(store_data),
-      cycles_(num_blocks, 0)
+      cycles_(num_blocks, 0),
+      specFailed_(num_blocks, false)
 {
     ENVY_ASSERT(block_bytes > 0 && num_blocks > 0, "degenerate chip");
     if (storeData_) {
@@ -91,7 +92,7 @@ FlashChip::programByte(std::uint64_t addr, std::uint8_t value)
 
     const Tick t = timing_.programTimeAfter(cycles_[block]);
     if (t > timing_.maxProgramTime)
-        outOfSpec_ = true;
+        specFail(block, FlashStatus::programError);
     return t;
 }
 
@@ -112,8 +113,53 @@ FlashChip::eraseBlock(std::uint32_t block)
     const Tick t = timing_.eraseTimeAfter(cycles_[block]);
     ++cycles_[block];
     if (t > timing_.maxEraseTime)
-        outOfSpec_ = true;
+        specFail(block, FlashStatus::eraseError);
     return t;
+}
+
+void
+FlashChip::specFail(std::uint32_t block, std::uint8_t status_bit)
+{
+    // A wear overrun is a spec failure (§2): the operation finished
+    // and data stays readable, but the part is out of spec and the
+    // controller must stop trusting this block.  Latch the status
+    // bit (until ClearStatus) and record the block so retirement
+    // logic and stats reports can query it.
+    status_ |= status_bit;
+    specFailed_[block] = true;
+    outOfSpec_ = true;
+}
+
+bool
+FlashChip::blockSpecFailed(std::uint32_t block) const
+{
+    ENVY_ASSERT(block < numBlocks_, "block out of range");
+    return specFailed_[block];
+}
+
+std::vector<std::uint32_t>
+FlashChip::specFailedBlocks() const
+{
+    std::vector<std::uint32_t> blocks;
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (specFailed_[b])
+            blocks.push_back(b);
+    }
+    return blocks;
+}
+
+void
+FlashChip::forceProgramSpecFailure(std::uint32_t block)
+{
+    ENVY_ASSERT(block < numBlocks_, "block out of range");
+    specFail(block, FlashStatus::programError);
+}
+
+void
+FlashChip::forceEraseSpecFailure(std::uint32_t block)
+{
+    ENVY_ASSERT(block < numBlocks_, "block out of range");
+    specFail(block, FlashStatus::eraseError);
 }
 
 std::uint64_t

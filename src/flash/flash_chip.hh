@@ -110,6 +110,21 @@ class FlashChip
      */
     bool outOfSpec() const { return outOfSpec_; }
 
+    /** True if any operation on @p block overran its rated window. */
+    bool blockSpecFailed(std::uint32_t block) const;
+
+    /** Blocks that have spec-failed, ascending. */
+    std::vector<std::uint32_t> specFailedBlocks() const;
+
+    /**
+     * Fault injection: make the next status check see a program
+     * (erase) spec-failure on @p block, exactly as a wear overrun
+     * would — status bit latched until ClearStatus, block recorded,
+     * part out of spec.
+     */
+    void forceProgramSpecFailure(std::uint32_t block);
+    void forceEraseSpecFailure(std::uint32_t block);
+
   private:
     enum class Mode { ReadArray, ReadStatus, ProgramPending,
                       ErasePending };
@@ -119,8 +134,11 @@ class FlashChip
     FlashTiming timing_;
     bool storeData_;
 
+    void specFail(std::uint32_t block, std::uint8_t status_bit);
+
     std::vector<std::uint8_t> data_;
     std::vector<std::uint64_t> cycles_; //!< per-block wear
+    std::vector<bool> specFailed_;      //!< per-block overrun record
     Mode mode_ = Mode::ReadArray;
     std::uint8_t status_ = FlashStatus::ready;
     bool outOfSpec_ = false;

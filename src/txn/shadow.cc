@@ -1,6 +1,7 @@
 #include "txn/shadow.hh"
 
 #include "common/logging.hh"
+#include "faults/crash_point.hh"
 
 namespace envy {
 
@@ -114,6 +115,7 @@ ShadowManager::release(Txn &txn)
         if (version.inFlash) {
             byAddr_.erase(key(version.shadow));
             store_.flash().invalidatePage(version.shadow);
+            ENVY_CRASH_POINT("txn.commit.mid_release");
         }
     }
     txn.pages.clear();
@@ -124,6 +126,7 @@ ShadowManager::commit(TxnId txn_id)
 {
     auto it = txns_.find(txn_id);
     ENVY_ASSERT(it != txns_.end(), "commit on unknown transaction");
+    ENVY_CRASH_POINT("txn.commit.begin");
     // Drop ownership first so the release-path invalidations can
     // never be mistaken for transactional writes.
     release(it->second);
@@ -136,6 +139,7 @@ ShadowManager::abort(TxnId txn_id)
     auto it = txns_.find(txn_id);
     ENVY_ASSERT(it != txns_.end(), "abort on unknown transaction");
     Txn &txn = it->second;
+    ENVY_CRASH_POINT("txn.abort.begin");
 
     const std::uint32_t page_size = store_.config().geom.pageSize;
     std::vector<std::uint8_t> buf(page_size);
@@ -157,8 +161,21 @@ ShadowManager::abort(TxnId txn_id)
         } else {
             store_.write(Addr(page) * page_size, version.bytes);
         }
+        ENVY_CRASH_POINT("txn.abort.mid_restore");
     }
     txns_.erase(it);
+}
+
+void
+ShadowManager::powerLost()
+{
+    // A power failure loses the manager's volatile tracking state;
+    // the shadows themselves stay pinned in flash until recovery
+    // sweeps them (Recovery::run).  Unlike the destructor's aborts,
+    // no store writes happen here — the machine is "off".
+    txns_.clear();
+    pageOwner_.clear();
+    byAddr_.clear();
 }
 
 } // namespace envy

@@ -63,6 +63,15 @@ class ShadowManager
     /** Restore every touched page to its pre-transaction contents. */
     void abort(TxnId txn);
 
+    /**
+     * Drop all volatile transaction state after a simulated power
+     * failure — no rollback writes, no shadow invalidations.  Open
+     * transactions are implicitly aborted by recovery's shadow sweep;
+     * call this before EnvyStore::powerFailAndRecover() so the
+     * destructor does not try to write through a dead store.
+     */
+    void powerLost();
+
     /** Transactions currently open. */
     std::size_t activeTransactions() const { return txns_.size(); }
 

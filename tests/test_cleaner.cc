@@ -10,6 +10,7 @@
 
 #include "envy/cleaner.hh"
 #include "envy/wear_leveler.hh"
+#include "faults/fault_injector.hh"
 
 namespace envy {
 namespace {
@@ -222,10 +223,14 @@ TEST_F(CleanerTest, CrashMidCleanLeavesResumableState)
     for (std::uint64_t p = 0; p < 10; ++p)
         put(14, p, static_cast<std::uint8_t>(p));
 
-    int copies = 0;
-    cleaner.crashHook = [&] { return ++copies == 4; };
-    cleaner.clean(14, nullptr);
-    cleaner.crashHook = nullptr;
+    // Power fails right after the 4th page is fully relocated.
+    FaultPlan plan;
+    plan.crashPoint = "cleaner.relocate.done";
+    plan.crashOccurrence = 4;
+    FaultInjector injector(plan);
+    injector.arm();
+    EXPECT_THROW(cleaner.clean(14, nullptr), PowerLoss);
+    injector.disarm();
 
     // The persistent record still marks the clean.
     const auto rec = space.cleanRecord();

@@ -154,6 +154,57 @@ TEST(EnvyImage, MetadataOnlyStoresImageToo)
     std::remove(path.c_str());
 }
 
+TEST(EnvyImage, RetiredSlotsSurviveTheRoundTrip)
+{
+    const std::string path = tempImage("retired.img");
+    std::vector<std::uint8_t> ref;
+    std::uint64_t retired;
+    {
+        EnvyStore store(imageConfig());
+        ref.assign(store.size(), 0);
+
+        // Spec-fail a handful of programs so slots retire, some of
+        // them in segments that later get erased (retired slots then
+        // sit ahead of the write pointer).
+        int fails = 4;
+        store.flash().programFaultHook =
+            [&](SegmentId, std::uint32_t) { return fails-- > 0; };
+
+        Rng rng(9);
+        for (int i = 0; i < 20000; ++i) {
+            const std::uint64_t a = rng.below(store.size() - 8);
+            const std::uint64_t v = rng.next();
+            std::uint8_t buf[8];
+            for (int b = 0; b < 8; ++b) {
+                buf[b] = static_cast<std::uint8_t>(v >> (8 * b));
+                ref[a + b] = buf[b];
+            }
+            store.write(a, buf);
+        }
+        store.flash().programFaultHook = nullptr;
+
+        retired = store.flash().statSlotsRetired.value();
+        ASSERT_EQ(retired, 4u);
+        EnvyImage::save(store, path);
+    }
+
+    auto store = EnvyImage::load(path);
+    std::uint64_t found = 0;
+    for (std::uint32_t s = 0; s < store->flash().numSegments(); ++s)
+        found += store->flash().retiredCount(SegmentId{s});
+    EXPECT_EQ(found, retired);
+
+    std::vector<std::uint8_t> buf(4096);
+    for (std::uint64_t a = 0; a < store->size(); a += buf.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(buf.size(), store->size() - a);
+        store->read(a, {buf.data(), n});
+        for (std::uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(buf[i], ref[a + i]) << "byte " << a + i;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(EnvyImageDeathTest, GarbageFileIsRejected)
 {
     const std::string path = tempImage("garbage.img");

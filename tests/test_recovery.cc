@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "envy/envy_store.hh"
+#include "faults/fault_injector.hh"
 #include "sim/random.hh"
 
 namespace envy {
@@ -89,22 +90,16 @@ TEST(Recovery, CrashDuringCleanResumesAndLosesNothing)
     std::vector<std::uint8_t> ref(store.size(), 0);
     Rng rng(13);
 
-    // Arm a "power failure" a few pages into some future clean: the
-    // hook throws, cutting execution exactly at the crash point the
-    // way real power loss would.
-    struct PowerFailure
-    {
-    };
-    int relocations = 0;
-    bool crashed = false;
-    store.cleanerRef().crashHook = [&]() -> bool {
-        if (!crashed && ++relocations == 100) {
-            crashed = true;
-            throw PowerFailure{};
-        }
-        return false;
-    };
+    // Arm a power failure 100 relocations into some future clean:
+    // the injected PowerLoss cuts execution exactly at the crash
+    // point the way real power loss would.
+    FaultPlan plan;
+    plan.crashPoint = "cleaner.relocate.done";
+    plan.crashOccurrence = 100;
+    FaultInjector injector(plan);
+    injector.arm();
 
+    bool crashed = false;
     for (int op = 0; op < 20000 && !crashed; ++op) {
         const std::uint64_t addr = rng.below(store.size() - 4);
         const std::uint32_t v = static_cast<std::uint32_t>(rng.next());
@@ -118,13 +113,13 @@ TEST(Recovery, CrashDuringCleanResumesAndLosesNothing)
         }
         try {
             store.write(addr, buf);
-        } catch (const PowerFailure &) {
-            break;
+        } catch (const PowerLoss &) {
+            crashed = true;
         }
     }
     ASSERT_TRUE(crashed) << "no clean reached 100 relocations";
     ASSERT_TRUE(store.space().cleanRecord().inProgress);
-    store.cleanerRef().crashHook = nullptr;
+    injector.disarm();
 
     store.powerFailAndRecover();
     EXPECT_FALSE(store.space().cleanRecord().inProgress);
