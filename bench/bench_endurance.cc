@@ -45,7 +45,8 @@ writeToDeath(bool leveling, std::uint64_t rated_cycles)
     cfg.wearThreshold = leveling ? 16 : (1ull << 60);
     // The device overruns its specified erase window after
     // rated_cycles erases of any one block.
-    cfg.timing.wearSlowdownPerCycle = 1.0 / rated_cycles;
+    cfg.timing.wearSlowdownPerCycle =
+        1.0 / static_cast<double>(rated_cycles);
     cfg.timing.maxEraseTime =
         cfg.timing.eraseTime * 2; // 2x base = rated_cycles cycles
     EnvyStore store(cfg);
@@ -116,7 +117,8 @@ main()
               ResultTable::integer(results[1].erases)});
     c.addRow({"budget used at death, leveling on",
               ResultTable::percent(
-                  results[1].erases / capacity_erases, 0)});
+                  static_cast<double>(results[1].erases) /
+                      static_cast<double>(capacity_erases), 0)});
     c.addRow({"life extension from leveling",
               ResultTable::num(
                   static_cast<double>(results[1].hostWrites) /

@@ -33,7 +33,8 @@ main()
         const TimedResult r = runTimedSim(p);
         t.addRow({ResultTable::integer(par),
                   ResultTable::num(
-                      ft.programTime / double(par) / 1000.0, 2) +
+                      static_cast<double>(ft.programTime) / double(par) /
+                          1000.0, 2) +
                       "us",
                   ResultTable::num(r.completedTps, 0),
                   ResultTable::num(r.writeLatencyNs, 0) + "ns",

@@ -35,7 +35,7 @@ BM_PageTableLookup(benchmark::State &state)
     for (std::uint64_t p = 0; p < (1 << 16); ++p)
         table.mapToFlash(LogicalPageId(p),
                          {SegmentId(p % 15),
-                          static_cast<std::uint32_t>(p)});
+                          SlotId(static_cast<std::uint32_t>(p))});
     Rng rng(1);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -50,7 +50,7 @@ BM_MmuHit(benchmark::State &state)
     SramArray sram(PageTable::bytesNeeded(1 << 16));
     PageTable table(sram, 0, 1 << 16);
     Mmu mmu(table, 1024);
-    table.mapToSram(LogicalPageId(7), 3);
+    table.mapToSram(LogicalPageId(7), BufferSlotId(3));
     mmu.lookup(LogicalPageId(7));
     for (auto _ : state)
         benchmark::DoNotOptimize(mmu.lookup(LogicalPageId(7)));

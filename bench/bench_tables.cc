@@ -7,6 +7,7 @@
  */
 
 #include "common/geometry.hh"
+#include "common/units.hh"
 #include "envysim/experiment.hh"
 #include "envysim/system.hh"
 #include "flash/flash_timing.hh"
@@ -35,10 +36,12 @@ figure1()
     ResultTable c("Derived cost figures (paper section 3.3 / 5.1)");
     c.setColumns({"quantity", "paper", "computed"});
     const Geometry g = Geometry::paperSystem();
-    const double flash_cost = 30.0 * (g.flashBytes() / double(MiB));
-    const double pt_sram_mb = g.pageTableBytes() / double(MiB);
+    const double flash_cost =
+        30.0 * (asDouble(g.flashBytes()) / double(MiB));
+    const double pt_sram_mb = asDouble(g.pageTableBytes()) / double(MiB);
     const double buf_sram_mb =
-        g.effectiveWriteBufferPages() * g.pageSize / double(MiB);
+        asDouble(g.effectiveWriteBufferPages()) * g.pageSize /
+        double(MiB);
     const double sram_cost = 120.0 * (pt_sram_mb + buf_sram_mb);
     c.addRow({"page table SRAM / GB flash", "24 MB",
               ResultTable::num(pt_sram_mb / 2.0, 0) + " MB"});
@@ -47,7 +50,7 @@ figure1()
                         flash_cost + sram_cost))});
     c.addRow({"pure SRAM system of same size", "~$250,000",
               "$" + ResultTable::integer(static_cast<std::uint64_t>(
-                        120.0 * (g.flashBytes() / double(MiB))))});
+                        120.0 * (asDouble(g.flashBytes()) / double(MiB))))});
     c.print();
 }
 
@@ -64,9 +67,9 @@ figure12()
         t.addRow({name, paper, std::move(mine)});
     };
     row("flash array size", "2 GBytes",
-        ResultTable::integer(g.flashBytes() / GiB) + " GiB");
+        ResultTable::integer(g.flashBytes().value() / GiB) + " GiB");
     row("flash chip type", "1 MByte x 8 bits",
-        ResultTable::integer(g.chipBytes() / MiB) + " MiB x 8");
+        ResultTable::integer(g.chipBytes().value() / MiB) + " MiB x 8");
     row("# of flash chips", "2048",
         ResultTable::integer(g.numChips()));
     row("# of flash banks", "8", ResultTable::integer(g.numBanks));
@@ -81,17 +84,19 @@ figure12()
         ResultTable::integer(g.blocksPerChip));
     row("segments", "128 x 16 MB",
         ResultTable::integer(g.numSegments()) + " x " +
-            ResultTable::integer(g.segmentBytes() / MiB) + " MB");
+            ResultTable::integer(g.segmentBytes().value() / MiB) +
+            " MB");
     row("SRAM write buffer", "16 MBytes",
-        ResultTable::integer(g.effectiveWriteBufferPages() *
+        ResultTable::integer(g.effectiveWriteBufferPages().value() *
                              g.pageSize / MiB) +
             " MiB");
     row("page table SRAM", "48 MBytes",
-        ResultTable::integer(g.pageTableBytes() / MiB) + " MiB");
+        ResultTable::integer(g.pageTableBytes().value() / MiB) +
+        " MiB");
     t.print();
 
     const TpcaConfig tpc =
-        TpcaConfig::forStoreBytes(g.logicalBytes());
+        TpcaConfig::forStoreBytes(g.logicalBytes().value());
     TpcaWorkload w(tpc, 1);
     ResultTable tp("Figure 12 (cont.): TPC Parameters");
     tp.setColumns({"parameter", "paper", "this simulator"});

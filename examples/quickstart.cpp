@@ -29,10 +29,11 @@ main()
     cfg.geom = Geometry::tiny();
     EnvyStore store(cfg);
 
-    std::printf("created an eNVy store: %llu bytes, %u segments, "
+    std::printf("created an eNVy store: %llu bytes, %llu segments, "
                 "%u-byte pages\n",
                 static_cast<unsigned long long>(store.size()),
-                store.config().geom.numSegments(),
+                static_cast<unsigned long long>(
+                    store.config().geom.numSegments()),
                 store.config().geom.pageSize);
 
     // 1. Plain in-place updates, like memory.

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     // Size the store to the database: records plus index slack.
     EnvyConfig cfg;
     cfg.geom = Geometry::tiny();
-    while (cfg.geom.logicalBytes() < accounts * 140 + 512 * KiB)
+    while (cfg.geom.logicalBytes().value() < accounts * 140 + 512 * KiB)
         cfg.geom.numBanks *= 2;
     EnvyStore store(cfg);
 

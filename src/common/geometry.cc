@@ -17,13 +17,18 @@ Geometry::validate() const
         return "need at least 3 segments (one reserve, two data)";
     if (targetUtilization <= 0.0 || targetUtilization >= 1.0)
         return "targetUtilization must be in (0, 1)";
+    // Slots inside a segment are addressed with 32-bit SlotIds whose
+    // top value is the invalid sentinel; segment ids must also fit the
+    // 15-bit field packed into page-table entries.
+    if (pagesPerSegment().value() >= SlotId::invalidValue)
+        return "blockBytes exceeds the addressable slots per segment";
     // Live data must fit with one segment held in reserve and at
     // least some free headroom for cleaning to make progress.
-    const std::uint64_t usable =
-        (std::uint64_t(numSegments()) - 1) * pagesPerSegment();
+    const PageCount usable =
+        PageCount((numSegments() - 1) * pagesPerSegment().value());
     if (effectiveLogicalPages() >= usable)
         return "logical space leaves no free headroom for cleaning";
-    if (effectiveWriteBufferPages() < 4)
+    if (effectiveWriteBufferPages() < PageCount(4))
         return "write buffer too small";
     return nullptr;
 }

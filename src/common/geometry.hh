@@ -7,6 +7,11 @@
  * 256 byte-wide chips.  A page is one byte per chip across a bank
  * (256 bytes); a segment is one 64 KB erase block across a bank
  * (16 MB, i.e. 65536 pages); the array therefore has 128 segments.
+ *
+ * Derived quantities carry their unit in the type: page counts are
+ * PageCount, byte totals are ByteCount, bank coordinates are BankId.
+ * Crossing units (pages -> bytes) happens only through the named
+ * helpers here, never through bare multiplication at call sites.
  */
 
 #ifndef ENVY_COMMON_GEOMETRY_HH
@@ -14,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 
@@ -45,64 +51,86 @@ struct Geometry
     // ---- derived quantities -------------------------------------
 
     /** Pages per segment: one byte per chip, so blockBytes pages. */
-    std::uint64_t pagesPerSegment() const { return blockBytes; }
+    PageCount pagesPerSegment() const { return PageCount(blockBytes); }
 
-    std::uint64_t segmentBytes() const
+    ByteCount segmentBytes() const
     {
-        return std::uint64_t(blockBytes) * pageSize;
+        return ByteCount(std::uint64_t{blockBytes} * pageSize);
     }
 
-    std::uint32_t numSegments() const { return numBanks * blocksPerChip; }
-
-    std::uint64_t physicalPages() const
+    // Segment/chip totals are computed in 64 bits: numBanks,
+    // blocksPerChip and pageSize are 32-bit knobs whose product can
+    // exceed 32 bits for configuration-sweep geometries.
+    std::uint64_t numSegments() const
     {
-        return std::uint64_t(numSegments()) * pagesPerSegment();
+        return std::uint64_t{numBanks} * blocksPerChip;
     }
 
-    std::uint64_t flashBytes() const
+    PageCount physicalPages() const
     {
-        return physicalPages() * pageSize;
+        return PageCount(numSegments() * pagesPerSegment().value());
     }
 
-    std::uint64_t chipBytes() const
+    ByteCount flashBytes() const
     {
-        return std::uint64_t(blockBytes) * blocksPerChip;
+        return ByteCount(physicalPages().value() * pageSize);
     }
 
-    std::uint32_t numChips() const { return numBanks * pageSize; }
+    ByteCount chipBytes() const
+    {
+        return ByteCount(std::uint64_t{blockBytes} * blocksPerChip);
+    }
 
-    std::uint64_t effectiveLogicalPages() const
+    std::uint64_t numChips() const
+    {
+        return std::uint64_t{numBanks} * pageSize;
+    }
+
+    PageCount effectiveLogicalPages() const
     {
         if (logicalPages)
-            return logicalPages;
-        return static_cast<std::uint64_t>(
-            targetUtilization * static_cast<double>(physicalPages()));
+            return PageCount(logicalPages);
+        return PageCount(static_cast<std::uint64_t>(
+            targetUtilization * asDouble(physicalPages())));
     }
 
-    std::uint64_t logicalBytes() const
+    ByteCount logicalBytes() const
     {
-        return effectiveLogicalPages() * pageSize;
+        return ByteCount(effectiveLogicalPages().value() * pageSize);
     }
 
-    std::uint32_t effectiveWriteBufferPages() const
+    PageCount effectiveWriteBufferPages() const
     {
-        return writeBufferPages ? writeBufferPages
-                                : static_cast<std::uint32_t>(
-                                      pagesPerSegment());
+        return writeBufferPages ? PageCount(writeBufferPages)
+                                : pagesPerSegment();
     }
 
     /** 6-byte entries, sized for the whole physical space (§3.3). */
-    std::uint64_t pageTableBytes() const { return physicalPages() * 6; }
+    ByteCount pageTableBytes() const
+    {
+        return ByteCount(physicalPages().value() * 6);
+    }
+
+    /** Bytes occupied by @p n pages (the only pages->bytes bridge). */
+    ByteCount bytesForPages(PageCount n) const
+    {
+        return ByteCount(n.value() * pageSize);
+    }
 
     /** Which bank owns a segment. */
-    std::uint32_t bankOf(SegmentId seg) const
+    BankId bankOf(SegmentId seg) const
     {
-        return static_cast<std::uint32_t>(seg.value() / blocksPerChip);
+        ENVY_ASSERT(seg.valid() && seg.value() < numSegments(),
+                    "geometry: bankOf of bad segment ", seg);
+        return BankId(static_cast<std::uint32_t>(
+            seg.value() / blocksPerChip));
     }
 
     /** Erase-block index of a segment inside its bank's chips. */
     std::uint32_t blockOf(SegmentId seg) const
     {
+        ENVY_ASSERT(seg.valid() && seg.value() < numSegments(),
+                    "geometry: blockOf of bad segment ", seg);
         return static_cast<std::uint32_t>(seg.value() % blocksPerChip);
     }
 

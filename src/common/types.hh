@@ -3,8 +3,18 @@
  * Fundamental value types used throughout the eNVy simulator.
  *
  * Strongly-typed identifiers prevent the classic flash-translation bug
- * of mixing logical and physical page numbers.  Each identifier is a
- * thin wrapper around a 64-bit integer with an explicit invalid value.
+ * of mixing the address spaces the paper layers on top of each other:
+ * logical page numbers, physical (segment, slot) coordinates, bank
+ * indices and SRAM write-buffer slots.  Each identifier is a thin
+ * wrapper around an unsigned integer with an explicit invalid value.
+ *
+ * Ids of different families are deliberately non-interconvertible:
+ * construction and assignment across families is deleted (not merely
+ * absent), so `SlotId s = pageId;` is a compile error with a readable
+ * diagnostic.  Raw integers convert only through the explicit
+ * constructor, and only without narrowing (enforced by -Wconversion).
+ * Typed arithmetic exists only where it is meaningful — an id plus a
+ * count of the same family yields an id; ids never add to each other.
  */
 
 #ifndef ENVY_COMMON_TYPES_HH
@@ -13,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <ostream>
 
 namespace envy {
 
@@ -26,18 +37,28 @@ using Addr = std::uint64_t;
  * Strongly typed integer identifier.
  *
  * @tparam Tag   Phantom tag type distinguishing id families.
+ * @tparam Rep   Underlying representation (defaults to 64 bits).
  */
-template <typename Tag>
+template <typename Tag, typename Rep = std::uint64_t>
 class Id
 {
   public:
-    using value_type = std::uint64_t;
+    using value_type = Rep;
 
     static constexpr value_type invalidValue =
         std::numeric_limits<value_type>::max();
 
     constexpr Id() : value_(invalidValue) {}
     constexpr explicit Id(value_type v) : value_(v) {}
+
+    /** Ids of other families never convert, not even explicitly. */
+    template <typename OtherTag, typename OtherRep>
+    Id(const Id<OtherTag, OtherRep> &) = delete;
+    template <typename OtherTag, typename OtherRep>
+    Id &operator=(const Id<OtherTag, OtherRep> &) = delete;
+
+    constexpr Id(const Id &) = default;
+    constexpr Id &operator=(const Id &) = default;
 
     /** Sentinel id that maps to nothing. */
     static constexpr Id invalid() { return Id(); }
@@ -52,9 +73,75 @@ class Id
     value_type value_;
 };
 
+template <typename Tag, typename Rep>
+std::ostream &
+operator<<(std::ostream &os, const Id<Tag, Rep> &id)
+{
+    if (id.valid())
+        return os << id.value();
+    return os << "<invalid>";
+}
+
+/**
+ * Strongly typed count of uniform things (pages, bytes).
+ *
+ * Counts of different units do not interconvert — a page count is not
+ * a byte count — and conversion between them happens only through
+ * named geometry helpers that multiply in the page size explicitly.
+ */
+template <typename Tag, typename Rep = std::uint64_t>
+class Count
+{
+  public:
+    using value_type = Rep;
+
+    constexpr Count() : value_(0) {}
+    constexpr explicit Count(value_type v) : value_(v) {}
+
+    template <typename OtherTag, typename OtherRep>
+    Count(const Count<OtherTag, OtherRep> &) = delete;
+    template <typename OtherTag, typename OtherRep>
+    Count &operator=(const Count<OtherTag, OtherRep> &) = delete;
+
+    constexpr Count(const Count &) = default;
+    constexpr Count &operator=(const Count &) = default;
+
+    constexpr value_type value() const { return value_; }
+
+    constexpr bool operator==(const Count &) const = default;
+    constexpr auto operator<=>(const Count &) const = default;
+
+    constexpr Count operator+(Count o) const
+    {
+        return Count(value_ + o.value_);
+    }
+    constexpr Count operator-(Count o) const
+    {
+        return Count(value_ - o.value_);
+    }
+    constexpr Count &operator+=(Count o) { value_ += o.value_; return *this; }
+    constexpr Count &operator-=(Count o) { value_ -= o.value_; return *this; }
+
+  private:
+    value_type value_;
+};
+
+template <typename Tag, typename Rep>
+std::ostream &
+operator<<(std::ostream &os, const Count<Tag, Rep> &c)
+{
+    return os << c.value();
+}
+
 struct LogicalPageTag {};
 struct SegmentTag {};
 struct PartitionTag {};
+struct SlotTag {};
+struct BankTag {};
+struct BufferSlotTag {};
+
+struct PageCountTag {};
+struct ByteCountTag {};
 
 /** Index of a 256-byte page in the host-visible logical address space. */
 using LogicalPageId = Id<LogicalPageTag>;
@@ -65,6 +152,51 @@ using SegmentId = Id<SegmentTag>;
 /** Index of a group of adjacent segments managed together (hybrid). */
 using PartitionId = Id<PartitionTag>;
 
+/** Index of a page slot inside one segment (byte k of the block). */
+using SlotId = Id<SlotTag, std::uint32_t>;
+
+/** Index of a bank of chips inside the flash array. */
+using BankId = Id<BankTag, std::uint32_t>;
+
+/** Index of a page slot in the battery-backed SRAM write buffer. */
+using BufferSlotId = Id<BufferSlotTag, std::uint32_t>;
+
+/** A number of pages (logical or physical — same granule). */
+using PageCount = Count<PageCountTag>;
+
+/** A number of bytes. */
+using ByteCount = Count<ByteCountTag>;
+
+// Typed arithmetic, only where it means something: an id offset by a
+// count of its own granule is an id; the distance between two ids is
+// a count.  Ids never add to ids.
+
+constexpr LogicalPageId
+operator+(LogicalPageId page, PageCount n)
+{
+    return LogicalPageId(page.value() + n.value());
+}
+
+/** Distance from @p lo to @p hi; @p hi must not precede @p lo. */
+constexpr PageCount
+operator-(LogicalPageId hi, LogicalPageId lo)
+{
+    return PageCount(hi.value() - lo.value());
+}
+
+constexpr Addr
+operator+(Addr a, ByteCount n)
+{
+    return a + n.value();
+}
+
+/** The slot after @p s in program order within the same segment. */
+constexpr SlotId
+nextSlot(SlotId s)
+{
+    return SlotId(s.value() + 1u);
+}
+
 /**
  * Physical location of a page inside the flash array: a (segment, slot)
  * pair.  Slot k of segment s is byte k of erase block s in each chip of
@@ -73,7 +205,7 @@ using PartitionId = Id<PartitionTag>;
 struct FlashPageAddr
 {
     SegmentId segment;
-    std::uint32_t slot = 0;
+    SlotId slot{0};
 
     constexpr bool valid() const { return segment.valid(); }
     constexpr bool operator==(const FlashPageAddr &) const = default;
@@ -83,13 +215,13 @@ struct FlashPageAddr
 
 namespace std {
 
-template <typename Tag>
-struct hash<envy::Id<Tag>>
+template <typename Tag, typename Rep>
+struct hash<envy::Id<Tag, Rep>>
 {
     size_t
-    operator()(const envy::Id<Tag> &id) const noexcept
+    operator()(const envy::Id<Tag, Rep> &id) const noexcept
     {
-        return std::hash<std::uint64_t>()(id.value());
+        return std::hash<Rep>()(id.value());
     }
 };
 

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/types.hh"
+
 namespace envy {
 
 constexpr std::uint64_t KiB = 1024ull;
@@ -15,21 +17,30 @@ constexpr std::uint64_t MiB = 1024ull * KiB;
 constexpr std::uint64_t GiB = 1024ull * MiB;
 
 /** Ticks are nanoseconds. */
-constexpr std::uint64_t nanoseconds(std::uint64_t n) { return n; }
-constexpr std::uint64_t microseconds(std::uint64_t n) { return n * 1000ull; }
-constexpr std::uint64_t
+constexpr Tick nanoseconds(std::uint64_t n) { return n; }
+constexpr Tick microseconds(std::uint64_t n) { return n * 1000ull; }
+constexpr Tick
 milliseconds(std::uint64_t n)
 {
     return n * 1000ull * 1000ull;
 }
-constexpr std::uint64_t
+constexpr Tick
 seconds(std::uint64_t n)
 {
     return n * 1000ull * 1000ull * 1000ull;
 }
 
 /** Convert a tick count to (floating point) seconds. */
-constexpr double ticksToSeconds(std::uint64_t t) { return t * 1e-9; }
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Explicit lossy conversion for rates and ratios. */
+constexpr double asDouble(PageCount n) { return static_cast<double>(n.value()); }
+constexpr double asDouble(ByteCount n) { return static_cast<double>(n.value()); }
+constexpr double asDouble(std::uint64_t n) { return static_cast<double>(n); }
 
 } // namespace envy
 

@@ -51,7 +51,7 @@ BTree::open(EnvyStore &store, Addr base, std::uint64_t bytes)
     BTree t(store, base, bytes, OpenTag{});
     const std::uint64_t m = store.readU64(base);
     if (m != magic)
-        ENVY_FATAL("no B-tree found at address ", base);
+        ENVY_FATAL("btree: no B-tree found at address ", base);
     t.root_ = store.readU64(base + 8);
     t.nextNode_ = store.readU64(base + 16);
     t.count_ = store.readU64(base + 24);
@@ -73,7 +73,7 @@ std::uint64_t
 BTree::allocNode()
 {
     if (nextNode_ >= capacityNodes_)
-        ENVY_FATAL("B-tree node region exhausted (",
+        ENVY_FATAL("btree: node region exhausted (",
                    capacityNodes_, " nodes)");
     return nextNode_++;
 }

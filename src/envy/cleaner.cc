@@ -23,7 +23,7 @@ Cleaner::Cleaner(SegmentSpace &space, Mmu &mmu,
 }
 
 void
-Cleaner::relocate(SegmentId src_phys, std::uint32_t slot,
+Cleaner::relocate(SegmentId src_phys, SlotId slot,
                   LogicalPageId logical, SegmentId dst_phys)
 {
     FlashArray &flash = space_.flash();
@@ -43,15 +43,15 @@ Cleaner::relocate(SegmentId src_phys, std::uint32_t slot,
         flash.timing().programTimeAfter(flash.eraseCycles(dst_phys));
 }
 
-std::uint64_t
+PageCount
 Cleaner::moveShadows(SegmentId src, SegmentId dst)
 {
     FlashArray &flash = space_.flash();
-    std::vector<std::uint32_t> shadows;
-    flash.forEachShadow(src, [&](std::uint32_t slot) {
+    std::vector<SlotId> shadows;
+    flash.forEachShadow(src, [&](SlotId slot) {
         shadows.push_back(slot);
     });
-    for (const std::uint32_t slot : shadows) {
+    for (const SlotId slot : shadows) {
         const FlashPageAddr from{src, slot};
         if (flash.storesData())
             flash.readPage(from, scratch_);
@@ -65,66 +65,67 @@ Cleaner::moveShadows(SegmentId src, SegmentId dst)
             shadowMoved(from, to);
         ENVY_CRASH_POINT("cleaner.shadow.done");
     }
-    return shadows.size();
+    return PageCount(shadows.size());
 }
 
 Cleaner::CleanResult
-Cleaner::clean(std::uint32_t seg, CleaningPolicy *policy)
+Cleaner::clean(std::uint32_t log_seg, CleaningPolicy *policy)
 {
-    return cleanInternal(seg, policy, false);
+    return cleanInternal(log_seg, policy, false);
 }
 
 Cleaner::CleanResult
-Cleaner::resume(std::uint32_t seg)
+Cleaner::resume(std::uint32_t log_seg)
 {
-    return cleanInternal(seg, nullptr, true);
+    return cleanInternal(log_seg, nullptr, true);
 }
 
 Cleaner::CleanResult
-Cleaner::cleanInternal(std::uint32_t seg, CleaningPolicy *policy,
+Cleaner::cleanInternal(std::uint32_t log_seg, CleaningPolicy *policy,
                        bool resuming)
 {
     FlashArray &flash = space_.flash();
-    const SegmentId victim = space_.physOf(seg);
+    const SegmentId victim = space_.physOf(log_seg);
     const SegmentId dest = space_.reserve();
     if (!resuming) {
-        ENVY_ASSERT(flash.usedSlots(dest) == 0, "reserve segment ",
-                    dest.value(), " is not erased");
+        ENVY_ASSERT(flash.usedSlots(dest) == PageCount(0),
+                    "cleaner: reserve segment ", dest,
+                    " is not erased");
     }
 
-    space_.beginCleanRecord(seg, victim, dest);
+    space_.beginCleanRecord(log_seg, victim, dest);
     ENVY_CRASH_POINT("cleaner.clean.begin");
 
     CleanResult result;
     const Tick busy0 = busyTime_;
-    const std::uint64_t live_total = flash.liveCount(victim);
+    const PageCount live_total = flash.liveCount(victim);
 
     // Collect the live slots first: relocation mutates the segment's
     // owner table as it invalidates source pages.
-    std::vector<std::pair<std::uint32_t, LogicalPageId>> live;
-    live.reserve(live_total);
+    std::vector<std::pair<SlotId, LogicalPageId>> live;
+    live.reserve(live_total.value());
     flash.forEachLive(victim,
-                      [&](std::uint32_t slot, LogicalPageId logical) {
+                      [&](SlotId slot, LogicalPageId logical) {
                           live.emplace_back(slot, logical);
                       });
 
     for (std::uint64_t idx = 0; idx < live.size(); ++idx) {
         const auto [slot, logical] = live[idx];
-        std::uint32_t target = seg;
+        std::uint32_t target = log_seg;
         if (policy)
-            target = policy->divert(seg, idx, live_total);
+            target = policy->divert(log_seg, idx, live_total);
         SegmentId dst = dest;
-        if (target != seg) {
+        if (target != log_seg) {
             const SegmentId other = space_.physOf(target);
-            if (flash.freeSlots(other) > 0) {
+            if (flash.freeSlots(other) > PageCount(0)) {
                 dst = other;
-                ++result.diverted;
+                result.diverted += PageCount(1);
             } else {
-                target = seg; // divert target full; keep the page
+                target = log_seg; // divert target full; keep the page
             }
         }
-        if (target == seg)
-            ++result.copied;
+        if (target == log_seg)
+            result.copied += PageCount(1);
         relocate(victim, slot, logical, dst);
     }
 
@@ -134,73 +135,73 @@ Cleaner::cleanInternal(std::uint32_t seg, CleaningPolicy *policy,
     ENVY_CRASH_POINT("cleaner.clean.before_erase");
     // On resume the victim may already have been erased just before
     // the crash; do not burn a second cycle on it.
-    if (!(resuming && flash.usedSlots(victim) == 0))
+    if (!(resuming && flash.usedSlots(victim) == PageCount(0)))
         busyTime_ += flash.eraseSegment(victim);
     ENVY_CRASH_POINT("cleaner.clean.after_erase");
     result.busyTime = busyTime_ - busy0;
-    space_.commitClean(seg);
+    space_.commitClean(log_seg);
     ENVY_CRASH_POINT("cleaner.clean.after_commit");
-    space_.noteClean(seg);
+    space_.noteClean(log_seg);
     space_.clearCleanRecord();
     ++statCleans;
 
     if (policy)
-        policy->onCleaned(seg);
+        policy->onCleaned(log_seg);
     if (wearLeveler_)
         wearLeveler_->maybeRotate(space_, *this);
     return result;
 }
 
-std::uint64_t
+PageCount
 Cleaner::movePages(std::uint32_t from, std::uint32_t to, bool from_tail,
-                   std::uint64_t count)
+                   PageCount count)
 {
-    ENVY_ASSERT(from != to, "moving pages to the same segment");
+    ENVY_ASSERT(from != to, "cleaner: moving pages to the same segment");
     FlashArray &flash = space_.flash();
     const SegmentId src = space_.physOf(from);
     const SegmentId dst = space_.physOf(to);
 
     count = std::min({count, flash.liveCount(src),
                       flash.freeSlots(dst)});
-    if (count == 0)
-        return 0;
+    if (count == PageCount(0))
+        return PageCount(0);
 
-    std::uint64_t moved = 0;
+    PageCount moved;
     const std::uint32_t used =
-        static_cast<std::uint32_t>(flash.usedSlots(src));
+        static_cast<std::uint32_t>(flash.usedSlots(src).value());
     if (from_tail) {
         for (std::uint32_t i = used; i-- > 0 && moved < count;) {
-            const FlashPageAddr addr{src, i};
+            const FlashPageAddr addr{src, SlotId(i)};
             const LogicalPageId owner = flash.pageOwner(addr);
             if (!owner.valid())
                 continue;
-            relocate(src, i, owner, dst);
-            ++moved;
+            relocate(src, SlotId(i), owner, dst);
+            moved += PageCount(1);
         }
     } else {
         for (std::uint32_t i = 0; i < used && moved < count; ++i) {
-            const FlashPageAddr addr{src, i};
+            const FlashPageAddr addr{src, SlotId(i)};
             const LogicalPageId owner = flash.pageOwner(addr);
             if (!owner.valid())
                 continue;
-            relocate(src, i, owner, dst);
-            ++moved;
+            relocate(src, SlotId(i), owner, dst);
+            moved += PageCount(1);
         }
     }
     return moved;
 }
 
-std::uint64_t
+PageCount
 Cleaner::moveAllPhysical(SegmentId src, SegmentId dst)
 {
     FlashArray &flash = space_.flash();
-    std::vector<std::pair<std::uint32_t, LogicalPageId>> live;
-    flash.forEachLive(src, [&](std::uint32_t slot, LogicalPageId p) {
+    std::vector<std::pair<SlotId, LogicalPageId>> live;
+    flash.forEachLive(src, [&](SlotId slot, LogicalPageId p) {
         live.emplace_back(slot, p);
     });
     for (const auto &[slot, logical] : live)
         relocate(src, slot, logical, dst);
-    return live.size() + moveShadows(src, dst);
+    return PageCount(live.size()) + moveShadows(src, dst);
 }
 
 double

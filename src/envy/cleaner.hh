@@ -35,9 +35,9 @@ class Cleaner : public StatGroup
   public:
     struct CleanResult
     {
-        std::uint64_t copied = 0;   //!< programs into the new segment
-        std::uint64_t diverted = 0; //!< programs into other segments
-        Tick busyTime = 0;          //!< device time consumed
+        PageCount copied;   //!< programs into the new segment
+        PageCount diverted; //!< programs into other segments
+        Tick busyTime = 0;  //!< device time consumed
     };
 
     Cleaner(SegmentSpace &space, Mmu &mmu,
@@ -45,10 +45,10 @@ class Cleaner : public StatGroup
             StatGroup *parent = nullptr);
 
     /**
-     * Clean logical segment @p seg.  @p policy (may be null) steers
+     * Clean logical segment @p log_seg.  @p policy (may be null) steers
      * per-page diverts and is notified on completion.
      */
-    CleanResult clean(std::uint32_t seg, CleaningPolicy *policy);
+    CleanResult clean(std::uint32_t log_seg, CleaningPolicy *policy);
 
     /**
      * Finish a clean that a power failure interrupted: the reserve
@@ -56,7 +56,7 @@ class Cleaner : public StatGroup
      * erased-reserve precondition is waived and no policy diverts
      * apply.
      */
-    CleanResult resume(std::uint32_t seg);
+    CleanResult resume(std::uint32_t log_seg);
 
     /**
      * Relocate up to @p count live pages from the head (coldest) or
@@ -65,8 +65,8 @@ class Cleaner : public StatGroup
      *
      * @return pages actually moved.
      */
-    std::uint64_t movePages(std::uint32_t from, std::uint32_t to,
-                            bool from_tail, std::uint64_t count);
+    PageCount movePages(std::uint32_t from, std::uint32_t to,
+                        bool from_tail, PageCount count);
 
     /**
      * Move every live page and shadow of *physical* segment @p src
@@ -75,7 +75,7 @@ class Cleaner : public StatGroup
      *
      * @return pages moved.
      */
-    std::uint64_t moveAllPhysical(SegmentId src, SegmentId dst);
+    PageCount moveAllPhysical(SegmentId src, SegmentId dst);
 
     /** Cleaning cost so far: cleaner programs / pages flushed. */
     double cleaningCost() const;
@@ -98,15 +98,15 @@ class Cleaner : public StatGroup
     Mmu &mmu() { return mmu_; }
 
   private:
-    CleanResult cleanInternal(std::uint32_t seg,
+    CleanResult cleanInternal(std::uint32_t log_seg,
                               CleaningPolicy *policy, bool resuming);
 
     /** Relocate one live page; updates map and invalidates source. */
-    void relocate(SegmentId src_phys, std::uint32_t slot,
+    void relocate(SegmentId src_phys, SlotId slot,
                   LogicalPageId logical, SegmentId dst_phys);
 
     /** Carry every shadow of @p src into @p dst; returns count. */
-    std::uint64_t moveShadows(SegmentId src, SegmentId dst);
+    PageCount moveShadows(SegmentId src, SegmentId dst);
 
     SegmentSpace &space_;
     Mmu &mmu_;

@@ -38,7 +38,7 @@ Controller::Controller(const Geometry &geom, FlashArray &flash,
 void
 Controller::populate(Placement placement, std::uint32_t aged_stride)
 {
-    const std::uint64_t pages = geom_.effectiveLogicalPages();
+    const std::uint64_t pages = geom_.effectiveLogicalPages().value();
     const std::uint32_t segs = space_.numLogical();
     std::vector<std::uint8_t> zeros(
         flash_.storesData() ? geom_.pageSize : 0, 0);
@@ -56,7 +56,7 @@ Controller::populate(Placement placement, std::uint32_t aged_stride)
 
     // Sequential and Aged place an even run of consecutive logical
     // pages in each segment.
-    const std::uint64_t cap = geom_.pagesPerSegment();
+    const std::uint64_t cap = geom_.pagesPerSegment().value();
     const std::uint64_t share = (pages + segs - 1) / segs;
     std::uint64_t next = 0;
     for (std::uint32_t s = 0; s < segs; ++s) {
@@ -95,7 +95,7 @@ void
 Controller::checkRange(Addr addr, std::size_t len) const
 {
     if (addr + len > size())
-        ENVY_FATAL("host access [", addr, ", ", addr + len,
+        ENVY_FATAL("controller: host access [", addr, ", ", addr + len,
                    ") beyond the ", size(), "-byte array");
 }
 
@@ -108,7 +108,8 @@ Controller::read(Addr addr, std::span<std::uint8_t> out)
     while (done < out.size()) {
         const Addr a = addr + done;
         const LogicalPageId page = pageOf(a);
-        const std::uint32_t off = a % geom_.pageSize;
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(a % geom_.pageSize);
         const std::size_t n = std::min<std::size_t>(
             out.size() - done, geom_.pageSize - off);
         ++statHostReads;
@@ -149,7 +150,7 @@ Controller::probeRead(Addr addr)
     return mmu_.statMisses.value() != misses;
 }
 
-std::uint32_t
+BufferSlotId
 Controller::copyOnWrite(LogicalPageId page,
                         const PageTable::Location &stale_loc,
                         AccessOutcome &outcome)
@@ -169,13 +170,13 @@ Controller::copyOnWrite(LogicalPageId page,
     if (loc.kind == PageTable::LocKind::Flash) {
         const std::uint32_t seg = space_.logOf(loc.flash.segment);
         ENVY_ASSERT(seg != SegmentSpace::noLogical,
-                    "live page on the reserve segment");
+                    "controller: live page on the reserve segment");
         origin = policy_.originTag(seg);
     } else {
         origin = policy_.defaultOrigin(page);
     }
 
-    const std::uint32_t slot = buffer_.push(page, origin);
+    const BufferSlotId slot = buffer_.push(page, origin);
     if (flash_.storesData()) {
         auto dst = buffer_.slotData(slot);
         if (loc.kind == PageTable::LocKind::Flash)
@@ -211,13 +212,14 @@ Controller::write(Addr addr, std::span<const std::uint8_t> in)
     while (done < in.size()) {
         const Addr a = addr + done;
         const LogicalPageId page = pageOf(a);
-        const std::uint32_t off = a % geom_.pageSize;
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(a % geom_.pageSize);
         const std::size_t n = std::min<std::size_t>(
             in.size() - done, geom_.pageSize - off);
         ++statHostWrites;
 
         const PageTable::Location loc = mmu_.lookup(page);
-        std::uint32_t slot;
+        BufferSlotId slot;
         if (loc.kind == PageTable::LocKind::Sram) {
             slot = loc.sramSlot;
             outcome.hitSram = true;
@@ -259,8 +261,9 @@ Controller::flushOne()
     for (;;) {
         const std::uint32_t dest = policy_.flushDestination(tail.origin);
         phys = space_.physOf(dest);
-        ENVY_ASSERT(flash_.freeSlots(phys) > 0,
-                    "policy returned a full flush destination");
+        ENVY_ASSERT(flash_.freeSlots(phys) > PageCount(0),
+                    "controller: policy returned a full flush "
+                    "destination");
         ENVY_CRASH_POINT("ctl.flush.before_program");
         const FlashArray::AppendResult res =
             flash_.tryAppendPage(phys, tail.logical, data);

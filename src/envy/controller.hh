@@ -66,7 +66,7 @@ class Controller : public StatGroup
     void populate(Placement placement, std::uint32_t aged_stride = 16);
 
     /** Host-visible bytes. */
-    std::uint64_t size() const { return geom_.logicalBytes(); }
+    std::uint64_t size() const { return geom_.logicalBytes().value(); }
 
     AccessOutcome read(Addr addr, std::span<std::uint8_t> out);
     AccessOutcome write(Addr addr, std::span<const std::uint8_t> in);
@@ -125,9 +125,9 @@ class Controller : public StatGroup
     }
 
     /** Copy a page into the write buffer (the COW of Fig 3). */
-    std::uint32_t copyOnWrite(LogicalPageId page,
-                              const PageTable::Location &stale_loc,
-                              AccessOutcome &outcome);
+    BufferSlotId copyOnWrite(LogicalPageId page,
+                             const PageTable::Location &stale_loc,
+                             AccessOutcome &outcome);
 
     void checkRange(Addr addr, std::size_t len) const;
 

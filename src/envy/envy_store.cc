@@ -10,27 +10,29 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
 {
     const Geometry &g = cfg_.geom;
     if (const char *problem = g.validate())
-        ENVY_FATAL("bad geometry: ", problem);
+        ENVY_FATAL("store: bad geometry: ", problem);
 
     // Battery-backed SRAM layout: page table, segment-space state,
     // write buffer (metadata + page frames).
     ptBase_ = 0;
-    spaceBase_ = ptBase_ + PageTable::bytesNeeded(g.physicalPages());
+    spaceBase_ =
+        ptBase_ + PageTable::bytesNeeded(g.physicalPages().value());
     bufferBase_ =
         spaceBase_ + SegmentSpace::bytesNeeded(g.numSegments());
+    const std::uint32_t buffer_pages = static_cast<std::uint32_t>(
+        g.effectiveWriteBufferPages().value());
     const std::uint64_t sram_bytes =
-        bufferBase_ + WriteBuffer::bytesNeeded(
-                          g.effectiveWriteBufferPages(), g.pageSize,
-                          cfg_.storeData);
+        bufferBase_ + WriteBuffer::bytesNeeded(buffer_pages, g.pageSize,
+                                               cfg_.storeData);
 
     sram_ = std::make_unique<SramArray>(sram_bytes, true);
     flash_ = std::make_unique<FlashArray>(g, cfg_.timing,
                                           cfg_.storeData, this);
-    pageTable_ = std::make_unique<PageTable>(*sram_, ptBase_,
-                                             g.physicalPages());
+    pageTable_ = std::make_unique<PageTable>(
+        *sram_, ptBase_, g.physicalPages().value());
     mmu_ = std::make_unique<Mmu>(*pageTable_, cfg_.tlbSize, this);
     buffer_ = std::make_unique<WriteBuffer>(
-        *sram_, bufferBase_, g.effectiveWriteBufferPages(), g.pageSize,
+        *sram_, bufferBase_, buffer_pages, g.pageSize,
         cfg_.storeData, cfg_.bufferThreshold, this);
     space_ = std::make_unique<SegmentSpace>(*flash_, *sram_,
                                             spaceBase_);
@@ -52,7 +54,7 @@ EnvyStore::~EnvyStore() = default;
 std::uint64_t
 EnvyStore::size() const
 {
-    return cfg_.geom.logicalBytes();
+    return cfg_.geom.logicalBytes().value();
 }
 
 void

@@ -19,7 +19,7 @@ putU64(std::FILE *f, std::uint64_t v)
     for (int i = 0; i < 8; ++i)
         b[i] = static_cast<std::uint8_t>(v >> (8 * i));
     if (std::fwrite(b, 1, 8, f) != 8)
-        ENVY_FATAL("image write failed");
+        ENVY_FATAL("image: write failed");
 }
 
 std::uint64_t
@@ -27,7 +27,7 @@ getU64(std::FILE *f)
 {
     std::uint8_t b[8];
     if (std::fread(b, 1, 8, f) != 8)
-        ENVY_FATAL("image file is truncated");
+        ENVY_FATAL("image: file is truncated");
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
         v = (v << 8) | b[i];
@@ -39,7 +39,7 @@ putBytes(std::FILE *f, std::span<const std::uint8_t> bytes)
 {
     if (!bytes.empty() &&
         std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
-        ENVY_FATAL("image write failed");
+        ENVY_FATAL("image: write failed");
 }
 
 void
@@ -47,7 +47,7 @@ getBytes(std::FILE *f, std::span<std::uint8_t> bytes)
 {
     if (!bytes.empty() &&
         std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size())
-        ENVY_FATAL("image file is truncated");
+        ENVY_FATAL("image: file is truncated");
 }
 
 // Owner encoding in the image, mirroring the array's internal one.
@@ -65,19 +65,18 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        ENVY_FATAL("cannot open image file '", path,
-                   "' for writing");
+        ENVY_FATAL("image: cannot open '", path, "' for writing");
 
     const EnvyConfig &cfg = store.config();
     const Geometry &g = cfg.geom;
     if (std::fwrite(magic, 1, sizeof(magic), f) != sizeof(magic))
-        ENVY_FATAL("image write failed");
+        ENVY_FATAL("image: write failed");
     putU64(f, g.pageSize);
     putU64(f, g.blockBytes);
     putU64(f, g.blocksPerChip);
     putU64(f, g.numBanks);
-    putU64(f, g.effectiveLogicalPages());
-    putU64(f, g.effectiveWriteBufferPages());
+    putU64(f, g.effectiveLogicalPages().value());
+    putU64(f, g.effectiveWriteBufferPages().value());
     putU64(f, cfg.storeData ? 1 : 0);
     putU64(f, static_cast<std::uint64_t>(cfg.policy));
     putU64(f, cfg.partitionSize);
@@ -96,8 +95,8 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
     std::vector<std::uint8_t> page(g.pageSize);
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
-        const std::uint64_t used = flash.usedSlots(seg);
-        const std::uint64_t cap = flash.pagesPerSegment();
+        const std::uint64_t used = flash.usedSlots(seg).value();
+        const std::uint64_t cap = flash.pagesPerSegment().value();
         putU64(f, used);
         putU64(f, flash.eraseCycles(seg));
 
@@ -105,8 +104,8 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
         // survived an erase of the segment).
         std::vector<std::uint64_t> retired_ahead;
         for (std::uint64_t slot = used; slot < cap; ++slot) {
-            const FlashPageAddr addr{seg,
-                                     static_cast<std::uint32_t>(slot)};
+            const FlashPageAddr addr{
+                seg, SlotId(static_cast<std::uint32_t>(slot))};
             if (flash.slotRetired(addr))
                 retired_ahead.push_back(slot);
         }
@@ -115,7 +114,7 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
             putU64(f, slot);
 
         for (std::uint32_t slot = 0; slot < used; ++slot) {
-            const FlashPageAddr addr{seg, slot};
+            const FlashPageAddr addr{seg, SlotId(slot)};
             if (flash.slotRetired(addr)) {
                 putU64(f, imgRetired);
                 continue; // retired slots carry no data
@@ -134,7 +133,7 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
         }
     }
     if (std::fclose(f) != 0)
-        ENVY_FATAL("error writing image file '", path, "'");
+        ENVY_FATAL("image: error writing '", path, "'");
 }
 
 std::unique_ptr<EnvyStore>
@@ -142,12 +141,12 @@ EnvyImage::load(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        ENVY_FATAL("cannot open image file '", path, "'");
+        ENVY_FATAL("image: cannot open '", path, "'");
 
     char m[8];
     if (std::fread(m, 1, sizeof(m), f) != sizeof(m) ||
         std::memcmp(m, magic, sizeof(m)) != 0)
-        ENVY_FATAL("'", path, "' is not an eNVy image");
+        ENVY_FATAL("image: '", path, "' is not an eNVy image");
 
     EnvyConfig cfg;
     cfg.geom.pageSize = static_cast<std::uint32_t>(getU64(f));
@@ -172,7 +171,7 @@ EnvyImage::load(const std::string &path)
     const std::uint64_t sram_bytes = getU64(f);
     if (sram_bytes != store->sram().size()) {
         std::fclose(f);
-        ENVY_FATAL("image SRAM size mismatch: ", sram_bytes, " vs ",
+        ENVY_FATAL("image: SRAM size mismatch: ", sram_bytes, " vs ",
                    store->sram().size());
     }
     getBytes(f, store->sram().raw());
@@ -212,7 +211,7 @@ EnvyImage::load(const std::string &path)
             }
         }
         for (const std::uint32_t slot : retired_ahead)
-            flash.restoreRetiredAhead(seg, slot);
+            flash.restoreRetiredAhead(seg, SlotId(slot));
         flash.restoreWear(seg, cycles);
     }
     std::fclose(f);

@@ -163,7 +163,7 @@ class MappedArena
         const Addr at = cursor_;
         cursor_ += bytes;
         if (cursor_ > limit_)
-            ENVY_FATAL("mapped arena exhausted");
+            ENVY_FATAL("mapped: arena exhausted");
         return at;
     }
 

@@ -13,7 +13,7 @@ Mmu::Mmu(PageTable &table, std::uint32_t tlb_size, StatGroup *parent)
       tlb_(tlb_size)
 {
     ENVY_ASSERT(tlb_size > 0 && (tlb_size & (tlb_size - 1)) == 0,
-                "TLB size must be a power of two");
+                "mmu: TLB size must be a power of two");
 }
 
 PageTable::Location
@@ -41,7 +41,7 @@ Mmu::mapToFlash(LogicalPageId page, FlashPageAddr addr)
 }
 
 void
-Mmu::mapToSram(LogicalPageId page, std::uint32_t slot)
+Mmu::mapToSram(LogicalPageId page, BufferSlotId slot)
 {
     table_.mapToSram(page, slot);
     TlbEntry &e = tlb_[indexOf(page)];

@@ -35,7 +35,7 @@ class Mmu : public StatGroup
 
     /** Write-through update used by COW, flush and the cleaner. */
     void mapToFlash(LogicalPageId page, FlashPageAddr addr);
-    void mapToSram(LogicalPageId page, std::uint32_t slot);
+    void mapToSram(LogicalPageId page, BufferSlotId slot);
 
     /** Drop every cached mapping (recovery does this). */
     void flushTlb();

@@ -8,7 +8,7 @@ PageTable::PageTable(SramArray &sram, Addr base, std::uint64_t entries)
     : sram_(sram), base_(base), entries_(entries)
 {
     ENVY_ASSERT(base + bytesNeeded(entries) <= sram.size(),
-                "page table does not fit in SRAM");
+                "pagetable: table does not fit in SRAM");
     for (std::uint64_t p = 0; p < entries_; ++p)
         sram_.writeUint(base_ + p * entryBytes, rawUnmapped, entryBytes);
 }
@@ -17,7 +17,7 @@ void
 PageTable::checkPage(LogicalPageId page) const
 {
     ENVY_ASSERT(page.valid() && page.value() < entries_,
-                "logical page out of range: ", page.value());
+                "pagetable: logical page out of range: ", page.value());
 }
 
 PageTable::Location
@@ -30,11 +30,11 @@ PageTable::lookup(LogicalPageId page) const
         loc.kind = LocKind::Unmapped;
     } else if (raw & sramFlag) {
         loc.kind = LocKind::Sram;
-        loc.sramSlot = static_cast<std::uint32_t>(raw);
+        loc.sramSlot = BufferSlotId(static_cast<std::uint32_t>(raw));
     } else {
         loc.kind = LocKind::Flash;
         loc.flash.segment = SegmentId((raw >> 32) & 0x7FFF);
-        loc.flash.slot = static_cast<std::uint32_t>(raw);
+        loc.flash.slot = SlotId(static_cast<std::uint32_t>(raw));
     }
     return loc;
 }
@@ -44,17 +44,18 @@ PageTable::mapToFlash(LogicalPageId page, FlashPageAddr addr)
 {
     checkPage(page);
     ENVY_ASSERT(addr.segment.valid() && addr.segment.value() < 0x7FFF,
-                "segment id does not fit the 6-byte entry");
+                "pagetable: segment id does not fit the 6-byte entry");
     const std::uint64_t raw =
-        (addr.segment.value() << 32) | addr.slot;
+        (addr.segment.value() << 32) | addr.slot.value();
     sram_.writeUint(entryAddr(page), raw, entryBytes);
 }
 
 void
-PageTable::mapToSram(LogicalPageId page, std::uint32_t slot)
+PageTable::mapToSram(LogicalPageId page, BufferSlotId slot)
 {
     checkPage(page);
-    sram_.writeUint(entryAddr(page), sramFlag | slot, entryBytes);
+    sram_.writeUint(entryAddr(page), sramFlag | slot.value(),
+                    entryBytes);
 }
 
 void

@@ -34,8 +34,8 @@ class PageTable
     struct Location
     {
         LocKind kind = LocKind::Unmapped;
-        FlashPageAddr flash;     //!< valid when kind == Flash
-        std::uint32_t sramSlot = 0; //!< valid when kind == Sram
+        FlashPageAddr flash;        //!< valid when kind == Flash
+        BufferSlotId sramSlot{0};   //!< valid when kind == Sram
 
         bool mapped() const { return kind != LocKind::Unmapped; }
     };
@@ -59,7 +59,7 @@ class PageTable
 
     Location lookup(LogicalPageId page) const;
     void mapToFlash(LogicalPageId page, FlashPageAddr addr);
-    void mapToSram(LogicalPageId page, std::uint32_t slot);
+    void mapToSram(LogicalPageId page, BufferSlotId slot);
     void unmap(LogicalPageId page);
 
     /** Count of mapped entries (linear scan; for tests/recovery). */

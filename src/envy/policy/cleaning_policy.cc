@@ -44,7 +44,7 @@ makePolicy(PolicyKind kind, std::uint32_t partition_size)
       case PolicyKind::Hybrid:
         return std::make_unique<HybridPolicy>(partition_size);
     }
-    ENVY_PANIC("unknown policy kind");
+    ENVY_PANIC("policy: unknown policy kind");
 }
 
 } // namespace envy

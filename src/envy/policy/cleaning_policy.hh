@@ -52,33 +52,33 @@ class CleaningPolicy
     virtual std::uint32_t flushDestination(std::uint64_t origin_tag) = 0;
 
     /**
-     * Redistribution hook: while logical segment @p seg is being
+     * Redistribution hook: while logical segment @p log_seg is being
      * cleaned, the @p idx-th of its @p total live pages (in slot
      * order, i.e. coldest first) may be diverted to another logical
-     * segment.  Return @p seg to keep the page.
+     * segment.  Return @p log_seg to keep the page.
      */
     virtual std::uint32_t
-    divert(std::uint32_t seg, std::uint64_t idx, std::uint64_t total)
+    divert(std::uint32_t log_seg, std::uint64_t idx, PageCount total)
     {
         (void)idx;
         (void)total;
-        return seg;
+        return log_seg;
     }
 
-    /** Called after a clean of @p seg completes (for pull-style
+    /** Called after a clean of @p log_seg completes (for pull-style
      *  redistribution and bookkeeping). */
-    virtual void onCleaned(std::uint32_t seg) { (void)seg; }
+    virtual void onCleaned(std::uint32_t log_seg) { (void)log_seg; }
 
     /**
      * Tag to record when a page whose old copy lived in logical
-     * segment @p seg enters the write buffer.  Locality gathering
+     * segment @p log_seg enters the write buffer.  Locality gathering
      * flushes a page back to its origin segment; hybrid back to its
      * origin partition (both encode the segment and derive the
      * partition later); greedy/FIFO ignore the tag.
      */
-    virtual std::uint64_t originTag(std::uint32_t seg) const
+    virtual std::uint64_t originTag(std::uint32_t log_seg) const
     {
-        return seg;
+        return log_seg;
     }
 
     /** Origin tag for a page that never lived in flash. */

@@ -13,7 +13,7 @@ GreedyPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
     cleaner_ = &cleaner;
     // Start filling the segment with the most room.
     active_ = 0;
-    std::uint64_t best = 0;
+    PageCount best;
     for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
         if (space.freeSlots(l) > best) {
             best = space.freeSlots(l);
@@ -26,29 +26,30 @@ std::uint32_t
 GreedyPolicy::flushDestination(std::uint64_t origin_tag)
 {
     (void)origin_tag;
-    if (space_->freeSlots(active_) > 0)
+    if (space_->freeSlots(active_) > PageCount(0))
         return active_;
 
     // A fresh (never filled) segment with room is cheaper than any
     // clean; steady state never has one.
     std::uint32_t roomiest = active_;
-    std::uint64_t best = 0;
+    PageCount best;
     for (std::uint32_t l = 0; l < space_->numLogical(); ++l) {
         if (space_->freeSlots(l) > best) {
             best = space_->freeSlots(l);
             roomiest = l;
         }
     }
-    if (best > 0) {
+    if (best > PageCount(0)) {
         active_ = roomiest;
         return active_;
     }
 
     const std::uint32_t victim = pickVictim();
-    ENVY_ASSERT(space_->invalidCount(victim) > 0 ||
+    ENVY_ASSERT(space_->invalidCount(victim) > PageCount(0) ||
                     space_->liveCount(victim) <
                         space_->segmentCapacity(),
-                "array is completely live; cleaning cannot make room");
+                "policy: array is completely live; "
+                "cleaning cannot make room");
     cleaner_->clean(victim, this);
     active_ = victim;
     return active_;
@@ -58,9 +59,9 @@ std::uint32_t
 GreedyPolicy::pickVictim()
 {
     std::uint32_t victim = 0;
-    std::uint64_t best = 0;
+    PageCount best;
     for (std::uint32_t l = 0; l < space_->numLogical(); ++l) {
-        const std::uint64_t inv = space_->invalidCount(l);
+        const PageCount inv = space_->invalidCount(l);
         if (inv >= best) {
             best = inv;
             victim = l;

@@ -12,7 +12,8 @@ namespace envy {
 HybridPolicy::HybridPolicy(std::uint32_t partition_size)
     : partitionSize_(partition_size)
 {
-    ENVY_ASSERT(partition_size > 0, "partition size must be positive");
+    ENVY_ASSERT(partition_size > 0,
+                "policy: partition size must be positive");
 }
 
 void
@@ -29,7 +30,8 @@ HybridPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
     writes_.assign(numPartitions_, 1.0); // uniform prior
     sinceDecay_ = 0;
     decayPeriod_ = std::max<std::uint64_t>(
-        4096, space.numLogical() * space.segmentCapacity() / 4);
+        4096,
+        space.numLogical() * space.segmentCapacity().value() / 4);
 
     for (std::uint32_t p = 0; p < numPartitions_; ++p)
         active_[p] = firstSeg(p);
@@ -47,14 +49,15 @@ HybridPolicy::partitionLive(std::uint32_t part) const
 {
     std::uint64_t live = 0;
     for (std::uint32_t i = 0; i < segsIn(part); ++i)
-        live += space_->liveCount(firstSeg(part) + i);
+        live += space_->liveCount(firstSeg(part) + i).value();
     return live;
 }
 
 std::uint64_t
 HybridPolicy::partitionCapacity(std::uint32_t part) const
 {
-    return std::uint64_t(segsIn(part)) * space_->segmentCapacity();
+    return std::uint64_t{segsIn(part)} *
+           space_->segmentCapacity().value();
 }
 
 std::uint64_t
@@ -62,19 +65,19 @@ HybridPolicy::partitionFree(std::uint32_t part) const
 {
     std::uint64_t room = 0;
     for (std::uint32_t i = 0; i < segsIn(part); ++i)
-        room += space_->freeSlots(firstSeg(part) + i);
+        room += space_->freeSlots(firstSeg(part) + i).value();
     return room;
 }
 
 std::uint32_t
 HybridPolicy::divertTarget(std::uint32_t part) const
 {
-    if (space_->freeSlots(active_[part]) > 0)
+    if (space_->freeSlots(active_[part]) > PageCount(0))
         return active_[part];
     for (std::uint32_t i = 0; i < segsIn(part); ++i) {
-        const std::uint32_t seg = firstSeg(part) + i;
-        if (space_->freeSlots(seg) > 0)
-            return seg;
+        const std::uint32_t log_seg = firstSeg(part) + i;
+        if (space_->freeSlots(log_seg) > PageCount(0))
+            return log_seg;
     }
     return active_[part]; // full; the cleaner will keep the page
 }
@@ -83,7 +86,8 @@ std::uint32_t
 HybridPolicy::flushDestination(std::uint64_t origin_tag)
 {
     const auto origin = static_cast<std::uint32_t>(origin_tag);
-    ENVY_ASSERT(origin < space_->numLogical(), "bad origin tag");
+    ENVY_ASSERT(origin < space_->numLogical(),
+                "policy: bad origin tag");
     const std::uint32_t part = partitionOf(origin);
 
     writes_[part] += 1.0;
@@ -93,32 +97,32 @@ HybridPolicy::flushDestination(std::uint64_t origin_tag)
         sinceDecay_ = 0;
     }
 
-    if (space_->freeSlots(active_[part]) > 0)
+    if (space_->freeSlots(active_[part]) > PageCount(0))
         return active_[part];
 
     // A not-yet-filled segment in the partition (fresh array) is
     // cheaper than cleaning.
     for (std::uint32_t i = 0; i < segsIn(part); ++i) {
-        const std::uint32_t seg = firstSeg(part) + i;
-        if (space_->freeSlots(seg) > 0) {
-            active_[part] = seg;
-            return seg;
+        const std::uint32_t log_seg = firstSeg(part) + i;
+        if (space_->freeSlots(log_seg) > PageCount(0)) {
+            active_[part] = log_seg;
+            return log_seg;
         }
     }
 
     const std::uint32_t victim = cleanNext(part);
     active_[part] = victim;
-    if (space_->freeSlots(victim) == 0) {
+    if (space_->freeSlots(victim) == PageCount(0)) {
         // The forced shed may have parked the room elsewhere in the
         // partition; find it.
         for (std::uint32_t i = 0; i < segsIn(part); ++i) {
-            const std::uint32_t seg = firstSeg(part) + i;
-            if (space_->freeSlots(seg) > 0) {
-                active_[part] = seg;
-                return seg;
+            const std::uint32_t log_seg = firstSeg(part) + i;
+            if (space_->freeSlots(log_seg) > PageCount(0)) {
+                active_[part] = log_seg;
+                return log_seg;
             }
         }
-        ENVY_PANIC("clean of segment ", victim,
+        ENVY_PANIC("policy: clean of segment ", victim,
                    " left partition ", part, " with no room");
     }
     return victim;
@@ -163,10 +167,8 @@ void
 HybridPolicy::planRedistribution(std::uint32_t part,
                                  std::uint32_t victim)
 {
-    const double seg_cap =
-        static_cast<double>(space_->segmentCapacity());
-    const double victim_live =
-        static_cast<double>(space_->liveCount(victim));
+    const double seg_cap = asDouble(space_->segmentCapacity());
+    const double victim_live = asDouble(space_->liveCount(victim));
     const double live = static_cast<double>(partitionLive(part));
 
     planVictim_ = victim;
@@ -213,7 +215,8 @@ HybridPolicy::planRedistribution(std::uint32_t part,
         const double need = below_need + above_need;
         shedHot_ = need > 0.0
                        ? static_cast<std::uint64_t>(
-                             shed * (below_need / need))
+                             static_cast<double>(shed) *
+                                 (below_need / need))
                        : shed / 2;
         shedCold_ = shed - shedHot_;
         shedHotPart_ = findPartitionRoom(part, -1);
@@ -238,7 +241,8 @@ HybridPolicy::planRedistribution(std::uint32_t part,
         const double surplus = below_surplus + above_surplus;
         pullCold_ = surplus > 0.0
                         ? static_cast<std::uint64_t>(
-                              pull * (below_surplus / surplus))
+                              static_cast<double>(pull) *
+                                  (below_surplus / surplus))
                         : pull / 2;
         pullHot_ = pull - pullCold_;
         if (part == 0)
@@ -261,26 +265,27 @@ HybridPolicy::findPartitionRoom(std::uint32_t part, int dir) const
 }
 
 std::uint32_t
-HybridPolicy::divert(std::uint32_t seg, std::uint64_t idx,
-                     std::uint64_t total)
+HybridPolicy::divert(std::uint32_t log_seg, std::uint64_t idx,
+                     PageCount total)
 {
-    if (seg != planVictim_)
-        return seg;
+    if (log_seg != planVictim_)
+        return log_seg;
+    const std::uint64_t total_v = total.value();
     if (idx < shedCold_ && shedColdPart_ != planPart_)
         return divertTarget(shedColdPart_);
     if (shedHot_ > 0 && shedHotPart_ != planPart_ &&
-        idx >= total - std::min(shedHot_, total))
+        idx >= total_v - std::min(shedHot_, total_v))
         return divertTarget(shedHotPart_);
-    return seg;
+    return log_seg;
 }
 
 void
-HybridPolicy::onCleaned(std::uint32_t seg)
+HybridPolicy::onCleaned(std::uint32_t log_seg)
 {
-    if (seg != planVictim_)
+    if (log_seg != planVictim_)
         return;
     const std::uint32_t part = planPart_;
-    const std::uint64_t room = space_->freeSlots(seg);
+    const std::uint64_t room = space_->freeSlots(log_seg).value();
     std::uint64_t budget = room > 1 ? room - 1 : 0;
 
     // Pull from the neighbouring partitions' oldest (next-victim)
@@ -290,13 +295,14 @@ HybridPolicy::onCleaned(std::uint32_t seg)
                                   fifoNext_[part + 1] %
                                       segsIn(part + 1);
         const std::uint64_t n = std::min(pullHot_, budget);
-        budget -= cleaner_->movePages(src, seg, true, n);
+        budget -=
+            cleaner_->movePages(src, log_seg, true, PageCount(n)).value();
     }
     if (pullCold_ > 0 && part > 0 && budget > 0) {
         const std::uint32_t src =
             firstSeg(part - 1) + fifoNext_[part - 1] % segsIn(part - 1);
         const std::uint64_t n = std::min(pullCold_, budget);
-        cleaner_->movePages(src, seg, false, n);
+        cleaner_->movePages(src, log_seg, false, PageCount(n));
     }
     shedCold_ = shedHot_ = pullCold_ = pullHot_ = 0;
 }

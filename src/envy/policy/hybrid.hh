@@ -30,16 +30,16 @@ class HybridPolicy : public CleaningPolicy
 
     void attach(SegmentSpace &space, Cleaner &cleaner) override;
     std::uint32_t flushDestination(std::uint64_t origin_tag) override;
-    std::uint32_t divert(std::uint32_t seg, std::uint64_t idx,
-                         std::uint64_t total) override;
-    void onCleaned(std::uint32_t seg) override;
+    std::uint32_t divert(std::uint32_t log_seg, std::uint64_t idx,
+                         PageCount total) override;
+    void onCleaned(std::uint32_t log_seg) override;
     std::uint64_t defaultOrigin(LogicalPageId page) const override;
 
     std::uint32_t partitionSize() const { return partitionSize_; }
     std::uint32_t numPartitions() const { return numPartitions_; }
-    std::uint32_t partitionOf(std::uint32_t seg) const
+    std::uint32_t partitionOf(std::uint32_t log_seg) const
     {
-        return seg / partitionSize_;
+        return log_seg / partitionSize_;
     }
 
     /** Free-space allocator's live-page target (for tests). */

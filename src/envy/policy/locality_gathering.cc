@@ -17,46 +17,46 @@ LocalityGatheringPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
     writes_.assign(space.numLogical(), 1.0); // uniform prior
     sinceDecay_ = 0;
     decayPeriod_ = std::max<std::uint64_t>(
-        4096, space.numLogical() * space.segmentCapacity() / 4);
+        4096,
+        space.numLogical() * space.segmentCapacity().value() / 4);
     shedCold_ = shedHot_ = pullCold_ = pullHot_ = 0;
 }
 
 std::uint32_t
 LocalityGatheringPolicy::flushDestination(std::uint64_t origin_tag)
 {
-    const auto seg = static_cast<std::uint32_t>(origin_tag);
-    ENVY_ASSERT(seg < space_->numLogical(), "bad origin tag ",
+    const auto log_seg = static_cast<std::uint32_t>(origin_tag);
+    ENVY_ASSERT(log_seg < space_->numLogical(), "bad origin tag ",
                 origin_tag);
 
     // Per-segment write-rate bookkeeping with exponential decay so
     // the allocation follows workload shifts.
-    writes_[seg] += 1.0;
+    writes_[log_seg] += 1.0;
     if (++sinceDecay_ >= decayPeriod_) {
         for (double &w : writes_)
             w *= 0.5;
         sinceDecay_ = 0;
     }
 
-    if (space_->freeSlots(seg) > 0)
-        return seg;
+    if (space_->freeSlots(log_seg) > PageCount(0))
+        return log_seg;
 
-    planRedistribution(seg);
-    cleaner_->clean(seg, this);
-    ENVY_ASSERT(space_->freeSlots(seg) > 0,
-                "clean of segment ", seg, " left no room");
-    return seg;
+    planRedistribution(log_seg);
+    cleaner_->clean(log_seg, this);
+    ENVY_ASSERT(space_->freeSlots(log_seg) > PageCount(0),
+                "policy: clean of segment ", log_seg, " left no room");
+    return log_seg;
 }
 
 double
-LocalityGatheringPolicy::targetLive(std::uint32_t seg) const
+LocalityGatheringPolicy::targetLive(std::uint32_t log_seg) const
 {
     // §4.3's heuristic aims for equal (cleaning frequency x cleaning
     // cost) across segments.  With frequency ~ writes/free and cost ~
     // live/free, equal products mean free space proportional to
     // sqrt(write rate); that closed form has no degenerate fixed
     // points, unlike iterating on the measured frequencies.
-    const double cap =
-        static_cast<double>(space_->segmentCapacity());
+    const double cap = asDouble(space_->segmentCapacity());
     const std::uint32_t n = space_->numLogical();
 
     double sum_sqrt = 0.0;
@@ -66,48 +66,46 @@ LocalityGatheringPolicy::targetLive(std::uint32_t seg) const
     const double total_pages = cap * n;
     double total_live = 0.0;
     for (std::uint32_t i = 0; i < n; ++i)
-        total_live += static_cast<double>(space_->liveCount(i));
+        total_live += asDouble(space_->liveCount(i));
     const double total_free = total_pages - total_live;
 
-    return cachedTarget(seg, sum_sqrt, total_free);
+    return cachedTarget(log_seg, sum_sqrt, total_free);
 }
 
 double
-LocalityGatheringPolicy::cachedTarget(std::uint32_t seg,
+LocalityGatheringPolicy::cachedTarget(std::uint32_t log_seg,
                                       double sum_sqrt,
                                       double total_free) const
 {
-    const double cap =
-        static_cast<double>(space_->segmentCapacity());
-    const double share = std::sqrt(writes_[seg]) / sum_sqrt;
+    const double cap = asDouble(space_->segmentCapacity());
+    const double share = std::sqrt(writes_[log_seg]) / sum_sqrt;
     const double want_free =
         std::min(total_free * share, cap * 0.98);
     return std::max(cap - want_free, 0.0);
 }
 
 void
-LocalityGatheringPolicy::planRedistribution(std::uint32_t seg)
+LocalityGatheringPolicy::planRedistribution(std::uint32_t log_seg)
 {
-    const double cap =
-        static_cast<double>(space_->segmentCapacity());
-    const double live = static_cast<double>(space_->liveCount(seg));
+    const double cap = asDouble(space_->segmentCapacity());
+    const double live = asDouble(space_->liveCount(log_seg));
     const std::uint32_t n = space_->numLogical();
 
-    planSeg_ = seg;
+    planSeg_ = log_seg;
     shedCold_ = shedHot_ = pullCold_ = pullHot_ = 0;
-    shedColdDest_ = shedHotDest_ = seg;
+    shedColdDest_ = shedHotDest_ = log_seg;
 
     // Shared allocator inputs, computed once per clean.
     double sum_sqrt = 0.0, total_live = 0.0;
     for (std::uint32_t i = 0; i < n; ++i) {
         sum_sqrt += std::sqrt(writes_[i]);
-        total_live += static_cast<double>(space_->liveCount(i));
+        total_live += asDouble(space_->liveCount(i));
     }
     const double total_free = cap * n - total_live;
 
     const double max_shift = cap * maxShiftFraction;
     double delta = std::clamp(
-        live - cachedTarget(seg, sum_sqrt, total_free), -max_shift,
+        live - cachedTarget(log_seg, sum_sqrt, total_free), -max_shift,
         max_shift);
 
     // The clean must leave room for this segment's own flush traffic
@@ -128,15 +126,15 @@ LocalityGatheringPolicy::planRedistribution(std::uint32_t seg)
     double below_need = 0.0, above_need = 0.0;
     double below_surplus = 0.0, above_surplus = 0.0;
     for (std::uint32_t i = 0; i < n; ++i) {
-        if (i == seg)
+        if (i == log_seg)
             continue;
         const double gap =
             cachedTarget(i, sum_sqrt, total_free) -
-            static_cast<double>(space_->liveCount(i));
+            asDouble(space_->liveCount(i));
         if (gap > 0.0)
-            (i < seg ? below_need : above_need) += gap;
+            (i < log_seg ? below_need : above_need) += gap;
         else
-            (i < seg ? below_surplus : above_surplus) -= gap;
+            (i < log_seg ? below_surplus : above_surplus) -= gap;
     }
 
     if (delta > 0.0) {
@@ -144,90 +142,96 @@ LocalityGatheringPolicy::planRedistribution(std::uint32_t seg)
         const double need = below_need + above_need;
         shedHot_ = need > 0.0
                        ? static_cast<std::uint64_t>(
-                             shed * (below_need / need))
+                             static_cast<double>(shed) *
+                                 (below_need / need))
                        : shed / 2;
         shedCold_ = shed - shedHot_;
         // Ship to the nearest segment in each direction with room
         // (normally the direct neighbour; walking further keeps free
         // space flowing when a whole hot region is full).
-        shedHotDest_ = findRoom(seg, -1);
-        shedColdDest_ = findRoom(seg, +1);
-        if (shedHotDest_ == seg) {
+        shedHotDest_ = findRoom(log_seg, -1);
+        shedColdDest_ = findRoom(log_seg, +1);
+        if (shedHotDest_ == log_seg) {
             shedCold_ += shedHot_;
             shedHot_ = 0;
         }
-        if (shedColdDest_ == seg) {
-            if (shedHotDest_ != seg) {
+        if (shedColdDest_ == log_seg) {
+            if (shedHotDest_ != log_seg) {
                 shedHot_ += shedCold_;
             }
             shedCold_ = 0;
         }
-        if (shedHotDest_ != seg)
-            shedHot_ = std::min(shedHot_,
-                                space_->freeSlots(shedHotDest_) - 1);
-        if (shedColdDest_ != seg)
+        if (shedHotDest_ != log_seg)
+            shedHot_ = std::min(
+                shedHot_, space_->freeSlots(shedHotDest_).value() - 1);
+        if (shedColdDest_ != log_seg)
             shedCold_ = std::min(
-                shedCold_, space_->freeSlots(shedColdDest_) - 1);
+                shedCold_,
+                space_->freeSlots(shedColdDest_).value() - 1);
     } else {
         auto pull = static_cast<std::uint64_t>(-delta);
         const double surplus = below_surplus + above_surplus;
         pullCold_ = surplus > 0.0
                         ? static_cast<std::uint64_t>(
-                              pull * (below_surplus / surplus))
+                              static_cast<double>(pull) *
+                                  (below_surplus / surplus))
                         : pull / 2;
         pullHot_ = pull - pullCold_;
-        if (seg == 0)
+        if (log_seg == 0)
             pullCold_ = 0;
-        if (seg + 1 >= n)
+        if (log_seg + 1 >= n)
             pullHot_ = 0;
     }
 }
 
 std::uint32_t
-LocalityGatheringPolicy::findRoom(std::uint32_t seg, int dir) const
+LocalityGatheringPolicy::findRoom(std::uint32_t log_seg, int dir) const
 {
     // Nearest segment in direction dir with a spare slot beyond the
     // one its own flush traffic needs.
-    std::int64_t s = std::int64_t(seg) + dir;
+    std::int64_t s = std::int64_t(log_seg) + dir;
     while (s >= 0 && s < std::int64_t(space_->numLogical())) {
-        if (space_->freeSlots(static_cast<std::uint32_t>(s)) > 1)
+        if (space_->freeSlots(static_cast<std::uint32_t>(s)).value() > 1)
             return static_cast<std::uint32_t>(s);
         s += dir;
     }
-    return seg; // nowhere in that direction
+    return log_seg; // nowhere in that direction
 }
 
 std::uint32_t
-LocalityGatheringPolicy::divert(std::uint32_t seg, std::uint64_t idx,
-                                std::uint64_t total)
+LocalityGatheringPolicy::divert(std::uint32_t log_seg, std::uint64_t idx,
+                                PageCount total)
 {
-    if (seg != planSeg_)
-        return seg;
+    if (log_seg != planSeg_)
+        return log_seg;
     // Slot order is coldest -> hottest: ship the head toward the
     // colder (higher-numbered) end and the tail toward the hotter.
+    const std::uint64_t total_v = total.value();
     if (idx < shedCold_)
         return shedColdDest_;
-    if (shedHot_ > 0 && idx >= total - std::min(shedHot_, total))
+    if (shedHot_ > 0 && idx >= total_v - std::min(shedHot_, total_v))
         return shedHotDest_;
-    return seg;
+    return log_seg;
 }
 
 void
-LocalityGatheringPolicy::onCleaned(std::uint32_t seg)
+LocalityGatheringPolicy::onCleaned(std::uint32_t log_seg)
 {
-    if (seg != planSeg_)
+    if (log_seg != planSeg_)
         return;
     // Pull in the temperature-preserving directions, but never leave
     // this segment without room for its own flush traffic.
-    const std::uint64_t room = space_->freeSlots(seg);
+    const std::uint64_t room = space_->freeSlots(log_seg).value();
     std::uint64_t budget = room > 1 ? room - 1 : 0;
-    if (pullHot_ > 0 && seg + 1 < space_->numLogical() && budget > 0) {
+    if (pullHot_ > 0 && log_seg + 1 < space_->numLogical() && budget > 0) {
         const std::uint64_t n = std::min(pullHot_, budget);
-        budget -= cleaner_->movePages(seg + 1, seg, true, n);
+        budget -=
+            cleaner_->movePages(log_seg + 1, log_seg, true, PageCount(n))
+                .value();
     }
-    if (pullCold_ > 0 && seg > 0 && budget > 0) {
+    if (pullCold_ > 0 && log_seg > 0 && budget > 0) {
         const std::uint64_t n = std::min(pullCold_, budget);
-        cleaner_->movePages(seg - 1, seg, false, n);
+        cleaner_->movePages(log_seg - 1, log_seg, false, PageCount(n));
     }
     shedCold_ = shedHot_ = pullCold_ = pullHot_ = 0;
 }
@@ -240,12 +244,12 @@ LocalityGatheringPolicy::defaultOrigin(LogicalPageId page) const
 }
 
 double
-LocalityGatheringPolicy::writeShare(std::uint32_t seg) const
+LocalityGatheringPolicy::writeShare(std::uint32_t log_seg) const
 {
     double sum = 0.0;
     for (double w : writes_)
         sum += w;
-    return sum > 0.0 ? writes_[seg] / sum : 0.0;
+    return sum > 0.0 ? writes_[log_seg] / sum : 0.0;
 }
 
 } // namespace envy

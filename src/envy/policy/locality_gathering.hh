@@ -41,24 +41,24 @@ class LocalityGatheringPolicy : public CleaningPolicy
 
     void attach(SegmentSpace &space, Cleaner &cleaner) override;
     std::uint32_t flushDestination(std::uint64_t origin_tag) override;
-    std::uint32_t divert(std::uint32_t seg, std::uint64_t idx,
-                         std::uint64_t total) override;
-    void onCleaned(std::uint32_t seg) override;
+    std::uint32_t divert(std::uint32_t log_seg, std::uint64_t idx,
+                         PageCount total) override;
+    void onCleaned(std::uint32_t log_seg) override;
     std::uint64_t defaultOrigin(LogicalPageId page) const override;
 
     /** Decayed share of flush traffic into a segment (for tests). */
-    double writeShare(std::uint32_t seg) const;
+    double writeShare(std::uint32_t log_seg) const;
 
     /** Free-space allocator's live-page target (for tests). */
-    double targetLive(std::uint32_t seg) const;
+    double targetLive(std::uint32_t log_seg) const;
 
   private:
     /** Fraction of a segment that may move per clean. */
     static constexpr double maxShiftFraction = 0.25;
 
-    void planRedistribution(std::uint32_t seg);
-    std::uint32_t findRoom(std::uint32_t seg, int dir) const;
-    double cachedTarget(std::uint32_t seg, double sum_sqrt,
+    void planRedistribution(std::uint32_t log_seg);
+    std::uint32_t findRoom(std::uint32_t log_seg, int dir) const;
+    double cachedTarget(std::uint32_t log_seg, double sum_sqrt,
                         double total_free) const;
 
     SegmentSpace *space_ = nullptr;
@@ -74,8 +74,8 @@ class LocalityGatheringPolicy : public CleaningPolicy
     std::uint64_t shedHot_ = 0;  //!< tail pages -> shedHotDest_
     std::uint32_t shedColdDest_ = 0;
     std::uint32_t shedHotDest_ = 0;
-    std::uint64_t pullCold_ = 0; //!< head of seg - 1 -> seg
-    std::uint64_t pullHot_ = 0;  //!< tail of seg + 1 -> seg
+    std::uint64_t pullCold_ = 0; //!< head of segment below -> here
+    std::uint64_t pullHot_ = 0;  //!< tail of segment above -> here
 };
 
 } // namespace envy

@@ -35,11 +35,11 @@ Recovery::run(EnvyStore &store)
     // nobody is tracking.
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
-        std::vector<std::uint32_t> shadows;
-        flash.forEachShadow(seg, [&](std::uint32_t slot) {
+        std::vector<SlotId> shadows;
+        flash.forEachShadow(seg, [&](SlotId slot) {
             shadows.push_back(slot);
         });
-        for (const std::uint32_t slot : shadows)
+        for (const SlotId slot : shadows)
             flash.invalidatePage({seg, slot});
         report.shadowsSwept += shadows.size();
     }
@@ -50,7 +50,7 @@ Recovery::run(EnvyStore &store)
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
         std::vector<FlashPageAddr> stale;
-        flash.forEachLive(seg, [&](std::uint32_t slot,
+        flash.forEachLive(seg, [&](SlotId slot,
                                    LogicalPageId logical) {
             const PageTable::Location loc = pt.lookup(logical);
             const FlashPageAddr here{seg, slot};
@@ -77,10 +77,11 @@ Recovery::run(EnvyStore &store)
     const std::uint32_t cap = buffer.capacity();
     const std::uint32_t count = buffer.size();
     const bool data_mode = flash.storesData();
-    const std::uint32_t tail_slot = count ? buffer.tail().slot : 0;
+    const std::uint32_t tail_slot =
+        count ? buffer.tail().slot.value() : 0;
     for (std::uint32_t i = 0; i < count; ++i) {
         // Oldest first: the slot layout is a ring.
-        const std::uint32_t slot = (tail_slot + i) % cap;
+        const BufferSlotId slot((tail_slot + i) % cap);
         const LogicalPageId owner = buffer.slotOwner(slot);
         if (!owner.valid()) {
             ++report.bufferOrphansDropped;
@@ -103,7 +104,7 @@ Recovery::run(EnvyStore &store)
     }
     buffer.reset();
     for (const Entry &e : entries) {
-        const std::uint32_t slot = buffer.push(e.logical, e.origin);
+        const BufferSlotId slot = buffer.push(e.logical, e.origin);
         if (data_mode) {
             auto dst = buffer.slotData(slot);
             std::copy(e.data.begin(), e.data.end(), dst.begin());
@@ -120,21 +121,21 @@ Recovery::run(EnvyStore &store)
     // 6. Finish an interrupted clean.
     const SegmentSpace::CleanRecord rec = space.cleanRecord();
     if (rec.inProgress) {
-        if (space.physOf(rec.logical).value() == rec.destPhys) {
+        if (space.physOf(rec.logical) == rec.destPhys) {
             // The crash fell between commitClean and the record
             // clear: the segment map already names the destination,
             // the old victim is erased and is the reserve.
-            ENVY_ASSERT(space.reserve().value() == rec.victimPhys,
-                        "committed clean record does not match the "
-                        "reserve");
+            ENVY_ASSERT(space.reserve() == rec.victimPhys,
+                        "recovery: committed clean record does not match "
+                        "the reserve");
             space.clearCleanRecord();
             report.cleanRecordOnlyCleared = true;
         } else {
             ENVY_ASSERT(
-                space.physOf(rec.logical).value() == rec.victimPhys,
-                "clean record does not match the segment map");
-            ENVY_ASSERT(space.reserve().value() == rec.destPhys,
-                        "clean record does not match the reserve");
+                space.physOf(rec.logical) == rec.victimPhys,
+                "recovery: clean record does not match the segment map");
+            ENVY_ASSERT(space.reserve() == rec.destPhys,
+                        "recovery: clean record does not match the reserve");
             ENVY_INFORM("recovery: resuming clean of logical segment ",
                         rec.logical);
             cleaner.resume(rec.logical);

@@ -8,10 +8,10 @@ SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base)
     : flash_(flash),
       sram_(sram),
       base_(base),
-      numLogical_(flash.numSegments() - 1)
+      numLogical_(static_cast<std::uint32_t>(flash.numSegments() - 1))
 {
     ENVY_ASSERT(base + bytesNeeded(flash.numSegments()) <= sram.size(),
-                "segment space state does not fit in SRAM");
+                "segspace: state does not fit in SRAM");
 
     // Fresh system: logical segment L starts on physical segment L;
     // the last physical segment is the erased reserve.
@@ -31,10 +31,10 @@ SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base)
     clearWearRecord();
 }
 
-std::uint64_t
-SegmentSpace::bytesNeeded(std::uint32_t num_segments)
+ByteCount
+SegmentSpace::bytesNeeded(std::uint64_t num_segments)
 {
-    return headerBytes + std::uint64_t(num_segments) * 4;
+    return ByteCount(headerBytes + num_segments * 4);
 }
 
 SegmentId
@@ -52,19 +52,19 @@ SegmentSpace::logOf(SegmentId phys) const
     return logOf_[phys.value()];
 }
 
-std::uint64_t
+PageCount
 SegmentSpace::freeSlots(std::uint32_t logical) const
 {
     return flash_.freeSlots(physOf(logical));
 }
 
-std::uint64_t
+PageCount
 SegmentSpace::liveCount(std::uint32_t logical) const
 {
     return flash_.liveCount(physOf(logical));
 }
 
-std::uint64_t
+PageCount
 SegmentSpace::invalidCount(std::uint32_t logical) const
 {
     return flash_.invalidCount(physOf(logical));
@@ -153,8 +153,8 @@ SegmentSpace::cleanRecord() const
     CleanRecord r;
     r.inProgress = sram_.readUint(base_ + 4, 4) != 0;
     r.logical = static_cast<std::uint32_t>(sram_.readUint(base_ + 8, 4));
-    r.victimPhys = sram_.readUint(base_ + 12, 4);
-    r.destPhys = sram_.readUint(base_ + 16, 4);
+    r.victimPhys = SegmentId(sram_.readUint(base_ + 12, 4));
+    r.destPhys = SegmentId(sram_.readUint(base_ + 16, 4));
     return r;
 }
 
@@ -192,9 +192,9 @@ SegmentSpace::wearRecord() const
     r.stage = static_cast<std::uint32_t>(sram_.readUint(base_ + 20, 4));
     r.hot = static_cast<std::uint32_t>(sram_.readUint(base_ + 24, 4));
     r.cold = static_cast<std::uint32_t>(sram_.readUint(base_ + 28, 4));
-    r.physOld = sram_.readUint(base_ + 32, 4);
-    r.physYoung = sram_.readUint(base_ + 36, 4);
-    r.fresh = sram_.readUint(base_ + 40, 4);
+    r.physOld = SegmentId(sram_.readUint(base_ + 32, 4));
+    r.physYoung = SegmentId(sram_.readUint(base_ + 36, 4));
+    r.fresh = SegmentId(sram_.readUint(base_ + 40, 4));
     return r;
 }
 

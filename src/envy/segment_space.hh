@@ -35,12 +35,12 @@ class SegmentSpace
     SegmentSpace(FlashArray &flash, SramArray &sram, Addr base);
 
     /** SRAM bytes needed for @p num_segments segments. */
-    static std::uint64_t bytesNeeded(std::uint32_t num_segments);
+    static ByteCount bytesNeeded(std::uint64_t num_segments);
 
     /** Data segments; one physical segment is always the reserve. */
     std::uint32_t numLogical() const { return numLogical_; }
 
-    std::uint64_t segmentCapacity() const
+    PageCount segmentCapacity() const
     {
         return flash_.pagesPerSegment();
     }
@@ -52,9 +52,9 @@ class SegmentSpace
     static constexpr std::uint32_t noLogical = 0xFFFFFFFFu;
 
     // Convenience queries in logical-segment terms.
-    std::uint64_t freeSlots(std::uint32_t logical) const;
-    std::uint64_t liveCount(std::uint32_t logical) const;
-    std::uint64_t invalidCount(std::uint32_t logical) const;
+    PageCount freeSlots(std::uint32_t logical) const;
+    PageCount liveCount(std::uint32_t logical) const;
+    PageCount invalidCount(std::uint32_t logical) const;
     double utilization(std::uint32_t logical) const;
 
     /**
@@ -86,8 +86,8 @@ class SegmentSpace
     {
         bool inProgress = false;
         std::uint32_t logical = 0;
-        std::uint64_t victimPhys = 0;
-        std::uint64_t destPhys = 0;
+        SegmentId victimPhys;
+        SegmentId destPhys;
     };
 
     /** Persist the record before the first page of a clean moves. */
@@ -117,9 +117,9 @@ class SegmentSpace
         std::uint32_t stage = 0; //!< 0 = no rotation in flight
         std::uint32_t hot = 0;   //!< logical segment being demoted
         std::uint32_t cold = 0;  //!< logical segment being promoted
-        std::uint64_t physOld = 0;
-        std::uint64_t physYoung = 0;
-        std::uint64_t fresh = 0;
+        SegmentId physOld;
+        SegmentId physYoung;
+        SegmentId fresh;
     };
 
     /** Persist stage 1 before the first page of a rotation moves. */

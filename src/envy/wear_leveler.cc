@@ -114,7 +114,7 @@ WearLeveler::resumeRotation(SegmentSpace &space, Cleaner &cleaner)
     if (rec.stage == 1) {
         // Finish moving hot's remaining pages onto the old reserve.
         cleaner.moveAllPhysical(physOld, fresh);
-        if (fa.usedSlots(physOld) > 0)
+        if (fa.usedSlots(physOld) > PageCount(0))
             fa.eraseSegment(physOld);
         space.advanceWearRecord(2);
     }
@@ -122,9 +122,9 @@ WearLeveler::resumeRotation(SegmentSpace &space, Cleaner &cleaner)
     // naming commit follows — unless the commit already happened
     // (crash between rotateForWear and clearWearRecord),
     // recognisable because hot already lives on fresh.
-    if (space.physOf(rec.hot).value() != rec.fresh) {
+    if (space.physOf(rec.hot) != rec.fresh) {
         cleaner.moveAllPhysical(physYoung, physOld);
-        if (fa.usedSlots(physYoung) > 0)
+        if (fa.usedSlots(physYoung) > PageCount(0))
             fa.eraseSegment(physYoung);
         space.rotateForWear(rec.hot, rec.cold);
     }

@@ -12,7 +12,7 @@ Options::Options(int argc, char **argv)
         const std::string arg = argv[i];
         const auto eq = arg.find('=');
         if (eq == std::string::npos || eq == 0)
-            ENVY_FATAL("expected key=value, got '", arg, "'");
+            ENVY_FATAL("config: expected key=value, got '", arg, "'");
         values_[arg.substr(0, eq)] = arg.substr(eq + 1);
     }
 }
@@ -78,7 +78,7 @@ Options::getPolicy(const std::string &key, PolicyKind def) const
         return PolicyKind::LocalityGathering;
     if (v == "hybrid")
         return PolicyKind::Hybrid;
-    ENVY_FATAL("unknown policy '", v,
+    ENVY_FATAL("config: unknown policy '", v,
                "'; use greedy|fifo|lg|hybrid");
 }
 

@@ -131,16 +131,16 @@ class ChurnDriver final : public WorkloadDriver
 
   private:
     std::vector<std::uint8_t>::iterator
-    modelPage(std::uint64_t page)
+    modelPage(std::uint64_t page_index)
     {
         return model_.begin() +
-               static_cast<std::ptrdiff_t>(page * pageSize_);
+               static_cast<std::ptrdiff_t>(page_index * pageSize_);
     }
 
     std::vector<std::uint8_t>
-    modelPageCopy(std::uint64_t page)
+    modelPageCopy(std::uint64_t page_index)
     {
-        return {modelPage(page), modelPage(page + 1)};
+        return {modelPage(page_index), modelPage(page_index + 1)};
     }
 
     struct Op

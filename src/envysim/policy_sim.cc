@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/units.hh"
 #include "envy/cleaner.hh"
 #include "envy/mmu.hh"
 #include "envy/page_table.hh"
@@ -38,18 +39,20 @@ runPolicySim(const PolicySimParams &params)
 {
     const Geometry geom = geometryFor(params);
     if (const char *problem = geom.validate())
-        ENVY_FATAL("policy sim geometry: ", problem);
+        ENVY_FATAL("sim: bad policy-sim geometry: ", problem);
 
-    const std::uint64_t logical_pages = geom.effectiveLogicalPages();
+    const std::uint64_t logical_pages =
+        geom.effectiveLogicalPages().value();
 
     StatGroup root("policySim");
     FlashArray flash(geom, FlashTiming{}, false, &root);
-    SramArray sram(PageTable::bytesNeeded(geom.physicalPages()) +
-                   SegmentSpace::bytesNeeded(geom.numSegments()));
-    PageTable table(sram, 0, geom.physicalPages());
+    const std::uint64_t table_bytes =
+        PageTable::bytesNeeded(geom.physicalPages().value());
+    SramArray sram(table_bytes +
+                   SegmentSpace::bytesNeeded(geom.numSegments()).value());
+    PageTable table(sram, 0, geom.physicalPages().value());
     Mmu mmu(table, 1024, &root);
-    SegmentSpace space(flash, sram,
-                       PageTable::bytesNeeded(geom.physicalPages()));
+    SegmentSpace space(flash, sram, table_bytes);
     WearLeveler wear(params.wearThreshold, &root);
     Cleaner cleaner(space, mmu, &wear, &root);
 
@@ -149,8 +152,7 @@ runPolicySim(const PolicySimParams &params)
     result.avgCleanedUtilization =
         result.cleans ? static_cast<double>(programs) /
                             (static_cast<double>(result.cleans) *
-                             static_cast<double>(
-                                 geom.pagesPerSegment()))
+                             asDouble(geom.pagesPerSegment()))
                       : 0.0;
     result.wearSpread = wear.spread(space);
     result.wearRotations = wear.statRotations.value();

@@ -44,7 +44,8 @@ paperTimedParams(double request_rate, double utilization, double scale)
 {
     TimedParams p;
     p.envy = paperConfig(utilization, scale);
-    p.tpca = TpcaConfig::forStoreBytes(p.envy.geom.logicalBytes());
+    p.tpca =
+        TpcaConfig::forStoreBytes(p.envy.geom.logicalBytes().value());
     p.requestRate = request_rate;
     if (scale >= 1.0) {
         p.warmupSeconds = 60.0;

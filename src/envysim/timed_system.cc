@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/units.hh"
 #include "sim/stats.hh"
 
 namespace envy {
@@ -46,7 +47,7 @@ TimedResult::lifetimeDays(const Geometry &geom,
     // Paper §5.5: lifetime = write capacity / page write rate, where
     // write capacity is physical pages times rated cycles and the
     // write rate counts the flush itself plus cleaning overhead.
-    const double capacity = static_cast<double>(geom.physicalPages()) *
+    const double capacity = asDouble(geom.physicalPages()) *
                             static_cast<double>(rated_cycles);
     const double rate = flushPagesPerSec * (1.0 + cleaningCost);
     return capacity / rate / 86400.0;
@@ -234,24 +235,29 @@ runTimedSim(const TimedParams &params)
         window_start < charge_end
             ? ticksToSeconds(charge_end - window_start)
             : window_s;
-    r.completedTps = completed / window_s;
-    r.readLatencyNs = read_count ? read_lat_sum / read_count : 0.0;
+    r.completedTps = static_cast<double>(completed) / window_s;
+    r.readLatencyNs =
+        read_count
+            ? read_lat_sum / static_cast<double>(read_count)
+            : 0.0;
     r.writeLatencyNs =
-        write_count ? write_lat_sum / write_count : 0.0;
+        write_count
+            ? write_lat_sum / static_cast<double>(write_count)
+            : 0.0;
     r.writeLatencyP99Ns = static_cast<double>(write_hist.percentile(99));
 
     const WorkCounters win1 = WorkCounters::of(store);
     const double charged_ns = charged_s * 1e9;
-    r.fracRead = host_busy / charged_ns;
-    r.fracFlush = flush_busy / charged_ns;
-    r.fracClean = clean_busy / charged_ns;
-    r.fracErase = erase_busy / charged_ns;
+    r.fracRead = static_cast<double>(host_busy) / charged_ns;
+    r.fracFlush = static_cast<double>(flush_busy) / charged_ns;
+    r.fracClean = static_cast<double>(clean_busy) / charged_ns;
+    r.fracErase = static_cast<double>(erase_busy) / charged_ns;
     r.fracIdle = std::max(
         0.0, 1.0 - r.fracRead - r.fracFlush - r.fracClean -
                  r.fracErase);
 
     const std::uint64_t flushes = win1.flushes - win0.flushes;
-    r.flushPagesPerSec = flushes / window_s;
+    r.flushPagesPerSec = static_cast<double>(flushes) / window_s;
     r.cleaningCost =
         flushes ? static_cast<double>(win1.cleanPrograms -
                                       win0.cleanPrograms) /

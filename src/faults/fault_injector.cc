@@ -47,7 +47,7 @@ void
 FaultInjector::attachFlash(FlashArray &flash)
 {
     flash_ = &flash;
-    flash.programFaultHook = [this](SegmentId, std::uint32_t) {
+    flash.programFaultHook = [this](SegmentId, SlotId) {
         return shouldFailProgram();
     };
     flash.eraseFaultHook = [this](SegmentId) {

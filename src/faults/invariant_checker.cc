@@ -52,9 +52,9 @@ InvariantChecker::check(EnvyStore &store, Options opts)
     WriteBuffer &buffer = store.writeBuffer();
     SegmentSpace &space = store.space();
     const Geometry &g = store.config().geom;
-    const std::uint32_t nseg = flash.numSegments();
-    const std::uint64_t pages = g.effectiveLogicalPages();
-    const std::uint64_t seg_cap = flash.pagesPerSegment();
+    const std::uint64_t nseg = flash.numSegments();
+    const std::uint64_t pages = g.effectiveLogicalPages().value();
+    const std::uint64_t seg_cap = flash.pagesPerSegment().value();
 
     // ---- persistent records are quiescent ------------------------
     if (space.cleanRecord().inProgress)
@@ -92,7 +92,7 @@ InvariantChecker::check(EnvyStore &store, Options opts)
         }
         if (space.logOf(reserve) != SegmentSpace::noLogical)
             bad("logOf(reserve) is not noLogical");
-        if (flash.usedSlots(reserve) != 0) {
+        if (flash.usedSlots(reserve) != PageCount(0)) {
             bad("reserve segment ", reserve.value(), " is not erased (",
                 flash.usedSlots(reserve), " used slots)");
         }
@@ -106,14 +106,15 @@ InvariantChecker::check(EnvyStore &store, Options opts)
             ++rep.pagesInFlash;
             if (!loc.flash.segment.valid() ||
                 loc.flash.segment.value() >= nseg ||
-                loc.flash.slot >= seg_cap) {
+                loc.flash.slot.value() >= seg_cap) {
                 bad("page ", p, " maps to an out-of-range flash slot");
                 break;
             }
             const LogicalPageId owner = flash.pageOwner(loc.flash);
             if (!owner.valid() || owner.value() != p) {
                 bad("page ", p, " maps to segment ",
-                    loc.flash.segment.value(), " slot ", loc.flash.slot,
+                    loc.flash.segment.value(), " slot ",
+                    loc.flash.slot.value(),
                     " which does not hold it");
             }
             if (flash.slotRetired(loc.flash))
@@ -124,8 +125,8 @@ InvariantChecker::check(EnvyStore &store, Options opts)
           }
           case PageTable::LocKind::Sram: {
             ++rep.pagesInBuffer;
-            const std::uint32_t slot = loc.sramSlot;
-            if (slot >= buffer.capacity()) {
+            const BufferSlotId slot = loc.sramSlot;
+            if (slot.value() >= buffer.capacity()) {
                 bad("page ", p, " maps to out-of-range buffer slot ",
                     slot);
             } else if (!buffer.slotResident(slot) ||
@@ -144,7 +145,7 @@ InvariantChecker::check(EnvyStore &store, Options opts)
     for (std::uint32_t s = 0; s < nseg; ++s) {
         const SegmentId seg{s};
         std::uint64_t live_here = 0, shadows_here = 0;
-        flash.forEachLive(seg, [&](std::uint32_t slot,
+        flash.forEachLive(seg, [&](SlotId slot,
                                    LogicalPageId logical) {
             ++live_here;
             ++rep.liveSlots;
@@ -162,19 +163,19 @@ InvariantChecker::check(EnvyStore &store, Options opts)
                     " but is not the table's copy of it");
             }
         });
-        flash.forEachShadow(seg, [&](std::uint32_t) {
+        flash.forEachShadow(seg, [&](SlotId) {
             ++shadows_here;
             ++rep.shadowSlots;
         });
-        rep.retiredSlots += flash.retiredCount(seg);
+        rep.retiredSlots += flash.retiredCount(seg).value();
 
-        if (flash.liveCount(seg) != live_here + shadows_here) {
+        if (flash.liveCount(seg).value() != live_here + shadows_here) {
             bad("segment ", s, " live count ", flash.liveCount(seg),
                 " but ", live_here + shadows_here,
                 " live+shadow slots were found");
         }
-        if (flash.liveCount(seg) + flash.invalidCount(seg) +
-                flash.freeSlots(seg) + flash.retiredCount(seg) !=
+        if ((flash.liveCount(seg) + flash.invalidCount(seg) +
+             flash.freeSlots(seg) + flash.retiredCount(seg)).value() !=
             seg_cap) {
             bad("segment ", s, " slot accounting does not add up: ",
                 flash.liveCount(seg), " live + ",
@@ -182,15 +183,15 @@ InvariantChecker::check(EnvyStore &store, Options opts)
                 flash.freeSlots(seg), " free + ",
                 flash.retiredCount(seg), " retired != ", seg_cap);
         }
-        if (flash.retiredCount(seg) > 0) {
+        if (flash.retiredCount(seg) > PageCount(0)) {
             for (std::uint32_t slot = 0; slot < seg_cap; ++slot) {
-                const FlashPageAddr addr{seg, slot};
+                const FlashPageAddr addr{seg, SlotId(slot)};
                 if (flash.slotRetired(addr) && flash.pageLive(addr))
                     bad("retired slot ", s, "/", slot, " holds data");
             }
         }
     }
-    if (flash.totalLive() != rep.liveSlots + rep.shadowSlots) {
+    if (flash.totalLive().value() != rep.liveSlots + rep.shadowSlots) {
         bad("global live total ", flash.totalLive(), " but ",
             rep.liveSlots + rep.shadowSlots, " slots were found");
     }
@@ -202,9 +203,9 @@ InvariantChecker::check(EnvyStore &store, Options opts)
     // ---- write buffer is a contiguous FIFO ring ------------------
     const std::uint32_t count = buffer.size();
     const std::uint32_t cap = buffer.capacity();
-    const std::uint32_t tail = count ? buffer.tail().slot : 0;
+    const std::uint32_t tail = count ? buffer.tail().slot.value() : 0;
     for (std::uint32_t i = 0; i < cap; ++i) {
-        const std::uint32_t slot = (tail + i) % cap;
+        const BufferSlotId slot((tail + i) % cap);
         if (i < count) {
             if (!buffer.slotResident(slot)) {
                 bad("buffer ring has a hole at slot ", slot);

@@ -28,7 +28,7 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
       storeData_(store_data)
 {
     if (const char *problem = geom_.validate())
-        ENVY_FATAL("bad geometry: ", problem);
+        ENVY_FATAL("flash: bad geometry: ", problem);
 
     banks_.reserve(geom_.numBanks);
     for (std::uint32_t b = 0; b < geom_.numBanks; ++b)
@@ -37,8 +37,8 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
 
     segments_.resize(geom_.numSegments());
     for (auto &s : segments_) {
-        s.owner.assign(geom_.pagesPerSegment(), ownerDead);
-        s.retired.assign(geom_.pagesPerSegment(), false);
+        s.owner.assign(geom_.pagesPerSegment().value(), ownerDead);
+        s.retired.assign(geom_.pagesPerSegment().value(), false);
     }
 }
 
@@ -46,7 +46,7 @@ FlashArray::SegmentState &
 FlashArray::state(SegmentId seg)
 {
     ENVY_ASSERT(seg.valid() && seg.value() < segments_.size(),
-                "bad segment id");
+                "flash: bad segment id ", seg);
     return segments_[seg.value()];
 }
 
@@ -54,7 +54,7 @@ const FlashArray::SegmentState &
 FlashArray::state(SegmentId seg) const
 {
     ENVY_ASSERT(seg.valid() && seg.value() < segments_.size(),
-                "bad segment id");
+                "flash: bad segment id ", seg);
     return segments_[seg.value()];
 }
 
@@ -73,42 +73,44 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
                          std::span<const std::uint8_t> data)
 {
     SegmentState &s = state(seg);
-    const std::uint64_t cap = geom_.pagesPerSegment();
+    const std::uint32_t cap =
+        static_cast<std::uint32_t>(geom_.pagesPerSegment().value());
 
     // Skip slots retired in an earlier life of this segment.
     while (s.writePtr < cap && s.retired[s.writePtr]) {
         ++s.writePtr;
-        ENVY_ASSERT(s.retiredAhead > 0, "retired-slot accounting");
+        ENVY_ASSERT(s.retiredAhead > 0,
+                    "flash: retired-slot accounting");
         --s.retiredAhead;
     }
     ENVY_ASSERT(s.writePtr < cap,
-                "append to a full segment ", seg.value());
+                "flash: append to a full segment ", seg);
 
-    const std::uint32_t slot = s.writePtr;
+    const SlotId slot(s.writePtr);
     const std::uint32_t block = geom_.blockOf(seg);
-    FlashBank &bank = banks_[geom_.bankOf(seg)];
+    FlashBank &owning_bank = bank(geom_.bankOf(seg));
 
     if (programFaultHook && programFaultHook(seg, slot))
-        bank.chip(0).forceProgramSpecFailure(block);
+        owning_bank.chip(0).forceProgramSpecFailure(block);
 
     if (storeData_) {
         ENVY_ASSERT(data.size() >= geom_.pageSize,
-                    "page data missing in functional mode");
-        bank.programPage(block, slot, data);
+                    "flash: page data missing in functional mode");
+        owning_bank.programPage(block, slot.value(), data);
     }
 
     // The controller checks the status of all chips in parallel
     // after every operation (paper section 5.1).
-    if (!bank.allProgrammedOk()) {
+    if (!owning_bank.allProgrammedOk()) {
         // A spec-failure (wear overrun or injected fault) retires
         // the slot: the damage is physical, so the mark survives
         // erase and the slot is never programmed again.  Any other
         // program error means a slot was reused without an erase --
         // a controller bug, not a device failure.
-        ENVY_ASSERT(bank.blockSpecFailed(block),
-                    "program error in segment ", seg.value(),
+        ENVY_ASSERT(owning_bank.blockSpecFailed(block),
+                    "flash: program error in segment ", seg,
                     " slot ", slot);
-        bank.clearStatus();
+        owning_bank.clearStatus();
         retireCurrentSlot(s);
         ++statSlotsRetired;
         ++statProgramSpecFailures;
@@ -116,9 +118,9 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
     }
 
     ++s.writePtr;
-    s.owner[slot] = owner;
+    s.owner[slot.value()] = owner;
     ++s.live;
-    ++totalLive_;
+    totalLive_ += PageCount(1);
     ++statPagesProgrammed;
     return AppendResult{FlashPageAddr{seg, slot}, false};
 }
@@ -139,7 +141,7 @@ FlashArray::appendPage(SegmentId seg, LogicalPageId logical,
                        std::span<const std::uint8_t> data)
 {
     ENVY_ASSERT(logical.valid() && logical.value() < ownerShadow,
-                "bad logical page");
+                "flash: bad logical page ", logical);
     return appendRaw(seg,
                      static_cast<std::uint32_t>(logical.value()),
                      data);
@@ -150,7 +152,7 @@ FlashArray::tryAppendPage(SegmentId seg, LogicalPageId logical,
                           std::span<const std::uint8_t> data)
 {
     ENVY_ASSERT(logical.valid() && logical.value() < ownerShadow,
-                "bad logical page");
+                "flash: bad logical page ", logical);
     return tryAppendRaw(seg,
                         static_cast<std::uint32_t>(logical.value()),
                         data);
@@ -167,14 +169,15 @@ void
 FlashArray::invalidatePage(FlashPageAddr addr)
 {
     SegmentState &s = state(addr.segment);
-    ENVY_ASSERT(addr.slot < s.writePtr, "invalidate of unwritten slot");
-    ENVY_ASSERT(s.owner[addr.slot] != ownerDead,
-                "double invalidate of segment ", addr.segment.value(),
+    ENVY_ASSERT(addr.slot.value() < s.writePtr,
+                "flash: invalidate of unwritten slot");
+    ENVY_ASSERT(s.owner[addr.slot.value()] != ownerDead,
+                "flash: double invalidate of segment ", addr.segment,
                 " slot ", addr.slot);
-    s.owner[addr.slot] = ownerDead;
-    ENVY_ASSERT(s.live > 0, "live underflow");
+    s.owner[addr.slot.value()] = ownerDead;
+    ENVY_ASSERT(s.live > 0, "flash: live underflow");
     --s.live;
-    --totalLive_;
+    totalLive_ -= PageCount(1);
     ++statPagesInvalidated;
 }
 
@@ -182,31 +185,33 @@ void
 FlashArray::readPage(FlashPageAddr addr, std::span<std::uint8_t> out)
 {
     const SegmentState &s = state(addr.segment);
-    ENVY_ASSERT(addr.slot < s.writePtr, "read of unwritten slot");
+    ENVY_ASSERT(addr.slot.value() < s.writePtr,
+                "flash: read of unwritten slot");
     ++statPageReads;
     if (!storeData_)
         return;
-    banks_[geom_.bankOf(addr.segment)].readPage(
-        geom_.blockOf(addr.segment), addr.slot, out);
+    bank(geom_.bankOf(addr.segment)).readPage(
+        geom_.blockOf(addr.segment), addr.slot.value(), out);
 }
 
 LogicalPageId
 FlashArray::pageOwner(FlashPageAddr addr) const
 {
     const SegmentState &s = state(addr.segment);
-    if (addr.slot >= s.writePtr || s.owner[addr.slot] >= ownerShadow)
+    if (addr.slot.value() >= s.writePtr ||
+        s.owner[addr.slot.value()] >= ownerShadow)
         return LogicalPageId::invalid();
-    return LogicalPageId(s.owner[addr.slot]);
+    return LogicalPageId(s.owner[addr.slot.value()]);
 }
 
 void
 FlashArray::convertToShadow(FlashPageAddr addr)
 {
     SegmentState &s = state(addr.segment);
-    ENVY_ASSERT(addr.slot < s.writePtr &&
-                    s.owner[addr.slot] < ownerShadow,
-                "only a live page can become a shadow");
-    s.owner[addr.slot] = ownerShadow;
+    ENVY_ASSERT(addr.slot.value() < s.writePtr &&
+                    s.owner[addr.slot.value()] < ownerShadow,
+                "flash: only a live page can become a shadow");
+    s.owner[addr.slot.value()] = ownerShadow;
     // Still counted live: the cleaner must carry shadows along.
 }
 
@@ -214,19 +219,19 @@ bool
 FlashArray::pageIsShadow(FlashPageAddr addr) const
 {
     const SegmentState &s = state(addr.segment);
-    return addr.slot < s.writePtr &&
-           s.owner[addr.slot] == ownerShadow;
+    return addr.slot.value() < s.writePtr &&
+           s.owner[addr.slot.value()] == ownerShadow;
 }
 
 void
 FlashArray::forEachShadow(
     SegmentId seg,
-    const std::function<void(std::uint32_t)> &fn) const
+    const std::function<void(SlotId)> &fn) const
 {
     const SegmentState &s = state(seg);
     for (std::uint32_t slot = 0; slot < s.writePtr; ++slot) {
         if (s.owner[slot] == ownerShadow)
-            fn(slot);
+            fn(SlotId(slot));
     }
 }
 
@@ -236,40 +241,41 @@ FlashArray::pageLive(FlashPageAddr addr) const
     return pageOwner(addr).valid();
 }
 
-std::uint64_t
+PageCount
 FlashArray::freeSlots(SegmentId seg) const
 {
     const SegmentState &s = state(seg);
-    return geom_.pagesPerSegment() - s.writePtr - s.retiredAhead;
+    return geom_.pagesPerSegment() -
+           PageCount(std::uint64_t{s.writePtr} + s.retiredAhead);
 }
 
-std::uint64_t
+PageCount
 FlashArray::liveCount(SegmentId seg) const
 {
-    return state(seg).live;
+    return PageCount(state(seg).live);
 }
 
-std::uint64_t
+PageCount
 FlashArray::invalidCount(SegmentId seg) const
 {
     // Retired slots behind the write pointer are not reclaimable
     // dead space: an erase does not bring them back.
     const SegmentState &s = state(seg);
     const std::uint32_t retired_behind = s.retiredTotal - s.retiredAhead;
-    return s.writePtr - s.live - retired_behind;
+    return PageCount(s.writePtr - s.live - retired_behind);
 }
 
-std::uint64_t
+PageCount
 FlashArray::usedSlots(SegmentId seg) const
 {
-    return state(seg).writePtr;
+    return PageCount(state(seg).writePtr);
 }
 
 double
 FlashArray::utilization(SegmentId seg) const
 {
     return static_cast<double>(state(seg).live) /
-           static_cast<double>(geom_.pagesPerSegment());
+           asDouble(geom_.pagesPerSegment());
 }
 
 std::uint64_t
@@ -282,31 +288,31 @@ Tick
 FlashArray::eraseSegment(SegmentId seg)
 {
     SegmentState &s = state(seg);
-    ENVY_ASSERT(s.live == 0, "erasing segment ", seg.value(),
+    ENVY_ASSERT(s.live == 0, "flash: erasing segment ", seg,
                 " with ", s.live, " live pages");
 
-    FlashBank &bank = banks_[geom_.bankOf(seg)];
+    FlashBank &owning_bank = bank(geom_.bankOf(seg));
     const std::uint32_t block = geom_.blockOf(seg);
 
     Tick busy = 0;
     for (std::uint32_t attempt = 0;; ++attempt) {
         const bool transient = eraseFaultHook && eraseFaultHook(seg);
-        busy += bank.eraseSegment(block);
+        busy += owning_bank.eraseSegment(block);
         ++s.eraseCycles;
         ++statSegmentErases;
         if (!transient)
             break;
         // Transient bad block: the erase did not verify; retry.
         ++statEraseRetries;
-        ENVY_ASSERT(attempt < 8, "segment ", seg.value(),
+        ENVY_ASSERT(attempt < 8, "flash: segment ", seg,
                     " repeatedly failed to erase");
     }
-    if (!bank.allErasedOk()) {
+    if (!owning_bank.allErasedOk()) {
         // Wear overrun (§2): the block is erased, just slower than
         // spec allows.  Record the failure and carry on; the block
         // stays usable and the chips remember it spec-failed.
         ++statEraseSpecFailures;
-        bank.clearStatus();
+        owning_bank.clearStatus();
     }
 
     std::fill(s.owner.begin(), s.owner.begin() + s.writePtr, ownerDead);
@@ -320,35 +326,38 @@ bool
 FlashArray::slotRetired(FlashPageAddr addr) const
 {
     const SegmentState &s = state(addr.segment);
-    ENVY_ASSERT(addr.slot < geom_.pagesPerSegment(), "bad slot");
-    return s.retired[addr.slot];
+    ENVY_ASSERT(addr.slot.value() < geom_.pagesPerSegment().value(),
+                "flash: bad slot ", addr.slot);
+    return s.retired[addr.slot.value()];
 }
 
-std::uint64_t
+PageCount
 FlashArray::retiredCount(SegmentId seg) const
 {
-    return state(seg).retiredTotal;
+    return PageCount(state(seg).retiredTotal);
 }
 
 void
 FlashArray::retireNextSlot(SegmentId seg)
 {
     SegmentState &s = state(seg);
-    ENVY_ASSERT(s.writePtr < geom_.pagesPerSegment(),
-                "retire in a full segment ", seg.value());
-    ENVY_ASSERT(!s.retired[s.writePtr], "slot already retired");
+    ENVY_ASSERT(s.writePtr < geom_.pagesPerSegment().value(),
+                "flash: retire in a full segment ", seg);
+    ENVY_ASSERT(!s.retired[s.writePtr], "flash: slot already retired");
     retireCurrentSlot(s);
 }
 
 void
-FlashArray::restoreRetiredAhead(SegmentId seg, std::uint32_t slot)
+FlashArray::restoreRetiredAhead(SegmentId seg, SlotId slot)
 {
     SegmentState &s = state(seg);
-    ENVY_ASSERT(slot < geom_.pagesPerSegment(), "bad slot");
-    ENVY_ASSERT(slot >= s.writePtr,
-                "restoreRetiredAhead below the write pointer");
-    ENVY_ASSERT(!s.retired[slot], "slot already retired");
-    s.retired[slot] = true;
+    ENVY_ASSERT(slot.value() < geom_.pagesPerSegment().value(),
+                "flash: bad slot ", slot);
+    ENVY_ASSERT(slot.value() >= s.writePtr,
+                "flash: restoreRetiredAhead below the write pointer");
+    ENVY_ASSERT(!s.retired[slot.value()],
+                "flash: slot already retired");
+    s.retired[slot.value()] = true;
     ++s.retiredTotal;
     ++s.retiredAhead;
 }
@@ -356,14 +365,14 @@ FlashArray::restoreRetiredAhead(SegmentId seg, std::uint32_t slot)
 bool
 FlashArray::segmentSpecFailed(SegmentId seg) const
 {
-    return banks_[geom_.bankOf(seg)].blockSpecFailed(geom_.blockOf(seg));
+    return bank(geom_.bankOf(seg)).blockSpecFailed(geom_.blockOf(seg));
 }
 
 std::vector<SegmentId>
 FlashArray::specFailedSegments() const
 {
     std::vector<SegmentId> out;
-    for (std::uint32_t i = 0; i < geom_.numSegments(); ++i) {
+    for (std::uint64_t i = 0; i < geom_.numSegments(); ++i) {
         if (segmentSpecFailed(SegmentId(i)))
             out.push_back(SegmentId(i));
     }
@@ -373,12 +382,12 @@ FlashArray::specFailedSegments() const
 void
 FlashArray::forEachLive(
     SegmentId seg,
-    const std::function<void(std::uint32_t, LogicalPageId)> &fn) const
+    const std::function<void(SlotId, LogicalPageId)> &fn) const
 {
     const SegmentState &s = state(seg);
     for (std::uint32_t slot = 0; slot < s.writePtr; ++slot) {
         if (s.owner[slot] < ownerShadow)
-            fn(slot, LogicalPageId(s.owner[slot]));
+            fn(SlotId(slot), LogicalPageId(s.owner[slot]));
     }
 }
 
@@ -386,9 +395,9 @@ void
 FlashArray::restoreWear(SegmentId seg, std::uint64_t cycles)
 {
     state(seg).eraseCycles = cycles;
-    FlashBank &bank = banks_[geom_.bankOf(seg)];
+    FlashBank &owning_bank = bank(geom_.bankOf(seg));
     for (std::uint32_t c = 0; c < geom_.pageSize; ++c)
-        bank.chip(c).restoreCycles(geom_.blockOf(seg), cycles);
+        owning_bank.chip(c).restoreCycles(geom_.blockOf(seg), cycles);
 }
 
 bool

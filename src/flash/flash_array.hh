@@ -40,8 +40,8 @@ class FlashArray : public StatGroup
     const FlashTiming &timing() const { return timing_; }
     bool storesData() const { return storeData_; }
 
-    std::uint32_t numSegments() const { return geom_.numSegments(); }
-    std::uint64_t pagesPerSegment() const
+    std::uint64_t numSegments() const { return geom_.numSegments(); }
+    PageCount pagesPerSegment() const
     {
         return geom_.pagesPerSegment();
     }
@@ -101,7 +101,7 @@ class FlashArray : public StatGroup
     /** Visit the shadow slots of a segment in slot order. */
     void forEachShadow(
         SegmentId seg,
-        const std::function<void(std::uint32_t slot)> &fn) const;
+        const std::function<void(SlotId slot)> &fn) const;
 
     /** Read a page through the wide path (functional mode). */
     void readPage(FlashPageAddr addr, std::span<std::uint8_t> out);
@@ -115,16 +115,16 @@ class FlashArray : public StatGroup
     // ---- segment-level operations -------------------------------
 
     /** Free (erased, writable) slots remaining in a segment. */
-    std::uint64_t freeSlots(SegmentId seg) const;
+    PageCount freeSlots(SegmentId seg) const;
 
     /** Live (valid) pages in a segment. */
-    std::uint64_t liveCount(SegmentId seg) const;
+    PageCount liveCount(SegmentId seg) const;
 
     /** Dead (invalidated) pages in a segment. */
-    std::uint64_t invalidCount(SegmentId seg) const;
+    PageCount invalidCount(SegmentId seg) const;
 
     /** Used slots (valid + dead) in a segment. */
-    std::uint64_t usedSlots(SegmentId seg) const;
+    PageCount usedSlots(SegmentId seg) const;
 
     /** Utilization of the segment: live / capacity. */
     double utilization(SegmentId seg) const;
@@ -146,7 +146,7 @@ class FlashArray : public StatGroup
      */
     void forEachLive(
         SegmentId seg,
-        const std::function<void(std::uint32_t slot,
+        const std::function<void(SlotId slot,
                                  LogicalPageId)> &fn) const;
 
     /** Any chip out of spec (operations overran their rated window)? */
@@ -159,14 +159,14 @@ class FlashArray : public StatGroup
      * true injects a spec-failure into the operation, exercising the
      * same retire/retry path a natural wear overrun takes.
      */
-    std::function<bool(SegmentId, std::uint32_t slot)> programFaultHook;
+    std::function<bool(SegmentId, SlotId slot)> programFaultHook;
     std::function<bool(SegmentId)> eraseFaultHook;
 
     /** True if the slot has been retired (spec-failed program). */
     bool slotRetired(FlashPageAddr addr) const;
 
     /** Retired slots in a segment (they survive erase). */
-    std::uint64_t retiredCount(SegmentId seg) const;
+    PageCount retiredCount(SegmentId seg) const;
 
     /**
      * Retire the slot at the segment's write pointer without
@@ -178,7 +178,7 @@ class FlashArray : public StatGroup
      * Re-mark an erased slot beyond the write pointer as retired
      * (image restoration of a retirement that survived an erase).
      */
-    void restoreRetiredAhead(SegmentId seg, std::uint32_t slot);
+    void restoreRetiredAhead(SegmentId seg, SlotId slot);
 
     /** True if any chip spec-failed an operation on this segment. */
     bool segmentSpecFailed(SegmentId seg) const;
@@ -194,11 +194,11 @@ class FlashArray : public StatGroup
     void restoreWear(SegmentId seg, std::uint64_t cycles);
 
     /** Direct bank access for the timing model / tests. */
-    FlashBank &bank(std::uint32_t i) { return banks_[i]; }
-    const FlashBank &bank(std::uint32_t i) const { return banks_[i]; }
+    FlashBank &bank(BankId i) { return banks_[i.value()]; }
+    const FlashBank &bank(BankId i) const { return banks_[i.value()]; }
 
     /** Total live pages across the array. */
-    std::uint64_t totalLive() const { return totalLive_; }
+    PageCount totalLive() const { return totalLive_; }
 
     // Statistics (public so experiment harnesses can read them).
     Counter statPagesProgrammed;
@@ -241,7 +241,7 @@ class FlashArray : public StatGroup
     bool storeData_;
     std::vector<FlashBank> banks_;
     std::vector<SegmentState> segments_;
-    std::uint64_t totalLive_ = 0;
+    PageCount totalLive_;
 };
 
 } // namespace envy

@@ -23,13 +23,13 @@ FlashBank::FlashBank(std::uint32_t chips_per_bank,
 }
 
 Tick
-FlashBank::readPage(std::uint32_t block, std::uint32_t page,
+FlashBank::readPage(std::uint32_t block, std::uint32_t page_off,
                     std::span<std::uint8_t> out) const
 {
-    ENVY_ASSERT(block < blocksPerChip_ && page < blockBytes_,
+    ENVY_ASSERT(block < blocksPerChip_ && page_off < blockBytes_,
                 "bank read out of range");
     ENVY_ASSERT(out.size() >= chipsPerBank_, "output span too small");
-    const std::uint64_t addr = byteAddr(block, page);
+    const std::uint64_t addr = byteAddr(block, page_off);
     for (std::uint32_t j = 0; j < chipsPerBank_; ++j)
         out[j] = chips_[j].read(addr);
     // One wide cycle regardless of width.
@@ -37,13 +37,13 @@ FlashBank::readPage(std::uint32_t block, std::uint32_t page,
 }
 
 Tick
-FlashBank::programPage(std::uint32_t block, std::uint32_t page,
+FlashBank::programPage(std::uint32_t block, std::uint32_t page_off,
                        std::span<const std::uint8_t> data)
 {
-    ENVY_ASSERT(block < blocksPerChip_ && page < blockBytes_,
+    ENVY_ASSERT(block < blocksPerChip_ && page_off < blockBytes_,
                 "bank program out of range");
     ENVY_ASSERT(data.size() >= chipsPerBank_, "input span too small");
-    const std::uint64_t addr = byteAddr(block, page);
+    const std::uint64_t addr = byteAddr(block, page_off);
     Tick busy = 0;
     for (std::uint32_t j = 0; j < chipsPerBank_; ++j) {
         chips_[j].writeCommand(FlashCmd::ProgramSetup);

@@ -42,10 +42,11 @@ class FlashBank
     bool storesData() const { return storeData_; }
 
     /**
-     * Read page @p page of local segment @p block through the wide
+     * Read byte offset @p page_off of local segment @p block
+     * through the wide
      * path: one cycle, one byte per chip.
      */
-    Tick readPage(std::uint32_t block, std::uint32_t page,
+    Tick readPage(std::uint32_t block, std::uint32_t page_off,
                   std::span<std::uint8_t> out) const;
 
     /**
@@ -56,7 +57,7 @@ class FlashBank
      *
      * @return time the bank is busy.
      */
-    Tick programPage(std::uint32_t block, std::uint32_t page,
+    Tick programPage(std::uint32_t block, std::uint32_t page_off,
                      std::span<const std::uint8_t> data);
 
     /**
@@ -95,9 +96,9 @@ class FlashBank
     const FlashChip &chip(std::uint32_t i) const { return chips_[i]; }
 
   private:
-    std::uint64_t byteAddr(std::uint32_t block, std::uint32_t page) const
+    std::uint64_t byteAddr(std::uint32_t block, std::uint32_t page_off) const
     {
-        return std::uint64_t(block) * blockBytes_ + page;
+        return std::uint64_t(block) * blockBytes_ + page_off;
     }
 
     std::uint32_t chipsPerBank_;

@@ -61,7 +61,7 @@ FlashChip::writeCommand(FlashCmd cmd)
         status_ |= FlashStatus::suspended;
         break;
       default:
-        ENVY_PANIC("unexpected CUI command ",
+        ENVY_PANIC("flash: unexpected CUI command ",
                    static_cast<int>(cmd));
     }
 }

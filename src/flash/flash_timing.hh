@@ -45,7 +45,8 @@ struct FlashTiming
     programTimeAfter(std::uint64_t cycles) const
     {
         return static_cast<Tick>(
-            programTime * (1.0 + wearSlowdownPerCycle * cycles));
+            static_cast<double>(programTime) *
+            (1.0 + wearSlowdownPerCycle * static_cast<double>(cycles)));
     }
 
     /** Effective erase time after @p cycles program/erase cycles. */
@@ -53,7 +54,8 @@ struct FlashTiming
     eraseTimeAfter(std::uint64_t cycles) const
     {
         return static_cast<Tick>(
-            eraseTime * (1.0 + wearSlowdownPerCycle * cycles));
+            static_cast<double>(eraseTime) *
+            (1.0 + wearSlowdownPerCycle * static_cast<double>(cycles)));
     }
 };
 

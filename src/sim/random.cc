@@ -78,7 +78,7 @@ double
 Rng::uniform()
 {
     // 53 random mantissa bits.
-    return (next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double
@@ -100,7 +100,8 @@ Rng::chance(double p)
 BimodalPicker::BimodalPicker(std::uint64_t population, double hot_fraction,
                              double hot_access)
     : population_(population),
-      hotCount_(static_cast<std::uint64_t>(population * hot_fraction)),
+      hotCount_(static_cast<std::uint64_t>(
+          static_cast<double>(population) * hot_fraction)),
       hotFraction_(hot_fraction),
       hotAccess_(hot_access)
 {

@@ -69,7 +69,7 @@ Histogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0;
-    const double target = count_ * p / 100.0;
+    const double target = static_cast<double>(count_) * p / 100.0;
     double seen = 0.0;
     for (int k = 0; k < numBuckets; ++k) {
         seen += static_cast<double>(buckets_[k]);

@@ -69,7 +69,10 @@ class Average : public Stat
     void sample(double v);
 
     std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double sum() const { return sum_; }
@@ -93,7 +96,10 @@ class Histogram : public Stat
     void sample(std::uint64_t v);
 
     std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     /** Approximate p-th percentile (0 < p < 100) from the buckets. */
     std::uint64_t percentile(double p) const;
 

@@ -19,11 +19,12 @@ WriteBuffer::WriteBuffer(SramArray &sram, Addr base,
       threshold_(threshold ? threshold : capacity / 2),
       dataBase_(base + slotsOff + Addr(capacity) * 8)
 {
-    ENVY_ASSERT(capacity_ >= 2, "buffer needs at least two slots");
-    ENVY_ASSERT(threshold_ <= capacity_, "threshold above capacity");
+    ENVY_ASSERT(capacity_ >= 2, "buffer: needs at least two slots");
+    ENVY_ASSERT(threshold_ <= capacity_,
+                "buffer: threshold above capacity");
     ENVY_ASSERT(base_ + bytesNeeded(capacity, page_size, store_data) <=
                     sram.size(),
-                "write buffer does not fit in SRAM");
+                "buffer: write buffer does not fit in SRAM");
     // Fresh buffer: mark every slot unowned.
     for (std::uint32_t s = 0; s < capacity_; ++s) {
         sram_.writeUint(slotMetaAddr(s), noOwner, 4);
@@ -49,12 +50,12 @@ WriteBuffer::syncHeader()
     sram_.writeUint(base_ + countOff, count_, 4);
 }
 
-std::uint32_t
+BufferSlotId
 WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
 {
-    ENVY_ASSERT(!full(), "push into a full write buffer");
+    ENVY_ASSERT(!full(), "buffer: push into a full write buffer");
     ENVY_ASSERT(logical.valid() && logical.value() < noOwner,
-                "bad logical page");
+                "buffer: bad logical page");
     const std::uint32_t slot = head_;
     sram_.writeUint(slotMetaAddr(slot),
                     static_cast<std::uint32_t>(logical.value()), 4);
@@ -64,22 +65,22 @@ WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
     ++count_;
     syncHeader();
     ++statInserts;
-    return slot;
+    return BufferSlotId(slot);
 }
 
 WriteBuffer::TailInfo
 WriteBuffer::tail() const
 {
-    ENVY_ASSERT(!empty(), "tail of an empty write buffer");
-    const std::uint32_t slot =
-        (head_ + capacity_ - count_) % capacity_;
+    ENVY_ASSERT(!empty(), "buffer: tail of an empty write buffer");
+    const BufferSlotId slot(
+        (head_ + capacity_ - count_) % capacity_);
     return TailInfo{slot, slotOwner(slot), slotOrigin(slot)};
 }
 
 void
 WriteBuffer::popTail()
 {
-    ENVY_ASSERT(!empty(), "pop of an empty write buffer");
+    ENVY_ASSERT(!empty(), "buffer: pop of an empty write buffer");
     const std::uint32_t slot =
         (head_ + capacity_ - count_) % capacity_;
     sram_.writeUint(slotMetaAddr(slot), noOwner, 4);
@@ -89,41 +90,41 @@ WriteBuffer::popTail()
 }
 
 LogicalPageId
-WriteBuffer::slotOwner(std::uint32_t slot) const
+WriteBuffer::slotOwner(BufferSlotId slot) const
 {
-    ENVY_ASSERT(slot < capacity_, "slot out of range");
-    const std::uint64_t v = sram_.readUint(slotMetaAddr(slot), 4);
+    ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
+    const std::uint64_t v = sram_.readUint(slotMetaAddr(slot.value()), 4);
     if (v == noOwner)
         return LogicalPageId::invalid();
     return LogicalPageId(v);
 }
 
 std::uint64_t
-WriteBuffer::slotOrigin(std::uint32_t slot) const
+WriteBuffer::slotOrigin(BufferSlotId slot) const
 {
-    ENVY_ASSERT(slot < capacity_, "slot out of range");
-    return sram_.readUint(slotMetaAddr(slot) + 4, 4);
+    ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
+    return sram_.readUint(slotMetaAddr(slot.value()) + 4, 4);
 }
 
 std::span<std::uint8_t>
-WriteBuffer::slotData(std::uint32_t slot)
+WriteBuffer::slotData(BufferSlotId slot)
 {
-    ENVY_ASSERT(storeData_, "slotData in metadata-only mode");
-    ENVY_ASSERT(slot < capacity_, "slot out of range");
-    return sram_.raw().subspan(slotDataAddr(slot), pageSize_);
+    ENVY_ASSERT(storeData_, "buffer: slotData in metadata-only mode");
+    ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
+    return sram_.raw().subspan(slotDataAddr(slot.value()), pageSize_);
 }
 
 std::span<const std::uint8_t>
-WriteBuffer::slotData(std::uint32_t slot) const
+WriteBuffer::slotData(BufferSlotId slot) const
 {
-    ENVY_ASSERT(storeData_, "slotData in metadata-only mode");
-    ENVY_ASSERT(slot < capacity_, "slot out of range");
+    ENVY_ASSERT(storeData_, "buffer: slotData in metadata-only mode");
+    ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
     return std::span<const std::uint8_t>(sram_.raw())
-        .subspan(slotDataAddr(slot), pageSize_);
+        .subspan(slotDataAddr(slot.value()), pageSize_);
 }
 
 bool
-WriteBuffer::slotResident(std::uint32_t slot) const
+WriteBuffer::slotResident(BufferSlotId slot) const
 {
     return slotOwner(slot).valid();
 }
@@ -146,7 +147,7 @@ WriteBuffer::recover()
     count_ = static_cast<std::uint32_t>(
         sram_.readUint(base_ + countOff, 4));
     ENVY_ASSERT(head_ < capacity_ && count_ <= capacity_,
-                "corrupt write buffer header after power failure");
+                "buffer: corrupt header after power failure");
 }
 
 } // namespace envy

@@ -69,12 +69,12 @@ class WriteBuffer : public StatGroup
      *                 there; hybrid flushes back to its partition)
      * @return slot index for the page table to reference
      */
-    std::uint32_t push(LogicalPageId logical, std::uint64_t origin);
+    BufferSlotId push(LogicalPageId logical, std::uint64_t origin);
 
     /** Oldest resident page (the next flush victim). */
     struct TailInfo
     {
-        std::uint32_t slot;
+        BufferSlotId slot;
         LogicalPageId logical;
         std::uint64_t origin;
     };
@@ -83,15 +83,15 @@ class WriteBuffer : public StatGroup
     /** Release the tail slot after its page has been flushed. */
     void popTail();
 
-    LogicalPageId slotOwner(std::uint32_t slot) const;
-    std::uint64_t slotOrigin(std::uint32_t slot) const;
+    LogicalPageId slotOwner(BufferSlotId slot) const;
+    std::uint64_t slotOrigin(BufferSlotId slot) const;
 
     /** Page bytes of a resident slot (functional mode). */
-    std::span<std::uint8_t> slotData(std::uint32_t slot);
-    std::span<const std::uint8_t> slotData(std::uint32_t slot) const;
+    std::span<std::uint8_t> slotData(BufferSlotId slot);
+    std::span<const std::uint8_t> slotData(BufferSlotId slot) const;
 
     /** True if @p slot currently holds a resident page. */
-    bool slotResident(std::uint32_t slot) const;
+    bool slotResident(BufferSlotId slot) const;
 
     /**
      * Rebuild the in-core mirrors from SRAM after a power failure.
@@ -113,13 +113,13 @@ class WriteBuffer : public StatGroup
     static constexpr Addr slotsOff = 8;
     static constexpr std::uint32_t noOwner = 0xFFFFFFFFu;
 
-    Addr slotMetaAddr(std::uint32_t slot) const
+    Addr slotMetaAddr(std::uint32_t ring_slot) const
     {
-        return base_ + slotsOff + Addr(slot) * 8;
+        return base_ + slotsOff + Addr(ring_slot) * 8;
     }
-    Addr slotDataAddr(std::uint32_t slot) const
+    Addr slotDataAddr(std::uint32_t ring_slot) const
     {
-        return dataBase_ + Addr(slot) * pageSize_;
+        return dataBase_ + Addr(ring_slot) * pageSize_;
     }
 
     void syncHeader();

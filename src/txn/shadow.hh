@@ -94,7 +94,7 @@ class ShadowManager
     static std::uint64_t
     key(FlashPageAddr a)
     {
-        return (a.segment.value() << 32) | a.slot;
+        return (a.segment.value() << 32) | a.slot.value();
     }
 
     void release(Txn &txn);

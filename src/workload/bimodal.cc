@@ -12,7 +12,8 @@ LocalitySpec::parse(const std::string &text)
     double x = 0.0, y = 0.0;
     if (std::sscanf(text.c_str(), "%lf/%lf", &x, &y) != 2 || x <= 0.0 ||
         x > 100.0 || y < 0.0 || y > 100.0)
-        ENVY_FATAL("bad locality spec '", text, "'; expected e.g. 10/90");
+        ENVY_FATAL("workload: bad locality spec '", text,
+                   "'; expected e.g. 10/90");
     return LocalitySpec{x / 100.0, y / 100.0};
 }
 

@@ -31,7 +31,7 @@ Trace::save(const std::string &path) const
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        ENVY_FATAL("cannot open trace file '", path, "' for writing");
+        ENVY_FATAL("trace: cannot open '", path, "' for writing");
 
     const std::uint64_t count = accesses_.size();
     std::fwrite(magic, 1, sizeof(magic), f);
@@ -44,7 +44,7 @@ Trace::save(const std::string &path) const
         std::fwrite(rec, 1, sizeof(rec), f);
     }
     if (std::fclose(f) != 0)
-        ENVY_FATAL("error writing trace file '", path, "'");
+        ENVY_FATAL("trace: error writing '", path, "'");
 }
 
 Trace
@@ -52,7 +52,7 @@ Trace::load(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        ENVY_FATAL("cannot open trace file '", path, "'");
+        ENVY_FATAL("trace: cannot open '", path, "'");
 
     char m[8];
     std::uint64_t count = 0;
@@ -60,7 +60,7 @@ Trace::load(const std::string &path)
         std::memcmp(m, magic, sizeof(magic)) != 0 ||
         std::fread(&count, sizeof(count), 1, f) != 1) {
         std::fclose(f);
-        ENVY_FATAL("'", path, "' is not an eNVy trace file");
+        ENVY_FATAL("trace: '", path, "' is not an eNVy trace file");
     }
 
     Trace t;
@@ -69,7 +69,7 @@ Trace::load(const std::string &path)
         std::uint8_t rec[16];
         if (std::fread(rec, 1, sizeof(rec), f) != sizeof(rec)) {
             std::fclose(f);
-            ENVY_FATAL("trace file '", path, "' is truncated");
+            ENVY_FATAL("trace: file '", path, "' is truncated");
         }
         StorageAccess a;
         std::memcpy(&a.addr, rec, 8);

@@ -20,12 +20,14 @@ class CleanerTest : public ::testing::Test
   protected:
     CleanerTest()
         : flash(Geometry::tiny(), FlashTiming{}, true),
-          sram(PageTable::bytesNeeded(flash.geom().physicalPages()) +
-               SegmentSpace::bytesNeeded(flash.numSegments())),
-          table(sram, 0, flash.geom().physicalPages()),
+          sram(PageTable::bytesNeeded(
+                   flash.geom().physicalPages().value()) +
+               SegmentSpace::bytesNeeded(flash.numSegments()).value()),
+          table(sram, 0, flash.geom().physicalPages().value()),
           mmu(table, 64),
           space(flash, sram,
-                PageTable::bytesNeeded(flash.geom().physicalPages())),
+                PageTable::bytesNeeded(
+                    flash.geom().physicalPages().value())),
           cleaner(space, mmu)
     {
         pageData.resize(flash.geom().pageSize);
@@ -73,12 +75,12 @@ TEST_F(CleanerTest, CleanMovesLiveDataAndErases)
     const SegmentId old_reserve = space.reserve();
     const auto result = cleaner.clean(2, nullptr);
 
-    EXPECT_EQ(result.copied, 2u);
-    EXPECT_EQ(result.diverted, 0u);
+    EXPECT_EQ(result.copied, PageCount(2));
+    EXPECT_EQ(result.diverted, PageCount(0));
     EXPECT_EQ(space.physOf(2), old_reserve);
     EXPECT_EQ(space.reserve(), old_phys);
     // The old physical segment is erased and reusable.
-    EXPECT_EQ(flash.usedSlots(old_phys), 0u);
+    EXPECT_EQ(flash.usedSlots(old_phys), PageCount(0));
     EXPECT_EQ(flash.eraseCycles(old_phys), 1u);
     // Data still reachable through the page table.
     EXPECT_EQ(firstByte(10), 0xA1);
@@ -99,7 +101,7 @@ TEST_F(CleanerTest, CleanPreservesSlotOrder)
 
     const SegmentId fresh = space.physOf(1);
     std::vector<std::uint64_t> order;
-    flash.forEachLive(fresh, [&](std::uint32_t, LogicalPageId p) {
+    flash.forEachLive(fresh, [&](SlotId, LogicalPageId p) {
         order.push_back(p.value());
     });
     EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 3, 5, 7}));
@@ -120,26 +122,26 @@ TEST_F(CleanerTest, MovePagesFromTailTakesHottest)
 {
     for (std::uint64_t p = 0; p < 6; ++p)
         put(3, p, 0);
-    const std::uint64_t moved = cleaner.movePages(3, 4, true, 2);
-    EXPECT_EQ(moved, 2u);
+    const PageCount moved = cleaner.movePages(3, 4, true, PageCount(2));
+    EXPECT_EQ(moved, PageCount(2));
     // The last two appended (4, 5) moved to segment 4.
     std::vector<std::uint64_t> in4;
     flash.forEachLive(space.physOf(4),
-                      [&](std::uint32_t, LogicalPageId p) {
+                      [&](SlotId, LogicalPageId p) {
                           in4.push_back(p.value());
                       });
     EXPECT_EQ(in4, (std::vector<std::uint64_t>{5, 4}));
-    EXPECT_EQ(space.liveCount(3), 4u);
+    EXPECT_EQ(space.liveCount(3), PageCount(4));
 }
 
 TEST_F(CleanerTest, MovePagesFromHeadTakesColdest)
 {
     for (std::uint64_t p = 10; p < 16; ++p)
         put(5, p, 0);
-    cleaner.movePages(5, 6, false, 3);
+    cleaner.movePages(5, 6, false, PageCount(3));
     std::vector<std::uint64_t> in6;
     flash.forEachLive(space.physOf(6),
-                      [&](std::uint32_t, LogicalPageId p) {
+                      [&](SlotId, LogicalPageId p) {
                           in6.push_back(p.value());
                       });
     EXPECT_EQ(in6, (std::vector<std::uint64_t>{10, 11, 12}));
@@ -148,17 +150,18 @@ TEST_F(CleanerTest, MovePagesFromHeadTakesColdest)
 TEST_F(CleanerTest, MovePagesRespectsDestinationRoom)
 {
     // Fill destination segment 7 completely.
-    const auto cap = flash.pagesPerSegment();
+    const std::uint64_t cap = flash.pagesPerSegment().value();
     for (std::uint64_t i = 0; i < cap; ++i)
         put(7, 1000 + i, 0);
     put(8, 1, 0);
-    EXPECT_EQ(cleaner.movePages(8, 7, false, 5), 0u);
+    EXPECT_EQ(cleaner.movePages(8, 7, false, PageCount(5)),
+              PageCount(0));
 }
 
 TEST_F(CleanerTest, MovePagesUpdatesMappings)
 {
     put(9, 42, 0x77);
-    cleaner.movePages(9, 10, false, 1);
+    cleaner.movePages(9, 10, false, PageCount(1));
     const auto loc = table.lookup(LogicalPageId(42));
     ASSERT_EQ(loc.kind, PageTable::LocKind::Flash);
     EXPECT_EQ(loc.flash.segment, space.physOf(10));
@@ -177,7 +180,7 @@ TEST_F(CleanerTest, DivertSendsPagesElsewhere)
         }
         std::uint32_t
         divert(std::uint32_t seg, std::uint64_t idx,
-               std::uint64_t) override
+               PageCount) override
         {
             return idx % 2 == 0 ? seg + 1 : seg;
         }
@@ -191,10 +194,10 @@ TEST_F(CleanerTest, DivertSendsPagesElsewhere)
     for (std::uint64_t p = 0; p < 6; ++p)
         put(11, p, 0);
     const auto result = cleaner.clean(11, &policy);
-    EXPECT_EQ(result.diverted, 3u);
-    EXPECT_EQ(result.copied, 3u);
-    EXPECT_EQ(space.liveCount(12), 3u);
-    EXPECT_EQ(space.liveCount(11), 3u);
+    EXPECT_EQ(result.diverted, PageCount(3));
+    EXPECT_EQ(result.copied, PageCount(3));
+    EXPECT_EQ(space.liveCount(12), PageCount(3));
+    EXPECT_EQ(space.liveCount(11), PageCount(3));
 }
 
 TEST_F(CleanerTest, ShadowsAreCarriedAlong)
@@ -240,7 +243,7 @@ TEST_F(CleanerTest, CrashMidCleanLeavesResumableState)
     // Resume finishes the job.
     cleaner.resume(14);
     EXPECT_FALSE(space.cleanRecord().inProgress);
-    EXPECT_EQ(space.liveCount(14), 10u);
+    EXPECT_EQ(space.liveCount(14), PageCount(10));
     for (std::uint64_t p = 0; p < 10; ++p)
         EXPECT_EQ(firstByte(p), static_cast<std::uint8_t>(p));
 }

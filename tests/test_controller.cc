@@ -147,7 +147,7 @@ TEST(Controller, PopulateAgedFillsSegmentsCompletely)
 
     std::uint32_t full = 0, with_free = 0;
     for (std::uint32_t s = 0; s < store.space().numLogical(); ++s) {
-        if (store.space().freeSlots(s) == 0)
+        if (store.space().freeSlots(s) == PageCount(0))
             ++full;
         else
             ++with_free;

@@ -30,7 +30,7 @@ churnConfig(PolicyKind policy)
 TEST(EnvyStore, SizeMatchesGeometry)
 {
     EnvyStore store(churnConfig(PolicyKind::Hybrid));
-    EXPECT_EQ(store.size(), store.config().geom.logicalBytes());
+    EXPECT_EQ(store.size(), store.config().geom.logicalBytes().value());
     EXPECT_GT(store.size(), 0u);
 }
 
@@ -107,9 +107,9 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, StoreFuzz,
                              PolicyKind::Greedy, PolicyKind::Fifo,
                              PolicyKind::LocalityGathering,
                              PolicyKind::Hybrid),
-                         [](const auto &info) {
+                         [](const auto &param_info) {
                              std::string n =
-                                 policyKindName(info.param);
+                                 policyKindName(param_info.param);
                              for (auto &c : n)
                                  if (c == '-')
                                      c = '_';

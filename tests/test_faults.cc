@@ -52,21 +52,21 @@ TEST(Faults, ProgramSpecFailureRetiresTheSlotAndRetries)
 
     // Fail exactly the first program attempt.
     int calls = 0;
-    flash.programFaultHook = [&](SegmentId, std::uint32_t) {
+    flash.programFaultHook = [&](SegmentId, SlotId) {
         return ++calls == 1;
     };
 
     const auto r1 = flash.tryAppendPage(seg, LogicalPageId(7), data);
     EXPECT_TRUE(r1.failed);
-    EXPECT_TRUE(flash.slotRetired(FlashPageAddr{seg, 0}));
-    EXPECT_EQ(flash.retiredCount(seg), 1u);
+    EXPECT_TRUE(flash.slotRetired(FlashPageAddr{seg, SlotId(0)}));
+    EXPECT_EQ(flash.retiredCount(seg), PageCount(1));
     EXPECT_EQ(flash.statSlotsRetired.value(), 1u);
     EXPECT_EQ(flash.statProgramSpecFailures.value(), 1u);
 
     // The retry lands in the next slot and the data is intact.
     const auto r2 = flash.tryAppendPage(seg, LogicalPageId(7), data);
     ASSERT_FALSE(r2.failed);
-    EXPECT_EQ(r2.addr.slot, 1u);
+    EXPECT_EQ(r2.addr.slot, SlotId(1));
     std::vector<std::uint8_t> got(flash.geom().pageSize);
     flash.readPage(r2.addr, got);
     EXPECT_EQ(got, data);
@@ -82,8 +82,8 @@ TEST(Faults, RetirementSurvivesEraseAndIsSkippedAfterwards)
     FlashArray flash(tinyGeom(), FlashTiming{}, false);
     const SegmentId seg{3};
 
-    flash.programFaultHook = [&](SegmentId, std::uint32_t slot) {
-        return slot == 0; // kill physical slot 0 for good
+    flash.programFaultHook = [&](SegmentId, SlotId slot) {
+        return slot == SlotId(0); // kill physical slot 0 for good
     };
     const auto fail = flash.tryAppendPage(seg, LogicalPageId(1));
     EXPECT_TRUE(fail.failed);
@@ -96,12 +96,12 @@ TEST(Faults, RetirementSurvivesEraseAndIsSkippedAfterwards)
 
     // The damage is physical: the slot is still retired, and the
     // next append skips straight over it.
-    EXPECT_TRUE(flash.slotRetired(FlashPageAddr{seg, 0}));
-    EXPECT_EQ(flash.retiredCount(seg), 1u);
-    EXPECT_EQ(flash.freeSlots(seg), flash.pagesPerSegment() - 1);
+    EXPECT_TRUE(flash.slotRetired(FlashPageAddr{seg, SlotId(0)}));
+    EXPECT_EQ(flash.retiredCount(seg), PageCount(1));
+    EXPECT_EQ(flash.freeSlots(seg), flash.pagesPerSegment() - PageCount(1));
     const auto after = flash.tryAppendPage(seg, LogicalPageId(2));
     ASSERT_FALSE(after.failed);
-    EXPECT_EQ(after.addr.slot, 1u);
+    EXPECT_EQ(after.addr.slot, SlotId(1));
 }
 
 TEST(Faults, SpecFailuresAreVisibleInTheStatusRegisters)
@@ -111,7 +111,7 @@ TEST(Faults, SpecFailuresAreVisibleInTheStatusRegisters)
     EXPECT_FALSE(flash.segmentSpecFailed(seg));
     EXPECT_TRUE(flash.specFailedSegments().empty());
 
-    flash.programFaultHook = [&](SegmentId, std::uint32_t) {
+    flash.programFaultHook = [&](SegmentId, SlotId) {
         return true;
     };
     (void)flash.tryAppendPage(seg, LogicalPageId(1));

@@ -41,12 +41,12 @@ TEST_F(FlashArrayTest, FreshSegmentsAreEmpty)
 {
     for (std::uint32_t s = 0; s < array.numSegments(); ++s) {
         const SegmentId seg{s};
-        EXPECT_EQ(array.liveCount(seg), 0u);
-        EXPECT_EQ(array.invalidCount(seg), 0u);
+        EXPECT_EQ(array.liveCount(seg), PageCount(0));
+        EXPECT_EQ(array.invalidCount(seg), PageCount(0));
         EXPECT_EQ(array.freeSlots(seg), array.pagesPerSegment());
         EXPECT_EQ(array.eraseCycles(seg), 0u);
     }
-    EXPECT_EQ(array.totalLive(), 0u);
+    EXPECT_EQ(array.totalLive(), PageCount(0));
 }
 
 TEST_F(FlashArrayTest, AppendAssignsSequentialSlots)
@@ -54,13 +54,14 @@ TEST_F(FlashArrayTest, AppendAssignsSequentialSlots)
     const SegmentId seg{3};
     for (std::uint32_t i = 0; i < 5; ++i) {
         const FlashPageAddr a =
-            array.appendPage(seg, LogicalPageId(100 + i), pattern(i));
+            array.appendPage(seg, LogicalPageId(100 + i),
+                             pattern(static_cast<std::uint8_t>(i)));
         EXPECT_EQ(a.segment, seg);
-        EXPECT_EQ(a.slot, i);
+        EXPECT_EQ(a.slot, SlotId(i));
     }
-    EXPECT_EQ(array.liveCount(seg), 5u);
-    EXPECT_EQ(array.usedSlots(seg), 5u);
-    EXPECT_EQ(array.freeSlots(seg), array.pagesPerSegment() - 5);
+    EXPECT_EQ(array.liveCount(seg), PageCount(5));
+    EXPECT_EQ(array.usedSlots(seg), PageCount(5));
+    EXPECT_EQ(array.freeSlots(seg), array.pagesPerSegment() - PageCount(5));
 }
 
 TEST_F(FlashArrayTest, DataRoundTrip)
@@ -85,16 +86,16 @@ TEST_F(FlashArrayTest, OwnerTracking)
     array.invalidatePage(a);
     EXPECT_FALSE(array.pageLive(a));
     EXPECT_FALSE(array.pageOwner(a).valid());
-    EXPECT_EQ(array.liveCount(seg), 0u);
-    EXPECT_EQ(array.invalidCount(seg), 1u);
+    EXPECT_EQ(array.liveCount(seg), PageCount(0));
+    EXPECT_EQ(array.invalidCount(seg), PageCount(1));
     // Dead slots are not writable: used count stays.
-    EXPECT_EQ(array.usedSlots(seg), 1u);
+    EXPECT_EQ(array.usedSlots(seg), PageCount(1));
 }
 
 TEST_F(FlashArrayTest, UtilizationIsLiveOverCapacity)
 {
     const SegmentId seg{2};
-    const auto cap = array.pagesPerSegment();
+    const std::uint64_t cap = array.pagesPerSegment().value();
     for (std::uint64_t i = 0; i < cap / 2; ++i)
         array.appendPage(seg, LogicalPageId(i), pattern(0));
     EXPECT_DOUBLE_EQ(array.utilization(seg), 0.5);
@@ -111,9 +112,9 @@ TEST_F(FlashArrayTest, ForEachLiveSkipsDeadAndPreservesOrder)
     array.invalidatePage(addrs[4]);
 
     std::vector<std::uint64_t> seen;
-    array.forEachLive(seg, [&](std::uint32_t slot, LogicalPageId p) {
+    array.forEachLive(seg, [&](SlotId slot, LogicalPageId p) {
         seen.push_back(p.value());
-        EXPECT_EQ(slot, p.value()); // slot == logical here
+        EXPECT_EQ(slot.value(), p.value()); // slot == logical here
     });
     EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 2, 3, 5}));
 }
@@ -125,13 +126,13 @@ TEST_F(FlashArrayTest, EraseRecyclesSegment)
         array.appendPage(seg, LogicalPageId(9), pattern(9));
     array.invalidatePage(a);
     array.eraseSegment(seg);
-    EXPECT_EQ(array.usedSlots(seg), 0u);
+    EXPECT_EQ(array.usedSlots(seg), PageCount(0));
     EXPECT_EQ(array.freeSlots(seg), array.pagesPerSegment());
     EXPECT_EQ(array.eraseCycles(seg), 1u);
     // Slots are writable again.
     const FlashPageAddr b =
         array.appendPage(seg, LogicalPageId(10), pattern(1));
-    EXPECT_EQ(b.slot, 0u);
+    EXPECT_EQ(b.slot, SlotId(0));
 }
 
 TEST_F(FlashArrayTest, StatsCount)
@@ -155,19 +156,19 @@ TEST_F(FlashArrayTest, ShadowLifecycle)
     EXPECT_TRUE(array.pageIsShadow(a));
     EXPECT_FALSE(array.pageOwner(a).valid());
     // Shadows count live: they occupy space the cleaner must carry.
-    EXPECT_EQ(array.liveCount(seg), 1u);
+    EXPECT_EQ(array.liveCount(seg), PageCount(1));
 
     int shadows = 0;
-    array.forEachShadow(seg, [&](std::uint32_t) { ++shadows; });
+    array.forEachShadow(seg, [&](SlotId) { ++shadows; });
     EXPECT_EQ(shadows, 1);
     // forEachLive must skip them.
-    array.forEachLive(seg, [&](std::uint32_t, LogicalPageId) {
+    array.forEachLive(seg, [&](SlotId, LogicalPageId) {
         FAIL() << "shadow visited as live";
     });
 
     array.invalidatePage(a);
     EXPECT_FALSE(array.pageIsShadow(a));
-    EXPECT_EQ(array.liveCount(seg), 0u);
+    EXPECT_EQ(array.liveCount(seg), PageCount(0));
 }
 
 TEST_F(FlashArrayTest, AppendShadowDirectly)
@@ -215,7 +216,7 @@ TEST_F(FlashArrayDeathTest, AppendToFullSegmentPanics)
     Geometry g = Geometry::tiny();
     FlashArray small(g, FlashTiming{}, false);
     const SegmentId seg{0};
-    for (std::uint64_t i = 0; i < g.pagesPerSegment(); ++i)
+    for (std::uint64_t i = 0; i < g.pagesPerSegment().value(); ++i)
         small.appendPage(seg, LogicalPageId(i));
     EXPECT_DEATH(small.appendPage(seg, LogicalPageId(0)), "full");
 }

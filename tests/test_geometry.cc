@@ -13,14 +13,14 @@ namespace {
 TEST(Geometry, PaperSystemMatchesFigure12)
 {
     const Geometry g = Geometry::paperSystem();
-    EXPECT_EQ(g.flashBytes(), 2 * GiB);         // 2 GB array
+    EXPECT_EQ(g.flashBytes(), ByteCount(2 * GiB));         // 2 GB array
     EXPECT_EQ(g.numChips(), 2048u);             // 2048 1MBx8 chips
-    EXPECT_EQ(g.chipBytes(), 1 * MiB);
+    EXPECT_EQ(g.chipBytes(), ByteCount(1 * MiB));
     EXPECT_EQ(g.numBanks, 8u);                  // 8 banks
     EXPECT_EQ(g.pageSize, 256u);                // 256 chips/bank
     EXPECT_EQ(g.numSegments(), 128u);           // 128 segments
-    EXPECT_EQ(g.segmentBytes(), 16 * MiB);      // 16 MB each
-    EXPECT_EQ(g.pagesPerSegment(), 64 * 1024u); // 64 KB erase blocks
+    EXPECT_EQ(g.segmentBytes(), ByteCount(16 * MiB));      // 16 MB each
+    EXPECT_EQ(g.pagesPerSegment(), PageCount(64 * 1024)); // 64 KB erase blocks
     EXPECT_EQ(g.blocksPerChip, 16u);            // 16 blocks/chip
 }
 
@@ -29,10 +29,9 @@ TEST(Geometry, SramSizingMatchesPaperSection33)
     const Geometry g = Geometry::paperSystem();
     // "For every gigabyte of Flash, 24 MBytes of SRAM is required for
     // the page table" -> 48 MB for 2 GB.
-    EXPECT_EQ(g.pageTableBytes(), 48 * MiB);
+    EXPECT_EQ(g.pageTableBytes(), ByteCount(48 * MiB));
     // "The buffer size is chosen to be the size of one segment."
-    EXPECT_EQ(std::uint64_t(g.effectiveWriteBufferPages()) *
-                  g.pageSize,
+    EXPECT_EQ(g.effectiveWriteBufferPages().value() * g.pageSize,
               16 * MiB);
 }
 
@@ -41,18 +40,18 @@ TEST(Geometry, UtilizationDerivesLogicalPages)
     Geometry g = Geometry::paperSystem();
     g.targetUtilization = 0.8;
     EXPECT_EQ(g.effectiveLogicalPages(),
-              std::uint64_t(0.8 * 128 * 65536));
+              PageCount(std::uint64_t(0.8 * 128 * 65536)));
     g.logicalPages = 1000;
-    EXPECT_EQ(g.effectiveLogicalPages(), 1000u);
+    EXPECT_EQ(g.effectiveLogicalPages(), PageCount(1000));
 }
 
 TEST(Geometry, SegmentToBankMapping)
 {
     const Geometry g = Geometry::paperSystem();
-    EXPECT_EQ(g.bankOf(SegmentId(0)), 0u);
-    EXPECT_EQ(g.bankOf(SegmentId(15)), 0u);
-    EXPECT_EQ(g.bankOf(SegmentId(16)), 1u);
-    EXPECT_EQ(g.bankOf(SegmentId(127)), 7u);
+    EXPECT_EQ(g.bankOf(SegmentId(0)), BankId(0));
+    EXPECT_EQ(g.bankOf(SegmentId(15)), BankId(0));
+    EXPECT_EQ(g.bankOf(SegmentId(16)), BankId(1));
+    EXPECT_EQ(g.bankOf(SegmentId(127)), BankId(7));
     EXPECT_EQ(g.blockOf(SegmentId(0)), 0u);
     EXPECT_EQ(g.blockOf(SegmentId(17)), 1u);
 }
@@ -76,7 +75,8 @@ TEST(Geometry, RejectsOverfullLogicalSpace)
 {
     Geometry g = Geometry::tiny();
     // All space minus less than one reserve segment.
-    g.logicalPages = (g.numSegments() - 1) * g.pagesPerSegment();
+    g.logicalPages =
+        (g.numSegments() - 1) * g.pagesPerSegment().value();
     EXPECT_NE(g.validate(), nullptr);
 }
 

@@ -78,7 +78,8 @@ TEST_P(GeometrySweep, FuzzAgainstReference)
     store.flushAll();
     EXPECT_EQ(store.flash().totalLive(),
               cfg.geom.effectiveLogicalPages());
-    EXPECT_EQ(store.flash().usedSlots(store.space().reserve()), 0u);
+    EXPECT_EQ(store.flash().usedSlots(store.space().reserve()),
+              PageCount(0));
 
     // Recovery works on every geometry.
     store.powerFailAndRecover();
@@ -122,7 +123,7 @@ INSTANTIATE_TEST_SUITE_P(
         GeomCase{"roomy", 64, 1024, 8, 2, 0.4},
         // High utilization (cleaning expensive but legal).
         GeomCase{"tight", 64, 1024, 8, 2, 0.9}),
-    [](const auto &info) { return info.param.name; });
+    [](const auto &param_info) { return param_info.param.name; });
 
 } // namespace
 } // namespace envy

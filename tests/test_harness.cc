@@ -110,7 +110,7 @@ TEST(SystemPresets, TimedParamsSizeTpcaToTheStore)
 {
     const TimedParams p = paperTimedParams(10000, 0.8, 0.25);
     TpcaWorkload w(p.tpca, 1);
-    EXPECT_LE(w.footprintBytes(), p.envy.geom.logicalBytes());
+    EXPECT_LE(w.footprintBytes(), p.envy.geom.logicalBytes().value());
 }
 
 } // namespace

@@ -145,12 +145,12 @@ TEST(EnvyImage, MetadataOnlyStoresImageToo)
         for (int i = 0; i < 20000; ++i)
             store.writeU8(rng.below(store.size()), 1);
         store.flushAll();
-        live = store.flash().totalLive();
+        live = store.flash().totalLive().value();
         EnvyImage::save(store, path);
     }
     auto store = EnvyImage::load(path);
     EXPECT_FALSE(store->flash().storesData());
-    EXPECT_EQ(store->flash().totalLive(), live);
+    EXPECT_EQ(store->flash().totalLive().value(), live);
     std::remove(path.c_str());
 }
 
@@ -168,7 +168,7 @@ TEST(EnvyImage, RetiredSlotsSurviveTheRoundTrip)
         // sit ahead of the write pointer).
         int fails = 4;
         store.flash().programFaultHook =
-            [&](SegmentId, std::uint32_t) { return fails-- > 0; };
+            [&](SegmentId, SlotId) { return fails-- > 0; };
 
         Rng rng(9);
         for (int i = 0; i < 20000; ++i) {
@@ -191,7 +191,7 @@ TEST(EnvyImage, RetiredSlotsSurviveTheRoundTrip)
     auto store = EnvyImage::load(path);
     std::uint64_t found = 0;
     for (std::uint32_t s = 0; s < store->flash().numSegments(); ++s)
-        found += store->flash().retiredCount(SegmentId{s});
+        found += store->flash().retiredCount(SegmentId{s}).value();
     EXPECT_EQ(found, retired);
 
     std::vector<std::uint8_t> buf(4096);

@@ -27,32 +27,32 @@ class MmuTest : public ::testing::Test
 
 TEST_F(MmuTest, MissThenHit)
 {
-    table.mapToSram(LogicalPageId(1), 7);
-    EXPECT_EQ(mmu.lookup(LogicalPageId(1)).sramSlot, 7u);
+    table.mapToSram(LogicalPageId(1), BufferSlotId(7));
+    EXPECT_EQ(mmu.lookup(LogicalPageId(1)).sramSlot.value(), 7u);
     EXPECT_EQ(mmu.statMisses.value(), 1u);
     EXPECT_EQ(mmu.statHits.value(), 0u);
 
-    EXPECT_EQ(mmu.lookup(LogicalPageId(1)).sramSlot, 7u);
+    EXPECT_EQ(mmu.lookup(LogicalPageId(1)).sramSlot.value(), 7u);
     EXPECT_EQ(mmu.statHits.value(), 1u);
 }
 
 TEST_F(MmuTest, WriteThroughUpdatesBothTlbAndTable)
 {
-    mmu.mapToFlash(LogicalPageId(2), {SegmentId(3), 4});
+    mmu.mapToFlash(LogicalPageId(2), {SegmentId(3), SlotId(4)});
     // Table sees it...
     EXPECT_EQ(table.lookup(LogicalPageId(2)).kind,
               PageTable::LocKind::Flash);
     // ...and the TLB serves it without a miss.
     const auto loc = mmu.lookup(LogicalPageId(2));
-    EXPECT_EQ(loc.flash.slot, 4u);
+    EXPECT_EQ(loc.flash.slot.value(), 4u);
     EXPECT_EQ(mmu.statMisses.value(), 0u);
 }
 
 TEST_F(MmuTest, DirectMappedConflictEvicts)
 {
     // Pages 5 and 5+16 collide in a 16-entry direct-mapped TLB.
-    table.mapToSram(LogicalPageId(5), 1);
-    table.mapToSram(LogicalPageId(21), 2);
+    table.mapToSram(LogicalPageId(5), BufferSlotId(1));
+    table.mapToSram(LogicalPageId(21), BufferSlotId(2));
     mmu.lookup(LogicalPageId(5));
     mmu.lookup(LogicalPageId(21));
     mmu.lookup(LogicalPageId(5));
@@ -62,7 +62,7 @@ TEST_F(MmuTest, DirectMappedConflictEvicts)
 
 TEST_F(MmuTest, FlushTlbForcesWalks)
 {
-    table.mapToSram(LogicalPageId(3), 9);
+    table.mapToSram(LogicalPageId(3), BufferSlotId(9));
     mmu.lookup(LogicalPageId(3));
     mmu.flushTlb();
     mmu.lookup(LogicalPageId(3));
@@ -71,12 +71,12 @@ TEST_F(MmuTest, FlushTlbForcesWalks)
 
 TEST_F(MmuTest, StaleTlbNeverSurvivesWriteThrough)
 {
-    table.mapToSram(LogicalPageId(6), 1);
+    table.mapToSram(LogicalPageId(6), BufferSlotId(1));
     mmu.lookup(LogicalPageId(6)); // cached as SRAM slot 1
-    mmu.mapToFlash(LogicalPageId(6), {SegmentId(2), 8});
+    mmu.mapToFlash(LogicalPageId(6), {SegmentId(2), SlotId(8)});
     const auto loc = mmu.lookup(LogicalPageId(6));
     ASSERT_EQ(loc.kind, PageTable::LocKind::Flash);
-    EXPECT_EQ(loc.flash.slot, 8u);
+    EXPECT_EQ(loc.flash.slot.value(), 8u);
 }
 
 TEST_F(MmuTest, UnmappedLookupsWork)

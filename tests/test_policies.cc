@@ -11,6 +11,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/units.hh"
 #include "envy/cleaner.hh"
 #include "envy/policy/fifo.hh"
 #include "envy/policy/greedy.hh"
@@ -26,11 +27,12 @@ struct Rig
 {
     explicit Rig(const Geometry &g = Geometry::tiny())
         : flash(g, FlashTiming{}, false),
-          sram(PageTable::bytesNeeded(g.physicalPages()) +
-               SegmentSpace::bytesNeeded(g.numSegments())),
-          table(sram, 0, g.physicalPages()),
+          sram(PageTable::bytesNeeded(g.physicalPages().value()) +
+               SegmentSpace::bytesNeeded(g.numSegments()).value()),
+          table(sram, 0, g.physicalPages().value()),
           mmu(table, 256),
-          space(flash, sram, PageTable::bytesNeeded(g.physicalPages())),
+          space(flash, sram,
+                PageTable::bytesNeeded(g.physicalPages().value())),
           cleaner(space, mmu)
     {
     }
@@ -41,7 +43,7 @@ struct Rig
     populate()
     {
         const std::uint64_t pages =
-            flash.geom().effectiveLogicalPages();
+            flash.geom().effectiveLogicalPages().value();
         const std::uint64_t share =
             (pages + space.numLogical() - 1) / space.numLogical();
         for (std::uint64_t p = 0; p < pages; ++p) {
@@ -64,7 +66,7 @@ struct Rig
         flash.invalidatePage(loc.flash);
         const std::uint32_t dest = policy.flushDestination(origin);
         ASSERT_LT(dest, space.numLogical());
-        ASSERT_GT(space.freeSlots(dest), 0u);
+        ASSERT_GT(space.freeSlots(dest), PageCount(0));
         mmu.mapToFlash(LogicalPageId(page),
                        flash.appendPage(space.physOf(dest),
                                         LogicalPageId(page)));
@@ -87,7 +89,7 @@ TEST(GreedyPolicy, PicksMostInvalidatedVictim)
     policy.attach(rig.space, rig.cleaner);
 
     // Fill segments 0..2 completely; invalidate most of segment 1.
-    const auto cap = rig.flash.pagesPerSegment();
+    const std::uint64_t cap = rig.flash.pagesPerSegment().value();
     std::uint64_t page = 0;
     for (std::uint32_t s = 0; s < 3; ++s)
         for (std::uint64_t i = 0; i < cap; ++i)
@@ -97,7 +99,7 @@ TEST(GreedyPolicy, PicksMostInvalidatedVictim)
                                      LogicalPageId(page))),
                 ++page;
     for (std::uint32_t i = 0; i < cap - 1; ++i) {
-        rig.flash.invalidatePage({rig.space.physOf(1), i});
+        rig.flash.invalidatePage({rig.space.physOf(1), SlotId(i)});
     }
 
     // Fill everything else so only cleaning can make room.
@@ -113,7 +115,7 @@ TEST(GreedyPolicy, PicksMostInvalidatedVictim)
     const std::uint32_t dest = policy.flushDestination(0);
     EXPECT_EQ(dest, 1u); // the most-invalidated segment was cleaned
     EXPECT_EQ(rig.cleaner.statCleans.value(), cleans0 + 1);
-    EXPECT_GT(rig.space.freeSlots(dest), 0u);
+    EXPECT_GT(rig.space.freeSlots(dest), PageCount(0));
 }
 
 TEST(GreedyPolicy, UsesFreeSegmentsBeforeCleaning)
@@ -123,7 +125,7 @@ TEST(GreedyPolicy, UsesFreeSegmentsBeforeCleaning)
     policy.attach(rig.space, rig.cleaner);
     const std::uint32_t dest = policy.flushDestination(0);
     EXPECT_EQ(rig.cleaner.statCleans.value(), 0u);
-    EXPECT_GT(rig.space.freeSlots(dest), 0u);
+    EXPECT_GT(rig.space.freeSlots(dest), PageCount(0));
 }
 
 TEST(FifoPolicy, CleansInRotation)
@@ -133,7 +135,7 @@ TEST(FifoPolicy, CleansInRotation)
     policy.attach(rig.space, rig.cleaner);
 
     // Full array with some invalid everywhere.
-    const auto cap = rig.flash.pagesPerSegment();
+    const std::uint64_t cap = rig.flash.pagesPerSegment().value();
     std::uint64_t page = 0;
     for (std::uint32_t s = 0; s < rig.space.numLogical(); ++s) {
         for (std::uint64_t i = 0; i < cap; ++i) {
@@ -143,7 +145,7 @@ TEST(FifoPolicy, CleansInRotation)
                                      LogicalPageId(page)));
             ++page;
         }
-        rig.flash.invalidatePage({rig.space.physOf(s), 0});
+        rig.flash.invalidatePage({rig.space.physOf(s), SlotId(0)});
     }
 
     // Each time the active segment fills, the next victim in order
@@ -155,14 +157,15 @@ TEST(FifoPolicy, CleansInRotation)
         if (rig.cleaner.statCleans.value() > cleans0)
             victims.push_back(dest);
         // Exhaust the destination to force the next clean.
-        while (rig.space.freeSlots(dest) > 0) {
+        while (rig.space.freeSlots(dest) > PageCount(0)) {
             rig.flash.appendPage(rig.space.physOf(dest),
                                  LogicalPageId(0));
             rig.flash.invalidatePage(
                 {rig.space.physOf(dest),
-                 static_cast<std::uint32_t>(
-                     rig.flash.usedSlots(rig.space.physOf(dest))) -
-                     1});
+                 SlotId(static_cast<std::uint32_t>(
+                            rig.flash.usedSlots(rig.space.physOf(dest))
+                                .value()) -
+                        1)});
         }
     }
     (void)policy.flushDestination(0);
@@ -218,7 +221,7 @@ TEST(LocalityGathering, TargetsConserveTotalLive)
     double target_sum = 0.0, live_sum = 0.0;
     for (std::uint32_t s = 0; s < rig.space.numLogical(); ++s) {
         target_sum += policy.targetLive(s);
-        live_sum += static_cast<double>(rig.space.liveCount(s));
+        live_sum += asDouble(rig.space.liveCount(s));
     }
     // Clamping of extreme hot segments can leave a little slack.
     EXPECT_NEAR(target_sum, live_sum, live_sum * 0.02);
@@ -288,10 +291,11 @@ TEST_P(PolicyFuzz, InvariantsHoldUnderChurn)
         rig.rewrite(*policy, w.nextPage().value());
 
     // 1. Conservation: exactly one live copy per logical page.
-    EXPECT_EQ(rig.flash.totalLive(), rig.populated);
+    EXPECT_EQ(rig.flash.totalLive().value(), rig.populated);
 
     // 2. The reserve is always erased and ready.
-    EXPECT_EQ(rig.flash.usedSlots(rig.space.reserve()), 0u);
+    EXPECT_EQ(rig.flash.usedSlots(rig.space.reserve()),
+              PageCount(0));
 
     // 3. Every page's mapping points at a live slot that names it.
     for (std::uint64_t p = 0; p < rig.populated; p += 37) {
@@ -313,9 +317,9 @@ INSTANTIATE_TEST_SUITE_P(
                           PolicyKind::LocalityGathering,
                           PolicyKind::Hybrid),
         ::testing::Values("50/50", "20/80", "5/95")),
-    [](const auto &info) {
-        std::string name = policyKindName(std::get<0>(info.param));
-        std::string loc = std::get<1>(info.param);
+    [](const auto &param_info) {
+        std::string name = policyKindName(std::get<0>(param_info.param));
+        std::string loc = std::get<1>(param_info.param);
         for (auto &c : name)
             if (c == '-')
                 c = '_';

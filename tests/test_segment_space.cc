@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/units.hh"
 #include "envy/segment_space.hh"
 
 namespace envy {
@@ -16,7 +17,7 @@ class SegmentSpaceTest : public ::testing::Test
   protected:
     SegmentSpaceTest()
         : flash(Geometry::tiny(), FlashTiming{}, false),
-          sram(SegmentSpace::bytesNeeded(flash.numSegments())),
+          sram(SegmentSpace::bytesNeeded(flash.numSegments()).value()),
           space(flash, sram, 0)
     {
     }
@@ -98,8 +99,8 @@ TEST_F(SegmentSpaceTest, CleanRecordRoundTrip)
     const auto rec = space.cleanRecord();
     EXPECT_TRUE(rec.inProgress);
     EXPECT_EQ(rec.logical, 4u);
-    EXPECT_EQ(rec.victimPhys, 4u);
-    EXPECT_EQ(rec.destPhys, space.reserve().value());
+    EXPECT_EQ(rec.victimPhys, SegmentId(4));
+    EXPECT_EQ(rec.destPhys, space.reserve());
     space.clearCleanRecord();
     EXPECT_FALSE(space.cleanRecord().inProgress);
 }
@@ -125,12 +126,13 @@ TEST_F(SegmentSpaceTest, QueriesForwardToFlash)
     const SegmentId phys = space.physOf(1);
     flash.appendPage(phys, LogicalPageId(0));
     flash.appendPage(phys, LogicalPageId(1));
-    flash.invalidatePage({phys, 0});
-    EXPECT_EQ(space.liveCount(1), 1u);
-    EXPECT_EQ(space.invalidCount(1), 1u);
-    EXPECT_EQ(space.freeSlots(1), flash.pagesPerSegment() - 2);
+    flash.invalidatePage({phys, SlotId(0)});
+    EXPECT_EQ(space.liveCount(1), PageCount(1));
+    EXPECT_EQ(space.invalidCount(1), PageCount(1));
+    EXPECT_EQ(space.freeSlots(1),
+              flash.pagesPerSegment() - PageCount(2));
     EXPECT_DOUBLE_EQ(space.utilization(1),
-                     1.0 / flash.pagesPerSegment());
+                     1.0 / asDouble(flash.pagesPerSegment()));
 }
 
 } // namespace

@@ -60,7 +60,6 @@ TEST(ShadowTxn, AbortRestoresBufferedPreImage)
     ShadowManager txns(store);
     // Pre-image still dirty in the SRAM buffer: no flash copy, so
     // the manager must snapshot.
-    EnvyConfig cfg = store.config();
     store.writeU64(200, 0x1234);
 
     const auto t = txns.begin();

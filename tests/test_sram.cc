@@ -94,7 +94,7 @@ TEST_F(WriteBufferTest, PushPopIsFifo)
 
 TEST_F(WriteBufferTest, SlotsStayStableWhileResident)
 {
-    const std::uint32_t s0 = buf.push(LogicalPageId(1), 0);
+    const BufferSlotId s0 = buf.push(LogicalPageId(1), 0);
     buf.push(LogicalPageId(2), 0);
     EXPECT_EQ(buf.slotOwner(s0), LogicalPageId(1));
     buf.popTail(); // drops page 1
@@ -128,7 +128,7 @@ TEST_F(WriteBufferTest, ThresholdSignalsBackgroundFlush)
 
 TEST_F(WriteBufferTest, SlotDataIsWritable)
 {
-    const std::uint32_t slot = buf.push(LogicalPageId(3), 0);
+    const BufferSlotId slot = buf.push(LogicalPageId(3), 0);
     auto data = buf.slotData(slot);
     ASSERT_EQ(data.size(), pageSize);
     data[0] = 0x5A;
@@ -157,8 +157,8 @@ TEST_F(WriteBufferTest, ResetEmptiesEverything)
     buf.push(LogicalPageId(2), 0);
     buf.reset();
     EXPECT_TRUE(buf.empty());
-    EXPECT_FALSE(buf.slotResident(0));
-    EXPECT_FALSE(buf.slotResident(1));
+    EXPECT_FALSE(buf.slotResident(BufferSlotId(0)));
+    EXPECT_FALSE(buf.slotResident(BufferSlotId(1)));
 }
 
 TEST_F(WriteBufferTest, StatsCountInsertsAndFlushes)

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Compile-time proof that the strong id/count types do not
+ * interconvert, plus runtime checks on the crash-point registry.
+ *
+ * The static_asserts are the real test: if any of them stops holding
+ * this file no longer compiles, which is exactly the regression the
+ * types exist to prevent (`SlotId s = pageId;` must never build).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <type_traits>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "faults/crash_point.hh"
+
+namespace envy {
+namespace {
+
+// ---- id families never interconvert ------------------------------
+
+static_assert(!std::is_constructible_v<SlotId, LogicalPageId>,
+              "a logical page number must not become a slot");
+static_assert(!std::is_constructible_v<LogicalPageId, SlotId>,
+              "a slot must not become a logical page number");
+static_assert(!std::is_constructible_v<SegmentId, LogicalPageId>,
+              "a logical page number must not become a segment");
+static_assert(!std::is_constructible_v<SegmentId, SlotId>,
+              "a slot must not become a segment");
+static_assert(!std::is_constructible_v<BufferSlotId, SlotId>,
+              "a flash slot must not become a buffer slot");
+static_assert(!std::is_constructible_v<SlotId, BufferSlotId>,
+              "a buffer slot must not become a flash slot");
+static_assert(!std::is_constructible_v<BankId, SegmentId>,
+              "a segment must not become a bank");
+static_assert(!std::is_constructible_v<PartitionId, SegmentId>,
+              "a segment must not become a partition");
+
+static_assert(!std::is_convertible_v<LogicalPageId, SlotId>);
+static_assert(!std::is_convertible_v<SlotId, LogicalPageId>);
+static_assert(!std::is_convertible_v<SegmentId, BankId>);
+static_assert(!std::is_convertible_v<BufferSlotId, SlotId>);
+
+static_assert(!std::is_assignable_v<SlotId &, LogicalPageId>,
+              "SlotId s; s = pageId; must not compile");
+static_assert(!std::is_assignable_v<LogicalPageId &, SegmentId>);
+static_assert(!std::is_assignable_v<BufferSlotId &, SlotId>);
+
+// ---- raw integers convert only explicitly ------------------------
+
+static_assert(!std::is_convertible_v<std::uint64_t, LogicalPageId>,
+              "raw integers must not implicitly become ids");
+static_assert(!std::is_convertible_v<std::uint32_t, SlotId>);
+static_assert(std::is_constructible_v<LogicalPageId, std::uint64_t>,
+              "explicit construction from the representation stays");
+static_assert(std::is_constructible_v<SlotId, std::uint32_t>);
+static_assert(!std::is_convertible_v<LogicalPageId, std::uint64_t>,
+              "ids must not silently decay to integers");
+
+// ---- counts of different units never mix -------------------------
+
+static_assert(!std::is_constructible_v<ByteCount, PageCount>,
+              "pages are not bytes without a page size");
+static_assert(!std::is_constructible_v<PageCount, ByteCount>);
+static_assert(!std::is_convertible_v<PageCount, ByteCount>);
+static_assert(!std::is_assignable_v<ByteCount &, PageCount>);
+static_assert(!std::is_convertible_v<std::uint64_t, PageCount>);
+
+// ---- typed arithmetic only where meaningful ----------------------
+
+static_assert(LogicalPageId(5) + PageCount(3) == LogicalPageId(8));
+static_assert(LogicalPageId(8) - LogicalPageId(5) == PageCount(3));
+static_assert(PageCount(2) + PageCount(3) == PageCount(5));
+static_assert(SlotId(1) < SlotId(2));
+static_assert(!LogicalPageId::invalid().valid());
+static_assert(LogicalPageId().value() ==
+              std::numeric_limits<std::uint64_t>::max());
+static_assert(PageCount().value() == 0, "counts default to zero");
+
+TEST(StrongTypes, InvalidIdPrintsReadably)
+{
+    std::ostringstream os;
+    os << LogicalPageId::invalid() << " " << LogicalPageId(7);
+    EXPECT_EQ(os.str(), "<invalid> 7");
+}
+
+TEST(StrongTypes, FlashPageAddrEqualityAndValidity)
+{
+    const FlashPageAddr a{SegmentId(3), SlotId(9)};
+    const FlashPageAddr b{SegmentId(3), SlotId(9)};
+    const FlashPageAddr c{SegmentId(3), SlotId(10)};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(FlashPageAddr{}.valid());
+}
+
+TEST(StrongTypes, HashDistinguishesValues)
+{
+    const std::hash<LogicalPageId> h;
+    EXPECT_NE(h(LogicalPageId(1)), h(LogicalPageId(2)));
+    EXPECT_EQ(h(LogicalPageId(1)), h(LogicalPageId(1)));
+}
+
+// ---- crash-point registry ----------------------------------------
+
+TEST(CrashPointRegistry, HasNoDuplicateNames)
+{
+    const auto points = crash_points::allPoints();
+    const std::set<std::string> unique(points.begin(), points.end());
+    EXPECT_EQ(unique.size(), points.size())
+        << "allPoints() returned a duplicated crash-point name";
+}
+
+TEST(CrashPointRegistry, NamesFollowTheDottedConvention)
+{
+    // component.operation.moment, all lowercase.
+    for (const auto &name : crash_points::allPoints()) {
+        const auto dots =
+            std::count(name.begin(), name.end(), '.');
+        EXPECT_EQ(dots, 2) << name;
+        for (const char c : name) {
+            EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '.' || c == '_')
+                << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace envy

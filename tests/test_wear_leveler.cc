@@ -19,13 +19,14 @@ TEST(WearLeveler, NoRotationBelowThreshold)
 {
     FlashArray flash(Geometry::tiny(), FlashTiming{}, false);
     SramArray sram(
-        PageTable::bytesNeeded(flash.geom().physicalPages()) +
-        SegmentSpace::bytesNeeded(flash.numSegments()));
-    PageTable table(sram, 0, flash.geom().physicalPages());
+        PageTable::bytesNeeded(flash.geom().physicalPages().value()) +
+        SegmentSpace::bytesNeeded(flash.numSegments()).value());
+    PageTable table(sram, 0, flash.geom().physicalPages().value());
     Mmu mmu(table, 64);
     SegmentSpace space(
         flash, sram,
-        PageTable::bytesNeeded(flash.geom().physicalPages()));
+        PageTable::bytesNeeded(
+            flash.geom().physicalPages().value()));
     WearLeveler wear(10);
     Cleaner cleaner(space, mmu, &wear);
 
@@ -37,13 +38,14 @@ TEST(WearLeveler, RotatesWhenSpreadExceedsThreshold)
 {
     FlashArray flash(Geometry::tiny(), FlashTiming{}, false);
     SramArray sram(
-        PageTable::bytesNeeded(flash.geom().physicalPages()) +
-        SegmentSpace::bytesNeeded(flash.numSegments()));
-    PageTable table(sram, 0, flash.geom().physicalPages());
+        PageTable::bytesNeeded(flash.geom().physicalPages().value()) +
+        SegmentSpace::bytesNeeded(flash.numSegments()).value());
+    PageTable table(sram, 0, flash.geom().physicalPages().value());
     Mmu mmu(table, 64);
     SegmentSpace space(
         flash, sram,
-        PageTable::bytesNeeded(flash.geom().physicalPages()));
+        PageTable::bytesNeeded(
+            flash.geom().physicalPages().value()));
     WearLeveler wear(5);
     Cleaner cleaner(space, mmu, &wear);
 
@@ -61,12 +63,12 @@ TEST(WearLeveler, RotatesWhenSpreadExceedsThreshold)
     for (int i = 0; i < 7; ++i) {
         // Age by erase/refill cycles.
         flash.invalidatePage(
-            {worn, static_cast<std::uint32_t>(
-                       flash.usedSlots(worn) - 1)});
+            {worn, SlotId(static_cast<std::uint32_t>(
+                              flash.usedSlots(worn).value() - 1))});
         flash.eraseSegment(worn);
         flash.appendPage(worn, LogicalPageId(42));
     }
-    mmu.mapToFlash(LogicalPageId(42), {worn, 0});
+    mmu.mapToFlash(LogicalPageId(42), {worn, SlotId(0)});
     EXPECT_GT(wear.spread(space), 5u);
 
     EXPECT_TRUE(wear.maybeRotate(space, cleaner));
@@ -82,7 +84,7 @@ TEST(WearLeveler, RotatesWhenSpreadExceedsThreshold)
     EXPECT_EQ(flash.pageOwner(loc43.flash), LogicalPageId(43));
     // Spread reduced or at least bounded; rotation happened through
     // the reserve, which must be erased again.
-    EXPECT_EQ(flash.usedSlots(space.reserve()), 0u);
+    EXPECT_EQ(flash.usedSlots(space.reserve()), PageCount(0));
 }
 
 TEST(WearLeveler, EndToEndSpreadStaysBounded)

@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""envy-lint: project-specific invariant checks the compiler cannot see.
+
+Rules (suppress one occurrence with `// envy-lint: allow(<rule>) reason`
+on the same line or the line directly above):
+
+  crash-point-unique      every ENVY_CRASH_POINT name is declared at
+                          exactly one site
+  crash-point-registered  every ENVY_CRASH_POINT name used in the code
+                          appears in the canonical inventory in
+                          src/faults/crash_point.cc
+  crash-point-coverage    every function on a mutation path in the
+                          controller, cleaner, wear leveler or
+                          transaction manager declares at least one
+                          crash point
+  panic-prefix            ENVY_PANIC/ENVY_FATAL messages start with a
+                          lowercase "subsystem: " prefix
+  no-raw-alloc            no raw new / malloc family in src/ (the code
+                          models battery-backed SRAM with owned
+                          containers; raw allocations dodge that)
+  typed-id-params         no raw-integer parameters named page/slot/seg
+                          (use LogicalPageId/SlotId/SegmentId)
+
+Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
+internal errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "crash-point-unique",
+    "crash-point-registered",
+    "crash-point-coverage",
+    "panic-prefix",
+    "no-raw-alloc",
+    "typed-id-params",
+)
+
+# Functions that mutate durable state (flash contents or the page
+# table).  A function in a MUTATION_FILES file that calls one of these
+# must declare a crash point, so the crash-point explorer can cut
+# execution inside it.
+MUTATING_CALLS = re.compile(
+    r"\b(appendPage|tryAppendPage|appendShadow|invalidatePage|"
+    r"convertToShadow|eraseSegment|mapToFlash|mapToSram|popTail|"
+    r"commitRotation|beginCleanRecord)\s*\("
+)
+
+MUTATION_FILES = (
+    os.path.join("src", "envy", "controller.cc"),
+    os.path.join("src", "envy", "cleaner.cc"),
+    os.path.join("src", "envy", "wear_leveler.cc"),
+    os.path.join("src", "txn", "shadow.cc"),
+)
+
+CRASH_POINT = re.compile(r'ENVY_CRASH_POINT\(\s*"([^"]+)"\s*\)')
+PANIC_CALL = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*(.)')
+PANIC_PREFIX = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*"[a-z][a-z0-9_-]*: ')
+RAW_ALLOC = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(|\bnew\b")
+TYPED_PARAM = re.compile(
+    r"\b(?:std::)?uint(?:32|64)_t\s+(?:page|slot|seg)\s*[,)]"
+)
+ALLOW = re.compile(r"//\s*envy-lint:\s*allow\(([a-z-]+)\)\s*\S")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, root, relpath):
+        self.relpath = relpath
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self.stripped = strip_comments_and_strings(self.text).splitlines()
+        self.allows = {}  # line number -> set of allowed rules
+        for num, line in enumerate(self.lines, 1):
+            m = ALLOW.search(line)
+            if m:
+                self.allows.setdefault(num, set()).add(m.group(1))
+
+    def allowed(self, rule, line_num):
+        for num in (line_num, line_num - 1):
+            if rule in self.allows.get(num, set()):
+                return True
+        return False
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+
+    def report(self, src, line_num, rule, message):
+        if not src.allowed(rule, line_num):
+            self.findings.append(
+                f"{src.relpath}:{line_num}: [{rule}] {message}")
+
+    def run(self, files):
+        sources = [SourceFile(self.root, f) for f in files]
+        self.check_crash_points(sources)
+        for src in sources:
+            self.check_panic_prefix(src)
+            self.check_raw_alloc(src)
+            self.check_typed_params(src)
+        for relpath in MUTATION_FILES:
+            for src in sources:
+                if src.relpath == relpath:
+                    self.check_coverage(src)
+        return self.findings
+
+    # -- crash points ------------------------------------------------
+
+    def canonical_inventory(self):
+        path = os.path.join(self.root, "src", "faults", "crash_point.cc")
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        return set(re.findall(r'"([a-z]+(?:\.[a-z_]+)+)"', text))
+
+    def check_crash_points(self, sources):
+        inventory = self.canonical_inventory()
+        seen = {}  # name -> (src, line)
+        for src in sources:
+            if src.relpath.endswith(os.path.join("faults",
+                                                 "crash_point.hh")):
+                continue
+            for num, line in enumerate(src.lines, 1):
+                for m in CRASH_POINT.finditer(line):
+                    name = m.group(1)
+                    if name in seen:
+                        first = seen[name]
+                        self.report(
+                            src, num, "crash-point-unique",
+                            f'crash point "{name}" already declared at '
+                            f"{first[0].relpath}:{first[1]}")
+                    else:
+                        seen[name] = (src, num)
+                    if name not in inventory:
+                        self.report(
+                            src, num, "crash-point-registered",
+                            f'crash point "{name}" is missing from the '
+                            "canonical inventory in "
+                            "src/faults/crash_point.cc")
+
+    def check_coverage(self, src):
+        # Walk top-level function bodies: the repo style puts the
+        # opening brace of every function at column zero.
+        depth = 0
+        body_start = None
+        name = "?"
+        for num, line in enumerate(src.stripped, 1):
+            opens = line.count("{")
+            closes = line.count("}")
+            if depth == 0 and opens:
+                body_start = num
+                m = re.match(r"([A-Za-z_][A-Za-z0-9_:]*)\s*\(",
+                             src.stripped[num - 2] if num >= 2 else "")
+                name = m.group(1) if m else "?"
+            depth += opens - closes
+            if depth == 0 and body_start is not None:
+                body = "\n".join(
+                    src.lines[body_start - 1:num])
+                if (MUTATING_CALLS.search(body) and
+                        "ENVY_CRASH_POINT" not in body):
+                    self.report(
+                        src, body_start, "crash-point-coverage",
+                        f"function '{name}' mutates durable state but "
+                        "declares no ENVY_CRASH_POINT")
+                body_start = None
+
+    # -- textual rules -----------------------------------------------
+
+    def check_panic_prefix(self, src):
+        if src.relpath.endswith(os.path.join("common", "logging.hh")):
+            return
+        for num, line in enumerate(src.lines, 1):
+            m = PANIC_CALL.search(line)
+            if not m:
+                continue
+            if m.group(1) != '"':
+                # Message built from a non-literal first argument:
+                # cannot check statically, let it pass.
+                continue
+            if not PANIC_PREFIX.search(line):
+                self.report(
+                    src, num, "panic-prefix",
+                    'panic/fatal message must start with a lowercase '
+                    '"subsystem: " prefix')
+
+    def check_raw_alloc(self, src):
+        for num, line in enumerate(src.stripped, 1):
+            m = RAW_ALLOC.search(line)
+            if m:
+                self.report(
+                    src, num, "no-raw-alloc",
+                    f"raw allocation '{m.group(0).strip()}' — use "
+                    "std::vector / std::unique_ptr")
+
+    def check_typed_params(self, src):
+        for num, line in enumerate(src.stripped, 1):
+            if TYPED_PARAM.search(line):
+                self.report(
+                    src, num, "typed-id-params",
+                    "raw integer parameter named page/slot/seg — use "
+                    "LogicalPageId / SlotId / SegmentId")
+
+
+def source_files(root):
+    files = []
+    for sub in ("src",):
+        for dirpath, _, names in os.walk(os.path.join(root, sub)):
+            for n in sorted(names):
+                if n.endswith((".cc", ".hh", ".cpp", ".hpp")):
+                    files.append(os.path.relpath(
+                        os.path.join(dirpath, n), root))
+    return sorted(files)
+
+
+# -- self test -------------------------------------------------------
+
+BAD_SNIPPET = '''
+void mutate() {
+    flash.appendPage(seg, page);
+}
+void f(std::uint64_t page, std::uint32_t slot) {
+    char *p = (char *)malloc(16);
+    int *q = new int[4];
+    ENVY_PANIC("something went wrong");
+    ENVY_CRASH_POINT("bogus.point.name");
+    ENVY_CRASH_POINT("bogus.point.name");
+}
+'''
+
+SELF_TEST_EXPECT = (
+    "crash-point-unique",
+    "crash-point-registered",
+    "crash-point-coverage",
+    "panic-prefix",
+    "no-raw-alloc",
+    "typed-id-params",
+)
+
+
+def self_test(root):
+    import tempfile
+    import shutil
+    tmp = tempfile.mkdtemp(prefix="envy_lint_selftest.")
+    try:
+        os.makedirs(os.path.join(tmp, "src", "faults"))
+        os.makedirs(os.path.join(tmp, "src", "envy"))
+        os.makedirs(os.path.join(tmp, "src", "txn"))
+        with open(os.path.join(tmp, "src", "faults",
+                               "crash_point.cc"), "w") as f:
+            f.write('"ctl.cow.after_push"\n')
+        with open(os.path.join(tmp, "src", "envy",
+                               "controller.cc"), "w") as f:
+            f.write(BAD_SNIPPET)
+        # Unused mutation files must exist for coverage scanning.
+        for rel in MUTATION_FILES:
+            path = os.path.join(tmp, rel)
+            if not os.path.exists(path):
+                with open(path, "w") as f:
+                    f.write("\n")
+        findings = Linter(tmp).run(source_files(tmp))
+        hit = {rule for rule in SELF_TEST_EXPECT
+               if any(f"[{rule}]" in f for f in findings)}
+        missed = set(SELF_TEST_EXPECT) - hit
+        if missed:
+            print("envy-lint self-test FAILED; rules not triggered:")
+            for rule in sorted(missed):
+                print(f"  {rule}")
+            for f in findings:
+                print(f"  (finding) {f}")
+            return 1
+        print(f"envy-lint self-test OK: all {len(hit)} rules fire on "
+              "the deliberate violations")
+        return 0
+    finally:
+        shutil.rmtree(tmp)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify each rule fires on a deliberate "
+                         "violation, then exit")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return self_test(root)
+
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"envy-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = Linter(root).run(source_files(root))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"envy-lint: {len(findings)} finding(s)")
+        return 1
+    print("envy-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
