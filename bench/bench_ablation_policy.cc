@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/policy_sim.hh"
 #include "envysim/system.hh"
 
@@ -38,132 +39,182 @@ base(PolicyKind kind, const char *loc)
     return p;
 }
 
-void
-fifoVsGreedy()
+/** Run one sim per params entry, in parallel; costs in entry order. */
+std::vector<PolicySimResult>
+runAll(const BenchOptions &opt, std::vector<PolicySimParams> params)
 {
+    std::vector<std::function<PolicySimResult()>> tasks;
+    tasks.reserve(params.size());
+    for (const PolicySimParams &p : params)
+        tasks.push_back([p] { return runPolicySim(p); });
+    return parallelMap<PolicySimResult>(opt.jobs, std::move(tasks));
+}
+
+void
+fifoVsGreedy(const BenchOptions &opt, BenchReport &report)
+{
+    std::vector<const char *> locs = {"50/50", "20/80", "5/95"};
+    if (opt.smoke)
+        locs = {"20/80"};
+    std::vector<PolicySimParams> params;
+    for (const char *loc : locs) {
+        params.push_back(base(PolicyKind::Greedy, loc));
+        params.push_back(base(PolicyKind::Fifo, loc));
+    }
+    const auto results = runAll(opt, std::move(params));
+
     ResultTable t("Ablation 1: FIFO vs greedy victim selection");
     t.setColumns({"locality", "greedy", "fifo"});
-    for (const char *loc : {"50/50", "20/80", "5/95"}) {
-        const auto g = runPolicySim(base(PolicyKind::Greedy, loc));
-        const auto f = runPolicySim(base(PolicyKind::Fifo, loc));
-        t.addRow({loc, ResultTable::num(g.cleaningCost, 2),
-                  ResultTable::num(f.cleaningCost, 2)});
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+        t.addRow({locs[i],
+                  ResultTable::num(results[2 * i].cleaningCost, 2),
+                  ResultTable::num(results[2 * i + 1].cleaningCost,
+                                   2)});
     }
     t.addNote("paper §4.4: FIFO was chosen over greedy inside "
               "partitions because it is simpler and costs the same");
-    t.print();
+    report.add(t);
 }
 
 void
-localityComponents()
+localityComponents(const BenchOptions &opt, BenchReport &report)
 {
+    const auto results =
+        runAll(opt, {base(PolicyKind::Greedy, "10/90"),
+                     base(PolicyKind::LocalityGathering, "10/90"),
+                     base(PolicyKind::Hybrid, "10/90")});
+
     ResultTable t("Ablation 2: what each hybrid ingredient buys "
                   "(cleaning cost at 10/90)");
     t.setColumns({"configuration", "cost"});
-    const auto greedy =
-        runPolicySim(base(PolicyKind::Greedy, "10/90"));
-    const auto lg =
-        runPolicySim(base(PolicyKind::LocalityGathering, "10/90"));
-    const auto hybrid =
-        runPolicySim(base(PolicyKind::Hybrid, "10/90"));
     t.addRow({"greedy (no locality machinery)",
-              ResultTable::num(greedy.cleaningCost, 2)});
+              ResultTable::num(results[0].cleaningCost, 2)});
     t.addRow({"locality gathering (per-segment origins)",
-              ResultTable::num(lg.cleaningCost, 2)});
+              ResultTable::num(results[1].cleaningCost, 2)});
     t.addRow({"hybrid (origins per partition + FIFO inside)",
-              ResultTable::num(hybrid.cleaningCost, 2)});
-    t.print();
+              ResultTable::num(results[2].cleaningCost, 2)});
+    report.add(t);
 }
 
 void
-placement()
+placement(const BenchOptions &opt, BenchReport &report)
 {
+    const PolicySimParams::Placement placements[] = {
+        PolicySimParams::Placement::Sequential,
+        PolicySimParams::Placement::Striped};
+    std::vector<PolicySimParams> params;
+    for (const auto placement : placements) {
+        auto p = base(PolicyKind::LocalityGathering, "10/90");
+        p.placement = placement;
+        params.push_back(p);
+    }
+    const auto results = runAll(opt, std::move(params));
+
     ResultTable t("Ablation 3: initial placement (locality "
                   "gathering, 10/90)");
     t.setColumns({"placement", "cost", "cleans"});
-    for (const auto placement :
-         {PolicySimParams::Placement::Sequential,
-          PolicySimParams::Placement::Striped}) {
-        auto p = base(PolicyKind::LocalityGathering, "10/90");
-        p.placement = placement;
-        const auto r = runPolicySim(p);
-        t.addRow({placement ==
+    for (std::size_t i = 0; i < std::size(placements); ++i) {
+        t.addRow({placements[i] ==
                           PolicySimParams::Placement::Sequential
                       ? "sequential (sorted load)"
                       : "striped (unsorted; gathering from scratch)",
-                  ResultTable::num(r.cleaningCost, 2),
-                  ResultTable::integer(r.cleans)});
+                  ResultTable::num(results[i].cleaningCost, 2),
+                  ResultTable::integer(results[i].cleans)});
     }
     t.addNote("gathering maintains a temperature sort cheaply; "
               "building one from a fully mixed array is slow, which "
               "is why load order matters");
-    t.print();
+    report.add(t);
 }
 
 void
-workloadShift()
+workloadShift(const BenchOptions &opt, BenchReport &report)
 {
-    ResultTable t("Ablation 5: moving hot set (5/95; hot region "
-                  "rotates by the given pages per chunk)");
-    t.setColumns({"shift/chunk", "greedy", "locality gathering",
-                  "hybrid"});
+    std::vector<double> fracs = {0.0, 0.01, 0.05, 0.25};
+    if (opt.smoke)
+        fracs = {0.0, 0.05};
+    const PolicyKind kinds[] = {PolicyKind::Greedy,
+                                PolicyKind::LocalityGathering,
+                                PolicyKind::Hybrid};
     const std::uint64_t pages =
         static_cast<std::uint64_t>(128 * 2048 * 0.8);
-    for (const double frac : {0.0, 0.01, 0.05, 0.25}) {
-        std::vector<std::string> row{
-            frac == 0.0 ? "0 (stationary)"
-                        : ResultTable::percent(frac, 0) +
-                              " of pages"};
-        for (const PolicyKind kind :
-             {PolicyKind::Greedy, PolicyKind::LocalityGathering,
-              PolicyKind::Hybrid}) {
+
+    std::vector<PolicySimParams> params;
+    for (const double frac : fracs) {
+        for (const PolicyKind kind : kinds) {
             auto p = base(kind, "5/95");
             p.shiftPerChunk =
                 static_cast<std::uint64_t>(pages * frac);
             p.measureChunks = 8;
-            const auto r = runPolicySim(p);
-            row.push_back(ResultTable::num(r.cleaningCost, 2));
+            params.push_back(p);
         }
-        t.addRow({row[0], row[1], row[2], row[3]});
+    }
+    const auto results = runAll(opt, std::move(params));
+
+    ResultTable t("Ablation 5: moving hot set (5/95; hot region "
+                  "rotates by the given pages per chunk)");
+    t.setColumns({"shift/chunk", "greedy", "locality gathering",
+                  "hybrid"});
+    std::size_t cell = 0;
+    for (const double frac : fracs) {
+        std::vector<std::string> row{
+            frac == 0.0 ? "0 (stationary)"
+                        : ResultTable::percent(frac, 0) +
+                              " of pages"};
+        for (std::size_t k = 0; k < std::size(kinds); ++k)
+            row.push_back(
+                ResultTable::num(results[cell++].cleaningCost, 2));
+        t.addRow(row);
     }
     t.addNote("the write-rate trackers decay exponentially, so the "
               "locality policies re-learn a drifting hot set instead "
               "of pinning free space to stale regions");
-    t.print();
+    report.add(t);
 }
 
 void
-wearThreshold()
+wearThreshold(const BenchOptions &opt, BenchReport &report)
 {
+    std::vector<std::uint64_t> thresholds = {8, 32, 100, 1ull << 60};
+    if (opt.smoke)
+        thresholds = {100, 1ull << 60};
+    std::vector<PolicySimParams> params;
+    for (const std::uint64_t thr : thresholds) {
+        auto p = base(PolicyKind::LocalityGathering, "5/95");
+        p.wearThreshold = thr;
+        params.push_back(p);
+    }
+    const auto results = runAll(opt, std::move(params));
+
     ResultTable t("Ablation 4: wear-leveling threshold (locality "
                   "gathering, 5/95)");
     t.setColumns({"threshold", "cleaning cost", "wear spread",
                   "rotations"});
-    for (const std::uint64_t thr : {8ull, 32ull, 100ull, 1ull << 60}) {
-        auto p = base(PolicyKind::LocalityGathering, "5/95");
-        p.wearThreshold = thr;
-        const auto r = runPolicySim(p);
-        t.addRow({thr == 1ull << 60 ? "off"
-                                    : ResultTable::integer(thr),
-                  ResultTable::num(r.cleaningCost, 2),
-                  ResultTable::integer(r.wearSpread),
-                  ResultTable::integer(r.wearRotations)});
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        t.addRow({thresholds[i] == 1ull << 60
+                      ? "off"
+                      : ResultTable::integer(thresholds[i]),
+                  ResultTable::num(results[i].cleaningCost, 2),
+                  ResultTable::integer(results[i].wearSpread),
+                  ResultTable::integer(results[i].wearRotations)});
     }
     t.addNote("paper §4.3 swaps data when the spread exceeds 100 "
               "cycles; tighter thresholds level harder for a little "
               "more cleaning work");
-    t.print();
+    report.add(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    fifoVsGreedy();
-    localityComponents();
-    placement();
-    workloadShift();
-    wearThreshold();
-    return 0;
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("ablation_policy", opt);
+    fifoVsGreedy(opt, report);
+    localityComponents(opt, report);
+    placement(opt, report);
+    workloadShift(opt, report);
+    wearThreshold(opt, report);
+    return report.finish();
 }

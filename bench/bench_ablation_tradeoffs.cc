@@ -20,7 +20,10 @@
  *     worth, 16 MB).
  */
 
+#include <functional>
+
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/system.hh"
 #include "workload/tpca.hh"
 
@@ -83,57 +86,88 @@ runShape(std::uint32_t page_size, std::uint32_t buffer_pages,
     return o;
 }
 
-void
-pageSizeSweep()
+std::vector<Outcome>
+runShapes(const BenchOptions &opt,
+          std::vector<std::function<Outcome()>> tasks)
 {
+    return parallelMap<Outcome>(opt.jobs, std::move(tasks));
+}
+
+void
+pageSizeSweep(const BenchOptions &opt, BenchReport &report)
+{
+    std::vector<std::uint32_t> sizes = {64, 128, 256, 512, 1024};
+    if (opt.smoke)
+        sizes = {64, 256};
+    const std::uint64_t txns = opt.smoke ? 8000 : 40000;
+
+    std::vector<std::function<Outcome()>> tasks;
+    for (const std::uint32_t ps : sizes)
+        tasks.push_back([=] { return runShape(ps, 2048, txns); });
+    const std::vector<Outcome> outcomes =
+        runShapes(opt, std::move(tasks));
+
     ResultTable t("Ablation: page size (paper §3.3 chose 256 "
                   "bytes)");
     t.setColumns({"page size", "PT SRAM / GB flash",
                   "flash bytes per written byte",
                   "flushes per txn"});
-    for (const std::uint32_t ps : {64u, 128u, 256u, 512u, 1024u}) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::uint32_t ps = sizes[i];
         // 6-byte entries per page: table bytes per GB of flash.
         const double pt_mb_per_gb =
             (double(GiB) / ps) * 6.0 / double(MiB);
-        const Outcome o = runShape(ps, 2048, 40000);
         t.addRow({ResultTable::integer(ps) + " B",
                   ResultTable::num(pt_mb_per_gb, 1) + " MB",
-                  ResultTable::num(o.amplification, 1),
-                  ResultTable::num(o.flushesPerTxn, 2)});
+                  ResultTable::num(outcomes[i].amplification, 1),
+                  ResultTable::num(outcomes[i].flushesPerTxn, 2)});
     }
     t.addNote("paper: 256 B costs 24 MB of SRAM per GB (~10% of "
               "system cost) while keeping the write amplification "
               "tolerable");
-    t.print();
+    report.add(t);
 }
 
 void
-bufferSizeSweep()
+bufferSizeSweep(const BenchOptions &opt, BenchReport &report)
 {
+    std::vector<std::uint32_t> sizes = {16, 64, 256, 1024, 4096,
+                                        16384};
+    if (opt.smoke)
+        sizes = {16, 1024};
+    const std::uint64_t txns = opt.smoke ? 8000 : 40000;
+
+    std::vector<std::function<Outcome()>> tasks;
+    for (const std::uint32_t pages : sizes)
+        tasks.push_back([=] { return runShape(256, pages, txns); });
+    const std::vector<Outcome> outcomes =
+        runShapes(opt, std::move(tasks));
+
     ResultTable t("Ablation: write-buffer size (paper §3.2/Fig 12 "
                   "chose one segment = 64Ki pages)");
     t.setColumns({"buffer pages", "flushes per txn",
                   "buffer hit rate"});
-    for (const std::uint32_t pages :
-         {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
-        const Outcome o = runShape(256, pages, 40000);
-        t.addRow({ResultTable::integer(pages),
-                  ResultTable::num(o.flushesPerTxn, 2),
-                  ResultTable::percent(o.bufferHitRate, 1)});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        t.addRow({ResultTable::integer(sizes[i]),
+                  ResultTable::num(outcomes[i].flushesPerTxn, 2),
+                  ResultTable::percent(outcomes[i].bufferHitRate,
+                                       1)});
     }
     t.addNote("once the buffer holds the teller/branch working set, "
               "only the uniformly random account page per "
               "transaction still flushes (~1 page/txn, §5.5's "
               "10,376 pages/s at 10 kTPS)");
-    t.print();
+    report.add(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    pageSizeSweep();
-    bufferSizeSweep();
-    return 0;
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("ablation_tradeoffs", opt);
+    pageSizeSweep(opt, report);
+    bufferSizeSweep(opt, report);
+    return report.finish();
 }

@@ -16,7 +16,10 @@
  * off, and checks the measured life against the §5.5 formula.
  */
 
+#include <functional>
+
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/system.hh"
 #include "sim/random.hh"
 
@@ -77,21 +80,29 @@ writeToDeath(bool leveling, std::uint64_t rated_cycles)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("endurance", opt);
+
     const std::uint64_t rated = 512; // cycles before out-of-spec
+
+    // Both runs feed the cross-check table, so fan them out and
+    // collect before building either table.
+    std::vector<std::function<EnduranceResult()>> tasks;
+    for (const bool leveling : {false, true})
+        tasks.push_back([=] { return writeToDeath(leveling, rated); });
+    const std::vector<EnduranceResult> results =
+        parallelMap<EnduranceResult>(opt.jobs, std::move(tasks));
 
     ResultTable t("Endurance: writes until the first chip overruns "
                   "its spec (rated ~512 cycles, all writes to 2% of pages)");
     t.setColumns({"wear leveling", "host writes", "pages flushed",
                   "segment erases", "final wear spread",
                   "cleaning cost"});
-    EnduranceResult results[2];
-    int i = 0;
-    for (const bool leveling : {false, true}) {
-        const EnduranceResult r = writeToDeath(leveling, rated);
-        results[i++] = r;
-        t.addRow({leveling ? "on (threshold 16)" : "off",
+    for (std::size_t i = 0; i < 2; ++i) {
+        const EnduranceResult &r = results[i];
+        t.addRow({i == 1 ? "on (threshold 16)" : "off",
                   ResultTable::integer(r.hostWrites),
                   ResultTable::integer(r.pagesFlushed),
                   ResultTable::integer(r.erases),
@@ -100,7 +111,7 @@ main()
     }
     t.addNote("§2: the failure is an out-of-spec operation; all "
               "data remains readable");
-    t.print();
+    report.add(t);
 
     // §5.5 cross-check: with even wear, life should approach the
     // write-capacity bound.
@@ -124,6 +135,6 @@ main()
                   static_cast<double>(results[1].hostWrites) /
                       static_cast<double>(results[0].hostWrites),
                   1) + "x"});
-    c.print();
-    return 0;
+    report.add(c);
+    return report.finish();
 }

@@ -9,32 +9,49 @@
  * on the saturated throughput ceiling.
  */
 
+#include <functional>
+
 #include "envysim/bank_model.hh"
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/system.hh"
 #include "flash/flash_timing.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("ext_parallel", opt);
+
     const double scale = defaultScale();
     const FlashTiming ft;
+    std::vector<std::uint32_t> pars = {1, 2, 4, 8};
+    if (opt.smoke)
+        pars = {1, 8};
+
+    std::vector<std::function<TimedResult()>> tasks;
+    for (const std::uint32_t par : pars) {
+        tasks.push_back([=] {
+            TimedParams p = paperTimedParams(50000, 0.8, scale);
+            p.parallelOps = par;
+            return runTimedSim(p);
+        });
+    }
+    const std::vector<TimedResult> results =
+        parallelMap<TimedResult>(opt.jobs, std::move(tasks));
 
     ResultTable t("Section 6: concurrent bank operations "
                   "(overloaded at 50,000 TPS, 80% utilization)");
     t.setColumns({"parallel ops", "effective flush time",
                   "completed TPS", "write latency", "idle"});
-
-    for (const std::uint32_t par : {1u, 2u, 4u, 8u}) {
-        TimedParams p = paperTimedParams(50000, 0.8, scale);
-        p.parallelOps = par;
-        const TimedResult r = runTimedSim(p);
-        t.addRow({ResultTable::integer(par),
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+        const TimedResult &r = results[i];
+        t.addRow({ResultTable::integer(pars[i]),
                   ResultTable::num(
-                      static_cast<double>(ft.programTime) / double(par) /
-                          1000.0, 2) +
+                      static_cast<double>(ft.programTime) /
+                          double(pars[i]) / 1000.0, 2) +
                       "us",
                   ResultTable::num(r.completedTps, 0),
                   ResultTable::num(r.writeLatencyNs, 0) + "ns",
@@ -42,10 +59,11 @@ main()
     }
     t.addNote("paper: 4-8 concurrent programs cut the average page "
               "flush from 4us to under 1us");
-    t.print();
+    report.add(t);
 
     // The finer event-driven model: a flush batch over 8 banks with
-    // a shared one-cycle bus, issue depth K.
+    // a shared one-cycle bus, issue depth K.  (Sub-millisecond runs:
+    // not worth fanning out.)
     ResultTable m("Section 6 (bank-level model): effective per-page "
                   "flush time vs issue depth");
     m.setColumns({"issue depth", "per-page time", "bus util",
@@ -64,6 +82,6 @@ main()
     }
     m.addNote("depth is capped by the 8 banks; the bus (100ns per "
               "page) only matters at much higher widths");
-    m.print();
-    return 0;
+    report.add(m);
+    return report.finish();
 }

@@ -13,15 +13,22 @@
  * The paper's recovery story (§3.4) is "switch on and go" — the
  * interesting part is that the cost is dominated by the page-table
  * scan, not by which operation the failure interrupted.
+ *
+ * Every (point, occurrence) case builds its own store and injector
+ * (the crash-point sink is thread-local), so the cases fan out
+ * across --jobs workers; only the aggregation runs serially, in
+ * schedule order.
  */
 
 #include <chrono>
-#include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "envy/envy_store.hh"
+#include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "faults/fault_injector.hh"
 #include "sim/random.hh"
 #include "txn/shadow.hh"
@@ -91,6 +98,44 @@ classOf(const std::string &point)
     return point.substr(0, second);
 }
 
+struct CaseOutcome
+{
+    std::string point;
+    bool crashed = false;
+    double us = 0;
+    RecoveryReport rep;
+};
+
+CaseOutcome
+runCase(const std::string &point, std::uint64_t occ, std::uint64_t ops)
+{
+    CaseOutcome out;
+    out.point = point;
+
+    FaultPlan plan;
+    plan.crashPoint = point;
+    plan.crashOccurrence = occ;
+    FaultInjector inj(plan);
+    inj.arm();
+    EnvyStore store(benchStore());
+    inj.attachFlash(store.flash());
+    try {
+        workload(store, ops);
+    } catch (const PowerLoss &) {
+        out.crashed = true;
+    }
+    inj.disarm();
+    if (!out.crashed)
+        return out;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    out.rep = store.powerFailAndRecover();
+    const auto t1 = std::chrono::steady_clock::now();
+    out.us = std::chrono::duration<double, std::micro>(t1 - t0)
+                 .count();
+    return out;
+}
+
 struct ClassStats
 {
     std::uint64_t cases = 0;
@@ -102,9 +147,11 @@ struct ClassStats
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    constexpr std::uint64_t ops = 300;
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fault_recovery", opt);
+    const std::uint64_t ops = opt.smoke ? 120 : 300;
 
     // Probe: how often does each point fire in this workload?
     std::map<std::string, std::uint64_t> hits;
@@ -118,7 +165,8 @@ main()
         hits = probe.hitCounts();
     }
 
-    std::map<std::string, ClassStats> classes;
+    // One task per scheduled (point, occurrence) case.
+    std::vector<std::function<CaseOutcome()>> tasks;
     for (const auto &[point, count] : hits) {
         // First, middle and last occurrence of every point.
         std::vector<std::uint64_t> occs{1};
@@ -127,66 +175,54 @@ main()
         if (count > 1)
             occs.push_back(count);
         for (const std::uint64_t occ : occs) {
-            FaultPlan plan;
-            plan.crashPoint = point;
-            plan.crashOccurrence = occ;
-            FaultInjector inj(plan);
-            inj.arm();
-            EnvyStore store(benchStore());
-            inj.attachFlash(store.flash());
-            bool crashed = false;
-            try {
-                workload(store, ops);
-            } catch (const PowerLoss &) {
-                crashed = true;
-            }
-            inj.disarm();
-            if (!crashed)
-                continue;
-
-            const auto t0 = std::chrono::steady_clock::now();
-            const RecoveryReport rep = store.powerFailAndRecover();
-            const auto t1 = std::chrono::steady_clock::now();
-            const double us =
-                std::chrono::duration<double, std::micro>(t1 - t0)
-                    .count();
-
-            ClassStats &c = classes[classOf(point)];
-            ++c.cases;
-            c.totalUs += us;
-            c.maxUs = std::max(c.maxUs, us);
-            c.stale += rep.staleFlashReclaimed;
-            c.shadows += rep.shadowsSwept;
-            c.kept += rep.bufferEntriesKept;
-            c.orphans += rep.bufferOrphansDropped;
-            c.cleansResumed += rep.cleanResumed ? 1 : 0;
-            c.wearResumed += rep.wearResumed ? 1 : 0;
+            tasks.push_back([point = point, occ, ops] {
+                return runCase(point, occ, ops);
+            });
         }
     }
+    const std::vector<CaseOutcome> outcomes =
+        parallelMap<CaseOutcome>(opt.jobs, std::move(tasks));
 
-    std::printf("# Recovery cost by crash-point class\n");
-    std::printf("# store: 8 segments x 128 pages x 64 B, %llu-op "
-                "churn/txn workload\n\n",
-                static_cast<unsigned long long>(ops));
-    std::printf("%-18s %5s %9s %9s %7s %8s %6s %7s %6s %5s\n",
-                "class", "cases", "mean_us", "max_us", "stale",
-                "shadows", "kept", "orphans", "clean", "wear");
-    for (const auto &[name, c] : classes) {
-        std::printf(
-            "%-18s %5llu %9.1f %9.1f %7.1f %8.2f %6.1f %7.2f "
-            "%6llu %5llu\n",
-            name.c_str(), static_cast<unsigned long long>(c.cases),
-            c.totalUs / static_cast<double>(c.cases), c.maxUs,
-            static_cast<double>(c.stale) /
-                static_cast<double>(c.cases),
-            static_cast<double>(c.shadows) /
-                static_cast<double>(c.cases),
-            static_cast<double>(c.kept) /
-                static_cast<double>(c.cases),
-            static_cast<double>(c.orphans) /
-                static_cast<double>(c.cases),
-            static_cast<unsigned long long>(c.cleansResumed),
-            static_cast<unsigned long long>(c.wearResumed));
+    std::map<std::string, ClassStats> classes;
+    for (const CaseOutcome &out : outcomes) {
+        if (!out.crashed)
+            continue;
+        ClassStats &c = classes[classOf(out.point)];
+        ++c.cases;
+        c.totalUs += out.us;
+        c.maxUs = std::max(c.maxUs, out.us);
+        c.stale += out.rep.staleFlashReclaimed;
+        c.shadows += out.rep.shadowsSwept;
+        c.kept += out.rep.bufferEntriesKept;
+        c.orphans += out.rep.bufferOrphansDropped;
+        c.cleansResumed += out.rep.cleanResumed ? 1 : 0;
+        c.wearResumed += out.rep.wearResumed ? 1 : 0;
     }
-    return 0;
+
+    ResultTable t("Recovery cost by crash-point class (8 segments x "
+                  "128 pages x 64 B, " +
+                  ResultTable::integer(ops) +
+                  "-op churn/txn workload)");
+    t.setColumns({"class", "cases", "mean_us", "max_us", "stale",
+                  "shadows", "kept", "orphans", "clean", "wear"});
+    for (const auto &[name, c] : classes) {
+        const double cases = static_cast<double>(c.cases);
+        t.addRow({name, ResultTable::integer(c.cases),
+                  ResultTable::num(c.totalUs / cases, 1),
+                  ResultTable::num(c.maxUs, 1),
+                  ResultTable::num(
+                      static_cast<double>(c.stale) / cases, 1),
+                  ResultTable::num(
+                      static_cast<double>(c.shadows) / cases, 2),
+                  ResultTable::num(
+                      static_cast<double>(c.kept) / cases, 1),
+                  ResultTable::num(
+                      static_cast<double>(c.orphans) / cases, 2),
+                  ResultTable::integer(c.cleansResumed),
+                  ResultTable::integer(c.wearResumed)});
+    }
+    t.addNote("mean_us/max_us are host wall-clock and vary run to "
+              "run; the repair-work columns are deterministic");
+    report.add(t);
+    return report.finish();
 }

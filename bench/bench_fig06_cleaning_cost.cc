@@ -13,39 +13,54 @@
 #include <cstdlib>
 
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/policy_sim.hh"
 #include "envysim/system.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fig06_cleaning_cost", opt);
+
     const bool full = fullScaleRequested();
+    std::vector<double> utils = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                 0.6, 0.7, 0.8, 0.9, 0.95};
+    if (opt.smoke)
+        utils = {0.3, 0.8};
 
     ResultTable t("Figure 6: Cleaning Costs for Various Flash "
                   "Utilizations");
     t.setColumns({"utilization", "analytic u/(1-u)",
                   "measured (uniform, locality gathering)"});
 
-    for (const double u : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
-                           0.9, 0.95}) {
-        PolicySimParams p;
-        p.numSegments = 128;
-        p.pagesPerSegment = full ? 65536 : 2048;
-        p.utilization = u;
-        p.policy = PolicyKind::LocalityGathering;
-        p.locality = LocalitySpec{0.5, 0.5}; // uniform
-        p.warmupChunks = full ? 8 : 4;
-        p.measureChunks = 2;
+    SweepRunner sweep(opt.jobs);
+    for (const double u : utils) {
+        sweep.defer([=] {
+            PolicySimParams p;
+            p.numSegments = 128;
+            p.pagesPerSegment = full ? 65536 : 2048;
+            p.utilization = u;
+            p.policy = PolicyKind::LocalityGathering;
+            p.locality = LocalitySpec{0.5, 0.5}; // uniform
+            p.warmupChunks = full ? 8 : 4;
+            p.measureChunks = 2;
+            const PolicySimResult r = runPolicySim(p);
+            return ResultTable::num(r.cleaningCost, 2);
+        });
+    }
+    const std::vector<std::string> cells = sweep.run();
 
-        const PolicySimResult r = runPolicySim(p);
+    constexpr double segs = 128;
+    std::size_t cell = 0;
+    for (const double u : utils) {
         // Data segments run at u * N/(N-1) (one segment is reserve).
-        const double u_eff = u * p.numSegments /
-                             (p.numSegments - 1.0);
+        const double u_eff = u * segs / (segs - 1.0);
         t.addRow({ResultTable::percent(u, 0),
                   ResultTable::num(u_eff / (1.0 - u_eff), 2),
-                  ResultTable::num(r.cleaningCost, 2)});
+                  cells[cell++]});
     }
     t.addNote("paper: cost 4 at 80%; \"after about 80% utilization "
               "the cleaning cost quickly reaches unreasonable "
@@ -53,6 +68,6 @@ main()
     if (!full)
         t.addNote("quick scale (2048 pages/segment); set "
                   "ENVY_SCALE=full for paper-size segments");
-    t.print();
-    return 0;
+    report.add(t);
+    return report.finish();
 }

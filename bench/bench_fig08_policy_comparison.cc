@@ -13,39 +13,52 @@
  */
 
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/policy_sim.hh"
 #include "envysim/system.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fig08_policy_comparison", opt);
+
     const bool full = fullScaleRequested();
-    const char *localities[] = {"50/50", "40/60", "30/70",
-                                "20/80", "10/90", "5/95"};
+    std::vector<const char *> localities = {"50/50", "40/60", "30/70",
+                                            "20/80", "10/90", "5/95"};
+    if (opt.smoke)
+        localities = {"50/50", "10/90"};
+    const PolicyKind kinds[3] = {PolicyKind::Greedy,
+                                 PolicyKind::LocalityGathering,
+                                 PolicyKind::Hybrid};
+
+    SweepRunner sweep(opt.jobs);
+    for (const char *loc : localities) {
+        for (const PolicyKind kind : kinds) {
+            sweep.defer([=] {
+                PolicySimParams p;
+                p.numSegments = 128;
+                p.pagesPerSegment = full ? 16384 : 4096;
+                p.policy = kind;
+                p.partitionSize = 16;
+                p.locality = LocalitySpec::parse(loc);
+                const PolicySimResult r = runPolicySim(p);
+                return ResultTable::num(r.cleaningCost, 2);
+            });
+        }
+    }
+    const std::vector<std::string> cells = sweep.run();
 
     ResultTable t("Figure 8: Comparison of Cleaning Algorithms "
                   "(128 segments, 80% utilization)");
     t.setColumns({"locality", "greedy", "locality gathering",
                   "hybrid (16/partition)"});
-
+    std::size_t cell = 0;
     for (const char *loc : localities) {
-        std::string row[3];
-        const PolicyKind kinds[3] = {PolicyKind::Greedy,
-                                     PolicyKind::LocalityGathering,
-                                     PolicyKind::Hybrid};
-        for (int i = 0; i < 3; ++i) {
-            PolicySimParams p;
-            p.numSegments = 128;
-            p.pagesPerSegment = full ? 16384 : 4096;
-            p.policy = kinds[i];
-            p.partitionSize = 16;
-            p.locality = LocalitySpec::parse(loc);
-            const PolicySimResult r = runPolicySim(p);
-            row[i] = ResultTable::num(r.cleaningCost, 2);
-        }
-        t.addRow({loc, row[0], row[1], row[2]});
+        t.addRow({loc, cells[cell], cells[cell + 1], cells[cell + 2]});
+        cell += 3;
     }
     t.addNote("paper's qualitative claims: greedy rises with "
               "locality; locality gathering flat at 4 until ~30/70 "
@@ -54,6 +67,6 @@ main()
     if (!full)
         t.addNote("quick scale (4096 pages/segment); "
                   "ENVY_SCALE=full uses 16384");
-    t.print();
-    return 0;
+    report.add(t);
+    return report.finish();
 }

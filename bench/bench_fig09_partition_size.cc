@@ -12,40 +12,55 @@
  */
 
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/policy_sim.hh"
 #include "envysim/system.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fig09_partition_size", opt);
+
     const bool full = fullScaleRequested();
-    const std::uint32_t sizes[] = {1, 2, 4, 8, 16, 32, 64, 128};
+    std::vector<std::uint32_t> sizes = {1, 2, 4, 8, 16, 32, 64, 128};
+    if (opt.smoke)
+        sizes = {1, 16, 128};
     const char *localities[] = {"50/50", "30/70", "20/80", "10/90",
                                 "5/95"};
+
+    SweepRunner sweep(opt.jobs);
+    for (const std::uint32_t size : sizes) {
+        for (const char *loc : localities) {
+            sweep.defer([=] {
+                PolicySimParams p;
+                p.numSegments = 128;
+                p.pagesPerSegment = full ? 8192 : 2048;
+                p.policy = PolicyKind::Hybrid;
+                p.partitionSize = size;
+                p.locality = LocalitySpec::parse(loc);
+                const PolicySimResult r = runPolicySim(p);
+                return ResultTable::num(r.cleaningCost, 2);
+            });
+        }
+    }
+    const std::vector<std::string> cells = sweep.run();
 
     ResultTable t("Figure 9: Cleaning Costs vs Partition Size "
                   "(hybrid, 128 segments, 80% utilization)");
     t.setColumns({"segments/partition", "50/50", "30/70", "20/80",
                   "10/90", "5/95"});
-
+    std::size_t cell = 0;
     for (const std::uint32_t size : sizes) {
         std::vector<std::string> row{ResultTable::integer(size)};
-        for (const char *loc : localities) {
-            PolicySimParams p;
-            p.numSegments = 128;
-            p.pagesPerSegment = full ? 8192 : 2048;
-            p.policy = PolicyKind::Hybrid;
-            p.partitionSize = size;
-            p.locality = LocalitySpec::parse(loc);
-            const PolicySimResult r = runPolicySim(p);
-            row.push_back(ResultTable::num(r.cleaningCost, 2));
-        }
-        t.addRow({row[0], row[1], row[2], row[3], row[4], row[5]});
+        for (std::size_t l = 0; l < std::size(localities); ++l)
+            row.push_back(cells[cell++]);
+        t.addRow(row);
     }
     t.addNote("paper: \"the lowest overall cleaning cost occurs "
               "with a partition size of 16\"");
-    t.print();
-    return 0;
+    report.add(t);
+    return report.finish();
 }

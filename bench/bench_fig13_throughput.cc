@@ -9,17 +9,37 @@
  * erasing.
  */
 
+#include <functional>
+
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/system.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fig13_throughput", opt);
+
     const double scale = defaultScale();
-    const double rates[] = {5000,  10000, 15000, 20000, 25000,
-                            30000, 35000, 40000, 50000};
+    std::vector<double> rates = {5000,  10000, 15000, 20000, 25000,
+                                 30000, 35000, 40000, 50000};
+    if (opt.smoke)
+        rates = {5000, 30000};
+
+    // The knee detection below walks the results in rate order, so
+    // the sweep returns structured results rather than cell strings.
+    std::vector<std::function<TimedResult()>> tasks;
+    for (const double rate : rates) {
+        tasks.push_back([=] {
+            TimedParams p = paperTimedParams(rate, 0.8, scale);
+            return runTimedSim(p);
+        });
+    }
+    const std::vector<TimedResult> results =
+        parallelMap<TimedResult>(opt.jobs, std::move(tasks));
 
     ResultTable t("Figure 13: Throughput for Increasing Request "
                   "Rates (TPC-A)");
@@ -28,11 +48,10 @@ main()
 
     TimedResult peak;
     bool have_knee = false;
-    for (const double rate : rates) {
-        TimedParams p = paperTimedParams(rate, 0.8, scale);
-        const TimedResult r = runTimedSim(p);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const TimedResult &r = results[i];
         t.addRow({ResultTable::integer(
-                      static_cast<std::uint64_t>(rate)),
+                      static_cast<std::uint64_t>(rates[i])),
                   ResultTable::num(r.completedTps, 0),
                   ResultTable::num(r.flushPagesPerSec, 0),
                   ResultTable::num(r.cleaningCost, 2),
@@ -50,7 +69,7 @@ main()
         t.addNote("quick scale (" +
                   ResultTable::num(scale * 2, 2) +
                   " GB array); ENVY_SCALE=full for the 2 GB system");
-    t.print();
+    report.add(t);
 
     ResultTable b("Section 5.3: controller busy breakdown at peak "
                   "load, 80% utilization");
@@ -74,6 +93,6 @@ main()
             : 0.0;
     b.addRow({"SRAM-only speedup bound", "~2.5x",
               ResultTable::num(speedup, 1) + "x"});
-    b.print();
-    return 0;
+    report.add(b);
+    return report.finish();
 }

@@ -8,38 +8,53 @@
  */
 
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/system.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fig14_utilization", opt);
+
     const double scale = defaultScale();
-    const double utils[] = {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95};
+    std::vector<double> utils = {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95};
+    if (opt.smoke)
+        utils = {0.5, 0.8};
     const double rates[] = {10000, 20000, 30000, 40000};
+
+    SweepRunner sweep(opt.jobs);
+    for (const double u : utils) {
+        for (const double rate : rates) {
+            sweep.defer([=] {
+                TimedParams p = paperTimedParams(rate, u, scale);
+                // The workload rescales with the store: "the database
+                // can be scaled to fit any storage system".
+                const TimedResult r = runTimedSim(p);
+                return ResultTable::num(r.completedTps, 0);
+            });
+        }
+    }
+    const std::vector<std::string> cells = sweep.run();
 
     ResultTable t("Figure 14: Throughput for Various Levels of "
                   "Utilization (completed TPS)");
     t.setColumns({"utilization", "10,000 TPS", "20,000 TPS",
                   "30,000 TPS", "40,000 TPS"});
-
+    std::size_t cell = 0;
     for (const double u : utils) {
         std::vector<std::string> row{ResultTable::percent(u, 0)};
-        for (const double rate : rates) {
-            TimedParams p = paperTimedParams(rate, u, scale);
-            // The workload rescales with the store: "the database
-            // can be scaled to fit any storage system".
-            const TimedResult r = runTimedSim(p);
-            row.push_back(ResultTable::num(r.completedTps, 0));
-        }
-        t.addRow({row[0], row[1], row[2], row[3], row[4]});
+        for (std::size_t r = 0; r < std::size(rates); ++r)
+            row.push_back(cells[cell++]);
+        t.addRow(row);
     }
     t.addNote("paper: \"after about 80% utilization, performance "
               "drops off steeply\"");
     if (scale < 1.0)
         t.addNote("quick scale; ENVY_SCALE=full for the 2 GB "
                   "system");
-    t.print();
-    return 0;
+    report.add(t);
+    return report.finish();
 }

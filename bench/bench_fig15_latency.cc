@@ -10,28 +10,44 @@
  * to operation suspension.
  */
 
+#include <functional>
+
 #include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
 #include "envysim/system.hh"
 
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("fig15_latency", opt);
+
     const double scale = defaultScale();
-    const double rates[] = {5000,  10000, 15000, 20000, 25000,
-                            30000, 35000, 40000, 50000};
+    std::vector<double> rates = {5000,  10000, 15000, 20000, 25000,
+                                 30000, 35000, 40000, 50000};
+    if (opt.smoke)
+        rates = {5000, 40000};
+
+    std::vector<std::function<TimedResult()>> tasks;
+    for (const double rate : rates) {
+        tasks.push_back([=] {
+            TimedParams p = paperTimedParams(rate, 0.8, scale);
+            return runTimedSim(p);
+        });
+    }
+    const std::vector<TimedResult> results =
+        parallelMap<TimedResult>(opt.jobs, std::move(tasks));
 
     ResultTable t("Figure 15: I/O Latency for Increasing Request "
                   "Rates");
     t.setColumns({"request rate (TPS)", "read latency",
                   "write latency", "write p99", "stalled writes"});
-
-    for (const double rate : rates) {
-        TimedParams p = paperTimedParams(rate, 0.8, scale);
-        const TimedResult r = runTimedSim(p);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const TimedResult &r = results[i];
         t.addRow({ResultTable::integer(
-                      static_cast<std::uint64_t>(rate)),
+                      static_cast<std::uint64_t>(rates[i])),
                   ResultTable::num(r.readLatencyNs, 0) + "ns",
                   ResultTable::num(r.writeLatencyNs, 0) + "ns",
                   ResultTable::num(r.writeLatencyP99Ns, 0) + "ns",
@@ -43,6 +59,6 @@ main()
     if (scale < 1.0)
         t.addNote("quick scale; ENVY_SCALE=full for the 2 GB "
                   "system");
-    t.print();
-    return 0;
+    report.add(t);
+    return report.finish();
 }

@@ -21,11 +21,16 @@
 using namespace envy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("lifetime", opt);
+
     const double scale = defaultScale();
     TimedParams p = paperTimedParams(10000, 0.8, scale);
     p.warmupSeconds *= 2; // steadier cleaning-cost estimate
+    if (opt.smoke)
+        p.warmupSeconds /= 4;
     const TimedResult r = runTimedSim(p);
 
     // The measured flush rate scales with the workload, but the
@@ -62,6 +67,6 @@ main()
         t.addNote("measured on the scaled-down array; flush rate "
                   "per TPS matches the 2 GB system (the account "
                   "working set dwarfs the buffer either way)");
-    t.print();
-    return 0;
+    report.add(t);
+    return report.finish();
 }

@@ -19,7 +19,7 @@ namespace {
 
 /** Paper Figure 1 (1994 values, reproduced verbatim as constants). */
 void
-figure1()
+figure1(BenchReport &report)
 {
     ResultTable t("Figure 1: Feature Comparison of Storage "
                   "Technologies (1994 values)");
@@ -30,7 +30,7 @@ figure1()
     t.addRow({"retention current/GB", "0A", "1A", "2mA", "0A"});
     t.addNote("historic prices quoted from the paper; used only for "
               "the cost ratios in section 5.1");
-    t.print();
+    report.add(t);
 
     // The paper's cost arithmetic (§3.3, §5.1) from these numbers.
     ResultTable c("Derived cost figures (paper section 3.3 / 5.1)");
@@ -51,12 +51,12 @@ figure1()
     c.addRow({"pure SRAM system of same size", "~$250,000",
               "$" + ResultTable::integer(static_cast<std::uint64_t>(
                         120.0 * (asDouble(g.flashBytes()) / double(MiB))))});
-    c.print();
+    report.add(c);
 }
 
 /** Paper Figure 12: simulation parameters actually in force. */
 void
-figure12()
+figure12(BenchReport &report)
 {
     const Geometry g = Geometry::paperSystem();
     const FlashTiming ft;
@@ -93,7 +93,7 @@ figure12()
     row("page table SRAM", "48 MBytes",
         ResultTable::integer(g.pageTableBytes().value() / MiB) +
         " MiB");
-    t.print();
+    report.add(t);
 
     const TpcaConfig tpc =
         TpcaConfig::forStoreBytes(g.logicalBytes().value());
@@ -111,15 +111,17 @@ figure12()
     tp.addRow({"account records / index levels", "15.5 million / 5",
                ResultTable::integer(tpc.numAccounts) + " / " +
                    ResultTable::integer(w.accountLevels())});
-    tp.print();
+    report.add(tp);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    figure1();
-    figure12();
-    return 0;
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("tables", opt);
+    figure1(report);
+    figure12(report);
+    return report.finish();
 }

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Run every bench harness and collect their JSON reports.
+#
+#   bench/run_all.sh [--smoke] [--json DIR] [--jobs N] [--build DIR]
+#
+#   --smoke      pass --smoke to every bench (reduced sweeps, for CI)
+#   --json DIR   write one <bench>.json per harness into DIR
+#                (default: no JSON, console tables only)
+#   --jobs N     worker threads per bench (default: each bench's own
+#                default, i.e. ENVY_JOBS or hardware concurrency)
+#   --build DIR  build tree holding the bench binaries
+#                (default: ./build)
+#
+# Exit status is nonzero if any bench fails.  bench_micro_ops (google
+# benchmark, its own CLI) is excluded; run it directly.
+
+set -eu
+
+smoke=""
+json_dir=""
+jobs=""
+build="build"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) smoke="--smoke" ;;
+        --json) json_dir="$2"; shift ;;
+        --jobs) jobs="$2"; shift ;;
+        --build) build="$2"; shift ;;
+        *) echo "run_all.sh: unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+benches="
+bench_tables
+bench_fig06_cleaning_cost
+bench_fig08_policy_comparison
+bench_fig09_partition_size
+bench_fig10_segment_count
+bench_fig13_throughput
+bench_fig14_utilization
+bench_fig15_latency
+bench_lifetime
+bench_ext_parallel
+bench_ablation_policy
+bench_ablation_tradeoffs
+bench_endurance
+bench_fault_recovery
+"
+
+[ -n "$json_dir" ] && mkdir -p "$json_dir"
+
+status=0
+for b in $benches; do
+    bin="$build/bench/$b"
+    if [ ! -x "$bin" ]; then
+        echo "run_all.sh: missing $bin (build the tree first)" >&2
+        status=1
+        continue
+    fi
+    echo "### $b"
+    set -- $smoke
+    [ -n "$jobs" ] && set -- "$@" --jobs "$jobs"
+    [ -n "$json_dir" ] && set -- "$@" --json "$json_dir/${b#bench_}.json"
+    if ! "$bin" "$@"; then
+        echo "run_all.sh: $b FAILED" >&2
+        status=1
+    fi
+    echo
+done
+exit $status

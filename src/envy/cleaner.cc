@@ -16,9 +16,10 @@ Cleaner::Cleaner(SegmentSpace &space, Mmu &mmu,
                         "wear-leveling data rotations"),
       space_(space),
       mmu_(mmu),
-      wearLeveler_(wear_leveler)
+      wearLeveler_(wear_leveler),
+      copyData_(space.flash().storesData())
 {
-    if (space_.flash().storesData())
+    if (copyData_)
         scratch_.resize(space_.flash().geom().pageSize);
 }
 
@@ -28,7 +29,7 @@ Cleaner::relocate(SegmentId src_phys, SlotId slot,
 {
     FlashArray &flash = space_.flash();
     const FlashPageAddr src{src_phys, slot};
-    if (flash.storesData())
+    if (copyData_)
         flash.readPage(src, scratch_);
     const FlashPageAddr dst =
         flash.appendPage(dst_phys, logical, scratch_);
@@ -53,7 +54,7 @@ Cleaner::moveShadows(SegmentId src, SegmentId dst)
     });
     for (const SlotId slot : shadows) {
         const FlashPageAddr from{src, slot};
-        if (flash.storesData())
+        if (copyData_)
             flash.readPage(from, scratch_);
         const FlashPageAddr to = flash.appendShadow(dst, scratch_);
         ENVY_CRASH_POINT("cleaner.shadow.after_program");

@@ -111,6 +111,9 @@ class Cleaner : public StatGroup
     SegmentSpace &space_;
     Mmu &mmu_;
     WearLeveler *wearLeveler_;
+    /** Cached storesData() so metadata-only runs skip the dead
+     *  read/copy path without re-asking the array per page. */
+    bool copyData_;
     std::vector<std::uint8_t> scratch_;
     Tick busyTime_ = 0;
 };

@@ -11,15 +11,10 @@ GreedyPolicy::attach(SegmentSpace &space, Cleaner &cleaner)
 {
     space_ = &space;
     cleaner_ = &cleaner;
-    // Start filling the segment with the most room.
-    active_ = 0;
-    PageCount best;
-    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
-        if (space.freeSlots(l) > best) {
-            best = space.freeSlots(l);
-            active_ = l;
-        }
-    }
+    // Start filling the segment with the most room.  The index keeps
+    // the historical scan's tie-break (first index wins; segment 0
+    // when the whole array is full).
+    active_ = space.roomiestLogical();
 }
 
 std::uint32_t
@@ -31,16 +26,8 @@ GreedyPolicy::flushDestination(std::uint64_t origin_tag)
 
     // A fresh (never filled) segment with room is cheaper than any
     // clean; steady state never has one.
-    std::uint32_t roomiest = active_;
-    PageCount best;
-    for (std::uint32_t l = 0; l < space_->numLogical(); ++l) {
-        if (space_->freeSlots(l) > best) {
-            best = space_->freeSlots(l);
-            roomiest = l;
-        }
-    }
-    if (best > PageCount(0)) {
-        active_ = roomiest;
+    if (space_->maxFreeSlots() > PageCount(0)) {
+        active_ = space_->roomiestLogical();
         return active_;
     }
 
@@ -58,16 +45,10 @@ GreedyPolicy::flushDestination(std::uint64_t origin_tag)
 std::uint32_t
 GreedyPolicy::pickVictim()
 {
-    std::uint32_t victim = 0;
-    PageCount best;
-    for (std::uint32_t l = 0; l < space_->numLogical(); ++l) {
-        const PageCount inv = space_->invalidCount(l);
-        if (inv >= best) {
-            best = inv;
-            victim = l;
-        }
-    }
-    return victim;
+    // Most invalidated wins; the index keeps the historical scan's
+    // tie-break (last index wins; the last segment when nothing is
+    // invalid anywhere).
+    return space_->mostInvalidLogical();
 }
 
 std::uint64_t

@@ -47,10 +47,8 @@ HybridPolicy::segsIn(std::uint32_t part) const
 std::uint64_t
 HybridPolicy::partitionLive(std::uint32_t part) const
 {
-    std::uint64_t live = 0;
-    for (std::uint32_t i = 0; i < segsIn(part); ++i)
-        live += space_->liveCount(firstSeg(part) + i).value();
-    return live;
+    const std::uint32_t first = firstSeg(part);
+    return space_->liveInRange(first, first + segsIn(part)).value();
 }
 
 std::uint64_t
@@ -63,10 +61,8 @@ HybridPolicy::partitionCapacity(std::uint32_t part) const
 std::uint64_t
 HybridPolicy::partitionFree(std::uint32_t part) const
 {
-    std::uint64_t room = 0;
-    for (std::uint32_t i = 0; i < segsIn(part); ++i)
-        room += space_->freeSlots(firstSeg(part) + i).value();
-    return room;
+    const std::uint32_t first = firstSeg(part);
+    return space_->freeInRange(first, first + segsIn(part)).value();
 }
 
 std::uint32_t
@@ -74,11 +70,11 @@ HybridPolicy::divertTarget(std::uint32_t part) const
 {
     if (space_->freeSlots(active_[part]) > PageCount(0))
         return active_[part];
-    for (std::uint32_t i = 0; i < segsIn(part); ++i) {
-        const std::uint32_t log_seg = firstSeg(part) + i;
-        if (space_->freeSlots(log_seg) > PageCount(0))
-            return log_seg;
-    }
+    const std::uint32_t first = firstSeg(part);
+    const std::uint32_t log_seg =
+        space_->firstWithFreeInRange(first, first + segsIn(part));
+    if (log_seg != SegmentSpace::noLogical)
+        return log_seg;
     return active_[part]; // full; the cleaner will keep the page
 }
 
@@ -102,12 +98,12 @@ HybridPolicy::flushDestination(std::uint64_t origin_tag)
 
     // A not-yet-filled segment in the partition (fresh array) is
     // cheaper than cleaning.
-    for (std::uint32_t i = 0; i < segsIn(part); ++i) {
-        const std::uint32_t log_seg = firstSeg(part) + i;
-        if (space_->freeSlots(log_seg) > PageCount(0)) {
-            active_[part] = log_seg;
-            return log_seg;
-        }
+    const std::uint32_t first = firstSeg(part);
+    const std::uint32_t end = first + segsIn(part);
+    std::uint32_t open = space_->firstWithFreeInRange(first, end);
+    if (open != SegmentSpace::noLogical) {
+        active_[part] = open;
+        return open;
     }
 
     const std::uint32_t victim = cleanNext(part);
@@ -115,12 +111,10 @@ HybridPolicy::flushDestination(std::uint64_t origin_tag)
     if (space_->freeSlots(victim) == PageCount(0)) {
         // The forced shed may have parked the room elsewhere in the
         // partition; find it.
-        for (std::uint32_t i = 0; i < segsIn(part); ++i) {
-            const std::uint32_t log_seg = firstSeg(part) + i;
-            if (space_->freeSlots(log_seg) > PageCount(0)) {
-                active_[part] = log_seg;
-                return log_seg;
-            }
+        open = space_->firstWithFreeInRange(first, end);
+        if (open != SegmentSpace::noLogical) {
+            active_[part] = open;
+            return open;
         }
         ENVY_PANIC("policy: clean of segment ", victim,
                    " left partition ", part, " with no room");

@@ -64,9 +64,10 @@ LocalityGatheringPolicy::targetLive(std::uint32_t log_seg) const
         sum_sqrt += std::sqrt(writes_[i]);
 
     const double total_pages = cap * n;
-    double total_live = 0.0;
-    for (std::uint32_t i = 0; i < n; ++i)
-        total_live += asDouble(space_->liveCount(i));
+    // Exact integer sum via the space's Fenwick index: identical to
+    // accumulating the per-segment doubles (each count fits a double
+    // exactly), without the O(n) walk per flush.
+    const double total_live = asDouble(space_->liveInRange(0, n));
     const double total_free = total_pages - total_live;
 
     return cachedTarget(log_seg, sum_sqrt, total_free);
@@ -96,11 +97,10 @@ LocalityGatheringPolicy::planRedistribution(std::uint32_t log_seg)
     shedColdDest_ = shedHotDest_ = log_seg;
 
     // Shared allocator inputs, computed once per clean.
-    double sum_sqrt = 0.0, total_live = 0.0;
-    for (std::uint32_t i = 0; i < n; ++i) {
+    double sum_sqrt = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i)
         sum_sqrt += std::sqrt(writes_[i]);
-        total_live += asDouble(space_->liveCount(i));
-    }
+    const double total_live = asDouble(space_->liveInRange(0, n));
     const double total_free = cap * n - total_live;
 
     const double max_shift = cap * maxShiftFraction;
@@ -188,14 +188,9 @@ std::uint32_t
 LocalityGatheringPolicy::findRoom(std::uint32_t log_seg, int dir) const
 {
     // Nearest segment in direction dir with a spare slot beyond the
-    // one its own flush traffic needs.
-    std::int64_t s = std::int64_t(log_seg) + dir;
-    while (s >= 0 && s < std::int64_t(space_->numLogical())) {
-        if (space_->freeSlots(static_cast<std::uint32_t>(s)).value() > 1)
-            return static_cast<std::uint32_t>(s);
-        s += dir;
-    }
-    return log_seg; // nowhere in that direction
+    // one its own flush traffic needs (log_seg itself when there is
+    // none in that direction).
+    return space_->nearestWithSpareFree(log_seg, dir);
 }
 
 std::uint32_t

@@ -1,5 +1,7 @@
 #include "envy/segment_space.hh"
 
+#include <iterator>
+
 #include "common/logging.hh"
 
 namespace envy {
@@ -29,6 +31,166 @@ SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base)
     persistAll();
     clearCleanRecord();
     clearWearRecord();
+
+    rebuildIndexes();
+    installHook();
+}
+
+SegmentSpace::~SegmentSpace()
+{
+    flash_.segmentChangedHook = nullptr;
+}
+
+void
+SegmentSpace::installHook()
+{
+    flash_.segmentChangedHook = [this](SegmentId phys) {
+        const std::uint32_t logical = logOf_[phys.value()];
+        if (logical != noLogical)
+            refreshIndex(logical);
+        // Changes to the reserve (cleaning appends) are picked up by
+        // the explicit refresh in commitClean/rotateForWear once the
+        // segment gains a logical identity.
+    };
+}
+
+void
+SegmentSpace::bitAdd(std::vector<std::int64_t> &bit, std::uint32_t i,
+                     std::int64_t delta)
+{
+    for (std::uint32_t k = i + 1; k <= numLogical_; k += k & (~k + 1))
+        bit[k] += delta;
+}
+
+std::int64_t
+SegmentSpace::bitPrefix(const std::vector<std::int64_t> &bit,
+                        std::uint32_t n) const
+{
+    std::int64_t sum = 0;
+    for (std::uint32_t k = n; k > 0; k -= k & (~k + 1))
+        sum += bit[k];
+    return sum;
+}
+
+void
+SegmentSpace::rebuildIndexes()
+{
+    freeOf_.assign(numLogical_, 0);
+    invalidOf_.assign(numLogical_, 0);
+    liveOf_.assign(numLogical_, 0);
+    byFree_.clear();
+    byInvalid_.clear();
+    freeBit_.assign(std::size_t{numLogical_} + 1, 0);
+    liveBit_.assign(std::size_t{numLogical_} + 1, 0);
+    freePos_.clear();
+    free2Pos_.clear();
+    for (std::uint32_t l = 0; l < numLogical_; ++l) {
+        byFree_.insert({0, l});
+        byInvalid_.insert({0, l});
+    }
+    for (std::uint32_t l = 0; l < numLogical_; ++l)
+        refreshIndex(l);
+}
+
+void
+SegmentSpace::refreshIndex(std::uint32_t logical)
+{
+    const SegmentId phys = physOf_[logical];
+    const std::uint64_t free = flash_.freeSlots(phys).value();
+    const std::uint64_t inv = flash_.invalidCount(phys).value();
+    const std::uint64_t live = flash_.liveCount(phys).value();
+
+    const std::uint64_t old_free = freeOf_[logical];
+    if (free != old_free) {
+        byFree_.erase({old_free, logical});
+        byFree_.insert({free, logical});
+        bitAdd(freeBit_, logical,
+               static_cast<std::int64_t>(free) -
+                   static_cast<std::int64_t>(old_free));
+        if ((free > 0) != (old_free > 0)) {
+            if (free > 0)
+                freePos_.insert(logical);
+            else
+                freePos_.erase(logical);
+        }
+        if ((free > 1) != (old_free > 1)) {
+            if (free > 1)
+                free2Pos_.insert(logical);
+            else
+                free2Pos_.erase(logical);
+        }
+        freeOf_[logical] = free;
+    }
+    if (inv != invalidOf_[logical]) {
+        byInvalid_.erase({invalidOf_[logical], logical});
+        byInvalid_.insert({inv, logical});
+        invalidOf_[logical] = inv;
+    }
+    if (live != liveOf_[logical]) {
+        bitAdd(liveBit_, logical,
+               static_cast<std::int64_t>(live) -
+                   static_cast<std::int64_t>(liveOf_[logical]));
+        liveOf_[logical] = live;
+    }
+}
+
+PageCount
+SegmentSpace::maxFreeSlots() const
+{
+    ENVY_ASSERT(!byFree_.empty(), "segspace: empty index");
+    return PageCount(std::prev(byFree_.end())->first);
+}
+
+std::uint32_t
+SegmentSpace::roomiestLogical() const
+{
+    ENVY_ASSERT(!byFree_.empty(), "segspace: empty index");
+    const std::uint64_t max = std::prev(byFree_.end())->first;
+    return byFree_.lower_bound({max, 0})->second;
+}
+
+std::uint32_t
+SegmentSpace::mostInvalidLogical() const
+{
+    ENVY_ASSERT(!byInvalid_.empty(), "segspace: empty index");
+    return std::prev(byInvalid_.end())->second;
+}
+
+PageCount
+SegmentSpace::freeInRange(std::uint32_t first, std::uint32_t end) const
+{
+    ENVY_ASSERT(first <= end && end <= numLogical_,
+                "segspace: bad range");
+    return PageCount(static_cast<std::uint64_t>(
+        bitPrefix(freeBit_, end) - bitPrefix(freeBit_, first)));
+}
+
+PageCount
+SegmentSpace::liveInRange(std::uint32_t first, std::uint32_t end) const
+{
+    ENVY_ASSERT(first <= end && end <= numLogical_,
+                "segspace: bad range");
+    return PageCount(static_cast<std::uint64_t>(
+        bitPrefix(liveBit_, end) - bitPrefix(liveBit_, first)));
+}
+
+std::uint32_t
+SegmentSpace::firstWithFreeInRange(std::uint32_t first,
+                                   std::uint32_t end) const
+{
+    const auto it = freePos_.lower_bound(first);
+    return (it != freePos_.end() && *it < end) ? *it : noLogical;
+}
+
+std::uint32_t
+SegmentSpace::nearestWithSpareFree(std::uint32_t from, int dir) const
+{
+    if (dir > 0) {
+        const auto it = free2Pos_.upper_bound(from);
+        return it != free2Pos_.end() ? *it : from;
+    }
+    const auto it = free2Pos_.lower_bound(from);
+    return it != free2Pos_.begin() ? *std::prev(it) : from;
 }
 
 ByteCount
@@ -87,6 +249,7 @@ SegmentSpace::commitClean(std::uint32_t logical)
     logOf_[old.value()] = noLogical;
     reserve_ = old;
     persistAll();
+    refreshIndex(logical);
 }
 
 void
@@ -107,6 +270,8 @@ SegmentSpace::rotateForWear(std::uint32_t a, std::uint32_t b)
     logOf_[physB.value()] = noLogical;
     reserve_ = physB;
     persistAll();
+    refreshIndex(a);
+    refreshIndex(b);
 }
 
 std::uint64_t
@@ -224,6 +389,9 @@ SegmentSpace::recover()
     flushClock_ = 0;
     cleanCount_.assign(numLogical_, 0);
     lastCleanClock_.assign(numLogical_, 0);
+
+    rebuildIndexes();
+    installHook();
 }
 
 } // namespace envy

@@ -16,6 +16,8 @@
 #define ENVY_ENVY_SEGMENT_SPACE_HH
 
 #include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -33,6 +35,10 @@ class SegmentSpace
      * @param base   byte offset of that state inside @p sram
      */
     SegmentSpace(FlashArray &flash, SramArray &sram, Addr base);
+    ~SegmentSpace();
+
+    SegmentSpace(const SegmentSpace &) = delete;
+    SegmentSpace &operator=(const SegmentSpace &) = delete;
 
     /** SRAM bytes needed for @p num_segments segments. */
     static ByteCount bytesNeeded(std::uint64_t num_segments);
@@ -56,6 +62,54 @@ class SegmentSpace
     PageCount liveCount(std::uint32_t logical) const;
     PageCount invalidCount(std::uint32_t logical) const;
     double utilization(std::uint32_t logical) const;
+
+    // ---- incremental indexes -------------------------------------
+    //
+    // Maintained via FlashArray::segmentChangedHook so the cleaning
+    // policies answer "roomiest segment / best victim / room in a
+    // partition" in O(log n) instead of rescanning every logical
+    // segment per flush.  Tie-breaking reproduces the historical
+    // serial scans exactly (see each query's doc comment); a property
+    // test cross-checks the indexes against full rescans.
+
+    /** Largest freeSlots() over all logical segments. */
+    PageCount maxFreeSlots() const;
+
+    /**
+     * FIRST logical segment with the maximum freeSlots() — the index
+     * a forward scan keeping strictly-greater values would settle on
+     * (segment 0 when every segment is full).
+     */
+    std::uint32_t roomiestLogical() const;
+
+    /**
+     * LAST logical segment with the maximum invalidCount() — the
+     * index a forward scan keeping greater-or-equal values would
+     * settle on (the last segment when nothing is invalid).
+     */
+    std::uint32_t mostInvalidLogical() const;
+
+    /** Sum of freeSlots() over logical segments [first, end). */
+    PageCount freeInRange(std::uint32_t first, std::uint32_t end) const;
+
+    /** Sum of liveCount() over logical segments [first, end). */
+    PageCount liveInRange(std::uint32_t first, std::uint32_t end) const;
+
+    /**
+     * Smallest logical segment in [first, end) with freeSlots() > 0;
+     * noLogical when the whole range is full.
+     */
+    std::uint32_t firstWithFreeInRange(std::uint32_t first,
+                                       std::uint32_t end) const;
+
+    /**
+     * Nearest logical segment strictly beyond @p from in direction
+     * @p dir (+1/-1) with freeSlots() > 1 — i.e. a spare slot beyond
+     * the one its own flush traffic needs.  Returns @p from itself
+     * when no such segment exists in that direction.
+     */
+    std::uint32_t nearestWithSpareFree(std::uint32_t from,
+                                       int dir) const;
 
     /**
      * Commit a completed clean: @p logical now lives in what was the
@@ -152,6 +206,30 @@ class SegmentSpace
 
     void persistAll();
 
+    // ---- index maintenance ---------------------------------------
+    //
+    // Invariants (checked by the property test in
+    // tests/test_segment_space.cc):
+    //   freeOf_/invalidOf_/liveOf_[l] == the flash counts of
+    //     physOf_[l];
+    //   byFree_/byInvalid_ hold exactly one (count, l) pair per
+    //     logical segment;
+    //   freeBit_/liveBit_ prefix sums equal the cached counts;
+    //   freePos_ = { l : freeOf_[l] > 0 },
+    //   free2Pos_ = { l : freeOf_[l] > 1 }.
+    // refreshIndex(l) re-reads the flash counts for l's physical
+    // segment and applies the deltas; it is driven by the flash
+    // array's segmentChangedHook plus explicit calls wherever the
+    // logical->physical mapping itself is rewired.
+    void installHook();
+    void rebuildIndexes();
+    void refreshIndex(std::uint32_t logical);
+
+    void bitAdd(std::vector<std::int64_t> &bit, std::uint32_t i,
+                std::int64_t delta);
+    std::int64_t bitPrefix(const std::vector<std::int64_t> &bit,
+                           std::uint32_t n) const;
+
     FlashArray &flash_;
     SramArray &sram_;
     Addr base_;
@@ -161,6 +239,17 @@ class SegmentSpace
     std::vector<SegmentId> physOf_;
     std::vector<std::uint32_t> logOf_;
     SegmentId reserve_;
+
+    // Incremental indexes (derived state; see refreshIndex).
+    std::vector<std::uint64_t> freeOf_;
+    std::vector<std::uint64_t> invalidOf_;
+    std::vector<std::uint64_t> liveOf_;
+    std::set<std::pair<std::uint64_t, std::uint32_t>> byFree_;
+    std::set<std::pair<std::uint64_t, std::uint32_t>> byInvalid_;
+    std::vector<std::int64_t> freeBit_; //!< Fenwick tree, 1-based
+    std::vector<std::int64_t> liveBit_; //!< Fenwick tree, 1-based
+    std::set<std::uint32_t> freePos_;   //!< logicals with free > 0
+    std::set<std::uint32_t> free2Pos_;  //!< logicals with free > 1
 
     // Policy clocks (reconstructed, not persisted: heuristics only).
     std::uint64_t flushClock_ = 0;

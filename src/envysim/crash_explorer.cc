@@ -1,11 +1,13 @@
 #include "envysim/crash_explorer.hh"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <set>
 #include <sstream>
 
 #include "db/tpca_db.hh"
+#include "envysim/parallel.hh"
 #include "sim/random.hh"
 #include "txn/shadow.hh"
 
@@ -567,9 +569,22 @@ CrashPointExplorer::run()
         }
     }
 
+    // Fan the cases out: each runCase builds its own store, driver
+    // and injector (the crash-point sink is thread-local), so cases
+    // share nothing; collecting results by schedule index keeps the
+    // report identical at any job count.
+    std::vector<std::function<CrashCaseResult()>> tasks;
+    tasks.reserve(schedule.size());
     for (const auto &[point, occurrence] : schedule) {
-        result.cases.push_back(runCase(point, occurrence));
-        if (!result.cases.back().ok())
+        tasks.push_back([this, point = point,
+                         occurrence = occurrence] {
+            return runCase(point, occurrence);
+        });
+    }
+    result.cases = parallelMap<CrashCaseResult>(cfg_.jobs,
+                                                std::move(tasks));
+    for (const CrashCaseResult &c : result.cases) {
+        if (!c.ok())
             ++result.failures;
     }
     return result;

@@ -44,6 +44,16 @@ struct CrashExplorerConfig
 {
     std::uint64_t seed = 1;
 
+    /**
+     * Worker threads for the case fan-out (0 picks
+     * ParallelRunner::defaultJobs()).  Every case builds its own
+     * store/driver/injector and the crash-point sink is thread-local,
+     * so cases are independent; results are reported in schedule
+     * order, making the outcome identical at any job count.  The
+     * probe run stays serial.
+     */
+    unsigned jobs = 1;
+
     /** Store under test; defaults to churnStore(). */
     EnvyConfig store;
 

@@ -2,9 +2,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "envysim/parallel.hh"
 
 namespace envy {
 
@@ -21,9 +25,15 @@ ResultTable::setColumns(std::initializer_list<std::string> names)
 void
 ResultTable::addRow(std::initializer_list<std::string> cells)
 {
+    addRow(std::vector<std::string>(cells));
+}
+
+void
+ResultTable::addRow(std::vector<std::string> cells)
+{
     ENVY_ASSERT(cells.size() == columns_.size(),
                 "row width does not match the header");
-    rows_.emplace_back(cells);
+    rows_.push_back(std::move(cells));
 }
 
 void
@@ -58,8 +68,8 @@ ResultTable::percent(double fraction, int digits)
     return buf;
 }
 
-void
-ResultTable::print() const
+std::string
+ResultTable::toString() const
 {
     std::vector<std::size_t> width(columns_.size());
     for (std::size_t c = 0; c < columns_.size(); ++c) {
@@ -68,27 +78,175 @@ ResultTable::print() const
             width[c] = std::max(width[c], row[c].size());
     }
 
-    std::size_t total = columns_.empty() ? 0 : 2 * columns_.size() - 2;
+    // One shared gap constant drives both the inter-column padding
+    // and the separator width under the header.
+    std::size_t total =
+        columns_.empty() ? 0 : columnGap * (columns_.size() - 1);
     for (auto w : width)
         total += w;
 
-    std::cout << "\n== " << title_ << " ==\n";
+    std::ostringstream os;
+    os << "\n== " << title_ << " ==\n";
     auto printRow = [&](const std::vector<std::string> &cells) {
         for (std::size_t c = 0; c < cells.size(); ++c) {
-            std::printf("%-*s", static_cast<int>(width[c]),
-                        cells[c].c_str());
-            if (c + 1 < cells.size())
-                std::printf("  ");
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                os << std::string(width[c] - cells[c].size() +
+                                      columnGap,
+                                  ' ');
+            }
         }
-        std::printf("\n");
+        os << "\n";
     };
     printRow(columns_);
-    std::cout << std::string(total, '-') << "\n";
+    os << std::string(total, '-') << "\n";
     for (const auto &row : rows_)
         printRow(row);
     for (const auto &n : notes_)
-        std::cout << "note: " << n << "\n";
+        os << "note: " << n << "\n";
+    return os.str();
+}
+
+void
+ResultTable::print() const
+{
+    std::cout << toString();
     std::cout.flush();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendStringArray(std::ostringstream &os,
+                  const std::vector<std::string> &items)
+{
+    os << "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << '"' << jsonEscape(items[i]) << '"';
+    }
+    os << "]";
+}
+
+} // namespace
+
+std::string
+ResultTable::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"title\": \"" << jsonEscape(title_)
+       << "\", \"columns\": ";
+    appendStringArray(os, columns_);
+    os << ", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r)
+            os << ", ";
+        appendStringArray(os, rows_[r]);
+    }
+    os << "], \"notes\": ";
+    appendStringArray(os, notes_);
+    os << "}";
+    return os.str();
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opt;
+    opt.jobs = ParallelRunner::defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1) {
+                std::fprintf(stderr, "%s: bad --jobs value '%s'\n",
+                             argv[0], argv[i]);
+                std::exit(2);
+            }
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--json" && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
+        } else if (arg == "--smoke") {
+            opt.smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s'\n"
+                         "usage: %s [--jobs N] [--json PATH] "
+                         "[--smoke]\n",
+                         argv[0], arg.c_str(), argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+BenchReport::BenchReport(std::string bench_name,
+                         const BenchOptions &opt)
+    : bench_(std::move(bench_name)), opt_(opt)
+{
+}
+
+void
+BenchReport::add(const ResultTable &table)
+{
+    table.print();
+    tables_.push_back(table);
+}
+
+std::string
+BenchReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"envy-bench-v1\", \"bench\": \""
+       << jsonEscape(bench_) << "\", \"smoke\": "
+       << (opt_.smoke ? "true" : "false") << ", \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << tables_[i].toJson();
+    }
+    os << "]}";
+    return os.str();
+}
+
+int
+BenchReport::finish()
+{
+    if (opt_.jsonPath.empty())
+        return 0;
+    std::ofstream out(opt_.jsonPath);
+    if (!out) {
+        std::fprintf(stderr, "bench: cannot write %s\n",
+                     opt_.jsonPath.c_str());
+        return 1;
+    }
+    out << toJson() << "\n";
+    return out.good() ? 0 : 1;
 }
 
 } // namespace envy

@@ -1,13 +1,16 @@
 /**
  * @file
  * Small helpers shared by the benchmark harnesses: fixed-width table
- * printing in the style of the paper's figures, and paper-vs-measured
- * comparison rows for EXPERIMENTS.md.
+ * printing in the style of the paper's figures, paper-vs-measured
+ * comparison rows for EXPERIMENTS.md, command-line options common to
+ * every bench (--jobs/--json/--smoke) and machine-readable JSON
+ * output for the BENCH_*.json perf trajectory.
  */
 
 #ifndef ENVY_ENVYSIM_EXPERIMENT_HH
 #define ENVY_ENVYSIM_EXPERIMENT_HH
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -22,6 +25,7 @@ class ResultTable
 
     void setColumns(std::initializer_list<std::string> names);
     void addRow(std::initializer_list<std::string> cells);
+    void addRow(std::vector<std::string> cells);
     void addNote(std::string note);
 
     /** Format a double with @p digits decimals. */
@@ -31,12 +35,72 @@ class ResultTable
 
     void print() const;
 
+    /** Exactly what print() writes, as a string (determinism tests
+     *  compare these byte for byte across job counts). */
+    std::string toString() const;
+
+    /** The table as a JSON object {title, columns, rows, notes}. */
+    std::string toJson() const;
+
+    const std::string &title() const { return title_; }
+
   private:
+    /** Spaces between adjacent columns; the separator row derives
+     *  its width from the same constant. */
+    static constexpr std::size_t columnGap = 2;
+
     std::string title_;
     std::vector<std::string> columns_;
     std::vector<std::vector<std::string>> rows_;
     std::vector<std::string> notes_;
 };
+
+/**
+ * Command-line options shared by every bench binary:
+ *
+ *   --jobs N      worker threads for the sweep (default: ENVY_JOBS,
+ *                 else hardware concurrency; 1 = exact serial run)
+ *   --json PATH   also write the tables as JSON to PATH
+ *   --smoke       reduced sweep for CI smoke runs
+ *
+ * Unknown arguments are a usage error (exit 2) so CI catches typos.
+ */
+struct BenchOptions
+{
+    unsigned jobs = 1;
+    std::string jsonPath;
+    bool smoke = false;
+
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/**
+ * Collects a bench's ResultTables: prints each one as it is added
+ * (preserving the serial harnesses' output) and, when --json was
+ * given, writes them all to one JSON document on finish().
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string bench_name, const BenchOptions &opt);
+
+    /** Print @p table and retain it for the JSON document. */
+    void add(const ResultTable &table);
+
+    /** Write the JSON file if requested.  Returns an exit status. */
+    int finish();
+
+    /** The JSON document (schema envy-bench-v1), for tests. */
+    std::string toJson() const;
+
+  private:
+    std::string bench_;
+    BenchOptions opt_;
+    std::vector<ResultTable> tables_;
+};
+
+/** JSON string escaping (quotes added by the caller's context). */
+std::string jsonEscape(const std::string &s);
 
 } // namespace envy
 

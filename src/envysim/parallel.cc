@@ -1,0 +1,155 @@
+#include "envysim/parallel.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+namespace {
+
+/** Pending tasks allowed per worker before submit() blocks. */
+constexpr std::size_t queueDepthPerJob = 4;
+
+} // namespace
+
+unsigned
+ParallelRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("ENVY_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+        ENVY_WARN("parallel: ignoring ENVY_JOBS=", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+    if (jobs_ == 1)
+        return; // serial mode: submit() runs tasks inline
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queueWork_.notify_all();
+    queueSpace_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ParallelRunner::noteException(std::size_t index)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!firstError_ || index < firstErrorIndex_) {
+        firstError_ = std::current_exception();
+        firstErrorIndex_ = index;
+    }
+}
+
+void
+ParallelRunner::runTask(const Task &task)
+{
+    try {
+        task.fn();
+    } catch (...) {
+        noteException(task.index);
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++completed_;
+    }
+    allDone_.notify_all();
+}
+
+std::size_t
+ParallelRunner::submit(std::function<void()> task)
+{
+    if (jobs_ == 1) {
+        // Inline serial execution, through the same capture path as
+        // the workers so errors surface at wait() in every mode.
+        const std::size_t index = submitted_++;
+        runTask(Task{index, std::move(task)});
+        return index;
+    }
+
+    std::size_t index;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queueSpace_.wait(lock, [this] {
+            return queue_.size() < queueDepthPerJob * jobs_ ||
+                   stopping_;
+        });
+        ENVY_ASSERT(!stopping_, "parallel: submit after shutdown");
+        index = submitted_++;
+        queue_.push_back(Task{index, std::move(task)});
+    }
+    queueWork_.notify_one();
+    return index;
+}
+
+void
+ParallelRunner::wait()
+{
+    if (jobs_ > 1) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock,
+                      [this] { return completed_ == submitted_; });
+    }
+    std::exception_ptr err;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        err = firstError_;
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ParallelRunner::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueWork_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty())
+                return; // stopping
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        queueSpace_.notify_one();
+        runTask(task);
+    }
+}
+
+std::size_t
+SweepRunner::defer(std::function<std::string()> cell)
+{
+    cells_.push_back(std::move(cell));
+    return cells_.size() - 1;
+}
+
+std::vector<std::string>
+SweepRunner::run()
+{
+    std::vector<std::function<std::string()>> cells;
+    cells.swap(cells_);
+    return parallelMap<std::string>(jobs_, std::move(cells));
+}
+
+} // namespace envy

@@ -1,15 +1,24 @@
 #include "faults/crash_point.hh"
 
 #include <algorithm>
+#include <mutex>
 
 namespace envy {
 namespace crash_points {
 
 namespace detail {
-CrashSink *sink = nullptr;
+thread_local CrashSink *sink = nullptr;
 } // namespace detail
 
 namespace {
+
+/** Guards the registry: points register lazily from worker threads. */
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::vector<std::string> &
 registry()
@@ -57,6 +66,7 @@ registry()
 const char *
 registerPoint(const char *name)
 {
+    const std::lock_guard<std::mutex> lock(registryMutex());
     auto &points = registry();
     if (std::find(points.begin(), points.end(), name) == points.end())
         points.emplace_back(name);
@@ -66,7 +76,11 @@ registerPoint(const char *name)
 std::vector<std::string>
 allPoints()
 {
-    std::vector<std::string> points = registry();
+    std::vector<std::string> points;
+    {
+        const std::lock_guard<std::mutex> lock(registryMutex());
+        points = registry();
+    }
     std::sort(points.begin(), points.end());
     return points;
 }

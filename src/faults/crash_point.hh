@@ -25,8 +25,12 @@
  * so allPoints() lists every point compiled into the system, not
  * only the ones a particular workload happens to reach.
  *
- * The model is single-threaded, like the paper's controller: one
- * global sink, no locking.
+ * Each simulated controller is single-threaded, like the paper's,
+ * but the experiment harness runs many isolated systems on worker
+ * threads (src/envysim/parallel.hh).  The sink is therefore
+ * thread-local — a FaultInjector armed on one worker only sees the
+ * crash points its own System hits — and the name registry, the one
+ * piece of genuinely shared state, takes a mutex.
  */
 
 #ifndef ENVY_FAULTS_CRASH_POINT_HH
@@ -62,13 +66,16 @@ const char *registerPoint(const char *name);
 /** All registered point names, sorted. */
 std::vector<std::string> allPoints();
 
-/** Install @p sink (nullptr to clear).  Returns the previous sink. */
+/**
+ * Install @p sink for the calling thread (nullptr to clear).
+ * Returns the previous sink.  Sinks on other threads are unaffected.
+ */
 CrashSink *setSink(CrashSink *sink);
 
 CrashSink *currentSink();
 
 namespace detail {
-extern CrashSink *sink; // single-threaded: plain pointer
+extern thread_local CrashSink *sink; // one sink per worker thread
 
 struct Registrar
 {

@@ -114,6 +114,8 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
         retireCurrentSlot(s);
         ++statSlotsRetired;
         ++statProgramSpecFailures;
+        if (segmentChangedHook)
+            segmentChangedHook(seg);
         return AppendResult{FlashPageAddr{}, true};
     }
 
@@ -122,6 +124,8 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
     ++s.live;
     totalLive_ += PageCount(1);
     ++statPagesProgrammed;
+    if (segmentChangedHook)
+        segmentChangedHook(seg);
     return AppendResult{FlashPageAddr{seg, slot}, false};
 }
 
@@ -179,6 +183,8 @@ FlashArray::invalidatePage(FlashPageAddr addr)
     --s.live;
     totalLive_ -= PageCount(1);
     ++statPagesInvalidated;
+    if (segmentChangedHook)
+        segmentChangedHook(addr.segment);
 }
 
 void
@@ -319,6 +325,8 @@ FlashArray::eraseSegment(SegmentId seg)
     s.writePtr = 0;
     // Retired slots stay retired: the damage is physical.
     s.retiredAhead = s.retiredTotal;
+    if (segmentChangedHook)
+        segmentChangedHook(seg);
     return busy;
 }
 
@@ -345,6 +353,8 @@ FlashArray::retireNextSlot(SegmentId seg)
                 "flash: retire in a full segment ", seg);
     ENVY_ASSERT(!s.retired[s.writePtr], "flash: slot already retired");
     retireCurrentSlot(s);
+    if (segmentChangedHook)
+        segmentChangedHook(seg);
 }
 
 void
@@ -360,6 +370,8 @@ FlashArray::restoreRetiredAhead(SegmentId seg, SlotId slot)
     s.retired[slot.value()] = true;
     ++s.retiredTotal;
     ++s.retiredAhead;
+    if (segmentChangedHook)
+        segmentChangedHook(seg);
 }
 
 bool

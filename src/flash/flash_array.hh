@@ -152,6 +152,15 @@ class FlashArray : public StatGroup
     /** Any chip out of spec (operations overran their rated window)? */
     bool outOfSpec() const;
 
+    /**
+     * Observer: invoked after any operation that changes a segment's
+     * free/live/invalid counts (append, invalidate, erase, slot
+     * retirement).  SegmentSpace uses it to maintain incremental
+     * per-segment indexes so the cleaning policies can pick victims
+     * and destinations without O(numSegments) rescans.
+     */
+    std::function<void(SegmentId)> segmentChangedHook;
+
     // ---- fault injection & block retirement ----------------------
 
     /**

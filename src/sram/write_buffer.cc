@@ -30,6 +30,8 @@ WriteBuffer::WriteBuffer(SramArray &sram, Addr base,
         sram_.writeUint(slotMetaAddr(s), noOwner, 4);
         sram_.writeUint(slotMetaAddr(s) + 4, 0, 4);
     }
+    owners_.assign(capacity_, noOwner);
+    origins_.assign(capacity_, 0);
     syncHeader();
 }
 
@@ -61,6 +63,12 @@ WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
                     static_cast<std::uint32_t>(logical.value()), 4);
     sram_.writeUint(slotMetaAddr(slot) + 4,
                     static_cast<std::uint32_t>(origin), 4);
+    owners_[slot] = static_cast<std::uint32_t>(logical.value());
+    origins_[slot] = static_cast<std::uint32_t>(origin);
+    const bool fresh =
+        slotOf_.emplace(logical.value(), slot).second;
+    ENVY_ASSERT(fresh, "buffer: page ", logical,
+                " is already resident");
     head_ = (head_ + 1) % capacity_;
     ++count_;
     syncHeader();
@@ -84,6 +92,10 @@ WriteBuffer::popTail()
     const std::uint32_t slot =
         (head_ + capacity_ - count_) % capacity_;
     sram_.writeUint(slotMetaAddr(slot), noOwner, 4);
+    ENVY_ASSERT(owners_[slot] != noOwner,
+                "buffer: pop of an unowned tail slot");
+    slotOf_.erase(owners_[slot]);
+    owners_[slot] = noOwner;
     --count_;
     syncHeader();
     ++statFlushes;
@@ -93,7 +105,7 @@ LogicalPageId
 WriteBuffer::slotOwner(BufferSlotId slot) const
 {
     ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
-    const std::uint64_t v = sram_.readUint(slotMetaAddr(slot.value()), 4);
+    const std::uint32_t v = owners_[slot.value()];
     if (v == noOwner)
         return LogicalPageId::invalid();
     return LogicalPageId(v);
@@ -103,7 +115,15 @@ std::uint64_t
 WriteBuffer::slotOrigin(BufferSlotId slot) const
 {
     ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
-    return sram_.readUint(slotMetaAddr(slot.value()) + 4, 4);
+    return origins_[slot.value()];
+}
+
+BufferSlotId
+WriteBuffer::find(LogicalPageId logical) const
+{
+    const auto it = slotOf_.find(logical.value());
+    return it != slotOf_.end() ? BufferSlotId(it->second)
+                               : BufferSlotId::invalid();
 }
 
 std::span<std::uint8_t>
@@ -134,6 +154,9 @@ WriteBuffer::reset()
 {
     for (std::uint32_t s = 0; s < capacity_; ++s)
         sram_.writeUint(slotMetaAddr(s), noOwner, 4);
+    owners_.assign(capacity_, noOwner);
+    origins_.assign(capacity_, 0);
+    slotOf_.clear();
     head_ = 0;
     count_ = 0;
     syncHeader();
@@ -148,6 +171,17 @@ WriteBuffer::recover()
         sram_.readUint(base_ + countOff, 4));
     ENVY_ASSERT(head_ < capacity_ && count_ <= capacity_,
                 "buffer: corrupt header after power failure");
+    // The one legitimate full scan: rebuild the in-core mirrors and
+    // the residency map from the durable SRAM slot table.
+    slotOf_.clear();
+    for (std::uint32_t s = 0; s < capacity_; ++s) {
+        owners_[s] = static_cast<std::uint32_t>(
+            sram_.readUint(slotMetaAddr(s), 4));
+        origins_[s] = static_cast<std::uint32_t>(
+            sram_.readUint(slotMetaAddr(s) + 4, 4));
+        if (owners_[s] != noOwner)
+            slotOf_.emplace(owners_[s], s);
+    }
 }
 
 } // namespace envy

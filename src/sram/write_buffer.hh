@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 #include "sim/stats.hh"
@@ -86,6 +88,13 @@ class WriteBuffer : public StatGroup
     LogicalPageId slotOwner(BufferSlotId slot) const;
     std::uint64_t slotOrigin(BufferSlotId slot) const;
 
+    /**
+     * Ring slot currently holding @p logical, or an invalid id if the
+     * page is not resident.  O(1) via the logical-page -> ring-slot
+     * map kept in lockstep with the FIFO.
+     */
+    BufferSlotId find(LogicalPageId logical) const;
+
     /** Page bytes of a resident slot (functional mode). */
     std::span<std::uint8_t> slotData(BufferSlotId slot);
     std::span<const std::uint8_t> slotData(BufferSlotId slot) const;
@@ -135,6 +144,14 @@ class WriteBuffer : public StatGroup
     // In-core mirrors of the SRAM header (authoritative copy is SRAM).
     std::uint32_t head_ = 0; //!< next insertion position
     std::uint32_t count_ = 0;
+
+    // In-core mirrors of the per-slot metadata, plus a logical-page ->
+    // ring-slot map, all kept in lockstep with the FIFO so lookups
+    // never walk the SRAM slot table.  recover() rebuilds them with
+    // the one legitimate full scan.
+    std::vector<std::uint32_t> owners_;
+    std::vector<std::uint32_t> origins_;
+    std::unordered_map<std::uint64_t, std::uint32_t> slotOf_;
 };
 
 } // namespace envy

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: result ordering,
+ * first-error propagation, inline serial mode, and the determinism
+ * contract — a sweep or crash exploration run at --jobs 4 must be
+ * byte-identical to the same run at --jobs 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "envysim/crash_explorer.hh"
+#include "envysim/experiment.hh"
+#include "envysim/parallel.hh"
+#include "envysim/policy_sim.hh"
+
+namespace envy {
+namespace {
+
+TEST(ParallelRunner, ResultsArriveInSubmissionOrder)
+{
+    for (const unsigned jobs : {1u, 2u, 4u}) {
+        std::vector<std::function<int()>> tasks;
+        for (int i = 0; i < 64; ++i)
+            tasks.push_back([i] { return i * i; });
+        const std::vector<int> out =
+            parallelMap<int>(jobs, std::move(tasks));
+        ASSERT_EQ(out.size(), 64u);
+        for (int i = 0; i < 64; ++i)
+            EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+    }
+}
+
+TEST(ParallelRunner, SingleJobRunsInline)
+{
+    const std::thread::id main_id = std::this_thread::get_id();
+    ParallelRunner runner(1);
+    std::thread::id task_id;
+    runner.submit([&] { task_id = std::this_thread::get_id(); });
+    runner.wait();
+    EXPECT_EQ(task_id, main_id);
+}
+
+TEST(ParallelRunner, FirstErrorBySubmissionIndexWins)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        ParallelRunner runner(jobs);
+        std::atomic<int> ran{0};
+        for (int i = 0; i < 40; ++i) {
+            runner.submit([i, &ran] {
+                ++ran;
+                if (i == 7)
+                    throw std::runtime_error("seven");
+                if (i == 23)
+                    throw std::runtime_error("twenty-three");
+            });
+        }
+        try {
+            runner.wait();
+            FAIL() << "wait() did not rethrow";
+        } catch (const std::runtime_error &e) {
+            // Lowest submission index wins, whatever order the
+            // workers happened to hit the two throws in.
+            EXPECT_STREQ(e.what(), "seven");
+        }
+        EXPECT_EQ(ran.load(), 40);
+    }
+}
+
+TEST(ParallelRunner, ManyMoreTasksThanWorkersAllComplete)
+{
+    // The queue is bounded; submit() must block rather than drop.
+    ParallelRunner runner(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 500; ++i)
+        runner.submit([&ran] { ++ran; });
+    runner.wait();
+    EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ParallelRunner, DefaultJobsHonorsEnv)
+{
+    EXPECT_GE(ParallelRunner::defaultJobs(), 1u);
+}
+
+/** A small real sweep, as the bench binaries run it. */
+std::string
+sweepTable(unsigned jobs)
+{
+    SweepRunner sweep(jobs);
+    const char *locs[] = {"50/50", "10/90"};
+    for (const std::uint32_t segments : {8u, 16u}) {
+        for (const char *loc : locs) {
+            sweep.defer([=] {
+                PolicySimParams p;
+                p.numSegments = segments;
+                p.pagesPerSegment = 256;
+                p.policy = PolicyKind::Greedy;
+                p.locality = LocalitySpec::parse(loc);
+                p.warmupChunks = 1;
+                p.measureChunks = 1;
+                const PolicySimResult r = runPolicySim(p);
+                return ResultTable::num(r.cleaningCost, 2);
+            });
+        }
+    }
+    const std::vector<std::string> cells = sweep.run();
+
+    ResultTable t("determinism probe");
+    t.setColumns({"segments", "50/50", "10/90"});
+    std::size_t cell = 0;
+    for (const std::uint32_t segments : {8u, 16u}) {
+        t.addRow({ResultTable::integer(segments), cells[cell],
+                  cells[cell + 1]});
+        cell += 2;
+    }
+    return t.toString();
+}
+
+TEST(Determinism, SweepTableByteIdenticalAcrossJobCounts)
+{
+    const std::string serial = sweepTable(1);
+    const std::string parallel = sweepTable(4);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("determinism probe"), std::string::npos);
+}
+
+TEST(Determinism, CrashExplorerVerdictsIdenticalAcrossJobCounts)
+{
+    CrashExplorerConfig cfg;
+    cfg.opsPerCase = 120;
+    cfg.aftershockOps = 16;
+    cfg.maxCasesPerPoint = 1;
+
+    cfg.jobs = 1;
+    const CrashExplorerResult serial =
+        CrashPointExplorer(cfg).run();
+    cfg.jobs = 4;
+    const CrashExplorerResult parallel =
+        CrashPointExplorer(cfg).run();
+
+    EXPECT_EQ(serial.failures, parallel.failures);
+    EXPECT_EQ(serial.probeHits, parallel.probeHits);
+    ASSERT_EQ(serial.cases.size(), parallel.cases.size());
+    for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+        const CrashCaseResult &a = serial.cases[i];
+        const CrashCaseResult &b = parallel.cases[i];
+        EXPECT_EQ(a.point, b.point) << "case " << i;
+        EXPECT_EQ(a.occurrence, b.occurrence) << "case " << i;
+        EXPECT_EQ(a.crashed, b.crashed) << "case " << i;
+        EXPECT_EQ(a.violations, b.violations) << "case " << i;
+    }
+}
+
+TEST(BenchOptions, ParsesJobsJsonAndSmoke)
+{
+    const char *argv[] = {"bench", "--jobs", "3", "--json",
+                          "/tmp/x.json", "--smoke"};
+    const BenchOptions opt = BenchOptions::parse(
+        static_cast<int>(std::size(argv)),
+        const_cast<char **>(argv));
+    EXPECT_EQ(opt.jobs, 3u);
+    EXPECT_EQ(opt.jsonPath, "/tmp/x.json");
+    EXPECT_TRUE(opt.smoke);
+}
+
+TEST(BenchReport, JsonCarriesSchemaAndTables)
+{
+    BenchOptions opt;
+    opt.jobs = 1;
+    BenchReport report("probe", opt);
+    ResultTable t("a \"quoted\" title");
+    t.setColumns({"k", "v"});
+    t.addRow({"x", "1"});
+    t.addNote("n");
+    report.add(t);
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"schema\": \"envy-bench-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"bench\": \"probe\""), std::string::npos);
+    EXPECT_NE(json.find("a \\\"quoted\\\" title"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rows\""), std::string::npos);
+}
+
+} // namespace
+} // namespace envy

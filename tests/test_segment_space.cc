@@ -1,13 +1,17 @@
 /**
  * @file
  * Tests for logical/physical segment identity and the persistent
- * cleaning state (§3.4).
+ * cleaning state (§3.4), plus the property test cross-checking the
+ * incremental policy indexes against full rescans.
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/units.hh"
 #include "envy/segment_space.hh"
+#include "sim/random.hh"
 
 namespace envy {
 namespace {
@@ -133,6 +137,187 @@ TEST_F(SegmentSpaceTest, QueriesForwardToFlash)
               flash.pagesPerSegment() - PageCount(2));
     EXPECT_DOUBLE_EQ(space.utilization(1),
                      1.0 / asDouble(flash.pagesPerSegment()));
+}
+
+// ---- incremental index properties -------------------------------
+//
+// Every query the policies use must agree with a brute-force rescan
+// of the flash counts, under a randomized mix of appends,
+// invalidations, erases, clean commits and wear rotations.
+
+class IndexPropertyTest : public ::testing::Test
+{
+  protected:
+    static Geometry
+    smallGeom()
+    {
+        Geometry g;
+        g.pageSize = 64;
+        g.blockBytes = 32; // 32 pages per segment: fills up quickly
+        g.blocksPerChip = 8;
+        g.numBanks = 2; // 16 segments
+        return g;
+    }
+
+    IndexPropertyTest()
+        : flash(smallGeom(), FlashTiming{}, false),
+          sram(SegmentSpace::bytesNeeded(flash.numSegments()).value()),
+          space(flash, sram, 0)
+    {
+    }
+
+    std::uint64_t freeOf(std::uint32_t l) const
+    {
+        return space.freeSlots(l).value();
+    }
+    std::uint64_t invalidOf(std::uint32_t l) const
+    {
+        return space.invalidCount(l).value();
+    }
+
+    void
+    checkAgainstRescan()
+    {
+        const std::uint32_t n = space.numLogical();
+
+        // roomiest: FIRST index with the maximum free count.
+        std::uint64_t max_free = 0;
+        std::uint32_t roomiest = 0;
+        for (std::uint32_t l = 0; l < n; ++l) {
+            if (freeOf(l) > max_free) {
+                max_free = freeOf(l);
+                roomiest = l;
+            }
+        }
+        EXPECT_EQ(space.maxFreeSlots(), PageCount(max_free));
+        EXPECT_EQ(space.roomiestLogical(), roomiest);
+
+        // victim: LAST index with the maximum invalid count.
+        std::uint64_t max_inv = 0;
+        std::uint32_t victim = 0;
+        for (std::uint32_t l = 0; l < n; ++l) {
+            if (invalidOf(l) >= max_inv) {
+                max_inv = invalidOf(l);
+                victim = l;
+            }
+        }
+        EXPECT_EQ(space.mostInvalidLogical(), victim);
+
+        // Range sums and first-free, over a few random ranges.
+        for (int i = 0; i < 8; ++i) {
+            std::uint32_t a = static_cast<std::uint32_t>(
+                rng.below(n + 1));
+            std::uint32_t b = static_cast<std::uint32_t>(
+                rng.below(n + 1));
+            if (a > b)
+                std::swap(a, b);
+            std::uint64_t free_sum = 0, live_sum = 0;
+            std::uint32_t first_free = SegmentSpace::noLogical;
+            for (std::uint32_t l = a; l < b; ++l) {
+                free_sum += freeOf(l);
+                live_sum += space.liveCount(l).value();
+                if (first_free == SegmentSpace::noLogical &&
+                    freeOf(l) > 0)
+                    first_free = l;
+            }
+            EXPECT_EQ(space.freeInRange(a, b), PageCount(free_sum));
+            EXPECT_EQ(space.liveInRange(a, b), PageCount(live_sum));
+            EXPECT_EQ(space.firstWithFreeInRange(a, b), first_free);
+        }
+
+        // nearestWithSpareFree in both directions from a few starts.
+        for (int i = 0; i < 8; ++i) {
+            const std::uint32_t from =
+                static_cast<std::uint32_t>(rng.below(n));
+            std::uint32_t up = from, down = from;
+            for (std::uint32_t l = from + 1; l < n; ++l) {
+                if (freeOf(l) > 1) {
+                    up = l;
+                    break;
+                }
+            }
+            for (std::uint32_t l = from; l-- > 0;) {
+                if (freeOf(l) > 1) {
+                    down = l;
+                    break;
+                }
+            }
+            EXPECT_EQ(space.nearestWithSpareFree(from, +1), up);
+            EXPECT_EQ(space.nearestWithSpareFree(from, -1), down);
+        }
+    }
+
+    FlashArray flash;
+    SramArray sram;
+    SegmentSpace space;
+    Rng rng{97};
+};
+
+TEST_F(IndexPropertyTest, IndexesMatchRescanUnderRandomChurn)
+{
+    // Tracked live pages, as (logical segment, slot) pairs resolved
+    // to physical addresses at use time.
+    std::vector<FlashPageAddr> live;
+    std::uint64_t next_owner = 0;
+
+    for (int op = 0; op < 3000; ++op) {
+        const std::uint32_t l = static_cast<std::uint32_t>(
+            rng.below(space.numLogical()));
+        const SegmentId phys = space.physOf(l);
+        switch (rng.below(100)) {
+        case 0: // commit a (metadata-level) clean
+            space.commitClean(l);
+            break;
+        case 1: { // wear rotation between two distinct logicals
+            const std::uint32_t other = static_cast<std::uint32_t>(
+                rng.below(space.numLogical()));
+            if (other != l)
+                space.rotateForWear(l, other);
+            break;
+        }
+        case 2: { // erase once everything in the segment is dead
+            if (flash.liveCount(phys) == PageCount(0) &&
+                flash.usedSlots(phys) > PageCount(0)) {
+                flash.eraseSegment(phys);
+                std::erase_if(live, [&](const FlashPageAddr &a) {
+                    return a.segment == phys;
+                });
+            }
+            break;
+        }
+        default:
+            if (rng.chance(0.4) && !live.empty()) {
+                const std::size_t pick = rng.below(live.size());
+                flash.invalidatePage(live[pick]);
+                live[pick] = live.back();
+                live.pop_back();
+            } else if (flash.freeSlots(phys) > PageCount(0)) {
+                live.push_back(flash.appendPage(
+                    phys, LogicalPageId(next_owner++)));
+            }
+            break;
+        }
+        if (op % 100 == 99)
+            checkAgainstRescan();
+    }
+    checkAgainstRescan();
+}
+
+TEST_F(IndexPropertyTest, RecoverRebuildsIndexes)
+{
+    // Populate unevenly, then recover() and re-check.
+    for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
+        const SegmentId phys = space.physOf(l);
+        for (std::uint32_t j = 0; j < l * 2; ++j) {
+            const FlashPageAddr a =
+                flash.appendPage(phys, LogicalPageId(l * 64 + j));
+            if (j % 3 == 0)
+                flash.invalidatePage(a);
+        }
+    }
+    space.commitClean(5);
+    space.recover();
+    checkAgainstRescan();
 }
 
 } // namespace

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate bench JSON reports against the envy-bench-v1 schema.
+
+Usage: check_bench_json.py FILE_OR_DIR ...
+
+A report must be a JSON object with:
+
+  schema   the literal string "envy-bench-v1"
+  bench    non-empty string naming the harness
+  smoke    boolean
+  tables   non-empty list of table objects, each with:
+             title    non-empty string
+             columns  non-empty list of strings
+             rows     list of lists of strings, every row exactly
+                      len(columns) cells
+             notes    list of strings
+
+Exit status: 0 when every file validates, 1 otherwise, 2 on usage
+errors.  Directories are scanned for *.json (non-recursively).
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "envy-bench-v1"
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}")
+    return False
+
+
+def check_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        return fail(path, f"schema is {doc.get('schema')!r}, "
+                          f"expected {SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "bench must be a non-empty string")
+    if not isinstance(doc.get("smoke"), bool):
+        return fail(path, "smoke must be a boolean")
+    tables = doc.get("tables")
+    if not isinstance(tables, list) or not tables:
+        return fail(path, "tables must be a non-empty list")
+
+    for i, t in enumerate(tables):
+        where = f"tables[{i}]"
+        if not isinstance(t, dict):
+            return fail(path, f"{where} is not an object")
+        if not isinstance(t.get("title"), str) or not t["title"]:
+            return fail(path, f"{where}.title must be a non-empty "
+                              "string")
+        cols = t.get("columns")
+        if (not isinstance(cols, list) or not cols or
+                not all(isinstance(c, str) for c in cols)):
+            return fail(path, f"{where}.columns must be a non-empty "
+                              "list of strings")
+        rows = t.get("rows")
+        if not isinstance(rows, list):
+            return fail(path, f"{where}.rows must be a list")
+        for j, row in enumerate(rows):
+            if (not isinstance(row, list) or
+                    not all(isinstance(c, str) for c in row)):
+                return fail(path, f"{where}.rows[{j}] must be a list "
+                                  "of strings")
+            if len(row) != len(cols):
+                return fail(path, f"{where}.rows[{j}] has {len(row)} "
+                                  f"cells, expected {len(cols)}")
+        notes = t.get("notes")
+        if (not isinstance(notes, list) or
+                not all(isinstance(n, str) for n in notes)):
+            return fail(path, f"{where}.notes must be a list of "
+                              "strings")
+    print(f"{path}: OK ({len(tables)} table(s))")
+    return True
+
+
+def expand(arg):
+    if os.path.isdir(arg):
+        return sorted(
+            os.path.join(arg, n) for n in os.listdir(arg)
+            if n.endswith(".json"))
+    return [arg]
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = [f for arg in argv[1:] for f in expand(arg)]
+    if not files:
+        print("check_bench_json.py: no JSON files found",
+              file=sys.stderr)
+        return 2
+    ok = True
+    for f in files:
+        ok = check_report(f) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

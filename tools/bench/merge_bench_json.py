@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Merge per-bench JSON reports into one baseline document.
+
+Usage: merge_bench_json.py DIR > BENCH_baseline.json
+
+Reads every *.json in DIR (as written by bench/run_all.sh --json),
+sorts by bench name, and emits a single envy-bench-v1 document whose
+tables list concatenates all of them, each table title prefixed with
+its bench name.  The result still validates with
+check_bench_json.py, which is how CI guards the committed baseline.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) != 2 or not os.path.isdir(argv[1]):
+        print(__doc__, file=sys.stderr)
+        return 2
+    reports = []
+    for name in sorted(os.listdir(argv[1])):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(argv[1], name),
+                  encoding="utf-8") as f:
+            reports.append(json.load(f))
+    if not reports:
+        print("merge_bench_json.py: no reports found",
+              file=sys.stderr)
+        return 2
+    reports.sort(key=lambda r: r["bench"])
+    merged = {
+        "schema": "envy-bench-v1",
+        "bench": "baseline",
+        "smoke": all(r["smoke"] for r in reports),
+        "tables": [
+            {**t, "title": f"[{r['bench']}] {t['title']}"}
+            for r in reports for t in r["tables"]
+        ],
+    }
+    json.dump(merged, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

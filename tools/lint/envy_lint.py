@@ -20,6 +20,10 @@ on the same line or the line directly above):
                           containers; raw allocations dodge that)
   typed-id-params         no raw-integer parameters named page/slot/seg
                           (use LogicalPageId/SlotId/SegmentId)
+  no-naked-thread         no std::thread/std::jthread/std::async outside
+                          src/envysim/parallel.* — all concurrency flows
+                          through ParallelRunner so the isolation
+                          argument is made exactly once
 
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
 internal errors.
@@ -37,6 +41,7 @@ RULES = (
     "panic-prefix",
     "no-raw-alloc",
     "typed-id-params",
+    "no-naked-thread",
 )
 
 # Functions that mutate durable state (flash contents or the page
@@ -62,6 +67,13 @@ PANIC_PREFIX = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*"[a-z][a-z0-9_-]*: ')
 RAW_ALLOC = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(|\bnew\b")
 TYPED_PARAM = re.compile(
     r"\b(?:std::)?uint(?:32|64)_t\s+(?:page|slot|seg)\s*[,)]"
+)
+NAKED_THREAD = re.compile(
+    r"\bstd::(?:jthread|thread)\b|\bstd::async\s*\(")
+# The one file allowed to create threads (see its header comment).
+THREAD_EXEMPT = (
+    os.path.join("src", "envysim", "parallel.hh"),
+    os.path.join("src", "envysim", "parallel.cc"),
 )
 ALLOW = re.compile(r"//\s*envy-lint:\s*allow\(([a-z-]+)\)\s*\S")
 
@@ -138,6 +150,7 @@ class Linter:
             self.check_panic_prefix(src)
             self.check_raw_alloc(src)
             self.check_typed_params(src)
+            self.check_naked_thread(src)
         for relpath in MUTATION_FILES:
             for src in sources:
                 if src.relpath == relpath:
@@ -239,6 +252,18 @@ class Linter:
                     "raw integer parameter named page/slot/seg — use "
                     "LogicalPageId / SlotId / SegmentId")
 
+    def check_naked_thread(self, src):
+        if src.relpath in THREAD_EXEMPT:
+            return
+        for num, line in enumerate(src.stripped, 1):
+            m = NAKED_THREAD.search(line)
+            if m:
+                self.report(
+                    src, num, "no-naked-thread",
+                    f"'{m.group(0).strip()}' outside "
+                    "src/envysim/parallel.* — route concurrency "
+                    "through ParallelRunner")
+
 
 def source_files(root):
     files = []
@@ -263,6 +288,7 @@ void f(std::uint64_t page, std::uint32_t slot) {
     ENVY_PANIC("something went wrong");
     ENVY_CRASH_POINT("bogus.point.name");
     ENVY_CRASH_POINT("bogus.point.name");
+    std::thread worker([] {});
 }
 '''
 
@@ -273,6 +299,7 @@ SELF_TEST_EXPECT = (
     "panic-prefix",
     "no-raw-alloc",
     "typed-id-params",
+    "no-naked-thread",
 )
 
 
