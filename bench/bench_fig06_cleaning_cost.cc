@@ -11,6 +11,8 @@
  */
 
 #include <cstdlib>
+#include <functional>
+#include <vector>
 
 #include "envysim/experiment.hh"
 #include "envysim/parallel.hh"
@@ -36,9 +38,9 @@ main(int argc, char **argv)
     t.setColumns({"utilization", "analytic u/(1-u)",
                   "measured (uniform, locality gathering)"});
 
-    SweepRunner sweep(opt.jobs);
+    std::vector<std::function<PolicySimResult()>> tasks;
     for (const double u : utils) {
-        sweep.defer([=] {
+        tasks.push_back([=] {
             PolicySimParams p;
             p.numSegments = 128;
             p.pagesPerSegment = full ? 65536 : 2048;
@@ -47,20 +49,28 @@ main(int argc, char **argv)
             p.locality = LocalitySpec{0.5, 0.5}; // uniform
             p.warmupChunks = full ? 8 : 4;
             p.measureChunks = 2;
-            const PolicySimResult r = runPolicySim(p);
-            return ResultTable::num(r.cleaningCost, 2);
+            return runPolicySim(p);
         });
     }
-    const std::vector<std::string> cells = sweep.run();
+    const std::vector<PolicySimResult> results =
+        parallelMap<PolicySimResult>(opt.jobs, std::move(tasks));
 
     constexpr double segs = 128;
     std::size_t cell = 0;
     for (const double u : utils) {
         // Data segments run at u * N/(N-1) (one segment is reserve).
         const double u_eff = u * segs / (segs - 1.0);
+        const PolicySimResult &r = results[cell++];
+        // The measured cell is read back from the metrics snapshot's
+        // sim.cleaning_cost gauge, so the `metrics` block of the JSON
+        // report provably matches the printed table
+        // (tests/test_obs_differential.cc asserts this).
         t.addRow({ResultTable::percent(u, 0),
                   ResultTable::num(u_eff / (1.0 - u_eff), 2),
-                  cells[cell++]});
+                  ResultTable::num(
+                      r.finalMetrics.gauge("sim.cleaning_cost"), 2)});
+        report.addMetrics("u=" + ResultTable::percent(u, 0),
+                          r.finalMetrics);
     }
     t.addNote("paper: cost 4 at 80%; \"after about 80% utilization "
               "the cleaning cost quickly reaches unreasonable "

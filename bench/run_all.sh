@@ -2,6 +2,7 @@
 # Run every bench harness and collect their JSON reports.
 #
 #   bench/run_all.sh [--smoke] [--json DIR] [--jobs N] [--build DIR]
+#                    [--list]
 #
 #   --smoke      pass --smoke to every bench (reduced sweeps, for CI)
 #   --json DIR   write one <bench>.json per harness into DIR
@@ -10,9 +11,13 @@
 #                default, i.e. ENVY_JOBS or hardware concurrency)
 #   --build DIR  build tree holding the bench binaries
 #                (default: ./build)
+#   --list       print the bench names this script would run, one per
+#                line, and exit
 #
-# Exit status is nonzero if any bench fails.  bench_micro_ops (google
-# benchmark, its own CLI) is excluded; run it directly.
+# All binaries are checked up front: if any are missing, the full
+# list is printed and nothing runs.  Exit status is nonzero if any
+# bench fails.  bench_micro_ops (google benchmark, its own CLI) is
+# excluded; run it directly.
 
 set -eu
 
@@ -20,6 +25,7 @@ smoke=""
 json_dir=""
 jobs=""
 build="build"
+list=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -27,6 +33,7 @@ while [ $# -gt 0 ]; do
         --json) json_dir="$2"; shift ;;
         --jobs) jobs="$2"; shift ;;
         --build) build="$2"; shift ;;
+        --list) list="yes" ;;
         *) echo "run_all.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
     shift
@@ -49,16 +56,34 @@ bench_endurance
 bench_fault_recovery
 "
 
+if [ -n "$list" ]; then
+    for b in $benches; do
+        echo "$b"
+    done
+    exit 0
+fi
+
+# Pre-scan: refuse to run anything until EVERY binary is present, and
+# name all the missing ones at once rather than failing one at a time.
+missing=""
+for b in $benches; do
+    [ -x "$build/bench/$b" ] || missing="$missing $b"
+done
+if [ -n "$missing" ]; then
+    echo "run_all.sh: missing bench binaries in $build/bench:" >&2
+    for b in $missing; do
+        echo "  $b" >&2
+    done
+    echo "run_all.sh: build the tree first" \
+         "(cmake --build $build --target$missing)" >&2
+    exit 1
+fi
+
 [ -n "$json_dir" ] && mkdir -p "$json_dir"
 
 status=0
 for b in $benches; do
     bin="$build/bench/$b"
-    if [ ! -x "$bin" ]; then
-        echo "run_all.sh: missing $bin (build the tree first)" >&2
-        status=1
-        continue
-    fi
     echo "### $b"
     set -- $smoke
     [ -n "$jobs" ] && set -- "$@" --jobs "$jobs"

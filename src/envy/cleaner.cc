@@ -3,17 +3,51 @@
 #include "common/logging.hh"
 #include "envy/wear_leveler.hh"
 #include "faults/crash_point.hh"
+#include "obs/trace.hh"
 
 namespace envy {
 
+namespace {
+
+// Victim-liveness histogram buckets: powers of two up to the largest
+// supported segment capacity (full-scale geometry is 64 Ki pages).
+std::vector<std::uint64_t>
+victimLiveEdges()
+{
+    std::vector<std::uint64_t> edges{0};
+    for (std::uint64_t e = 1; e <= (1u << 16); e *= 2)
+        edges.push_back(e);
+    return edges;
+}
+
+} // namespace
+
 Cleaner::Cleaner(SegmentSpace &space, Mmu &mmu,
-                 WearLeveler *wear_leveler, StatGroup *parent)
+                 WearLeveler *wear_leveler, StatGroup *parent,
+                 obs::MetricsRegistry *metrics)
     : StatGroup("cleaner", parent),
       statCleans(this, "cleans", "segment cleaning operations"),
       statCleanerPrograms(this, "cleanerPrograms",
                           "page programs performed by the cleaner"),
       statWearRotations(this, "wearRotations",
                         "wear-leveling data rotations"),
+      metSegmentsCleaned(obs::counterOf(metrics,
+                                        "cleaner.segments_cleaned",
+                                        "segments",
+                                        "segment cleaning operations")),
+      metPagesCopied(obs::counterOf(metrics, "cleaner.pages_copied",
+                                    "pages",
+                                    "page programs performed by the "
+                                    "cleaner (diverts included)")),
+      metCleaningCost(obs::gaugeOf(metrics, "cleaner.cleaning_cost",
+                                   "programs/flush",
+                                   "cleaner programs per flushed page "
+                                   "(paper section 4.1), updated after "
+                                   "every clean")),
+      metVictimLive(obs::histogramOf(metrics, "cleaner.victim_live",
+                                     "pages",
+                                     "live pages per cleaned victim",
+                                     victimLiveEdges())),
       space_(space),
       mmu_(mmu),
       wearLeveler_(wear_leveler),
@@ -39,6 +73,7 @@ Cleaner::relocate(SegmentId src_phys, SlotId slot,
     flash.invalidatePage(src);
     ENVY_CRASH_POINT("cleaner.relocate.done");
     ++statCleanerPrograms;
+    metPagesCopied.add();
     busyTime_ +=
         flash.timing().readTime +
         flash.timing().programTimeAfter(flash.eraseCycles(dst_phys));
@@ -60,6 +95,7 @@ Cleaner::moveShadows(SegmentId src, SegmentId dst)
         ENVY_CRASH_POINT("cleaner.shadow.after_program");
         flash.invalidatePage(from);
         ++statCleanerPrograms;
+        metPagesCopied.add();
         busyTime_ += flash.timing().readTime +
                      flash.timing().programTime;
         if (shadowMoved)
@@ -100,6 +136,13 @@ Cleaner::cleanInternal(std::uint32_t log_seg, CleaningPolicy *policy,
     CleanResult result;
     const Tick busy0 = busyTime_;
     const PageCount live_total = flash.liveCount(victim);
+
+    ENVY_TRACE("cleaner.clean.start", obs::tv("logical", log_seg),
+               obs::tv("victim", victim.value()),
+               obs::tv("dest", dest.value()),
+               obs::tv("live", live_total.value()),
+               obs::tv("capacity", space_.segmentCapacity().value()),
+               obs::tv("resuming", resuming));
 
     // Collect the live slots first: relocation mutates the segment's
     // owner table as it invalidates source pages.
@@ -145,6 +188,13 @@ Cleaner::cleanInternal(std::uint32_t log_seg, CleaningPolicy *policy,
     space_.noteClean(log_seg);
     space_.clearCleanRecord();
     ++statCleans;
+    metSegmentsCleaned.add();
+    metVictimLive.record(live_total.value());
+    metCleaningCost.set(cleaningCost());
+    ENVY_TRACE("cleaner.clean.end", obs::tv("logical", log_seg),
+               obs::tv("copied", result.copied.value()),
+               obs::tv("diverted", result.diverted.value()),
+               obs::tv("ticks", result.busyTime));
 
     if (policy)
         policy->onCleaned(log_seg);

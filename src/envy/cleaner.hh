@@ -42,7 +42,8 @@ class Cleaner : public StatGroup
 
     Cleaner(SegmentSpace &space, Mmu &mmu,
             WearLeveler *wear_leveler = nullptr,
-            StatGroup *parent = nullptr);
+            StatGroup *parent = nullptr,
+            obs::MetricsRegistry *metrics = nullptr);
 
     /**
      * Clean logical segment @p log_seg.  @p policy (may be null) steers
@@ -93,6 +94,12 @@ class Cleaner : public StatGroup
     Counter statCleans;
     Counter statCleanerPrograms;
     Counter statWearRotations;
+
+    // Observability metrics (docs/OBSERVABILITY.md).
+    obs::Counter metSegmentsCleaned;
+    obs::Counter metPagesCopied;   //!< cleaner programs, diverts included
+    obs::Gauge metCleaningCost;    //!< cleaningCost() after each clean
+    obs::Histogram metVictimLive;  //!< live pages per cleaned victim
 
     SegmentSpace &space() { return space_; }
     Mmu &mmu() { return mmu_; }

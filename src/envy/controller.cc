@@ -4,14 +4,29 @@
 
 #include "common/logging.hh"
 #include "faults/crash_point.hh"
+#include "obs/trace.hh"
 
 namespace envy {
+
+namespace {
+
+// Flush-latency buckets in device ticks (ns): flush alone is a few
+// hundred µs; a flush that triggered cleaning or an erase lands in
+// the ms decades.
+std::vector<std::uint64_t>
+flushTickEdges()
+{
+    return {100'000, 300'000, 1'000'000, 3'000'000, 10'000'000,
+            30'000'000, 100'000'000, 300'000'000, 1'000'000'000};
+}
+
+} // namespace
 
 Controller::Controller(const Geometry &geom, FlashArray &flash,
                        Mmu &mmu, WriteBuffer &buffer,
                        SegmentSpace &space, Cleaner &cleaner,
                        CleaningPolicy &policy, bool auto_drain,
-                       StatGroup *parent)
+                       StatGroup *parent, obs::MetricsRegistry *metrics)
     : StatGroup("controller", parent),
       statHostReads(this, "hostReads", "host read accesses"),
       statHostWrites(this, "hostWrites", "host write accesses"),
@@ -22,6 +37,29 @@ Controller::Controller(const Geometry &geom, FlashArray &flash,
                             "flushes a host write had to wait for"),
       statFlushRetries(this, "flushRetries",
                        "flush programs retried after a spec-failure"),
+      metHostReads(obs::counterOf(metrics, "ctl.host_reads", "accesses",
+                                  "host read accesses")),
+      metHostWrites(obs::counterOf(metrics, "ctl.host_writes",
+                                   "accesses", "host write accesses")),
+      metCows(obs::counterOf(metrics, "ctl.cows", "pages",
+                             "copy-on-write operations")),
+      metBufferHits(obs::counterOf(metrics, "ctl.buffer_hits",
+                                   "accesses",
+                                   "writes absorbed by a resident "
+                                   "buffer page")),
+      metForegroundFlushes(obs::counterOf(metrics,
+                                          "ctl.foreground_flushes",
+                                          "flushes",
+                                          "flushes a host write had to "
+                                          "wait for")),
+      metFlushRetries(obs::counterOf(metrics, "ctl.flush_retries",
+                                     "programs",
+                                     "flush programs retried after a "
+                                     "spec-failure")),
+      metFlushTicks(obs::histogramOf(metrics, "ctl.flush_ticks", "ns",
+                                     "device time consumed per flush, "
+                                     "cleaning included",
+                                     flushTickEdges())),
       geom_(geom),
       flash_(flash),
       mmu_(mmu),
@@ -113,6 +151,7 @@ Controller::read(Addr addr, std::span<std::uint8_t> out)
         const std::size_t n = std::min<std::size_t>(
             out.size() - done, geom_.pageSize - off);
         ++statHostReads;
+        metHostReads.add();
 
         const PageTable::Location loc = mmu_.lookup(page);
         switch (loc.kind) {
@@ -145,6 +184,7 @@ Controller::probeRead(Addr addr)
 {
     checkRange(addr, 1);
     ++statHostReads;
+    metHostReads.add();
     const std::uint64_t misses = mmu_.statMisses.value();
     mmu_.lookup(pageOf(addr));
     return mmu_.statMisses.value() != misses;
@@ -162,6 +202,7 @@ Controller::copyOnWrite(LogicalPageId page,
         outcome.deviceBusy += flushOne();
         ++outcome.foregroundFlushes;
         ++statForegroundFlushes;
+        metForegroundFlushes.add();
         // Cleaning may have relocated the page we are copying.
         loc = mmu_.lookup(page);
     }
@@ -200,6 +241,10 @@ Controller::copyOnWrite(LogicalPageId page,
 
     outcome.cow = true;
     ++statCows;
+    metCows.add();
+    ENVY_TRACE("ctl.cow", obs::tv("page", page.value()),
+               obs::tv("slot", slot.value()),
+               obs::tv("stalled_flushes", outcome.foregroundFlushes));
     return slot;
 }
 
@@ -217,6 +262,7 @@ Controller::write(Addr addr, std::span<const std::uint8_t> in)
         const std::size_t n = std::min<std::size_t>(
             in.size() - done, geom_.pageSize - off);
         ++statHostWrites;
+        metHostWrites.add();
 
         const PageTable::Location loc = mmu_.lookup(page);
         BufferSlotId slot;
@@ -224,6 +270,7 @@ Controller::write(Addr addr, std::span<const std::uint8_t> in)
             slot = loc.sramSlot;
             outcome.hitSram = true;
             ++statBufferHits;
+            metBufferHits.add();
         } else {
             slot = copyOnWrite(page, loc, outcome);
         }
@@ -272,6 +319,7 @@ Controller::flushOne()
             break;
         }
         ++statFlushRetries;
+        metFlushRetries.add();
         ENVY_CRASH_POINT("ctl.flush.after_program_failure");
     }
     ENVY_CRASH_POINT("ctl.flush.after_program");
@@ -283,7 +331,12 @@ Controller::flushOne()
 
     const Tick program = flash_.timing().programTimeAfter(
         flash_.eraseCycles(phys));
-    return program + (cleaner_.busyTime() - clean_busy0);
+    const Tick busy = program + (cleaner_.busyTime() - clean_busy0);
+    metFlushTicks.record(busy);
+    ENVY_TRACE("ctl.flush", obs::tv("page", tail.logical.value()),
+               obs::tv("segment", phys.value()),
+               obs::tv("ticks", busy));
+    return busy;
 }
 
 void

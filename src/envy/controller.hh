@@ -40,7 +40,8 @@ class Controller : public StatGroup
     Controller(const Geometry &geom, FlashArray &flash, Mmu &mmu,
                WriteBuffer &buffer, SegmentSpace &space,
                Cleaner &cleaner, CleaningPolicy &policy,
-               bool auto_drain, StatGroup *parent = nullptr);
+               bool auto_drain, StatGroup *parent = nullptr,
+               obs::MetricsRegistry *metrics = nullptr);
 
     /** What a host access made the device do (for timing models). */
     struct AccessOutcome
@@ -117,6 +118,15 @@ class Controller : public StatGroup
     Counter statBufferHits;
     Counter statForegroundFlushes;
     Counter statFlushRetries;
+
+    // Observability metrics (docs/OBSERVABILITY.md).
+    obs::Counter metHostReads;
+    obs::Counter metHostWrites;
+    obs::Counter metCows;
+    obs::Counter metBufferHits;
+    obs::Counter metForegroundFlushes;
+    obs::Counter metFlushRetries;
+    obs::Histogram metFlushTicks; //!< device time per flushOne()
 
   private:
     LogicalPageId pageOf(Addr addr) const

@@ -27,23 +27,26 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
 
     sram_ = std::make_unique<SramArray>(sram_bytes, true);
     flash_ = std::make_unique<FlashArray>(g, cfg_.timing,
-                                          cfg_.storeData, this);
+                                          cfg_.storeData, this,
+                                          &metrics_);
     pageTable_ = std::make_unique<PageTable>(
         *sram_, ptBase_, g.physicalPages().value());
     mmu_ = std::make_unique<Mmu>(*pageTable_, cfg_.tlbSize, this);
     buffer_ = std::make_unique<WriteBuffer>(
         *sram_, bufferBase_, buffer_pages, g.pageSize,
-        cfg_.storeData, cfg_.bufferThreshold, this);
+        cfg_.storeData, cfg_.bufferThreshold, this, &metrics_);
     space_ = std::make_unique<SegmentSpace>(*flash_, *sram_,
-                                            spaceBase_);
+                                            spaceBase_, &metrics_);
     wearLeveler_ =
-        std::make_unique<WearLeveler>(cfg_.wearThreshold, this);
+        std::make_unique<WearLeveler>(cfg_.wearThreshold, this,
+                                      &metrics_);
     cleaner_ = std::make_unique<Cleaner>(*space_, *mmu_,
-                                         wearLeveler_.get(), this);
+                                         wearLeveler_.get(), this,
+                                         &metrics_);
     policy_ = makePolicy(cfg_.policy, cfg_.partitionSize);
     controller_ = std::make_unique<Controller>(
         g, *flash_, *mmu_, *buffer_, *space_, *cleaner_, *policy_,
-        cfg_.autoDrain, this);
+        cfg_.autoDrain, this, &metrics_);
 
     if (cfg_.prePopulate)
         controller_->populate(cfg_.placement, cfg_.agedStride);

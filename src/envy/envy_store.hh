@@ -28,6 +28,7 @@
 #include "envy/recovery.hh"
 #include "envy/wear_leveler.hh"
 #include "flash/flash_array.hh"
+#include "obs/metrics.hh"
 #include "sram/sram_array.hh"
 
 namespace envy {
@@ -95,6 +96,16 @@ class EnvyStore : public StatGroup
     WearLeveler &wearLeveler() { return *wearLeveler_; }
 
     /**
+     * The store's metrics registry (docs/OBSERVABILITY.md): every
+     * component registers its counters here at construction, and
+     * recovery re-registers idempotently after a power failure.
+     * Snapshot it at window boundaries; the snapshot is isolated
+     * from further mutation.
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
      * Simulate a power failure and recovery: every in-core structure
      * is rebuilt from battery-backed SRAM and flash metadata, any
      * interrupted clean or wear rotation is completed, and orphaned
@@ -105,6 +116,9 @@ class EnvyStore : public StatGroup
 
   private:
     EnvyConfig cfg_;
+    // Declared before the components: they hold handles into it, so
+    // it must outlive them (destruction runs bottom-up).
+    obs::MetricsRegistry metrics_;
     std::unique_ptr<SramArray> sram_;
     std::unique_ptr<FlashArray> flash_;
     std::unique_ptr<PageTable> pageTable_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "envy/envy_store.hh"
+#include "obs/trace.hh"
 
 namespace envy {
 
@@ -145,6 +146,53 @@ Recovery::run(EnvyStore &store)
 
     // 7. Reset policy heuristics against the recovered reality.
     store.controller_->policy().attach(space, cleaner);
+
+    // 8. Publish the repair work.  Registration is idempotent, so
+    // re-running recovery after every crash of an exploration run
+    // keeps appending to the same counters (tests/test_crash_explorer
+    // checks they stay consistent with the returned reports).
+    obs::MetricsRegistry &metrics = store.metrics();
+    metrics
+        .counter("recovery.runs", "runs",
+                 "power-fail recovery passes completed")
+        .add();
+    metrics
+        .counter("recovery.stale_reclaimed", "pages",
+                 "stale flash duplicates re-invalidated by recovery")
+        .add(report.staleFlashReclaimed);
+    metrics
+        .counter("recovery.shadows_swept", "pages",
+                 "transaction shadows reclaimed by recovery")
+        .add(report.shadowsSwept);
+    metrics
+        .counter("recovery.buffer_kept", "pages",
+                 "write-buffer pages that survived recovery")
+        .add(report.bufferEntriesKept);
+    metrics
+        .counter("recovery.orphans_dropped", "pages",
+                 "orphan buffer slots dropped by recovery")
+        .add(report.bufferOrphansDropped);
+    metrics
+        .counter("recovery.pages_repaired", "pages",
+                 "total slots recovery had to repair (stale + "
+                 "shadows + orphans)")
+        .add(report.staleFlashReclaimed + report.shadowsSwept +
+             report.bufferOrphansDropped);
+    metrics
+        .counter("recovery.cleans_resumed", "cleans",
+                 "interrupted cleans driven to completion")
+        .add(report.cleanResumed ? 1 : 0);
+    metrics
+        .counter("recovery.wear_resumed", "rotations",
+                 "interrupted wear rotations driven to completion")
+        .add(report.wearResumed ? 1 : 0);
+    ENVY_TRACE("recovery.done",
+               obs::tv("stale_reclaimed", report.staleFlashReclaimed),
+               obs::tv("shadows_swept", report.shadowsSwept),
+               obs::tv("buffer_kept", report.bufferEntriesKept),
+               obs::tv("orphans_dropped", report.bufferOrphansDropped),
+               obs::tv("clean_resumed", report.cleanResumed),
+               obs::tv("wear_resumed", report.wearResumed));
     return report;
 }
 

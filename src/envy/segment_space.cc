@@ -6,11 +6,15 @@
 
 namespace envy {
 
-SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base)
+SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base,
+                           obs::MetricsRegistry *metrics)
     : flash_(flash),
       sram_(sram),
       base_(base),
-      numLogical_(static_cast<std::uint32_t>(flash.numSegments() - 1))
+      numLogical_(static_cast<std::uint32_t>(flash.numSegments() - 1)),
+      metFlushes(obs::counterOf(metrics, "space.flushes", "pages",
+                                "flush clock: pages flushed from the "
+                                "write buffer"))
 {
     ENVY_ASSERT(base + bytesNeeded(flash.numSegments()) <= sram.size(),
                 "segspace: state does not fit in SRAM");

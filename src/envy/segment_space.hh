@@ -22,6 +22,7 @@
 
 #include "common/types.hh"
 #include "flash/flash_array.hh"
+#include "obs/metrics.hh"
 #include "sram/sram_array.hh"
 
 namespace envy {
@@ -34,7 +35,8 @@ class SegmentSpace
      * @param sram   battery-backed SRAM for the persistent state
      * @param base   byte offset of that state inside @p sram
      */
-    SegmentSpace(FlashArray &flash, SramArray &sram, Addr base);
+    SegmentSpace(FlashArray &flash, SramArray &sram, Addr base,
+                 obs::MetricsRegistry *metrics = nullptr);
     ~SegmentSpace();
 
     SegmentSpace(const SegmentSpace &) = delete;
@@ -128,7 +130,13 @@ class SegmentSpace
 
     /** Advances once per page flushed from the write buffer. */
     std::uint64_t flushClock() const { return flushClock_; }
-    void noteFlush() { ++flushClock_; }
+
+    void
+    noteFlush()
+    {
+        ++flushClock_;
+        metFlushes.add();
+    }
 
     std::uint64_t cleanCount(std::uint32_t logical) const;
     std::uint64_t lastCleanClock(std::uint32_t logical) const;
@@ -250,6 +258,10 @@ class SegmentSpace
     std::vector<std::int64_t> liveBit_; //!< Fenwick tree, 1-based
     std::set<std::uint32_t> freePos_;   //!< logicals with free > 0
     std::set<std::uint32_t> free2Pos_;  //!< logicals with free > 1
+
+    // Observability (docs/OBSERVABILITY.md): the flush clock as a
+    // counter, so cleaning cost is computable from a snapshot alone.
+    obs::Counter metFlushes;
 
     // Policy clocks (reconstructed, not persisted: heuristics only).
     std::uint64_t flushClock_ = 0;

@@ -4,12 +4,19 @@
 #include "envy/cleaner.hh"
 #include "envy/segment_space.hh"
 #include "faults/crash_point.hh"
+#include "obs/trace.hh"
 
 namespace envy {
 
-WearLeveler::WearLeveler(std::uint64_t threshold, StatGroup *parent)
+WearLeveler::WearLeveler(std::uint64_t threshold, StatGroup *parent,
+                         obs::MetricsRegistry *metrics)
     : StatGroup("wearLeveler", parent),
       statRotations(this, "rotations", "oldest/youngest data rotations"),
+      metRotations(obs::counterOf(metrics, "wear.rotations", "rotations",
+                                  "oldest/youngest data rotations")),
+      metSpread(obs::gaugeOf(metrics, "wear.spread", "cycles",
+                             "max-min erase-cycle spread over data "
+                             "segments, sampled at each trigger check")),
       threshold_(threshold)
 {
 }
@@ -40,11 +47,12 @@ WearLeveler::maybeRotate(SegmentSpace &space, Cleaner &cleaner)
     // The oldest *eligible* segment: one that has aged a further
     // threshold since it last took part in a rotation (see header).
     std::uint32_t oldest = 0, youngest = 0;
-    std::uint64_t lo = ~0ull, hi = 0;
+    std::uint64_t lo = ~0ull, hi = 0, true_hi = 0;
     bool have_oldest = false;
     for (std::uint32_t l = 0; l < space.numLogical(); ++l) {
         const SegmentId phys = space.physOf(l);
         const std::uint64_t c = flash.eraseCycles(phys);
+        true_hi = std::max(true_hi, c);
         const bool eligible =
             c >= lastRotation_[phys.value()] + threshold_;
         if (eligible && (!have_oldest || c > hi)) {
@@ -57,6 +65,9 @@ WearLeveler::maybeRotate(SegmentSpace &space, Cleaner &cleaner)
             youngest = l;
         }
     }
+    // `hi` only tracks eligible segments; the gauge wants the true
+    // spread, which the same pass already saw.
+    metSpread.set(static_cast<double>(true_hi - lo));
     if (!have_oldest || hi - lo <= threshold_ || oldest == youngest)
         return false;
 
@@ -148,6 +159,11 @@ WearLeveler::finishRotation(SegmentSpace &space, Cleaner &cleaner,
 
     ++statRotations;
     ++cleaner.statWearRotations;
+    metRotations.add();
+    ENVY_TRACE("wear.rotate", obs::tv("phys_old", phys_old.value()),
+               obs::tv("phys_young", phys_young.value()),
+               obs::tv("fresh", fresh.value()),
+               obs::tv("spread", spread(space)));
     busy_ = false;
 }
 

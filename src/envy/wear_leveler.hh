@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 #include "sim/stats.hh"
 
 namespace envy {
@@ -38,7 +39,8 @@ class WearLeveler : public StatGroup
      *                   exceeds this (paper: 100)
      */
     explicit WearLeveler(std::uint64_t threshold = 100,
-                         StatGroup *parent = nullptr);
+                         StatGroup *parent = nullptr,
+                         obs::MetricsRegistry *metrics = nullptr);
 
     std::uint64_t threshold() const { return threshold_; }
 
@@ -65,6 +67,10 @@ class WearLeveler : public StatGroup
     std::uint64_t spread(const SegmentSpace &space) const;
 
     Counter statRotations;
+
+    // Observability metrics (docs/OBSERVABILITY.md).
+    obs::Counter metRotations;
+    obs::Gauge metSpread; //!< erase-cycle spread at each trigger check
 
   private:
     /** Shared epilogue of a fresh and a resumed rotation. */

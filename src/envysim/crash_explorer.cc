@@ -489,6 +489,7 @@ CrashPointExplorer::runCase(const std::string &point,
     FaultInjector inj(plan);
     inj.arm();
     inj.attachFlash(store.flash());
+    inj.observeMetrics(&store.metrics());
     try {
         driver->run(cfg_.opsPerCase);
     } catch (const PowerLoss &) {
@@ -517,6 +518,42 @@ CrashPointExplorer::runCase(const std::string &point,
     const InvariantReport after = InvariantChecker::check(store, opts);
     for (const std::string &v : after.violations)
         cr.violations.push_back("after aftershock: " + v);
+
+    // The observability layer must survive the crash too: recovery
+    // re-registers its counters (idempotently) and their values must
+    // agree with the RecoveryReport; the injector's fault.* counters
+    // must agree with the injector itself.
+    cr.metricsAfter = store.metrics().snapshot();
+    auto checkCounter = [&](const char *name, std::uint64_t want) {
+        const obs::MetricsSnapshot::Entry *e = cr.metricsAfter.find(name);
+        if (!e) {
+            cr.violations.push_back(
+                format("metric ", name, " missing after recovery"));
+        } else if (e->value != want) {
+            cr.violations.push_back(format("metric ", name, " = ",
+                                           e->value, " != expected ",
+                                           want));
+        }
+    };
+    checkCounter("recovery.runs", 1);
+    checkCounter("recovery.stale_reclaimed",
+                 cr.recovery.staleFlashReclaimed);
+    checkCounter("recovery.shadows_swept", cr.recovery.shadowsSwept);
+    checkCounter("recovery.buffer_kept", cr.recovery.bufferEntriesKept);
+    checkCounter("recovery.orphans_dropped",
+                 cr.recovery.bufferOrphansDropped);
+    checkCounter("recovery.pages_repaired",
+                 cr.recovery.staleFlashReclaimed +
+                     cr.recovery.shadowsSwept +
+                     cr.recovery.bufferOrphansDropped);
+    checkCounter("recovery.cleans_resumed",
+                 cr.recovery.cleanResumed ? 1 : 0);
+    checkCounter("recovery.wear_resumed",
+                 cr.recovery.wearResumed ? 1 : 0);
+    checkCounter("fault.power_losses", 1);
+    checkCounter("fault.program_failures",
+                 inj.programFailuresInjected());
+    checkCounter("fault.erase_failures", inj.eraseFailuresInjected());
     return cr;
 }
 

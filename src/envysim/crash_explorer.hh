@@ -37,6 +37,7 @@
 #include "envy/envy_store.hh"
 #include "faults/fault_injector.hh"
 #include "faults/invariant_checker.hh"
+#include "obs/metrics.hh"
 
 namespace envy {
 
@@ -106,6 +107,14 @@ struct CrashCaseResult
     bool crashed = false; //!< the planned PowerLoss fired
     RecoveryReport recovery;
     std::vector<std::string> violations;
+
+    /**
+     * The store's metrics after recovery + aftershock.  runCase
+     * cross-checks the recovery.* counters in here against the
+     * RecoveryReport and the fault.* counters against the injector —
+     * a disagreement is a violation like any other.
+     */
+    obs::MetricsSnapshot metricsAfter;
 
     bool ok() const { return violations.empty(); }
 };

@@ -191,16 +191,25 @@ BenchOptions::parse(int argc, char **argv)
             opt.jobs = static_cast<unsigned>(n);
         } else if (arg == "--json" && i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.tracePath = argv[++i];
         } else if (arg == "--smoke") {
             opt.smoke = true;
         } else {
             std::fprintf(stderr,
                          "%s: unknown argument '%s'\n"
                          "usage: %s [--jobs N] [--json PATH] "
-                         "[--smoke]\n",
+                         "[--trace PATH] [--smoke]\n",
                          argv[0], arg.c_str(), argv[0]);
             std::exit(2);
         }
+    }
+    if (!opt.tracePath.empty() && opt.jobs != 1) {
+        std::fprintf(stderr,
+                     "%s: --trace forces --jobs 1 (trace sinks are "
+                     "thread-local)\n",
+                     argv[0]);
+        opt.jobs = 1;
     }
     return opt;
 }
@@ -209,6 +218,17 @@ BenchReport::BenchReport(std::string bench_name,
                          const BenchOptions &opt)
     : bench_(std::move(bench_name)), opt_(opt)
 {
+    if (!opt_.tracePath.empty()) {
+        traceSink_ =
+            std::make_unique<obs::JsonlFileSink>(opt_.tracePath);
+        prevSink_ = obs::trace::setTraceSink(traceSink_.get());
+    }
+}
+
+BenchReport::~BenchReport()
+{
+    if (traceSink_)
+        obs::trace::setTraceSink(prevSink_);
 }
 
 void
@@ -218,11 +238,18 @@ BenchReport::add(const ResultTable &table)
     tables_.push_back(table);
 }
 
+void
+BenchReport::addMetrics(const std::string &label,
+                        const obs::MetricsSnapshot &snapshot)
+{
+    metrics_.emplace_back(label, snapshot.toJson());
+}
+
 std::string
 BenchReport::toJson() const
 {
     std::ostringstream os;
-    os << "{\"schema\": \"envy-bench-v1\", \"bench\": \""
+    os << "{\"schema\": \"envy-bench-v2\", \"bench\": \""
        << jsonEscape(bench_) << "\", \"smoke\": "
        << (opt_.smoke ? "true" : "false") << ", \"tables\": [";
     for (std::size_t i = 0; i < tables_.size(); ++i) {
@@ -230,7 +257,18 @@ BenchReport::toJson() const
             os << ", ";
         os << tables_[i].toJson();
     }
-    os << "]}";
+    os << "]";
+    if (!metrics_.empty()) {
+        os << ", \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << '"' << jsonEscape(metrics_[i].first)
+               << "\": " << metrics_[i].second;
+        }
+        os << "}";
+    }
+    os << "}";
     return os.str();
 }
 

@@ -12,8 +12,13 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace envy {
 
@@ -61,6 +66,9 @@ class ResultTable
  *   --jobs N      worker threads for the sweep (default: ENVY_JOBS,
  *                 else hardware concurrency; 1 = exact serial run)
  *   --json PATH   also write the tables as JSON to PATH
+ *   --trace PATH  write a JSONL event trace to PATH (forces --jobs 1:
+ *                 trace sinks are thread-local, so only a serial run
+ *                 captures the whole experiment)
  *   --smoke       reduced sweep for CI smoke runs
  *
  * Unknown arguments are a usage error (exit 2) so CI catches typos.
@@ -69,6 +77,7 @@ struct BenchOptions
 {
     unsigned jobs = 1;
     std::string jsonPath;
+    std::string tracePath;
     bool smoke = false;
 
     static BenchOptions parse(int argc, char **argv);
@@ -83,20 +92,38 @@ class BenchReport
 {
   public:
     BenchReport(std::string bench_name, const BenchOptions &opt);
+    ~BenchReport();
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
 
     /** Print @p table and retain it for the JSON document. */
     void add(const ResultTable &table);
 
+    /**
+     * Retain a metrics snapshot under @p label for the JSON
+     * document's optional `metrics` block (one entry per labelled
+     * snapshot, e.g. one per sweep point).
+     */
+    void addMetrics(const std::string &label,
+                    const obs::MetricsSnapshot &snapshot);
+
     /** Write the JSON file if requested.  Returns an exit status. */
     int finish();
 
-    /** The JSON document (schema envy-bench-v1), for tests. */
+    /** The JSON document (schema envy-bench-v2), for tests. */
     std::string toJson() const;
 
   private:
     std::string bench_;
     BenchOptions opt_;
     std::vector<ResultTable> tables_;
+    std::vector<std::pair<std::string, std::string>> metrics_;
+
+    // --trace: a JSONL sink installed on the calling thread for the
+    // report's lifetime (the options parser forces --jobs 1).
+    std::unique_ptr<obs::JsonlFileSink> traceSink_;
+    obs::TraceSink *prevSink_ = nullptr;
 };
 
 /** JSON string escaping (quotes added by the caller's context). */

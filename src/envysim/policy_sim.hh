@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "envy/policy/cleaning_policy.hh"
+#include "obs/metrics.hh"
 #include "workload/bimodal.hh"
 
 namespace envy {
@@ -75,6 +76,16 @@ struct PolicySimResult
     std::uint64_t wearRotations = 0;
     double avgCleanedUtilization = 0.0;
     std::uint32_t warmupChunksUsed = 0;
+
+    /**
+     * Metrics snapshots (docs/OBSERVABILITY.md) at the two window
+     * boundaries.  The measured figures above are derived from their
+     * counter deltas — `sim.cleaning_cost` in finalMetrics equals
+     * cleaningCost by construction, which is what lets bench tables
+     * embed a snapshot that provably matches their printed cells.
+     */
+    obs::MetricsSnapshot warmupMetrics;
+    obs::MetricsSnapshot finalMetrics;
 };
 
 PolicySimResult runPolicySim(const PolicySimParams &params);

@@ -93,6 +93,7 @@ runTimedSim(const TimedParams &params)
     Tick host_busy = 0, flush_busy = 0, clean_busy = 0, erase_busy = 0;
     std::uint64_t completed = 0, stalls = 0;
     WorkCounters win0{};
+    obs::MetricsSnapshot warmup_snap;
 
     auto chargeBackground = [&](const WorkCounters &before,
                                 const WorkCounters &after) {
@@ -148,6 +149,7 @@ runTimedSim(const TimedParams &params)
             // already be past the arrival under overload.
             window_start = std::max(now, free_at);
             win0 = WorkCounters::of(store);
+            warmup_snap = store.metrics().snapshot();
         }
 
         advanceTo(now);
@@ -265,6 +267,8 @@ runTimedSim(const TimedParams &params)
                 : 0.0;
     r.cleans = store.cleanerRef().statCleans.value();
     r.foregroundStalls = stalls;
+    r.warmupMetrics = std::move(warmup_snap);
+    r.finalMetrics = store.metrics().snapshot();
     return r;
 }
 

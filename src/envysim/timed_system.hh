@@ -35,6 +35,7 @@
 #include <cstdint>
 
 #include "envy/envy_store.hh"
+#include "obs/metrics.hh"
 #include "workload/tpca.hh"
 
 namespace envy {
@@ -78,6 +79,15 @@ struct TimedResult
     double flushPagesPerSec = 0.0;
     std::uint64_t cleans = 0;
     std::uint64_t foregroundStalls = 0;
+
+    /**
+     * Store-registry snapshots (docs/OBSERVABILITY.md) at the warmup
+     * boundary and after the measurement window.  Per-window figures
+     * are their counter deltas, e.g.
+     * `finalMetrics.counterDelta(warmupMetrics, "buf.flushes")`.
+     */
+    obs::MetricsSnapshot warmupMetrics;
+    obs::MetricsSnapshot finalMetrics;
 
     /**
      * §5.5 lifetime estimate in days of continuous use for the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "flash/flash_array.hh"
+#include "obs/trace.hh"
 
 namespace envy {
 
@@ -56,12 +57,29 @@ FaultInjector::attachFlash(FlashArray &flash)
 }
 
 void
+FaultInjector::observeMetrics(obs::MetricsRegistry *metrics)
+{
+    metProgramFailures =
+        obs::counterOf(metrics, "fault.program_failures", "programs",
+                       "program spec-failures injected");
+    metEraseFailures =
+        obs::counterOf(metrics, "fault.erase_failures", "erases",
+                       "transient erase failures injected");
+    metPowerLosses =
+        obs::counterOf(metrics, "fault.power_losses", "crashes",
+                       "planned power losses thrown");
+}
+
+void
 FaultInjector::onCrashPoint(const char *name)
 {
     const std::uint64_t n = ++hits_[name];
     if (!powerLossFired_ && !plan_.crashPoint.empty() &&
         plan_.crashPoint == name && n == plan_.crashOccurrence) {
         powerLossFired_ = true;
+        metPowerLosses.add();
+        ENVY_TRACE("fault.power_loss", obs::tv("point", name),
+                   obs::tv("occurrence", n));
         throw PowerLoss{name, n};
     }
 }
@@ -81,8 +99,11 @@ FaultInjector::shouldFailProgram()
                                    plan_.failProgramOps.end(), n);
     if (!fail && plan_.programFailureRate > 0.0)
         fail = rng_.chance(plan_.programFailureRate);
-    if (fail)
+    if (fail) {
         ++programFailures_;
+        metProgramFailures.add();
+        ENVY_TRACE("fault.program_fail", obs::tv("attempt", n));
+    }
     return fail;
 }
 
@@ -94,8 +115,11 @@ FaultInjector::shouldFailErase()
                                    plan_.failEraseOps.end(), n);
     if (!fail && plan_.eraseFailureRate > 0.0)
         fail = rng_.chance(plan_.eraseFailureRate);
-    if (fail)
+    if (fail) {
         ++eraseFailures_;
+        metEraseFailures.add();
+        ENVY_TRACE("fault.erase_fail", obs::tv("attempt", n));
+    }
     return fail;
 }
 

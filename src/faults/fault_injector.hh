@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "faults/crash_point.hh"
+#include "obs/metrics.hh"
 #include "sim/random.hh"
 
 namespace envy {
@@ -69,6 +70,14 @@ class FaultInjector final : public CrashSink
     /** Arm the program/erase fault hooks of @p flash. */
     void attachFlash(FlashArray &flash);
 
+    /**
+     * Also publish injections into @p metrics (fault.* counters,
+     * docs/OBSERVABILITY.md).  Call once, before the faults fire;
+     * typically with the store's own registry so the injected-fault
+     * counts land in the same snapshot as the repair work they cause.
+     */
+    void observeMetrics(obs::MetricsRegistry *metrics);
+
     // CrashSink
     void onCrashPoint(const char *name) override;
 
@@ -107,6 +116,9 @@ class FaultInjector final : public CrashSink
     FlashArray *flash_ = nullptr;
 
     std::map<std::string, std::uint64_t> hits_;
+    obs::Counter metProgramFailures;
+    obs::Counter metEraseFailures;
+    obs::Counter metPowerLosses;
     std::uint64_t programAttempts_ = 0;
     std::uint64_t eraseAttempts_ = 0;
     std::uint64_t programFailures_ = 0;

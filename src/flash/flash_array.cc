@@ -1,11 +1,13 @@
 #include "flash/flash_array.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace envy {
 
 FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
-                       bool store_data, StatGroup *parent)
+                       bool store_data, StatGroup *parent,
+                       obs::MetricsRegistry *metrics)
     : StatGroup("flash", parent),
       statPagesProgrammed(this, "pagesProgrammed",
                           "pages programmed into the array"),
@@ -23,6 +25,20 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
       statEraseSpecFailures(this, "eraseSpecFailures",
                             "erase operations that overran their "
                             "rated window"),
+      metPrograms(obs::counterOf(metrics, "flash.programs", "pages",
+                                 "pages programmed into the array")),
+      metInvalidations(obs::counterOf(metrics, "flash.invalidations",
+                                      "pages",
+                                      "pages marked dead by "
+                                      "copy-on-write/clean")),
+      metErases(obs::counterOf(metrics, "flash.erases", "segments",
+                               "whole-segment erase operations")),
+      metPageReads(obs::counterOf(metrics, "flash.page_reads", "pages",
+                                  "page reads via the wide path")),
+      metSlotsRetired(obs::counterOf(metrics, "flash.slots_retired",
+                                     "slots",
+                                     "slots retired after a program "
+                                     "spec-failure")),
       geom_(geom),
       timing_(timing),
       storeData_(store_data)
@@ -114,6 +130,7 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
         retireCurrentSlot(s);
         ++statSlotsRetired;
         ++statProgramSpecFailures;
+        metSlotsRetired.add();
         if (segmentChangedHook)
             segmentChangedHook(seg);
         return AppendResult{FlashPageAddr{}, true};
@@ -124,6 +141,7 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
     ++s.live;
     totalLive_ += PageCount(1);
     ++statPagesProgrammed;
+    metPrograms.add();
     if (segmentChangedHook)
         segmentChangedHook(seg);
     return AppendResult{FlashPageAddr{seg, slot}, false};
@@ -183,6 +201,7 @@ FlashArray::invalidatePage(FlashPageAddr addr)
     --s.live;
     totalLive_ -= PageCount(1);
     ++statPagesInvalidated;
+    metInvalidations.add();
     if (segmentChangedHook)
         segmentChangedHook(addr.segment);
 }
@@ -194,6 +213,7 @@ FlashArray::readPage(FlashPageAddr addr, std::span<std::uint8_t> out)
     ENVY_ASSERT(addr.slot.value() < s.writePtr,
                 "flash: read of unwritten slot");
     ++statPageReads;
+    metPageReads.add();
     if (!storeData_)
         return;
     bank(geom_.bankOf(addr.segment)).readPage(
@@ -325,6 +345,9 @@ FlashArray::eraseSegment(SegmentId seg)
     s.writePtr = 0;
     // Retired slots stay retired: the damage is physical.
     s.retiredAhead = s.retiredTotal;
+    metErases.add();
+    ENVY_TRACE("flash.erase", obs::tv("segment", seg.value()),
+               obs::tv("cycles", s.eraseCycles));
     if (segmentChangedHook)
         segmentChangedHook(seg);
     return busy;

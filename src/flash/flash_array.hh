@@ -26,6 +26,7 @@
 #include "common/geometry.hh"
 #include "common/types.hh"
 #include "flash/flash_bank.hh"
+#include "obs/metrics.hh"
 #include "sim/stats.hh"
 
 namespace envy {
@@ -34,7 +35,8 @@ class FlashArray : public StatGroup
 {
   public:
     FlashArray(const Geometry &geom, const FlashTiming &timing,
-               bool store_data, StatGroup *parent = nullptr);
+               bool store_data, StatGroup *parent = nullptr,
+               obs::MetricsRegistry *metrics = nullptr);
 
     const Geometry &geom() const { return geom_; }
     const FlashTiming &timing() const { return timing_; }
@@ -218,6 +220,14 @@ class FlashArray : public StatGroup
     Counter statProgramSpecFailures;
     Counter statEraseRetries;
     Counter statEraseSpecFailures;
+
+    // Observability metrics (docs/OBSERVABILITY.md); null-safe
+    // no-ops when constructed without a registry.
+    obs::Counter metPrograms;
+    obs::Counter metInvalidations;
+    obs::Counter metErases;
+    obs::Counter metPageReads;
+    obs::Counter metSlotsRetired;
 
   private:
     struct SegmentState

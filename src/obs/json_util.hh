@@ -1,0 +1,28 @@
+/**
+ * @file
+ * JSON string escaping shared by the metrics snapshot serialiser,
+ * the JSONL trace sink and the bench report writer.  Lives in obs
+ * (the lowest layer that needs it) so sram/flash/envy code never
+ * grows a JSON dependency of its own.
+ */
+
+#ifndef ENVY_OBS_JSON_UTIL_HH
+#define ENVY_OBS_JSON_UTIL_HH
+
+#include <string>
+#include <string_view>
+
+namespace envy {
+namespace obs {
+
+/**
+ * Escape @p s for use inside a double-quoted JSON string: quotes,
+ * backslashes, and control characters (as \uXXXX or the short
+ * escapes \n \r \t \b \f).  Does not add the surrounding quotes.
+ */
+std::string jsonEscape(std::string_view s);
+
+} // namespace obs
+} // namespace envy
+
+#endif // ENVY_OBS_JSON_UTIL_HH

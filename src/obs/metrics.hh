@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The metrics registry: always-on, typed, snapshot-on-demand counters
+ * for every core component.
+ *
+ * The paper validates eNVy almost entirely through internal counters —
+ * cleaning cost per flush (Fig 6), policy comparisons (Fig 8),
+ * utilization and latency curves (Figs 14-15).  This registry makes
+ * those counters first-class: each component registers its metrics
+ * once at construction and bumps them on the hot path through a
+ * handle that is a single pointer indirection (no lookup, no
+ * allocation, no lock — a store and its registry belong to one
+ * simulated controller, which is single-threaded like the paper's).
+ *
+ * Three metric kinds:
+ *
+ *  - Counter:   monotonically increasing event count (u64);
+ *  - Gauge:     last-set level plus its high-water mark (double, so
+ *               derived figures like cleaning cost fit too);
+ *  - Histogram: fixed bucket edges chosen at registration; bucket i
+ *               counts samples in (edges[i-1], edges[i]], the last
+ *               bucket is the overflow.  Recording is a small binary
+ *               search over the edges — no allocation.
+ *
+ * Registration is idempotent: asking twice for the same name returns
+ * a handle to the same cell (recovery re-registers its counters on
+ * every run), and asking with a different kind or unit is fatal.
+ * Handles are null-safe: a component built without a registry (unit
+ * tests, bare harnesses) gets no-op handles and pays one branch.
+ *
+ * snapshot() returns a deep copy — MetricsSnapshot — that later
+ * mutations do not touch.  Snapshots serialise to the JSON `metrics`
+ * block of the envy-bench-v2 schema (docs/OBSERVABILITY.md) and
+ * support windowed deltas (counterDelta) for measured-interval
+ * figures.
+ */
+
+#ifndef ENVY_OBS_METRICS_HH
+#define ENVY_OBS_METRICS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace envy {
+namespace obs {
+
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+const char *metricKindName(MetricKind kind);
+
+namespace detail {
+
+struct CounterCell
+{
+    std::uint64_t value = 0;
+};
+
+struct GaugeCell
+{
+    double value = 0.0;
+    double high = 0.0;
+    bool everSet = false;
+};
+
+struct HistogramCell
+{
+    std::vector<std::uint64_t> edges; //!< ascending, fixed at creation
+    std::vector<std::uint64_t> counts; //!< edges.size() + 1 buckets
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+} // namespace detail
+
+/** Null-safe counter handle: add() on a default handle is a no-op. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (cell_)
+            cell_->value += n;
+    }
+
+    std::uint64_t value() const { return cell_ ? cell_->value : 0; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(detail::CounterCell *cell) : cell_(cell) {}
+    detail::CounterCell *cell_ = nullptr;
+};
+
+/** Null-safe gauge handle; set() also maintains the high-water mark. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void
+    set(double v)
+    {
+        if (!cell_)
+            return;
+        cell_->value = v;
+        if (!cell_->everSet || v > cell_->high)
+            cell_->high = v;
+        cell_->everSet = true;
+    }
+
+    double value() const { return cell_ ? cell_->value : 0.0; }
+    double high() const { return cell_ ? cell_->high : 0.0; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(detail::GaugeCell *cell) : cell_(cell) {}
+    detail::GaugeCell *cell_ = nullptr;
+};
+
+/** Null-safe fixed-bucket histogram handle. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    void record(std::uint64_t v);
+
+    std::uint64_t count() const { return cell_ ? cell_->count : 0; }
+    double sum() const { return cell_ ? cell_->sum : 0.0; }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(detail::HistogramCell *cell) : cell_(cell) {}
+    detail::HistogramCell *cell_ = nullptr;
+};
+
+/** Deep copy of a registry at one instant (see snapshot()). */
+struct MetricsSnapshot
+{
+    struct Entry
+    {
+        std::string name;
+        std::string unit;
+        MetricKind kind = MetricKind::Counter;
+
+        // Counter.
+        std::uint64_t value = 0;
+        // Gauge.
+        double gaugeValue = 0.0;
+        double gaugeHigh = 0.0;
+        // Histogram.
+        std::vector<std::uint64_t> edges;
+        std::vector<std::uint64_t> counts;
+        std::uint64_t histCount = 0;
+        double histSum = 0.0;
+    };
+
+    std::vector<Entry> entries; //!< in registration order
+
+    /** Entry by name, nullptr when absent. */
+    const Entry *find(const std::string &name) const;
+
+    /** Counter value by name; fatal when absent or not a counter. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Gauge value by name; fatal when absent or not a gauge. */
+    double gauge(const std::string &name) const;
+
+    /** Gauge high-water by name; fatal when absent / not a gauge. */
+    double gaugeHigh(const std::string &name) const;
+
+    /**
+     * counter(name) - earlier.counter(name): the measured-window
+     * delta the figure tables are built from.
+     */
+    std::uint64_t counterDelta(const MetricsSnapshot &earlier,
+                               const std::string &name) const;
+
+    /**
+     * The snapshot as one JSON array of entry objects, each
+     * {"name", "kind", "unit", ...kind-specific fields} — the
+     * `entries` value of an envy-bench-v2 metrics block.
+     */
+    std::string toJson() const;
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Register (or re-find) a metric.  Idempotent per name; a kind or
+     * unit mismatch against the existing registration is fatal.
+     * Names are dotted `component.metric` style, lowercase.
+     */
+    Counter counter(const std::string &name, const std::string &unit,
+                    const std::string &desc);
+    Gauge gauge(const std::string &name, const std::string &unit,
+                const std::string &desc);
+    /** @p edges must be non-empty and strictly ascending. */
+    Histogram histogram(const std::string &name,
+                        const std::string &unit,
+                        const std::string &desc,
+                        std::vector<std::uint64_t> edges);
+
+    /** Number of registered metrics. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Deep, isolated copy of every metric right now. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric (measurement windows); keeps registrations. */
+    void reset();
+
+    /** Description of a registered metric ("" when absent). */
+    std::string describe(const std::string &name) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string unit;
+        std::string desc;
+        MetricKind kind;
+        detail::CounterCell counter;
+        detail::GaugeCell gauge;
+        detail::HistogramCell histogram;
+    };
+
+    Entry &findOrCreate(const std::string &name, MetricKind kind,
+                        const std::string &unit,
+                        const std::string &desc);
+
+    // deque: handles point into entries, so addresses must be stable.
+    std::deque<Entry> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/** Null-safe registration helpers for components whose registry
+ *  pointer may be null (unit tests, bare harnesses). */
+Counter counterOf(MetricsRegistry *reg, const std::string &name,
+                  const std::string &unit, const std::string &desc);
+Gauge gaugeOf(MetricsRegistry *reg, const std::string &name,
+              const std::string &unit, const std::string &desc);
+Histogram histogramOf(MetricsRegistry *reg, const std::string &name,
+                      const std::string &unit, const std::string &desc,
+                      std::vector<std::uint64_t> edges);
+
+} // namespace obs
+} // namespace envy
+
+#endif // ENVY_OBS_METRICS_HH

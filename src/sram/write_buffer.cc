@@ -7,10 +7,16 @@ namespace envy {
 WriteBuffer::WriteBuffer(SramArray &sram, Addr base,
                          std::uint32_t capacity, std::uint32_t page_size,
                          bool store_data, std::uint32_t threshold,
-                         StatGroup *parent)
+                         StatGroup *parent, obs::MetricsRegistry *metrics)
     : StatGroup("writeBuffer", parent),
       statInserts(this, "inserts", "pages inserted by copy-on-write"),
       statFlushes(this, "flushes", "pages flushed to flash"),
+      metInserts(obs::counterOf(metrics, "buf.inserts", "pages",
+                                "pages inserted by copy-on-write")),
+      metFlushes(obs::counterOf(metrics, "buf.flushes", "pages",
+                                "pages released after flush")),
+      metOccupancy(obs::gaugeOf(metrics, "buf.occupancy", "pages",
+                                "resident pages; high = high-water")),
       sram_(sram),
       base_(base),
       capacity_(capacity),
@@ -73,6 +79,8 @@ WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
     ++count_;
     syncHeader();
     ++statInserts;
+    metInserts.add();
+    metOccupancy.set(count_);
     return BufferSlotId(slot);
 }
 
@@ -99,6 +107,8 @@ WriteBuffer::popTail()
     --count_;
     syncHeader();
     ++statFlushes;
+    metFlushes.add();
+    metOccupancy.set(count_);
 }
 
 LogicalPageId

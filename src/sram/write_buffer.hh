@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 #include "sim/stats.hh"
 #include "sram/sram_array.hh"
 
@@ -46,7 +47,8 @@ class WriteBuffer : public StatGroup
      */
     WriteBuffer(SramArray &sram, Addr base, std::uint32_t capacity,
                 std::uint32_t page_size, bool store_data,
-                std::uint32_t threshold = 0, StatGroup *parent = nullptr);
+                std::uint32_t threshold = 0, StatGroup *parent = nullptr,
+                obs::MetricsRegistry *metrics = nullptr);
 
     /** Bytes of SRAM the buffer occupies (header + slots). */
     static std::uint64_t bytesNeeded(std::uint32_t capacity,
@@ -113,6 +115,11 @@ class WriteBuffer : public StatGroup
 
     Counter statInserts;
     Counter statFlushes;
+
+    // Observability metrics (docs/OBSERVABILITY.md).
+    obs::Counter metInserts;
+    obs::Counter metFlushes;
+    obs::Gauge metOccupancy; //!< occupancy level; high() = high-water
 
   private:
     // SRAM layout: [head:4][count:4] then per-slot {owner:4, origin:4},

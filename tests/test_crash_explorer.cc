@@ -114,6 +114,58 @@ TEST(CrashExplorer, SingleCaseIsRepeatable)
               b.recovery.staleFlashReclaimed);
 }
 
+TEST(CrashExplorer, MetricsStayConsistentThroughCrashAndRecovery)
+{
+    // runCase itself cross-checks the post-recovery metrics against
+    // the RecoveryReport and the injector (any disagreement is a
+    // violation), so a clean sampled run doubles as a registry
+    // consistency sweep across every crash point.
+    CrashExplorerConfig cfg = coveringConfig();
+    cfg.maxCasesPerPoint = 2;
+    CrashPointExplorer explorer(cfg);
+    const CrashExplorerResult res = explorer.run();
+    EXPECT_TRUE(res.allPassed()) << res.firstFailure();
+
+    for (const CrashCaseResult &c : res.cases) {
+        ASSERT_FALSE(c.metricsAfter.entries.empty());
+        EXPECT_EQ(c.metricsAfter.counter("recovery.runs"), 1u);
+        EXPECT_EQ(c.metricsAfter.counter("recovery.pages_repaired"),
+                  c.recovery.staleFlashReclaimed +
+                      c.recovery.shadowsSwept +
+                      c.recovery.bufferOrphansDropped);
+        EXPECT_EQ(c.metricsAfter.counter("fault.power_losses"), 1u);
+    }
+}
+
+TEST(CrashExplorer, RecoveryCountersAccumulateAcrossRepeatedCrashes)
+{
+    // Recovery re-registers its counters on every run (registration
+    // is idempotent): crashing the SAME store repeatedly must append
+    // to the same cells, summing the individual reports.
+    EnvyConfig cfg = CrashExplorerConfig::churnStore();
+    EnvyStore store(cfg);
+    Rng rng(11);
+    std::vector<std::uint8_t> data(cfg.geom.pageSize);
+
+    std::uint64_t stale = 0, kept = 0;
+    for (int round = 1; round <= 3; ++round) {
+        for (int i = 0; i < 200; ++i) {
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            store.write(rng.below(store.size() - data.size()), data);
+        }
+        const RecoveryReport rep = store.powerFailAndRecover();
+        stale += rep.staleFlashReclaimed;
+        kept += rep.bufferEntriesKept;
+
+        const obs::MetricsSnapshot snap = store.metrics().snapshot();
+        EXPECT_EQ(snap.counter("recovery.runs"),
+                  static_cast<std::uint64_t>(round));
+        EXPECT_EQ(snap.counter("recovery.stale_reclaimed"), stale);
+        EXPECT_EQ(snap.counter("recovery.buffer_kept"), kept);
+    }
+}
+
 TEST(CrashExplorer, TpcaTransactionsAreAtomicAcrossCrashes)
 {
     CrashExplorerConfig cfg;

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The metrics registry: typed handles, idempotent registration,
+ * snapshot isolation, histogram bucket edges, null-safety of the
+ * no-op handles, windowed deltas and JSON serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace envy {
+namespace obs {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.events", "events", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, RegistrationIsIdempotent)
+{
+    MetricsRegistry reg;
+    Counter a = reg.counter("test.events", "events", "a counter");
+    a.add(7);
+    // Same name + kind + unit: a handle to the SAME cell, not a
+    // fresh one — this is what lets recovery re-register per run.
+    Counter b = reg.counter("test.events", "events", "a counter");
+    EXPECT_EQ(b.value(), 7u);
+    b.add(3);
+    EXPECT_EQ(a.value(), 10u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, GaugeTracksValueAndHighWater)
+{
+    MetricsRegistry reg;
+    Gauge g = reg.gauge("test.level", "pages", "a gauge");
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(9.0);
+    g.set(2.0);
+    EXPECT_EQ(g.value(), 2.0);
+    EXPECT_EQ(g.high(), 9.0);
+}
+
+TEST(Metrics, GaugeHighWaterHandlesNegativeFirstSample)
+{
+    MetricsRegistry reg;
+    Gauge g = reg.gauge("test.neg", "units", "negative gauge");
+    g.set(-5.0);
+    EXPECT_EQ(g.high(), -5.0); // first sample IS the high-water
+    g.set(-9.0);
+    EXPECT_EQ(g.high(), -5.0);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds)
+{
+    MetricsRegistry reg;
+    Histogram h =
+        reg.histogram("test.lat", "ns", "a histogram", {10, 100, 1000});
+    // Bucket i counts v <= edges[i] (above the previous edge); the
+    // last bucket is the overflow.
+    h.record(0);    // bucket 0 (<= 10)
+    h.record(10);   // bucket 0 (edge inclusive)
+    h.record(11);   // bucket 1
+    h.record(100);  // bucket 1
+    h.record(101);  // bucket 2
+    h.record(1000); // bucket 2
+    h.record(1001); // overflow
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 0.0 + 10 + 11 + 100 + 101 + 1000 + 1001);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    const MetricsSnapshot::Entry *e = snap.find("test.lat");
+    ASSERT_NE(e, nullptr);
+    ASSERT_EQ(e->counts.size(), 4u); // 3 edges + overflow
+    EXPECT_EQ(e->counts[0], 2u);
+    EXPECT_EQ(e->counts[1], 2u);
+    EXPECT_EQ(e->counts[2], 2u);
+    EXPECT_EQ(e->counts[3], 1u);
+}
+
+TEST(Metrics, SnapshotIsIsolatedFromLaterMutation)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.events", "events", "a counter");
+    Gauge g = reg.gauge("test.level", "pages", "a gauge");
+    c.add(5);
+    g.set(1.5);
+
+    const MetricsSnapshot before = reg.snapshot();
+    c.add(100);
+    g.set(99.0);
+
+    EXPECT_EQ(before.counter("test.events"), 5u);
+    EXPECT_EQ(before.gauge("test.level"), 1.5);
+    const MetricsSnapshot after = reg.snapshot();
+    EXPECT_EQ(after.counter("test.events"), 105u);
+    EXPECT_EQ(after.gauge("test.level"), 99.0);
+}
+
+TEST(Metrics, CounterDeltaComputesWindowedFigures)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.events", "events", "a counter");
+    c.add(10);
+    const MetricsSnapshot warmup = reg.snapshot();
+    c.add(32);
+    const MetricsSnapshot final_snap = reg.snapshot();
+    EXPECT_EQ(final_snap.counterDelta(warmup, "test.events"), 32u);
+}
+
+TEST(Metrics, NullHandlesAreNoOps)
+{
+    // Components built without a registry get default handles: every
+    // operation is safe and observes zero.
+    Counter c = counterOf(nullptr, "x", "u", "d");
+    Gauge g = gaugeOf(nullptr, "x", "u", "d");
+    Histogram h = histogramOf(nullptr, "x", "u", "d", {1, 2});
+    c.add(5);
+    g.set(3.0);
+    h.record(7);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(g.high(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(Metrics, RegistrationOrderIsPreservedInSnapshots)
+{
+    MetricsRegistry reg;
+    reg.counter("z.last", "u", "registered first");
+    reg.gauge("a.first", "u", "registered second");
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 2u);
+    EXPECT_EQ(snap.entries[0].name, "z.last");
+    EXPECT_EQ(snap.entries[1].name, "a.first");
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.events", "events", "a counter");
+    Gauge g = reg.gauge("test.level", "pages", "a gauge");
+    Histogram h = reg.histogram("test.lat", "ns", "a histogram", {10});
+    c.add(5);
+    g.set(2.0);
+    h.record(3);
+
+    reg.reset();
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(c.value(), 0u); // the handles still point at the cells
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    c.add(1);
+    EXPECT_EQ(reg.snapshot().counter("test.events"), 1u);
+}
+
+TEST(Metrics, DescribeReturnsTheRegisteredDescription)
+{
+    MetricsRegistry reg;
+    reg.counter("test.events", "events", "what it counts");
+    EXPECT_EQ(reg.describe("test.events"), "what it counts");
+    EXPECT_EQ(reg.describe("no.such"), "");
+}
+
+TEST(Metrics, SnapshotToJsonContainsEveryEntry)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.events", "events", "a counter");
+    Gauge g = reg.gauge("test.level", "pages", "a gauge");
+    Histogram h = reg.histogram("test.lat", "ns", "a histogram", {10});
+    c.add(3);
+    g.set(1.25);
+    h.record(4);
+
+    const std::string json = reg.snapshot().toJson();
+    EXPECT_NE(json.find("\"name\":\"test.events\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test.level\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"test.lat\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+}
+
+TEST(MetricsDeath, KindMismatchIsFatal)
+{
+    MetricsRegistry reg;
+    reg.counter("test.events", "events", "a counter");
+    EXPECT_DEATH(reg.gauge("test.events", "events", "now a gauge"),
+                 "re-registered as");
+}
+
+TEST(MetricsDeath, UnitMismatchIsFatal)
+{
+    MetricsRegistry reg;
+    reg.counter("test.events", "events", "a counter");
+    EXPECT_DEATH(reg.counter("test.events", "pages", "other unit"),
+                 "unit");
+}
+
+TEST(MetricsDeath, HistogramEdgeMismatchIsFatal)
+{
+    MetricsRegistry reg;
+    reg.histogram("test.lat", "ns", "a histogram", {10, 100});
+    EXPECT_DEATH(reg.histogram("test.lat", "ns", "a histogram",
+                               {10, 200}),
+                 "edges");
+}
+
+} // namespace
+} // namespace obs
+} // namespace envy

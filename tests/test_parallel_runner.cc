@@ -178,12 +178,30 @@ TEST(BenchReport, JsonCarriesSchemaAndTables)
     t.addNote("n");
     report.add(t);
     const std::string json = report.toJson();
-    EXPECT_NE(json.find("\"schema\": \"envy-bench-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"envy-bench-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"bench\": \"probe\""), std::string::npos);
     EXPECT_NE(json.find("a \\\"quoted\\\" title"),
               std::string::npos);
     EXPECT_NE(json.find("\"rows\""), std::string::npos);
+    // No metrics registered: the optional block is omitted entirely.
+    EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(BenchReport, JsonEmbedsLabelledMetricsSnapshots)
+{
+    BenchOptions opt;
+    opt.jobs = 1;
+    BenchReport report("probe", opt);
+    obs::MetricsRegistry reg;
+    obs::Counter c = reg.counter("x.events", "events", "a counter");
+    c.add(4);
+    report.addMetrics("u=30%", reg.snapshot());
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"metrics\": {\"u=30%\": ["),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"x.events\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":4"), std::string::npos);
 }
 
 } // namespace

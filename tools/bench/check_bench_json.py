@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validate bench JSON reports against the envy-bench-v1 schema.
+"""Validate bench JSON reports against the envy-bench schemas.
 
 Usage: check_bench_json.py FILE_OR_DIR ...
+       check_bench_json.py --self-test
 
 A report must be a JSON object with:
 
-  schema   the literal string "envy-bench-v1"
+  schema   "envy-bench-v1" or "envy-bench-v2"
   bench    non-empty string naming the harness
   smoke    boolean
   tables   non-empty list of table objects, each with:
@@ -14,6 +15,18 @@ A report must be a JSON object with:
              rows     list of lists of strings, every row exactly
                       len(columns) cells
              notes    list of strings
+  metrics  (v2 only, optional) object mapping snapshot labels to
+           lists of metric entries.  Every entry has name (non-empty
+           string), kind ("counter" | "gauge" | "histogram") and
+           unit (string), plus kind-specific fields:
+             counter    value      non-negative integer
+             gauge      value, high  numbers
+             histogram  edges      list of non-decreasing integers
+                        counts     list of len(edges)+1 non-negative
+                                   integers
+                        count      non-negative integer, == the sum
+                                   of counts
+                        sum        number
 
 Exit status: 0 when every file validates, 1 otherwise, 2 on usage
 errors.  Directories are scanned for *.json (non-recursively).
@@ -23,7 +36,7 @@ import json
 import os
 import sys
 
-SCHEMA = "envy-bench-v1"
+SCHEMAS = ("envy-bench-v1", "envy-bench-v2")
 
 
 def fail(path, msg):
@@ -31,18 +44,85 @@ def fail(path, msg):
     return False
 
 
-def check_report(path):
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unreadable: {e}")
+def check_metric_entry(path, where, e):
+    if not isinstance(e, dict):
+        return fail(path, f"{where} is not an object")
+    if not isinstance(e.get("name"), str) or not e["name"]:
+        return fail(path, f"{where}.name must be a non-empty string")
+    if not isinstance(e.get("unit"), str):
+        return fail(path, f"{where}.unit must be a string")
+    kind = e.get("kind")
+    if kind == "counter":
+        v = e.get("value")
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            return fail(path, f"{where}.value must be a non-negative "
+                              "integer")
+    elif kind == "gauge":
+        for k in ("value", "high"):
+            if (not isinstance(e.get(k), (int, float)) or
+                    isinstance(e.get(k), bool)):
+                return fail(path, f"{where}.{k} must be a number")
+    elif kind == "histogram":
+        edges = e.get("edges")
+        if (not isinstance(edges, list) or
+                not all(isinstance(x, int) and not isinstance(x, bool)
+                        for x in edges)):
+            return fail(path, f"{where}.edges must be a list of "
+                              "integers")
+        if any(a > b for a, b in zip(edges, edges[1:])):
+            return fail(path, f"{where}.edges must be non-decreasing")
+        counts = e.get("counts")
+        if (not isinstance(counts, list) or
+                not all(isinstance(x, int) and not isinstance(x, bool)
+                        and x >= 0 for x in counts)):
+            return fail(path, f"{where}.counts must be a list of "
+                              "non-negative integers")
+        if len(counts) != len(edges) + 1:
+            return fail(path, f"{where}.counts has {len(counts)} "
+                              f"buckets, expected {len(edges) + 1}")
+        count = e.get("count")
+        if (not isinstance(count, int) or isinstance(count, bool) or
+                count != sum(counts)):
+            return fail(path, f"{where}.count must equal the sum of "
+                              "counts")
+        if (not isinstance(e.get("sum"), (int, float)) or
+                isinstance(e.get("sum"), bool)):
+            return fail(path, f"{where}.sum must be a number")
+    else:
+        return fail(path, f"{where}.kind is {kind!r}, expected "
+                          "counter, gauge, or histogram")
+    return True
+
+
+def check_metrics(path, metrics):
+    if not isinstance(metrics, dict):
+        return fail(path, "metrics must be an object")
+    for label, entries in metrics.items():
+        if not label:
+            return fail(path, "metrics labels must be non-empty")
+        if not isinstance(entries, list):
+            return fail(path, f"metrics[{label!r}] must be a list")
+        for i, e in enumerate(entries):
+            if not check_metric_entry(
+                    path, f"metrics[{label!r}][{i}]", e):
+                return False
+    return True
+
+
+def check_report(path, doc=None):
+    if doc is None:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            return fail(path, f"unreadable: {e}")
 
     if not isinstance(doc, dict):
         return fail(path, "top level is not an object")
-    if doc.get("schema") != SCHEMA:
-        return fail(path, f"schema is {doc.get('schema')!r}, "
-                          f"expected {SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        return fail(path, f"schema is {schema!r}, expected one of "
+                          f"{SCHEMAS}")
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         return fail(path, "bench must be a non-empty string")
     if not isinstance(doc.get("smoke"), bool):
@@ -79,7 +159,16 @@ def check_report(path):
                 not all(isinstance(n, str) for n in notes)):
             return fail(path, f"{where}.notes must be a list of "
                               "strings")
-    print(f"{path}: OK ({len(tables)} table(s))")
+
+    if "metrics" in doc:
+        if schema == "envy-bench-v1":
+            return fail(path, "metrics block requires envy-bench-v2")
+        if not check_metrics(path, doc["metrics"]):
+            return False
+
+    nmetrics = len(doc.get("metrics", {}))
+    suffix = f", {nmetrics} metrics label(s)" if nmetrics else ""
+    print(f"{path}: OK ({len(tables)} table(s){suffix})")
     return True
 
 
@@ -91,7 +180,71 @@ def expand(arg):
     return [arg]
 
 
+def self_test():
+    """Exercise the checker on canned good/bad documents."""
+    table = {"title": "t", "columns": ["a"], "rows": [["1"]],
+             "notes": []}
+    counter = {"name": "flash.programs", "kind": "counter",
+               "unit": "pages", "value": 3}
+    gauge = {"name": "sim.cleaning_cost", "kind": "gauge",
+             "unit": "programs/flush", "value": 1.5, "high": 2.0}
+    hist = {"name": "ctl.write_len", "kind": "histogram",
+            "unit": "bytes", "edges": [10, 100], "counts": [1, 2, 0],
+            "count": 3, "sum": 120.0}
+
+    def doc(**kw):
+        base = {"schema": "envy-bench-v2", "bench": "b",
+                "smoke": True, "tables": [table]}
+        base.update(kw)
+        return base
+
+    good = [
+        ("v1 plain", doc(schema="envy-bench-v1")),
+        ("v2 plain", doc()),
+        ("v2 metrics", doc(metrics={"u=30%": [counter, gauge,
+                                              hist]})),
+        ("v2 empty label list", doc(metrics={"u=30%": []})),
+    ]
+    bad = [
+        ("unknown schema", doc(schema="envy-bench-v3")),
+        ("v1 with metrics", doc(schema="envy-bench-v1",
+                                metrics={"u": [counter]})),
+        ("metrics not object", doc(metrics=[counter])),
+        ("empty label", doc(metrics={"": [counter]})),
+        ("bad kind", doc(metrics={"u": [{**counter,
+                                         "kind": "timer"}]})),
+        ("negative counter", doc(metrics={"u": [{**counter,
+                                                 "value": -1}]})),
+        ("bool counter", doc(metrics={"u": [{**counter,
+                                             "value": True}]})),
+        ("gauge missing high", doc(metrics={"u": [
+            {k: v for k, v in gauge.items() if k != "high"}]})),
+        ("hist bucket count", doc(metrics={"u": [{**hist,
+                                                  "counts": [1]}]})),
+        ("hist count mismatch", doc(metrics={"u": [{**hist,
+                                                    "count": 99}]})),
+        ("hist edges decreasing", doc(metrics={"u": [
+            {**hist, "edges": [100, 10]}]})),
+        ("ragged row", doc(tables=[{**table, "rows": [["1", "2"]]}])),
+    ]
+    failures = 0
+    for name, d in good:
+        if not check_report(f"<self-test good: {name}>", d):
+            failures += 1
+    for name, d in bad:
+        if check_report(f"<self-test bad: {name}>", d):
+            print(f"<self-test bad: {name}>: WRONGLY ACCEPTED")
+            failures += 1
+    if failures:
+        print(f"self-test: {failures} failure(s)")
+        return 1
+    print(f"self-test: OK ({len(good)} good, {len(bad)} bad)")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2

@@ -4,10 +4,13 @@
 Usage: merge_bench_json.py DIR > BENCH_baseline.json
 
 Reads every *.json in DIR (as written by bench/run_all.sh --json),
-sorts by bench name, and emits a single envy-bench-v1 document whose
-tables list concatenates all of them, each table title prefixed with
-its bench name.  The result still validates with
-check_bench_json.py, which is how CI guards the committed baseline.
+accepting envy-bench-v1 and envy-bench-v2 inputs, sorts by bench
+name, and emits a single envy-bench-v2 document whose tables list
+concatenates all of them, each table title prefixed with its bench
+name.  Metrics blocks are carried over with their labels prefixed
+the same way ("[bench] label"); the metrics key is omitted when no
+input had one.  The result still validates with check_bench_json.py,
+which is how CI guards the committed baseline.
 """
 
 import json
@@ -32,7 +35,7 @@ def main(argv):
         return 2
     reports.sort(key=lambda r: r["bench"])
     merged = {
-        "schema": "envy-bench-v1",
+        "schema": "envy-bench-v2",
         "bench": "baseline",
         "smoke": all(r["smoke"] for r in reports),
         "tables": [
@@ -40,6 +43,13 @@ def main(argv):
             for r in reports for t in r["tables"]
         ],
     }
+    metrics = {
+        f"[{r['bench']}] {label}": entries
+        for r in reports
+        for label, entries in r.get("metrics", {}).items()
+    }
+    if metrics:
+        merged["metrics"] = metrics
     json.dump(merged, sys.stdout, indent=2)
     print()
     return 0

@@ -24,6 +24,13 @@ on the same line or the line directly above):
                           src/envysim/parallel.* — all concurrency flows
                           through ParallelRunner so the isolation
                           argument is made exactly once
+  trace-event-unique      every ENVY_TRACE event name is emitted from
+                          exactly one call site (an event name IS the
+                          call site, so traces stay attributable)
+  trace-event-registered  every ENVY_TRACE event name appears in the
+                          canonical inventory in src/obs/trace.cc
+                          (the registry() initializer), which is the
+                          event catalog docs/OBSERVABILITY.md documents
 
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
 internal errors.
@@ -42,6 +49,8 @@ RULES = (
     "no-raw-alloc",
     "typed-id-params",
     "no-naked-thread",
+    "trace-event-unique",
+    "trace-event-registered",
 )
 
 # Functions that mutate durable state (flash contents or the page
@@ -62,6 +71,7 @@ MUTATION_FILES = (
 )
 
 CRASH_POINT = re.compile(r'ENVY_CRASH_POINT\(\s*"([^"]+)"\s*\)')
+TRACE_EVENT = re.compile(r'ENVY_TRACE\(\s*"([^"]+)"')
 PANIC_CALL = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*(.)')
 PANIC_PREFIX = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*"[a-z][a-z0-9_-]*: ')
 RAW_ALLOC = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(|\bnew\b")
@@ -146,6 +156,7 @@ class Linter:
     def run(self, files):
         sources = [SourceFile(self.root, f) for f in files]
         self.check_crash_points(sources)
+        self.check_trace_events(sources)
         for src in sources:
             self.check_panic_prefix(src)
             self.check_raw_alloc(src)
@@ -189,6 +200,50 @@ class Linter:
                             f'crash point "{name}" is missing from the '
                             "canonical inventory in "
                             "src/faults/crash_point.cc")
+
+    # -- trace events ------------------------------------------------
+
+    def trace_inventory(self):
+        """Parse the canonical event list out of the registry()
+        initializer in src/obs/trace.cc."""
+        path = os.path.join(self.root, "src", "obs", "trace.cc")
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            return set()
+        m = re.search(
+            r"return\s+std::vector<std::string>\{(.*?)\};",
+            text, re.DOTALL)
+        if not m:
+            return set()
+        return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+    def check_trace_events(self, sources):
+        inventory = self.trace_inventory()
+        seen = {}  # name -> (src, line)
+        for src in sources:
+            # The macro's own definition and doc examples.
+            if src.relpath.endswith(os.path.join("obs", "trace.hh")):
+                continue
+            for num, line in enumerate(src.lines, 1):
+                for m in TRACE_EVENT.finditer(line):
+                    name = m.group(1)
+                    if name in seen:
+                        first = seen[name]
+                        self.report(
+                            src, num, "trace-event-unique",
+                            f'trace event "{name}" already emitted at '
+                            f"{first[0].relpath}:{first[1]} — one "
+                            "event name per call site")
+                    else:
+                        seen[name] = (src, num)
+                    if name not in inventory:
+                        self.report(
+                            src, num, "trace-event-registered",
+                            f'trace event "{name}" is missing from '
+                            "the canonical inventory in "
+                            "src/obs/trace.cc (registry())")
 
     def check_coverage(self, src):
         # Walk top-level function bodies: the repo style puts the
@@ -288,6 +343,9 @@ void f(std::uint64_t page, std::uint32_t slot) {
     ENVY_PANIC("something went wrong");
     ENVY_CRASH_POINT("bogus.point.name");
     ENVY_CRASH_POINT("bogus.point.name");
+    ENVY_TRACE("ctl.cow", obs::tv("page", 1));
+    ENVY_TRACE("bogus.trace.event", obs::tv("n", 1));
+    ENVY_TRACE("bogus.trace.event", obs::tv("n", 2));
     std::thread worker([] {});
 }
 '''
@@ -300,6 +358,8 @@ SELF_TEST_EXPECT = (
     "no-raw-alloc",
     "typed-id-params",
     "no-naked-thread",
+    "trace-event-unique",
+    "trace-event-registered",
 )
 
 
@@ -314,6 +374,11 @@ def self_test(root):
         with open(os.path.join(tmp, "src", "faults",
                                "crash_point.cc"), "w") as f:
             f.write('"ctl.cow.after_push"\n')
+        os.makedirs(os.path.join(tmp, "src", "obs"))
+        with open(os.path.join(tmp, "src", "obs",
+                               "trace.cc"), "w") as f:
+            f.write('return std::vector<std::string>{\n'
+                    '    "ctl.cow",\n};\n')
         with open(os.path.join(tmp, "src", "envy",
                                "controller.cc"), "w") as f:
             f.write(BAD_SNIPPET)

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Fold a JSONL trace into a Fig 6-style cleaning-cost table.
+
+Usage: summarize_trace.py [TRACE.jsonl ...]
+       summarize_trace.py --self-test
+
+Reads trace files written by a bench run with --trace (or stdin when
+no file is given) and prints:
+
+  1. an event-count table (every event name seen, with counts), and
+  2. a cleaning-cost table in the shape of the paper's Figure 6:
+     each completed clean is paired from its cleaner.clean.start /
+     cleaner.clean.end events, its flash utilization is observed as
+     live/capacity at the moment the victim was picked, and cleans
+     are bucketed by that utilization (nearest 5%).  Per bucket the
+     table shows cleans, pages copied, pages freed (capacity - live)
+     and the cleaning cost copied/freed — the paper's "cleaner page
+     programs per flushed page" identity, since in steady state every
+     freed slot is consumed by exactly one buffer flush.
+
+When the trace carries ctl.flush events (EnvyStore-based runs, as
+opposed to the policy simulator) a direct programs-per-flush figure
+is printed as well.
+
+Exit status: 0 on success (even if the trace has no cleans), 1 on
+malformed input, 2 on usage errors.
+"""
+
+import json
+import sys
+
+
+def pair_cleans(events):
+    """Yield one dict per completed clean, pairing start/end by the
+    victim's logical segment (a clean never nests with itself)."""
+    open_cleans = {}
+    for e in events:
+        name = e.get("event")
+        if name == "cleaner.clean.start":
+            open_cleans[e["logical"]] = e
+        elif name == "cleaner.clean.end":
+            start = open_cleans.pop(e["logical"], None)
+            if start is None:
+                continue  # truncated trace: end without start
+            yield {
+                "live": start["live"],
+                "capacity": start["capacity"],
+                "copied": e["copied"],
+            }
+
+
+def bucket(live, capacity):
+    """Observed utilization, rounded to the nearest 5%."""
+    return 5 * round(100.0 * live / capacity / 5) if capacity else 0
+
+
+def summarize(events):
+    """Return (counts, rows, totals) for the two tables."""
+    counts = {}
+    buckets = {}
+    for e in events:
+        name = e.get("event", "?")
+        counts[name] = counts.get(name, 0) + 1
+    for c in pair_cleans(events):
+        b = buckets.setdefault(bucket(c["live"], c["capacity"]),
+                               {"cleans": 0, "copied": 0, "freed": 0})
+        b["cleans"] += 1
+        b["copied"] += c["copied"]
+        b["freed"] += c["capacity"] - c["live"]
+    rows = []
+    total = {"cleans": 0, "copied": 0, "freed": 0}
+    for util in sorted(buckets):
+        b = buckets[util]
+        cost = b["copied"] / b["freed"] if b["freed"] else 0.0
+        rows.append((util, b["cleans"], b["copied"], b["freed"],
+                     cost))
+        for k in total:
+            total[k] += b[k]
+    return counts, rows, total
+
+
+def print_tables(counts, rows, total, flushes):
+    print("== event counts ==")
+    width = max((len(n) for n in counts), default=5)
+    for name in sorted(counts):
+        print(f"  {name:<{width}}  {counts[name]}")
+    if not counts:
+        print("  (no events)")
+    print()
+    print("== cleaning cost by observed utilization (Fig 6) ==")
+    print(f"  {'util%':>5}  {'cleans':>7}  {'copied':>9}  "
+          f"{'freed':>9}  {'cost':>6}")
+    for util, cleans, copied, freed, cost in rows:
+        print(f"  {util:>5}  {cleans:>7}  {copied:>9}  "
+              f"{freed:>9}  {cost:>6.2f}")
+    if not rows:
+        print("  (no completed cleans in trace)")
+    else:
+        cost = (total["copied"] / total["freed"]
+                if total["freed"] else 0.0)
+        print(f"  {'all':>5}  {total['cleans']:>7}  "
+              f"{total['copied']:>9}  {total['freed']:>9}  "
+              f"{cost:>6.2f}")
+    if flushes:
+        ppf = total["copied"] / flushes
+        print(f"\n  ctl.flush events: {flushes} "
+              f"(cleaner programs/flush: {ppf:.2f})")
+
+
+def load(stream, path):
+    events = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{path}:{lineno}: bad JSONL: {exc}",
+                  file=sys.stderr)
+            return None
+        if not isinstance(e, dict) or "event" not in e:
+            print(f"{path}:{lineno}: not a trace event",
+                  file=sys.stderr)
+            return None
+        events.append(e)
+    return events
+
+
+def self_test():
+    """Exercise pairing, bucketing, and the cost arithmetic."""
+    def clean(logical, live, capacity, copied):
+        return [{"event": "cleaner.clean.start", "logical": logical,
+                 "victim": logical, "live": live,
+                 "capacity": capacity, "resuming": 0},
+                {"event": "flash.erase", "segment": logical,
+                 "cycles": 1},
+                {"event": "cleaner.clean.end", "logical": logical,
+                 "copied": copied, "diverted": 0, "ticks": 0}]
+
+    events = (clean(1, 80, 100, 80) +      # util 80%, freed 20
+              clean(2, 82, 100, 82) +      # util 80% bucket, freed 18
+              clean(3, 30, 100, 30) +      # util 30%, freed 70
+              [{"event": "cleaner.clean.end", "logical": 9,
+                "copied": 999, "diverted": 0, "ticks": 0}] +
+              [{"event": "ctl.flush", "page": 5, "slot": 0}] * 4)
+    counts, rows, total = summarize(events)
+
+    ok = True
+    def expect(cond, what):
+        nonlocal ok
+        if not cond:
+            print(f"self-test FAILED: {what}")
+            ok = False
+
+    expect(counts["cleaner.clean.start"] == 3, "start count")
+    expect(counts["cleaner.clean.end"] == 4, "end count")
+    expect(counts["flash.erase"] == 3, "erase count")
+    expect(counts["ctl.flush"] == 4, "flush count")
+    expect(len(rows) == 2, f"bucket count {len(rows)}")
+    expect(rows[0][0] == 30 and rows[0][1] == 1, "30% bucket")
+    expect(rows[1][0] == 80 and rows[1][1] == 2, "80% bucket")
+    # 80% bucket: copied 162, freed 38 -> cost 162/38
+    expect(abs(rows[1][4] - 162 / 38) < 1e-9, "80% cost")
+    # Unmatched end is dropped, not counted.
+    expect(total["copied"] == 192, f"total copied {total['copied']}")
+    expect(total["freed"] == 108, "total freed")
+    expect(bucket(0, 0) == 0, "zero capacity bucket")
+    if ok:
+        print_tables(counts, rows, total, 4)
+        print("self-test: OK")
+        return 0
+    return 1
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if any(a.startswith("--") for a in argv[1:]):
+        print(__doc__, file=sys.stderr)
+        return 2
+    events = []
+    if len(argv) == 1:
+        got = load(sys.stdin, "<stdin>")
+        if got is None:
+            return 1
+        events += got
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                got = load(f, path)
+        except OSError as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 1
+        if got is None:
+            return 1
+        events += got
+    counts, rows, total = summarize(events)
+    print_tables(counts, rows, total, counts.get("ctl.flush", 0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
