@@ -10,10 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "envy/envy_store.hh"
 #include "envy/segment_space.hh"
+#include "flash/flash_bank.hh"
 #include "flash/flash_timing.hh"
 #include "sim/random.hh"
 
@@ -30,6 +32,88 @@ benchConfig(bool store_data)
     cfg.storeData = store_data;
     return cfg;
 }
+
+// Bank geometry for the data-plane micro-benches: 256 B pages,
+// 512-page segments.  Arg(0)=1 is the bulk fast path, Arg(0)=0 the
+// byte-at-a-time CUI oracle, so `--benchmark_filter=BM_Page` prints
+// the speedup pair side by side (bench_dataplane has the same
+// comparison as a ResultTable harness).
+constexpr std::uint32_t dpPageSize = 256;
+constexpr std::uint32_t dpBlockBytes = 512;
+constexpr std::uint32_t dpBlocks = 4;
+
+FlashBank
+dataplaneBank(bool slow)
+{
+    return FlashBank(dpPageSize, dpBlockBytes, dpBlocks,
+                     FlashTiming{}, true, slow);
+}
+
+void
+BM_PageProgram(benchmark::State &state)
+{
+    FlashBank bank = dataplaneBank(state.range(0) == 0);
+    std::vector<std::uint8_t> page(dpPageSize);
+    for (std::uint32_t i = 0; i < dpPageSize; ++i)
+        page[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    std::uint32_t b = 0, p = 0;
+    for (auto _ : state) {
+        bank.programPage(b, p, page);
+        if (++p == dpBlockBytes) {
+            p = 0;
+            // Erase outside the timed region before re-programming.
+            state.PauseTiming();
+            bank.eraseSegment(b);
+            state.ResumeTiming();
+            b = (b + 1) % dpBlocks;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * dpPageSize);
+    state.SetLabel(state.range(0) ? "fast" : "slow");
+}
+BENCHMARK(BM_PageProgram)->Arg(1)->Arg(0);
+
+void
+BM_PageRead(benchmark::State &state)
+{
+    FlashBank bank = dataplaneBank(state.range(0) == 0);
+    std::vector<std::uint8_t> page(dpPageSize);
+    for (std::uint32_t p = 0; p < dpBlockBytes; ++p) {
+        for (std::uint32_t i = 0; i < dpPageSize; ++i)
+            page[i] = static_cast<std::uint8_t>(p + i);
+        bank.programPage(0, p, page);
+    }
+    std::uint32_t p = 0;
+    for (auto _ : state) {
+        bank.readPage(0, p, page);
+        benchmark::DoNotOptimize(page.data());
+        p = (p + 1) % dpBlockBytes;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * dpPageSize);
+    state.SetLabel(state.range(0) ? "fast" : "slow");
+}
+BENCHMARK(BM_PageRead)->Arg(1)->Arg(0);
+
+void
+BM_SegmentErase(benchmark::State &state)
+{
+    FlashBank bank = dataplaneBank(state.range(0) == 0);
+    std::vector<std::uint8_t> page(dpPageSize, 0x5A);
+    std::uint32_t b = 0;
+    for (auto _ : state) {
+        // Materialize the block so the erase has cells to reset.
+        state.PauseTiming();
+        bank.programPage(b, 0, page);
+        state.ResumeTiming();
+        bank.eraseSegment(b);
+        b = (b + 1) % dpBlocks;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(state.range(0) ? "fast" : "slow");
+}
+BENCHMARK(BM_SegmentErase)->Arg(1)->Arg(0);
 
 void
 BM_PageTableLookup(benchmark::State &state)

@@ -54,6 +54,7 @@ bench_ablation_policy
 bench_ablation_tradeoffs
 bench_endurance
 bench_fault_recovery
+bench_dataplane
 "
 
 if [ -n "$list" ]; then

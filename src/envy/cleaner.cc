@@ -83,7 +83,8 @@ PageCount
 Cleaner::moveShadows(SegmentId src, SegmentId dst)
 {
     FlashArray &flash = space_.flash();
-    std::vector<SlotId> shadows;
+    std::vector<SlotId> &shadows = shadowScratch_;
+    shadows.clear();
     flash.forEachShadow(src, [&](SlotId slot) {
         shadows.push_back(slot);
     });
@@ -146,7 +147,8 @@ Cleaner::cleanInternal(std::uint32_t log_seg, CleaningPolicy *policy,
 
     // Collect the live slots first: relocation mutates the segment's
     // owner table as it invalidates source pages.
-    std::vector<std::pair<SlotId, LogicalPageId>> live;
+    std::vector<std::pair<SlotId, LogicalPageId>> &live = liveScratch_;
+    live.clear();
     live.reserve(live_total.value());
     flash.forEachLive(victim,
                       [&](SlotId slot, LogicalPageId logical) {
@@ -246,13 +248,15 @@ PageCount
 Cleaner::moveAllPhysical(SegmentId src, SegmentId dst)
 {
     FlashArray &flash = space_.flash();
-    std::vector<std::pair<SlotId, LogicalPageId>> live;
+    std::vector<std::pair<SlotId, LogicalPageId>> &live = liveScratch_;
+    live.clear();
     flash.forEachLive(src, [&](SlotId slot, LogicalPageId p) {
         live.emplace_back(slot, p);
     });
     for (const auto &[slot, logical] : live)
         relocate(src, slot, logical, dst);
-    return PageCount(live.size()) + moveShadows(src, dst);
+    const PageCount moved(live.size());
+    return moved + moveShadows(src, dst);
 }
 
 double

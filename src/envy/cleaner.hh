@@ -122,6 +122,11 @@ class Cleaner : public StatGroup
      *  read/copy path without re-asking the array per page. */
     bool copyData_;
     std::vector<std::uint8_t> scratch_;
+    /** Reused per-clean work lists: cleaning is the hot path of every
+     *  long-running experiment, so the live/shadow snapshots must not
+     *  allocate per call.  Not reentrant — relocate() never cleans. */
+    std::vector<std::pair<SlotId, LogicalPageId>> liveScratch_;
+    std::vector<SlotId> shadowScratch_;
     Tick busyTime_ = 0;
 };
 

@@ -164,9 +164,15 @@ Controller::read(Addr addr, std::span<std::uint8_t> out)
             break;
           case PageTable::LocKind::Flash:
             if (flash_.storesData()) {
-                flash_.readPage(loc.flash, scratch_);
-                std::copy_n(scratch_.begin() + off, n,
-                            out.begin() + done);
+                if (off == 0 && n == geom_.pageSize) {
+                    // Whole aligned page: land the wide-path read in
+                    // the caller's buffer, no bounce through scratch.
+                    flash_.readPage(loc.flash, out.subspan(done, n));
+                } else {
+                    flash_.readPage(loc.flash, scratch_);
+                    std::copy_n(scratch_.begin() + off, n,
+                                out.begin() + done);
+                }
             }
             break;
           case PageTable::LocKind::Unmapped:

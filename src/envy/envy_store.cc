@@ -28,7 +28,8 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
     sram_ = std::make_unique<SramArray>(sram_bytes, true);
     flash_ = std::make_unique<FlashArray>(g, cfg_.timing,
                                           cfg_.storeData, this,
-                                          &metrics_);
+                                          &metrics_,
+                                          cfg_.slowDataplane);
     pageTable_ = std::make_unique<PageTable>(
         *sram_, ptBase_, g.physicalPages().value());
     mmu_ = std::make_unique<Mmu>(*pageTable_, cfg_.tlbSize, this);

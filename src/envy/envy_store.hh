@@ -41,6 +41,10 @@ struct EnvyConfig
     std::uint32_t partitionSize = 16;
     /** Keep real page contents (functional) or metadata only. */
     bool storeData = true;
+    /** Route page operations through the byte-at-a-time CUI oracle
+     *  instead of the bulk data-plane fast path (A/B testing; also
+     *  forced by the ENVY_SLOW_DATAPLANE environment variable). */
+    bool slowDataplane = false;
     /** Background flush threshold; 0 = half the buffer. */
     std::uint32_t bufferThreshold = 0;
     /** Wear-leveling trigger (max-min erase-cycle spread). */

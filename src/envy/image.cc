@@ -101,13 +101,18 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
         putU64(f, flash.eraseCycles(seg));
 
         // Retired slots ahead of the write pointer (retirements that
-        // survived an erase of the segment).
+        // survived an erase of the segment).  Most segments have no
+        // retirements at all, so only scan the erased region when the
+        // count says there is something to find — at paper scale that
+        // turns a 64 Ki-slot sweep per segment into a counter check.
         std::vector<std::uint64_t> retired_ahead;
-        for (std::uint64_t slot = used; slot < cap; ++slot) {
-            const FlashPageAddr addr{
-                seg, SlotId(static_cast<std::uint32_t>(slot))};
-            if (flash.slotRetired(addr))
-                retired_ahead.push_back(slot);
+        if (flash.retiredCount(seg).value() > 0) {
+            for (std::uint64_t slot = used; slot < cap; ++slot) {
+                const FlashPageAddr addr{
+                    seg, SlotId(static_cast<std::uint32_t>(slot))};
+                if (flash.slotRetired(addr))
+                    retired_ahead.push_back(slot);
+            }
         }
         putU64(f, retired_ahead.size());
         for (const std::uint64_t slot : retired_ahead)

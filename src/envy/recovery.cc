@@ -33,10 +33,17 @@ Recovery::run(EnvyStore &store)
     // shadow is now an orphan; the committed state of each page is
     // whatever the page table points at.  Sweeping first also means
     // the resumed clean/rotation below never relocates a shadow
-    // nobody is tracking.
+    // nobody is tracking.  Untouched segments (nothing ever written)
+    // are skipped outright so a paper-scale sweep visits only the
+    // segments that hold state; the work lists are hoisted out of the
+    // loops so the sweep does not allocate per segment.
+    std::vector<SlotId> shadows;
+    std::vector<FlashPageAddr> stale;
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
-        std::vector<SlotId> shadows;
+        if (flash.usedSlots(seg) == PageCount(0))
+            continue;
+        shadows.clear();
         flash.forEachShadow(seg, [&](SlotId slot) {
             shadows.push_back(slot);
         });
@@ -50,7 +57,9 @@ Recovery::run(EnvyStore &store)
     // swing is the commit point).
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
-        std::vector<FlashPageAddr> stale;
+        if (flash.usedSlots(seg) == PageCount(0))
+            continue;
+        stale.clear();
         flash.forEachLive(seg, [&](SlotId slot,
                                    LogicalPageId logical) {
             const PageTable::Location loc = pt.lookup(logical);

@@ -170,6 +170,11 @@ ResultTable::toJson() const
     }
     os << "], \"notes\": ";
     appendStringArray(os, notes_);
+    if (wallMs_ >= 0.0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.3f", wallMs_);
+        os << ", \"wall_ms\": " << buf;
+    }
     os << "}";
     return os.str();
 }
@@ -195,11 +200,13 @@ BenchOptions::parse(int argc, char **argv)
             opt.tracePath = argv[++i];
         } else if (arg == "--smoke") {
             opt.smoke = true;
+        } else if (arg == "--time") {
+            opt.time = true;
         } else {
             std::fprintf(stderr,
                          "%s: unknown argument '%s'\n"
                          "usage: %s [--jobs N] [--json PATH] "
-                         "[--trace PATH] [--smoke]\n",
+                         "[--trace PATH] [--smoke] [--time]\n",
                          argv[0], arg.c_str(), argv[0]);
             std::exit(2);
         }
@@ -223,6 +230,7 @@ BenchReport::BenchReport(std::string bench_name,
             std::make_unique<obs::JsonlFileSink>(opt_.tracePath);
         prevSink_ = obs::trace::setTraceSink(traceSink_.get());
     }
+    mark_ = std::chrono::steady_clock::now();
 }
 
 BenchReport::~BenchReport()
@@ -236,6 +244,13 @@ BenchReport::add(const ResultTable &table)
 {
     table.print();
     tables_.push_back(table);
+    if (opt_.time) {
+        const auto now = std::chrono::steady_clock::now();
+        tables_.back().setWallMs(
+            std::chrono::duration<double, std::milli>(now - mark_)
+                .count());
+        mark_ = now;
+    }
 }
 
 void

@@ -10,6 +10,7 @@
 #ifndef ENVY_ENVYSIM_EXPERIMENT_HH
 #define ENVY_ENVYSIM_EXPERIMENT_HH
 
+#include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -44,10 +45,20 @@ class ResultTable
      *  compare these byte for byte across job counts). */
     std::string toString() const;
 
-    /** The table as a JSON object {title, columns, rows, notes}. */
+    /** The table as a JSON object {title, columns, rows, notes}
+     *  plus an optional `wall_ms` member when setWallMs() ran. */
     std::string toJson() const;
 
     const std::string &title() const { return title_; }
+
+    /**
+     * Wall-clock milliseconds spent producing the table (--time).
+     * Kept out of toString() so the determinism tests — which diff
+     * console output byte for byte across job counts — never see it;
+     * it only shows up in the JSON document.
+     */
+    void setWallMs(double ms) { wallMs_ = ms; }
+    double wallMs() const { return wallMs_; }
 
   private:
     /** Spaces between adjacent columns; the separator row derives
@@ -58,6 +69,7 @@ class ResultTable
     std::vector<std::string> columns_;
     std::vector<std::vector<std::string>> rows_;
     std::vector<std::string> notes_;
+    double wallMs_ = -1.0; // < 0: not measured
 };
 
 /**
@@ -70,6 +82,9 @@ class ResultTable
  *                 trace sinks are thread-local, so only a serial run
  *                 captures the whole experiment)
  *   --smoke       reduced sweep for CI smoke runs
+ *   --time        stamp each table with the wall-clock milliseconds
+ *                 spent producing it (`wall_ms` in the JSON output;
+ *                 the console tables stay byte-identical)
  *
  * Unknown arguments are a usage error (exit 2) so CI catches typos.
  */
@@ -79,6 +94,7 @@ struct BenchOptions
     std::string jsonPath;
     std::string tracePath;
     bool smoke = false;
+    bool time = false;
 
     static BenchOptions parse(int argc, char **argv);
 };
@@ -124,6 +140,11 @@ class BenchReport
     // report's lifetime (the options parser forces --jobs 1).
     std::unique_ptr<obs::JsonlFileSink> traceSink_;
     obs::TraceSink *prevSink_ = nullptr;
+
+    // --time: the end of the previous table's measurement window.
+    // add() charges everything since then to the incoming table, so
+    // set-up work between tables lands on the table it produced.
+    std::chrono::steady_clock::time_point mark_;
 };
 
 /** JSON string escaping (quotes added by the caller's context). */

@@ -1,13 +1,30 @@
 #include "flash/flash_array.hh"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/logging.hh"
 #include "obs/trace.hh"
 
 namespace envy {
 
+namespace {
+
+/** ENVY_SLOW_DATAPLANE (any value but "0") forces the byte-at-a-time
+ *  oracle for A/B runs without recompiling. */
+bool
+envSlowDataplane()
+{
+    const char *v = std::getenv("ENVY_SLOW_DATAPLANE");
+    return v && *v && std::string_view(v) != "0";
+}
+
+} // namespace
+
 FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
                        bool store_data, StatGroup *parent,
-                       obs::MetricsRegistry *metrics)
+                       obs::MetricsRegistry *metrics,
+                       bool slow_dataplane)
     : StatGroup("flash", parent),
       statPagesProgrammed(this, "pagesProgrammed",
                           "pages programmed into the array"),
@@ -41,7 +58,8 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
                                      "spec-failure")),
       geom_(geom),
       timing_(timing),
-      storeData_(store_data)
+      storeData_(store_data),
+      slowDataplane_(slow_dataplane || envSlowDataplane())
 {
     if (const char *problem = geom_.validate())
         ENVY_FATAL("flash: bad geometry: ", problem);
@@ -49,7 +67,8 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
     banks_.reserve(geom_.numBanks);
     for (std::uint32_t b = 0; b < geom_.numBanks; ++b)
         banks_.emplace_back(geom_.pageSize, geom_.blockBytes,
-                            geom_.blocksPerChip, timing_, store_data);
+                            geom_.blocksPerChip, timing_, store_data,
+                            slowDataplane_, metrics);
 
     segments_.resize(geom_.numSegments());
     for (auto &s : segments_) {
@@ -433,6 +452,15 @@ FlashArray::restoreWear(SegmentId seg, std::uint64_t cycles)
     FlashBank &owning_bank = bank(geom_.bankOf(seg));
     for (std::uint32_t c = 0; c < geom_.pageSize; ++c)
         owning_bank.chip(c).restoreCycles(geom_.blockOf(seg), cycles);
+}
+
+std::uint64_t
+FlashArray::materializedBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : banks_)
+        total += b.materializedBlocks();
+    return total;
 }
 
 bool

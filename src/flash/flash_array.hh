@@ -34,13 +34,26 @@ namespace envy {
 class FlashArray : public StatGroup
 {
   public:
+    /**
+     * @param slow_dataplane  route all page operations through the
+     *                        byte-at-a-time CUI oracle instead of the
+     *                        bulk fast path.  Also forced on by the
+     *                        ENVY_SLOW_DATAPLANE environment variable
+     *                        (any value but "0").
+     */
     FlashArray(const Geometry &geom, const FlashTiming &timing,
                bool store_data, StatGroup *parent = nullptr,
-               obs::MetricsRegistry *metrics = nullptr);
+               obs::MetricsRegistry *metrics = nullptr,
+               bool slow_dataplane = false);
 
     const Geometry &geom() const { return geom_; }
     const FlashTiming &timing() const { return timing_; }
     bool storesData() const { return storeData_; }
+    bool slowDataplane() const { return slowDataplane_; }
+
+    /** Erase blocks with a backing buffer, across all banks (the
+     *  sparse store's memory footprint is proportional to this). */
+    std::uint64_t materializedBlocks() const;
 
     std::uint64_t numSegments() const { return geom_.numSegments(); }
     PageCount pagesPerSegment() const
@@ -258,6 +271,7 @@ class FlashArray : public StatGroup
     Geometry geom_;
     FlashTiming timing_;
     bool storeData_;
+    bool slowDataplane_;
     std::vector<FlashBank> banks_;
     std::vector<SegmentState> segments_;
     PageCount totalLive_;

@@ -8,16 +8,28 @@
  * erasable unit of a bank is one erase block across every chip — a
  * *segment*.  Page p of the segment built from block b is byte
  * (b * blockBytes + p) of each chip.
+ *
+ * Cell contents live in a shared, page-major BankPageStore so a bank
+ * page is one contiguous range.  programPage/readPage/eraseSegment
+ * have bulk fast paths that perform one wear/timing computation and
+ * one contiguous copy per page instead of pageSize per-chip CUI
+ * round trips; the original byte-at-a-time sequences are retained
+ * (slow_dataplane ctor flag, or the ENVY_SLOW_DATAPLANE environment
+ * variable via FlashArray) as the differential-test oracle.  Both
+ * paths are bit-exact: same data, wear, status registers and
+ * spec-failure latching.
  */
 
 #ifndef ENVY_FLASH_FLASH_BANK_HH
 #define ENVY_FLASH_FLASH_BANK_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "flash/flash_chip.hh"
+#include "flash/page_store.hh"
 
 namespace envy {
 
@@ -31,15 +43,27 @@ class FlashBank
      * @param blocks_per_chip segments hosted by this bank
      * @param timing          chip timing parameters
      * @param store_data      functional (true) or metadata-only mode
+     * @param slow_dataplane  route page operations through the
+     *                        byte-at-a-time CUI oracle
+     * @param metrics         optional registry for the backing
+     *                        store's materialization counters
      */
     FlashBank(std::uint32_t chips_per_bank, std::uint32_t block_bytes,
               std::uint32_t blocks_per_chip, const FlashTiming &timing,
-              bool store_data);
+              bool store_data, bool slow_dataplane = false,
+              obs::MetricsRegistry *metrics = nullptr);
 
     std::uint32_t pageSize() const { return chipsPerBank_; }
     std::uint32_t pagesPerSegment() const { return blockBytes_; }
     std::uint32_t segments() const { return blocksPerChip_; }
     bool storesData() const { return storeData_; }
+    bool slowDataplane() const { return slowDataplane_; }
+
+    /** Erase blocks currently backed by a buffer (sparse store). */
+    std::uint64_t materializedBlocks() const
+    {
+        return store_ ? store_->materializedBlocks() : 0;
+    }
 
     /**
      * Read byte offset @p page_off of local segment @p block
@@ -101,11 +125,19 @@ class FlashBank
         return std::uint64_t(block) * blockBytes_ + page_off;
     }
 
+    Tick programPageSlow(std::uint32_t block, std::uint32_t page_off,
+                         std::span<const std::uint8_t> data);
+    Tick readPageSlow(std::uint32_t block, std::uint32_t page_off,
+                      std::span<std::uint8_t> out) const;
+    Tick eraseSegmentSlow(std::uint32_t block);
+
     std::uint32_t chipsPerBank_;
     std::uint32_t blockBytes_;
     std::uint32_t blocksPerChip_;
     bool storeData_;
+    bool slowDataplane_;
     FlashTiming timing_;
+    std::unique_ptr<BankPageStore> store_; //!< null in metadata mode
     std::vector<FlashChip> chips_;
 };
 

@@ -17,8 +17,31 @@ FlashChip::FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
 {
     ENVY_ASSERT(block_bytes > 0 && num_blocks > 0, "degenerate chip");
     if (storeData_) {
-        data_.assign(std::uint64_t(blockBytes_) * numBlocks_, 0xFF);
+        // A standalone chip is a one-lane bank: each "page" of the
+        // store is a single byte of the block.
+        ownStore_ = std::make_unique<BankPageStore>(1, blockBytes_,
+                                                    numBlocks_);
+        store_ = ownStore_.get();
     }
+}
+
+FlashChip::FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
+                     const FlashTiming &timing, BankPageStore *store,
+                     std::uint32_t lane)
+    : blockBytes_(block_bytes),
+      numBlocks_(num_blocks),
+      timing_(timing),
+      storeData_(store != nullptr),
+      store_(store),
+      lane_(lane),
+      cycles_(num_blocks, 0),
+      specFailed_(num_blocks, false)
+{
+    ENVY_ASSERT(block_bytes > 0 && num_blocks > 0, "degenerate chip");
+    ENVY_ASSERT(!store || (lane < store->laneBytes() &&
+                           store->pagesPerBlock() == block_bytes &&
+                           store->numBlocks() == num_blocks),
+                "flash: chip/store geometry mismatch");
 }
 
 std::uint8_t
@@ -31,8 +54,10 @@ FlashChip::read(std::uint64_t addr) const
                 static_cast<int>(mode_), ")");
     if (!storeData_)
         return 0xFF;
-    ENVY_ASSERT(addr < data_.size(), "chip read out of range");
-    return data_[addr];
+    ENVY_ASSERT(addr < capacity(), "chip read out of range");
+    return store_->readByte(
+        static_cast<std::uint32_t>(addr / blockBytes_),
+        static_cast<std::uint32_t>(addr % blockBytes_), lane_);
 }
 
 void
@@ -82,12 +107,18 @@ FlashChip::programByte(std::uint64_t addr, std::uint8_t value)
         // Programming can only clear bits.  Requesting a 0 -> 1
         // transition is a program error: the internal verify loop
         // never sees the desired data (§2).
-        const std::uint8_t cell = data_[addr];
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(addr % blockBytes_);
+        const std::uint8_t cell = store_->readByte(block, off, lane_);
         if ((value & ~cell) != 0) {
             status_ |= FlashStatus::programError;
             return timing_.programTimeAfter(cycles_[block]);
         }
-        data_[addr] = cell & value;
+        // Skip the write when no bit changes so an all-ones program
+        // does not materialize an erased block.
+        if ((cell & value) != cell)
+            store_->writeByte(block, off, lane_,
+                              static_cast<std::uint8_t>(cell & value));
     }
 
     const Tick t = timing_.programTimeAfter(cycles_[block]);
@@ -106,8 +137,9 @@ FlashChip::eraseBlock(std::uint32_t block)
     ENVY_ASSERT(block < numBlocks_, "erase out of range");
 
     if (storeData_) {
-        auto first = data_.begin() + std::uint64_t(block) * blockBytes_;
-        std::fill(first, first + blockBytes_, 0xFF);
+        // Lazy erase: dropping the buffer makes every cell read as
+        // 0xFF; idempotent when the bank's chips share one store.
+        store_->release(block);
     }
 
     const Tick t = timing_.eraseTimeAfter(cycles_[block]);

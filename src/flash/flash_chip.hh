@@ -11,15 +11,22 @@
  *
  * The chip is a passive device: callers sequence CUI commands and are
  * told how long each operation takes; there is no internal clock.
+ *
+ * Cell contents live in a BankPageStore.  A standalone chip owns a
+ * one-lane store; a chip inside a FlashBank is a lane view over the
+ * bank's shared page-major store, so a whole bank page is one
+ * contiguous range and the bank can move it in bulk.
  */
 
 #ifndef ENVY_FLASH_FLASH_CHIP_HH
 #define ENVY_FLASH_FLASH_CHIP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "flash/flash_timing.hh"
+#include "flash/page_store.hh"
 
 namespace envy {
 
@@ -49,6 +56,8 @@ class FlashChip
 {
   public:
     /**
+     * Standalone chip owning its cell storage.
+     *
      * @param block_bytes       bytes per erase block
      * @param num_blocks        erase blocks on the chip
      * @param timing            device timing/endurance parameters
@@ -59,8 +68,19 @@ class FlashChip
     FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
               const FlashTiming &timing, bool store_data);
 
-    std::uint64_t capacity() const { return data_.size() ? data_.size()
-        : std::uint64_t(blockBytes_) * numBlocks_; }
+    /**
+     * Chip as lane @p lane of a bank-shared page store (byte j of
+     * every bank page lives in chip j).  A null @p store means
+     * metadata-only mode.
+     */
+    FlashChip(std::uint32_t block_bytes, std::uint32_t num_blocks,
+              const FlashTiming &timing, BankPageStore *store,
+              std::uint32_t lane);
+
+    std::uint64_t capacity() const
+    {
+        return std::uint64_t(blockBytes_) * numBlocks_;
+    }
     std::uint32_t blockBytes() const { return blockBytes_; }
     std::uint32_t numBlocks() const { return numBlocks_; }
     bool storesData() const { return storeData_; }
@@ -126,8 +146,47 @@ class FlashChip
     void forceEraseSpecFailure(std::uint32_t block);
 
   private:
+    // The bank's bulk fast path applies the *net* per-chip effect of
+    // a page-wide ProgramSetup+programByte / EraseSetup+eraseBlock
+    // sequence without pageSize CUI round trips.  The helpers below
+    // keep chip state authoritative; FlashBank is the only caller and
+    // its slow path is the differential oracle for their semantics.
+    friend class FlashBank;
+
     enum class Mode { ReadArray, ReadStatus, ProgramPending,
                       ErasePending };
+
+    bool inReadArray() const { return mode_ == Mode::ReadArray; }
+
+    /** Net CUI effect of ProgramSetup + programByte (any mode). */
+    void applyBankProgram()
+    {
+        mode_ = Mode::ReadArray;
+        status_ &= ~FlashStatus::suspended;
+    }
+
+    /** programByte's 0 -> 1 rejection: latch the error bit only. */
+    void noteProgramError()
+    {
+        status_ |= FlashStatus::programError;
+    }
+
+    /** programByte's wear-overrun branch. */
+    void noteProgramSpecFail(std::uint32_t block)
+    {
+        specFail(block, FlashStatus::programError);
+    }
+
+    /** Net CUI effect of EraseSetup + eraseBlock (data handled by
+     *  the bank through the shared store). */
+    void applyBankErase(std::uint32_t block, bool overrun)
+    {
+        mode_ = Mode::ReadArray;
+        status_ &= ~FlashStatus::suspended;
+        ++cycles_[block];
+        if (overrun)
+            specFail(block, FlashStatus::eraseError);
+    }
 
     std::uint32_t blockBytes_;
     std::uint32_t numBlocks_;
@@ -136,7 +195,9 @@ class FlashChip
 
     void specFail(std::uint32_t block, std::uint8_t status_bit);
 
-    std::vector<std::uint8_t> data_;
+    std::unique_ptr<BankPageStore> ownStore_; //!< standalone chips
+    BankPageStore *store_ = nullptr;          //!< null: metadata-only
+    std::uint32_t lane_ = 0;
     std::vector<std::uint64_t> cycles_; //!< per-block wear
     std::vector<bool> specFailed_;      //!< per-block overrun record
     Mode mode_ = Mode::ReadArray;

@@ -1,0 +1,100 @@
+#include "flash/page_store.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+
+BankPageStore::BankPageStore(std::uint32_t lane_bytes,
+                             std::uint32_t pages_per_block,
+                             std::uint32_t num_blocks,
+                             obs::MetricsRegistry *metrics)
+    : laneBytes_(lane_bytes),
+      pagesPerBlock_(pages_per_block),
+      numBlocks_(num_blocks),
+      blocks_(num_blocks),
+      metMaterialized_(obs::counterOf(metrics,
+                                      "flash.blocks_materialized",
+                                      "blocks",
+                                      "erase blocks given a backing "
+                                      "buffer on first program")),
+      metReleased_(obs::counterOf(metrics, "flash.blocks_released",
+                                  "blocks",
+                                  "erase-block buffers dropped by "
+                                  "lazy erase"))
+{
+    ENVY_ASSERT(lane_bytes > 0 && pages_per_block > 0 && num_blocks > 0,
+                "flash: degenerate page store");
+}
+
+bool
+BankPageStore::materialized(std::uint32_t block) const
+{
+    ENVY_ASSERT(block < numBlocks_, "flash: store block out of range");
+    return !blocks_[block].empty();
+}
+
+std::span<const std::uint8_t>
+BankPageStore::pageIfMaterialized(std::uint32_t block,
+                                  std::uint32_t page_off) const
+{
+    ENVY_ASSERT(block < numBlocks_ && page_off < pagesPerBlock_,
+                "flash: store page out of range");
+    const std::vector<std::uint8_t> &buf = blocks_[block];
+    if (buf.empty())
+        return {};
+    return std::span<const std::uint8_t>(buf).subspan(
+        std::uint64_t(page_off) * laneBytes_, laneBytes_);
+}
+
+std::span<std::uint8_t>
+BankPageStore::pageForWrite(std::uint32_t block, std::uint32_t page_off)
+{
+    ENVY_ASSERT(block < numBlocks_ && page_off < pagesPerBlock_,
+                "flash: store page out of range");
+    std::vector<std::uint8_t> &buf = blocks_[block];
+    if (buf.empty()) {
+        buf.assign(blockBytes(), 0xFF);
+        ++materializedCount_;
+        metMaterialized_.add();
+    }
+    return std::span<std::uint8_t>(buf).subspan(
+        std::uint64_t(page_off) * laneBytes_, laneBytes_);
+}
+
+std::uint8_t
+BankPageStore::readByte(std::uint32_t block, std::uint32_t page_off,
+                        std::uint32_t lane) const
+{
+    ENVY_ASSERT(block < numBlocks_ && page_off < pagesPerBlock_ &&
+                    lane < laneBytes_,
+                "flash: store byte out of range");
+    const std::vector<std::uint8_t> &buf = blocks_[block];
+    if (buf.empty())
+        return 0xFF;
+    return buf[std::uint64_t(page_off) * laneBytes_ + lane];
+}
+
+void
+BankPageStore::writeByte(std::uint32_t block, std::uint32_t page_off,
+                         std::uint32_t lane, std::uint8_t value)
+{
+    pageForWrite(block, page_off)[lane] = value;
+}
+
+void
+BankPageStore::release(std::uint32_t block)
+{
+    ENVY_ASSERT(block < numBlocks_, "flash: store block out of range");
+    std::vector<std::uint8_t> &buf = blocks_[block];
+    if (buf.empty())
+        return;
+    // swap-with-empty actually returns the buffer to the allocator;
+    // clear() would keep the capacity and defeat sparseness.
+    std::vector<std::uint8_t>().swap(buf);
+    ENVY_ASSERT(materializedCount_ > 0,
+                "flash: store materialization accounting");
+    --materializedCount_;
+    metReleased_.add();
+}
+
+} // namespace envy

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sparse, page-major backing store for a bank of Flash chips.
+ *
+ * The paper's data path is page-wide (§3.3): byte j of a bank page
+ * lives in chip j.  Storing each chip's cells in its own dense vector
+ * makes a bank page a strided gather and forces the full 2 GB Fig-12
+ * functional geometry to materialize up front.  This store flips the
+ * layout: one buffer per erase block, page-major, so bank page p of
+ * block b is the contiguous range [p*laneBytes, (p+1)*laneBytes) and
+ * the chips become per-lane views (lane j = byte j of every page).
+ *
+ * Blocks are materialized lazily on the first program that actually
+ * clears a bit; erase releases the block's buffer (erased cells are
+ * all ones, so "absent" and "erased" are indistinguishable to
+ * readers).  Memory therefore scales with *touched* blocks, not with
+ * array capacity.
+ */
+
+#ifndef ENVY_FLASH_PAGE_STORE_HH
+#define ENVY_FLASH_PAGE_STORE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace envy {
+
+class BankPageStore
+{
+  public:
+    /**
+     * @param lane_bytes       bytes per page (= chips viewing the
+     *                         store; 1 for a standalone chip)
+     * @param pages_per_block  pages in one erase block (= the chip's
+     *                         blockBytes: one byte per chip per page)
+     * @param num_blocks       erase blocks per chip
+     * @param metrics          optional registry for materialization
+     *                         counters (flash.blocks_materialized /
+     *                         flash.blocks_released)
+     */
+    BankPageStore(std::uint32_t lane_bytes,
+                  std::uint32_t pages_per_block,
+                  std::uint32_t num_blocks,
+                  obs::MetricsRegistry *metrics = nullptr);
+
+    std::uint32_t laneBytes() const { return laneBytes_; }
+    std::uint32_t pagesPerBlock() const { return pagesPerBlock_; }
+    std::uint32_t numBlocks() const { return numBlocks_; }
+
+    /** True once the block holds a buffer (some bit was cleared). */
+    bool materialized(std::uint32_t block) const;
+
+    /** Blocks currently holding a buffer (RSS is proportional). */
+    std::uint64_t materializedBlocks() const
+    {
+        return materializedCount_;
+    }
+
+    /**
+     * Contiguous view of one bank page, or an empty span if the block
+     * is unmaterialized (all cells erased, i.e. 0xFF).
+     */
+    std::span<const std::uint8_t>
+    pageIfMaterialized(std::uint32_t block, std::uint32_t page_off) const;
+
+    /**
+     * Mutable view of one bank page; materializes the block (filled
+     * with 0xFF) if needed.  Callers check pageIfMaterialized() first
+     * when the write might be a no-op, to preserve sparseness.
+     */
+    std::span<std::uint8_t> pageForWrite(std::uint32_t block,
+                                         std::uint32_t page_off);
+
+    /** One cell, through a chip's lane view; 0xFF if unmaterialized. */
+    std::uint8_t readByte(std::uint32_t block, std::uint32_t page_off,
+                          std::uint32_t lane) const;
+
+    /** Write one cell through a chip's lane view (materializes). */
+    void writeByte(std::uint32_t block, std::uint32_t page_off,
+                   std::uint32_t lane, std::uint8_t value);
+
+    /**
+     * Lazy erase: drop the block's buffer.  The next read sees 0xFF
+     * without any fill having happened.  Idempotent, so every chip of
+     * a bank may issue it for the same block erase.
+     */
+    void release(std::uint32_t block);
+
+  private:
+    std::uint64_t blockBytes() const
+    {
+        return std::uint64_t(laneBytes_) * pagesPerBlock_;
+    }
+
+    std::uint32_t laneBytes_;
+    std::uint32_t pagesPerBlock_;
+    std::uint32_t numBlocks_;
+    std::vector<std::vector<std::uint8_t>> blocks_;
+    std::uint64_t materializedCount_ = 0;
+    obs::Counter metMaterialized_;
+    obs::Counter metReleased_;
+};
+
+} // namespace envy
+
+#endif // ENVY_FLASH_PAGE_STORE_HH

@@ -38,7 +38,59 @@ WriteBuffer::WriteBuffer(SramArray &sram, Addr base,
     }
     owners_.assign(capacity_, noOwner);
     origins_.assign(capacity_, 0);
+    std::uint32_t table = 4;
+    while (table < 2 * capacity_)
+        table *= 2;
+    probe_.assign(table, probeEmpty);
+    probeMask_ = table - 1;
     syncHeader();
+}
+
+void
+WriteBuffer::mapInsert(std::uint32_t key, std::uint32_t ring_slot)
+{
+    std::uint32_t i = probeHome(key);
+    while (probe_[i] != probeEmpty) {
+        ENVY_ASSERT(owners_[probe_[i]] != key, "buffer: page ",
+                    key, " is already resident");
+        i = (i + 1) & probeMask_;
+    }
+    probe_[i] = ring_slot;
+}
+
+void
+WriteBuffer::mapErase(std::uint32_t key)
+{
+    std::uint32_t i = probeHome(key);
+    while (probe_[i] != probeEmpty && owners_[probe_[i]] != key)
+        i = (i + 1) & probeMask_;
+    ENVY_ASSERT(probe_[i] != probeEmpty,
+                "buffer: residency map out of lockstep");
+    // Backward-shift deletion: pull later entries of the probe chain
+    // into the hole so lookups never need tombstones.
+    std::uint32_t hole = i;
+    std::uint32_t j = (i + 1) & probeMask_;
+    while (probe_[j] != probeEmpty) {
+        const std::uint32_t home = probeHome(owners_[probe_[j]]);
+        if (((j - home) & probeMask_) >= ((j - hole) & probeMask_)) {
+            probe_[hole] = probe_[j];
+            hole = j;
+        }
+        j = (j + 1) & probeMask_;
+    }
+    probe_[hole] = probeEmpty;
+}
+
+std::uint32_t
+WriteBuffer::mapFind(std::uint32_t key) const
+{
+    std::uint32_t i = probeHome(key);
+    while (probe_[i] != probeEmpty) {
+        if (owners_[probe_[i]] == key)
+            return probe_[i];
+        i = (i + 1) & probeMask_;
+    }
+    return probeEmpty;
 }
 
 std::uint64_t
@@ -71,10 +123,7 @@ WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
                     static_cast<std::uint32_t>(origin), 4);
     owners_[slot] = static_cast<std::uint32_t>(logical.value());
     origins_[slot] = static_cast<std::uint32_t>(origin);
-    const bool fresh =
-        slotOf_.emplace(logical.value(), slot).second;
-    ENVY_ASSERT(fresh, "buffer: page ", logical,
-                " is already resident");
+    mapInsert(owners_[slot], slot); // asserts the page was not resident
     head_ = (head_ + 1) % capacity_;
     ++count_;
     syncHeader();
@@ -102,7 +151,7 @@ WriteBuffer::popTail()
     sram_.writeUint(slotMetaAddr(slot), noOwner, 4);
     ENVY_ASSERT(owners_[slot] != noOwner,
                 "buffer: pop of an unowned tail slot");
-    slotOf_.erase(owners_[slot]);
+    mapErase(owners_[slot]); // before the owner mirror is cleared
     owners_[slot] = noOwner;
     --count_;
     syncHeader();
@@ -131,9 +180,10 @@ WriteBuffer::slotOrigin(BufferSlotId slot) const
 BufferSlotId
 WriteBuffer::find(LogicalPageId logical) const
 {
-    const auto it = slotOf_.find(logical.value());
-    return it != slotOf_.end() ? BufferSlotId(it->second)
-                               : BufferSlotId::invalid();
+    const std::uint32_t slot =
+        mapFind(static_cast<std::uint32_t>(logical.value()));
+    return slot != probeEmpty ? BufferSlotId(slot)
+                              : BufferSlotId::invalid();
 }
 
 std::span<std::uint8_t>
@@ -166,7 +216,7 @@ WriteBuffer::reset()
         sram_.writeUint(slotMetaAddr(s), noOwner, 4);
     owners_.assign(capacity_, noOwner);
     origins_.assign(capacity_, 0);
-    slotOf_.clear();
+    probe_.assign(probe_.size(), probeEmpty);
     head_ = 0;
     count_ = 0;
     syncHeader();
@@ -183,14 +233,14 @@ WriteBuffer::recover()
                 "buffer: corrupt header after power failure");
     // The one legitimate full scan: rebuild the in-core mirrors and
     // the residency map from the durable SRAM slot table.
-    slotOf_.clear();
+    probe_.assign(probe_.size(), probeEmpty);
     for (std::uint32_t s = 0; s < capacity_; ++s) {
         owners_[s] = static_cast<std::uint32_t>(
             sram_.readUint(slotMetaAddr(s), 4));
         origins_[s] = static_cast<std::uint32_t>(
             sram_.readUint(slotMetaAddr(s) + 4, 4));
         if (owners_[s] != noOwner)
-            slotOf_.emplace(owners_[s], s);
+            mapInsert(owners_[s], s);
     }
 }
 

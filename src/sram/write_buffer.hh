@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -158,7 +157,26 @@ class WriteBuffer : public StatGroup
     // the one legitimate full scan.
     std::vector<std::uint32_t> owners_;
     std::vector<std::uint32_t> origins_;
-    std::unordered_map<std::uint64_t, std::uint32_t> slotOf_;
+
+    // Residency map as a flat open-addressing table (copy-on-write
+    // hits it on every host write, so it must not allocate per push
+    // the way a node-based map does).  Entries hold a ring slot or
+    // probeEmpty; the key of an occupied entry is owners_[entry].
+    // Power-of-two size >= 2 * capacity keeps probes short; erase
+    // uses backward-shift deletion so chains stay contiguous.
+    static constexpr std::uint32_t probeEmpty = 0xFFFFFFFFu;
+    std::uint32_t probeHome(std::uint32_t key) const
+    {
+        return static_cast<std::uint32_t>(
+                   (std::uint64_t(key) * 0x9E3779B97F4A7C15ull) >> 32) &
+               probeMask_;
+    }
+    void mapInsert(std::uint32_t key, std::uint32_t ring_slot);
+    void mapErase(std::uint32_t key);
+    std::uint32_t mapFind(std::uint32_t key) const;
+
+    std::vector<std::uint32_t> probe_;
+    std::uint32_t probeMask_ = 0;
 };
 
 } // namespace envy

@@ -15,6 +15,8 @@ A report must be a JSON object with:
              rows     list of lists of strings, every row exactly
                       len(columns) cells
              notes    list of strings
+             wall_ms  (v2 only, optional) non-negative number: host
+                      wall-clock spent producing the table (--time)
   metrics  (v2 only, optional) object mapping snapshot labels to
            lists of metric entries.  Every entry has name (non-empty
            string), kind ("counter" | "gauge" | "histogram") and
@@ -159,6 +161,15 @@ def check_report(path, doc=None):
                 not all(isinstance(n, str) for n in notes)):
             return fail(path, f"{where}.notes must be a list of "
                               "strings")
+        if "wall_ms" in t:
+            if schema == "envy-bench-v1":
+                return fail(path, f"{where}.wall_ms requires "
+                                  "envy-bench-v2")
+            wall = t["wall_ms"]
+            if (not isinstance(wall, (int, float)) or
+                    isinstance(wall, bool) or wall < 0):
+                return fail(path, f"{where}.wall_ms must be a "
+                                  "non-negative number")
 
     if "metrics" in doc:
         if schema == "envy-bench-v1":
@@ -204,6 +215,8 @@ def self_test():
         ("v2 metrics", doc(metrics={"u=30%": [counter, gauge,
                                               hist]})),
         ("v2 empty label list", doc(metrics={"u=30%": []})),
+        ("v2 wall_ms", doc(tables=[{**table, "wall_ms": 12.345}])),
+        ("v2 wall_ms zero", doc(tables=[{**table, "wall_ms": 0}])),
     ]
     bad = [
         ("unknown schema", doc(schema="envy-bench-v3")),
@@ -226,6 +239,13 @@ def self_test():
         ("hist edges decreasing", doc(metrics={"u": [
             {**hist, "edges": [100, 10]}]})),
         ("ragged row", doc(tables=[{**table, "rows": [["1", "2"]]}])),
+        ("v1 with wall_ms", doc(schema="envy-bench-v1",
+                                tables=[{**table, "wall_ms": 1.0}])),
+        ("negative wall_ms", doc(tables=[{**table,
+                                          "wall_ms": -0.5}])),
+        ("bool wall_ms", doc(tables=[{**table, "wall_ms": True}])),
+        ("string wall_ms", doc(tables=[{**table,
+                                        "wall_ms": "3.5"}])),
     ]
     failures = 0
     for name, d in good:

@@ -31,6 +31,12 @@ on the same line or the line directly above):
                           canonical inventory in src/obs/trace.cc
                           (the registry() initializer), which is the
                           event catalog docs/OBSERVABILITY.md documents
+  no-per-byte-page-loop   no per-byte CUI programming (programByte /
+                          writeCommand(FlashCmd::ProgramSetup)) outside
+                          the chip model itself — page data moves
+                          through the bank's bulk programPage fast
+                          path; the bank's byte-at-a-time slow-path
+                          oracle carries allow() comments
 
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
 internal errors.
@@ -51,6 +57,7 @@ RULES = (
     "no-naked-thread",
     "trace-event-unique",
     "trace-event-registered",
+    "no-per-byte-page-loop",
 )
 
 # Functions that mutate durable state (flash contents or the page
@@ -85,6 +92,15 @@ THREAD_EXEMPT = (
     os.path.join("src", "envysim", "parallel.hh"),
     os.path.join("src", "envysim", "parallel.cc"),
 )
+PER_BYTE_PAGE = re.compile(
+    r"\bprogramByte\s*\(|\bwriteCommand\s*\(\s*FlashCmd::ProgramSetup\b"
+)
+# The chip model defines the per-byte CUI; everyone else goes through
+# the bank's bulk page path.
+PER_BYTE_EXEMPT = (
+    os.path.join("src", "flash", "flash_chip.hh"),
+    os.path.join("src", "flash", "flash_chip.cc"),
+)
 ALLOW = re.compile(r"//\s*envy-lint:\s*allow\(([a-z-]+)\)\s*\S")
 
 
@@ -104,6 +120,12 @@ def strip_comments_and_strings(text):
             j = n - 2 if j < 0 else j
             out.extend(ch if ch == "\n" else " " for ch in text[i:j + 2])
             i = j + 2
+        elif (c == "'" and i > 0 and text[i - 1].isalnum() and
+                i + 1 < n and (text[i + 1].isalnum() or
+                               text[i + 1] == "_")):
+            # C++14 digit separator (1'000'000), not a char literal.
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             out.append(quote)
@@ -162,6 +184,7 @@ class Linter:
             self.check_raw_alloc(src)
             self.check_typed_params(src)
             self.check_naked_thread(src)
+            self.check_per_byte_page(src)
         for relpath in MUTATION_FILES:
             for src in sources:
                 if src.relpath == relpath:
@@ -319,6 +342,18 @@ class Linter:
                     "src/envysim/parallel.* — route concurrency "
                     "through ParallelRunner")
 
+    def check_per_byte_page(self, src):
+        if src.relpath in PER_BYTE_EXEMPT:
+            return
+        for num, line in enumerate(src.stripped, 1):
+            m = PER_BYTE_PAGE.search(line)
+            if m:
+                self.report(
+                    src, num, "no-per-byte-page-loop",
+                    f"per-byte CUI program '{m.group(0).strip()}' — "
+                    "page data moves through FlashBank::programPage "
+                    "(the bank's slow-path oracle is allow()-listed)")
+
 
 def source_files(root):
     files = []
@@ -347,6 +382,10 @@ void f(std::uint64_t page, std::uint32_t slot) {
     ENVY_TRACE("bogus.trace.event", obs::tv("n", 1));
     ENVY_TRACE("bogus.trace.event", obs::tv("n", 2));
     std::thread worker([] {});
+    for (std::uint32_t j = 0; j < n; ++j) {
+        chip.writeCommand(FlashCmd::ProgramSetup);
+        chip.programByte(addr + j, data[j]);
+    }
 }
 '''
 
@@ -360,6 +399,7 @@ SELF_TEST_EXPECT = (
     "no-naked-thread",
     "trace-event-unique",
     "trace-event-registered",
+    "no-per-byte-page-loop",
 )
 
 
