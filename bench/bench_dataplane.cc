@@ -15,7 +15,10 @@
  *   BM_SegmentClean  whole-stack cleans (EnvyStore, FIFO policy)
  *
  * Each table has a fast and a slow row plus a speedup column
- * (slow ns / fast ns).  All cells except the op counts are host
+ * (slow ns / fast ns).  BM_PageProgram adds a persist row — the same
+ * fast path writing through a MAP_SHARED store file
+ * (docs/PERSISTENCE.md) — to quantify what durability costs on the
+ * program path; the acceptance bar is within 2x of anonymous.  All cells except the op counts are host
  * wall-clock and vary run to run — this bench is about the
  * simulator's own speed, not modelled hardware latencies, so it is
  * deliberately excluded from the determinism suite and from
@@ -27,10 +30,16 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
+#include <unistd.h>
+
 #include "envy/envy_store.hh"
 #include "envysim/experiment.hh"
 #include "flash/flash_bank.hh"
 #include "flash/flash_timing.hh"
+#include "persist/flash_backing.hh"
+#include "persist/store_file.hh"
 #include "sim/random.hh"
 
 using namespace envy;
@@ -83,12 +92,12 @@ struct Measurement
     }
 };
 
-/** Program every page of every block, @p reps times; erases between
- *  reps are untimed so the cells measure programs only. */
+/** The timed body shared by the program rows: program every page of
+ *  every block, @p reps times; erases between reps are untimed so
+ *  the cells measure programs only. */
 Measurement
-runProgram(bool slow, std::uint32_t reps)
+programLoop(FlashBank &bank, std::uint32_t reps)
 {
-    FlashBank bank = makeBank(slow);
     std::vector<std::uint8_t> page(bankPageSize);
     Measurement m;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
@@ -104,6 +113,42 @@ runProgram(bool slow, std::uint32_t reps)
         for (std::uint32_t b = 0; b < bankBlocks; ++b)
             bank.eraseSegment(b);
     }
+    return m;
+}
+
+Measurement
+runProgram(bool slow, std::uint32_t reps)
+{
+    FlashBank bank = makeBank(slow);
+    return programLoop(bank, reps);
+}
+
+/** Fast-path programs writing through a MAP_SHARED store file: the
+ *  durable-mode cost of the same loop (docs/PERSISTENCE.md). */
+Measurement
+runProgramPersist(std::uint32_t reps)
+{
+    const std::string path = "/tmp/bench_dataplane_persist." +
+                             std::to_string(::getpid()) + ".envy";
+    std::remove(path.c_str());
+    persist::StoreParams params;
+    params.pageSize = bankPageSize;
+    params.blockBytes = bankBlockBytes;
+    params.blocksPerChip = bankBlocks;
+    params.numBanks = 1;
+    params.logicalPages = 1; // unused by the bank-level path
+    params.writeBufferPages = 1;
+    params.storeData = 1;
+    params.sramBytes = 64;
+    Measurement m;
+    {
+        persist::StoreFile file(path, params);
+        persist::BankBacking backing(file, 0);
+        FlashBank bank(bankPageSize, bankBlockBytes, bankBlocks,
+                       FlashTiming{}, true, false, nullptr, &backing);
+        m = programLoop(bank, reps);
+    }
+    std::remove(path.c_str());
     return m;
 }
 
@@ -183,30 +228,42 @@ runClean(bool slow, std::uint64_t cleans)
     return m;
 }
 
+/** One table: labelled rows, speedup relative to the last (the slow
+ *  baseline, whose speedup prints exactly 1.00x). */
+void
+addTable(BenchReport &report, const std::string &title,
+         const std::string &op_name,
+         const std::vector<std::pair<std::string, Measurement>> &rows)
+{
+    ResultTable t(title);
+    t.setColumns({"path", op_name, "wall_ms", "ns/op", op_name + "/s",
+                  "speedup"});
+    const Measurement &base = rows.back().second;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Measurement &m = rows[i].second;
+        const std::string speedup =
+            i + 1 == rows.size()
+                ? "1.00x"
+                : ResultTable::num(base.nsPerOp() / m.nsPerOp(), 2) +
+                      "x";
+        t.addRow({rows[i].first, ResultTable::integer(m.ops),
+                  ResultTable::num(m.wallMs, 2),
+                  ResultTable::num(m.nsPerOp(), 1),
+                  ResultTable::integer(
+                      static_cast<std::uint64_t>(m.opsPerSec())),
+                  speedup});
+    }
+    t.addNote("host wall-clock; every cell but the op counts varies "
+              "run to run");
+    report.add(t);
+}
+
 void
 addTable(BenchReport &report, const std::string &title,
          const std::string &op_name, const Measurement &fast,
          const Measurement &slow)
 {
-    ResultTable t(title);
-    t.setColumns({"path", op_name, "wall_ms", "ns/op", op_name + "/s",
-                  "speedup"});
-    const double speedup = slow.nsPerOp() / fast.nsPerOp();
-    t.addRow({"fast", ResultTable::integer(fast.ops),
-              ResultTable::num(fast.wallMs, 2),
-              ResultTable::num(fast.nsPerOp(), 1),
-              ResultTable::integer(
-                  static_cast<std::uint64_t>(fast.opsPerSec())),
-              ResultTable::num(speedup, 2) + "x"});
-    t.addRow({"slow", ResultTable::integer(slow.ops),
-              ResultTable::num(slow.wallMs, 2),
-              ResultTable::num(slow.nsPerOp(), 1),
-              ResultTable::integer(
-                  static_cast<std::uint64_t>(slow.opsPerSec())),
-              "1.00x"});
-    t.addNote("host wall-clock; every cell but the op counts varies "
-              "run to run");
-    report.add(t);
+    addTable(report, title, op_name, {{"fast", fast}, {"slow", slow}});
 }
 
 } // namespace
@@ -226,7 +283,10 @@ main(int argc, char **argv)
         ResultTable::integer(bankBlockBytes) + " pages/segment";
 
     addTable(report, "BM_PageProgram: bank program (" + bankGeom + ")",
-             "pages", runProgram(false, reps), runProgram(true, reps));
+             "pages",
+             {{"fast", runProgram(false, reps)},
+              {"persist", runProgramPersist(reps)},
+              {"slow", runProgram(true, reps)}});
     addTable(report, "BM_PageRead: bank wide-path read (" + bankGeom +
                      ")",
              "pages", runRead(false, reps), runRead(true, reps));

@@ -7,12 +7,19 @@
  * than as an access-shape simulation.
  *
  *   ./tpca_demo [accounts=20000] [transactions=50000] [seed=1]
+ *               [persist=PATH] [persist_checkpoint_bytes=N]
+ *
+ * With `persist=PATH` the store lives in a real file pair
+ * (docs/PERSISTENCE.md): the first run creates PATH, later runs
+ * recover whatever state the previous process — cleanly exited or
+ * SIGKILLed — left behind.
  */
 
 #include <cstdio>
 
 #include "db/tpca_db.hh"
 #include "envysim/config.hh"
+#include "persist/backend.hh"
 #include "sim/random.hh"
 
 using namespace envy;
@@ -25,14 +32,20 @@ main(int argc, char **argv)
     const std::uint64_t transactions =
         opts.getUint("transactions", 50000);
     const std::uint64_t seed = opts.getUint("seed", 1);
-    opts.warnUnused();
 
     // Size the store to the database: records plus index slack.
     EnvyConfig cfg;
     cfg.geom = Geometry::tiny();
     while (cfg.geom.logicalBytes().value() < accounts * 140 + 512 * KiB)
         cfg.geom.numBanks *= 2;
+    opts.applyPersist(cfg);
+    opts.warnUnused();
     EnvyStore store(cfg);
+    if (store.persistent())
+        std::printf("persistent store at %s: %s\n",
+                    cfg.persistPath.c_str(),
+                    store.persistReport().created ? "created"
+                                                  : "recovered");
 
     TpcaDatabase::Params params;
     params.accounts = accounts;

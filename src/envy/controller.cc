@@ -1,6 +1,7 @@
 #include "envy/controller.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 #include "faults/crash_point.hh"
@@ -158,7 +159,9 @@ Controller::read(Addr addr, std::span<std::uint8_t> out)
           case PageTable::LocKind::Sram:
             outcome.hitSram = true;
             if (flash_.storesData()) {
-                auto src = buffer_.slotData(loc.sramSlot);
+                // as_const: a read must not dirty the slot for the
+                // persist layer's SRAM tracking.
+                auto src = std::as_const(buffer_).slotData(loc.sramSlot);
                 std::copy_n(src.begin() + off, n, out.begin() + done);
             }
             break;
@@ -302,7 +305,7 @@ Controller::flushOne()
 
     std::span<const std::uint8_t> data;
     if (flash_.storesData())
-        data = buffer_.slotData(tail.slot);
+        data = std::as_const(buffer_).slotData(tail.slot);
 
     // A program can fail out of spec (§5.1: the status register
     // reports it); the slot is then retired and the page retried in

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "envy/recovery.hh"
+#include "persist/backend.hh"
 
 namespace envy {
 
@@ -25,11 +26,18 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
         bufferBase_ + WriteBuffer::bytesNeeded(buffer_pages, g.pageSize,
                                                cfg_.storeData);
 
+    if (!cfg_.persistPath.empty()) {
+        persist_ = std::make_unique<persist::PersistBackend>(
+            cfg_, sram_bytes, &metrics_);
+        if (persist_->reopening())
+            cfg_.prePopulate = false; // state comes from the file
+    }
+
     sram_ = std::make_unique<SramArray>(sram_bytes, true);
-    flash_ = std::make_unique<FlashArray>(g, cfg_.timing,
-                                          cfg_.storeData, this,
-                                          &metrics_,
-                                          cfg_.slowDataplane);
+    flash_ = std::make_unique<FlashArray>(
+        g, cfg_.timing, cfg_.storeData, this, &metrics_,
+        cfg_.slowDataplane,
+        persist_ ? persist_->flashPersist() : nullptr);
     pageTable_ = std::make_unique<PageTable>(
         *sram_, ptBase_, g.physicalPages().value());
     mmu_ = std::make_unique<Mmu>(*pageTable_, cfg_.tlbSize, this);
@@ -49,11 +57,34 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
         g, *flash_, *mmu_, *buffer_, *space_, *cleaner_, *policy_,
         cfg_.autoDrain, this, &metrics_);
 
+    if (persist_ && persist_->reopening()) {
+        // Restart: overlay the journal-replayed SRAM image (the
+        // components above initialised it as if empty) and rebuild
+        // flash state from the store file, exactly like image loading
+        // overlays a saved image before recovering.
+        persist_->restoreSram(*sram_);
+        flash_->restoreFromPersist();
+    }
+
     if (cfg_.prePopulate)
         controller_->populate(cfg_.placement, cfg_.agedStride);
+
+    if (persist_) {
+        // Arm the journal only now: populate/restore work above is
+        // covered wholesale by the checkpoint below, not journaled.
+        persist_->activate(*sram_);
+        if (persist_->reopening())
+            persist_->finishReopen(Recovery::run(*this));
+        else
+            persist_->finishFresh();
+    }
 }
 
-EnvyStore::~EnvyStore() = default;
+EnvyStore::~EnvyStore()
+{
+    if (persist_)
+        persist_->shutdown();
+}
 
 std::uint64_t
 EnvyStore::size() const
@@ -71,6 +102,8 @@ void
 EnvyStore::write(Addr addr, std::span<const std::uint8_t> in)
 {
     controller_->write(addr, in);
+    if (persist_)
+        persist_->opEnd();
 }
 
 std::uint8_t
@@ -129,6 +162,8 @@ void
 EnvyStore::flushAll()
 {
     controller_->flushAll();
+    if (persist_)
+        persist_->opEnd();
 }
 
 double
@@ -140,7 +175,31 @@ EnvyStore::cleaningCost() const
 RecoveryReport
 EnvyStore::powerFailAndRecover()
 {
-    return Recovery::run(*this);
+    const RecoveryReport report = Recovery::run(*this);
+    if (persist_)
+        persist_->opEnd(); // recovery's SRAM repairs become durable
+    return report;
+}
+
+const persist::PersistReport &
+EnvyStore::persistReport() const
+{
+    ENVY_ASSERT(persist_, "store: persistReport on a volatile store");
+    return persist_->report();
+}
+
+void
+EnvyStore::persistFlush()
+{
+    if (persist_)
+        persist_->opEnd();
+}
+
+void
+EnvyStore::persistCommit()
+{
+    if (persist_)
+        persist_->commit();
 }
 
 } // namespace envy

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 
 #include "common/geometry.hh"
 #include "envy/controller.hh"
@@ -32,6 +33,11 @@
 #include "sram/sram_array.hh"
 
 namespace envy {
+
+namespace persist {
+class PersistBackend;
+struct PersistReport;
+} // namespace persist
 
 struct EnvyConfig
 {
@@ -57,6 +63,18 @@ struct EnvyConfig
     /** Drain the buffer to threshold after every write. */
     bool autoDrain = true;
     std::uint32_t tlbSize = 1024;
+    /**
+     * Durable persistence (docs/PERSISTENCE.md).  Empty (default):
+     * everything lives in anonymous memory and dies with the process.
+     * Set to a file path: cell data and flash metadata live in a
+     * MAP_SHARED store file, SRAM is journaled to `<path>.journal`,
+     * and constructing an EnvyStore on an existing store replays the
+     * journal and runs restart recovery instead of populating.
+     */
+    std::string persistPath;
+    /** Journal bytes between auto-checkpoints; 0 = max(256 KiB,
+     *  4 x SRAM size). */
+    std::uint64_t persistCheckpointBytes = 0;
 };
 
 class EnvyStore : public StatGroup
@@ -118,11 +136,36 @@ class EnvyStore : public StatGroup
      */
     RecoveryReport powerFailAndRecover();
 
+    // ---- durable persistence (cfg.persistPath) -------------------
+
+    /** True when this store is backed by a store file on disk. */
+    bool persistent() const { return persist_ != nullptr; }
+
+    /** What opening the store did (created vs replayed+recovered);
+     *  only meaningful on a persistent store. */
+    const persist::PersistReport &persistReport() const;
+
+    /**
+     * Make everything acknowledged so far SIGKILL-durable: append the
+     * dirty SRAM ranges to the journal (plain write(2) — a completed
+     * write survives process death).  Harnesses call this before
+     * acknowledging work done through paths that bypass write(),
+     * e.g. shadow-transaction commits.
+     */
+    void persistFlush();
+
+    /** Power-loss barrier: journal fdatasync + store-file msync. */
+    void persistCommit();
+
   private:
     EnvyConfig cfg_;
     // Declared before the components: they hold handles into it, so
     // it must outlive them (destruction runs bottom-up).
     obs::MetricsRegistry metrics_;
+    // Before the SRAM/flash: the journal snapshots the SramArray and
+    // the FlashArray writes through the store file, so the backend
+    // must outlive both.
+    std::unique_ptr<persist::PersistBackend> persist_;
     std::unique_ptr<SramArray> sram_;
     std::unique_ptr<FlashArray> flash_;
     std::unique_ptr<PageTable> pageTable_;

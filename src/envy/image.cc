@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
@@ -11,6 +12,39 @@ namespace envy {
 namespace {
 
 constexpr char magic[8] = {'E', 'N', 'V', 'Y', 'I', 'M', 'G', '2'};
+
+/**
+ * Thrown by the reading helpers on malformed input and converted to
+ * a return value (tryLoad) or a FATAL (load) at the API boundary, so
+ * the parsing code can stay linear.
+ */
+struct ImageError
+{
+    std::string message;
+};
+
+template <typename... Args>
+[[noreturn]] void
+fail(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    throw ImageError{os.str()};
+}
+
+/** fopen with close-on-every-exit (including thrown ImageErrors). */
+struct FileHandle
+{
+    explicit FileHandle(std::FILE *file) : f(file) {}
+    ~FileHandle()
+    {
+        if (f)
+            std::fclose(f);
+    }
+    FileHandle(const FileHandle &) = delete;
+    FileHandle &operator=(const FileHandle &) = delete;
+    std::FILE *f;
+};
 
 void
 putU64(std::FILE *f, std::uint64_t v)
@@ -27,7 +61,7 @@ getU64(std::FILE *f)
 {
     std::uint8_t b[8];
     if (std::fread(b, 1, 8, f) != 8)
-        ENVY_FATAL("image: file is truncated");
+        fail("image: file is truncated");
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
         v = (v << 8) | b[i];
@@ -47,7 +81,7 @@ getBytes(std::FILE *f, std::span<std::uint8_t> bytes)
 {
     if (!bytes.empty() &&
         std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size())
-        ENVY_FATAL("image: file is truncated");
+        fail("image: file is truncated");
 }
 
 // Owner encoding in the image, mirroring the array's internal one.
@@ -141,17 +175,20 @@ EnvyImage::save(EnvyStore &store, const std::string &path)
         ENVY_FATAL("image: error writing '", path, "'");
 }
 
+namespace {
+
 std::unique_ptr<EnvyStore>
-EnvyImage::load(const std::string &path)
+loadImpl(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
+    FileHandle fh(std::fopen(path.c_str(), "rb"));
+    std::FILE *f = fh.f;
     if (!f)
-        ENVY_FATAL("image: cannot open '", path, "'");
+        fail("image: cannot open '", path, "'");
 
     char m[8];
     if (std::fread(m, 1, sizeof(m), f) != sizeof(m) ||
         std::memcmp(m, magic, sizeof(m)) != 0)
-        ENVY_FATAL("image: '", path, "' is not an eNVy image");
+        fail("image: '", path, "' is not an eNVy image");
 
     EnvyConfig cfg;
     cfg.geom.pageSize = static_cast<std::uint32_t>(getU64(f));
@@ -162,7 +199,7 @@ EnvyImage::load(const std::string &path)
     cfg.geom.writeBufferPages =
         static_cast<std::uint32_t>(getU64(f));
     cfg.storeData = getU64(f) != 0;
-    cfg.policy = static_cast<PolicyKind>(getU64(f));
+    const std::uint64_t policy = getU64(f);
     cfg.partitionSize = static_cast<std::uint32_t>(getU64(f));
     cfg.bufferThreshold = static_cast<std::uint32_t>(getU64(f));
     cfg.wearThreshold = getU64(f);
@@ -170,28 +207,61 @@ EnvyImage::load(const std::string &path)
     cfg.autoDrain = getU64(f) != 0;
     cfg.prePopulate = false; // state comes from the image
 
+    // Validate the header before any of it drives allocation or an
+    // EnvyStore constructor that would FATAL on nonsense.
+    if (const char *problem = cfg.geom.validate())
+        fail("image: '", path, "' header: ", problem);
+    if (policy > static_cast<std::uint64_t>(PolicyKind::Hybrid))
+        fail("image: '", path, "' header: unknown policy ", policy);
+    cfg.policy = static_cast<PolicyKind>(policy);
+
     auto store = std::make_unique<EnvyStore>(cfg);
 
     // SRAM blob straight over the battery-backed array.
     const std::uint64_t sram_bytes = getU64(f);
     if (sram_bytes != store->sram().size()) {
-        std::fclose(f);
-        ENVY_FATAL("image: SRAM size mismatch: ", sram_bytes, " vs ",
-                   store->sram().size());
+        fail("image: SRAM size mismatch: ", sram_bytes, " vs ",
+             store->sram().size());
     }
     getBytes(f, store->sram().raw());
 
     // Flash: replay each used slot in order, then restore wear.
+    // Every count and slot index is checked against the segment
+    // capacity the geometry implies before it is replayed.
     FlashArray &flash = store->flash();
+    const std::uint64_t cap = flash.pagesPerSegment().value();
+    const std::uint64_t npages =
+        cfg.geom.effectiveLogicalPages().value();
     std::vector<std::uint8_t> page(cfg.geom.pageSize);
     for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
         const SegmentId seg{s};
         const std::uint64_t used = getU64(f);
         const std::uint64_t cycles = getU64(f);
+        if (used > cap) {
+            fail("image: segment ", s, ": ", used,
+                 " used slots exceed the capacity ", cap);
+        }
         const std::uint64_t ahead = getU64(f);
+        if (ahead > cap - used) {
+            fail("image: segment ", s, ": ", ahead,
+                 " retired-ahead slots do not fit the erased region");
+        }
         std::vector<std::uint32_t> retired_ahead(ahead);
-        for (std::uint64_t i = 0; i < ahead; ++i)
-            retired_ahead[i] = static_cast<std::uint32_t>(getU64(f));
+        std::vector<bool> seen(cap, false);
+        for (std::uint64_t i = 0; i < ahead; ++i) {
+            const std::uint64_t slot = getU64(f);
+            if (slot < used || slot >= cap) {
+                fail("image: segment ", s, ": retired slot ", slot,
+                     " outside the erased region [", used, ", ", cap,
+                     ")");
+            }
+            if (seen[slot]) {
+                fail("image: segment ", s, ": retired slot ", slot,
+                     " listed twice");
+            }
+            seen[slot] = true;
+            retired_ahead[i] = static_cast<std::uint32_t>(slot);
+        }
         for (std::uint64_t slot = 0; slot < used; ++slot) {
             const std::uint64_t owner = getU64(f);
             if (owner == imgRetired) {
@@ -211,6 +281,9 @@ EnvyImage::load(const std::string &path)
                 const FlashPageAddr a =
                     flash.appendPage(seg, LogicalPageId(0), data);
                 flash.invalidatePage(a);
+            } else if (owner >= npages) {
+                fail("image: segment ", s, " slot ", slot, ": owner ",
+                     owner, " beyond the ", npages, " logical pages");
             } else {
                 flash.appendPage(seg, LogicalPageId(owner), data);
             }
@@ -219,12 +292,36 @@ EnvyImage::load(const std::string &path)
             flash.restoreRetiredAhead(seg, SlotId(slot));
         flash.restoreWear(seg, cycles);
     }
-    std::fclose(f);
+    if (std::fgetc(f) != EOF)
+        fail("image: '", path, "' has bytes after the last segment");
 
     // The recovery path rebuilds every in-core mirror (page-table
     // consistency scan, buffer ring, segment map, policy state) from
     // the non-volatile domains we just restored.
     store->powerFailAndRecover();
+    return store;
+}
+
+} // namespace
+
+std::unique_ptr<EnvyStore>
+EnvyImage::tryLoad(const std::string &path, std::string &error)
+{
+    try {
+        return loadImpl(path);
+    } catch (const ImageError &e) {
+        error = e.message;
+        return nullptr;
+    }
+}
+
+std::unique_ptr<EnvyStore>
+EnvyImage::load(const std::string &path)
+{
+    std::string error;
+    std::unique_ptr<EnvyStore> store = tryLoad(path, error);
+    if (!store)
+        ENVY_FATAL(error);
     return store;
 }
 

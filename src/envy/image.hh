@@ -36,6 +36,17 @@ class EnvyImage
     /** Reconstruct a store from an image file; fatals on format or
      *  I/O problems. */
     static std::unique_ptr<EnvyStore> load(const std::string &path);
+
+    /**
+     * Like load(), but a malformed image is an error value instead of
+     * a panic: on any I/O problem, truncation, bad magic, or
+     * out-of-range field the function returns nullptr and fills
+     * @p error with a description.  Every section read is
+     * bounds-checked against the geometry the header declares, so a
+     * corrupt file cannot drive the store through an assert.
+     */
+    static std::unique_ptr<EnvyStore>
+    tryLoad(const std::string &path, std::string &error);
 };
 
 } // namespace envy

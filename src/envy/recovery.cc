@@ -1,5 +1,6 @@
 #include "envy/recovery.hh"
 
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -107,7 +108,7 @@ Recovery::run(EnvyStore &store)
         e.logical = owner;
         e.origin = buffer.slotOrigin(slot);
         if (data_mode) {
-            auto src = buffer.slotData(slot);
+            auto src = std::as_const(buffer).slotData(slot);
             e.data.assign(src.begin(), src.end());
         }
         entries.push_back(std::move(e));

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "envy/envy_store.hh"
 
 namespace envy {
 
@@ -80,6 +81,14 @@ Options::getPolicy(const std::string &key, PolicyKind def) const
         return PolicyKind::Hybrid;
     ENVY_FATAL("config: unknown policy '", v,
                "'; use greedy|fifo|lg|hybrid");
+}
+
+void
+Options::applyPersist(EnvyConfig &cfg) const
+{
+    cfg.persistPath = getString("persist", cfg.persistPath);
+    cfg.persistCheckpointBytes = getUint("persist_checkpoint_bytes",
+                                         cfg.persistCheckpointBytes);
 }
 
 void

@@ -16,6 +16,8 @@
 
 namespace envy {
 
+struct EnvyConfig;
+
 class Options
 {
   public:
@@ -32,6 +34,14 @@ class Options
 
     /** greedy | fifo | locality-gathering (or lg) | hybrid. */
     PolicyKind getPolicy(const std::string &key, PolicyKind def) const;
+
+    /**
+     * Read the durable-persistence keys (docs/PERSISTENCE.md) into
+     * @p cfg: `persist=PATH` backs the store with a file at PATH —
+     * reopening an existing store replays the journal and recovers —
+     * and `persist_checkpoint_bytes=N` bounds journal growth.
+     */
+    void applyPersist(EnvyConfig &cfg) const;
 
     /** Keys that were provided but never read (typo detection). */
     void warnUnused() const;

@@ -586,6 +586,13 @@ CrashPointExplorer::run()
     Rng pick(cfg_.seed ^ 0xC3A5C85C97CB3127ull);
     std::vector<std::pair<std::string, std::uint64_t>> schedule;
     for (const std::string &point : crash_points::allPoints()) {
+        // persist.* points sit on the durable-store paths (journal
+        // flush, checkpoint rename) that only a store with a
+        // persistPath executes; the fork/SIGKILL crash harness
+        // (tools/persist/crash_harness) owns those.
+        if (cfg_.store.persistPath.empty() &&
+            point.rfind("persist.", 0) == 0)
+            continue;
         const auto it = result.probeHits.find(point);
         const std::uint64_t hits =
             it == result.probeHits.end() ? 0 : it->second;

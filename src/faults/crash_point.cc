@@ -56,6 +56,9 @@ registry()
             "txn.commit.mid_release",
             "txn.abort.begin",
             "txn.abort.mid_restore",
+            "persist.journal.after_flush",
+            "persist.checkpoint.before_rename",
+            "persist.checkpoint.after_rename",
         };
     }();
     return points;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace.hh"
+#include "persist/flash_backing.hh"
 
 namespace envy {
 
@@ -24,7 +25,8 @@ envSlowDataplane()
 FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
                        bool store_data, StatGroup *parent,
                        obs::MetricsRegistry *metrics,
-                       bool slow_dataplane)
+                       bool slow_dataplane,
+                       persist::FlashPersist *persist)
     : StatGroup("flash", parent),
       statPagesProgrammed(this, "pagesProgrammed",
                           "pages programmed into the array"),
@@ -59,7 +61,8 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
       geom_(geom),
       timing_(timing),
       storeData_(store_data),
-      slowDataplane_(slow_dataplane || envSlowDataplane())
+      slowDataplane_(slow_dataplane || envSlowDataplane()),
+      persist_(persist)
 {
     if (const char *problem = geom_.validate())
         ENVY_FATAL("flash: bad geometry: ", problem);
@@ -68,7 +71,9 @@ FlashArray::FlashArray(const Geometry &geom, const FlashTiming &timing,
     for (std::uint32_t b = 0; b < geom_.numBanks; ++b)
         banks_.emplace_back(geom_.pageSize, geom_.blockBytes,
                             geom_.blocksPerChip, timing_, store_data,
-                            slowDataplane_, metrics);
+                            slowDataplane_, metrics,
+                            persist_ ? persist_->bankBacking(b)
+                                     : nullptr);
 
     segments_.resize(geom_.numSegments());
     for (auto &s : segments_) {
@@ -94,13 +99,17 @@ FlashArray::state(SegmentId seg) const
 }
 
 void
-FlashArray::retireCurrentSlot(SegmentState &s)
+FlashArray::retireCurrentSlot(SegmentId seg, SegmentState &s)
 {
     const std::uint32_t slot = s.writePtr;
     s.retired[slot] = true;
     s.owner[slot] = ownerDead;
     ++s.retiredTotal;
     ++s.writePtr; // the slot is consumed, but holds nothing live
+    if (persist_) {
+        persist_->meta.setRetired(seg, SlotId(slot));
+        persist_->meta.setWritePtr(seg, s.writePtr);
+    }
 }
 
 FlashArray::AppendResult
@@ -112,12 +121,15 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
         static_cast<std::uint32_t>(geom_.pagesPerSegment().value());
 
     // Skip slots retired in an earlier life of this segment.
+    const std::uint32_t ptrBeforeSkip = s.writePtr;
     while (s.writePtr < cap && s.retired[s.writePtr]) {
         ++s.writePtr;
         ENVY_ASSERT(s.retiredAhead > 0,
                     "flash: retired-slot accounting");
         --s.retiredAhead;
     }
+    if (persist_ && s.writePtr != ptrBeforeSkip)
+        persist_->meta.setWritePtr(seg, s.writePtr);
     ENVY_ASSERT(s.writePtr < cap,
                 "flash: append to a full segment ", seg);
 
@@ -146,7 +158,9 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
                     "flash: program error in segment ", seg,
                     " slot ", slot);
         owning_bank.clearStatus();
-        retireCurrentSlot(s);
+        if (persist_)
+            persist_->meta.setSpecFailed(seg);
+        retireCurrentSlot(seg, s);
         ++statSlotsRetired;
         ++statProgramSpecFailures;
         metSlotsRetired.add();
@@ -159,6 +173,13 @@ FlashArray::tryAppendRaw(SegmentId seg, std::uint32_t owner,
     s.owner[slot.value()] = owner;
     ++s.live;
     totalLive_ += PageCount(1);
+    if (persist_) {
+        // Cells were programmed above, before this metadata: a crash
+        // in between leaves a "flash-ahead" tail that reopen scrubs
+        // (docs/PERSISTENCE.md).
+        persist_->meta.setOwner(seg, slot, owner);
+        persist_->meta.setWritePtr(seg, s.writePtr);
+    }
     ++statPagesProgrammed;
     metPrograms.add();
     if (segmentChangedHook)
@@ -219,6 +240,8 @@ FlashArray::invalidatePage(FlashPageAddr addr)
     ENVY_ASSERT(s.live > 0, "flash: live underflow");
     --s.live;
     totalLive_ -= PageCount(1);
+    if (persist_)
+        persist_->meta.setOwner(addr.segment, addr.slot, ownerDead);
     ++statPagesInvalidated;
     metInvalidations.add();
     if (segmentChangedHook)
@@ -257,6 +280,9 @@ FlashArray::convertToShadow(FlashPageAddr addr)
                     s.owner[addr.slot.value()] < ownerShadow,
                 "flash: only a live page can become a shadow");
     s.owner[addr.slot.value()] = ownerShadow;
+    if (persist_)
+        persist_->meta.setOwner(addr.segment, addr.slot,
+                                ownerShadow);
     // Still counted live: the cleaner must carry shadows along.
 }
 
@@ -358,12 +384,16 @@ FlashArray::eraseSegment(SegmentId seg)
         // stays usable and the chips remember it spec-failed.
         ++statEraseSpecFailures;
         owning_bank.clearStatus();
+        if (persist_)
+            persist_->meta.setSpecFailed(seg);
     }
 
     std::fill(s.owner.begin(), s.owner.begin() + s.writePtr, ownerDead);
     s.writePtr = 0;
     // Retired slots stay retired: the damage is physical.
     s.retiredAhead = s.retiredTotal;
+    if (persist_)
+        persist_->meta.resetAfterErase(seg, s.eraseCycles);
     metErases.add();
     ENVY_TRACE("flash.erase", obs::tv("segment", seg.value()),
                obs::tv("cycles", s.eraseCycles));
@@ -394,7 +424,7 @@ FlashArray::retireNextSlot(SegmentId seg)
     ENVY_ASSERT(s.writePtr < geom_.pagesPerSegment().value(),
                 "flash: retire in a full segment ", seg);
     ENVY_ASSERT(!s.retired[s.writePtr], "flash: slot already retired");
-    retireCurrentSlot(s);
+    retireCurrentSlot(seg, s);
     if (segmentChangedHook)
         segmentChangedHook(seg);
 }
@@ -412,6 +442,8 @@ FlashArray::restoreRetiredAhead(SegmentId seg, SlotId slot)
     s.retired[slot.value()] = true;
     ++s.retiredTotal;
     ++s.retiredAhead;
+    if (persist_)
+        persist_->meta.setRetired(seg, slot);
     if (segmentChangedHook)
         segmentChangedHook(seg);
 }
@@ -452,6 +484,61 @@ FlashArray::restoreWear(SegmentId seg, std::uint64_t cycles)
     FlashBank &owning_bank = bank(geom_.bankOf(seg));
     for (std::uint32_t c = 0; c < geom_.pageSize; ++c)
         owning_bank.chip(c).restoreCycles(geom_.blockOf(seg), cycles);
+    if (persist_)
+        persist_->meta.setEraseCycles(seg, cycles);
+}
+
+void
+FlashArray::restoreFromPersist()
+{
+    ENVY_ASSERT(persist_, "flash: restoreFromPersist without backing");
+    const persist::FlashMetaView &m = persist_->meta;
+    const std::uint32_t cap =
+        static_cast<std::uint32_t>(geom_.pagesPerSegment().value());
+
+    totalLive_ = PageCount(0);
+    for (std::uint64_t i = 0; i < geom_.numSegments(); ++i) {
+        const SegmentId seg(i);
+        SegmentState &s = segments_[i];
+        const std::uint32_t ptr = m.writePtr(seg);
+        ENVY_ASSERT(ptr <= cap,
+                    "persist: segment ", seg, " write pointer ", ptr,
+                    " beyond capacity ", cap);
+        s.writePtr = ptr;
+        s.eraseCycles = m.eraseCycles(seg);
+        s.live = 0;
+        s.retiredTotal = 0;
+        s.retiredAhead = 0;
+        for (std::uint32_t slot = 0; slot < cap; ++slot) {
+            const bool retired = m.retired(seg, SlotId(slot));
+            s.retired[slot] = retired;
+            if (retired) {
+                ++s.retiredTotal;
+                if (slot >= ptr)
+                    ++s.retiredAhead;
+            }
+            // Beyond the write pointer the slot is erased whatever
+            // the file says: a crash between setOwner and setWritePtr
+            // can leave a stale owner word there.
+            const std::uint32_t owner =
+                slot < ptr ? m.owner(seg, SlotId(slot)) : ownerDead;
+            s.owner[slot] = owner;
+            if (slot < ptr && owner != ownerDead)
+                ++s.live; // shadows included, as in convertToShadow
+        }
+        totalLive_ += PageCount(s.live);
+
+        FlashBank &owning_bank = bank(geom_.bankOf(seg));
+        const std::uint32_t block = geom_.blockOf(seg);
+        for (std::uint32_t c = 0; c < geom_.pageSize; ++c)
+            owning_bank.chip(c).restoreCycles(block, s.eraseCycles);
+        if (m.specFailed(seg))
+            owning_bank.chip(0).restoreSpecFailed(block);
+        // Cells programmed ahead of the recorded write pointer (crash
+        // between program and metadata update) go back to 0xFF so the
+        // append-only AND-programming semantics hold.
+        owning_bank.scrubTail(block, ptr);
+    }
 }
 
 std::uint64_t

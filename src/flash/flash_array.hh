@@ -31,6 +31,10 @@
 
 namespace envy {
 
+namespace persist {
+struct FlashPersist;
+} // namespace persist
+
 class FlashArray : public StatGroup
 {
   public:
@@ -40,11 +44,16 @@ class FlashArray : public StatGroup
      *                        bulk fast path.  Also forced on by the
      *                        ENVY_SLOW_DATAPLANE environment variable
      *                        (any value but "0").
+     * @param persist         optional durable backing: segment
+     *                        metadata is written through to the store
+     *                        file and (in functional mode) cell data
+     *                        lives in its mapped data region
      */
     FlashArray(const Geometry &geom, const FlashTiming &timing,
                bool store_data, StatGroup *parent = nullptr,
                obs::MetricsRegistry *metrics = nullptr,
-               bool slow_dataplane = false);
+               bool slow_dataplane = false,
+               persist::FlashPersist *persist = nullptr);
 
     const Geometry &geom() const { return geom_; }
     const FlashTiming &timing() const { return timing_; }
@@ -217,6 +226,16 @@ class FlashArray : public StatGroup
      */
     void restoreWear(SegmentId seg, std::uint64_t cycles);
 
+    /**
+     * Rebuild all segment state (write pointers, owners, retired
+     * marks, wear, spec-fail latches) from the persistent store file
+     * after a restart, and scrub any cells programmed ahead of the
+     * recorded write pointers back to 0xFF.  Requires a persist
+     * backing; does not fire segmentChangedHook (SegmentSpace
+     * re-indexes during recovery).
+     */
+    void restoreFromPersist();
+
     /** Direct bank access for the timing model / tests. */
     FlashBank &bank(BankId i) { return banks_[i.value()]; }
     const FlashBank &bank(BankId i) const { return banks_[i.value()]; }
@@ -263,7 +282,7 @@ class FlashArray : public StatGroup
                             std::span<const std::uint8_t> data);
     AppendResult tryAppendRaw(SegmentId seg, std::uint32_t owner,
                               std::span<const std::uint8_t> data);
-    void retireCurrentSlot(SegmentState &s);
+    void retireCurrentSlot(SegmentId seg, SegmentState &s);
 
     SegmentState &state(SegmentId seg);
     const SegmentState &state(SegmentId seg) const;
@@ -275,6 +294,7 @@ class FlashArray : public StatGroup
     std::vector<FlashBank> banks_;
     std::vector<SegmentState> segments_;
     PageCount totalLive_;
+    persist::FlashPersist *persist_ = nullptr;
 };
 
 } // namespace envy

@@ -11,7 +11,8 @@ FlashBank::FlashBank(std::uint32_t chips_per_bank,
                      std::uint32_t block_bytes,
                      std::uint32_t blocks_per_chip,
                      const FlashTiming &timing, bool store_data,
-                     bool slow_dataplane, obs::MetricsRegistry *metrics)
+                     bool slow_dataplane, obs::MetricsRegistry *metrics,
+                     persist::BankBacking *backing)
     : chipsPerBank_(chips_per_bank),
       blockBytes_(block_bytes),
       blocksPerChip_(blocks_per_chip),
@@ -24,7 +25,8 @@ FlashBank::FlashBank(std::uint32_t chips_per_bank,
         // block b is contiguous, chips are per-lane views.  Heap
         // allocation keeps the chips' pointers stable across moves.
         store_ = std::make_unique<BankPageStore>(
-            chipsPerBank_, blockBytes_, blocksPerChip_, metrics);
+            chipsPerBank_, blockBytes_, blocksPerChip_, metrics,
+            backing);
     }
     chips_.reserve(chipsPerBank_);
     for (std::uint32_t i = 0; i < chipsPerBank_; ++i)

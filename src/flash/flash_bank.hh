@@ -47,11 +47,14 @@ class FlashBank
      *                        byte-at-a-time CUI oracle
      * @param metrics         optional registry for the backing
      *                        store's materialization counters
+     * @param backing         optional durable home for the bank's
+     *                        cell data (persist::BankBacking)
      */
     FlashBank(std::uint32_t chips_per_bank, std::uint32_t block_bytes,
               std::uint32_t blocks_per_chip, const FlashTiming &timing,
               bool store_data, bool slow_dataplane = false,
-              obs::MetricsRegistry *metrics = nullptr);
+              obs::MetricsRegistry *metrics = nullptr,
+              persist::BankBacking *backing = nullptr);
 
     std::uint32_t pageSize() const { return chipsPerBank_; }
     std::uint32_t pagesPerSegment() const { return blockBytes_; }
@@ -115,6 +118,17 @@ class FlashBank
 
     /** Wear of local segment @p block (cycles, same on all chips). */
     std::uint64_t segmentCycles(std::uint32_t block) const;
+
+    /**
+     * Restart repair: re-erase cells of local segment @p block beyond
+     * page @p from_page (see BankPageStore::scrubTail).  No-op in
+     * metadata-only mode.
+     */
+    void scrubTail(std::uint32_t block, std::uint32_t from_page)
+    {
+        if (store_)
+            store_->scrubTail(block, from_page);
+    }
 
     FlashChip &chip(std::uint32_t i) { return chips_[i]; }
     const FlashChip &chip(std::uint32_t i) const { return chips_[i]; }

@@ -120,6 +120,17 @@ class FlashChip
     /** Restore a block's cycle count (image loading only). */
     void restoreCycles(std::uint32_t block, std::uint64_t cycles);
 
+    /**
+     * Restore a block's spec-failed latch (image loading / persistent
+     * reopen): block recorded, part out of spec, but no status bit —
+     * the failing operation's status was handled before the save.
+     */
+    void restoreSpecFailed(std::uint32_t block)
+    {
+        specFailed_[block] = true;
+        outOfSpec_ = true;
+    }
+
     /** Worst wear across all blocks. */
     std::uint64_t maxCycles() const;
 

@@ -1,17 +1,22 @@
 #include "flash/page_store.hh"
 
+#include <cstring>
+
 #include "common/logging.hh"
+#include "persist/flash_backing.hh"
 
 namespace envy {
 
 BankPageStore::BankPageStore(std::uint32_t lane_bytes,
                              std::uint32_t pages_per_block,
                              std::uint32_t num_blocks,
-                             obs::MetricsRegistry *metrics)
+                             obs::MetricsRegistry *metrics,
+                             persist::BankBacking *backing)
     : laneBytes_(lane_bytes),
       pagesPerBlock_(pages_per_block),
       numBlocks_(num_blocks),
-      blocks_(num_blocks),
+      blocks_(backing ? 0 : num_blocks),
+      backing_(backing),
       metMaterialized_(obs::counterOf(metrics,
                                       "flash.blocks_materialized",
                                       "blocks",
@@ -24,12 +29,16 @@ BankPageStore::BankPageStore(std::uint32_t lane_bytes,
 {
     ENVY_ASSERT(lane_bytes > 0 && pages_per_block > 0 && num_blocks > 0,
                 "flash: degenerate page store");
+    if (backing_)
+        materializedCount_ = backing_->materializedCount();
 }
 
 bool
 BankPageStore::materialized(std::uint32_t block) const
 {
     ENVY_ASSERT(block < numBlocks_, "flash: store block out of range");
+    if (backing_)
+        return backing_->materialized(block);
     return !blocks_[block].empty();
 }
 
@@ -39,6 +48,13 @@ BankPageStore::pageIfMaterialized(std::uint32_t block,
 {
     ENVY_ASSERT(block < numBlocks_ && page_off < pagesPerBlock_,
                 "flash: store page out of range");
+    if (backing_) {
+        if (!backing_->materialized(block))
+            return {};
+        return std::span<const std::uint8_t>(
+                   backing_->blockData(block))
+            .subspan(std::uint64_t(page_off) * laneBytes_, laneBytes_);
+    }
     const std::vector<std::uint8_t> &buf = blocks_[block];
     if (buf.empty())
         return {};
@@ -51,6 +67,15 @@ BankPageStore::pageForWrite(std::uint32_t block, std::uint32_t page_off)
 {
     ENVY_ASSERT(block < numBlocks_ && page_off < pagesPerBlock_,
                 "flash: store page out of range");
+    if (backing_) {
+        if (!backing_->materialized(block)) {
+            backing_->materialize(block);
+            ++materializedCount_;
+            metMaterialized_.add();
+        }
+        return backing_->blockData(block).subspan(
+            std::uint64_t(page_off) * laneBytes_, laneBytes_);
+    }
     std::vector<std::uint8_t> &buf = blocks_[block];
     if (buf.empty()) {
         buf.assign(blockBytes(), 0xFF);
@@ -68,6 +93,13 @@ BankPageStore::readByte(std::uint32_t block, std::uint32_t page_off,
     ENVY_ASSERT(block < numBlocks_ && page_off < pagesPerBlock_ &&
                     lane < laneBytes_,
                 "flash: store byte out of range");
+    if (backing_) {
+        if (!backing_->materialized(block))
+            return 0xFF;
+        return backing_->blockData(block)[std::uint64_t(page_off) *
+                                              laneBytes_ +
+                                          lane];
+    }
     const std::vector<std::uint8_t> &buf = blocks_[block];
     if (buf.empty())
         return 0xFF;
@@ -85,6 +117,16 @@ void
 BankPageStore::release(std::uint32_t block)
 {
     ENVY_ASSERT(block < numBlocks_, "flash: store block out of range");
+    if (backing_) {
+        if (!backing_->materialized(block))
+            return;
+        backing_->release(block);
+        ENVY_ASSERT(materializedCount_ > 0,
+                    "flash: store materialization accounting");
+        --materializedCount_;
+        metReleased_.add();
+        return;
+    }
     std::vector<std::uint8_t> &buf = blocks_[block];
     if (buf.empty())
         return;
@@ -95,6 +137,20 @@ BankPageStore::release(std::uint32_t block)
                 "flash: store materialization accounting");
     --materializedCount_;
     metReleased_.add();
+}
+
+void
+BankPageStore::scrubTail(std::uint32_t block, std::uint32_t from_page)
+{
+    ENVY_ASSERT(block < numBlocks_ && from_page <= pagesPerBlock_,
+                "flash: scrub out of range");
+    if (!materialized(block) || from_page == pagesPerBlock_)
+        return;
+    std::span<std::uint8_t> cells =
+        backing_ ? backing_->blockData(block)
+                 : std::span<std::uint8_t>(blocks_[block]);
+    const std::uint64_t from = std::uint64_t(from_page) * laneBytes_;
+    std::memset(cells.data() + from, 0xFF, cells.size() - from);
 }
 
 } // namespace envy

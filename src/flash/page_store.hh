@@ -15,6 +15,13 @@
  * all ones, so "absent" and "erased" are indistinguishable to
  * readers).  Memory therefore scales with *touched* blocks, not with
  * array capacity.
+ *
+ * With a persist::BankBacking the same lifecycle runs against a
+ * MAP_SHARED file region instead of anonymous vectors: materialize
+ * fills the mapped range with 0xFF and flips the durable block map,
+ * release clears the map and punches the range back to a hole — so
+ * the sparse O(touched-blocks) cost holds on disk too, and the cells
+ * survive process death (docs/PERSISTENCE.md).
  */
 
 #ifndef ENVY_FLASH_PAGE_STORE_HH
@@ -28,6 +35,10 @@
 
 namespace envy {
 
+namespace persist {
+class BankBacking;
+} // namespace persist
+
 class BankPageStore
 {
   public:
@@ -40,11 +51,15 @@ class BankPageStore
      * @param metrics          optional registry for materialization
      *                         counters (flash.blocks_materialized /
      *                         flash.blocks_released)
+     * @param backing          optional durable backing; cells then
+     *                         live in the mapped store file and the
+     *                         persisted block map is authoritative
      */
     BankPageStore(std::uint32_t lane_bytes,
                   std::uint32_t pages_per_block,
                   std::uint32_t num_blocks,
-                  obs::MetricsRegistry *metrics = nullptr);
+                  obs::MetricsRegistry *metrics = nullptr,
+                  persist::BankBacking *backing = nullptr);
 
     std::uint32_t laneBytes() const { return laneBytes_; }
     std::uint32_t pagesPerBlock() const { return pagesPerBlock_; }
@@ -89,6 +104,15 @@ class BankPageStore
      */
     void release(std::uint32_t block);
 
+    /**
+     * Restart repair (persistent mode): cells are programmed before
+     * the segment metadata is updated, so a crash can leave written
+     * bytes beyond the recorded write pointer.  Re-erase the tail
+     * [from_page, pagesPerBlock) of a materialized block back to
+     * 0xFF so append-only semantics hold after reopen.
+     */
+    void scrubTail(std::uint32_t block, std::uint32_t from_page);
+
   private:
     std::uint64_t blockBytes() const
     {
@@ -98,7 +122,8 @@ class BankPageStore
     std::uint32_t laneBytes_;
     std::uint32_t pagesPerBlock_;
     std::uint32_t numBlocks_;
-    std::vector<std::vector<std::uint8_t>> blocks_;
+    std::vector<std::vector<std::uint8_t>> blocks_; //!< anonymous mode
+    persist::BankBacking *backing_ = nullptr; //!< durable mode
     std::uint64_t materializedCount_ = 0;
     obs::Counter metMaterialized_;
     obs::Counter metReleased_;

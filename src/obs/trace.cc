@@ -181,6 +181,8 @@ registry()
             "wear.rotate",        // wear-leveling rotation finished
             "flash.erase",        // a segment erase completed
             "recovery.done",      // Recovery::run finished
+            "persist.reopen",     // persistent store replayed on open
+            "persist.checkpoint", // journal compacted to a checkpoint
             "fault.power_loss",   // injector cut power at a point
             "fault.program_fail", // injected program spec-failure
             "fault.erase_fail",   // injected transient erase failure

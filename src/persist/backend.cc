@@ -1,0 +1,166 @@
+#include "persist/backend.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "envy/envy_store.hh"
+#include "obs/trace.hh"
+#include "sram/sram_array.hh"
+
+namespace envy {
+namespace persist {
+
+StoreParams
+paramsFor(const EnvyConfig &cfg, std::uint64_t sram_bytes)
+{
+    // Derived knobs (logical pages, buffer size) are frozen to their
+    // effective values: a later change to targetUtilization must not
+    // make an existing store unreadable, only an actual geometry
+    // change should.
+    StoreParams p;
+    p.pageSize = cfg.geom.pageSize;
+    p.blockBytes = cfg.geom.blockBytes;
+    p.blocksPerChip = cfg.geom.blocksPerChip;
+    p.numBanks = cfg.geom.numBanks;
+    p.logicalPages = cfg.geom.effectiveLogicalPages().value();
+    p.writeBufferPages = cfg.geom.effectiveWriteBufferPages().value();
+    p.storeData = cfg.storeData ? 1 : 0;
+    p.policy = static_cast<std::uint64_t>(cfg.policy);
+    p.partitionSize = cfg.partitionSize;
+    p.bufferThreshold = cfg.bufferThreshold;
+    p.wearThreshold = cfg.wearThreshold;
+    p.tlbSize = cfg.tlbSize;
+    p.autoDrain = cfg.autoDrain ? 1 : 0;
+    p.sramBytes = sram_bytes;
+    return p;
+}
+
+EnvyConfig
+configFor(const StoreParams &p, const std::string &path)
+{
+    EnvyConfig cfg;
+    cfg.geom.pageSize = static_cast<std::uint32_t>(p.pageSize);
+    cfg.geom.blockBytes = static_cast<std::uint32_t>(p.blockBytes);
+    cfg.geom.blocksPerChip =
+        static_cast<std::uint32_t>(p.blocksPerChip);
+    cfg.geom.numBanks = static_cast<std::uint32_t>(p.numBanks);
+    cfg.geom.logicalPages = p.logicalPages;
+    cfg.geom.writeBufferPages =
+        static_cast<std::uint32_t>(p.writeBufferPages);
+    cfg.storeData = p.storeData != 0;
+    cfg.policy = static_cast<PolicyKind>(p.policy);
+    cfg.partitionSize = static_cast<std::uint32_t>(p.partitionSize);
+    cfg.bufferThreshold =
+        static_cast<std::uint32_t>(p.bufferThreshold);
+    cfg.wearThreshold = p.wearThreshold;
+    cfg.tlbSize = static_cast<std::uint32_t>(p.tlbSize);
+    cfg.autoDrain = p.autoDrain != 0;
+    cfg.prePopulate = false; // reopen: state comes from the file
+    cfg.persistPath = path;
+    return cfg;
+}
+
+PersistBackend::PersistBackend(const EnvyConfig &cfg,
+                               std::uint64_t sram_bytes,
+                               obs::MetricsRegistry *metrics)
+    : file_(cfg.persistPath, paramsFor(cfg, sram_bytes)),
+      journal_(cfg.persistPath + ".journal", sram_bytes, metrics),
+      flashPersist_(file_, &journal_)
+{
+    if (file_.reopened()) {
+        MetaJournal::ReplayResult r = journal_.replay();
+        if (!r.ok)
+            ENVY_FATAL("persist: store '", cfg.persistPath,
+                       "' is valid but its journal is not: ", r.error);
+        report_.journalRecordsReplayed = r.records;
+        report_.journalBytesTruncated = r.truncatedBytes;
+        replayedSram_ = std::move(r.sram);
+    } else {
+        report_.created = true;
+        journal_.createFresh();
+    }
+    journal_.setCheckpointThreshold(
+        cfg.persistCheckpointBytes
+            ? cfg.persistCheckpointBytes
+            : std::max<std::uint64_t>(256 * 1024, 4 * sram_bytes));
+}
+
+void
+PersistBackend::restoreSram(SramArray &sram)
+{
+    ENVY_ASSERT(reopening() && replayedSram_.size() == sram.size(),
+                "persist: no replayed SRAM image to restore");
+    sram.write(0, replayedSram_);
+    std::vector<std::uint8_t>().swap(replayedSram_);
+}
+
+void
+PersistBackend::activate(SramArray &sram)
+{
+    SramArray *s = &sram;
+    sram.enableDirtyTracking();
+    journal_.activate(
+        [s](const MetaJournal::Emit &emit) { s->drainDirty(emit); },
+        [s] { return std::span<const std::uint8_t>(s->raw()); });
+}
+
+void
+PersistBackend::checkpointNow()
+{
+    journal_.checkpoint();
+    ENVY_TRACE("persist.checkpoint",
+               obs::tv("journal_bytes", journal_.bytesSinceCheckpoint()));
+}
+
+void
+PersistBackend::finishFresh()
+{
+    checkpointNow();
+    // Only now is the file a complete store: a crash anywhere before
+    // this leaves the valid flag clear and the next open starts over.
+    file_.markValid();
+}
+
+void
+PersistBackend::finishReopen(const RecoveryReport &recovery)
+{
+    report_.recovery = recovery;
+    ENVY_TRACE("persist.reopen",
+               obs::tv("journal_records",
+                       report_.journalRecordsReplayed),
+               obs::tv("torn_bytes", report_.journalBytesTruncated),
+               obs::tv("stale_reclaimed",
+                       recovery.staleFlashReclaimed));
+    // Compact: replaying the old journal again on the next open would
+    // be wasted work, and recovery itself dirtied SRAM.
+    checkpointNow();
+}
+
+void
+PersistBackend::opEnd()
+{
+    journal_.flush();
+    if (journal_.needsCheckpoint())
+        checkpointNow();
+}
+
+void
+PersistBackend::commit()
+{
+    journal_.commit();
+    file_.syncAll();
+}
+
+void
+PersistBackend::shutdown()
+{
+    if (journal_.active()) {
+        checkpointNow();
+        journal_.deactivate();
+    }
+    file_.syncAll();
+}
+
+} // namespace persist
+} // namespace envy

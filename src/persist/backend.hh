@@ -1,0 +1,106 @@
+/**
+ * @file
+ * PersistBackend: glue between an EnvyStore and the persistence
+ * subsystem (docs/PERSISTENCE.md).
+ *
+ * Owns the StoreFile (superblock + segment metadata + cell data), the
+ * MetaJournal (write-ahead log of the battery-backed SRAM image) and
+ * the FlashPersist views the FlashArray writes through.  EnvyStore
+ * builds one when EnvyConfig::persistPath is set and calls, in order:
+ *
+ *     ctor            classify/open the file, replay the journal
+ *     flashPersist()  handed to FlashArray's constructor
+ *     restoreSram()   (reopen) replayed image into the SramArray
+ *     activate()      dirty tracking on, journal armed
+ *     finishFresh()   (fresh) initial checkpoint + superblock valid
+ *     finishReopen()  (reopen) record recovery report, compact journal
+ *     opEnd()         after every host op: flush + auto-checkpoint
+ *     commit()        power-loss barrier: fdatasync + msync everything
+ *     shutdown()      orderly close: checkpoint, sync, disarm
+ */
+
+#ifndef ENVY_PERSIST_BACKEND_HH
+#define ENVY_PERSIST_BACKEND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "envy/recovery.hh"
+#include "obs/metrics.hh"
+#include "persist/flash_backing.hh"
+#include "persist/meta_journal.hh"
+#include "persist/store_file.hh"
+
+namespace envy {
+
+struct EnvyConfig;
+class SramArray;
+
+namespace persist {
+
+/** What opening a persistent store did (EnvyStore::persistReport). */
+struct PersistReport
+{
+    bool created = false; //!< fresh store (no prior state on disk)
+    std::uint64_t journalRecordsReplayed = 0;
+    std::uint64_t journalBytesTruncated = 0; //!< torn tail dropped
+    RecoveryReport recovery{}; //!< reopen only: crash-repair actions
+};
+
+/** Freeze the config (with derived values resolved) for the superblock. */
+StoreParams paramsFor(const EnvyConfig &cfg, std::uint64_t sram_bytes);
+
+/** Rebuild the config a store file was created with. */
+EnvyConfig configFor(const StoreParams &p, const std::string &path);
+
+class PersistBackend
+{
+  public:
+    PersistBackend(const EnvyConfig &cfg, std::uint64_t sram_bytes,
+                   obs::MetricsRegistry *metrics);
+
+    /** True when an existing valid store was opened (restart). */
+    bool reopening() const { return file_.reopened(); }
+
+    FlashPersist *flashPersist() { return &flashPersist_; }
+    StoreFile &file() { return file_; }
+    MetaJournal &journal() { return journal_; }
+    PersistReport &report() { return report_; }
+    const PersistReport &report() const { return report_; }
+
+    /** (Reopen) overlay the journal-replayed image onto the SRAM. */
+    void restoreSram(SramArray &sram);
+
+    /** Arm the journal against @p sram and start dirty tracking. */
+    void activate(SramArray &sram);
+
+    /** (Fresh) initial checkpoint, then flip the valid flag: only now
+     *  is the file recognisable as a complete store. */
+    void finishFresh();
+
+    /** (Reopen) record what recovery did and compact the journal. */
+    void finishReopen(const RecoveryReport &recovery);
+
+    /** Per-operation durability: flush dirty SRAM, auto-checkpoint. */
+    void opEnd();
+
+    /** Power-loss barrier: journal fdatasync + store-file msync. */
+    void commit();
+
+    /** Orderly close (EnvyStore dtor): checkpoint, sync, disarm. */
+    void shutdown();
+
+  private:
+    void checkpointNow();
+
+    StoreFile file_;
+    MetaJournal journal_;
+    FlashPersist flashPersist_;
+    PersistReport report_;
+    std::vector<std::uint8_t> replayedSram_;
+};
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_BACKEND_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, the zlib polynomial) for the persistence
+ * subsystem: journal records and the store-file superblock carry one
+ * so torn or corrupt on-disk state is detected, never interpreted.
+ *
+ * The polynomial choice is deliberate: `zlib.crc32` in Python
+ * computes the same function, so tools/persist/inspect_image.py can
+ * verify every checksum without reimplementing it.
+ */
+
+#ifndef ENVY_PERSIST_CHECKSUM_HH
+#define ENVY_PERSIST_CHECKSUM_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace envy {
+namespace persist {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[n] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** Continue a CRC-32 over @p data (start from crc32Init). */
+constexpr std::uint32_t crc32Init = 0;
+
+inline std::uint32_t
+crc32(std::span<const std::uint8_t> data,
+      std::uint32_t crc = crc32Init)
+{
+    const auto &table = detail::crcTable();
+    crc ^= 0xFFFFFFFFu;
+    for (const std::uint8_t b : data)
+        crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_CHECKSUM_HH

@@ -1,0 +1,178 @@
+#include "persist/flash_backing.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "persist/meta_journal.hh"
+
+namespace envy {
+namespace persist {
+
+namespace {
+
+std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+void
+storeU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+void
+storeU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+std::span<std::uint8_t>
+FlashMetaView::meta(SegmentId seg) const
+{
+    return file_.segMeta(seg);
+}
+
+std::uint32_t
+FlashMetaView::writePtr(SegmentId seg) const
+{
+    return loadU32(meta(seg).data() + StoreFile::segWritePtrOff);
+}
+
+std::uint64_t
+FlashMetaView::eraseCycles(SegmentId seg) const
+{
+    return loadU64(meta(seg).data() + StoreFile::segCyclesOff);
+}
+
+bool
+FlashMetaView::specFailed(SegmentId seg) const
+{
+    return meta(seg)[StoreFile::segSpecFailedOff] != 0;
+}
+
+std::uint32_t
+FlashMetaView::owner(SegmentId seg, SlotId slot) const
+{
+    ENVY_ASSERT(slot.value() < file_.pagesPerSegment(),
+                "persist: bad slot ", slot);
+    return ~loadU32(meta(seg).data() + StoreFile::segOwnersOff +
+                    4 * std::uint64_t(slot.value()));
+}
+
+bool
+FlashMetaView::retired(SegmentId seg, SlotId slot) const
+{
+    ENVY_ASSERT(slot.value() < file_.pagesPerSegment(),
+                "persist: bad slot ", slot);
+    return meta(seg)[file_.segRetiredOff() + slot.value()] != 0;
+}
+
+void
+FlashMetaView::setWritePtr(SegmentId seg, std::uint32_t ptr)
+{
+    barrier();
+    storeU32(meta(seg).data() + StoreFile::segWritePtrOff, ptr);
+}
+
+void
+FlashMetaView::setEraseCycles(SegmentId seg, std::uint64_t cycles)
+{
+    barrier();
+    storeU64(meta(seg).data() + StoreFile::segCyclesOff, cycles);
+}
+
+void
+FlashMetaView::setSpecFailed(SegmentId seg)
+{
+    barrier();
+    meta(seg)[StoreFile::segSpecFailedOff] = 1;
+}
+
+void
+FlashMetaView::setOwner(SegmentId seg, SlotId slot,
+                        std::uint32_t owner)
+{
+    ENVY_ASSERT(slot.value() < file_.pagesPerSegment(),
+                "persist: bad slot ", slot);
+    barrier();
+    storeU32(meta(seg).data() + StoreFile::segOwnersOff +
+                 4 * std::uint64_t(slot.value()),
+             ~owner);
+}
+
+void
+FlashMetaView::setRetired(SegmentId seg, SlotId slot)
+{
+    ENVY_ASSERT(slot.value() < file_.pagesPerSegment(),
+                "persist: bad slot ", slot);
+    barrier();
+    meta(seg)[file_.segRetiredOff() + slot.value()] = 1;
+}
+
+void
+FlashMetaView::resetAfterErase(SegmentId seg, std::uint64_t cycles)
+{
+    barrier();
+    std::span<std::uint8_t> m = meta(seg);
+    storeU32(m.data() + StoreFile::segWritePtrOff, 0);
+    storeU64(m.data() + StoreFile::segCyclesOff, cycles);
+    // ~ownerDead == 0: the erased state is all-zeros, exactly what a
+    // fresh file hole reads as.
+    std::memset(m.data() + StoreFile::segOwnersOff, 0,
+                4 * file_.pagesPerSegment());
+}
+
+void
+BankBacking::materialize(std::uint32_t block)
+{
+    // Bytes first, map second: a crash between the two leaves an
+    // unadvertised range that the next materialize re-fills.
+    std::span<std::uint8_t> data = file_.blockData(bank_, block);
+    std::memset(data.data(), 0xFF, data.size());
+    file_.setBlockMaterialized(bank_, block, true);
+}
+
+void
+BankBacking::release(std::uint32_t block)
+{
+    // Map first, punch second: a crash between the two leaves stale
+    // bytes that nothing will ever read (the map is the authority).
+    file_.setBlockMaterialized(bank_, block, false);
+    file_.punchBlock(bank_, block);
+}
+
+FlashPersist::FlashPersist(StoreFile &file, MetaJournal *journal)
+    : meta(file, journal ? FlashMetaView::Barrier([journal] {
+               journal->flush();
+           })
+                         : FlashMetaView::Barrier())
+{
+    if (file.params().storeData != 0) {
+        banks.reserve(file.params().numBanks);
+        for (std::uint32_t b = 0;
+             b < static_cast<std::uint32_t>(file.params().numBanks);
+             ++b)
+            banks.emplace_back(file, b);
+    }
+}
+
+} // namespace persist
+} // namespace envy

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Write-through views the flash layer uses to keep its durable state
+ * in the StoreFile.
+ *
+ * FlashMetaView mirrors FlashArray's per-segment bookkeeping (write
+ * pointer, owners, retired marks, erase cycles, spec-fail latch) into
+ * the segment-metadata region.  Every mutator first runs the caller's
+ * barrier — the MetaJournal flush — so the journal is always at least
+ * as new as the flash metadata: a crash can leave flash metadata
+ * *behind* the journal (recovery's stale-duplicate sweep repairs
+ * that) but never ahead of it.
+ *
+ * BankBacking gives one bank's BankPageStore a durable home for its
+ * erase-block buffers: cell bytes live directly in the mapped data
+ * region, the per-block materialized map says whether a block's range
+ * holds cells or a hole.  Ordering contract (docs/PERSISTENCE.md):
+ * materialize fills the range with 0xFF *before* setting the map
+ * byte; release clears the map byte *before* punching the hole, so
+ * the map never advertises a block whose bytes are not erased-valid.
+ */
+
+#ifndef ENVY_PERSIST_FLASH_BACKING_HH
+#define ENVY_PERSIST_FLASH_BACKING_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "persist/store_file.hh"
+
+namespace envy {
+namespace persist {
+
+class MetaJournal;
+
+class FlashMetaView
+{
+  public:
+    using Barrier = std::function<void()>;
+
+    FlashMetaView(StoreFile &file, Barrier barrier)
+        : file_(file), barrier_(std::move(barrier))
+    {
+    }
+
+    // ---- reads (restore path) -------------------------------------
+
+    std::uint32_t writePtr(SegmentId seg) const;
+    std::uint64_t eraseCycles(SegmentId seg) const;
+    bool specFailed(SegmentId seg) const;
+    /** Decoded owner word (the file stores ~owner). */
+    std::uint32_t owner(SegmentId seg, SlotId slot) const;
+    bool retired(SegmentId seg, SlotId slot) const;
+
+    // ---- write-through (journal barrier first) --------------------
+
+    void setWritePtr(SegmentId seg, std::uint32_t ptr);
+    void setEraseCycles(SegmentId seg, std::uint64_t cycles);
+    void setSpecFailed(SegmentId seg);
+    void setOwner(SegmentId seg, SlotId slot, std::uint32_t owner);
+    void setRetired(SegmentId seg, SlotId slot);
+
+    /**
+     * Segment erased: owners back to all-dead (all-zeros encoded),
+     * write pointer to 0, cycle count updated.  Retired marks are
+     * physical damage and stay.
+     */
+    void resetAfterErase(SegmentId seg, std::uint64_t cycles);
+
+  private:
+    std::span<std::uint8_t> meta(SegmentId seg) const;
+    void barrier() const
+    {
+        if (barrier_)
+            barrier_();
+    }
+
+    StoreFile &file_;
+    Barrier barrier_;
+};
+
+class BankBacking
+{
+  public:
+    BankBacking(StoreFile &file, std::uint32_t bank)
+        : file_(file), bank_(bank)
+    {
+    }
+
+    bool materialized(std::uint32_t block) const
+    {
+        return file_.blockMaterialized(bank_, block);
+    }
+
+    std::uint64_t materializedCount() const
+    {
+        return file_.materializedCount(bank_);
+    }
+
+    std::span<std::uint8_t> blockData(std::uint32_t block)
+    {
+        return file_.blockData(bank_, block);
+    }
+
+    /** Fill with 0xFF first, then flip the map byte. */
+    void materialize(std::uint32_t block);
+
+    /** Clear the map byte first, then punch the data hole. */
+    void release(std::uint32_t block);
+
+  private:
+    StoreFile &file_;
+    std::uint32_t bank_;
+};
+
+/** Everything FlashArray needs to persist itself. */
+struct FlashPersist
+{
+    /** @p journal may be null (tests of the views alone). */
+    FlashPersist(StoreFile &file, MetaJournal *journal);
+
+    FlashMetaView meta;
+    std::vector<BankBacking> banks; //!< empty in metadata-only mode
+
+    BankBacking *bankBacking(std::uint32_t bank)
+    {
+        return banks.empty() ? nullptr : &banks[bank];
+    }
+};
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_FLASH_BACKING_HH

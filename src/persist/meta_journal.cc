@@ -1,0 +1,364 @@
+#include "persist/meta_journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "faults/crash_point.hh"
+#include "persist/checksum.hh"
+
+namespace envy {
+namespace persist {
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+void
+writeFully(int fd, const std::uint8_t *buf, std::uint64_t len,
+           std::uint64_t off, const std::string &path)
+{
+    while (len > 0) {
+        const ssize_t n = ::pwrite(fd, buf, len,
+                                   static_cast<off_t>(off));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ENVY_FATAL("persist: write '", path,
+                       "': ", std::strerror(errno));
+        }
+        buf += n;
+        len -= static_cast<std::uint64_t>(n);
+        off += static_cast<std::uint64_t>(n);
+    }
+}
+
+} // namespace
+
+MetaJournal::MetaJournal(std::string path, std::uint64_t sram_bytes,
+                         obs::MetricsRegistry *metrics)
+    : path_(std::move(path)), sramBytes_(sram_bytes)
+{
+    metRecords_ = obs::counterOf(metrics, "persist.journal_records",
+                                 "records",
+                                 "journal records appended");
+    metBytes_ = obs::counterOf(metrics, "persist.journal_bytes",
+                               "bytes", "journal bytes appended");
+    metFlushes_ = obs::counterOf(metrics, "persist.journal_flushes",
+                                 "flushes",
+                                 "journal flush batches");
+    metCommits_ = obs::counterOf(metrics, "persist.commits", "commits",
+                                 "journal fdatasync commits");
+    metCheckpoints_ = obs::counterOf(metrics, "persist.checkpoints",
+                                     "checkpoints",
+                                     "journal compactions");
+}
+
+MetaJournal::~MetaJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+MetaJournal::openForAppend(std::uint64_t end_off)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd_ < 0)
+        ENVY_FATAL("persist: cannot open journal '", path_,
+                   "': ", std::strerror(errno));
+    endOff_ = end_off;
+}
+
+void
+MetaJournal::createFresh()
+{
+    std::remove(tmpPath().c_str()); // stale temp from a dead process
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = ::open(path_.c_str(),
+                 O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        ENVY_FATAL("persist: cannot create journal '", path_,
+                   "': ", std::strerror(errno));
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), magic, magic + 8);
+    putU64(header, 0); // reserved
+    writeFully(fd_, header.data(), header.size(), 0, path_);
+    endOff_ = headerBytes;
+    seq_ = 1;
+    bytesSinceCheckpoint_ = 0;
+}
+
+MetaJournal::ReplayResult
+MetaJournal::replay()
+{
+    std::remove(tmpPath().c_str()); // checkpoint died before rename
+    ReplayResult res;
+
+    const int fd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd < 0) {
+        res.error = "cannot open journal '" + path_ + "': " +
+                    std::strerror(errno);
+        return res;
+    }
+    std::vector<std::uint8_t> file;
+    {
+        std::uint8_t buf[1 << 16];
+        std::uint64_t off = 0;
+        for (;;) {
+            const ssize_t n =
+                ::pread(fd, buf, sizeof(buf),
+                        static_cast<off_t>(off));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ::close(fd);
+                res.error = "cannot read journal '" + path_ + "': " +
+                            std::strerror(errno);
+                return res;
+            }
+            if (n == 0)
+                break;
+            file.insert(file.end(), buf, buf + n);
+            off += static_cast<std::uint64_t>(n);
+        }
+    }
+
+    if (file.size() < headerBytes ||
+        std::memcmp(file.data(), magic, 8) != 0) {
+        ::close(fd);
+        res.error = "'" + path_ + "' is not an eNVy journal";
+        return res;
+    }
+
+    res.sram.assign(sramBytes_, 0);
+    std::uint64_t off = headerBytes;
+    std::uint64_t prevSeq = 0;
+    bool sawCheckpoint = false;
+    while (off < file.size()) {
+        // A record that does not parse is the torn tail: stop, keep
+        // everything before it.
+        if (file.size() - off < recordOverhead)
+            break;
+        const std::uint8_t *rec = file.data() + off;
+        const std::uint32_t len = getU32(rec);
+        if (len > sramBytes_ + 16 ||
+            recordOverhead + len > file.size() - off)
+            break;
+        const std::uint8_t type = rec[4];
+        const std::uint64_t seq = getU64(rec + 5);
+        const std::uint32_t want = getU32(rec + 13 + len);
+        if (crc32({rec, 13 + len}) != want)
+            break;
+        if (prevSeq != 0 && seq != prevSeq + 1)
+            break;
+        const std::uint8_t *payload = rec + 13;
+        if (type == recCheckpoint) {
+            if (len != sramBytes_)
+                break;
+            std::memcpy(res.sram.data(), payload, len);
+            sawCheckpoint = true;
+        } else if (type == recSramWrite) {
+            if (!sawCheckpoint || len < 8)
+                break;
+            const std::uint64_t addr = getU64(payload);
+            const std::uint64_t n = len - 8;
+            if (addr > sramBytes_ || n > sramBytes_ - addr)
+                break;
+            std::memcpy(res.sram.data() + addr, payload + 8, n);
+        } else {
+            break;
+        }
+        prevSeq = seq;
+        off += recordOverhead + len;
+        ++res.records;
+    }
+
+    if (!sawCheckpoint) {
+        ::close(fd);
+        res.error = "journal '" + path_ +
+                    "' holds no valid checkpoint record";
+        return res;
+    }
+
+    res.truncatedBytes = file.size() - off;
+    if (res.truncatedBytes > 0 &&
+        ::ftruncate(fd, static_cast<off_t>(off)) != 0) {
+        ::close(fd);
+        res.error = std::string("cannot truncate torn journal tail: ") +
+                    std::strerror(errno);
+        return res;
+    }
+
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+    endOff_ = off;
+    seq_ = prevSeq + 1;
+    bytesSinceCheckpoint_ = off - headerBytes;
+    res.ok = true;
+    return res;
+}
+
+void
+MetaJournal::activate(DrainFn drain, SnapshotFn snapshot)
+{
+    ENVY_ASSERT(fd_ >= 0, "journal not created/replayed");
+    drain_ = std::move(drain);
+    snapshot_ = std::move(snapshot);
+    active_ = true;
+}
+
+void
+MetaJournal::deactivate()
+{
+    active_ = false;
+}
+
+void
+MetaJournal::appendRecord(std::vector<std::uint8_t> &out,
+                          std::uint8_t type,
+                          std::span<const std::uint8_t> payload)
+{
+    const std::size_t start = out.size();
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.push_back(type);
+    putU64(out, seq_++);
+    out.insert(out.end(), payload.begin(), payload.end());
+    putU32(out, crc32({out.data() + start, out.size() - start}));
+    metRecords_.add();
+}
+
+void
+MetaJournal::flush()
+{
+    if (!active_)
+        return;
+    std::vector<std::uint8_t> batch;
+    std::vector<std::uint8_t> payload;
+    drain_([&](std::uint64_t addr,
+               std::span<const std::uint8_t> bytes) {
+        payload.clear();
+        putU64(payload, addr);
+        payload.insert(payload.end(), bytes.begin(), bytes.end());
+        appendRecord(batch, recSramWrite, payload);
+    });
+    if (batch.empty())
+        return;
+    writeFully(fd_, batch.data(), batch.size(), endOff_, path_);
+    endOff_ += batch.size();
+    bytesSinceCheckpoint_ += batch.size();
+    metBytes_.add(batch.size());
+    metFlushes_.add();
+    ENVY_CRASH_POINT("persist.journal.after_flush");
+}
+
+void
+MetaJournal::commit()
+{
+    if (!active_)
+        return;
+    flush();
+    if (::fdatasync(fd_) != 0)
+        ENVY_FATAL("persist: fdatasync '", path_,
+                   "': ", std::strerror(errno));
+    metCommits_.add();
+}
+
+void
+MetaJournal::syncDirectoryOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return; // best-effort: rename is already SIGKILL-durable
+    ::fsync(fd);
+    ::close(fd);
+}
+
+void
+MetaJournal::checkpoint()
+{
+    if (!active_)
+        return;
+
+    // Pending dirty ranges are covered by the snapshot; drop them so
+    // the new journal does not replay them twice.
+    drain_([](std::uint64_t, std::span<const std::uint8_t>) {});
+
+    const std::span<const std::uint8_t> image = snapshot_();
+    ENVY_ASSERT(image.size() == sramBytes_);
+
+    std::vector<std::uint8_t> out;
+    out.reserve(headerBytes + recordOverhead + image.size());
+    out.insert(out.end(), magic, magic + 8);
+    putU64(out, 0);
+    appendRecord(out, recCheckpoint, image);
+
+    const std::string tmp = tmpPath();
+    const int tfd = ::open(tmp.c_str(),
+                           O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                           0644);
+    if (tfd < 0)
+        ENVY_FATAL("persist: cannot create '", tmp,
+                   "': ", std::strerror(errno));
+    writeFully(tfd, out.data(), out.size(), 0, tmp);
+    if (::fdatasync(tfd) != 0)
+        ENVY_FATAL("persist: fdatasync '", tmp,
+                   "': ", std::strerror(errno));
+    ::close(tfd);
+
+    ENVY_CRASH_POINT("persist.checkpoint.before_rename");
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        ENVY_FATAL("persist: rename '", tmp, "' -> '", path_,
+                   "': ", std::strerror(errno));
+    syncDirectoryOf(path_);
+    ENVY_CRASH_POINT("persist.checkpoint.after_rename");
+
+    openForAppend(out.size());
+    bytesSinceCheckpoint_ = 0;
+    metBytes_.add(out.size());
+    metCheckpoints_.add();
+}
+
+} // namespace persist
+} // namespace envy

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * MetaJournal: write-ahead journal for the battery-backed SRAM image
+ * (page table, write-buffer map, segment-space records, wear/clean
+ * records — everything EnvyStore keeps in its SramArray).
+ *
+ * The journal file is `<store>.journal`:
+ *
+ *     magic "ENVYJRN1" (8) | reserved u64 (8) | records...
+ *
+ * and each record is
+ *
+ *     len u32 | type u8 | seq u64 | payload[len] | crc u32
+ *
+ * little-endian throughout, crc = CRC-32 (zlib polynomial) over
+ * everything before it (len..payload).  Types: 1 = Checkpoint (the
+ * full SRAM image), 2 = SramWrite (u64 address + changed bytes).
+ * Sequence numbers are strictly consecutive; the first record of a
+ * journal file is always a Checkpoint.
+ *
+ * Commit protocol (docs/PERSISTENCE.md):
+ *
+ *  - flush()      appends the current dirty SRAM ranges as records
+ *                 with a plain write(2).  A completed write survives
+ *                 SIGKILL, so flushing at every acknowledge point is
+ *                 what the crash harness leans on.
+ *  - commit()     flush + fdatasync: the power-loss barrier.  Callers
+ *                 invoke it *before* making flash metadata durable so
+ *                 the journal is always at least as new as the flash
+ *                 metadata it describes.
+ *  - checkpoint() rewrites the journal as one Checkpoint record via
+ *                 write-to-temp + fdatasync + rename, bounding replay
+ *                 time and file size.
+ *
+ * replay() walks the record stream, stops at the first torn or
+ * corrupt record (bad length, bad CRC, out-of-order sequence), and
+ * truncates that tail away — a half-appended record from a crash is
+ * expected, never fatal.
+ */
+
+#ifndef ENVY_PERSIST_META_JOURNAL_HH
+#define ENVY_PERSIST_META_JOURNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace envy {
+namespace persist {
+
+class MetaJournal
+{
+  public:
+    static constexpr char magic[9] = "ENVYJRN1"; //!< 8 bytes on disk
+    static constexpr std::uint64_t headerBytes = 16;
+    static constexpr std::uint8_t recCheckpoint = 1;
+    static constexpr std::uint8_t recSramWrite = 2;
+    /** len(4) + type(1) + seq(8) + crc(4) around the payload. */
+    static constexpr std::uint64_t recordOverhead = 17;
+
+    /** Receives one dirty range; bytes are copied before returning. */
+    using Emit =
+        std::function<void(std::uint64_t addr,
+                           std::span<const std::uint8_t> bytes)>;
+    /** Drains every dirty SRAM range into the provided Emit. */
+    using DrainFn = std::function<void(const Emit &)>;
+    /** Full current SRAM image (checkpoint payload). */
+    using SnapshotFn = std::function<std::span<const std::uint8_t>()>;
+
+    MetaJournal(std::string path, std::uint64_t sram_bytes,
+                obs::MetricsRegistry *metrics = nullptr);
+    ~MetaJournal();
+
+    MetaJournal(const MetaJournal &) = delete;
+    MetaJournal &operator=(const MetaJournal &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Create/truncate the journal to an empty record stream. */
+    void createFresh();
+
+    struct ReplayResult
+    {
+        bool ok = false;
+        std::string error;          //!< set when !ok
+        std::vector<std::uint8_t> sram; //!< reconstructed SRAM image
+        std::uint64_t records = 0;  //!< valid records applied
+        std::uint64_t truncatedBytes = 0; //!< torn tail dropped
+    };
+
+    /**
+     * Parse an existing journal, reconstruct the SRAM image, truncate
+     * any torn tail, and leave the journal open for appending.
+     */
+    ReplayResult replay();
+
+    /**
+     * Arm the journal: @p drain supplies dirty ranges for flush(),
+     * @p snapshot the full image for checkpoint().  Until activation
+     * (and after deactivate()) flush/commit/checkpoint are no-ops,
+     * which lets restore code rebuild state without journaling it.
+     */
+    void activate(DrainFn drain, SnapshotFn snapshot);
+    void deactivate();
+    bool active() const { return active_; }
+
+    void flush();
+    void commit();
+    void checkpoint();
+
+    /** Journal bytes appended since the last checkpoint. */
+    std::uint64_t bytesSinceCheckpoint() const
+    {
+        return bytesSinceCheckpoint_;
+    }
+
+    /** Auto-checkpoint once bytesSinceCheckpoint() crosses this. */
+    void setCheckpointThreshold(std::uint64_t bytes)
+    {
+        checkpointThreshold_ = bytes;
+    }
+    bool needsCheckpoint() const
+    {
+        return bytesSinceCheckpoint_ >= checkpointThreshold_;
+    }
+
+  private:
+    std::string tmpPath() const { return path_ + ".tmp"; }
+    void openForAppend(std::uint64_t end_off);
+    void appendRecord(std::vector<std::uint8_t> &out,
+                      std::uint8_t type,
+                      std::span<const std::uint8_t> payload);
+    void syncDirectoryOf(const std::string &path);
+
+    std::string path_;
+    std::uint64_t sramBytes_;
+    int fd_ = -1;
+    std::uint64_t endOff_ = 0;
+    std::uint64_t seq_ = 1; //!< sequence of the next record written
+    bool active_ = false;
+    DrainFn drain_;
+    SnapshotFn snapshot_;
+    std::uint64_t bytesSinceCheckpoint_ = 0;
+    std::uint64_t checkpointThreshold_ = ~std::uint64_t(0);
+
+    obs::Counter metRecords_;
+    obs::Counter metBytes_;
+    obs::Counter metFlushes_;
+    obs::Counter metCommits_;
+    obs::Counter metCheckpoints_;
+};
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_META_JOURNAL_HH

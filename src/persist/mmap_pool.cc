@@ -1,0 +1,109 @@
+#include "persist/mmap_pool.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace envy {
+namespace persist {
+
+MmapPool::MmapPool(const std::string &path, std::uint64_t bytes)
+    : path_(path), bytes_(bytes)
+{
+    ENVY_ASSERT(bytes_ > 0);
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        ENVY_FATAL("persist: cannot open '", path_,
+                   "': ", std::strerror(errno));
+
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0)
+        ENVY_FATAL("persist: fstat '", path_,
+                   "': ", std::strerror(errno));
+    // Grow (sparsely) but never shrink: a larger existing file means
+    // the caller's geometry is wrong, and truncating it would destroy
+    // data before anyone could inspect the mismatch.
+    if (static_cast<std::uint64_t>(st.st_size) > bytes_)
+        ENVY_FATAL("persist: '", path_, "' is ", st.st_size,
+                   " bytes but the requested layout needs only ",
+                   bytes_, "; refusing to shrink it");
+    if (static_cast<std::uint64_t>(st.st_size) < bytes_ &&
+        ::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0)
+        ENVY_FATAL("persist: ftruncate '", path_, "' to ", bytes_,
+                   ": ", std::strerror(errno));
+
+    void *map = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd_, 0);
+    if (map == MAP_FAILED)
+        ENVY_FATAL("persist: mmap '", path_, "' (", bytes_,
+                   " bytes): ", std::strerror(errno));
+    map_ = static_cast<std::uint8_t *>(map);
+}
+
+MmapPool::~MmapPool()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, bytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::span<std::uint8_t>
+MmapPool::span()
+{
+    return {map_, bytes_};
+}
+
+std::span<const std::uint8_t>
+MmapPool::span() const
+{
+    return {map_, bytes_};
+}
+
+std::span<std::uint8_t>
+MmapPool::span(std::uint64_t off, std::uint64_t len)
+{
+    ENVY_ASSERT(off <= bytes_ && len <= bytes_ - off,
+                "pool range [", off, ", +", len, ") outside ", bytes_);
+    return {map_ + off, len};
+}
+
+void
+MmapPool::punch(std::uint64_t off, std::uint64_t len)
+{
+    ENVY_ASSERT(off <= bytes_ && len <= bytes_ - off);
+    if (len == 0)
+        return;
+    if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                    static_cast<off_t>(off),
+                    static_cast<off_t>(len)) == 0)
+        return;
+    // tmpfs and some filesystems reject PUNCH_HOLE; zeroing keeps the
+    // read-back contract (holes read as zeros) at the cost of space.
+    std::memset(map_ + off, 0, len);
+}
+
+void
+MmapPool::sync(std::uint64_t off, std::uint64_t len)
+{
+    ENVY_ASSERT(off <= bytes_ && len <= bytes_ - off);
+    if (len == 0)
+        return;
+    // msync wants a page-aligned address; round the range out.
+    const std::uint64_t page =
+        static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+    const std::uint64_t lo = off & ~(page - 1);
+    const std::uint64_t hi = off + len;
+    if (::msync(map_ + lo, hi - lo, MS_SYNC) != 0)
+        ENVY_FATAL("persist: msync '", path_,
+                   "': ", std::strerror(errno));
+}
+
+} // namespace persist
+} // namespace envy

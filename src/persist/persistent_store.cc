@@ -1,0 +1,31 @@
+#include "persist/persistent_store.hh"
+
+#include "common/logging.hh"
+#include "envy/envy_store.hh"
+#include "persist/backend.hh"
+#include "persist/store_file.hh"
+
+namespace envy {
+namespace persist {
+
+std::unique_ptr<EnvyStore>
+PersistentStore::tryOpen(const std::string &path, std::string &error)
+{
+    StoreParams params;
+    if (!StoreFile::readParams(path, params, error))
+        return nullptr;
+    return std::make_unique<EnvyStore>(configFor(params, path));
+}
+
+std::unique_ptr<EnvyStore>
+PersistentStore::open(const std::string &path)
+{
+    std::string error;
+    std::unique_ptr<EnvyStore> store = tryOpen(path, error);
+    if (!store)
+        ENVY_FATAL("persist: ", error);
+    return store;
+}
+
+} // namespace persist
+} // namespace envy

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * PersistentStore: open an existing persistent eNVy store by path.
+ *
+ * `EnvyStore store(cfg)` with cfg.persistPath set handles both the
+ * first creation and an explicit-config reopen.  This helper covers
+ * the restart case where only the path is known: the configuration is
+ * read back from the store file's superblock, so a tool (or the crash
+ * harness's verifying parent) can recover a store without knowing how
+ * it was created.
+ */
+
+#ifndef ENVY_PERSIST_PERSISTENT_STORE_HH
+#define ENVY_PERSIST_PERSISTENT_STORE_HH
+
+#include <memory>
+#include <string>
+
+namespace envy {
+
+class EnvyStore;
+
+namespace persist {
+
+class PersistentStore
+{
+  public:
+    /**
+     * Reopen the store at @p path, deriving the EnvyConfig from its
+     * superblock and running restart recovery.  Fatal if the path
+     * does not hold a valid store.
+     */
+    static std::unique_ptr<EnvyStore> open(const std::string &path);
+
+    /** As open(), but reports failure instead of aborting. */
+    static std::unique_ptr<EnvyStore> tryOpen(const std::string &path,
+                                              std::string &error);
+};
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_PERSISTENT_STORE_HH

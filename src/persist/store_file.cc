@@ -1,0 +1,325 @@
+#include "persist/store_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "persist/checksum.hh"
+
+namespace envy {
+namespace persist {
+
+namespace {
+
+constexpr std::uint64_t crcFieldOff = 184; //!< after the last field
+
+std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+void
+putU64(std::uint8_t *base, std::uint64_t off, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        base[off + std::uint64_t(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *base, std::uint64_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(base[off + std::uint64_t(i)]) << (8 * i);
+    return v;
+}
+
+/** Serialise the config fields (offsets 24..136, see PERSISTENCE.md). */
+void
+putParams(std::uint8_t *sb, const StoreParams &p)
+{
+    putU64(sb, 24, p.pageSize);
+    putU64(sb, 32, p.blockBytes);
+    putU64(sb, 40, p.blocksPerChip);
+    putU64(sb, 48, p.numBanks);
+    putU64(sb, 56, p.logicalPages);
+    putU64(sb, 64, p.writeBufferPages);
+    putU64(sb, 72, p.storeData);
+    putU64(sb, 80, p.policy);
+    putU64(sb, 88, p.partitionSize);
+    putU64(sb, 96, p.bufferThreshold);
+    putU64(sb, 104, p.wearThreshold);
+    putU64(sb, 112, p.tlbSize);
+    putU64(sb, 120, p.autoDrain);
+    putU64(sb, 128, p.sramBytes);
+}
+
+StoreParams
+getParams(const std::uint8_t *sb)
+{
+    StoreParams p;
+    p.pageSize = getU64(sb, 24);
+    p.blockBytes = getU64(sb, 32);
+    p.blocksPerChip = getU64(sb, 40);
+    p.numBanks = getU64(sb, 48);
+    p.logicalPages = getU64(sb, 56);
+    p.writeBufferPages = getU64(sb, 64);
+    p.storeData = getU64(sb, 72);
+    p.policy = getU64(sb, 80);
+    p.partitionSize = getU64(sb, 88);
+    p.bufferThreshold = getU64(sb, 96);
+    p.wearThreshold = getU64(sb, 104);
+    p.tlbSize = getU64(sb, 112);
+    p.autoDrain = getU64(sb, 120);
+    p.sramBytes = getU64(sb, 128);
+    return p;
+}
+
+std::uint32_t
+superCrc(const std::uint8_t *sb)
+{
+    return crc32({sb, crcFieldOff});
+}
+
+enum class SuperState { Missing, Valid, Unfinished, Foreign };
+
+/**
+ * Classify @p path: no file / fresh (Missing), a complete store
+ * (Valid), a store whose creation died before the valid flag
+ * (Unfinished — safe to wipe), or some other file (Foreign — never
+ * touch it).
+ */
+SuperState
+classify(const std::string &path, StoreParams *params_out,
+         std::string *error_out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (error_out)
+            *error_out = "cannot open '" + path + "': " +
+                         std::strerror(errno);
+        return SuperState::Missing;
+    }
+    std::uint8_t sb[StoreFile::superBytes];
+    std::uint64_t got = 0;
+    while (got < sizeof(sb)) {
+        const ssize_t n = ::pread(fd, sb + got, sizeof(sb) - got,
+                                  static_cast<off_t>(got));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        got += static_cast<std::uint64_t>(n);
+    }
+    ::close(fd);
+
+    if (got == 0)
+        return SuperState::Missing; // empty file: treat as fresh
+    if (got < sizeof(sb) ||
+        std::memcmp(sb, StoreFile::magic, 8) != 0) {
+        if (error_out)
+            *error_out = "'" + path + "' is not an eNVy store file";
+        return SuperState::Foreign;
+    }
+    if (getU64(sb, 8) != StoreFile::version) {
+        if (error_out)
+            *error_out = "'" + path + "' has unsupported version " +
+                         std::to_string(getU64(sb, 8));
+        return SuperState::Foreign;
+    }
+    if (superCrc(sb) != static_cast<std::uint32_t>(
+                            getU64(sb, crcFieldOff))) {
+        if (error_out)
+            *error_out = "'" + path + "' superblock checksum mismatch";
+        return SuperState::Foreign;
+    }
+    if ((getU64(sb, 16) & 1) == 0)
+        return SuperState::Unfinished;
+    if (params_out)
+        *params_out = getParams(sb);
+    return SuperState::Valid;
+}
+
+} // namespace
+
+void
+StoreFile::computeLayout()
+{
+    const std::uint64_t cap = pagesPerSegment();
+    metaOff_ = superBytes;
+    metaStride_ = alignUp(segOwnersOff + 5 * cap, 8);
+    bitmapOff_ = alignUp(metaOff_ + numSegments() * metaStride_, 4096);
+    const std::uint64_t bitmapBytes =
+        params_.numBanks * params_.blocksPerChip;
+    dataOff_ = alignUp(bitmapOff_ + bitmapBytes, 4096);
+    blockDataBytes_ = params_.pageSize * params_.blockBytes;
+    fileBytes_ = dataOff_ + (params_.storeData
+                                 ? numSegments() * blockDataBytes_
+                                 : 0);
+}
+
+void
+StoreFile::writeSuperblock(bool valid)
+{
+    std::uint8_t *sb = pool_->span(0, superBytes).data();
+    std::memset(sb, 0, superBytes);
+    std::memcpy(sb, magic, 8);
+    putU64(sb, 8, version);
+    putU64(sb, 16, valid ? 1 : 0);
+    putParams(sb, params_);
+    putU64(sb, 136, metaOff_);
+    putU64(sb, 144, metaStride_);
+    putU64(sb, 152, bitmapOff_);
+    putU64(sb, 160, dataOff_);
+    putU64(sb, 168, blockDataBytes_);
+    putU64(sb, 176, fileBytes_);
+    putU64(sb, crcFieldOff, superCrc(sb));
+    pool_->sync(0, superBytes);
+}
+
+StoreFile::StoreFile(const std::string &path, const StoreParams &want)
+    : params_(want)
+{
+    ENVY_ASSERT(params_.pageSize > 0 && params_.blockBytes > 0 &&
+                params_.blocksPerChip > 0 && params_.numBanks > 0 &&
+                params_.sramBytes > 0,
+                "persist: degenerate store parameters");
+    computeLayout();
+
+    StoreParams disk;
+    std::string error;
+    switch (classify(path, &disk, &error)) {
+      case SuperState::Missing:
+        break;
+      case SuperState::Foreign:
+        ENVY_FATAL("persist: ", error);
+        break;
+      case SuperState::Unfinished:
+        // Creation died before the valid flag: nothing in the file
+        // was ever acknowledged, so start over.
+        if (std::remove(path.c_str()) != 0)
+            ENVY_FATAL("persist: cannot remove unfinished store '",
+                       path, "': ", std::strerror(errno));
+        break;
+      case SuperState::Valid:
+        if (!(disk == want))
+            ENVY_FATAL("persist: '", path, "' holds a store with a "
+                       "different geometry/config; refusing to "
+                       "reformat it");
+        reopened_ = true;
+        break;
+    }
+
+    pool_ = std::make_unique<MmapPool>(path, fileBytes_);
+    if (!reopened_)
+        writeSuperblock(false);
+}
+
+bool
+StoreFile::readParams(const std::string &path, StoreParams &out,
+                      std::string &error)
+{
+    switch (classify(path, &out, &error)) {
+      case SuperState::Valid:
+        return true;
+      case SuperState::Unfinished:
+        error = "'" + path + "' is an unfinished store (creation "
+                "never completed)";
+        return false;
+      case SuperState::Missing:
+        if (error.empty())
+            error = "cannot open '" + path + "'";
+        return false;
+      case SuperState::Foreign:
+        return false;
+    }
+    return false;
+}
+
+void
+StoreFile::markValid()
+{
+    writeSuperblock(true);
+}
+
+std::span<std::uint8_t>
+StoreFile::segMeta(SegmentId seg)
+{
+    ENVY_ASSERT(seg.value() < numSegments(),
+                "persist: bad segment ", seg);
+    return pool_->span(metaOff_ + seg.value() * metaStride_,
+                       metaStride_);
+}
+
+std::span<const std::uint8_t>
+StoreFile::segMeta(SegmentId seg) const
+{
+    ENVY_ASSERT(seg.value() < numSegments(),
+                "persist: bad segment ", seg);
+    return const_cast<StoreFile *>(this)->pool_->span(
+        metaOff_ + seg.value() * metaStride_, metaStride_);
+}
+
+std::uint64_t
+StoreFile::blockIndex(std::uint32_t bank, std::uint32_t block) const
+{
+    ENVY_ASSERT(bank < params_.numBanks &&
+                block < params_.blocksPerChip,
+                "persist: bad block (", bank, ", ", block, ")");
+    return std::uint64_t(bank) * params_.blocksPerChip + block;
+}
+
+bool
+StoreFile::blockMaterialized(std::uint32_t bank,
+                             std::uint32_t block) const
+{
+    const std::uint64_t idx = blockIndex(bank, block);
+    return const_cast<StoreFile *>(this)->pool_->span(
+               bitmapOff_ + idx, 1)[0] != 0;
+}
+
+void
+StoreFile::setBlockMaterialized(std::uint32_t bank,
+                                std::uint32_t block, bool on)
+{
+    const std::uint64_t idx = blockIndex(bank, block);
+    pool_->span(bitmapOff_ + idx, 1)[0] = on ? 1 : 0;
+}
+
+std::uint64_t
+StoreFile::materializedCount(std::uint32_t bank) const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t b = 0; b < params_.blocksPerChip; ++b)
+        n += blockMaterialized(bank, b) ? 1 : 0;
+    return n;
+}
+
+std::span<std::uint8_t>
+StoreFile::blockData(std::uint32_t bank, std::uint32_t block)
+{
+    ENVY_ASSERT(params_.storeData != 0,
+                "persist: block data in metadata-only mode");
+    const std::uint64_t idx = blockIndex(bank, block);
+    return pool_->span(dataOff_ + idx * blockDataBytes_,
+                       blockDataBytes_);
+}
+
+void
+StoreFile::punchBlock(std::uint32_t bank, std::uint32_t block)
+{
+    ENVY_ASSERT(params_.storeData != 0,
+                "persist: block punch in metadata-only mode");
+    const std::uint64_t idx = blockIndex(bank, block);
+    pool_->punch(dataOff_ + idx * blockDataBytes_, blockDataBytes_);
+}
+
+} // namespace persist
+} // namespace envy

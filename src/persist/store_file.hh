@@ -1,0 +1,158 @@
+/**
+ * @file
+ * StoreFile: the on-disk layout of a persistent eNVy store.
+ *
+ * One sparse file (docs/PERSISTENCE.md), mapped MAP_SHARED through an
+ * MmapPool:
+ *
+ *     [superblock 4 KiB] [segment metadata] [block map] [block data]
+ *
+ *  - The superblock carries the geometry/config needed to rebuild an
+ *    EnvyConfig, the region offsets, a CRC-32 and a `valid` flag that
+ *    is set only after the initial checkpoint — a file whose creation
+ *    died half-way is recognisably fresh, never half-trusted.
+ *  - Segment metadata is a fixed-stride record per segment: write
+ *    pointer, erase cycles, spec-fail latch, per-slot owners and
+ *    retired marks.  Owners are stored bitwise-NOT so the all-zeros
+ *    content of a file hole decodes to "every slot erased": untouched
+ *    segments cost no disk at all.
+ *  - The block map holds one byte per (bank, block): nonzero once the
+ *    block's cell data is materialized.  It is the authority on
+ *    whether the data region holds cells or a hole, because holes
+ *    read as zeros while erased flash reads as 0xFF.
+ *  - Block data is the cell contents (functional mode only); an
+ *    erased block's range is hole-punched back to zero cost.
+ */
+
+#ifndef ENVY_PERSIST_STORE_FILE_HH
+#define ENVY_PERSIST_STORE_FILE_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/types.hh"
+#include "persist/mmap_pool.hh"
+
+namespace envy {
+namespace persist {
+
+/** Superblock fields: enough to reconstruct the EnvyConfig. */
+struct StoreParams
+{
+    std::uint64_t pageSize = 0;
+    std::uint64_t blockBytes = 0;
+    std::uint64_t blocksPerChip = 0;
+    std::uint64_t numBanks = 0;
+    std::uint64_t logicalPages = 0;     //!< effective
+    std::uint64_t writeBufferPages = 0; //!< effective
+    std::uint64_t storeData = 0;
+    std::uint64_t policy = 0;
+    std::uint64_t partitionSize = 0;
+    std::uint64_t bufferThreshold = 0;
+    std::uint64_t wearThreshold = 0;
+    std::uint64_t tlbSize = 0;
+    std::uint64_t autoDrain = 0;
+    std::uint64_t sramBytes = 0;
+
+    bool operator==(const StoreParams &) const = default;
+};
+
+class StoreFile
+{
+  public:
+    static constexpr char magic[9] = "ENVYPST1"; //!< 8 bytes on disk
+    static constexpr std::uint64_t version = 1;
+    static constexpr std::uint64_t superBytes = 4096;
+
+    /**
+     * Open @p path, creating the store file if absent.  An existing
+     * file must carry a valid superblock matching @p want exactly
+     * (fatal otherwise — silently reformatting a mismatched store
+     * would destroy it); a file whose creation never completed (valid
+     * flag clear) is wiped and recreated.
+     */
+    StoreFile(const std::string &path, const StoreParams &want);
+
+    /** True when an existing valid store was opened (restart). */
+    bool reopened() const { return reopened_; }
+
+    const StoreParams &params() const { return params_; }
+    const std::string &path() const { return pool_->path(); }
+
+    /**
+     * Read just the superblock of @p path without opening the store
+     * (PersistentStore::open derives the config from it).
+     */
+    static bool readParams(const std::string &path, StoreParams &out,
+                           std::string &error);
+
+    /** Flip the superblock valid flag on (after initial checkpoint). */
+    void markValid();
+
+    // ---- layout ---------------------------------------------------
+
+    std::uint64_t numSegments() const
+    {
+        return params_.numBanks * params_.blocksPerChip;
+    }
+    std::uint64_t pagesPerSegment() const { return params_.blockBytes; }
+    std::uint64_t metaOff() const { return metaOff_; }
+    std::uint64_t metaStride() const { return metaStride_; }
+    std::uint64_t bitmapOff() const { return bitmapOff_; }
+    std::uint64_t dataOff() const { return dataOff_; }
+    std::uint64_t blockDataBytes() const { return blockDataBytes_; }
+    std::uint64_t fileBytes() const { return fileBytes_; }
+
+    // Per-segment metadata record offsets inside the stride.
+    static constexpr std::uint64_t segWritePtrOff = 0; //!< u32
+    static constexpr std::uint64_t segSpecFailedOff = 4; //!< u8
+    static constexpr std::uint64_t segCyclesOff = 8;   //!< u64
+    static constexpr std::uint64_t segOwnersOff = 16;  //!< u32 * cap, ~owner
+
+    std::uint64_t segRetiredOff() const
+    {
+        return segOwnersOff + 4 * pagesPerSegment();
+    }
+
+    /** Whole metadata record of one segment. */
+    std::span<std::uint8_t> segMeta(SegmentId seg);
+    std::span<const std::uint8_t> segMeta(SegmentId seg) const;
+
+    // ---- block map + data -----------------------------------------
+
+    bool blockMaterialized(std::uint32_t bank,
+                           std::uint32_t block) const;
+    void setBlockMaterialized(std::uint32_t bank, std::uint32_t block,
+                              bool on);
+    std::uint64_t materializedCount(std::uint32_t bank) const;
+
+    std::span<std::uint8_t> blockData(std::uint32_t bank,
+                                      std::uint32_t block);
+    void punchBlock(std::uint32_t bank, std::uint32_t block);
+
+    /** msync everything (power-loss durability point). */
+    void syncAll() { pool_->syncAll(); }
+
+  private:
+    std::uint64_t blockIndex(std::uint32_t bank,
+                             std::uint32_t block) const;
+    void computeLayout();
+    void writeSuperblock(bool valid);
+
+    StoreParams params_;
+    std::uint64_t metaOff_ = 0;
+    std::uint64_t metaStride_ = 0;
+    std::uint64_t bitmapOff_ = 0;
+    std::uint64_t dataOff_ = 0;
+    std::uint64_t blockDataBytes_ = 0;
+    std::uint64_t fileBytes_ = 0;
+    bool reopened_ = false;
+    std::unique_ptr<MmapPool> pool_;
+};
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_STORE_FILE_HH

@@ -1,6 +1,7 @@
 #include "sram/sram_array.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -23,6 +24,7 @@ SramArray::writeByte(Addr a, std::uint8_t v)
 {
     ENVY_ASSERT(a < data_.size(), "SRAM write out of range: ", a);
     data_[a] = v;
+    markDirty(a, 1);
 }
 
 void
@@ -39,6 +41,7 @@ SramArray::write(Addr a, std::span<const std::uint8_t> in)
     ENVY_ASSERT(a + in.size() <= data_.size(),
                 "SRAM block write out of range");
     std::copy(in.begin(), in.end(), data_.begin() + a);
+    markDirty(a, in.size());
 }
 
 std::uint64_t
@@ -59,6 +62,71 @@ SramArray::writeUint(Addr a, std::uint64_t v, unsigned bytes)
                 "SRAM uint write out of range");
     for (unsigned i = 0; i < bytes; ++i)
         data_[a + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    markDirty(a, bytes);
+}
+
+std::span<std::uint8_t>
+SramArray::mutableSpan(Addr a, std::uint64_t len)
+{
+    ENVY_ASSERT(a + len <= data_.size(),
+                "SRAM span out of range");
+    // Conservatively dirty up front: the caller holds a raw window,
+    // so there is no way to see which bytes it actually changes.
+    markDirty(a, len);
+    return {data_.data() + a, len};
+}
+
+void
+SramArray::enableDirtyTracking()
+{
+    tracking_ = true;
+    const std::uint64_t granules =
+        (data_.size() + dirtyGranule - 1) / dirtyGranule;
+    dirtyBits_.assign((granules + 63) / 64, 0);
+    dirtyWords_.clear();
+}
+
+void
+SramArray::drainDirty(
+    const std::function<void(Addr, std::span<const std::uint8_t>)>
+        &emit)
+{
+    ENVY_ASSERT(tracking_, "SRAM drain without dirty tracking");
+    std::sort(dirtyWords_.begin(), dirtyWords_.end());
+
+    // Walk set bits in ascending granule order, merging adjacent
+    // granules into maximal runs before emitting.
+    std::uint64_t runStart = 0;
+    std::uint64_t runEnd = 0; // exclusive granule; 0 == no open run
+    const auto flushRun = [&] {
+        if (runEnd == 0)
+            return;
+        const Addr addr = runStart * dirtyGranule;
+        const std::uint64_t len =
+            std::min(runEnd * dirtyGranule, std::uint64_t(data_.size())) -
+            addr;
+        emit(addr, std::span<const std::uint8_t>(data_.data() + addr,
+                                                 len));
+    };
+    for (const std::uint64_t word : dirtyWords_) {
+        std::uint64_t bits = dirtyBits_[word];
+        dirtyBits_[word] = 0;
+        while (bits != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::uint64_t g = word * 64 + bit;
+            if (runEnd == g) {
+                ++runEnd;
+            } else {
+                flushRun();
+                runStart = g;
+                runEnd = g + 1;
+            }
+        }
+    }
+    flushRun();
+    dirtyWords_.clear();
 }
 
 void

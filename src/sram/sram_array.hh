@@ -11,12 +11,18 @@
  * that must survive a crash keep their authoritative state inside this
  * byte array, and the recovery tests "power fail" the system by
  * discarding every in-core structure and rebuilding from these bytes.
+ *
+ * With dirty tracking enabled (persistent stores only) every mutation
+ * marks 64-byte granules in a bitmap; the persist layer drains the
+ * dirty ranges into journal records on each flush, so journaling cost
+ * scales with bytes actually touched, not with SRAM size.
  */
 
 #ifndef ENVY_SRAM_SRAM_ARRAY_HH
 #define ENVY_SRAM_SRAM_ARRAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -52,9 +58,59 @@ class SramArray
     /** Raw view for components that live inside the array. */
     std::span<std::uint8_t> raw() { return {data_.data(), data_.size()}; }
 
+    /**
+     * Writable window that is tracked like write(): callers that
+     * mutate SRAM through a span (the write buffer's page slots) must
+     * use this instead of slicing raw(), or dirty tracking misses the
+     * change.
+     */
+    std::span<std::uint8_t> mutableSpan(Addr a, std::uint64_t len);
+
+    // ---- dirty tracking (persist layer) ---------------------------
+
+    /** Bytes per tracking granule. */
+    static constexpr std::uint64_t dirtyGranule = 64;
+
+    /**
+     * Start tracking mutations.  Existing contents are considered
+     * clean; the caller snapshots them (checkpoint) first.
+     */
+    void enableDirtyTracking();
+
+    bool dirtyTracking() const { return tracking_; }
+
+    /**
+     * Emit every dirty range as (addr, bytes) — coalescing adjacent
+     * granules, ascending, clipped to size() — and mark all clean.
+     */
+    void drainDirty(
+        const std::function<void(Addr, std::span<const std::uint8_t>)>
+            &emit);
+
+    /** True if any granule is dirty (cheap: list emptiness). */
+    bool anyDirty() const { return !dirtyWords_.empty(); }
+
   private:
+    void markDirty(Addr a, std::uint64_t len)
+    {
+        if (!tracking_ || len == 0)
+            return;
+        const std::uint64_t first = a / dirtyGranule;
+        const std::uint64_t last = (a + len - 1) / dirtyGranule;
+        for (std::uint64_t g = first; g <= last; ++g) {
+            const std::uint64_t word = g / 64;
+            const std::uint64_t bit = g % 64;
+            if (dirtyBits_[word] == 0)
+                dirtyWords_.push_back(word); // 0 -> nonzero: new word
+            dirtyBits_[word] |= std::uint64_t(1) << bit;
+        }
+    }
+
     std::vector<std::uint8_t> data_;
     bool batteryBacked_;
+    bool tracking_ = false;
+    std::vector<std::uint64_t> dirtyBits_; //!< one bit per granule
+    std::vector<std::uint64_t> dirtyWords_; //!< words with bits set
 };
 
 } // namespace envy

@@ -191,7 +191,9 @@ WriteBuffer::slotData(BufferSlotId slot)
 {
     ENVY_ASSERT(storeData_, "buffer: slotData in metadata-only mode");
     ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
-    return sram_.raw().subspan(slotDataAddr(slot.value()), pageSize_);
+    // mutableSpan (not raw().subspan) so dirty tracking sees the
+    // page-data writes the controller does through this window.
+    return sram_.mutableSpan(slotDataAddr(slot.value()), pageSize_);
 }
 
 std::span<const std::uint8_t>

@@ -215,5 +215,181 @@ TEST(EnvyImageDeathTest, GarbageFileIsRejected)
     std::remove(path.c_str());
 }
 
+// ---- corrupt-input hardening: tryLoad returns a typed error -------
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeAll(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+    std::fclose(f);
+}
+
+void
+patchU64(std::vector<std::uint8_t> &bytes, std::size_t off,
+         std::uint64_t v)
+{
+    ASSERT_LE(off + 8, bytes.size());
+    for (int i = 0; i < 8; ++i)
+        bytes[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** A small saved image plus its interesting offsets. */
+struct SavedImage
+{
+    // Header: 8-byte magic then 13 u64 config fields.
+    static constexpr std::size_t pageSizeOff = 8;
+    static constexpr std::size_t policyOff = 8 + 7 * 8;
+    static constexpr std::size_t sramSizeOff = 8 + 13 * 8;
+
+    std::string path;
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t sramBytes = 0;
+
+    /** First segment's first owner word (the store is populated, so
+     *  segment 0 has used slots). */
+    std::size_t
+    firstOwnerOff() const
+    {
+        return sramSizeOff + 8 + sramBytes + 3 * 8;
+    }
+};
+
+SavedImage
+savedImage(const char *name)
+{
+    SavedImage img;
+    img.path = tempImage(name);
+    EnvyStore store(imageConfig());
+    store.writeU64(0, 0x1122334455667788ull);
+    EnvyImage::save(store, img.path);
+    img.bytes = readAll(img.path);
+    img.sramBytes = store.sram().size();
+    return img;
+}
+
+std::string
+expectRejected(const SavedImage &img)
+{
+    writeAll(img.path, img.bytes);
+    std::string error;
+    std::unique_ptr<EnvyStore> store =
+        EnvyImage::tryLoad(img.path, error);
+    EXPECT_EQ(store, nullptr);
+    EXPECT_FALSE(error.empty());
+    std::remove(img.path.c_str());
+    return error;
+}
+
+TEST(EnvyImage, TryLoadReportsMissingAndGarbageFiles)
+{
+    std::string error;
+    EXPECT_EQ(EnvyImage::tryLoad(tempImage("nosuch.img"), error),
+              nullptr);
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+    SavedImage img = savedImage("notimage.img");
+    img.bytes.assign({'j', 'u', 'n', 'k'});
+    EXPECT_NE(expectRejected(img).find("not an eNVy image"),
+              std::string::npos);
+}
+
+TEST(EnvyImage, TryLoadReportsTruncationAtEverySection)
+{
+    const SavedImage img = savedImage("trunc.img");
+    // Mid-header, mid-SRAM, mid-flash: each prefix must come back as
+    // a clean error, never a crash.
+    const std::size_t cuts[] = {
+        img.bytes.size() - 1,
+        SavedImage::sramSizeOff + 8 + img.sramBytes / 2,
+        SavedImage::sramSizeOff + 4,
+        SavedImage::policyOff + 3,
+    };
+    for (const std::size_t cut : cuts) {
+        SavedImage t = img;
+        t.bytes.resize(cut);
+        EXPECT_NE(expectRejected(t).find("truncated"),
+                  std::string::npos)
+            << "cut at " << cut;
+    }
+}
+
+TEST(EnvyImage, TryLoadReportsBadHeaderFields)
+{
+    SavedImage img = savedImage("badgeom.img");
+    patchU64(img.bytes, SavedImage::pageSizeOff, 0);
+    EXPECT_NE(expectRejected(img).find("header"), std::string::npos);
+
+    img = savedImage("badpolicy.img");
+    patchU64(img.bytes, SavedImage::policyOff, 99);
+    EXPECT_NE(expectRejected(img).find("unknown policy"),
+              std::string::npos);
+
+    img = savedImage("badsram.img");
+    patchU64(img.bytes, SavedImage::sramSizeOff, 12345);
+    EXPECT_NE(expectRejected(img).find("SRAM size mismatch"),
+              std::string::npos);
+}
+
+TEST(EnvyImage, TryLoadReportsCorruptSegmentRecords)
+{
+    // Segment records follow the SRAM blob: used, cycles, ahead,
+    // retired slots, then per-slot owner words.
+    const std::size_t segOff = SavedImage::sramSizeOff + 8;
+
+    SavedImage img = savedImage("badused.img");
+    patchU64(img.bytes, segOff + img.sramBytes, 1u << 20);
+    EXPECT_NE(expectRejected(img).find("exceed the capacity"),
+              std::string::npos);
+
+    img = savedImage("badahead.img");
+    patchU64(img.bytes, segOff + img.sramBytes + 16, 1u << 20);
+    EXPECT_NE(expectRejected(img).find("retired-ahead"),
+              std::string::npos);
+
+    img = savedImage("badowner.img");
+    // Not one of the dead/shadow/retired sentinels, far beyond the
+    // logical page count.
+    patchU64(img.bytes, img.firstOwnerOff(), 0xFFFF0000ull);
+    EXPECT_NE(expectRejected(img).find("beyond the"),
+              std::string::npos);
+}
+
+TEST(EnvyImage, TryLoadReportsTrailingBytes)
+{
+    SavedImage img = savedImage("trailing.img");
+    img.bytes.push_back(0xAB);
+    EXPECT_NE(expectRejected(img).find("after the last segment"),
+              std::string::npos);
+}
+
+TEST(EnvyImage, TryLoadStillLoadsAValidImage)
+{
+    const SavedImage img = savedImage("valid.img");
+    writeAll(img.path, img.bytes);
+    std::string error;
+    std::unique_ptr<EnvyStore> store =
+        EnvyImage::tryLoad(img.path, error);
+    ASSERT_NE(store, nullptr) << error;
+    EXPECT_EQ(store->readU64(0), 0x1122334455667788ull);
+    std::remove(img.path.c_str());
+}
+
 } // namespace
 } // namespace envy

@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Unit tests for the persistence primitives (docs/PERSISTENCE.md):
+ * the MmapPool, the StoreFile layout, the BankBacking lifecycle, and
+ * the MetaJournal — including property tests that truncate a journal
+ * at random byte positions and check replay lands exactly on the
+ * state of the last intact record.  Ends with the differential twin:
+ * a persistent store must behave byte-for-byte like an anonymous one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "envy/envy_store.hh"
+#include "persist/backend.hh"
+#include "persist/flash_backing.hh"
+#include "persist/meta_journal.hh"
+#include "persist/mmap_pool.hh"
+#include "persist/store_file.hh"
+#include "sim/random.hh"
+
+namespace envy {
+namespace persist {
+namespace {
+
+std::string
+tempFile(const char *name)
+{
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+    std::remove((path + ".journal").c_str());
+    std::remove((path + ".journal.tmp").c_str());
+    return path;
+}
+
+void
+cleanup(const std::string &path)
+{
+    std::remove(path.c_str());
+    std::remove((path + ".journal").c_str());
+    std::remove((path + ".journal.tmp").c_str());
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    struct ::stat st{};
+    EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+// ---- MmapPool ----------------------------------------------------
+
+TEST(MmapPool, BytesSurviveReopen)
+{
+    const std::string path = tempFile("pool.bin");
+    {
+        MmapPool pool(path, 8192);
+        auto s = pool.span();
+        ASSERT_EQ(s.size(), 8192u);
+        for (std::size_t i = 0; i < s.size(); ++i)
+            s[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    {
+        MmapPool pool(path, 8192);
+        auto s = pool.span();
+        for (std::size_t i = 0; i < s.size(); ++i)
+            ASSERT_EQ(s[i], static_cast<std::uint8_t>(i * 7)) << i;
+    }
+    cleanup(path);
+}
+
+TEST(MmapPool, PunchReadsBackAsZeros)
+{
+    const std::string path = tempFile("punch.bin");
+    MmapPool pool(path, 16384);
+    auto s = pool.span();
+    std::fill(s.begin(), s.end(), std::uint8_t(0xAA));
+    pool.punch(4096, 4096);
+    for (std::uint64_t i = 0; i < 16384; ++i) {
+        const std::uint8_t want =
+            (i >= 4096 && i < 8192) ? 0x00 : 0xAA;
+        ASSERT_EQ(s[i], want) << i;
+    }
+    cleanup(path);
+}
+
+TEST(MmapPoolDeathTest, RefusesToShrinkAnExistingFile)
+{
+    const std::string path = tempFile("shrink.bin");
+    { MmapPool pool(path, 8192); }
+    EXPECT_DEATH(MmapPool(path, 4096), "refusing to shrink");
+    cleanup(path);
+}
+
+// ---- StoreFile ---------------------------------------------------
+
+StoreParams
+tinyParams()
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    return paramsFor(cfg, /*sram_bytes=*/4096);
+}
+
+TEST(StoreFile, FreshThenReopenedKeepsParams)
+{
+    const std::string path = tempFile("store.envy");
+    const StoreParams want = tinyParams();
+    {
+        StoreFile file(path, want);
+        EXPECT_FALSE(file.reopened());
+        file.markValid();
+    }
+    {
+        StoreFile file(path, want);
+        EXPECT_TRUE(file.reopened());
+        EXPECT_EQ(file.params(), want);
+    }
+    // readParams sees the same superblock without opening the store.
+    StoreParams got;
+    std::string error;
+    ASSERT_TRUE(StoreFile::readParams(path, got, error)) << error;
+    EXPECT_EQ(got, want);
+    cleanup(path);
+}
+
+TEST(StoreFile, UnfinishedCreationIsWipedNotTrusted)
+{
+    const std::string path = tempFile("unfinished.envy");
+    {
+        StoreFile file(path, tinyParams());
+        // No markValid(): creation "crashed" before the first
+        // checkpoint.
+        file.segMeta(SegmentId(0))[0] = 0x55;
+    }
+    {
+        StoreFile file(path, tinyParams());
+        EXPECT_FALSE(file.reopened()); // recreated from scratch
+        EXPECT_EQ(file.segMeta(SegmentId(0))[0], 0x00);
+    }
+    cleanup(path);
+}
+
+TEST(StoreFileDeathTest, MismatchedParamsRefuseToReformat)
+{
+    const std::string path = tempFile("mismatch.envy");
+    {
+        StoreFile file(path, tinyParams());
+        file.markValid();
+    }
+    StoreParams other = tinyParams();
+    other.wearThreshold += 1;
+    EXPECT_DEATH(StoreFile(path, other), "refusing to reformat");
+    cleanup(path);
+}
+
+TEST(StoreFile, FreshSegmentDecodesAsFullyErased)
+{
+    const std::string path = tempFile("erased.envy");
+    StoreFile file(path, tinyParams());
+    FlashMetaView meta(file, {});
+    const SegmentId seg(3);
+    EXPECT_EQ(meta.writePtr(seg), 0u);
+    EXPECT_EQ(meta.eraseCycles(seg), 0u);
+    EXPECT_FALSE(meta.specFailed(seg));
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        // Holes read as zeros; ~0 is the dead-owner word, so an
+        // untouched segment costs no disk yet reads fully erased.
+        EXPECT_EQ(meta.owner(seg, SlotId(s)), 0xFFFFFFFFu);
+        EXPECT_FALSE(meta.retired(seg, SlotId(s)));
+    }
+    cleanup(path);
+}
+
+TEST(StoreFile, MetaRoundTripsThroughReopen)
+{
+    const std::string path = tempFile("meta.envy");
+    const SegmentId seg(5);
+    {
+        StoreFile file(path, tinyParams());
+        file.markValid();
+        FlashMetaView meta(file, {});
+        meta.setWritePtr(seg, 17);
+        meta.setEraseCycles(seg, 123456789);
+        meta.setSpecFailed(seg);
+        meta.setOwner(seg, SlotId(3), 42);
+        meta.setRetired(seg, SlotId(9));
+    }
+    {
+        StoreFile file(path, tinyParams());
+        ASSERT_TRUE(file.reopened());
+        FlashMetaView meta(file, {});
+        EXPECT_EQ(meta.writePtr(seg), 17u);
+        EXPECT_EQ(meta.eraseCycles(seg), 123456789u);
+        EXPECT_TRUE(meta.specFailed(seg));
+        EXPECT_EQ(meta.owner(seg, SlotId(3)), 42u);
+        EXPECT_TRUE(meta.retired(seg, SlotId(9)));
+        EXPECT_EQ(meta.owner(seg, SlotId(4)), 0xFFFFFFFFu);
+
+        meta.resetAfterErase(seg, 7);
+        EXPECT_EQ(meta.writePtr(seg), 0u);
+        EXPECT_EQ(meta.eraseCycles(seg), 7u);
+        EXPECT_EQ(meta.owner(seg, SlotId(3)), 0xFFFFFFFFu);
+        EXPECT_TRUE(meta.retired(seg, SlotId(9))); // physical damage
+    }
+    cleanup(path);
+}
+
+TEST(StoreFile, BankBackingMaterializeReleaseLifecycle)
+{
+    const std::string path = tempFile("banks.envy");
+    StoreFile file(path, tinyParams());
+    BankBacking bank(file, 1);
+
+    EXPECT_FALSE(bank.materialized(2));
+    EXPECT_EQ(bank.materializedCount(), 0u);
+
+    bank.materialize(2);
+    EXPECT_TRUE(bank.materialized(2));
+    EXPECT_EQ(bank.materializedCount(), 1u);
+    auto data = bank.blockData(2);
+    for (const std::uint8_t b : data)
+        ASSERT_EQ(b, 0xFF);
+
+    data[0] = 0x12;
+    bank.release(2);
+    EXPECT_FALSE(bank.materialized(2));
+    EXPECT_EQ(bank.materializedCount(), 0u);
+    // The punched range reads as zeros until re-materialized...
+    EXPECT_EQ(bank.blockData(2)[0], 0x00);
+    // ...and materializing re-fills it with erased 0xFF.
+    bank.materialize(2);
+    EXPECT_EQ(bank.blockData(2)[0], 0xFF);
+    cleanup(path);
+}
+
+// ---- MetaJournal -------------------------------------------------
+
+/** A journal armed against a plain byte image, with manual dirt. */
+struct JournalRig
+{
+    explicit JournalRig(const std::string &journal_path,
+                        std::uint64_t bytes)
+        : image(bytes, 0), journal(journal_path, bytes)
+    {
+    }
+
+    void
+    arm()
+    {
+        journal.activate(
+            [this](const MetaJournal::Emit &emit) {
+                for (const auto &[addr, bytes] : pending)
+                    emit(addr, bytes);
+                pending.clear();
+            },
+            [this] {
+                return std::span<const std::uint8_t>(image);
+            });
+    }
+
+    void
+    poke(std::uint64_t addr, std::span<const std::uint8_t> bytes)
+    {
+        std::copy(bytes.begin(), bytes.end(),
+                  image.begin() + static_cast<std::ptrdiff_t>(addr));
+        pending.emplace_back(
+            addr, std::vector<std::uint8_t>(bytes.begin(),
+                                            bytes.end()));
+    }
+
+    std::vector<std::uint8_t> image;
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+        pending;
+    MetaJournal journal;
+};
+
+TEST(MetaJournal, ReplayReconstructsTheImage)
+{
+    const std::string path = tempFile("jrn1") + ".journal";
+    constexpr std::uint64_t bytes = 256;
+    std::vector<std::uint8_t> want;
+    {
+        JournalRig rig(path, bytes);
+        rig.journal.createFresh();
+        rig.arm();
+        rig.journal.checkpoint(); // first record is the checkpoint
+
+        const std::uint8_t a[] = {1, 2, 3, 4};
+        const std::uint8_t b[] = {9, 8, 7};
+        rig.poke(0, a);
+        rig.poke(100, b);
+        rig.journal.flush();
+        rig.poke(250, {a, 2});
+        rig.journal.commit();
+        want = rig.image;
+    }
+    MetaJournal journal(path, bytes);
+    const MetaJournal::ReplayResult res = journal.replay();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.truncatedBytes, 0u);
+    EXPECT_EQ(res.records, 4u); // checkpoint + 3 writes
+    EXPECT_EQ(res.sram, want);
+    std::remove(path.c_str());
+}
+
+TEST(MetaJournal, CheckpointCompactsAndResetsTheCounter)
+{
+    const std::string path = tempFile("jrn2") + ".journal";
+    constexpr std::uint64_t bytes = 512;
+    JournalRig rig(path, bytes);
+    rig.journal.createFresh();
+    rig.arm();
+    rig.journal.checkpoint();
+
+    std::vector<std::uint8_t> blob(64, 0x5A);
+    for (int i = 0; i < 20; ++i) {
+        rig.poke(static_cast<std::uint64_t>(i) * 8, {blob.data(), 8});
+        rig.journal.flush();
+    }
+    const std::uint64_t grown = fileSize(path);
+    EXPECT_GT(rig.journal.bytesSinceCheckpoint(),
+              bytes + MetaJournal::recordOverhead);
+
+    rig.journal.checkpoint();
+    EXPECT_EQ(rig.journal.bytesSinceCheckpoint(), 0u);
+    EXPECT_LT(fileSize(path), grown);
+
+    // The compacted journal still replays to the same image.
+    MetaJournal replayer(path, bytes);
+    const MetaJournal::ReplayResult res = replayer.replay();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.sram, rig.image);
+    std::remove(path.c_str());
+}
+
+TEST(MetaJournal, EmptyFlushAppendsNothing)
+{
+    const std::string path = tempFile("jrn3") + ".journal";
+    JournalRig rig(path, 128);
+    rig.journal.createFresh();
+    rig.arm();
+    rig.journal.checkpoint();
+    const std::uint64_t size = fileSize(path);
+    rig.journal.flush();
+    rig.journal.flush();
+    EXPECT_EQ(fileSize(path), size);
+    std::remove(path.c_str());
+}
+
+/**
+ * Property test: truncate the journal at *every* byte boundary in a
+ * sampled set.  Cutting inside the initial checkpoint must fail
+ * replay (nothing trustworthy yet); any later cut must succeed and
+ * land exactly on the state as of the last record that still fits.
+ */
+TEST(MetaJournal, ReplaySurvivesRandomTornTails)
+{
+    const std::string path = tempFile("jrn4") + ".journal";
+    constexpr std::uint64_t bytes = 128;
+    Rng rng(42);
+
+    // Build a journal of known record boundaries; snapshot the image
+    // at each boundary.
+    std::vector<std::uint64_t> boundaries; // file size after flush i
+    std::vector<std::vector<std::uint8_t>> states;
+    std::vector<std::uint8_t> full;
+    {
+        JournalRig rig(path, bytes);
+        rig.journal.createFresh();
+        rig.arm();
+        rig.journal.checkpoint();
+        boundaries.push_back(fileSize(path));
+        states.push_back(rig.image);
+        for (int i = 0; i < 30; ++i) {
+            const std::uint64_t addr = rng.below(bytes - 8);
+            std::uint8_t data[8];
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            rig.poke(addr, {data, 1 + rng.below(8)});
+            rig.journal.flush();
+            boundaries.push_back(fileSize(path));
+            states.push_back(rig.image);
+        }
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            full.push_back(static_cast<std::uint8_t>(c));
+        std::fclose(f);
+    }
+
+    const std::string cutPath = tempFile("jrn4cut") + ".journal";
+    auto writeCut = [&](std::uint64_t cut) {
+        std::FILE *f = std::fopen(cutPath.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(full.data(), 1, cut, f), cut);
+        std::fclose(f);
+    };
+
+    std::vector<std::uint64_t> cuts = boundaries; // exact boundaries
+    for (int i = 0; i < 60; ++i)                  // and torn middles
+        cuts.push_back(MetaJournal::headerBytes +
+                       rng.below(full.size() -
+                                 MetaJournal::headerBytes));
+
+    for (const std::uint64_t cut : cuts) {
+        writeCut(cut);
+        MetaJournal journal(cutPath, bytes);
+        const MetaJournal::ReplayResult res = journal.replay();
+        if (cut < boundaries[0]) {
+            // Inside the initial checkpoint: no trustworthy record.
+            EXPECT_FALSE(res.ok) << "cut " << cut;
+            continue;
+        }
+        ASSERT_TRUE(res.ok) << "cut " << cut << ": " << res.error;
+        // The last boundary <= cut decides the replayed state.
+        std::size_t last = 0;
+        while (last + 1 < boundaries.size() &&
+               boundaries[last + 1] <= cut)
+            ++last;
+        EXPECT_EQ(res.sram, states[last]) << "cut " << cut;
+        EXPECT_EQ(res.truncatedBytes, cut - boundaries[last])
+            << "cut " << cut;
+        EXPECT_EQ(fileSize(cutPath), boundaries[last])
+            << "truncation must persist, cut " << cut;
+    }
+    std::remove(path.c_str());
+    std::remove(cutPath.c_str());
+}
+
+TEST(MetaJournal, CorruptMiddleRecordStopsReplayThere)
+{
+    const std::string path = tempFile("jrn5") + ".journal";
+    constexpr std::uint64_t bytes = 64;
+    std::vector<std::uint64_t> boundaries;
+    std::vector<std::vector<std::uint8_t>> states;
+    {
+        JournalRig rig(path, bytes);
+        rig.journal.createFresh();
+        rig.arm();
+        rig.journal.checkpoint();
+        boundaries.push_back(fileSize(path));
+        states.push_back(rig.image);
+        for (std::uint8_t i = 1; i <= 4; ++i) {
+            const std::uint8_t v[] = {i, i, i};
+            rig.poke(i * 10u, v);
+            rig.journal.flush();
+            boundaries.push_back(fileSize(path));
+            states.push_back(rig.image);
+        }
+    }
+    // Flip one payload byte of record 3 (between boundaries 2 and 3):
+    // its CRC now fails, so replay keeps records 1-2 and truncates.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, static_cast<long>(boundaries[2]) + 14, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, static_cast<long>(boundaries[2]) + 14, SEEK_SET);
+        std::fputc(c ^ 0xFF, f);
+        std::fclose(f);
+    }
+    MetaJournal journal(path, bytes);
+    const MetaJournal::ReplayResult res = journal.replay();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.sram, states[2]);
+    EXPECT_EQ(fileSize(path), boundaries[2]);
+    std::remove(path.c_str());
+}
+
+// ---- differential twin: persistent vs anonymous ------------------
+
+EnvyConfig
+twinConfig()
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    return cfg;
+}
+
+TEST(PersistTwin, PersistentStoreMatchesAnonymousByteForByte)
+{
+    const std::string path = tempFile("twin.envy");
+    EnvyConfig anonCfg = twinConfig();
+    EnvyConfig persCfg = twinConfig();
+    persCfg.persistPath = path;
+
+    EnvyStore anon(anonCfg);
+    EnvyStore pers(persCfg);
+    ASSERT_TRUE(pers.persistent());
+    ASSERT_FALSE(anon.persistent());
+    EXPECT_TRUE(pers.persistReport().created);
+
+    Rng rng(7);
+    std::vector<std::uint8_t> data;
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t len = 1 + rng.below(200);
+        const std::uint64_t addr = rng.below(anon.size() - len);
+        data.resize(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        anon.write(addr, data);
+        pers.write(addr, data);
+    }
+
+    // Same bytes...
+    std::vector<std::uint8_t> a(4096), p(4096);
+    for (std::uint64_t off = 0; off < anon.size(); off += a.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(a.size(), anon.size() - off);
+        anon.read(off, {a.data(), n});
+        pers.read(off, {p.data(), n});
+        ASSERT_EQ(std::memcmp(a.data(), p.data(), n), 0)
+            << "offset " << off;
+    }
+    // ...and the same sparse shape: the mapped file materializes the
+    // same blocks the anonymous vectors would.
+    EXPECT_EQ(anon.flash().materializedBlocks(),
+              pers.flash().materializedBlocks());
+    cleanup(path);
+}
+
+TEST(PersistTwin, ReleaseParityAfterCleaning)
+{
+    const std::string path = tempFile("twinclean.envy");
+    // Small and over-subscribed so cleaning erases segments within a
+    // short run (erase = block release: anonymous buffers freed,
+    // persistent ranges hole-punched).
+    EnvyConfig anonCfg;
+    anonCfg.geom.pageSize = 64;
+    anonCfg.geom.blockBytes = 128;
+    anonCfg.geom.blocksPerChip = 4;
+    anonCfg.geom.numBanks = 2;
+    anonCfg.geom.logicalPages = 640;
+    anonCfg.geom.writeBufferPages = 16;
+    anonCfg.partitionSize = 4;
+    EnvyConfig persCfg = anonCfg;
+    persCfg.persistPath = path;
+
+    EnvyStore anon(anonCfg);
+    EnvyStore pers(persCfg);
+
+    // Hammer one hot quarter so segments are cleaned and erased —
+    // erases release blocks (anonymous: buffer freed; persistent:
+    // hole punched).  The materialized-block count must track.
+    Rng rng(11);
+    std::vector<std::uint8_t> data(64);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t addr =
+            rng.below(anon.size() / 4 - data.size());
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        anon.write(addr, data);
+        pers.write(addr, data);
+    }
+    EXPECT_EQ(anon.flash().materializedBlocks(),
+              pers.flash().materializedBlocks());
+    const obs::MetricsSnapshot snap = anon.metrics().snapshot();
+    const obs::MetricsSnapshot::Entry *released =
+        snap.find("flash.blocks_released");
+    ASSERT_NE(released, nullptr);
+    EXPECT_GT(released->value, 0u);
+    cleanup(path);
+}
+
+} // namespace
+} // namespace persist
+} // namespace envy

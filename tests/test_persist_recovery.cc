@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Restart-recovery tests: an EnvyStore with a persistPath must come
+ * back from an orderly shutdown, from SIGKILL (the fork-and-kill
+ * tests — real process death, not simulated), and from a torn
+ * journal tail, with every acknowledged write intact and a clean
+ * RecoveryReport.  The heavier many-crash-point sweep lives in
+ * tools/persist/crash_harness; these tests pin the core properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "envy/envy_store.hh"
+#include "faults/fault_injector.hh"
+#include "faults/invariant_checker.hh"
+#include "persist/backend.hh"
+#include "persist/persistent_store.hh"
+#include "sim/random.hh"
+
+namespace envy {
+namespace {
+
+std::string
+tempStore(const char *name)
+{
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+    std::remove((path + ".journal").c_str());
+    std::remove((path + ".journal.tmp").c_str());
+    return path;
+}
+
+void
+cleanup(const std::string &path)
+{
+    std::remove(path.c_str());
+    std::remove((path + ".journal").c_str());
+    std::remove((path + ".journal.tmp").c_str());
+}
+
+EnvyConfig
+persistConfig(const std::string &path)
+{
+    EnvyConfig cfg;
+    cfg.geom = Geometry::tiny();
+    cfg.persistPath = path;
+    return cfg;
+}
+
+/** Deterministic page-sized pattern for logical page @p p. */
+std::vector<std::uint8_t>
+patternPage(std::uint32_t page_size, std::uint64_t p,
+            std::uint64_t salt)
+{
+    std::vector<std::uint8_t> data(page_size);
+    Rng rng(p * 0x9E3779B97F4A7C15ull + salt);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+void
+expectCleanInvariants(EnvyStore &store)
+{
+    InvariantChecker::Options opts;
+    opts.expectNoShadows = true;
+    const InvariantReport inv = InvariantChecker::check(store, opts);
+    EXPECT_TRUE(inv.violations.empty())
+        << (inv.violations.empty() ? "" : inv.violations.front());
+}
+
+TEST(PersistRecovery, OrderlyShutdownRoundTrips)
+{
+    const std::string path = tempStore("orderly.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+    constexpr std::uint64_t npages = 40;
+    {
+        EnvyStore store(persistConfig(path));
+        EXPECT_TRUE(store.persistReport().created);
+        for (std::uint64_t p = 0; p < npages; ++p)
+            store.write(p * page, patternPage(page, p, 1));
+    }
+    {
+        EnvyStore store(persistConfig(path));
+        const persist::PersistReport &rep = store.persistReport();
+        EXPECT_FALSE(rep.created);
+        for (std::uint64_t p = 0; p < npages; ++p) {
+            std::vector<std::uint8_t> got(page);
+            store.read(p * page, got);
+            ASSERT_EQ(got, patternPage(page, p, 1)) << "page " << p;
+        }
+        expectCleanInvariants(store);
+
+        // The recovered store keeps working (and persisting).
+        store.write(0, patternPage(page, 999, 2));
+    }
+    {
+        EnvyStore store(persistConfig(path));
+        std::vector<std::uint8_t> got(page);
+        store.read(0, got);
+        EXPECT_EQ(got, patternPage(page, 999, 2));
+    }
+    cleanup(path);
+}
+
+TEST(PersistRecovery, OpenByPathDerivesTheConfig)
+{
+    const std::string path = tempStore("bypath.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+    EnvyConfig cfg = persistConfig(path);
+    cfg.wearThreshold = 55;
+    cfg.partitionSize = 8;
+    {
+        EnvyStore store(cfg);
+        store.write(3 * page, patternPage(page, 3, 9));
+    }
+    std::unique_ptr<EnvyStore> store =
+        persist::PersistentStore::open(path);
+    EXPECT_EQ(store->config().wearThreshold, 55u);
+    EXPECT_EQ(store->config().partitionSize, 8u);
+    EXPECT_EQ(store->config().persistPath, path);
+    std::vector<std::uint8_t> got(page);
+    store->read(3 * page, got);
+    EXPECT_EQ(got, patternPage(page, 3, 9));
+
+    std::string error;
+    EXPECT_EQ(persist::PersistentStore::tryOpen(
+                  tempStore("nosuch.envy"), error),
+              nullptr);
+    EXPECT_FALSE(error.empty());
+    cleanup(path);
+}
+
+/**
+ * Run @p child in a forked process and SIGKILL-or-exit as the child
+ * decides; the parent returns once the child is dead.  The child
+ * must end with _exit or raise(SIGKILL) — never return into gtest.
+ */
+template <typename Fn>
+void
+inForkedChild(Fn &&child)
+{
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        child();
+        _exit(0); // not reached when the child raises SIGKILL
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+}
+
+TEST(PersistRecovery, SigkillLosesNoAcknowledgedWrite)
+{
+    const std::string path = tempStore("sigkill.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+    constexpr std::uint64_t npages = 25;
+
+    inForkedChild([&] {
+        EnvyStore store(persistConfig(path));
+        // Each write is acknowledged once EnvyStore::write returns:
+        // opEnd appended the dirty SRAM to the journal with write(2),
+        // which survives process death.
+        for (std::uint64_t p = 0; p < npages; ++p)
+            store.write(p * page, patternPage(page, p, 3));
+        ::raise(SIGKILL); // no destructor, no checkpoint, no msync
+    });
+
+    std::unique_ptr<EnvyStore> store =
+        persist::PersistentStore::open(path);
+    EXPECT_FALSE(store->persistReport().created);
+    for (std::uint64_t p = 0; p < npages; ++p) {
+        std::vector<std::uint8_t> got(page);
+        store->read(p * page, got);
+        ASSERT_EQ(got, patternPage(page, p, 3)) << "page " << p;
+    }
+    expectCleanInvariants(*store);
+    cleanup(path);
+}
+
+TEST(PersistRecovery, SigkillDuringChurnKeepsEveryAckedWrite)
+{
+    const std::string path = tempStore("churnkill.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+
+    // The child overwrites pages in a deterministic sequence and
+    // SIGKILLs itself mid-churn.  Every page it completed before the
+    // kill must read back with its *latest* acknowledged pattern.
+    constexpr std::uint64_t totalOps = 600;
+    constexpr std::uint64_t killAfter = 451;
+    auto pageOf = [](std::uint64_t op) { return op % 37; };
+
+    inForkedChild([&] {
+        EnvyStore store(persistConfig(path));
+        for (std::uint64_t op = 0; op < totalOps; ++op) {
+            store.write(pageOf(op) * page,
+                        patternPage(page, pageOf(op), op));
+            if (op + 1 == killAfter)
+                ::raise(SIGKILL);
+        }
+    });
+
+    std::unique_ptr<EnvyStore> store =
+        persist::PersistentStore::open(path);
+    // Latest acknowledged op per page.
+    std::map<std::uint64_t, std::uint64_t> latest;
+    for (std::uint64_t op = 0; op < killAfter; ++op)
+        latest[pageOf(op)] = op;
+    for (const auto &[p, op] : latest) {
+        std::vector<std::uint8_t> got(page);
+        store->read(p * page, got);
+        ASSERT_EQ(got, patternPage(page, p, op)) << "page " << p;
+    }
+    expectCleanInvariants(*store);
+    cleanup(path);
+}
+
+TEST(PersistRecovery, TornJournalTailIsTruncatedAndSurvivable)
+{
+    const std::string path = tempStore("torn.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+    {
+        EnvyStore store(persistConfig(path));
+        for (std::uint64_t p = 0; p < 10; ++p)
+            store.write(p * page, patternPage(page, p, 5));
+    }
+    // A crash can tear the last journal append: simulate by writing
+    // half a record of garbage at the end.
+    {
+        std::FILE *f = std::fopen((path + ".journal").c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const std::uint8_t junk[] = {0x13, 0x00, 0x00, 0x00, 0x02,
+                                     0x01, 0x02, 0x03};
+        ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f),
+                  sizeof(junk));
+        std::fclose(f);
+    }
+    {
+        EnvyStore store(persistConfig(path));
+        EXPECT_GT(store.persistReport().journalBytesTruncated, 0u);
+        for (std::uint64_t p = 0; p < 10; ++p) {
+            std::vector<std::uint8_t> got(page);
+            store.read(p * page, got);
+            ASSERT_EQ(got, patternPage(page, p, 5)) << "page " << p;
+        }
+        expectCleanInvariants(store);
+    }
+    cleanup(path);
+}
+
+TEST(PersistRecovery, StaleCheckpointTempFileIsIgnored)
+{
+    const std::string path = tempStore("staletmp.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+    {
+        EnvyStore store(persistConfig(path));
+        store.write(0, patternPage(page, 0, 6));
+    }
+    // A crash between checkpoint-write and rename leaves a .tmp file;
+    // reopen must discard it and trust the real journal.
+    {
+        std::FILE *f =
+            std::fopen((path + ".journal.tmp").c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("half-written checkpoint", f);
+        std::fclose(f);
+    }
+    {
+        EnvyStore store(persistConfig(path));
+        std::vector<std::uint8_t> got(page);
+        store.read(0, got);
+        EXPECT_EQ(got, patternPage(page, 0, 6));
+    }
+    std::FILE *tmp = std::fopen((path + ".journal.tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr) << "stale checkpoint temp not removed";
+    if (tmp)
+        std::fclose(tmp);
+    cleanup(path);
+}
+
+TEST(PersistRecovery, WearRetirementAndSpecFailSurviveRestart)
+{
+    const std::string path = tempStore("wear.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+
+    std::vector<std::uint64_t> cycles;
+    std::uint64_t retiredTotal = 0;
+    bool sawSpecFail = false;
+    {
+        EnvyConfig cfg = persistConfig(path);
+        EnvyStore store(cfg);
+
+        // Deterministic device faults: some programs and one erase
+        // spec-fail, retiring slots and latching out-of-spec blocks.
+        FaultPlan plan;
+        plan.seed = 21;
+        plan.failProgramOps = {30, 75};
+        plan.failEraseOps = {2};
+        FaultInjector inj(plan);
+        inj.arm();
+        inj.attachFlash(store.flash());
+
+        Rng rng(13);
+        std::vector<std::uint8_t> data(page);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t addr =
+                rng.below(store.size() / 4 - page);
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            store.write(addr, data);
+        }
+        inj.disarm();
+
+        FlashArray &flash = store.flash();
+        for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
+            cycles.push_back(flash.eraseCycles(SegmentId(s)));
+            retiredTotal += flash.retiredCount(SegmentId(s)).value();
+        }
+        sawSpecFail = flash.outOfSpec();
+        EXPECT_GT(retiredTotal, 0u);
+        EXPECT_TRUE(sawSpecFail);
+    }
+    {
+        std::unique_ptr<EnvyStore> store =
+            persist::PersistentStore::open(path);
+        FlashArray &flash = store->flash();
+        std::uint64_t retiredAfter = 0;
+        for (std::uint32_t s = 0; s < flash.numSegments(); ++s) {
+            EXPECT_EQ(flash.eraseCycles(SegmentId(s)), cycles[s])
+                << "segment " << s;
+            retiredAfter += flash.retiredCount(SegmentId(s)).value();
+        }
+        EXPECT_EQ(retiredAfter, retiredTotal);
+        EXPECT_EQ(flash.outOfSpec(), sawSpecFail);
+        expectCleanInvariants(*store);
+    }
+    cleanup(path);
+}
+
+TEST(PersistRecovery, PowerFailAndRecoverStillWorksWhenPersistent)
+{
+    const std::string path = tempStore("powerfail.envy");
+    const std::uint32_t page = Geometry::tiny().pageSize;
+    EnvyStore store(persistConfig(path));
+    for (std::uint64_t p = 0; p < 8; ++p)
+        store.write(p * page, patternPage(page, p, 8));
+    const RecoveryReport rep = store.powerFailAndRecover();
+    (void)rep;
+    for (std::uint64_t p = 0; p < 8; ++p) {
+        std::vector<std::uint8_t> got(page);
+        store.read(p * page, got);
+        ASSERT_EQ(got, patternPage(page, p, 8)) << "page " << p;
+    }
+    expectCleanInvariants(store);
+    cleanup(path);
+}
+
+TEST(PersistRecoveryDeathTest, ForeignFileIsRejected)
+{
+    const std::string path = tempStore("foreign.envy");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::vector<std::uint8_t> junk(8192, 0x42);
+    std::fwrite(junk.data(), 1, junk.size(), f);
+    std::fclose(f);
+    EXPECT_DEATH(EnvyStore(persistConfig(path)), "");
+    cleanup(path);
+}
+
+} // namespace
+} // namespace envy

@@ -37,6 +37,12 @@ on the same line or the line directly above):
                           through the bank's bulk programPage fast
                           path; the bank's byte-at-a-time slow-path
                           oracle carries allow() comments
+  no-raw-mmap             no raw mmap/munmap/msync/fsync/fdatasync/
+                          fallocate/ftruncate outside src/persist/ —
+                          every mapping and durability syscall flows
+                          through the persistence subsystem so the
+                          ordering protocol of docs/PERSISTENCE.md is
+                          enforced in one place
 
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
 internal errors.
@@ -58,6 +64,7 @@ RULES = (
     "trace-event-unique",
     "trace-event-registered",
     "no-per-byte-page-loop",
+    "no-raw-mmap",
 )
 
 # Functions that mutate durable state (flash contents or the page
@@ -101,6 +108,12 @@ PER_BYTE_EXEMPT = (
     os.path.join("src", "flash", "flash_chip.hh"),
     os.path.join("src", "flash", "flash_chip.cc"),
 )
+RAW_MMAP = re.compile(
+    r"\b(?:mmap|munmap|msync|fsync|fdatasync|fallocate|ftruncate)"
+    r"\s*\(")
+# Durability syscalls live in src/persist/ only, so the ordering
+# arguments of docs/PERSISTENCE.md are made in exactly one place.
+MMAP_EXEMPT_PREFIX = os.path.join("src", "persist") + os.sep
 ALLOW = re.compile(r"//\s*envy-lint:\s*allow\(([a-z-]+)\)\s*\S")
 
 
@@ -185,6 +198,7 @@ class Linter:
             self.check_typed_params(src)
             self.check_naked_thread(src)
             self.check_per_byte_page(src)
+            self.check_raw_mmap(src)
         for relpath in MUTATION_FILES:
             for src in sources:
                 if src.relpath == relpath:
@@ -354,6 +368,18 @@ class Linter:
                     "page data moves through FlashBank::programPage "
                     "(the bank's slow-path oracle is allow()-listed)")
 
+    def check_raw_mmap(self, src):
+        if src.relpath.startswith(MMAP_EXEMPT_PREFIX):
+            return
+        for num, line in enumerate(src.stripped, 1):
+            m = RAW_MMAP.search(line)
+            if m:
+                self.report(
+                    src, num, "no-raw-mmap",
+                    f"'{m.group(0).strip()}' outside src/persist/ — "
+                    "mapping and durability syscalls go through the "
+                    "persistence subsystem (docs/PERSISTENCE.md)")
+
 
 def source_files(root):
     files = []
@@ -382,6 +408,7 @@ void f(std::uint64_t page, std::uint32_t slot) {
     ENVY_TRACE("bogus.trace.event", obs::tv("n", 1));
     ENVY_TRACE("bogus.trace.event", obs::tv("n", 2));
     std::thread worker([] {});
+    void *m = ::mmap(nullptr, 4096, PROT_READ, MAP_SHARED, fd, 0);
     for (std::uint32_t j = 0; j < n; ++j) {
         chip.writeCommand(FlashCmd::ProgramSetup);
         chip.programByte(addr + j, data[j]);
@@ -400,6 +427,7 @@ SELF_TEST_EXPECT = (
     "trace-event-unique",
     "trace-event-registered",
     "no-per-byte-page-loop",
+    "no-raw-mmap",
 )
 
 

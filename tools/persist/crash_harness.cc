@@ -1,0 +1,838 @@
+/**
+ * @file
+ * Restart-recovery crash harness (docs/PERSISTENCE.md).
+ *
+ * The in-process CrashPointExplorer models power loss as an
+ * exception; this harness tests the persistence subsystem against
+ * *real* process death.  For every scheduled (crash point,
+ * occurrence) pair it forks a child that runs a deterministic
+ * workload against a persistent store and SIGKILLs itself at exactly
+ * that instant.  The parent then reopens the store by path — journal
+ * replay, flash-metadata restore, shadow-sweep recovery — and
+ * verifies that not one acknowledged operation was lost:
+ *
+ *  - churn: every page matches the reference model replayed from the
+ *    ack log; pages touched by the one in-flight operation may hold
+ *    any intermediate image of that operation (pre, post, or a
+ *    mid-transaction value that the shadow sweep resolved);
+ *  - tpca: every account/teller/branch balance matches the completed
+ *    debit/credit transactions, the interrupted transaction's three
+ *    records each independently pre or post;
+ *  - always: InvariantChecker passes on the recovered store, and for
+ *    churn an aftershock workload runs and verifies exactly.
+ *
+ * Acknowledgement = the child appended the op ordinal to an ack log
+ * with write(2) after EnvyStore::persistFlush() returned; both the
+ * completed write and the journal bytes it relies on survive SIGKILL
+ * by construction.  The schedule is derived from a probe run (same
+ * binary, same seed, counting sink instead of a kill sink), sampling
+ * occurrences of every reachable crash point — including the
+ * persist.* points inside journal flush and checkpoint rename.
+ *
+ * Exit status 0 when every case passes, 1 otherwise.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "db/tpca_db.hh"
+#include "envy/envy_store.hh"
+#include "envysim/crash_explorer.hh"
+#include "faults/crash_point.hh"
+#include "faults/invariant_checker.hh"
+#include "persist/persistent_store.hh"
+#include "sim/random.hh"
+#include "txn/shadow.hh"
+
+namespace envy {
+namespace {
+
+// ---- options -----------------------------------------------------
+
+struct Options
+{
+    std::string dir;
+    std::uint64_t seed = 1;
+    std::uint64_t ops = 220;
+    std::uint64_t minCases = 100; //!< across both workloads
+    bool verbose = false;
+};
+
+// ---- crash-point sinks -------------------------------------------
+
+/** Probe phase: record how often every point fires. */
+class CountingSink final : public CrashSink
+{
+  public:
+    void onCrashPoint(const char *name) override
+    {
+        ++counts[name];
+    }
+    std::map<std::string, std::uint64_t> counts;
+};
+
+/** Case phase: SIGKILL the process at one exact instant. */
+class KillSink final : public CrashSink
+{
+  public:
+    KillSink(std::string point, std::uint64_t occurrence)
+        : point_(std::move(point)), occurrence_(occurrence)
+    {
+    }
+
+    void onCrashPoint(const char *name) override
+    {
+        if (point_ == name && ++count_ == occurrence_)
+            ::raise(SIGKILL); // no unwinding, no destructors
+    }
+
+  private:
+    std::string point_;
+    std::uint64_t occurrence_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+// ---- ack log -----------------------------------------------------
+
+/**
+ * Append-only log of acknowledged op ordinals.  An 8-byte record is
+ * written with one write(2) call; a record present in the file is an
+ * operation the store must not lose.
+ */
+class AckLog
+{
+  public:
+    static void
+    append(int fd, std::uint64_t value)
+    {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(value >> (8 * i));
+        if (::write(fd, b, 8) != 8) {
+            std::fprintf(stderr, "ack log write failed\n");
+            ::_exit(3);
+        }
+    }
+
+    /** Highest acknowledged value, 0 if the log is empty. */
+    static std::uint64_t
+    lastAck(const std::string &path)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            return 0;
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        const long records = size / 8;
+        std::uint64_t last = 0;
+        if (records > 0) {
+            std::fseek(f, (records - 1) * 8, SEEK_SET);
+            std::uint8_t b[8];
+            if (std::fread(b, 1, 8, f) == 8) {
+                for (int i = 7; i >= 0; --i)
+                    last = (last << 8) | b[i];
+            }
+        }
+        std::fclose(f);
+        return last;
+    }
+};
+
+// ---- deterministic workload scripts ------------------------------
+
+/**
+ * One churn operation, fully generated (RNG consumed) before any of
+ * it executes, so the verifying parent regenerates the identical
+ * sequence from the seed alone.
+ */
+struct ChurnOp
+{
+    struct W
+    {
+        std::uint64_t addr;
+        std::vector<std::uint8_t> data;
+    };
+    std::vector<W> writes; //!< one for a plain write
+    bool isTxn = false;
+    bool aborts = false;
+};
+
+class ChurnScript
+{
+  public:
+    ChurnScript(std::uint64_t seed, std::uint64_t store_size,
+                std::uint32_t page_size)
+        : rng_(seed ^ 0x636875726E000000ull), size_(store_size),
+          pageSize_(page_size)
+    {
+    }
+
+    ChurnOp
+    next()
+    {
+        ChurnOp op;
+        op.isTxn = rng_.chance(0.25);
+        const std::uint64_t writes = op.isTxn ? 1 + rng_.below(3) : 1;
+        for (std::uint64_t w = 0; w < writes; ++w) {
+            ChurnOp::W write;
+            write.addr = rng_.chance(0.7) ? rng_.below(size_ / 4)
+                                          : rng_.below(size_);
+            std::uint64_t len = rng_.between(1, 2 * pageSize_);
+            len = std::min<std::uint64_t>(len, size_ - write.addr);
+            write.data.resize(len);
+            for (auto &b : write.data)
+                b = static_cast<std::uint8_t>(rng_.next());
+            op.writes.push_back(std::move(write));
+        }
+        op.aborts = op.isTxn && rng_.chance(0.4);
+        return op;
+    }
+
+  private:
+    Rng rng_;
+    std::uint64_t size_;
+    std::uint32_t pageSize_;
+};
+
+/** TPC-A parameters shared by child and verifying parent. */
+TpcaDatabase::Params
+tpcaParams(std::uint32_t page_size)
+{
+    TpcaDatabase::Params p;
+    p.accounts = 200;
+    p.accountsPerTeller = 50;
+    p.tellersPerBranch = 2;
+    p.recordBytes = page_size; // record updates are page-atomic
+    return p;
+}
+
+struct TpcaOp
+{
+    std::uint64_t account;
+    std::int64_t amount;
+};
+
+class TpcaScript
+{
+  public:
+    explicit TpcaScript(std::uint64_t seed)
+        : rng_(seed ^ 0x7470636100000000ull)
+    {
+    }
+
+    TpcaOp
+    next(std::uint64_t accounts)
+    {
+        const std::uint64_t a = rng_.below(accounts);
+        const std::int64_t amount =
+            static_cast<std::int64_t>(rng_.between(1, 500)) - 250;
+        return {a, amount};
+    }
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * The record-table layout TpcaDatabase computes in its constructor,
+ * replicated so the parent can read balances off a recovered store
+ * without constructing a TpcaDatabase (whose constructor reloads the
+ * database, destroying the very state under test).
+ */
+struct TpcaLayout
+{
+    explicit TpcaLayout(const TpcaDatabase::Params &p)
+    {
+        tellers = (p.accounts + p.accountsPerTeller - 1) /
+                  p.accountsPerTeller;
+        branches = (tellers + p.tellersPerBranch - 1) /
+                   p.tellersPerBranch;
+        rb = p.recordBytes;
+        branchBase = 64;
+        tellerBase = branchBase + branches * rb;
+        accountBase = tellerBase + tellers * rb;
+    }
+
+    std::int64_t
+    balance(EnvyStore &store, std::uint64_t base,
+            std::uint64_t id) const
+    {
+        return static_cast<std::int64_t>(
+            store.readU64(base + id * rb));
+    }
+
+    std::uint64_t tellers = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t rb = 0;
+    std::uint64_t branchBase = 0;
+    std::uint64_t tellerBase = 0;
+    std::uint64_t accountBase = 0;
+};
+
+// ---- store/dir plumbing ------------------------------------------
+
+enum class Workload
+{
+    Churn,
+    Tpca,
+};
+
+const char *
+workloadName(Workload w)
+{
+    return w == Workload::Churn ? "churn" : "tpca";
+}
+
+EnvyConfig
+storeConfig(Workload w, const std::string &path)
+{
+    EnvyConfig cfg = w == Workload::Churn
+                         ? CrashExplorerConfig::churnStore()
+                         : CrashExplorerConfig::tpcaStore();
+    cfg.persistPath = path;
+    return cfg;
+}
+
+struct CasePaths
+{
+    std::string store;
+    std::string acks;
+};
+
+CasePaths
+casePaths(const Options &opt, Workload w)
+{
+    CasePaths p;
+    p.store = opt.dir + "/" + workloadName(w) + ".envy";
+    p.acks = opt.dir + "/" + workloadName(w) + ".acks";
+    return p;
+}
+
+void
+removeCaseFiles(const CasePaths &p)
+{
+    std::remove(p.store.c_str());
+    std::remove((p.store + ".journal").c_str());
+    std::remove((p.store + ".journal.tmp").c_str());
+    std::remove(p.acks.c_str());
+}
+
+// ---- the child: run the workload, die on schedule ----------------
+
+/**
+ * Runs in the forked child (and, with a counting sink and no ack
+ * fd, in the parent's probe phase).  Never returns control flow to
+ * gtest-style cleanup: the child is killed by its sink or _exits.
+ *
+ * Ack protocol: value 1 is "store + database ready", value i + 2 is
+ * "op i completed"; persistFlush runs before every ack so the
+ * acknowledged state is journal-durable.
+ */
+void
+runWorkload(Workload w, const Options &opt, const CasePaths &paths,
+            int ack_fd)
+{
+    auto ack = [&](std::uint64_t value) {
+        if (ack_fd >= 0)
+            AckLog::append(ack_fd, value);
+    };
+
+    EnvyStore store(storeConfig(w, paths.store));
+    ShadowManager txns(store);
+
+    if (w == Workload::Churn) {
+        store.persistFlush();
+        ack(1);
+        ChurnScript script(opt.seed, store.size(),
+                           store.config().geom.pageSize);
+        for (std::uint64_t i = 0; i < opt.ops; ++i) {
+            const ChurnOp op = script.next();
+            if (!op.isTxn) {
+                store.write(op.writes[0].addr, op.writes[0].data);
+            } else {
+                const ShadowManager::TxnId id = txns.begin();
+                for (const ChurnOp::W &wr : op.writes)
+                    txns.write(id, wr.addr, wr.data);
+                if (op.aborts)
+                    txns.abort(id);
+                else
+                    txns.commit(id);
+            }
+            store.persistFlush();
+            ack(i + 2);
+        }
+    } else {
+        TpcaDatabase db(store,
+                        tpcaParams(store.config().geom.pageSize));
+        store.persistFlush();
+        ack(1);
+        TpcaScript script(opt.seed);
+        for (std::uint64_t i = 0; i < opt.ops; ++i) {
+            const TpcaOp op = script.next(db.accounts());
+            db.runAtomic(txns, op.account, op.amount);
+            store.persistFlush();
+            ack(i + 2);
+        }
+    }
+}
+
+// ---- the parent: reopen, verify ----------------------------------
+
+struct CaseResult
+{
+    std::string point;
+    std::uint64_t occurrence = 0;
+    bool killed = false;
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::string out;
+    char buf[64];
+    auto add = [&](const auto &v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_arithmetic_v<T>) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(v));
+            out += buf;
+        } else {
+            out += v;
+        }
+    };
+    (add(args), ...);
+    return out;
+}
+
+void
+checkInvariants(EnvyStore &store, std::vector<std::string> &out)
+{
+    InvariantChecker::Options opts;
+    opts.expectNoShadows = true; // recovery sweeps every shadow
+    const InvariantReport inv = InvariantChecker::check(store, opts);
+    out.insert(out.end(), inv.violations.begin(),
+               inv.violations.end());
+}
+
+void
+verifyChurn(EnvyStore &store, const Options &opt,
+            std::uint64_t last_ack, std::vector<std::string> &out)
+{
+    const std::uint32_t pageSize = store.config().geom.pageSize;
+    const std::uint64_t size = store.size();
+
+    // Replay the acknowledged prefix into a reference model; collect
+    // the allowed images of every page the in-flight op touched.
+    std::vector<std::uint8_t> model(size, 0);
+    ChurnScript script(opt.seed, size, pageSize);
+    // Ack 1 is "ready", ack i+2 is "op i done".
+    const std::uint64_t completed = last_ack >= 2 ? last_ack - 1 : 0;
+    for (std::uint64_t i = 0; i < completed; ++i) {
+        const ChurnOp op = script.next();
+        if (op.isTxn && op.aborts)
+            continue; // net no-op
+        for (const ChurnOp::W &w : op.writes)
+            std::copy(w.data.begin(), w.data.end(),
+                      model.begin() +
+                          static_cast<std::ptrdiff_t>(w.addr));
+    }
+
+    // The in-flight op (if any op remained) may have left each of
+    // its pages at any stage it passed through: initial, after any
+    // of its writes, or (abort) restored to initial again.
+    std::map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
+        alts;
+    if (completed < opt.ops) {
+        const ChurnOp op = script.next();
+        std::vector<std::uint8_t> scratch = model;
+        auto capture = [&](std::uint64_t page) {
+            const auto begin =
+                scratch.begin() +
+                static_cast<std::ptrdiff_t>(page * pageSize);
+            std::vector<std::uint8_t> img(begin, begin + pageSize);
+            auto &list = alts[page];
+            if (std::find(list.begin(), list.end(), img) ==
+                list.end())
+                list.push_back(std::move(img));
+        };
+        for (const ChurnOp::W &w : op.writes) {
+            const std::uint64_t first = w.addr / pageSize;
+            const std::uint64_t last =
+                (w.addr + w.data.size() - 1) / pageSize;
+            for (std::uint64_t p = first; p <= last; ++p)
+                capture(p); // image before this write
+            std::copy(w.data.begin(), w.data.end(),
+                      scratch.begin() +
+                          static_cast<std::ptrdiff_t>(w.addr));
+            for (std::uint64_t p = first; p <= last; ++p)
+                capture(p); // image after this write
+        }
+    }
+
+    std::vector<std::uint8_t> got(pageSize);
+    const std::uint64_t npages = size / pageSize;
+    for (std::uint64_t p = 0; p < npages; ++p) {
+        store.read(p * pageSize, got);
+        const auto it = alts.find(p);
+        if (it != alts.end()) {
+            bool any = false;
+            for (const auto &img : it->second)
+                any = any || std::equal(got.begin(), got.end(),
+                                        img.begin());
+            if (!any) {
+                out.push_back(format(
+                    "page ", p, " matches no image of the in-flight "
+                    "operation"));
+            }
+            // Adopt whatever recovery resolved to, for the
+            // aftershock's exact verification.
+            std::copy(got.begin(), got.end(),
+                      model.begin() +
+                          static_cast<std::ptrdiff_t>(p * pageSize));
+        } else if (!std::equal(got.begin(), got.end(),
+                               model.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       p * pageSize))) {
+            out.push_back(
+                format("page ", p, " lost an acknowledged write"));
+        }
+        if (out.size() > 5)
+            return; // enough evidence
+    }
+
+    // Aftershock: the recovered store must keep working.
+    Rng rng(opt.seed ^ 0xAF7E25A5A5A5A5A5ull);
+    std::vector<std::uint8_t> data;
+    for (int i = 0; i < 32; ++i) {
+        const std::uint64_t len = 1 + rng.below(2 * pageSize);
+        const std::uint64_t addr = rng.below(size - len);
+        data.resize(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        store.write(addr, data);
+        std::copy(data.begin(), data.end(),
+                  model.begin() + static_cast<std::ptrdiff_t>(addr));
+    }
+    for (std::uint64_t p = 0; p < npages; ++p) {
+        store.read(p * pageSize, got);
+        if (!std::equal(got.begin(), got.end(),
+                        model.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                p * pageSize))) {
+            out.push_back(
+                format("page ", p, " diverged after the aftershock"));
+            return;
+        }
+    }
+}
+
+void
+verifyTpca(EnvyStore &store, const Options &opt,
+           std::uint64_t last_ack, std::vector<std::string> &out)
+{
+    const TpcaDatabase::Params params =
+        tpcaParams(store.config().geom.pageSize);
+    const TpcaLayout layout(params);
+
+    // Balance model from the acknowledged prefix.
+    std::vector<std::int64_t> acct(params.accounts,
+                                   params.initialBalance);
+    std::vector<std::int64_t> tell(layout.tellers, 0);
+    std::vector<std::int64_t> brch(layout.branches, 0);
+    auto tellerOf = [&](std::uint64_t a) {
+        return a / params.accountsPerTeller;
+    };
+    auto branchOf = [&](std::uint64_t t) {
+        return t / params.tellersPerBranch;
+    };
+
+    TpcaScript script(opt.seed);
+    const std::uint64_t completed = last_ack >= 2 ? last_ack - 1 : 0;
+    for (std::uint64_t i = 0; i < completed; ++i) {
+        const TpcaOp op = script.next(params.accounts);
+        acct[op.account] += op.amount;
+        tell[tellerOf(op.account)] += op.amount;
+        brch[branchOf(tellerOf(op.account))] += op.amount;
+    }
+
+    // The interrupted transaction (record-level either-or: the
+    // shadow sweep neither completes nor rolls back a torn txn).
+    bool pending = completed < opt.ops;
+    TpcaOp inflight{0, 0};
+    if (pending)
+        inflight = script.next(params.accounts);
+
+    auto check = [&](const char *kind, std::uint64_t base,
+                     std::uint64_t id, std::int64_t want,
+                     bool either_or) {
+        const std::int64_t got = layout.balance(store, base, id);
+        if (got == want)
+            return;
+        if (either_or && got == want + inflight.amount)
+            return;
+        out.push_back(format(kind, " ", id, " balance ", got,
+                             " != expected ", want));
+    };
+    for (std::uint64_t a = 0; a < params.accounts; ++a) {
+        check("account", layout.accountBase, a, acct[a],
+              pending && a == inflight.account);
+    }
+    for (std::uint64_t t = 0; t < layout.tellers; ++t) {
+        check("teller", layout.tellerBase, t, tell[t],
+              pending && t == tellerOf(inflight.account));
+    }
+    for (std::uint64_t b = 0; b < layout.branches; ++b) {
+        check("branch", layout.branchBase, b, brch[b],
+              pending && b == branchOf(tellerOf(inflight.account)));
+    }
+}
+
+CaseResult
+runCase(Workload w, const Options &opt, const std::string &point,
+        std::uint64_t occurrence)
+{
+    CaseResult cr;
+    cr.point = point;
+    cr.occurrence = occurrence;
+
+    const CasePaths paths = casePaths(opt, w);
+    removeCaseFiles(paths);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        cr.violations.push_back("fork failed");
+        return cr;
+    }
+    if (pid == 0) {
+        const int ack_fd =
+            ::open(paths.acks.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+        if (ack_fd < 0)
+            ::_exit(3);
+        KillSink sink(point, occurrence);
+        crash_points::setSink(&sink);
+        runWorkload(w, opt, paths, ack_fd);
+        // The planned point never fired: exit without running the
+        // store's destructor, leaving exactly the journal-flushed
+        // state a kill would have (status 2 tells the parent).
+        ::_exit(2);
+    }
+
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+        cr.violations.push_back("waitpid failed");
+        return cr;
+    }
+    cr.killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool finished = WIFEXITED(status) &&
+                          WEXITSTATUS(status) == 2;
+    if (!cr.killed && !finished) {
+        cr.violations.push_back(format(
+            "child ended unexpectedly (status ", status, ")"));
+        return cr;
+    }
+    if (finished) {
+        // The schedule came from the probe run of the same binary,
+        // so a planned kill that never fires is a determinism bug.
+        cr.violations.push_back("planned crash point never fired");
+        return cr;
+    }
+
+    const std::uint64_t lastAck = AckLog::lastAck(paths.acks);
+
+    std::string error;
+    std::unique_ptr<EnvyStore> store =
+        persist::PersistentStore::tryOpen(paths.store, error);
+    if (!store) {
+        // Killed before the store finished creation: fine only if
+        // nothing was ever acknowledged.
+        if (lastAck != 0) {
+            cr.violations.push_back(format(
+                "store unopenable (", error, ") after ack ",
+                lastAck));
+        }
+        removeCaseFiles(paths);
+        return cr;
+    }
+
+    checkInvariants(*store, cr.violations);
+    if (lastAck >= 1) {
+        // Database/setup acked; ops 0..lastAck-2 completed.
+        if (w == Workload::Churn)
+            verifyChurn(*store, opt, lastAck, cr.violations);
+        else
+            verifyTpca(*store, opt, lastAck, cr.violations);
+    }
+    store.reset();
+    removeCaseFiles(paths);
+    return cr;
+}
+
+// ---- schedule ----------------------------------------------------
+
+std::map<std::string, std::uint64_t>
+probe(Workload w, const Options &opt)
+{
+    const CasePaths paths = casePaths(opt, w);
+    removeCaseFiles(paths);
+    CountingSink sink;
+    CrashSink *prev = crash_points::setSink(&sink);
+    runWorkload(w, opt, paths, -1);
+    crash_points::setSink(prev);
+    removeCaseFiles(paths);
+    return sink.counts;
+}
+
+/**
+ * Pick (point, occurrence) pairs: always the first and last
+ * occurrence of every reached point, then seeded-random middles,
+ * round-robin across points, until @p want_cases cases exist (or
+ * every occurrence of every point is already scheduled).
+ */
+std::vector<std::pair<std::string, std::uint64_t>>
+schedule(const std::map<std::string, std::uint64_t> &hits,
+         std::uint64_t want_cases, std::uint64_t seed)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    if (hits.empty())
+        return out;
+    Rng pick(seed ^ 0xC3A5C85C97CB3127ull);
+    std::map<std::string, std::set<std::uint64_t>> chosen;
+    std::uint64_t total = 0;
+    for (const auto &[point, count] : hits) {
+        auto &s = chosen[point];
+        s.insert(1);
+        s.insert(count);
+        total += s.size();
+    }
+    bool progress = true;
+    while (total < want_cases && progress) {
+        progress = false;
+        for (const auto &[point, count] : hits) {
+            auto &s = chosen[point];
+            if (s.size() >= count)
+                continue;
+            std::uint64_t occ;
+            do {
+                occ = pick.between(1, count);
+            } while (s.count(occ));
+            s.insert(occ);
+            ++total;
+            progress = true;
+            if (total >= want_cases)
+                break;
+        }
+    }
+    for (const auto &[point, occs] : chosen)
+        for (const std::uint64_t occ : occs)
+            out.emplace_back(point, occ);
+    return out;
+}
+
+int
+run(const Options &opt)
+{
+    std::uint64_t cases = 0, failures = 0, kills = 0;
+    for (const Workload w : {Workload::Churn, Workload::Tpca}) {
+        const auto hits = probe(w, opt);
+        const auto plan =
+            schedule(hits, (opt.minCases + 1) / 2, opt.seed);
+        std::printf("[%s] %zu crash points reachable, %zu cases\n",
+                    workloadName(w), hits.size(), plan.size());
+        for (const auto &[point, occ] : plan) {
+            const CaseResult cr = runCase(w, opt, point, occ);
+            ++cases;
+            if (cr.killed)
+                ++kills;
+            if (!cr.ok()) {
+                ++failures;
+                std::printf("FAIL [%s] %s occurrence %llu: %s\n",
+                            workloadName(w), cr.point.c_str(),
+                            static_cast<unsigned long long>(
+                                cr.occurrence),
+                            cr.violations.front().c_str());
+            } else if (opt.verbose) {
+                std::printf("ok   [%s] %s occurrence %llu\n",
+                            workloadName(w), cr.point.c_str(),
+                            static_cast<unsigned long long>(
+                                cr.occurrence));
+            }
+        }
+    }
+    std::printf("crash-harness: %llu cases, %llu SIGKILLs, "
+                "%llu failures\n",
+                static_cast<unsigned long long>(cases),
+                static_cast<unsigned long long>(kills),
+                static_cast<unsigned long long>(failures));
+    if (cases < opt.minCases) {
+        std::printf("crash-harness: FAIL (needed at least %llu "
+                    "cases)\n",
+                    static_cast<unsigned long long>(opt.minCases));
+        return 1;
+    }
+    std::printf("crash-harness: %s\n", failures ? "FAIL" : "PASS");
+    return failures ? 1 : 0;
+}
+
+} // namespace
+} // namespace envy
+
+int
+main(int argc, char **argv)
+{
+    envy::Options opt;
+    opt.dir = "/tmp";
+    if (const char *tmp = std::getenv("TMPDIR"))
+        opt.dir = tmp;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--dir") {
+            opt.dir = value();
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(value());
+        } else if (arg == "--ops") {
+            opt.ops = std::stoull(value());
+        } else if (arg == "--cases") {
+            opt.minCases = std::stoull(value());
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: crash_harness [--dir DIR] [--seed N] "
+                "[--ops N] [--cases N] [--verbose]\n");
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+    return envy::run(opt);
+}

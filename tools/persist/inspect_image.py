@@ -1,0 +1,443 @@
+#!/usr/bin/env python3
+"""inspect_image: dump a persistent eNVy store file and its journal.
+
+Reads the on-disk formats of docs/PERSISTENCE.md — superblock,
+per-segment flash metadata, block-materialization bitmap, and the
+`<store>.journal` write-ahead record stream — verifies every checksum
+(CRC-32, zlib polynomial, matching src/persist), and prints one JSON
+document with schema id "envy-persist-inspect-v1".
+
+    inspect_image.py STORE [--segments] [--journal]
+    inspect_image.py --self-test
+
+Exit status: 0 when the store is a valid eNVy store (or --self-test
+passes), 1 otherwise.  A torn journal tail is *not* an error — a crash
+mid-append is the expected case the format is designed around — but it
+is reported, and the replay stops exactly where MetaJournal::replay()
+would.
+"""
+
+import argparse
+import json
+import os
+import struct
+import sys
+import tempfile
+import zlib
+
+SCHEMA = "envy-persist-inspect-v1"
+
+# ---- store file layout (src/persist/store_file.cc) -----------------
+
+STORE_MAGIC = b"ENVYPST1"
+STORE_VERSION = 1
+SUPER_BYTES = 4096
+CRC_FIELD_OFF = 184
+
+PARAM_FIELDS = [
+    ("pageSize", 24), ("blockBytes", 32), ("blocksPerChip", 40),
+    ("numBanks", 48), ("logicalPages", 56), ("writeBufferPages", 64),
+    ("storeData", 72), ("policy", 80), ("partitionSize", 88),
+    ("bufferThreshold", 96), ("wearThreshold", 104), ("tlbSize", 112),
+    ("autoDrain", 120), ("sramBytes", 128),
+]
+LAYOUT_FIELDS = [
+    ("metaOff", 136), ("metaStride", 144), ("bitmapOff", 152),
+    ("dataOff", 160), ("blockDataBytes", 168), ("fileBytes", 176),
+]
+
+SEG_WRITE_PTR_OFF = 0   # u32
+SEG_SPEC_FAILED_OFF = 4  # u8
+SEG_CYCLES_OFF = 8       # u64
+SEG_OWNERS_OFF = 16      # u32 per slot, stored bitwise-NOT
+
+OWNER_DEAD = 0xFFFFFFFF
+OWNER_SHADOW = 0xFFFFFFFE
+
+# ---- journal layout (src/persist/meta_journal.cc) ------------------
+
+JOURNAL_MAGIC = b"ENVYJRN1"
+JOURNAL_HEADER_BYTES = 16
+REC_CHECKPOINT = 1
+REC_SRAM_WRITE = 2
+RECORD_OVERHEAD = 17  # len(4) + type(1) + seq(8) + crc(4)
+
+
+def u64(buf, off):
+    return struct.unpack_from("<Q", buf, off)[0]
+
+
+def u32(buf, off):
+    return struct.unpack_from("<I", buf, off)[0]
+
+
+# ---- store file ----------------------------------------------------
+
+def inspect_store(path, want_segments):
+    """Parse the store file at `path` into a report dict."""
+    out = {"path": path, "state": "missing"}
+    try:
+        with open(path, "rb") as f:
+            sb = f.read(SUPER_BYTES)
+    except OSError as e:
+        out["error"] = str(e)
+        return out
+    if len(sb) == 0:
+        return out  # empty file: fresh, same as classify()
+    if len(sb) < SUPER_BYTES or sb[:8] != STORE_MAGIC:
+        out["state"] = "foreign"
+        out["error"] = "not an eNVy store file"
+        return out
+
+    out["version"] = u64(sb, 8)
+    if out["version"] != STORE_VERSION:
+        out["state"] = "foreign"
+        out["error"] = "unsupported version %d" % out["version"]
+        return out
+
+    out["crcOk"] = zlib.crc32(sb[:CRC_FIELD_OFF]) == u64(sb, CRC_FIELD_OFF)
+    if not out["crcOk"]:
+        out["state"] = "foreign"
+        out["error"] = "superblock checksum mismatch"
+        return out
+
+    out["state"] = "valid" if u64(sb, 16) & 1 else "unfinished"
+    out["params"] = {name: u64(sb, off) for name, off in PARAM_FIELDS}
+    out["layout"] = {name: u64(sb, off) for name, off in LAYOUT_FIELDS}
+
+    p, lay = out["params"], out["layout"]
+    num_segments = p["numBanks"] * p["blocksPerChip"]
+    pages_per_segment = p["blockBytes"]
+    st = os.stat(path)
+    out["fileBytes"] = st.st_size
+    out["allocatedBytes"] = st.st_blocks * 512  # sparseness at a glance
+
+    summary = {"live": 0, "dead": 0, "shadow": 0, "retired": 0,
+               "maxEraseCycles": 0, "totalEraseCycles": 0,
+               "specFailedSegments": 0}
+    segments = []
+    with open(path, "rb") as f:
+        for s in range(num_segments):
+            f.seek(lay["metaOff"] + s * lay["metaStride"])
+            meta = f.read(lay["metaStride"])
+            write_ptr = u32(meta, SEG_WRITE_PTR_OFF)
+            seg = {
+                "segment": s,
+                "writePtr": write_ptr,
+                "specFailed": meta[SEG_SPEC_FAILED_OFF] != 0,
+                "eraseCycles": u64(meta, SEG_CYCLES_OFF),
+                "live": 0, "dead": 0, "shadow": 0,
+                "retiredUsed": 0, "retiredAhead": 0,
+            }
+            retired_off = SEG_OWNERS_OFF + 4 * pages_per_segment
+            for slot in range(pages_per_segment):
+                retired = meta[retired_off + slot] != 0
+                if retired:
+                    key = ("retiredUsed" if slot < write_ptr
+                           else "retiredAhead")
+                    seg[key] += 1
+                    continue
+                if slot >= write_ptr:
+                    continue  # erased region
+                # Owners are stored bitwise-NOT so holes decode dead.
+                owner = ~u32(meta, SEG_OWNERS_OFF + 4 * slot) & 0xFFFFFFFF
+                if owner == OWNER_DEAD:
+                    seg["dead"] += 1
+                elif owner == OWNER_SHADOW:
+                    seg["shadow"] += 1
+                else:
+                    seg["live"] += 1
+            summary["live"] += seg["live"]
+            summary["dead"] += seg["dead"]
+            summary["shadow"] += seg["shadow"]
+            summary["retired"] += seg["retiredUsed"] + seg["retiredAhead"]
+            summary["maxEraseCycles"] = max(summary["maxEraseCycles"],
+                                            seg["eraseCycles"])
+            summary["totalEraseCycles"] += seg["eraseCycles"]
+            summary["specFailedSegments"] += 1 if seg["specFailed"] else 0
+            segments.append(seg)
+
+        f.seek(lay["bitmapOff"])
+        bitmap = f.read(num_segments)
+    banks = []
+    for b in range(p["numBanks"]):
+        lo = b * p["blocksPerChip"]
+        banks.append(sum(1 for x in bitmap[lo:lo + p["blocksPerChip"]]
+                         if x))
+    out["blockMap"] = {"banks": banks, "materialized": sum(banks),
+                       "total": num_segments}
+    out["segmentsSummary"] = summary
+    if want_segments:
+        out["segments"] = segments
+    return out
+
+
+# ---- journal -------------------------------------------------------
+
+def inspect_journal(path, want_records):
+    """Walk `path` exactly as MetaJournal::replay() would."""
+    out = {"path": path, "present": False}
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError:
+        return out
+    out["present"] = True
+    out["bytes"] = len(data)
+    out["magicOk"] = data[:8] == JOURNAL_MAGIC
+    if not out["magicOk"]:
+        return out
+
+    records = []
+    counts = {"records": 0, "checkpoints": 0, "sramWrites": 0}
+    seqs = []
+    off = JOURNAL_HEADER_BYTES
+    stop = None
+    while off < len(data):
+        if off + 13 > len(data):
+            stop = "torn header"
+            break
+        length = u32(data, off)
+        rtype = data[off + 4]
+        seq = u64(data, off + 5)
+        end = off + 13 + length + 4
+        if end > len(data):
+            stop = "torn payload"
+            break
+        if zlib.crc32(data[off:off + 13 + length]) != u32(
+                data, off + 13 + length):
+            stop = "crc mismatch"
+            break
+        if rtype not in (REC_CHECKPOINT, REC_SRAM_WRITE):
+            stop = "unknown type %d" % rtype
+            break
+        if not records and not seqs and rtype != REC_CHECKPOINT:
+            stop = "first record is not a checkpoint"
+            break
+        if seqs and seq != seqs[-1] + 1:
+            stop = "sequence gap"
+            break
+        if rtype == REC_SRAM_WRITE and length < 8:
+            stop = "short SramWrite payload"
+            break
+        seqs.append(seq)
+        counts["records"] += 1
+        if rtype == REC_CHECKPOINT:
+            counts["checkpoints"] += 1
+            rec = {"seq": seq, "type": "checkpoint",
+                   "sramBytes": length}
+        else:
+            counts["sramWrites"] += 1
+            rec = {"seq": seq, "type": "sramWrite",
+                   "addr": u64(data, off + 13),
+                   "bytes": length - 8}
+        records.append(rec)
+        off = end
+    out.update(counts)
+    out["firstSeq"] = seqs[0] if seqs else None
+    out["lastSeq"] = seqs[-1] if seqs else None
+    out["tornTailBytes"] = len(data) - off
+    out["stoppedAt"] = stop
+    if want_records:
+        out["recordDetail"] = records
+    return out
+
+
+# ---- schema --------------------------------------------------------
+
+def check_schema(doc):
+    """Assert the report's shape; raises on a schema violation."""
+    def need(obj, key, types):
+        assert key in obj, "missing key %r" % key
+        assert isinstance(obj[key], types), \
+            "key %r has type %s" % (key, type(obj[key]).__name__)
+
+    need(doc, "schema", str)
+    assert doc["schema"] == SCHEMA
+    need(doc, "store", dict)
+    need(doc, "journal", dict)
+    need(doc, "ok", bool)
+    store = doc["store"]
+    need(store, "path", str)
+    need(store, "state", str)
+    assert store["state"] in ("missing", "foreign", "unfinished",
+                              "valid")
+    if store["state"] in ("valid", "unfinished"):
+        need(store, "crcOk", bool)
+        need(store, "params", dict)
+        for name, _ in PARAM_FIELDS:
+            need(store["params"], name, int)
+        need(store, "layout", dict)
+        for name, _ in LAYOUT_FIELDS:
+            need(store["layout"], name, int)
+        need(store, "segmentsSummary", dict)
+        for key in ("live", "dead", "shadow", "retired"):
+            need(store["segmentsSummary"], key, int)
+        need(store, "blockMap", dict)
+        need(store["blockMap"], "banks", list)
+        need(store["blockMap"], "materialized", int)
+    journal = doc["journal"]
+    need(journal, "present", bool)
+    if journal["present"] and journal.get("magicOk"):
+        for key in ("records", "checkpoints", "sramWrites",
+                    "tornTailBytes"):
+            need(journal, key, int)
+
+
+def inspect(store_path, want_segments=False, want_records=False):
+    doc = {
+        "schema": SCHEMA,
+        "store": inspect_store(store_path, want_segments),
+        "journal": inspect_journal(store_path + ".journal",
+                                   want_records),
+    }
+    doc["ok"] = (doc["store"]["state"] == "valid" and
+                 doc["journal"]["present"] and
+                 bool(doc["journal"].get("magicOk")) and
+                 doc["journal"].get("checkpoints", 0) >= 1)
+    check_schema(doc)
+    return doc
+
+
+# ---- self-test -----------------------------------------------------
+
+def align_up(v, a):
+    return (v + a - 1) // a * a
+
+
+def synthesize_store(path):
+    """Write a tiny, hand-built store + journal with known contents."""
+    params = {
+        "pageSize": 64, "blockBytes": 8, "blocksPerChip": 2,
+        "numBanks": 1, "logicalPages": 10, "writeBufferPages": 4,
+        "storeData": 1, "policy": 2, "partitionSize": 2,
+        "bufferThreshold": 0, "wearThreshold": 100, "tlbSize": 16,
+        "autoDrain": 1, "sramBytes": 256,
+    }
+    num_segments = params["numBanks"] * params["blocksPerChip"]
+    cap = params["blockBytes"]
+    meta_off = SUPER_BYTES
+    meta_stride = align_up(SEG_OWNERS_OFF + 5 * cap, 8)
+    bitmap_off = align_up(meta_off + num_segments * meta_stride, 4096)
+    data_off = align_up(bitmap_off + num_segments, 4096)
+    block_data_bytes = params["pageSize"] * params["blockBytes"]
+    file_bytes = data_off + num_segments * block_data_bytes
+
+    sb = bytearray(SUPER_BYTES)
+    sb[:8] = STORE_MAGIC
+    struct.pack_into("<Q", sb, 8, STORE_VERSION)
+    struct.pack_into("<Q", sb, 16, 1)  # valid
+    for name, off in PARAM_FIELDS:
+        struct.pack_into("<Q", sb, off, params[name])
+    for name, off in LAYOUT_FIELDS:
+        struct.pack_into("<Q", sb, off, {
+            "metaOff": meta_off, "metaStride": meta_stride,
+            "bitmapOff": bitmap_off, "dataOff": data_off,
+            "blockDataBytes": block_data_bytes,
+            "fileBytes": file_bytes}[name])
+    struct.pack_into("<Q", sb, CRC_FIELD_OFF,
+                     zlib.crc32(bytes(sb[:CRC_FIELD_OFF])))
+
+    # Segment 0: slot 0 live (owner 5), slot 1 retired, slot 2 dead;
+    # write pointer 3, 7 erase cycles.  Segment 1: untouched (hole).
+    seg0 = bytearray(meta_stride)
+    struct.pack_into("<I", seg0, SEG_WRITE_PTR_OFF, 3)
+    struct.pack_into("<Q", seg0, SEG_CYCLES_OFF, 7)
+    struct.pack_into("<I", seg0, SEG_OWNERS_OFF, ~5 & 0xFFFFFFFF)
+    struct.pack_into("<I", seg0, SEG_OWNERS_OFF + 8,
+                     ~OWNER_DEAD & 0xFFFFFFFF)
+    seg0[SEG_OWNERS_OFF + 4 * cap + 1] = 1  # slot 1 retired
+
+    with open(path, "wb") as f:
+        f.write(sb)
+        f.write(seg0)
+        f.seek(bitmap_off)
+        f.write(b"\x01\x00")  # block 0 materialized, block 1 a hole
+        f.truncate(file_bytes)
+
+    def record(rtype, seq, payload):
+        body = struct.pack("<IBQ", len(payload), rtype, seq) + payload
+        return body + struct.pack("<I", zlib.crc32(body))
+
+    with open(path + ".journal", "wb") as f:
+        f.write(JOURNAL_MAGIC + b"\x00" * 8)
+        f.write(record(REC_CHECKPOINT, 1, b"\x00" * params["sramBytes"]))
+        f.write(record(REC_SRAM_WRITE, 2,
+                       struct.pack("<Q", 8) + b"\xAA\xBB\xCC\xDD"))
+        f.write(b"\x01\x02\x03")  # torn tail from a crash mid-append
+    return params
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "store.envy")
+        params = synthesize_store(store)
+        doc = inspect(store, want_segments=True, want_records=True)
+
+        assert doc["ok"], doc
+        s = doc["store"]
+        assert s["state"] == "valid" and s["crcOk"]
+        assert s["params"] == params, s["params"]
+        assert s["segmentsSummary"] == {
+            "live": 1, "dead": 1, "shadow": 0, "retired": 1,
+            "maxEraseCycles": 7, "totalEraseCycles": 7,
+            "specFailedSegments": 0}, s["segmentsSummary"]
+        seg0 = s["segments"][0]
+        assert seg0["writePtr"] == 3 and seg0["retiredUsed"] == 1
+        assert s["segments"][1]["writePtr"] == 0  # hole decodes erased
+        assert s["blockMap"] == {"banks": [1], "materialized": 1,
+                                 "total": 2}, s["blockMap"]
+        j = doc["journal"]
+        assert j["records"] == 2 and j["checkpoints"] == 1
+        assert j["sramWrites"] == 1 and j["tornTailBytes"] == 3
+        assert j["recordDetail"][1] == {
+            "seq": 2, "type": "sramWrite", "addr": 8, "bytes": 4}
+
+        # A flipped payload byte must stop the walk at that record.
+        jpath = store + ".journal"
+        blob = bytearray(open(jpath, "rb").read())
+        blob[JOURNAL_HEADER_BYTES + 14] ^= 0xFF  # inside the checkpoint
+        open(jpath, "wb").write(bytes(blob))
+        doc = inspect(store)
+        assert doc["journal"]["records"] == 0
+        assert doc["journal"]["stoppedAt"] == "crc mismatch"
+        assert not doc["ok"]
+
+        # A damaged superblock must classify as foreign, not crash.
+        blob = bytearray(open(store, "rb").read())
+        blob[40] ^= 0xFF  # a params byte: CRC no longer matches
+        open(store, "wb").write(bytes(blob))
+        doc = inspect(store)
+        assert doc["store"]["state"] == "foreign"
+        assert doc["store"]["error"] == "superblock checksum mismatch"
+
+        # Missing file: reported, schema still holds.
+        doc = inspect(os.path.join(tmp, "nope.envy"))
+        assert doc["store"]["state"] == "missing" and not doc["ok"]
+    print("inspect_image: self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("store", nargs="?", help="store file path")
+    ap.add_argument("--segments", action="store_true",
+                    help="include per-segment detail")
+    ap.add_argument("--journal", action="store_true",
+                    help="include per-record journal detail")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the parser against a synthetic store")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.store:
+        ap.error("a store path (or --self-test) is required")
+    doc = inspect(args.store, args.segments, args.journal)
+    json.dump(doc, sys.stdout, indent=2)
+    print()
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
