@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros and the annotated mutex
+ * wrappers the shared-state classes use (docs/STATIC_ANALYSIS.md §4).
+ *
+ * The macros expand to Clang's thread-safety attributes when the
+ * compiler understands them and to nothing otherwise, so GCC builds
+ * are unaffected.  The conventions future concurrency PRs must follow:
+ *
+ *  - every class with shared mutable state owns a `mutable envy::Mutex
+ *    mu_` and marks the mutable members `ENVY_GUARDED_BY(mu_)`;
+ *  - public methods take `MutexLock lock(mu_);` as their first
+ *    statement; private helpers that expect the lock are suffixed
+ *    `Locked` and annotated `ENVY_REQUIRES(mu_)`;
+ *  - callbacks (policy hooks, std::function members) are never invoked
+ *    with the callee's own lock held if they can re-enter the class —
+ *    run them after the locked region instead;
+ *  - no blocking syscall (fdatasync/msync/read/write) inside a locked
+ *    region — enforced by envy_analyze rule `lock-discipline`.
+ */
+
+#ifndef ENVY_COMMON_THREAD_ANNOTATIONS_HH
+#define ENVY_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ENVY_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ENVY_THREAD_ANNOTATION
+#define ENVY_THREAD_ANNOTATION(x)
+#endif
+
+#define ENVY_CAPABILITY(x) ENVY_THREAD_ANNOTATION(capability(x))
+#define ENVY_SCOPED_CAPABILITY ENVY_THREAD_ANNOTATION(scoped_lockable)
+#define ENVY_GUARDED_BY(x) ENVY_THREAD_ANNOTATION(guarded_by(x))
+#define ENVY_PT_GUARDED_BY(x) ENVY_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ENVY_REQUIRES(...) \
+    ENVY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ENVY_EXCLUDES(...) \
+    ENVY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ENVY_ACQUIRE(...) \
+    ENVY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ENVY_RELEASE(...) \
+    ENVY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ENVY_RETURN_CAPABILITY(x) \
+    ENVY_THREAD_ANNOTATION(lock_returned(x))
+#define ENVY_NO_THREAD_SAFETY_ANALYSIS \
+    ENVY_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace envy {
+
+/**
+ * std::mutex with the `capability` attribute so `-Wthread-safety` can
+ * reason about it.  BasicLockable, so std::condition_variable_any
+ * waits on it directly.
+ */
+class ENVY_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ENVY_ACQUIRE() { mu_.lock(); }
+    void unlock() ENVY_RELEASE() { mu_.unlock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/** RAII lock on an envy::Mutex (scoped capability). */
+class ENVY_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ENVY_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() ENVY_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace envy
+
+#endif // ENVY_COMMON_THREAD_ANNOTATIONS_HH

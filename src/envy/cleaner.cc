@@ -109,13 +109,32 @@ Cleaner::moveShadows(SegmentId src, SegmentId dst)
 Cleaner::CleanResult
 Cleaner::clean(std::uint32_t log_seg, CleaningPolicy *policy)
 {
-    return cleanInternal(log_seg, policy, false);
+    CleanResult result;
+    {
+        MutexLock lock(mu_);
+        result = cleanInternal(log_seg, policy, false);
+    }
+    // The completion callbacks re-enter the cleaner (onCleaned pulls
+    // pages via movePages; a wear rotation runs moveAllPhysical), so
+    // they must run after mu_ is released.
+    if (policy)
+        policy->onCleaned(log_seg);
+    if (wearLeveler_)
+        wearLeveler_->maybeRotate(space_, *this);
+    return result;
 }
 
 Cleaner::CleanResult
 Cleaner::resume(std::uint32_t log_seg)
 {
-    return cleanInternal(log_seg, nullptr, true);
+    CleanResult result;
+    {
+        MutexLock lock(mu_);
+        result = cleanInternal(log_seg, nullptr, true);
+    }
+    if (wearLeveler_)
+        wearLeveler_->maybeRotate(space_, *this);
+    return result;
 }
 
 Cleaner::CleanResult
@@ -197,11 +216,6 @@ Cleaner::cleanInternal(std::uint32_t log_seg, CleaningPolicy *policy,
                obs::tv("copied", result.copied.value()),
                obs::tv("diverted", result.diverted.value()),
                obs::tv("ticks", result.busyTime));
-
-    if (policy)
-        policy->onCleaned(log_seg);
-    if (wearLeveler_)
-        wearLeveler_->maybeRotate(space_, *this);
     return result;
 }
 
@@ -209,6 +223,7 @@ PageCount
 Cleaner::movePages(std::uint32_t from, std::uint32_t to, bool from_tail,
                    PageCount count)
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(from != to, "cleaner: moving pages to the same segment");
     FlashArray &flash = space_.flash();
     const SegmentId src = space_.physOf(from);
@@ -247,6 +262,7 @@ Cleaner::movePages(std::uint32_t from, std::uint32_t to, bool from_tail,
 PageCount
 Cleaner::moveAllPhysical(SegmentId src, SegmentId dst)
 {
+    MutexLock lock(mu_);
     FlashArray &flash = space_.flash();
     std::vector<std::pair<SlotId, LogicalPageId>> &live = liveScratch_;
     live.clear();

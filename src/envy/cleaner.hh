@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "envy/mmu.hh"
 #include "envy/policy/cleaning_policy.hh"
 #include "envy/segment_space.hh"
@@ -82,7 +83,11 @@ class Cleaner : public StatGroup
     double cleaningCost() const;
 
     /** Device time consumed by cleaning + erasing since reset. */
-    Tick busyTime() const { return busyTime_; }
+    Tick busyTime() const
+    {
+        MutexLock lock(mu_);
+        return busyTime_;
+    }
 
     /**
      * Invoked whenever a shadow copy (§6 transactions) is relocated
@@ -106,14 +111,17 @@ class Cleaner : public StatGroup
 
   private:
     CleanResult cleanInternal(std::uint32_t log_seg,
-                              CleaningPolicy *policy, bool resuming);
+                              CleaningPolicy *policy, bool resuming)
+        ENVY_REQUIRES(mu_);
 
     /** Relocate one live page; updates map and invalidates source. */
     void relocate(SegmentId src_phys, SlotId slot,
-                  LogicalPageId logical, SegmentId dst_phys);
+                  LogicalPageId logical, SegmentId dst_phys)
+        ENVY_REQUIRES(mu_);
 
     /** Carry every shadow of @p src into @p dst; returns count. */
-    PageCount moveShadows(SegmentId src, SegmentId dst);
+    PageCount moveShadows(SegmentId src, SegmentId dst)
+        ENVY_REQUIRES(mu_);
 
     SegmentSpace &space_;
     Mmu &mmu_;
@@ -121,13 +129,20 @@ class Cleaner : public StatGroup
     /** Cached storesData() so metadata-only runs skip the dead
      *  read/copy path without re-asking the array per page. */
     bool copyData_;
-    std::vector<std::uint8_t> scratch_;
+
+    // Guards the per-clean work lists and the busy-time clock.  The
+    // policy onCleaned()/wear-rotation callbacks re-enter the cleaner
+    // through movePages()/moveAllPhysical(), so clean()/resume() run
+    // them only after this lock is released.
+    mutable Mutex mu_;
+    std::vector<std::uint8_t> scratch_ ENVY_GUARDED_BY(mu_);
     /** Reused per-clean work lists: cleaning is the hot path of every
      *  long-running experiment, so the live/shadow snapshots must not
      *  allocate per call.  Not reentrant — relocate() never cleans. */
-    std::vector<std::pair<SlotId, LogicalPageId>> liveScratch_;
-    std::vector<SlotId> shadowScratch_;
-    Tick busyTime_ = 0;
+    std::vector<std::pair<SlotId, LogicalPageId>>
+        liveScratch_ ENVY_GUARDED_BY(mu_);
+    std::vector<SlotId> shadowScratch_ ENVY_GUARDED_BY(mu_);
+    Tick busyTime_ ENVY_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace envy

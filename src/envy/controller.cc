@@ -77,6 +77,7 @@ Controller::Controller(const Geometry &geom, FlashArray &flash,
 void
 Controller::populate(Placement placement, std::uint32_t aged_stride)
 {
+    MutexLock lock(mu_);
     const std::uint64_t pages = geom_.effectiveLogicalPages().value();
     const std::uint32_t segs = space_.numLogical();
     std::vector<std::uint8_t> zeros(
@@ -141,6 +142,7 @@ Controller::checkRange(Addr addr, std::size_t len) const
 Controller::AccessOutcome
 Controller::read(Addr addr, std::span<std::uint8_t> out)
 {
+    MutexLock lock(mu_);
     checkRange(addr, out.size());
     AccessOutcome outcome;
     std::size_t done = 0;
@@ -208,7 +210,7 @@ Controller::copyOnWrite(LogicalPageId page,
     // (and possibly a clean) — this is the latency cliff of Fig 15.
     PageTable::Location loc = stale_loc;
     while (buffer_.full()) {
-        outcome.deviceBusy += flushOne();
+        outcome.deviceBusy += flushOneLocked();
         ++outcome.foregroundFlushes;
         ++statForegroundFlushes;
         metForegroundFlushes.add();
@@ -260,6 +262,7 @@ Controller::copyOnWrite(LogicalPageId page,
 Controller::AccessOutcome
 Controller::write(Addr addr, std::span<const std::uint8_t> in)
 {
+    MutexLock lock(mu_);
     checkRange(addr, in.size());
     AccessOutcome outcome;
     std::size_t done = 0;
@@ -292,13 +295,20 @@ Controller::write(Addr addr, std::span<const std::uint8_t> in)
 
     if (autoDrain_) {
         while (buffer_.aboveThreshold())
-            flushOne();
+            flushOneLocked();
     }
     return outcome;
 }
 
 Tick
 Controller::flushOne()
+{
+    MutexLock lock(mu_);
+    return flushOneLocked();
+}
+
+Tick
+Controller::flushOneLocked()
 {
     const WriteBuffer::TailInfo tail = buffer_.tail();
     const Tick clean_busy0 = cleaner_.busyTime();
@@ -351,8 +361,9 @@ Controller::flushOne()
 void
 Controller::flushAll()
 {
+    MutexLock lock(mu_);
     while (!buffer_.empty())
-        flushOne();
+        flushOneLocked();
 }
 
 } // namespace envy

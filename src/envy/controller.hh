@@ -25,6 +25,7 @@
 #include <span>
 
 #include "common/geometry.hh"
+#include "common/thread_annotations.hh"
 #include "envy/cleaner.hh"
 #include "envy/mmu.hh"
 #include "envy/policy/cleaning_policy.hh"
@@ -137,7 +138,14 @@ class Controller : public StatGroup
     /** Copy a page into the write buffer (the COW of Fig 3). */
     BufferSlotId copyOnWrite(LogicalPageId page,
                              const PageTable::Location &stale_loc,
-                             AccessOutcome &outcome);
+                             AccessOutcome &outcome)
+        ENVY_REQUIRES(mu_);
+
+    /**
+     * flushOne() body; split out because copy-on-write (a full
+     * buffer) and flushAll() flush while already holding mu_.
+     */
+    Tick flushOneLocked() ENVY_REQUIRES(mu_);
 
     void checkRange(Addr addr, std::size_t len) const;
 
@@ -149,7 +157,13 @@ class Controller : public StatGroup
     Cleaner &cleaner_;
     CleaningPolicy &policy_;
     bool autoDrain_;
-    std::vector<std::uint8_t> scratch_;
+
+    // Serialises the host-facing mutation paths (read/write/flush)
+    // and guards the bounce buffer.  Top of the lock order
+    // (docs/STATIC_ANALYSIS.md §4): everything the controller calls
+    // below — cleaner, space, buffer — locks itself.
+    mutable Mutex mu_;
+    std::vector<std::uint8_t> scratch_ ENVY_GUARDED_BY(mu_);
 };
 
 } // namespace envy

@@ -18,6 +18,7 @@ SegmentSpace::SegmentSpace(FlashArray &flash, SramArray &sram, Addr base,
 {
     ENVY_ASSERT(base + bytesNeeded(flash.numSegments()) <= sram.size(),
                 "segspace: state does not fit in SRAM");
+    MutexLock lock(mu_);
 
     // Fresh system: logical segment L starts on physical segment L;
     // the last physical segment is the erased reserve.
@@ -49,6 +50,10 @@ void
 SegmentSpace::installHook()
 {
     flash_.segmentChangedHook = [this](SegmentId phys) {
+        // Runs on whatever thread mutated the flash; it must not
+        // already hold mu_ (no locked SegmentSpace method mutates
+        // flash — see the lock-order comment in the header).
+        MutexLock lock(mu_);
         const std::uint32_t logical = logOf_[phys.value()];
         if (logical != noLogical)
             refreshIndex(logical);
@@ -141,6 +146,7 @@ SegmentSpace::refreshIndex(std::uint32_t logical)
 PageCount
 SegmentSpace::maxFreeSlots() const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(!byFree_.empty(), "segspace: empty index");
     return PageCount(std::prev(byFree_.end())->first);
 }
@@ -148,6 +154,7 @@ SegmentSpace::maxFreeSlots() const
 std::uint32_t
 SegmentSpace::roomiestLogical() const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(!byFree_.empty(), "segspace: empty index");
     const std::uint64_t max = std::prev(byFree_.end())->first;
     return byFree_.lower_bound({max, 0})->second;
@@ -156,6 +163,7 @@ SegmentSpace::roomiestLogical() const
 std::uint32_t
 SegmentSpace::mostInvalidLogical() const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(!byInvalid_.empty(), "segspace: empty index");
     return std::prev(byInvalid_.end())->second;
 }
@@ -163,6 +171,7 @@ SegmentSpace::mostInvalidLogical() const
 PageCount
 SegmentSpace::freeInRange(std::uint32_t first, std::uint32_t end) const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(first <= end && end <= numLogical_,
                 "segspace: bad range");
     return PageCount(static_cast<std::uint64_t>(
@@ -172,6 +181,7 @@ SegmentSpace::freeInRange(std::uint32_t first, std::uint32_t end) const
 PageCount
 SegmentSpace::liveInRange(std::uint32_t first, std::uint32_t end) const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(first <= end && end <= numLogical_,
                 "segspace: bad range");
     return PageCount(static_cast<std::uint64_t>(
@@ -182,6 +192,7 @@ std::uint32_t
 SegmentSpace::firstWithFreeInRange(std::uint32_t first,
                                    std::uint32_t end) const
 {
+    MutexLock lock(mu_);
     const auto it = freePos_.lower_bound(first);
     return (it != freePos_.end() && *it < end) ? *it : noLogical;
 }
@@ -189,6 +200,7 @@ SegmentSpace::firstWithFreeInRange(std::uint32_t first,
 std::uint32_t
 SegmentSpace::nearestWithSpareFree(std::uint32_t from, int dir) const
 {
+    MutexLock lock(mu_);
     if (dir > 0) {
         const auto it = free2Pos_.upper_bound(from);
         return it != free2Pos_.end() ? *it : from;
@@ -206,6 +218,7 @@ SegmentSpace::bytesNeeded(std::uint64_t num_segments)
 SegmentId
 SegmentSpace::physOf(std::uint32_t logical) const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(logical < numLogical_, "bad logical segment ", logical);
     return physOf_[logical];
 }
@@ -213,6 +226,7 @@ SegmentSpace::physOf(std::uint32_t logical) const
 std::uint32_t
 SegmentSpace::logOf(SegmentId phys) const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(phys.valid() && phys.value() < logOf_.size(),
                 "bad physical segment");
     return logOf_[phys.value()];
@@ -245,6 +259,7 @@ SegmentSpace::utilization(std::uint32_t logical) const
 void
 SegmentSpace::commitClean(std::uint32_t logical)
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(logical < numLogical_, "bad logical segment");
     const SegmentId old = physOf_[logical];
     const SegmentId fresh = reserve_;
@@ -259,6 +274,7 @@ SegmentSpace::commitClean(std::uint32_t logical)
 void
 SegmentSpace::rotateForWear(std::uint32_t a, std::uint32_t b)
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(a < numLogical_ && b < numLogical_ && a != b,
                 "bad wear rotation");
     // Caller has already moved the data; here we only rewire names:
@@ -281,6 +297,7 @@ SegmentSpace::rotateForWear(std::uint32_t a, std::uint32_t b)
 std::uint64_t
 SegmentSpace::cleanCount(std::uint32_t logical) const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(logical < numLogical_, "bad logical segment");
     return cleanCount_[logical];
 }
@@ -288,6 +305,7 @@ SegmentSpace::cleanCount(std::uint32_t logical) const
 std::uint64_t
 SegmentSpace::lastCleanClock(std::uint32_t logical) const
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(logical < numLogical_, "bad logical segment");
     return lastCleanClock_[logical];
 }
@@ -295,6 +313,7 @@ SegmentSpace::lastCleanClock(std::uint32_t logical) const
 void
 SegmentSpace::noteClean(std::uint32_t logical)
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(logical < numLogical_, "bad logical segment");
     ++cleanCount_[logical];
     lastCleanClock_[logical] = flushClock_;
@@ -378,6 +397,7 @@ SegmentSpace::persistAll()
 void
 SegmentSpace::recover()
 {
+    MutexLock lock(mu_);
     reserve_ = SegmentId(sram_.readUint(base_, 4));
     ENVY_ASSERT(reserve_.value() < flash_.numSegments(),
                 "corrupt reserve pointer after power failure");

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "flash/flash_array.hh"
 #include "obs/metrics.hh"
@@ -56,7 +57,11 @@ class SegmentSpace
     SegmentId physOf(std::uint32_t logical) const;
     /** Logical owner of a physical segment; invalid for the reserve. */
     std::uint32_t logOf(SegmentId phys) const;
-    SegmentId reserve() const { return reserve_; }
+    SegmentId reserve() const
+    {
+        MutexLock lock(mu_);
+        return reserve_;
+    }
     static constexpr std::uint32_t noLogical = 0xFFFFFFFFu;
 
     // Convenience queries in logical-segment terms.
@@ -129,11 +134,16 @@ class SegmentSpace
     // ---- policy clocks -------------------------------------------
 
     /** Advances once per page flushed from the write buffer. */
-    std::uint64_t flushClock() const { return flushClock_; }
+    std::uint64_t flushClock() const
+    {
+        MutexLock lock(mu_);
+        return flushClock_;
+    }
 
     void
     noteFlush()
     {
+        MutexLock lock(mu_);
         ++flushClock_;
         metFlushes.add();
     }
@@ -212,7 +222,7 @@ class SegmentSpace
         return base_ + headerBytes + Addr(logical) * 4;
     }
 
-    void persistAll();
+    void persistAll() ENVY_REQUIRES(mu_);
 
     // ---- index maintenance ---------------------------------------
     //
@@ -229,44 +239,55 @@ class SegmentSpace
     // segment and applies the deltas; it is driven by the flash
     // array's segmentChangedHook plus explicit calls wherever the
     // logical->physical mapping itself is rewired.
-    void installHook();
-    void rebuildIndexes();
-    void refreshIndex(std::uint32_t logical);
+    void installHook() ENVY_REQUIRES(mu_);
+    void rebuildIndexes() ENVY_REQUIRES(mu_);
+    void refreshIndex(std::uint32_t logical) ENVY_REQUIRES(mu_);
 
     void bitAdd(std::vector<std::int64_t> &bit, std::uint32_t i,
-                std::int64_t delta);
+                std::int64_t delta) ENVY_REQUIRES(mu_);
     std::int64_t bitPrefix(const std::vector<std::int64_t> &bit,
-                           std::uint32_t n) const;
+                           std::uint32_t n) const ENVY_REQUIRES(mu_);
 
     FlashArray &flash_;
     SramArray &sram_;
     Addr base_;
     std::uint32_t numLogical_;
 
+    // Guards the naming tables, indexes and policy clocks.  Lock
+    // order (docs/STATIC_ANALYSIS.md §4): Controller -> WearLeveler
+    // -> Cleaner -> SegmentSpace -> WriteBuffer; the flash
+    // segmentChangedHook acquires this lock, so no method may mutate
+    // flash while holding it.
+    mutable Mutex mu_;
+
     // In-core mirrors (authoritative copies live in SRAM).
-    std::vector<SegmentId> physOf_;
-    std::vector<std::uint32_t> logOf_;
-    SegmentId reserve_;
+    std::vector<SegmentId> physOf_ ENVY_GUARDED_BY(mu_);
+    std::vector<std::uint32_t> logOf_ ENVY_GUARDED_BY(mu_);
+    SegmentId reserve_ ENVY_GUARDED_BY(mu_);
 
     // Incremental indexes (derived state; see refreshIndex).
-    std::vector<std::uint64_t> freeOf_;
-    std::vector<std::uint64_t> invalidOf_;
-    std::vector<std::uint64_t> liveOf_;
-    std::set<std::pair<std::uint64_t, std::uint32_t>> byFree_;
-    std::set<std::pair<std::uint64_t, std::uint32_t>> byInvalid_;
-    std::vector<std::int64_t> freeBit_; //!< Fenwick tree, 1-based
-    std::vector<std::int64_t> liveBit_; //!< Fenwick tree, 1-based
-    std::set<std::uint32_t> freePos_;   //!< logicals with free > 0
-    std::set<std::uint32_t> free2Pos_;  //!< logicals with free > 1
+    std::vector<std::uint64_t> freeOf_ ENVY_GUARDED_BY(mu_);
+    std::vector<std::uint64_t> invalidOf_ ENVY_GUARDED_BY(mu_);
+    std::vector<std::uint64_t> liveOf_ ENVY_GUARDED_BY(mu_);
+    std::set<std::pair<std::uint64_t, std::uint32_t>>
+        byFree_ ENVY_GUARDED_BY(mu_);
+    std::set<std::pair<std::uint64_t, std::uint32_t>>
+        byInvalid_ ENVY_GUARDED_BY(mu_);
+    //!< Fenwick trees, 1-based
+    std::vector<std::int64_t> freeBit_ ENVY_GUARDED_BY(mu_);
+    std::vector<std::int64_t> liveBit_ ENVY_GUARDED_BY(mu_);
+    //!< logicals with free > 0 / free > 1
+    std::set<std::uint32_t> freePos_ ENVY_GUARDED_BY(mu_);
+    std::set<std::uint32_t> free2Pos_ ENVY_GUARDED_BY(mu_);
 
     // Observability (docs/OBSERVABILITY.md): the flush clock as a
     // counter, so cleaning cost is computable from a snapshot alone.
     obs::Counter metFlushes;
 
     // Policy clocks (reconstructed, not persisted: heuristics only).
-    std::uint64_t flushClock_ = 0;
-    std::vector<std::uint64_t> cleanCount_;
-    std::vector<std::uint64_t> lastCleanClock_;
+    std::uint64_t flushClock_ ENVY_GUARDED_BY(mu_) = 0;
+    std::vector<std::uint64_t> cleanCount_ ENVY_GUARDED_BY(mu_);
+    std::vector<std::uint64_t> lastCleanClock_ ENVY_GUARDED_BY(mu_);
 };
 
 } // namespace envy

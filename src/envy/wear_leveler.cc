@@ -37,6 +37,7 @@ WearLeveler::spread(const SegmentSpace &space) const
 bool
 WearLeveler::maybeRotate(SegmentSpace &space, Cleaner &cleaner)
 {
+    MutexLock lock(mu_);
     if (busy_)
         return false;
 
@@ -106,6 +107,7 @@ WearLeveler::maybeRotate(SegmentSpace &space, Cleaner &cleaner)
 bool
 WearLeveler::resumeRotation(SegmentSpace &space, Cleaner &cleaner)
 {
+    MutexLock lock(mu_);
     // A power failure wiped the in-core recursion guard with the
     // rest of the machine.
     busy_ = false;

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "obs/metrics.hh"
 #include "sim/stats.hh"
@@ -76,10 +77,18 @@ class WearLeveler : public StatGroup
     /** Shared epilogue of a fresh and a resumed rotation. */
     void finishRotation(SegmentSpace &space, Cleaner &cleaner,
                         SegmentId phys_old, SegmentId phys_young,
-                        SegmentId fresh);
+                        SegmentId fresh) ENVY_REQUIRES(mu_);
 
     std::uint64_t threshold_;
-    bool busy_ = false; //!< rotation itself erases; avoid recursion
+
+    // Guards the rotation state.  Sits between Controller and Cleaner
+    // in the lock order: a rotation calls cleaner.moveAllPhysical()
+    // with mu_ held, so the cleaner must never call into the wear
+    // leveler while holding its own lock (clean()/resume() run
+    // maybeRotate after releasing it).
+    mutable Mutex mu_;
+    //!< rotation itself erases; avoid recursion
+    bool busy_ ENVY_GUARDED_BY(mu_) = false;
     /**
      * Cycle count of each physical segment at its last rotation.
      * Parking cold data on a worn segment does not reduce its cycle
@@ -87,7 +96,7 @@ class WearLeveler : public StatGroup
      * segment forever; a segment only becomes eligible again after
      * aging a further threshold's worth of erases.
      */
-    std::vector<std::uint64_t> lastRotation_;
+    std::vector<std::uint64_t> lastRotation_ ENVY_GUARDED_BY(mu_);
 };
 
 } // namespace envy

@@ -39,7 +39,7 @@ ParallelRunner::ParallelRunner(unsigned jobs)
 ParallelRunner::~ParallelRunner()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     queueWork_.notify_all();
@@ -51,7 +51,7 @@ ParallelRunner::~ParallelRunner()
 void
 ParallelRunner::noteException(std::size_t index)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!firstError_ || index < firstErrorIndex_) {
         firstError_ = std::current_exception();
         firstErrorIndex_ = index;
@@ -67,7 +67,7 @@ ParallelRunner::runTask(const Task &task)
         noteException(task.index);
     }
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++completed_;
     }
     allDone_.notify_all();
@@ -79,18 +79,23 @@ ParallelRunner::submit(std::function<void()> task)
     if (jobs_ == 1) {
         // Inline serial execution, through the same capture path as
         // the workers so errors surface at wait() in every mode.
-        const std::size_t index = submitted_++;
+        std::size_t index;
+        {
+            MutexLock lock(mutex_);
+            index = submitted_++;
+        }
         runTask(Task{index, std::move(task)});
         return index;
     }
 
     std::size_t index;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        queueSpace_.wait(lock, [this] {
-            return queue_.size() < queueDepthPerJob * jobs_ ||
-                   stopping_;
-        });
+        MutexLock lock(mutex_);
+        // Explicit predicate loop: condition_variable_any::wait
+        // releases and reacquires mutex_ itself, so the guarded
+        // members are only read with the lock held.
+        while (queue_.size() >= queueDepthPerJob * jobs_ && !stopping_)
+            queueSpace_.wait(mutex_);
         ENVY_ASSERT(!stopping_, "parallel: submit after shutdown");
         index = submitted_++;
         queue_.push_back(Task{index, std::move(task)});
@@ -102,14 +107,13 @@ ParallelRunner::submit(std::function<void()> task)
 void
 ParallelRunner::wait()
 {
-    if (jobs_ > 1) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        allDone_.wait(lock,
-                      [this] { return completed_ == submitted_; });
-    }
     std::exception_ptr err;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
+        if (jobs_ > 1) {
+            while (completed_ != submitted_)
+                allDone_.wait(mutex_);
+        }
         err = firstError_;
         firstError_ = nullptr;
     }
@@ -123,10 +127,9 @@ ParallelRunner::workerLoop()
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queueWork_.wait(lock, [this] {
-                return !queue_.empty() || stopping_;
-            });
+            MutexLock lock(mutex_);
+            while (queue_.empty() && !stopping_)
+                queueWork_.wait(mutex_);
             if (queue_.empty())
                 return; // stopping
             task = std::move(queue_.front());

@@ -27,10 +27,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace envy {
 
@@ -88,18 +89,21 @@ class ParallelRunner
     unsigned jobs_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable queueSpace_; //!< signalled on dequeue
-    std::condition_variable queueWork_;  //!< signalled on enqueue
-    std::condition_variable allDone_;    //!< signalled on completion
-    std::deque<Task> queue_;
-    std::size_t submitted_ = 0;
-    std::size_t completed_ = 0;
-    bool stopping_ = false;
+    // condition_variable_any: waits on the annotated envy::Mutex
+    // directly (BasicLockable), so `-Wthread-safety` sees the queue
+    // state as guarded even across the waits.
+    Mutex mutex_;
+    std::condition_variable_any queueSpace_; //!< signalled on dequeue
+    std::condition_variable_any queueWork_;  //!< signalled on enqueue
+    std::condition_variable_any allDone_;    //!< on completion
+    std::deque<Task> queue_ ENVY_GUARDED_BY(mutex_);
+    std::size_t submitted_ ENVY_GUARDED_BY(mutex_) = 0;
+    std::size_t completed_ ENVY_GUARDED_BY(mutex_) = 0;
+    bool stopping_ ENVY_GUARDED_BY(mutex_) = false;
 
     // First-error propagation (by submission index, not wall clock).
-    std::exception_ptr firstError_;
-    std::size_t firstErrorIndex_ = 0;
+    std::exception_ptr firstError_ ENVY_GUARDED_BY(mutex_);
+    std::size_t firstErrorIndex_ ENVY_GUARDED_BY(mutex_) = 0;
 };
 
 /**

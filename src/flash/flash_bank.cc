@@ -40,7 +40,7 @@ FlashBank::readPageSlow(std::uint32_t block, std::uint32_t page_off,
 {
     const std::uint64_t addr = byteAddr(block, page_off);
     for (std::uint32_t j = 0; j < chipsPerBank_; ++j)
-        out[j] = chips_[j].read(addr); // envy-lint: allow(no-per-byte-page-loop) slow-path oracle
+        out[j] = chips_[j].read(addr);
     // One wide cycle regardless of width.
     return timing_.readTime;
 }

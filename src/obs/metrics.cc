@@ -73,6 +73,7 @@ Counter
 MetricsRegistry::counter(const std::string &name, const std::string &unit,
                          const std::string &desc)
 {
+    MutexLock lock(mu_);
     return Counter(&findOrCreate(name, MetricKind::Counter, unit, desc)
                         .counter);
 }
@@ -81,6 +82,7 @@ Gauge
 MetricsRegistry::gauge(const std::string &name, const std::string &unit,
                        const std::string &desc)
 {
+    MutexLock lock(mu_);
     return Gauge(&findOrCreate(name, MetricKind::Gauge, unit, desc).gauge);
 }
 
@@ -96,6 +98,7 @@ MetricsRegistry::histogram(const std::string &name, const std::string &unit,
         ENVY_FATAL("obs: histogram '", name,
                    "' edges must be strictly ascending");
     }
+    MutexLock lock(mu_);
     Entry &e = findOrCreate(name, MetricKind::Histogram, unit, desc);
     if (e.histogram.edges.empty()) {
         e.histogram.edges = std::move(edges);
@@ -110,6 +113,7 @@ MetricsRegistry::histogram(const std::string &name, const std::string &unit,
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
+    MutexLock lock(mu_);
     MetricsSnapshot snap;
     snap.entries.reserve(entries_.size());
     for (const Entry &e : entries_) {
@@ -132,6 +136,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
+    MutexLock lock(mu_);
     for (Entry &e : entries_) {
         e.counter.value = 0;
         e.gauge = detail::GaugeCell();
@@ -145,6 +150,7 @@ MetricsRegistry::reset()
 std::string
 MetricsRegistry::describe(const std::string &name) const
 {
+    MutexLock lock(mu_);
     auto it = index_.find(name);
     return it == index_.end() ? std::string() : entries_[it->second].desc;
 }

@@ -44,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
+
 namespace envy {
 namespace obs {
 
@@ -218,7 +220,11 @@ class MetricsRegistry
                         std::vector<std::uint64_t> edges);
 
     /** Number of registered metrics. */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const
+    {
+        MutexLock lock(mu_);
+        return entries_.size();
+    }
 
     /** Deep, isolated copy of every metric right now. */
     MetricsSnapshot snapshot() const;
@@ -243,11 +249,18 @@ class MetricsRegistry
 
     Entry &findOrCreate(const std::string &name, MetricKind kind,
                         const std::string &unit,
-                        const std::string &desc);
+                        const std::string &desc) ENVY_REQUIRES(mu_);
+
+    // Guards registration and snapshot/reset.  The hot-path cell
+    // handles (Counter/Gauge/Histogram) deliberately stay outside it:
+    // a store and its registry belong to one simulated controller
+    // (see file comment), and deque addresses are stable, so bumping
+    // a cell never races with registration of another.
+    mutable Mutex mu_;
 
     // deque: handles point into entries, so addresses must be stable.
-    std::deque<Entry> entries_;
-    std::map<std::string, std::size_t> index_;
+    std::deque<Entry> entries_ ENVY_GUARDED_BY(mu_);
+    std::map<std::string, std::size_t> index_ ENVY_GUARDED_BY(mu_);
 };
 
 /** Null-safe registration helpers for components whose registry

@@ -89,6 +89,7 @@ PersistBackend::PersistBackend(const EnvyConfig &cfg,
 void
 PersistBackend::restoreSram(SramArray &sram)
 {
+    MutexLock lock(mu_);
     ENVY_ASSERT(reopening() && replayedSram_.size() == sram.size(),
                 "persist: no replayed SRAM image to restore");
     sram.write(0, replayedSram_);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_annotations.hh"
 #include "envy/recovery.hh"
 #include "obs/metrics.hh"
 #include "persist/flash_backing.hh"
@@ -97,7 +98,14 @@ class PersistBackend
     MetaJournal journal_;
     FlashPersist flashPersist_;
     PersistReport report_;
-    std::vector<std::uint8_t> replayedSram_;
+
+    // Guards the staged journal-replay image.  The open/opEnd/commit
+    // sequencing itself is serialised by EnvyStore (under the
+    // controller lock); the backend deliberately takes no lock around
+    // journal flushes — fdatasync under a mutex is exactly what
+    // envy_analyze rule `lock-discipline` forbids.
+    mutable Mutex mu_;
+    std::vector<std::uint8_t> replayedSram_ ENVY_GUARDED_BY(mu_);
 };
 
 } // namespace persist

@@ -31,6 +31,7 @@ WriteBuffer::WriteBuffer(SramArray &sram, Addr base,
     ENVY_ASSERT(base_ + bytesNeeded(capacity, page_size, store_data) <=
                     sram.size(),
                 "buffer: write buffer does not fit in SRAM");
+    MutexLock lock(mu_);
     // Fresh buffer: mark every slot unowned.
     for (std::uint32_t s = 0; s < capacity_; ++s) {
         sram_.writeUint(slotMetaAddr(s), noOwner, 4);
@@ -113,7 +114,9 @@ WriteBuffer::syncHeader()
 BufferSlotId
 WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
 {
-    ENVY_ASSERT(!full(), "buffer: push into a full write buffer");
+    MutexLock lock(mu_);
+    ENVY_ASSERT(count_ < capacity_,
+                "buffer: push into a full write buffer");
     ENVY_ASSERT(logical.valid() && logical.value() < noOwner,
                 "buffer: bad logical page");
     const std::uint32_t slot = head_;
@@ -136,16 +139,19 @@ WriteBuffer::push(LogicalPageId logical, std::uint64_t origin)
 WriteBuffer::TailInfo
 WriteBuffer::tail() const
 {
-    ENVY_ASSERT(!empty(), "buffer: tail of an empty write buffer");
+    MutexLock lock(mu_);
+    ENVY_ASSERT(count_ > 0, "buffer: tail of an empty write buffer");
     const BufferSlotId slot(
         (head_ + capacity_ - count_) % capacity_);
-    return TailInfo{slot, slotOwner(slot), slotOrigin(slot)};
+    return TailInfo{slot, slotOwnerLocked(slot),
+                    slotOriginLocked(slot)};
 }
 
 void
 WriteBuffer::popTail()
 {
-    ENVY_ASSERT(!empty(), "buffer: pop of an empty write buffer");
+    MutexLock lock(mu_);
+    ENVY_ASSERT(count_ > 0, "buffer: pop of an empty write buffer");
     const std::uint32_t slot =
         (head_ + capacity_ - count_) % capacity_;
     sram_.writeUint(slotMetaAddr(slot), noOwner, 4);
@@ -161,7 +167,7 @@ WriteBuffer::popTail()
 }
 
 LogicalPageId
-WriteBuffer::slotOwner(BufferSlotId slot) const
+WriteBuffer::slotOwnerLocked(BufferSlotId slot) const
 {
     ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
     const std::uint32_t v = owners_[slot.value()];
@@ -171,15 +177,30 @@ WriteBuffer::slotOwner(BufferSlotId slot) const
 }
 
 std::uint64_t
-WriteBuffer::slotOrigin(BufferSlotId slot) const
+WriteBuffer::slotOriginLocked(BufferSlotId slot) const
 {
     ENVY_ASSERT(slot.value() < capacity_, "buffer: slot out of range");
     return origins_[slot.value()];
 }
 
+LogicalPageId
+WriteBuffer::slotOwner(BufferSlotId slot) const
+{
+    MutexLock lock(mu_);
+    return slotOwnerLocked(slot);
+}
+
+std::uint64_t
+WriteBuffer::slotOrigin(BufferSlotId slot) const
+{
+    MutexLock lock(mu_);
+    return slotOriginLocked(slot);
+}
+
 BufferSlotId
 WriteBuffer::find(LogicalPageId logical) const
 {
+    MutexLock lock(mu_);
     const std::uint32_t slot =
         mapFind(static_cast<std::uint32_t>(logical.value()));
     return slot != probeEmpty ? BufferSlotId(slot)
@@ -214,6 +235,7 @@ WriteBuffer::slotResident(BufferSlotId slot) const
 void
 WriteBuffer::reset()
 {
+    MutexLock lock(mu_);
     for (std::uint32_t s = 0; s < capacity_; ++s)
         sram_.writeUint(slotMetaAddr(s), noOwner, 4);
     owners_.assign(capacity_, noOwner);
@@ -227,6 +249,7 @@ WriteBuffer::reset()
 void
 WriteBuffer::recover()
 {
+    MutexLock lock(mu_);
     head_ = static_cast<std::uint32_t>(
         sram_.readUint(base_ + headOff, 4));
     count_ = static_cast<std::uint32_t>(

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "obs/metrics.hh"
 #include "sim/stats.hh"
@@ -55,11 +56,27 @@ class WriteBuffer : public StatGroup
                                      bool store_data);
 
     std::uint32_t capacity() const { return capacity_; }
-    std::uint32_t size() const { return count_; }
-    bool empty() const { return count_ == 0; }
-    bool full() const { return count_ == capacity_; }
+    std::uint32_t size() const
+    {
+        MutexLock lock(mu_);
+        return count_;
+    }
+    bool empty() const
+    {
+        MutexLock lock(mu_);
+        return count_ == 0;
+    }
+    bool full() const
+    {
+        MutexLock lock(mu_);
+        return count_ == capacity_;
+    }
     /** Occupancy at or above which background flushing should run. */
-    bool aboveThreshold() const { return count_ >= threshold_; }
+    bool aboveThreshold() const
+    {
+        MutexLock lock(mu_);
+        return count_ >= threshold_;
+    }
     std::uint32_t threshold() const { return threshold_; }
 
     /**
@@ -137,7 +154,11 @@ class WriteBuffer : public StatGroup
         return dataBase_ + Addr(ring_slot) * pageSize_;
     }
 
-    void syncHeader();
+    void syncHeader() ENVY_REQUIRES(mu_);
+    LogicalPageId slotOwnerLocked(BufferSlotId slot) const
+        ENVY_REQUIRES(mu_);
+    std::uint64_t slotOriginLocked(BufferSlotId slot) const
+        ENVY_REQUIRES(mu_);
 
     SramArray &sram_;
     Addr base_;
@@ -147,16 +168,21 @@ class WriteBuffer : public StatGroup
     std::uint32_t threshold_;
     Addr dataBase_;
 
+    // Guards the FIFO metadata below (docs/STATIC_ANALYSIS.md §4).
+    // Slot *data* windows are not guarded: the page bytes belong to
+    // the SRAM array and are raced only by design (data plane).
+    mutable Mutex mu_;
+
     // In-core mirrors of the SRAM header (authoritative copy is SRAM).
-    std::uint32_t head_ = 0; //!< next insertion position
-    std::uint32_t count_ = 0;
+    std::uint32_t head_ ENVY_GUARDED_BY(mu_) = 0; //!< next insertion
+    std::uint32_t count_ ENVY_GUARDED_BY(mu_) = 0;
 
     // In-core mirrors of the per-slot metadata, plus a logical-page ->
     // ring-slot map, all kept in lockstep with the FIFO so lookups
     // never walk the SRAM slot table.  recover() rebuilds them with
     // the one legitimate full scan.
-    std::vector<std::uint32_t> owners_;
-    std::vector<std::uint32_t> origins_;
+    std::vector<std::uint32_t> owners_ ENVY_GUARDED_BY(mu_);
+    std::vector<std::uint32_t> origins_ ENVY_GUARDED_BY(mu_);
 
     // Residency map as a flat open-addressing table (copy-on-write
     // hits it on every host write, so it must not allocate per push
@@ -171,11 +197,12 @@ class WriteBuffer : public StatGroup
                    (std::uint64_t(key) * 0x9E3779B97F4A7C15ull) >> 32) &
                probeMask_;
     }
-    void mapInsert(std::uint32_t key, std::uint32_t ring_slot);
-    void mapErase(std::uint32_t key);
-    std::uint32_t mapFind(std::uint32_t key) const;
+    void mapInsert(std::uint32_t key, std::uint32_t ring_slot)
+        ENVY_REQUIRES(mu_);
+    void mapErase(std::uint32_t key) ENVY_REQUIRES(mu_);
+    std::uint32_t mapFind(std::uint32_t key) const ENVY_REQUIRES(mu_);
 
-    std::vector<std::uint32_t> probe_;
+    std::vector<std::uint32_t> probe_ ENVY_GUARDED_BY(mu_);
     std::uint32_t probeMask_ = 0;
 };
 

@@ -1,0 +1,39 @@
+// Firing fixture: FlashMetaView mutators that reach the mapped
+// store-file region on a path where no MetaJournal append happened.
+// envy_analyze must flag both store writes below.
+//
+// expect-finding: journal-before-mmap
+// expect-finding: journal-before-mmap
+
+#include <cstdint>
+
+namespace envy {
+namespace persist {
+
+class FlashMetaView
+{
+  public:
+    // No barrier anywhere: the guarded early return does not help
+    // the path that falls through to the write.
+    void setWritePtr(SegmentId seg, std::uint32_t ptr)
+    {
+        if (!mapped_)
+            return;
+        storeU32(meta(seg).data(), ptr);
+    }
+
+    // Journaled on the fast path only: the analyzer joins the two
+    // branches and sees the else path writing unjournaled.
+    void setSpecFailed(SegmentId seg, bool fast)
+    {
+        if (fast)
+            barrier();
+        meta(seg)[4] = 1;
+    }
+
+  private:
+    bool mapped_ = false;
+};
+
+} // namespace persist
+} // namespace envy

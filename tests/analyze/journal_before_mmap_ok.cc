@@ -1,0 +1,69 @@
+// Near-miss fixture: every FlashMetaView/PersistBackend path that
+// reaches the mapping journals first, and the documented exemptions
+// (BankBacking's bytes-before-map contract) stay silent.  No
+// findings expected.
+
+#include <cstdint>
+
+namespace envy {
+namespace persist {
+
+class FlashMetaView
+{
+  public:
+    // Early return BEFORE any store write is fine; the surviving
+    // path barriers first.
+    void setWritePtr(SegmentId seg, std::uint32_t ptr)
+    {
+        if (!mapped_)
+            return;
+        barrier();
+        storeU32(meta(seg).data(), ptr);
+    }
+
+    // Both branches write, but the barrier dominates them.
+    void setEither(SegmentId seg, bool wide)
+    {
+        barrier();
+        if (wide)
+            storeU64(meta(seg).data(), 1);
+        else
+            storeU32(meta(seg).data(), 1);
+    }
+
+  private:
+    bool mapped_ = false;
+};
+
+class PersistBackend
+{
+  public:
+    // checkpointNow() provably journals on every path, so calling it
+    // counts as the journal append for finishFresh().
+    void finishFresh()
+    {
+        checkpointNow();
+        markValid();
+    }
+
+  private:
+    void checkpointNow() { journal_.checkpoint(); }
+};
+
+// Exempt by contract: the map byte and the cell bytes order each
+// other; the journal is not part of this protocol.
+class BankBacking
+{
+  public:
+    void materialize(std::uint32_t block)
+    {
+        memset(blockData(block), 0xFF, blockSize_);
+        setMapByte(block, 1);
+    }
+
+  private:
+    std::uint64_t blockSize_ = 0;
+};
+
+} // namespace persist
+} // namespace envy

@@ -1,0 +1,44 @@
+// Firing fixture: blocking syscalls and a ParallelRunner submission
+// inside a locked region.
+//
+// expect-finding: lock-discipline
+// expect-finding: lock-discipline
+// expect-finding: lock-discipline
+
+#include <cstdint>
+
+namespace envy {
+
+class Journalish
+{
+  public:
+    // fdatasync while holding the mutex: every other thread that
+    // touches this lock now waits on the disk.
+    void flushUnderLock()
+    {
+        MutexLock lock(mu_);
+        dirty_ = false;
+        ::fdatasync(fd_);
+    }
+
+    // Same for msync, via std::lock_guard.
+    void syncUnderLock()
+    {
+        std::lock_guard<std::mutex> lock(stdMu_);
+        msync(base_, len_, 4);
+    }
+
+    // Submitting to the runner can block on a full queue -- with the
+    // lock held that is a lock-ordering accident waiting to happen.
+    void submitUnderLock()
+    {
+        MutexLock lock(mu_);
+        runner_.submit(task_);
+    }
+
+  private:
+    int fd_ = -1;
+    bool dirty_ = false;
+};
+
+} // namespace envy

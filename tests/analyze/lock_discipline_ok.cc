@@ -1,0 +1,57 @@
+// Near-miss fixture: the same calls arranged legally -- lock scopes
+// closed before the syscall, member functions that merely *look*
+// like syscalls, deferred lambda bodies, condition-variable waits.
+// No findings expected.
+
+#include <cstdint>
+
+namespace envy {
+
+class JournalishOk
+{
+  public:
+    // The inner block releases the lock before the sync.
+    void flushOutsideLock()
+    {
+        {
+            MutexLock lock(mu_);
+            dirty_ = false;
+        }
+        ::fdatasync(fd_);
+    }
+
+    // SramArray::write is a memory copy, not write(2): member calls
+    // named read/write are not syscalls.
+    void copyUnderLock()
+    {
+        MutexLock lock(mu_);
+        sram_.write(0, staged_);
+        count_ = sram_.read(0);
+    }
+
+    // A lambda built under the lock runs later, outside it.
+    void armUnderLock()
+    {
+        MutexLock lock(mu_);
+        callback_ = [this] { ::fdatasync(fd_); };
+    }
+
+    // Condition-variable waits release the lock by construction.
+    void waitUnderLock()
+    {
+        MutexLock lock(mu_);
+        while (busy_)
+            cv_.wait(mu_);
+    }
+
+    // Submission with no lock held at all.
+    void submitUnlocked() { runner_.submit(task_); }
+
+  private:
+    int fd_ = -1;
+    bool dirty_ = false;
+    bool busy_ = false;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace envy

@@ -1,0 +1,25 @@
+// Firing fixture for the suppression machinery itself: an allow()
+// that suppresses nothing and an allow() naming a rule that does not
+// exist are both findings -- stale suppressions hide future bugs.
+//
+// expect-finding: unused-allow
+// expect-finding: unused-allow
+
+#include <cstdint>
+
+namespace envy {
+
+class Tidy
+{
+  public:
+    // envy-analyze: allow(typed-id) nothing here actually fires
+    void clean(LogicalPageId page) { last_ = page.value(); }
+
+    // envy-analyze: allow(not-a-rule) typo'd rule id
+    void other() { last_ = 0; }
+
+  private:
+    std::uint64_t last_ = 0;
+};
+
+} // namespace envy

@@ -1,0 +1,31 @@
+// Firing fixture: raw integer parameters named page/slot/seg in
+// function definitions, in the spellings the old regex rule could
+// not see (const, references, multi-line parameter lists).
+//
+// expect-finding: typed-id
+// expect-finding: typed-id
+// expect-finding: typed-id
+// expect-finding: typed-id
+
+#include <cstdint>
+
+namespace envy {
+
+class Mapper
+{
+  public:
+    void lookup(std::uint32_t page) { last_ = page; }
+
+    void scan(const std::uint64_t seg,
+              std::size_t slot)
+    {
+        last_ = seg + slot;
+    }
+
+    void pin(std::uint32_t &page) { page = 0; }
+
+  private:
+    std::uint64_t last_ = 0;
+};
+
+} // namespace envy

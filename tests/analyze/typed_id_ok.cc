@@ -1,0 +1,37 @@
+// Near-miss fixture: strong id types, documented local-index names
+// and an allow()ed legacy parameter.  No findings expected.
+
+#include <cstdint>
+
+namespace envy {
+
+class MapperOk
+{
+  public:
+    // Strong types are the point of the rule.
+    void lookup(LogicalPageId page, SlotId slot, SegmentId seg)
+    {
+        last_ = page.value() + slot.value() + seg.value();
+    }
+
+    // The documented local-index names are not reserved.
+    void scan(std::uint32_t page_off, std::uint32_t ring_slot,
+              std::uint64_t segment_count)
+    {
+        last_ = page_off + ring_slot + segment_count;
+    }
+
+    // A suppressed occurrence: the allow() is consumed, so it is
+    // neither a finding nor an unused-allow.
+    void legacySweep(
+        // envy-analyze: allow(typed-id) sweep index predates SlotId
+        std::uint32_t slot)
+    {
+        last_ = slot;
+    }
+
+  private:
+    std::uint64_t last_ = 0;
+};
+
+} // namespace envy

@@ -1,0 +1,45 @@
+// Positive control for the try_compile harness in
+// tests/CMakeLists.txt: correctly-locked code that MUST compile
+// under -Wthread-safety -Werror=thread-safety-analysis.  If this
+// fails, the negative test next door proves nothing.
+
+#include <cstdint>
+
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Guarded
+{
+  public:
+    void add(std::uint64_t n)
+    {
+        envy::MutexLock lock(mu_);
+        addLocked(n);
+    }
+
+    std::uint64_t value() const
+    {
+        envy::MutexLock lock(mu_);
+        return value_;
+    }
+
+  private:
+    void addLocked(std::uint64_t n) ENVY_REQUIRES(mu_)
+    {
+        value_ += n;
+    }
+
+    mutable envy::Mutex mu_;
+    std::uint64_t value_ ENVY_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Guarded g;
+    g.add(1);
+    return g.value() == 1 ? 0 : 1;
+}

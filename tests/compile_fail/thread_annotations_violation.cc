@@ -1,0 +1,33 @@
+// Negative fixture for the try_compile harness in
+// tests/CMakeLists.txt: reads and writes a guarded member with no
+// lock held.  Under clang -Wthread-safety
+// -Werror=thread-safety-analysis this MUST NOT compile; if it ever
+// does, the repo-wide annotations have stopped being enforced.
+
+#include <cstdint>
+
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Broken
+{
+  public:
+    // Unlocked access to a guarded member: the whole point.
+    void add(std::uint64_t n) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    mutable envy::Mutex mu_;
+    std::uint64_t value_ ENVY_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Broken b;
+    b.add(1);
+    return b.value() == 1 ? 0 : 1;
+}

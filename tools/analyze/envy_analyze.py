@@ -1,0 +1,1468 @@
+#!/usr/bin/env python3
+"""envy-analyze: AST-level protocol checks for the eNVy tree.
+
+Where envy-lint works line-by-line with regexes, envy-analyze parses
+every function into a statement-level control-flow tree and checks
+*ordering* properties that no single line can show.  Rules (suppress
+one occurrence with `// envy-analyze: allow(<rule>) reason` on the
+same line or the line directly above; unused suppressions are
+themselves findings):
+
+  journal-before-mmap     every FlashMetaView / PersistBackend mutator
+                          must reach a MetaJournal append (barrier(),
+                          journal flush/commit/checkpoint, or a helper
+                          proven to always journal) on ALL paths --
+                          including early returns and error branches --
+                          before its first write into the store-file
+                          mapping.  BankBacking and the StoreFile
+                          superblock are exempt by documented contract
+                          (docs/PERSISTENCE.md).
+  lock-discipline         no blocking syscall (fdatasync, fsync, msync,
+                          ::read, ::write, pread, pwrite) and no
+                          ParallelRunner submission inside a region
+                          holding a MutexLock / std::lock_guard /
+                          std::unique_lock.
+  crash-point-reachable   every crash point in the canonical inventory
+                          (src/faults/crash_point.cc) is reachable in
+                          the call graph from a public entry point of
+                          EnvyStore, Controller or ShadowManager; a
+                          dead crash point means the crash explorer and
+                          harness silently lost coverage.
+  typed-id                no raw-integer parameter named page/slot/seg
+                          in any function *definition* (use
+                          LogicalPageId / SlotId / SegmentId).  AST
+                          successor of envy-lint's typed-id-params:
+                          sees through const, references, multi-line
+                          parameter lists and std:: spelling variants.
+
+Frontends (--frontend auto|internal|libclang):
+
+  internal   a dependency-free C++ tokenizer + function extractor +
+             statement-level CFG builder in this file.  Always
+             available; what ctest runs.
+  libclang   the same IR lowered from real clang ASTs via the
+             `clang.cindex` python binding and compile_commands.json.
+             Used in CI where a pinned libclang is installed; falls
+             back to internal (with a note) when the binding or the
+             compilation database is missing.
+
+Both frontends lower to one FunctionIR, so every rule runs unchanged
+on either.
+
+Exit status: 0 clean, 1 findings, 2 usage or internal errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = (
+    "journal-before-mmap",
+    "lock-discipline",
+    "crash-point-reachable",
+    "typed-id",
+)
+
+# ---- rule configuration (the repo-specific protocol knowledge) -----
+
+# Rule journal-before-mmap: classes whose methods write through to the
+# store-file mapping and therefore owe the journal a barrier first.
+JOURNAL_CLASSES = ("FlashMetaView", "PersistBackend")
+# Calls that append to / sync the MetaJournal.  A bare barrier() is
+# FlashMetaView's own journal hook; chains whose base mentions the
+# journal cover PersistBackend (journal_.flush() etc.).
+JOURNAL_CALL_NAMES = ("flush", "commit", "checkpoint", "appendRecord",
+                      "createFresh", "replay")
+JOURNAL_BARE_CALLS = ("barrier",)
+# Calls / assignments that mutate the store-file mapping.
+STORE_WRITE_CALLS = ("storeU32", "storeU64", "memset", "memcpy",
+                     "markValid", "writeSuperblock")
+# LHS chains that write the mapped segment-metadata span directly,
+# e.g. `meta(seg)[StoreFile::segSpecFailedOff] = 1`.
+STORE_WRITE_LHS = ("meta",)
+# Exempt by the documented ordering contract (docs/PERSISTENCE.md):
+# BankBacking orders map-byte vs cell-bytes internally, the superblock
+# valid flag IS the commit record of store creation.
+JOURNAL_EXEMPT_CLASSES = ("BankBacking", "StoreFile")
+
+# Rule lock-discipline: how a locked region starts...
+LOCK_DECL_TYPES = ("MutexLock", "lock_guard", "unique_lock",
+                   "scoped_lock")
+# ...and what must never run inside one.  `wait` is deliberately
+# absent: condition-variable waits release the lock by construction.
+BLOCKING_SYSCALLS = ("fdatasync", "fsync", "msync", "pread", "pwrite",
+                     "read", "write", "sleep", "usleep", "nanosleep")
+# read/write are only blocking syscalls when they are NOT member
+# calls (SramArray::write is a memory copy); member calls named
+# submit are ParallelRunner submissions.
+BLOCKING_MEMBER_CALLS = ("submit",)
+
+# Rule crash-point-reachable: public API surfaces a test or bench
+# drives directly.  ShadowManager is the paper's transaction API and
+# owns the txn.* points.
+ENTRY_CLASSES = ("EnvyStore", "Controller", "ShadowManager")
+CRASH_INVENTORY = os.path.join("src", "faults", "crash_point.cc")
+
+# Rule typed-id: raw integer spellings and the reserved id names.
+RAW_INT_TYPES = re.compile(
+    r"^(?:const\s+)?(?:std::)?"
+    r"(?:uint32_t|uint64_t|size_t|unsigned(?:\s+(?:int|long))?)"
+    r"\s*&?$")
+TYPED_ID_NAMES = ("page", "slot", "seg")
+
+ALLOW = re.compile(r"//\s*envy-analyze:\s*allow\(([a-z-]+)\)\s*\S")
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "try", "catch", "throw",
+    "new", "delete", "sizeof", "alignof", "static_cast",
+    "dynamic_cast", "const_cast", "reinterpret_cast", "operator",
+    "template", "typename", "using", "namespace", "class", "struct",
+    "enum", "union", "public", "private", "protected", "static",
+    "const", "constexpr", "inline", "virtual", "override", "final",
+    "noexcept", "explicit", "friend", "typedef", "mutable", "auto",
+    "void", "bool", "char", "int", "long", "short", "float", "double",
+    "unsigned", "signed",
+}
+
+
+# ---- tokenizer -----------------------------------------------------
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind  # "id", "num", "str", "punct"
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.text!r}@{self.line}"
+
+
+TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<lcomment>//[^\n]*)
+  | (?P<bcomment>/\*.*?\*/)
+  | (?P<str>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+  | (?P<num>(?:0[xX][0-9a-fA-F']+|\d[\d']*(?:\.\d+)?)
+      (?:[uUlLfF]*))
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>::|->\*?|\+\+|--|<<=?|>>=?|<=|>=|==|!=|&&|\|\||
+      [-+*/%&|^!~=<>]=?|[(){}\[\];,.?:#\\])
+""", re.VERBOSE | re.DOTALL)
+
+
+def tokenize(text):
+    """C++ token stream with line numbers; comments and preprocessor
+    lines dropped (but see scan_allows for the comments we keep)."""
+    toks = []
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = TOKEN_RE.match(text, pos)
+        if not m:
+            pos += 1  # stray byte: skip
+            continue
+        kind = m.lastgroup
+        s = m.group()
+        if kind == "ws" or kind == "lcomment" or kind == "bcomment":
+            line += s.count("\n")
+        elif kind == "punct" and s == "#":
+            # Preprocessor directive: swallow to end of (continued)
+            # line.  Keeps #include / #if out of the token stream.
+            j = pos
+            while j < n:
+                e = text.find("\n", j)
+                if e < 0:
+                    j = n
+                    break
+                if text[e - 1] == "\\":
+                    line += 1
+                    j = e + 1
+                    continue
+                j = e
+                break
+            line += text.count("\n", pos, j)
+            pos = j
+            continue
+        else:
+            toks.append(Tok(kind, s, line))
+            line += s.count("\n")
+        pos = m.end()
+    return toks
+
+
+def scan_allows(text):
+    """line number -> set of rules allowed on that line."""
+    allows = {}
+    for num, line in enumerate(text.splitlines(), 1):
+        for m in ALLOW.finditer(line):
+            allows.setdefault(num, set()).add(m.group(1))
+    return allows
+
+
+# ---- statement IR --------------------------------------------------
+#
+# Every function body lowers to a list of nodes:
+#
+#   ("call", chain, name, line, member)   call op, evaluation order
+#   ("assign", lhs_base, line)            assignment through a chain
+#   ("lock", line)                        a scoped-lock declaration
+#   ("block", [nodes])                    explicit { } scope
+#   ("if", [then_nodes], [else_nodes])    both branches analysed
+#   ("loop", [body_nodes])                body may run zero times
+#   ("return", line)                      path ends here
+#
+# Rules walk this tree; neither frontend leaks past it.
+
+
+class FunctionIR:
+    def __init__(self, cls, name, relpath, line, params, body):
+        self.cls = cls        # enclosing class name or ""
+        self.name = name      # unqualified function name
+        self.relpath = relpath
+        self.line = line      # definition line
+        self.params = params  # list of (type_text, name, line)
+        self.body = body      # statement IR list
+
+    @property
+    def qualname(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+# ---- internal frontend ---------------------------------------------
+
+class InternalFrontend:
+    """Extract FunctionIRs straight from the token stream.
+
+    Handles the repo style (out-of-class definitions, opening brace
+    on its own line) plus inline members inside class bodies, which
+    the fixture corpus uses.
+    """
+
+    name = "internal"
+
+    def parse_file(self, relpath, text):
+        toks = tokenize(text)
+        funcs = []
+        self._scan(toks, 0, len(toks), "", relpath, funcs)
+        return funcs
+
+    # -- scope scanning ------------------------------------------
+
+    def _scan(self, toks, i, end, cls, relpath, out):
+        while i < end:
+            t = toks[i]
+            if t.kind == "id" and t.text in ("class", "struct"):
+                i = self._scan_class(toks, i, end, relpath, out)
+            elif t.kind == "id" and t.text == "namespace":
+                i = self._skip_to(toks, i, end, "{")
+                if i < end:
+                    close = self._match_brace(toks, i, end)
+                    self._scan(toks, i + 1, close, cls, relpath, out)
+                    i = close + 1
+            elif t.kind == "id" and t.text in ("using", "typedef",
+                                               "template"):
+                i = self._skip_decl(toks, i, end)
+            else:
+                f = self._try_function(toks, i, end, cls, relpath)
+                if f:
+                    out.append(f[0])
+                    i = f[1]
+                else:
+                    i += 1
+        return i
+
+    def _scan_class(self, toks, i, end, relpath, out):
+        # class NAME [final] [: bases] { ... } ;  -- or a forward
+        # declaration `class NAME;`.
+        j = i + 1
+        name = ""
+        while j < end and toks[j].kind == "id":
+            name = toks[j].text
+            j += 1
+        while j < end and toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= end or toks[j].text == ";":
+            return j + 1
+        close = self._match_brace(toks, j, end)
+        self._scan(toks, j + 1, close, name, relpath, out)
+        return close + 1
+
+    def _skip_to(self, toks, i, end, text):
+        while i < end and toks[i].text != text:
+            i += 1
+        return i
+
+    def _skip_decl(self, toks, i, end):
+        depth = 0
+        while i < end:
+            t = toks[i].text
+            if t in "({[":
+                depth += 1
+            elif t in ")}]":
+                depth -= 1
+            elif t == ";" and depth <= 0:
+                return i + 1
+            elif t == "{" and depth == 0:
+                return self._match_brace(toks, i, end) + 1
+            i += 1
+        return end
+
+    def _match_brace(self, toks, i, end):
+        """i points at '{'; return index of the matching '}'."""
+        depth = 0
+        while i < end:
+            if toks[i].text == "{":
+                depth += 1
+            elif toks[i].text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+            i += 1
+        return end - 1
+
+    def _try_function(self, toks, i, end, cls, relpath):
+        """Recognise `... [Cls::]name ( params ) [const...] [: init]
+        {` starting the declarator at or after i.  Returns
+        (FunctionIR, next_index) or None."""
+        t = toks[i]
+        if t.kind != "id" or t.text in KEYWORDS:
+            return None
+        # The candidate name is an identifier directly followed by
+        # '(' -- possibly via Cls::name.
+        name = t.text
+        fn_cls = cls
+        j = i + 1
+        while j + 1 < end and toks[j].text == "::" and \
+                toks[j + 1].kind == "id":
+            fn_cls = name if not cls else name
+            name = toks[j + 1].text
+            j += 2
+        if j >= end or toks[j].text != "(" or name in KEYWORDS:
+            return None
+        close_paren = self._match_paren(toks, j, end)
+        if close_paren is None:
+            return None
+        # After ')': const/noexcept/override/final/attribute, then an
+        # optional ctor-initialiser, then '{' for a definition.
+        k = close_paren + 1
+        while k < end and toks[k].kind == "id" and \
+                toks[k].text in ("const", "noexcept", "override",
+                                 "final", "mutable"):
+            k += 1
+        if k < end and toks[k].text == "(":  # noexcept(...)
+            p = self._match_paren(toks, k, end)
+            if p is None:
+                return None
+            k = p + 1
+        if k < end and toks[k].text == ":":
+            # ctor init list: skip balanced until '{' at depth 0
+            k += 1
+            depth = 0
+            while k < end:
+                tx = toks[k].text
+                if tx in "([":
+                    depth += 1
+                elif tx in ")]":
+                    depth -= 1
+                elif tx == "{" and depth == 0:
+                    break
+                elif tx == ";" and depth == 0:
+                    return None
+                k += 1
+        if k >= end or toks[k].text != "{":
+            return None
+        # Guard against control statements and calls: the token
+        # before the declarator must not suggest an expression.
+        if i > 0 and toks[i - 1].text in (".", "->", "::", "(", ",",
+                                          "=", "return", "&&", "||",
+                                          "!", "==", "!="):
+            return None
+        body_close = self._match_brace(toks, k, end)
+        params = self._parse_params(toks, j + 1, close_paren)
+        body = self._parse_block(toks, k + 1, body_close)
+        ir = FunctionIR(fn_cls, name, relpath, t.line, params, body)
+        return ir, body_close + 1
+
+    def _match_paren(self, toks, i, end):
+        """Strict matcher for declarator parameter lists: a brace or
+        semicolon before the close means this was not a declarator."""
+        depth = 0
+        while i < end:
+            if toks[i].text == "(":
+                depth += 1
+            elif toks[i].text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i
+            elif toks[i].text in ("{", ";"):
+                return None
+            i += 1
+        return None
+
+    def _match_paren_any(self, toks, i, end):
+        """Balance-only matcher for conditions: `for (;;)` headers
+        and lambdas in conditions are legal there."""
+        depth = 0
+        while i < end:
+            if toks[i].text == "(":
+                depth += 1
+            elif toks[i].text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i
+            i += 1
+        return None
+
+    def _parse_params(self, toks, i, end):
+        """Split [i, end) on top-level commas; each piece is a
+        parameter: all-but-last id is the type, last id the name."""
+        params = []
+        piece = []
+        depth = 0
+        for k in range(i, end):
+            t = toks[k]
+            if t.text in "(<[{":
+                depth += 1
+            elif t.text in ")>]}":
+                depth -= 1
+            if t.text == "," and depth == 0:
+                params.append(piece)
+                piece = []
+            else:
+                piece.append(t)
+        if piece:
+            params.append(piece)
+        out = []
+        for piece in params:
+            # drop default argument
+            for k, t in enumerate(piece):
+                if t.text == "=":
+                    piece = piece[:k]
+                    break
+            ids = [t for t in piece if t.kind == "id"]
+            if len(ids) < 2:
+                continue  # unnamed or `void`
+            pname = ids[-1]
+            type_text = " ".join(
+                t.text for t in piece
+                if t is not pname).replace(" :: ", "::")
+            out.append((type_text, pname.text, pname.line))
+        return out
+
+    # -- statement parsing ---------------------------------------
+
+    def _parse_block(self, toks, i, end):
+        """Parse statements in [i, end) (inside braces)."""
+        nodes = []
+        while i < end:
+            t = toks[i]
+            if t.text == "{":
+                close = self._match_brace(toks, i, end)
+                nodes.append(("block",
+                              self._parse_block(toks, i + 1, close)))
+                i = close + 1
+            elif t.kind == "id" and t.text == "if":
+                i = self._parse_if(toks, i, end, nodes)
+            elif t.kind == "id" and t.text in ("for", "while",
+                                               "switch"):
+                i = self._parse_loop(toks, i, end, nodes)
+            elif t.kind == "id" and t.text == "do":
+                # do { body } while (cond); body runs at least once.
+                if i + 1 < end and toks[i + 1].text == "{":
+                    close = self._match_brace(toks, i + 1, end)
+                    nodes.append(("block", self._parse_block(
+                        toks, i + 2, close)))
+                    i = self._skip_statement(toks, close + 1, end,
+                                             nodes, emit=True)
+                else:
+                    i += 1
+            elif t.kind == "id" and t.text == "return":
+                i = self._skip_statement(toks, i + 1, end, nodes,
+                                         emit=True)
+                nodes.append(("return", t.line))
+            elif t.kind == "id" and t.text == "else":
+                i += 1  # handled by _parse_if; stray safety
+            else:
+                i = self._skip_statement(toks, i, end, nodes,
+                                         emit=True)
+        return nodes
+
+    def _parse_paren_ops(self, toks, i, end, nodes):
+        """i at '('; emit ops for the condition, return index past
+        ')'."""
+        close = self._match_paren_any(toks, i, end)
+        if close is None:
+            return end
+        self._emit_ops(toks, i + 1, close, nodes)
+        return close + 1
+
+    def _parse_if(self, toks, i, end, nodes):
+        line = toks[i].line
+        i += 1
+        if i < end and toks[i].kind == "id" and \
+                toks[i].text == "constexpr":
+            i += 1
+        if i >= end or toks[i].text != "(":
+            return i
+        i = self._parse_paren_ops(toks, i, end, nodes)
+        then_nodes, i = self._parse_substmt(toks, i, end)
+        else_nodes = []
+        if i < end and toks[i].kind == "id" and toks[i].text == "else":
+            i += 1
+            if i < end and toks[i].kind == "id" and \
+                    toks[i].text == "if":
+                sub = []
+                i = self._parse_if(toks, i, end, sub)
+                else_nodes = sub
+            else:
+                else_nodes, i = self._parse_substmt(toks, i, end)
+        nodes.append(("if", then_nodes, else_nodes, line))
+        return i
+
+    def _parse_loop(self, toks, i, end, nodes):
+        i += 1
+        if i >= end or toks[i].text != "(":
+            return i
+        i = self._parse_paren_ops(toks, i, end, nodes)
+        body, i = self._parse_substmt(toks, i, end)
+        nodes.append(("loop", body))
+        return i
+
+    def _parse_substmt(self, toks, i, end):
+        """One statement or block after if(...)/loop(...)."""
+        if i < end and toks[i].text == "{":
+            close = self._match_brace(toks, i, end)
+            return self._parse_block(toks, i + 1, close), close + 1
+        sub = []
+        if i < end and toks[i].kind == "id" and toks[i].text == "if":
+            i = self._parse_if(toks, i, end, sub)
+            return sub, i
+        if i < end and toks[i].kind == "id" and \
+                toks[i].text == "return":
+            line = toks[i].line
+            i = self._skip_statement(toks, i + 1, end, sub, emit=True)
+            sub.append(("return", line))
+            return sub, i
+        i = self._skip_statement(toks, i, end, sub, emit=True)
+        return sub, i
+
+    def _skip_statement(self, toks, i, end, nodes, emit):
+        """Consume one `...;` statement, emitting its ops."""
+        start = i
+        depth = 0
+        while i < end:
+            t = toks[i].text
+            if t in "([":
+                depth += 1
+            elif t in ")]":
+                depth -= 1
+            elif t == "{":
+                # brace inside a statement: lambda body or braced
+                # init.  Lambda bodies are deferred code -- their ops
+                # are attributed to the function for the call graph
+                # but excluded from the ordering/lock walks, which
+                # "call"-op consumers do via the member flag... we
+                # keep it simpler: emit them as ops inside a
+                # ("defer", [...]) node.
+                close = self._match_brace(toks, i, end)
+                if emit:
+                    inner = self._parse_block(toks, i + 1, close)
+                    nodes.append(("defer", inner))
+                i = close + 1
+                continue
+            elif t == ";" and depth <= 0:
+                if emit:
+                    self._emit_ops(toks, start, i, nodes)
+                return i + 1
+            i += 1
+        if emit:
+            self._emit_ops(toks, start, end, nodes)
+        return end
+
+    def _emit_ops(self, toks, i, end, nodes):
+        """Scan [i, end) (one expression/declaration, braces already
+        removed) for call, assignment and lock-declaration ops, in
+        textual order."""
+        # Lock declaration: TYPE name ( ... )   with TYPE in
+        # LOCK_DECL_TYPES (possibly std:: / template-argumented).
+        k = i
+        while k < end:
+            t = toks[k]
+            if t.kind == "id" and t.text in LOCK_DECL_TYPES:
+                # skip template args
+                j = k + 1
+                if j < end and toks[j].text == "<":
+                    depth = 0
+                    while j < end:
+                        if toks[j].text == "<":
+                            depth += 1
+                        elif toks[j].text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        j += 1
+                if j < end and toks[j].kind == "id" and \
+                        j + 1 < end and toks[j + 1].text in ("(", "{"):
+                    nodes.append(("lock", t.line))
+                    k = j
+                    break
+            k += 1
+        # Calls and assignments.  Brace groups (lambda bodies) were
+        # already lowered to defer nodes by the caller; skip them.
+        k = i
+        while k < end:
+            t = toks[k]
+            if t.text == "{":
+                depth = 0
+                while k < end:
+                    if toks[k].text == "{":
+                        depth += 1
+                    elif toks[k].text == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    k += 1
+                k += 1
+                continue
+            if t.kind == "id" and k + 1 < end and \
+                    toks[k + 1].text == "(" and t.text not in KEYWORDS:
+                # reconstruct the chain behind the call
+                chain = []
+                b = k - 1
+                member = False
+                while b >= 0:
+                    tx = toks[b].text
+                    if tx in (".", "->", "::"):
+                        if tx in (".", "->"):
+                            member = True
+                        chain.append(tx)
+                        b -= 1
+                    elif toks[b].kind == "id" and chain and \
+                            chain[-1] in (".", "->", "::"):
+                        chain.append(toks[b].text)
+                        b -= 1
+                    elif tx == ")" or tx == "]":
+                        # meta(seg)[x].foo() style base: fold the
+                        # bracketed group into the chain head.
+                        depth = 0
+                        while b >= 0:
+                            bx = toks[b].text
+                            if bx in ")]":
+                                depth += 1
+                            elif bx in "([":
+                                depth -= 1
+                                if depth == 0:
+                                    b -= 1
+                                    break
+                            b -= 1
+                        if b >= 0 and toks[b].kind == "id":
+                            chain.append(toks[b].text)
+                            b -= 1
+                    else:
+                        break
+                base = "".join(reversed(chain))
+                nodes.append(("call", base, t.text, t.line, member))
+            elif t.text == "=" and k > i:
+                prev = toks[k - 1]
+                if prev.text in ("]", ")") or prev.kind == "id":
+                    # walk back to the base identifier of the LHS
+                    b = k - 1
+                    depth = 0
+                    base = None
+                    while b >= i:
+                        tx = toks[b].text
+                        if tx in ")]":
+                            depth += 1
+                        elif tx in "([":
+                            depth -= 1
+                        elif toks[b].kind == "id" and depth == 0:
+                            base = toks[b].text
+                            if b > i and toks[b - 1].text in (
+                                    ".", "->", "::"):
+                                b -= 1
+                                continue
+                            break
+                        b -= 1
+                    if base:
+                        nodes.append(("assign", base, t.line))
+            k += 1
+
+
+# ---- libclang frontend ---------------------------------------------
+
+class LibclangFrontend:
+    """Lower real clang ASTs to the same FunctionIR.
+
+    Requires the `clang.cindex` binding and a compile_commands.json;
+    main() falls back to the internal frontend when either is
+    missing.
+    """
+
+    name = "libclang"
+
+    def __init__(self, root, compdb_dir):
+        import clang.cindex as ci
+        self.ci = ci
+        self.root = root
+        self.index = ci.Index.create()
+        self.compdb = ci.CompilationDatabase.fromDirectory(compdb_dir)
+
+    def parse_file(self, relpath, text):
+        ci = self.ci
+        path = os.path.join(self.root, relpath)
+        args = []
+        cmds = self.compdb.getCompileCommands(path)
+        if cmds:
+            raw = list(cmds[0].arguments)[1:-1]
+            skip = False
+            for a in raw:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-o", "-c"):
+                    skip = a == "-o"
+                    continue
+                if a == path or a.endswith(relpath):
+                    continue
+                args.append(a)
+        tu = self.index.parse(path, args=args)
+        funcs = []
+        self._walk_decls(tu.cursor, relpath, funcs)
+        return funcs
+
+    def _walk_decls(self, cursor, relpath, out):
+        ci = self.ci
+        for c in cursor.get_children():
+            if c.location.file and not str(
+                    c.location.file).endswith(relpath):
+                continue
+            k = c.kind
+            if k in (ci.CursorKind.NAMESPACE,
+                     ci.CursorKind.CLASS_DECL,
+                     ci.CursorKind.STRUCT_DECL,
+                     ci.CursorKind.UNEXPOSED_DECL,
+                     ci.CursorKind.LINKAGE_SPEC):
+                self._walk_decls(c, relpath, out)
+            elif k in (ci.CursorKind.CXX_METHOD,
+                       ci.CursorKind.FUNCTION_DECL,
+                       ci.CursorKind.CONSTRUCTOR,
+                       ci.CursorKind.DESTRUCTOR,
+                       ci.CursorKind.FUNCTION_TEMPLATE) and \
+                    c.is_definition():
+                cls = ""
+                if c.semantic_parent and c.semantic_parent.kind in (
+                        ci.CursorKind.CLASS_DECL,
+                        ci.CursorKind.STRUCT_DECL):
+                    cls = c.semantic_parent.spelling
+                params = []
+                for p in c.get_arguments():
+                    params.append((p.type.spelling, p.spelling,
+                                   p.location.line))
+                body = []
+                for child in c.get_children():
+                    if child.kind == ci.CursorKind.COMPOUND_STMT:
+                        body = self._lower_stmt(child)
+                out.append(FunctionIR(cls, c.spelling, relpath,
+                                      c.location.line, params, body))
+
+    def _lower_stmt(self, cursor):
+        ci = self.ci
+        nodes = []
+        for c in cursor.get_children():
+            k = c.kind
+            if k == ci.CursorKind.COMPOUND_STMT:
+                nodes.append(("block", self._lower_stmt(c)))
+            elif k == ci.CursorKind.IF_STMT:
+                kids = list(c.get_children())
+                self._lower_expr(kids[0], nodes)
+                then = self._lower_one(kids[1]) if len(kids) > 1 \
+                    else []
+                els = self._lower_one(kids[2]) if len(kids) > 2 \
+                    else []
+                nodes.append(("if", then, els, c.location.line))
+            elif k in (ci.CursorKind.FOR_STMT,
+                       ci.CursorKind.WHILE_STMT,
+                       ci.CursorKind.CXX_FOR_RANGE_STMT,
+                       ci.CursorKind.SWITCH_STMT,
+                       ci.CursorKind.DO_STMT):
+                body = []
+                for kid in c.get_children():
+                    if kid.kind == ci.CursorKind.COMPOUND_STMT:
+                        body = self._lower_stmt(kid)
+                    else:
+                        self._lower_expr(kid, body)
+                nodes.append(("loop", body))
+            elif k == ci.CursorKind.RETURN_STMT:
+                for kid in c.get_children():
+                    self._lower_expr(kid, nodes)
+                nodes.append(("return", c.location.line))
+            elif k == ci.CursorKind.DECL_STMT:
+                for kid in c.get_children():
+                    if kid.kind == ci.CursorKind.VAR_DECL:
+                        tname = kid.type.spelling
+                        if any(lt in tname
+                               for lt in LOCK_DECL_TYPES):
+                            nodes.append(("lock",
+                                          kid.location.line))
+                            continue
+                    self._lower_expr(kid, nodes)
+            else:
+                self._lower_expr(c, nodes)
+        return nodes
+
+    def _lower_one(self, cursor):
+        ci = self.ci
+        if cursor.kind == ci.CursorKind.COMPOUND_STMT:
+            return self._lower_stmt(cursor)
+        return self._lower_stmt_single(cursor)
+
+    def _lower_stmt_single(self, cursor):
+        wrap = self.ci.CursorKind
+        nodes = []
+        if cursor.kind == wrap.RETURN_STMT:
+            for kid in cursor.get_children():
+                self._lower_expr(kid, nodes)
+            nodes.append(("return", cursor.location.line))
+        elif cursor.kind == wrap.IF_STMT:
+            kids = list(cursor.get_children())
+            self._lower_expr(kids[0], nodes)
+            then = self._lower_one(kids[1]) if len(kids) > 1 else []
+            els = self._lower_one(kids[2]) if len(kids) > 2 else []
+            nodes.append(("if", then, els, cursor.location.line))
+        else:
+            self._lower_expr(cursor, nodes)
+        return nodes
+
+    def _lower_expr(self, cursor, nodes):
+        ci = self.ci
+        if cursor.kind == ci.CursorKind.LAMBDA_EXPR:
+            inner = []
+            for kid in cursor.get_children():
+                if kid.kind == ci.CursorKind.COMPOUND_STMT:
+                    inner = self._lower_stmt(kid)
+            nodes.append(("defer", inner))
+            return
+        if cursor.kind == ci.CursorKind.CALL_EXPR:
+            name = cursor.spelling or ""
+            member = False
+            base = ""
+            kids = list(cursor.get_children())
+            if kids and kids[0].kind == ci.CursorKind. \
+                    MEMBER_REF_EXPR:
+                member = True
+                bb = list(kids[0].get_children())
+                if bb:
+                    base = bb[0].spelling or ""
+                base = f"{base}.{name}" if base else name
+            if name:
+                nodes.append(("call", base, name,
+                              cursor.location.line, member))
+        if cursor.kind in (ci.CursorKind.BINARY_OPERATOR,
+                           ci.CursorKind.
+                           COMPOUND_ASSIGNMENT_OPERATOR):
+            kids = list(cursor.get_children())
+            if kids:
+                toks = [t.spelling for t in cursor.get_tokens()]
+                if "=" in toks:
+                    lhs = kids[0]
+                    base = lhs.spelling
+                    cur = lhs
+                    while not base:
+                        sub = list(cur.get_children())
+                        if not sub:
+                            break
+                        cur = sub[0]
+                        base = cur.spelling
+                    if base:
+                        nodes.append(("assign", base,
+                                      cursor.location.line))
+        for kid in cursor.get_children():
+            self._lower_expr(kid, nodes)
+
+
+# ---- rule machinery ------------------------------------------------
+
+class Findings:
+    def __init__(self):
+        self.items = []  # (relpath, line, rule, message)
+        self.allows = {}  # relpath -> {line: set(rules)}
+        self.used_allows = set()  # (relpath, line, rule)
+
+    def load_allows(self, relpath, text):
+        self.allows[relpath] = scan_allows(text)
+
+    def report(self, relpath, line, rule, message):
+        per_file = self.allows.get(relpath, {})
+        for num in (line, line - 1):
+            if rule in per_file.get(num, set()):
+                self.used_allows.add((relpath, num, rule))
+                return
+        self.items.append((relpath, line, rule, message))
+
+    def finish_unused_allows(self):
+        for relpath, per_line in sorted(self.allows.items()):
+            for num, rules in sorted(per_line.items()):
+                for rule in sorted(rules):
+                    if (relpath, num, rule) in self.used_allows:
+                        continue
+                    if rule not in RULES:
+                        self.items.append((
+                            relpath, num, "unused-allow",
+                            f"allow({rule}) names no envy-analyze "
+                            "rule"))
+                    else:
+                        self.items.append((
+                            relpath, num, "unused-allow",
+                            f"allow({rule}) suppresses nothing -- "
+                            "remove it or fix the rule id"))
+
+
+def walk_ops(nodes, include_defer=False):
+    """Flatten to ops for order-insensitive consumers."""
+    for n in nodes:
+        kind = n[0]
+        if kind in ("call", "assign", "lock", "return"):
+            yield n
+        elif kind == "block" or kind == "loop":
+            yield from walk_ops(n[1], include_defer)
+        elif kind == "if":
+            yield from walk_ops(n[1], include_defer)
+            yield from walk_ops(n[2], include_defer)
+        elif kind == "defer" and include_defer:
+            yield from walk_ops(n[1], include_defer)
+
+
+# -- rule: journal-before-mmap ---------------------------------------
+
+def is_journal_call(op, extra_names):
+    _, base, name, _line, _member = op
+    if name in JOURNAL_BARE_CALLS and not base:
+        return True
+    if name in extra_names:
+        return True
+    if name in JOURNAL_CALL_NAMES and "journal" in base.lower():
+        return True
+    return False
+
+
+def is_store_write(op):
+    if op[0] == "call":
+        _, base, name, _line, _member = op
+        return name in STORE_WRITE_CALLS
+    if op[0] == "assign":
+        _, base, _line = op
+        return base in STORE_WRITE_LHS
+    return False
+
+
+def journal_walk(nodes, journaled, extra, hits):
+    """Walk the statement tree; `journaled` is True when every path
+    to this point has journaled.  Returns the journaled state on
+    fall-through, or None when every path returned."""
+    for n in nodes:
+        kind = n[0]
+        if kind == "call":
+            if is_journal_call(n, extra):
+                journaled = True
+            elif is_store_write(n) and not journaled:
+                hits.append((n[3], n[2]))
+        elif kind == "assign":
+            if is_store_write(n) and not journaled:
+                hits.append((n[2], n[1]))
+        elif kind == "return":
+            return None
+        elif kind == "block":
+            journaled = journal_walk(n[1], journaled, extra, hits)
+            if journaled is None:
+                return None
+        elif kind == "if":
+            then_state = journal_walk(n[1], journaled, extra, hits)
+            else_state = journal_walk(n[2], journaled, extra, hits)
+            states = [s for s in (then_state, else_state)
+                      if s is not None]
+            if not states:
+                return None
+            journaled = all(states) and \
+                (then_state is not None and else_state is not None)
+            # A branch that returned does not weaken the fall-through
+            # state: only surviving paths join.
+            journaled = all(states)
+        elif kind == "loop":
+            # body may run zero times: findings inside are checked
+            # with the entry state; a journal inside cannot promote
+            # the state after the loop.
+            journal_walk(n[1], journaled, extra, hits)
+        elif kind == "defer":
+            # deferred (lambda) bodies run at unknowable times; they
+            # are checked independently with a clean state.
+            journal_walk(n[1], False, extra, hits)
+    return journaled
+
+
+def always_journals(fn, extra):
+    """True when every path through fn reaches a journal call (and
+    never store-writes first) -- such helpers count as journal ops
+    for their callers."""
+    hits = []
+    state = journal_walk(fn.body, False, extra, hits)
+    if hits:
+        return False
+    if state is True:
+        return True
+    # state None (all paths return): approximate by requiring at
+    # least one journal call and no store writes at all.
+    ops = list(walk_ops(fn.body))
+    if any(is_store_write(op) for op in ops if op[0] in
+           ("call", "assign")):
+        return False
+    return any(op[0] == "call" and is_journal_call(op, extra)
+               for op in ops)
+
+
+def rule_journal_before_mmap(functions, findings):
+    targets = [f for f in functions if f.cls in JOURNAL_CLASSES]
+    # Fixpoint: helpers of the same class that provably always
+    # journal become journal ops themselves (checkpointNow()).
+    extra = set()
+    for _ in range(3):
+        new = {f.name for f in targets if always_journals(f, extra)}
+        if new <= extra:
+            break
+        extra |= new
+    for fn in targets:
+        hits = []
+        journal_walk(fn.body, False, extra, hits)
+        for line, what in hits:
+            findings.report(
+                fn.relpath, line, "journal-before-mmap",
+                f"{fn.qualname} writes the store mapping via "
+                f"'{what}' on a path with no prior MetaJournal "
+                "append -- a crash here leaves flash metadata newer "
+                "than the journal (docs/PERSISTENCE.md ordering)")
+
+
+# -- rule: lock-discipline -------------------------------------------
+
+def lock_walk(nodes, locked, hits):
+    for n in nodes:
+        kind = n[0]
+        if kind == "lock":
+            locked = True
+        elif kind == "call":
+            _, base, name, line, member = n
+            if member:
+                if name in BLOCKING_MEMBER_CALLS and locked:
+                    hits.append((line, f"{base or name}()"))
+            elif name in BLOCKING_SYSCALLS and locked:
+                hits.append((line, f"{name}()"))
+        elif kind == "block":
+            # a lock declared inside the block dies with it; one held
+            # on entry is still held inside.
+            lock_walk(n[1], locked, hits)
+        elif kind == "if":
+            lock_walk(n[1], locked, hits)
+            lock_walk(n[2], locked, hits)
+        elif kind == "loop":
+            lock_walk(n[1], locked, hits)
+        elif kind == "defer":
+            lock_walk(n[1], False, hits)
+        elif kind == "return":
+            pass
+    return locked
+
+
+def rule_lock_discipline(functions, findings):
+    for fn in functions:
+        hits = []
+        lock_walk(fn.body, False, hits)
+        for line, what in hits:
+            findings.report(
+                fn.relpath, line, "lock-discipline",
+                f"{fn.qualname} calls {what} while holding a mutex "
+                "-- blocking syscalls and ParallelRunner submission "
+                "must run outside locked regions")
+
+
+# -- rule: crash-point-reachable -------------------------------------
+
+def parse_inventory(root):
+    path = os.path.join(root, CRASH_INVENTORY)
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return []
+    return sorted(set(re.findall(r'"([a-z]+(?:\.[a-z_]+)+)"', text)))
+
+
+def rule_crash_point_reachable(functions, findings, root):
+    inventory = parse_inventory(root)
+    if not inventory:
+        return
+    # point -> (relpath, line, function name) declaration sites
+    sites = {}
+    calls = {}  # function name -> set of callee names
+    for fn in functions:
+        callees = calls.setdefault(fn.name, set())
+        for op in walk_ops(fn.body, include_defer=True):
+            if op[0] != "call":
+                continue
+            _, _base, name, line, _member = op
+            callees.add(name)
+            # ENVY_CRASH_POINT sites: the macro call itself.  The
+            # point name is recovered from the raw text separately;
+            # here we only need the containing function.
+        sites.setdefault(fn.relpath, []).append(fn)
+
+    # Recover crash-point name -> containing function by re-reading
+    # the files (the tokenizer dropped string contents into tokens,
+    # so scan the raw text against function line ranges).
+    point_sites = {}  # point -> (relpath, line, fn name)
+    cp_re = re.compile(r'ENVY_CRASH_POINT\(\s*"([^"]+)"\s*\)')
+    for relpath, fns in sites.items():
+        try:
+            with open(os.path.join(root, relpath),
+                      encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError:
+            continue
+        spans = sorted(((fn.line, fn) for fn in fns),
+                       key=lambda p: p[0])
+        for num, line in enumerate(lines, 1):
+            for m in cp_re.finditer(line):
+                owner = None
+                for start, fn in spans:
+                    if start <= num:
+                        owner = fn
+                    else:
+                        break
+                if owner:
+                    point_sites[m.group(1)] = (relpath, num,
+                                               owner.name)
+
+    # BFS over call names from the entry classes.
+    reached = set()
+    frontier = [fn.name for fn in functions
+                if fn.cls in ENTRY_CLASSES]
+    reached.update(frontier)
+    while frontier:
+        nxt = []
+        for name in frontier:
+            for callee in calls.get(name, ()):
+                if callee not in reached:
+                    reached.add(callee)
+                    nxt.append(callee)
+        frontier = nxt
+
+    entry_list = "/".join(ENTRY_CLASSES)
+    for point in inventory:
+        site = point_sites.get(point)
+        if site is None:
+            # Inventory entry with no declaration site anywhere:
+            # report against the inventory file itself.
+            findings.report(
+                CRASH_INVENTORY, 1, "crash-point-reachable",
+                f'crash point "{point}" is in the canonical '
+                "inventory but declared nowhere in the scanned tree")
+            continue
+        relpath, line, fname = site
+        if fname not in reached:
+            findings.report(
+                relpath, line, "crash-point-reachable",
+                f'crash point "{point}" (in {fname}) is unreachable '
+                f"from any {entry_list} entry point -- the crash "
+                "explorer and harness have lost this coverage")
+
+
+# -- rule: typed-id --------------------------------------------------
+
+def rule_typed_id(functions, findings):
+    for fn in functions:
+        for type_text, pname, line in fn.params:
+            if pname not in TYPED_ID_NAMES:
+                continue
+            norm = type_text.replace("&", " &").strip()
+            if RAW_INT_TYPES.match(type_text.strip()) or \
+                    RAW_INT_TYPES.match(norm):
+                findings.report(
+                    fn.relpath, line, "typed-id",
+                    f"{fn.qualname} takes raw integer parameter "
+                    f"'{type_text} {pname}' -- use LogicalPageId / "
+                    "SlotId / SegmentId")
+
+
+# ---- driver --------------------------------------------------------
+
+def source_files(root, compdb_path):
+    """Files to analyse: the src/ entries of compile_commands.json
+    plus all headers; falls back to walking src/."""
+    files = set()
+    if compdb_path and os.path.exists(compdb_path):
+        try:
+            with open(compdb_path, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    p = os.path.normpath(os.path.join(
+                        entry.get("directory", ""),
+                        entry.get("file", "")))
+                    rel = os.path.relpath(p, root)
+                    if rel.startswith("src" + os.sep):
+                        files.add(rel)
+        except (OSError, ValueError):
+            pass
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for n in names:
+            if n.endswith((".hh", ".hpp")):
+                files.add(os.path.relpath(
+                    os.path.join(dirpath, n), root))
+            elif n.endswith((".cc", ".cpp")) and not files:
+                pass
+    if not any(f.endswith((".cc", ".cpp")) for f in files):
+        for dirpath, _, names in os.walk(os.path.join(root, "src")):
+            for n in names:
+                if n.endswith((".cc", ".cpp")):
+                    files.add(os.path.relpath(
+                        os.path.join(dirpath, n), root))
+    return sorted(files)
+
+
+def make_frontend(kind, root, compdb_path, notes):
+    if kind in ("auto", "libclang"):
+        try:
+            compdb_dir = os.path.dirname(compdb_path) \
+                if compdb_path else os.path.join(root, "build")
+            if not os.path.exists(os.path.join(
+                    compdb_dir, "compile_commands.json")):
+                raise RuntimeError(
+                    f"no compile_commands.json in {compdb_dir}")
+            fe = LibclangFrontend(root, compdb_dir)
+            return fe
+        except Exception as e:  # binding/library/compdb missing
+            if kind == "libclang":
+                print(f"envy-analyze: libclang frontend unavailable: "
+                      f"{e}", file=sys.stderr)
+                sys.exit(2)
+            notes.append(f"libclang unavailable ({e.__class__.__name__}"
+                         f": {e}); using internal frontend")
+    return InternalFrontend()
+
+
+def analyze(root, files, frontend, findings):
+    functions = []
+    for rel in files:
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            continue
+        findings.load_allows(rel, text)
+        try:
+            functions.extend(frontend.parse_file(rel, text))
+        except Exception as e:
+            if frontend.name == "libclang":
+                # one bad TU must not silence the run
+                functions.extend(
+                    InternalFrontend().parse_file(rel, text))
+            else:
+                raise RuntimeError(f"{rel}: {e}") from e
+    rule_journal_before_mmap(functions, findings)
+    rule_lock_discipline(functions, findings)
+    rule_crash_point_reachable(functions, findings, root)
+    rule_typed_id(functions, findings)
+    findings.finish_unused_allows()
+    return functions
+
+
+def print_findings(findings, github):
+    for relpath, line, rule, message in sorted(findings.items):
+        if github:
+            print(f"::error file={relpath},line={line}::"
+                  f"[{rule}] {message}")
+        else:
+            print(f"{relpath}:{line}: [{rule}] {message}")
+
+
+# ---- self test -----------------------------------------------------
+
+EXPECT_RE = re.compile(r"//\s*expect-finding:\s*([a-z-]+)")
+
+
+def self_test(root, fixtures_dir, frontend_kind):
+    """Run the rules over the fixture corpus: each fixture declares
+    the findings it must produce via `// expect-finding: <rule>`
+    lines; near-miss fixtures declare none and must stay silent."""
+    if not os.path.isdir(fixtures_dir):
+        print(f"envy-analyze: no fixture dir {fixtures_dir}",
+              file=sys.stderr)
+        return 2
+    fixture_files = sorted(
+        n for n in os.listdir(fixtures_dir)
+        if n.endswith((".cc", ".hh")))
+    if not fixture_files:
+        print("envy-analyze: fixture dir is empty", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in fixture_files:
+        path = os.path.join(fixtures_dir, name)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        expected = {}
+        for m in EXPECT_RE.finditer(text):
+            expected[m.group(1)] = expected.get(m.group(1), 0) + 1
+
+        findings = Findings()
+        frontend = InternalFrontend()
+        findings.load_allows(name, text)
+        functions = frontend.parse_file(name, text)
+        rule_journal_before_mmap(functions, findings)
+        rule_lock_discipline(functions, findings)
+        # crash-point-reachable runs against a fixture-local
+        # inventory: a fixture opts in with a marker comment.
+        if "self-test-crash-inventory" in text:
+            _self_test_reachability(name, text, functions, findings)
+        rule_typed_id(functions, findings)
+        findings.finish_unused_allows()
+
+        got = {}
+        for _rel, _line, rule, _msg in findings.items:
+            got[rule] = got.get(rule, 0) + 1
+        if got != expected:
+            failures.append(
+                f"{name}: expected {expected or '{}'} but got "
+                f"{got or '{}'}")
+            for item in findings.items:
+                failures.append(f"  (finding) {item[0]}:{item[1]}: "
+                                f"[{item[2]}] {item[3]}")
+    if failures:
+        print("envy-analyze self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    n_fire = sum(1 for n in fixture_files if "_fire" in n)
+    n_ok = sum(1 for n in fixture_files if "_ok" in n)
+    print(f"envy-analyze self-test OK: {n_fire} firing and {n_ok} "
+          f"near-miss fixtures behave as declared "
+          f"({frontend_kind} frontend request, internal engine)")
+    return 0
+
+
+def _self_test_reachability(name, text, functions, findings):
+    """Fixture-local variant of crash-point-reachable: the inventory
+    is the set of ENVY_CRASH_POINT names in the fixture plus any
+    `// inventory: <point>` lines (for declared-nowhere cases)."""
+    cp_re = re.compile(r'ENVY_CRASH_POINT\(\s*"([^"]+)"\s*\)')
+    inv_re = re.compile(r"//\s*inventory:\s*([a-z._]+)")
+    inventory = sorted(set(cp_re.findall(text)) |
+                       set(inv_re.findall(text)))
+    lines = text.splitlines()
+    spans = sorted(functions, key=lambda f: f.line)
+    point_sites = {}
+    for num, line in enumerate(lines, 1):
+        for m in cp_re.finditer(line):
+            owner = None
+            for fn in spans:
+                if fn.line <= num:
+                    owner = fn
+                else:
+                    break
+            if owner:
+                point_sites[m.group(1)] = (num, owner.name)
+    calls = {}
+    for fn in functions:
+        callees = calls.setdefault(fn.name, set())
+        for op in walk_ops(fn.body, include_defer=True):
+            if op[0] == "call":
+                callees.add(op[2])
+    reached = set(fn.name for fn in functions
+                  if fn.cls in ENTRY_CLASSES)
+    frontier = list(reached)
+    while frontier:
+        nxt = []
+        for n in frontier:
+            for callee in calls.get(n, ()):
+                if callee not in reached:
+                    reached.add(callee)
+                    nxt.append(callee)
+        frontier = nxt
+    entry_list = "/".join(ENTRY_CLASSES)
+    for point in inventory:
+        site = point_sites.get(point)
+        if site is None:
+            findings.report(name, 1, "crash-point-reachable",
+                            f'crash point "{point}" declared nowhere')
+            continue
+        num, fname = site
+        if fname not in reached:
+            findings.report(
+                name, num, "crash-point-reachable",
+                f'crash point "{point}" (in {fname}) unreachable '
+                f"from {entry_list}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json path (default: "
+                         "ROOT/build/compile_commands.json)")
+    ap.add_argument("--frontend", default="auto",
+                    choices=("auto", "internal", "libclang"),
+                    help="parser frontend (default: auto -- "
+                         "libclang when importable, else internal)")
+    ap.add_argument("--github", action="store_true",
+                    help="emit findings as GitHub annotations")
+    ap.add_argument("--self-test", action="store_true",
+                    help="check every rule against the fixture "
+                         "corpus in tests/analyze/, then exit")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        fixtures = os.path.join(root, "tests", "analyze")
+        return self_test(root, fixtures, args.frontend)
+
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"envy-analyze: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    compdb = args.compdb or os.path.join(root, "build",
+                                         "compile_commands.json")
+    notes = []
+    if args.frontend == "internal":
+        frontend = InternalFrontend()
+    else:
+        frontend = make_frontend(args.frontend, root, compdb, notes)
+    for note in notes:
+        print(f"envy-analyze: {note}", file=sys.stderr)
+
+    files = source_files(root, compdb)
+    findings = Findings()
+    try:
+        analyze(root, files, frontend, findings)
+    except RuntimeError as e:
+        print(f"envy-analyze: internal error: {e}", file=sys.stderr)
+        return 2
+
+    print_findings(findings, args.github)
+    if findings.items:
+        print(f"envy-analyze: {len(findings.items)} finding(s) "
+              f"[{frontend.name} frontend]")
+        return 1
+    print(f"envy-analyze: clean [{frontend.name} frontend, "
+          f"{len(files)} files]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

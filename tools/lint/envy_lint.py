@@ -43,6 +43,18 @@ on the same line or the line directly above):
                           through the persistence subsystem so the
                           ordering protocol of docs/PERSISTENCE.md is
                           enforced in one place
+  unused-allow            every allow() comment must suppress a real
+                          occurrence; a stale suppression hides the
+                          next genuine finding at that site
+
+Deprecated rules (superseded by the AST-level checks in
+tools/analyze/envy_analyze.py) still run but print a deprecation
+warning; fix new findings in the successor's terms:
+
+  typed-id-params         superseded by envy-analyze `typed-id`,
+                          which parses parameter lists structurally
+                          (const, references, multi-line) instead of
+                          pattern-matching one line
 
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
 internal errors.
@@ -65,7 +77,15 @@ RULES = (
     "trace-event-registered",
     "no-per-byte-page-loop",
     "no-raw-mmap",
+    "unused-allow",
 )
+
+# Rules with an AST-level successor in tools/analyze/envy_analyze.py.
+# They keep running (headers, for one, are cheaper to scan here) but
+# announce the hand-off so nobody extends the regex side.
+DEPRECATED_RULES = {
+    "typed-id-params": "envy-analyze rule 'typed-id'",
+}
 
 # Functions that mutate durable state (flash contents or the page
 # table).  A function in a MUTATION_FILES file that calls one of these
@@ -166,6 +186,7 @@ class SourceFile:
         self.lines = self.text.splitlines()
         self.stripped = strip_comments_and_strings(self.text).splitlines()
         self.allows = {}  # line number -> set of allowed rules
+        self.used_allows = set()  # (line number, rule) consumed
         for num, line in enumerate(self.lines, 1):
             m = ALLOW.search(line)
             if m:
@@ -174,6 +195,7 @@ class SourceFile:
     def allowed(self, rule, line_num):
         for num in (line_num, line_num - 1):
             if rule in self.allows.get(num, set()):
+                self.used_allows.add((num, rule))
                 return True
         return False
 
@@ -203,7 +225,26 @@ class Linter:
             for src in sources:
                 if src.relpath == relpath:
                     self.check_coverage(src)
+        for src in sources:
+            self.check_unused_allows(src)
         return self.findings
+
+    def check_unused_allows(self, src):
+        """Every allow() must have suppressed something this run; a
+        stale one silently swallows the next real finding there."""
+        for num in sorted(src.allows):
+            for rule in sorted(src.allows[num]):
+                if (num, rule) in src.used_allows:
+                    continue
+                if rule not in RULES:
+                    self.report(
+                        src, num, "unused-allow",
+                        f"allow({rule}) names no envy-lint rule")
+                else:
+                    self.report(
+                        src, num, "unused-allow",
+                        f"allow({rule}) suppresses nothing — remove "
+                        "it or fix the rule id")
 
     # -- crash points ------------------------------------------------
 
@@ -407,6 +448,7 @@ void f(std::uint64_t page, std::uint32_t slot) {
     ENVY_TRACE("ctl.cow", obs::tv("page", 1));
     ENVY_TRACE("bogus.trace.event", obs::tv("n", 1));
     ENVY_TRACE("bogus.trace.event", obs::tv("n", 2));
+    int harmless = 0; // envy-lint: allow(no-raw-mmap) stale suppression
     std::thread worker([] {});
     void *m = ::mmap(nullptr, 4096, PROT_READ, MAP_SHARED, fd, 0);
     for (std::uint32_t j = 0; j < n; ++j) {
@@ -428,6 +470,7 @@ SELF_TEST_EXPECT = (
     "trace-event-registered",
     "no-per-byte-page-loop",
     "no-raw-mmap",
+    "unused-allow",
 )
 
 
@@ -494,6 +537,10 @@ def main():
     findings = Linter(root).run(source_files(root))
     for f in findings:
         print(f)
+    for rule, successor in sorted(DEPRECATED_RULES.items()):
+        print(f"envy-lint: warning: rule '{rule}' is deprecated — "
+              f"{successor} checks this at the AST level; do not "
+              "extend the regex side", file=sys.stderr)
     if findings:
         print(f"envy-lint: {len(findings)} finding(s)")
         return 1

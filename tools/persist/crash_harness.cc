@@ -690,6 +690,54 @@ runCase(Workload w, const Options &opt, const std::string &point,
     return cr;
 }
 
+// ---- seeded ordering-critical points -----------------------------
+
+/**
+ * Crash points that exercise the journal-before-mmap ordering
+ * protocol (docs/PERSISTENCE.md; enforced statically by
+ * envy-analyze's `journal-before-mmap` rule).  The probe run of at
+ * least one workload must reach every one of them, and reached
+ * points always get first- and last-occurrence kill cases -- so a
+ * refactor that makes one unreachable fails the harness instead of
+ * silently shrinking its coverage.  envy-analyze's
+ * `crash-point-reachable` rule checks the same property in the call
+ * graph; this list checks it dynamically, against the workloads the
+ * recovery guarantees are stated for.
+ */
+const char *const orderingCriticalPoints[] = {
+    // SRAM-map vs flash-program ordering in the write path.
+    "ctl.cow.after_push",
+    "ctl.cow.after_map",
+    "ctl.cow.done",
+    "ctl.flush.before_program",
+    "ctl.flush.after_program",
+    "ctl.flush.after_map",
+    "ctl.flush.done",
+    // Transaction shadow release/restore windows.
+    "txn.commit.begin",
+    "txn.commit.mid_release",
+    "txn.abort.begin",
+    "txn.abort.mid_restore",
+    // The journal barrier itself, and the checkpoint rename window
+    // -- the instants the FlashMetaView mutators rely on.
+    "persist.journal.after_flush",
+    "persist.checkpoint.before_rename",
+    "persist.checkpoint.after_rename",
+};
+
+/** Seeded points no workload's probe reached (empty when healthy). */
+std::vector<std::string>
+missingSeededPoints(
+    const std::map<std::string, std::uint64_t> &union_hits)
+{
+    std::vector<std::string> missing;
+    for (const char *point : orderingCriticalPoints) {
+        if (!union_hits.count(point))
+            missing.emplace_back(point);
+    }
+    return missing;
+}
+
 // ---- schedule ----------------------------------------------------
 
 std::map<std::string, std::uint64_t>
@@ -755,8 +803,11 @@ int
 run(const Options &opt)
 {
     std::uint64_t cases = 0, failures = 0, kills = 0;
+    std::map<std::string, std::uint64_t> unionHits;
     for (const Workload w : {Workload::Churn, Workload::Tpca}) {
         const auto hits = probe(w, opt);
+        for (const auto &[point, count] : hits)
+            unionHits[point] += count;
         const auto plan =
             schedule(hits, (opt.minCases + 1) / 2, opt.seed);
         std::printf("[%s] %zu crash points reachable, %zu cases\n",
@@ -781,11 +832,22 @@ run(const Options &opt)
             }
         }
     }
+    const std::vector<std::string> missing =
+        missingSeededPoints(unionHits);
+    for (const std::string &point : missing) {
+        ++failures;
+        std::printf("FAIL seeded ordering-critical crash point "
+                    "\"%s\" was never reached by any workload\n",
+                    point.c_str());
+    }
     std::printf("crash-harness: %llu cases, %llu SIGKILLs, "
-                "%llu failures\n",
+                "%llu failures (%zu/%zu seeded ordering points "
+                "reached)\n",
                 static_cast<unsigned long long>(cases),
                 static_cast<unsigned long long>(kills),
-                static_cast<unsigned long long>(failures));
+                static_cast<unsigned long long>(failures),
+                std::size(orderingCriticalPoints) - missing.size(),
+                std::size(orderingCriticalPoints));
     if (cases < opt.minCases) {
         std::printf("crash-harness: FAIL (needed at least %llu "
                     "cases)\n",
