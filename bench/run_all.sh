@@ -55,6 +55,7 @@ bench_ablation_tradeoffs
 bench_endurance
 bench_fault_recovery
 bench_dataplane
+bench_concurrency
 "
 
 if [ -n "$list" ]; then

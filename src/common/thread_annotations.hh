@@ -23,6 +23,7 @@
 #define ENVY_COMMON_THREAD_ANNOTATIONS_HH
 
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -47,6 +48,12 @@
     ENVY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 #define ENVY_RETURN_CAPABILITY(x) \
     ENVY_THREAD_ANNOTATION(lock_returned(x))
+#define ENVY_ACQUIRE_SHARED(...) \
+    ENVY_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ENVY_RELEASE_SHARED(...) \
+    ENVY_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define ENVY_REQUIRES_SHARED(...) \
+    ENVY_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
 #define ENVY_NO_THREAD_SAFETY_ANALYSIS \
     ENVY_THREAD_ANNOTATION(no_thread_safety_analysis)
 
@@ -81,11 +88,75 @@ class ENVY_SCOPED_CAPABILITY MutexLock
     }
     ~MutexLock() ENVY_RELEASE() { mu_.unlock(); }
 
+    // BasicLockable, so a condition_variable_any can release the
+    // mutex across a wait (the scope still ends held, matching the
+    // scoped-capability contract).
+    void lock() ENVY_ACQUIRE() { mu_.lock(); }
+    void unlock() ENVY_RELEASE() { mu_.unlock(); }
+
     MutexLock(const MutexLock &) = delete;
     MutexLock &operator=(const MutexLock &) = delete;
 
   private:
     Mutex &mu_;
+};
+
+/**
+ * std::shared_mutex with the capability attribute: the controller's
+ * structural lock (docs/STATIC_ANALYSIS.md §4).  Exclusive = mutate
+ * flash / policy / segment-space structure; shared = read flash data
+ * concurrently with other readers.  BasicLockable in its exclusive
+ * form, so std::condition_variable_any can wait on it.
+ */
+class ENVY_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void lock() ENVY_ACQUIRE() { mu_.lock(); }
+    void unlock() ENVY_RELEASE() { mu_.unlock(); }
+    void lockShared() ENVY_ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlockShared() ENVY_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  private:
+    std::shared_mutex mu_;
+};
+
+/** RAII exclusive lock on a SharedMutex. */
+class ENVY_SCOPED_CAPABILITY ExclusiveLock
+{
+  public:
+    explicit ExclusiveLock(SharedMutex &mu) ENVY_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~ExclusiveLock() ENVY_RELEASE() { mu_.unlock(); }
+
+    ExclusiveLock(const ExclusiveLock &) = delete;
+    ExclusiveLock &operator=(const ExclusiveLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+/** RAII shared (reader) lock on a SharedMutex. */
+class ENVY_SCOPED_CAPABILITY SharedLock
+{
+  public:
+    explicit SharedLock(SharedMutex &mu) ENVY_ACQUIRE_SHARED(mu)
+        : mu_(mu)
+    {
+        mu_.lockShared();
+    }
+    ~SharedLock() ENVY_RELEASE() { mu_.unlockShared(); }
+
+    SharedLock(const SharedLock &) = delete;
+    SharedLock &operator=(const SharedLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
 };
 
 } // namespace envy

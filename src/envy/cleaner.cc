@@ -7,6 +7,8 @@
 
 namespace envy {
 
+thread_local Tick Cleaner::tlBusy_ = 0;
+
 namespace {
 
 // Victim-liveness histogram buckets: powers of two up to the largest
@@ -74,9 +76,9 @@ Cleaner::relocate(SegmentId src_phys, SlotId slot,
     ENVY_CRASH_POINT("cleaner.relocate.done");
     ++statCleanerPrograms;
     metPagesCopied.add();
-    busyTime_ +=
-        flash.timing().readTime +
-        flash.timing().programTimeAfter(flash.eraseCycles(dst_phys));
+    chargeBusy(flash.timing().readTime +
+               flash.timing().programTimeAfter(
+                   flash.eraseCycles(dst_phys)));
 }
 
 PageCount
@@ -97,8 +99,8 @@ Cleaner::moveShadows(SegmentId src, SegmentId dst)
         flash.invalidatePage(from);
         ++statCleanerPrograms;
         metPagesCopied.add();
-        busyTime_ += flash.timing().readTime +
-                     flash.timing().programTime;
+        chargeBusy(flash.timing().readTime +
+                   flash.timing().programTime);
         if (shadowMoved)
             shadowMoved(from, to);
         ENVY_CRASH_POINT("cleaner.shadow.done");
@@ -201,7 +203,7 @@ Cleaner::cleanInternal(std::uint32_t log_seg, CleaningPolicy *policy,
     // On resume the victim may already have been erased just before
     // the crash; do not burn a second cycle on it.
     if (!(resuming && flash.usedSlots(victim) == PageCount(0)))
-        busyTime_ += flash.eraseSegment(victim);
+        chargeBusy(flash.eraseSegment(victim));
     ENVY_CRASH_POINT("cleaner.clean.after_erase");
     result.busyTime = busyTime_ - busy0;
     space_.commitClean(log_seg);

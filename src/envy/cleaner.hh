@@ -90,6 +90,16 @@ class Cleaner : public StatGroup
     }
 
     /**
+     * Device time this *thread* has spent cleaning since process
+     * start.  Single-threaded the delta across a call equals the
+     * busyTime() delta; with background cleaners it attributes inline
+     * cleaning to the flushing thread and background cleaning to the
+     * pool, so the controller's flush-latency accounting does not
+     * absorb another thread's work (PR 8).
+     */
+    static Tick threadBusyTime() { return tlBusy_; }
+
+    /**
      * Invoked whenever a shadow copy (§6 transactions) is relocated
      * so its owner can re-point at the new slot.
      */
@@ -143,6 +153,14 @@ class Cleaner : public StatGroup
         liveScratch_ ENVY_GUARDED_BY(mu_);
     std::vector<SlotId> shadowScratch_ ENVY_GUARDED_BY(mu_);
     Tick busyTime_ ENVY_GUARDED_BY(mu_) = 0;
+
+    /** Per-thread slice of busyTime_ (see threadBusyTime()). */
+    void chargeBusy(Tick t) ENVY_REQUIRES(mu_)
+    {
+        busyTime_ += t;
+        tlBusy_ += t;
+    }
+    static thread_local Tick tlBusy_;
 };
 
 } // namespace envy

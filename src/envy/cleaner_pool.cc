@@ -1,0 +1,108 @@
+#include "envy/cleaner_pool.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "envy/cleaner.hh"
+#include "envy/controller.hh"
+
+namespace envy {
+
+CleanerPool::CleanerPool(Controller &ctl, unsigned cleaners,
+                         PageCount watermark,
+                         obs::MetricsRegistry *metrics)
+    : ctl_(ctl),
+      cleaners_(cleaners),
+      watermark_(watermark),
+      metPoolCleans(obs::counterOf(metrics, "cleaner.pool_cleans",
+                                   "segments",
+                                   "segments cleaned by background "
+                                   "cleaner threads")),
+      busy_(cleaners)
+{
+    ENVY_ASSERT(cleaners_ > 0, "cleaner_pool: needs at least one "
+                               "cleaner thread");
+}
+
+CleanerPool::~CleanerPool()
+{
+    stop();
+}
+
+void
+CleanerPool::start()
+{
+    if (!threads_.empty())
+        return;
+    {
+        MutexLock lock(mu_);
+        stop_ = false;
+        poked_ = false;
+    }
+    threads_.reserve(cleaners_);
+    for (unsigned i = 0; i < cleaners_; ++i)
+        threads_.emplace_back([this, i] { run(i); });
+}
+
+void
+CleanerPool::stop()
+{
+    {
+        MutexLock lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+void
+CleanerPool::poke()
+{
+    {
+        MutexLock lock(mu_);
+        poked_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::vector<Tick>
+CleanerPool::busyTimes() const
+{
+    std::vector<Tick> out(cleaners_);
+    for (unsigned i = 0; i < cleaners_; ++i)
+        out[i] = busy_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+CleanerPool::run(unsigned idx)
+{
+    for (;;) {
+        const bool cleaned = ctl_.backgroundCleanOnce(watermark_);
+        busy_[idx].store(Cleaner::threadBusyTime(),
+                         std::memory_order_relaxed);
+        if (cleaned) {
+            metPoolCleans.add();
+            // Stalled producers re-check their policy's room.
+            ctl_.notifyRoom();
+            MutexLock lock(mu_);
+            if (stop_)
+                return;
+            continue; // stay ahead while below the watermark
+        }
+        // Nothing below the watermark: doze until poked (producer
+        // backpressure) or the next poll tick.
+        MutexLock lock(mu_);
+        if (stop_)
+            return;
+        if (!poked_)
+            cv_.wait_for(lock, std::chrono::milliseconds(1));
+        poked_ = false;
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace envy

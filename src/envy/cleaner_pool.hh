@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Background cleaner threads (PR 8; paper §3.4 "cleaning proceeds in
+ * the background, off the critical path").
+ *
+ * Each cleaner thread watches the policy's per-partition free-space
+ * watermarks through Controller::backgroundCleanOnce() and cleans
+ * ahead of the write-buffer-full backpressure path.  Producers that
+ * do stall poke the pool through Controller::backpressureHook so a
+ * cleaner wakes immediately instead of at its next poll; after every
+ * clean the pool notifies the controller's room condition so stalled
+ * producers re-check.
+ *
+ * Threads are started explicitly (start()) and joined in stop() /
+ * the destructor, so EnvyStore can quiesce the pool around recovery.
+ * Per-thread device-busy clocks (the Cleaner's thread-local tick
+ * counter) are published after every iteration for the concurrency
+ * bench's per-actor timelines.
+ */
+
+#ifndef ENVY_ENVY_CLEANER_POOL_HH
+#define ENVY_ENVY_CLEANER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+#include "common/types.hh"
+#include "obs/metrics.hh"
+
+namespace envy {
+
+class Controller;
+
+class CleanerPool
+{
+  public:
+    /**
+     * @param ctl        controller to clean through
+     * @param cleaners   worker thread count (>= 1)
+     * @param watermark  free pages per partition below which the
+     *                   policy cleans ahead
+     */
+    CleanerPool(Controller &ctl, unsigned cleaners, PageCount watermark,
+                obs::MetricsRegistry *metrics = nullptr);
+    ~CleanerPool();
+
+    CleanerPool(const CleanerPool &) = delete;
+    CleanerPool &operator=(const CleanerPool &) = delete;
+
+    /** Launch the cleaner threads (idempotent). */
+    void start();
+
+    /** Stop and join every thread (idempotent; safe to restart). */
+    void stop();
+
+    /** Wake the pool now (a producer hit backpressure). */
+    void poke();
+
+    unsigned cleaners() const { return cleaners_; }
+    PageCount watermark() const { return watermark_; }
+
+    /**
+     * Device ticks each cleaner thread has consumed so far (cleaning
+     * reads/programs/erases), indexed by thread.  Safe to call while
+     * the pool runs; the values trail the live clocks by one
+     * iteration.
+     */
+    std::vector<Tick> busyTimes() const;
+
+  private:
+    void run(unsigned idx);
+
+    Controller &ctl_;
+    unsigned cleaners_;
+    PageCount watermark_;
+    obs::Counter metPoolCleans;
+
+    Mutex mu_;
+    std::condition_variable_any cv_;
+    bool stop_ ENVY_GUARDED_BY(mu_) = false;
+    bool poked_ ENVY_GUARDED_BY(mu_) = false;
+
+    std::vector<std::thread> threads_;
+    std::vector<std::atomic<Tick>> busy_;
+};
+
+} // namespace envy
+
+#endif // ENVY_ENVY_CLEANER_POOL_HH

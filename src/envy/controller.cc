@@ -1,6 +1,7 @@
 #include "envy/controller.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.hh"
@@ -8,6 +9,8 @@
 #include "obs/trace.hh"
 
 namespace envy {
+
+thread_local Tick Controller::tlDeviceBusy_ = 0;
 
 namespace {
 
@@ -57,6 +60,17 @@ Controller::Controller(const Geometry &geom, FlashArray &flash,
                                      "programs",
                                      "flush programs retried after a "
                                      "spec-failure")),
+      metBackpressureWaits(obs::counterOf(metrics,
+                                          "ctl.backpressure_waits",
+                                          "waits",
+                                          "producer waits for buffer "
+                                          "room while cleaners catch "
+                                          "up (concurrent mode)")),
+      metBackgroundCleans(obs::counterOf(metrics,
+                                         "ctl.background_cleans",
+                                         "segments",
+                                         "segments cleaned by the "
+                                         "background cleaner pool")),
       metFlushTicks(obs::histogramOf(metrics, "ctl.flush_ticks", "ns",
                                      "device time consumed per flush, "
                                      "cleaning included",
@@ -72,6 +86,32 @@ Controller::Controller(const Geometry &geom, FlashArray &flash,
       scratch_(flash.storesData() ? geom.pageSize : 0)
 {
     policy_.attach(space_, cleaner_);
+    for (std::uint64_t i = 0; i < numShards; ++i)
+        shardMu_.emplace_back();
+}
+
+void
+Controller::setConcurrency(unsigned num_workers, unsigned num_cleaners)
+{
+    concurrent_ = num_workers > 1 || num_cleaners > 0;
+    numCleaners_ = num_cleaners;
+}
+
+bool
+Controller::backgroundCleanOnce(PageCount watermark)
+{
+    ExclusiveLock s(structMu_);
+    const std::uint32_t seg = policy_.backgroundClean(watermark);
+    if (seg == CleaningPolicy::noSegment)
+        return false;
+    metBackgroundCleans.add();
+    return true;
+}
+
+void
+Controller::notifyRoom()
+{
+    roomCv_.notify_all();
 }
 
 void
@@ -142,6 +182,8 @@ Controller::checkRange(Addr addr, std::size_t len) const
 Controller::AccessOutcome
 Controller::read(Addr addr, std::span<std::uint8_t> out)
 {
+    if (concurrent_)
+        return readConcurrent(addr, out);
     MutexLock lock(mu_);
     checkRange(addr, out.size());
     AccessOutcome outcome;
@@ -202,22 +244,9 @@ Controller::probeRead(Addr addr)
 }
 
 BufferSlotId
-Controller::copyOnWrite(LogicalPageId page,
-                        const PageTable::Location &stale_loc,
-                        AccessOutcome &outcome)
+Controller::cowCore(LogicalPageId page, const PageTable::Location &loc,
+                    AccessOutcome &outcome)
 {
-    // Make room first: a full buffer stalls the host behind a flush
-    // (and possibly a clean) — this is the latency cliff of Fig 15.
-    PageTable::Location loc = stale_loc;
-    while (buffer_.full()) {
-        outcome.deviceBusy += flushOneLocked();
-        ++outcome.foregroundFlushes;
-        ++statForegroundFlushes;
-        metForegroundFlushes.add();
-        // Cleaning may have relocated the page we are copying.
-        loc = mmu_.lookup(page);
-    }
-
     std::uint64_t origin;
     if (loc.kind == PageTable::LocKind::Flash) {
         const std::uint32_t seg = space_.logOf(loc.flash.segment);
@@ -259,9 +288,30 @@ Controller::copyOnWrite(LogicalPageId page,
     return slot;
 }
 
+BufferSlotId
+Controller::copyOnWrite(LogicalPageId page,
+                        const PageTable::Location &stale_loc,
+                        AccessOutcome &outcome)
+{
+    // Make room first: a full buffer stalls the host behind a flush
+    // (and possibly a clean) — this is the latency cliff of Fig 15.
+    PageTable::Location loc = stale_loc;
+    while (buffer_.full()) {
+        outcome.deviceBusy += flushOneLocked();
+        ++outcome.foregroundFlushes;
+        ++statForegroundFlushes;
+        metForegroundFlushes.add();
+        // Cleaning may have relocated the page we are copying.
+        loc = mmu_.lookup(page);
+    }
+    return cowCore(page, loc, outcome);
+}
+
 Controller::AccessOutcome
 Controller::write(Addr addr, std::span<const std::uint8_t> in)
 {
+    if (concurrent_)
+        return writeConcurrent(addr, in);
     MutexLock lock(mu_);
     checkRange(addr, in.size());
     AccessOutcome outcome;
@@ -303,6 +353,13 @@ Controller::write(Addr addr, std::span<const std::uint8_t> in)
 Tick
 Controller::flushOne()
 {
+    if (concurrent_) {
+        ExclusiveLock s(structMu_);
+        if (buffer_.empty())
+            return 0;
+        bool no_room = false;
+        return flushTailCore(false, &no_room);
+    }
     MutexLock lock(mu_);
     return flushOneLocked();
 }
@@ -310,8 +367,25 @@ Controller::flushOne()
 Tick
 Controller::flushOneLocked()
 {
+    bool no_room = false;
+    return flushTailCore(false, &no_room);
+}
+
+Tick
+Controller::flushTailCore(bool peek_only, bool *no_room)
+{
     const WriteBuffer::TailInfo tail = buffer_.tail();
-    const Tick clean_busy0 = cleaner_.busyTime();
+    // Thread-local cleaner time so inline cleaning is attributed to
+    // the flushing thread (identical to the global delta in serial
+    // mode; background cleaners keep their own clock).
+    const Tick clean_busy0 = Cleaner::threadBusyTime();
+
+    // Hold the tail slot's data stripe across [read data, program,
+    // map swing, pop]: a concurrent hit-writer revalidates the slot
+    // owner under the same stripe, so its bytes either land before
+    // the program reads the slot or it observes the pop and retries
+    // its translation.  Uncontended (and harmless) in serial mode.
+    MutexLock stripe(buffer_.slotStripe(tail.slot));
 
     std::span<const std::uint8_t> data;
     if (flash_.storesData())
@@ -325,7 +399,18 @@ Controller::flushOneLocked()
     FlashPageAddr addr;
     SegmentId phys;
     for (;;) {
-        const std::uint32_t dest = policy_.flushDestination(tail.origin);
+        std::uint32_t dest;
+        if (peek_only) {
+            // Concurrent fast path: only a destination that already
+            // has room; cleaning belongs to the background pool.
+            dest = policy_.peekDestination(tail.origin);
+            if (dest == CleaningPolicy::noSegment) {
+                *no_room = true;
+                return 0;
+            }
+        } else {
+            dest = policy_.flushDestination(tail.origin);
+        }
         phys = space_.physOf(dest);
         ENVY_ASSERT(flash_.freeSlots(phys) > PageCount(0),
                     "controller: policy returned a full flush "
@@ -346,11 +431,15 @@ Controller::flushOneLocked()
     ENVY_CRASH_POINT("ctl.flush.after_map");
     buffer_.popTail();
     space_.noteFlush();
+    if (peek_only)
+        policy_.noteFlush(tail.origin);
     ENVY_CRASH_POINT("ctl.flush.done");
 
     const Tick program = flash_.timing().programTimeAfter(
         flash_.eraseCycles(phys));
-    const Tick busy = program + (cleaner_.busyTime() - clean_busy0);
+    const Tick busy =
+        program + (Cleaner::threadBusyTime() - clean_busy0);
+    tlDeviceBusy_ += busy;
     metFlushTicks.record(busy);
     ENVY_TRACE("ctl.flush", obs::tv("page", tail.logical.value()),
                obs::tv("segment", phys.value()),
@@ -361,9 +450,238 @@ Controller::flushOneLocked()
 void
 Controller::flushAll()
 {
+    if (concurrent_) {
+        flushAllConcurrent();
+        return;
+    }
     MutexLock lock(mu_);
     while (!buffer_.empty())
         flushOneLocked();
+}
+
+// ---------------------------------------------------------------
+// PR 8 concurrent mode.  Lock order: shard -> structMu_ -> buffer
+// stripe -> component mutexes; see the lock-order table in
+// docs/INTERNALS.md.
+
+void
+Controller::flushAllConcurrent()
+{
+    for (;;) {
+        ExclusiveLock s(structMu_);
+        if (buffer_.empty())
+            return;
+        bool no_room = false;
+        flushTailCore(false, &no_room);
+    }
+}
+
+void
+Controller::drainOpportunistic()
+{
+    while (buffer_.aboveThreshold()) {
+        {
+            ExclusiveLock s(structMu_);
+            if (!buffer_.aboveThreshold())
+                return;
+            bool no_room = false;
+            flushTailCore(true, &no_room);
+            if (!no_room)
+                continue;
+        }
+        // No ready destination: this is the cleaners' cue, not a
+        // reason to stall — the buffer still has head room.
+        if (backpressureHook)
+            backpressureHook();
+        return;
+    }
+}
+
+void
+Controller::makeRoomBlocking(AccessOutcome &outcome)
+{
+    // Counted-wait backpressure (the paper's Fig 15 latency cliff,
+    // made observable): wait for the cleaner pool to make room, and
+    // only fall back to a synchronous inline clean when it cannot.
+    constexpr int maxWaits = 4;
+    for (int attempt = 0;; ++attempt) {
+        {
+            ExclusiveLock s(structMu_);
+            if (!buffer_.full())
+                return; // someone else made room
+            bool no_room = false;
+            const Tick busy = flushTailCore(true, &no_room);
+            if (!no_room) {
+                outcome.deviceBusy += busy;
+                ++outcome.foregroundFlushes;
+                ++statForegroundFlushes;
+                metForegroundFlushes.add();
+                notifyRoom();
+                return;
+            }
+        }
+        if (numCleaners_ == 0 || attempt >= maxWaits)
+            break;
+        metBackpressureWaits.add();
+        ENVY_TRACE("ctl.backpressure", obs::tv("attempt", attempt));
+        if (backpressureHook)
+            backpressureHook();
+        MutexLock wait(waitMu_);
+        roomCv_.wait_for(wait, std::chrono::milliseconds(2));
+    }
+
+    // Last-resort slow path: clean inline on this thread.
+    ExclusiveLock s(structMu_);
+    if (!buffer_.full())
+        return;
+    bool no_room = false;
+    outcome.deviceBusy += flushTailCore(false, &no_room);
+    ++outcome.foregroundFlushes;
+    ++statForegroundFlushes;
+    metForegroundFlushes.add();
+    notifyRoom();
+}
+
+void
+Controller::writePageConcurrent(LogicalPageId page,
+                                std::span<const std::uint8_t> in,
+                                std::uint32_t off,
+                                AccessOutcome &outcome)
+{
+    for (;;) {
+        const PageTable::Location loc = mmu_.lookup(page);
+        if (loc.kind == PageTable::LocKind::Sram) {
+            MutexLock stripe(buffer_.slotStripe(loc.sramSlot));
+            // Revalidate under the stripe: the flusher holds it
+            // across program + pop, so an owner match proves the
+            // slot still carries this page's live copy.  Only this
+            // thread can COW the page (we hold its shard lock).
+            if (buffer_.slotOwner(loc.sramSlot) != page)
+                continue; // recycled since the lookup; retranslate
+            outcome.hitSram = true;
+            ++statBufferHits;
+            metBufferHits.add();
+            if (flash_.storesData()) {
+                auto dst = buffer_.slotData(loc.sramSlot);
+                std::copy(in.begin(), in.end(), dst.begin() + off);
+            }
+            return;
+        }
+        if (buffer_.full()) {
+            makeRoomBlocking(outcome);
+            continue;
+        }
+        ExclusiveLock s(structMu_);
+        if (buffer_.full())
+            continue; // filled while we took the lock; retry
+        // Re-translate under the structural lock: a cleaner may have
+        // relocated the flash copy since the unlocked lookup.
+        const PageTable::Location cur = mmu_.lookup(page);
+        if (cur.kind == PageTable::LocKind::Sram)
+            continue; // cannot happen while we hold the shard lock
+        const BufferSlotId slot = cowCore(page, cur, outcome);
+        // Safe without the stripe: flushers need structMu_, and no
+        // other writer holds this page's shard lock.
+        if (flash_.storesData()) {
+            auto dst = buffer_.slotData(slot);
+            std::copy(in.begin(), in.end(), dst.begin() + off);
+        }
+        return;
+    }
+}
+
+Controller::AccessOutcome
+Controller::writeConcurrent(Addr addr, std::span<const std::uint8_t> in)
+{
+    checkRange(addr, in.size());
+    AccessOutcome outcome;
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const Addr a = addr + done;
+        const LogicalPageId page = pageOf(a);
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(a % geom_.pageSize);
+        const std::size_t n = std::min<std::size_t>(
+            in.size() - done, geom_.pageSize - off);
+        ++statHostWrites;
+        metHostWrites.add();
+        {
+            ShardLock shard(shardMuFor(page));
+            writePageConcurrent(page, in.subspan(done, n), off,
+                                outcome);
+        }
+        done += n;
+    }
+
+    if (autoDrain_)
+        drainOpportunistic();
+    return outcome;
+}
+
+Controller::AccessOutcome
+Controller::readConcurrent(Addr addr, std::span<std::uint8_t> out)
+{
+    // Bounce buffer for sub-page flash reads; thread-local because
+    // concurrent readers must not share the serial-mode scratch_.
+    static thread_local std::vector<std::uint8_t> tl_scratch;
+
+    checkRange(addr, out.size());
+    AccessOutcome outcome;
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const Addr a = addr + done;
+        const LogicalPageId page = pageOf(a);
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(a % geom_.pageSize);
+        const std::size_t n = std::min<std::size_t>(
+            out.size() - done, geom_.pageSize - off);
+        ++statHostReads;
+        metHostReads.add();
+
+        ShardLock shard(shardMuFor(page));
+        for (;;) {
+            const PageTable::Location loc = mmu_.lookup(page);
+            if (loc.kind == PageTable::LocKind::Unmapped) {
+                std::fill_n(out.begin() + done, n, 0);
+                break;
+            }
+            if (loc.kind == PageTable::LocKind::Sram) {
+                MutexLock stripe(buffer_.slotStripe(loc.sramSlot));
+                if (buffer_.slotOwner(loc.sramSlot) != page)
+                    continue; // recycled; retranslate
+                outcome.hitSram = true;
+                if (flash_.storesData()) {
+                    auto src =
+                        std::as_const(buffer_).slotData(loc.sramSlot);
+                    std::copy_n(src.begin() + off, n,
+                                out.begin() + done);
+                }
+                break;
+            }
+            // Flash: a shared structural lock keeps cleaners (which
+            // relocate and erase under the exclusive side) away while
+            // the bank read runs.
+            SharedLock s(structMu_);
+            const PageTable::Location cur = mmu_.lookup(page);
+            if (cur.kind != PageTable::LocKind::Flash ||
+                !(cur.flash == loc.flash))
+                continue; // moved before we got the lock; retry
+            if (flash_.storesData()) {
+                if (off == 0 && n == geom_.pageSize) {
+                    flash_.readPage(cur.flash, out.subspan(done, n));
+                } else {
+                    if (tl_scratch.size() < geom_.pageSize)
+                        tl_scratch.resize(geom_.pageSize);
+                    flash_.readPage(cur.flash, tl_scratch);
+                    std::copy_n(tl_scratch.begin() + off, n,
+                                out.begin() + done);
+                }
+            }
+            break;
+        }
+        done += n;
+    }
+    return outcome;
 }
 
 } // namespace envy

@@ -21,7 +21,9 @@
 #ifndef ENVY_ENVY_CONTROLLER_HH
 #define ENVY_ENVY_CONTROLLER_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <span>
 
 #include "common/geometry.hh"
@@ -34,6 +36,29 @@
 #include "sram/write_buffer.hh"
 
 namespace envy {
+
+/**
+ * RAII holder of one controller shard lock (PR 8).  Identical to
+ * MutexLock, but a distinct type: the envy_analyze lock-discipline
+ * rule tracks ShardLock scopes and flags flash program/erase calls
+ * made inside one (a shard lock serialises host access to a page
+ * group; device mutation belongs under the structural lock).
+ */
+class ENVY_SCOPED_CAPABILITY ShardLock
+{
+  public:
+    explicit ShardLock(Mutex &mu) ENVY_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~ShardLock() ENVY_RELEASE() { mu_.unlock(); }
+
+    ShardLock(const ShardLock &) = delete;
+    ShardLock &operator=(const ShardLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
 
 class Controller : public StatGroup
 {
@@ -99,6 +124,46 @@ class Controller : public StatGroup
         return buffer_.aboveThreshold();
     }
 
+    /**
+     * Switch the host-facing paths between the historical serial mode
+     * and the PR 8 sharded concurrent mode.  Serial mode (workers <= 1
+     * and no cleaners) keeps the exact single-lock code path, so its
+     * output stays byte-identical with earlier releases.  Concurrent
+     * mode shards host access by page, serialises device mutation
+     * under a structural reader/writer lock, and replaces inline
+     * cleaning with peek-flush + counted backpressure waits.  Call
+     * before any worker or cleaner thread touches the store.
+     */
+    void setConcurrency(unsigned num_workers, unsigned num_cleaners);
+
+    bool concurrent() const { return concurrent_; }
+
+    /**
+     * One increment of proactive cleaning on behalf of a background
+     * cleaner thread (CleanerPool): ask the policy to clean ahead if
+     * any partition is below @p watermark free pages.
+     *
+     * @return true if a segment was cleaned.
+     */
+    bool backgroundCleanOnce(PageCount watermark);
+
+    /** Wake producers stalled on backpressure (room was made). */
+    void notifyRoom();
+
+    /**
+     * Device time (flush programs + any cleaning performed inline)
+     * this thread has consumed through this controller's flush paths.
+     * Per-actor timelines for the concurrency bench.
+     */
+    static Tick threadDeviceBusy() { return tlDeviceBusy_; }
+
+    /**
+     * Hook poked when a producer hits backpressure (buffer full and
+     * the policy has no ready destination); the cleaner pool uses it
+     * to wake immediately instead of at its next watermark poll.
+     */
+    std::function<void()> backpressureHook;
+
     const Geometry &geom() const { return geom_; }
     WriteBuffer &buffer() { return buffer_; }
     SegmentSpace &space() { return space_; }
@@ -127,6 +192,8 @@ class Controller : public StatGroup
     obs::Counter metBufferHits;
     obs::Counter metForegroundFlushes;
     obs::Counter metFlushRetries;
+    obs::Counter metBackpressureWaits; //!< producer waits for room
+    obs::Counter metBackgroundCleans;  //!< cleans by the cleaner pool
     obs::Histogram metFlushTicks; //!< device time per flushOne()
 
   private:
@@ -147,6 +214,47 @@ class Controller : public StatGroup
      */
     Tick flushOneLocked() ENVY_REQUIRES(mu_);
 
+    /**
+     * Shared flush machinery: program the tail page, swing the map,
+     * pop.  @p peek_only asks the policy only for a destination that
+     * already has room (never cleans); when none exists, *no_room is
+     * set and nothing is mutated.  Callers hold mu_ (serial mode) or
+     * structMu_ exclusive (concurrent mode) — annotated out of the
+     * analysis because it serves both lock regimes.
+     */
+    Tick flushTailCore(bool peek_only, bool *no_room)
+        ENVY_NO_THREAD_SAFETY_ANALYSIS;
+
+    /**
+     * COW body shared by the serial and concurrent paths (the caller
+     * guarantees buffer room and a current @p loc under its lock
+     * regime).
+     */
+    BufferSlotId cowCore(LogicalPageId page,
+                         const PageTable::Location &loc,
+                         AccessOutcome &outcome)
+        ENVY_NO_THREAD_SAFETY_ANALYSIS;
+
+    // Concurrent-mode twins of the host-facing paths (PR 8).
+    AccessOutcome readConcurrent(Addr addr,
+                                 std::span<std::uint8_t> out);
+    AccessOutcome writeConcurrent(Addr addr,
+                                  std::span<const std::uint8_t> in);
+    void writePageConcurrent(LogicalPageId page,
+                             std::span<const std::uint8_t> in,
+                             std::uint32_t off, AccessOutcome &outcome)
+        ENVY_NO_THREAD_SAFETY_ANALYSIS;
+    /** Stall until the full buffer has room (counted backpressure). */
+    void makeRoomBlocking(AccessOutcome &outcome);
+    /** Drain above-threshold occupancy without ever cleaning. */
+    void drainOpportunistic();
+    void flushAllConcurrent();
+
+    Mutex &shardMuFor(LogicalPageId page)
+    {
+        return shardMu_[page.value() % numShards];
+    }
+
     void checkRange(Addr addr, std::size_t len) const;
 
     Geometry geom_;
@@ -159,11 +267,31 @@ class Controller : public StatGroup
     bool autoDrain_;
 
     // Serialises the host-facing mutation paths (read/write/flush)
-    // and guards the bounce buffer.  Top of the lock order
-    // (docs/STATIC_ANALYSIS.md §4): everything the controller calls
-    // below — cleaner, space, buffer — locks itself.
+    // and guards the bounce buffer in *serial* mode.  Everything the
+    // controller calls below — cleaner, space, buffer — locks itself.
     mutable Mutex mu_;
     std::vector<std::uint8_t> scratch_ ENVY_GUARDED_BY(mu_);
+
+    // --- PR 8 concurrent mode ------------------------------------
+    // Lock order (docs/INTERNALS.md): shard lock -> structMu_ ->
+    // write-buffer stripe -> component mutexes (buffer/space/cleaner
+    // own mu_, MMU stripes).  Shard locks serialise host access per
+    // page group; structMu_ exclusive serialises all device mutation
+    // (COW, flush, clean); structMu_ shared covers host flash reads
+    // against concurrent erases.
+    bool concurrent_ = false;
+    unsigned numCleaners_ = 0;
+    static constexpr std::uint64_t numShards = 64;
+    std::deque<Mutex> shardMu_;
+    SharedMutex structMu_;
+
+    // Backpressure: producers wait here when the buffer is full and
+    // the policy has no ready destination; flushers and background
+    // cleaners notify after making room.
+    Mutex waitMu_;
+    std::condition_variable_any roomCv_;
+
+    static thread_local Tick tlDeviceBusy_;
 };
 
 } // namespace envy

@@ -57,6 +57,26 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
         g, *flash_, *mmu_, *buffer_, *space_, *cleaner_, *policy_,
         cfg_.autoDrain, this, &metrics_);
 
+    if (cfg_.numWorkers > 1 || cfg_.numCleaners > 0) {
+        ENVY_ASSERT(cfg_.persistPath.empty(),
+                    "store: concurrent mode (numWorkers > 1 or "
+                    "numCleaners > 0) excludes durable persistence");
+        controller_->setConcurrency(cfg_.numWorkers,
+                                    cfg_.numCleaners);
+        if (cfg_.numCleaners > 0) {
+            const PageCount watermark(
+                cfg_.cleanerWatermark != 0
+                    ? cfg_.cleanerWatermark
+                    : space_->segmentCapacity().value() / 2);
+            cleanerPool_ = std::make_unique<CleanerPool>(
+                *controller_, cfg_.numCleaners, watermark,
+                &metrics_);
+            controller_->backpressureHook = [this] {
+                cleanerPool_->poke();
+            };
+        }
+    }
+
     if (persist_ && persist_->reopening()) {
         // Restart: overlay the journal-replayed SRAM image (the
         // components above initialised it as if empty) and rebuild
@@ -78,6 +98,9 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
         else
             persist_->finishFresh();
     }
+
+    if (cleanerPool_)
+        cleanerPool_->start();
 }
 
 EnvyStore::~EnvyStore()
@@ -175,9 +198,15 @@ EnvyStore::cleaningCost() const
 RecoveryReport
 EnvyStore::powerFailAndRecover()
 {
+    // Quiesce the background cleaners: recovery rebuilds the very
+    // structures they walk, and a "power failure" stops every thread.
+    if (cleanerPool_)
+        cleanerPool_->stop();
     const RecoveryReport report = Recovery::run(*this);
     if (persist_)
         persist_->opEnd(); // recovery's SRAM repairs become durable
+    if (cleanerPool_)
+        cleanerPool_->start();
     return report;
 }
 

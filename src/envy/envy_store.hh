@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/geometry.hh"
+#include "envy/cleaner_pool.hh"
 #include "envy/controller.hh"
 #include "envy/page_table.hh"
 #include "envy/recovery.hh"
@@ -63,6 +64,22 @@ struct EnvyConfig
     /** Drain the buffer to threshold after every write. */
     bool autoDrain = true;
     std::uint32_t tlbSize = 1024;
+    /**
+     * Concurrency (PR 8, docs/PERFORMANCE.md §Concurrency).  With
+     * numWorkers <= 1 and numCleaners == 0 (the defaults) the store
+     * keeps the historical serial code path and its byte-identical
+     * output.  Raising either switches the controller to sharded
+     * concurrent mode: multiple client threads may call read()/
+     * write() simultaneously, and numCleaners background threads
+     * clean ahead of the per-partition free-space watermark.
+     * Concurrent mode excludes durable persistence (persistPath
+     * must stay empty: SRAM dirty tracking is unsynchronised).
+     */
+    unsigned numWorkers = 1;
+    unsigned numCleaners = 0;
+    /** Free pages per partition below which background cleaners
+     *  engage; 0 = half a segment's capacity. */
+    std::uint32_t cleanerWatermark = 0;
     /**
      * Durable persistence (docs/PERSISTENCE.md).  Empty (default):
      * everything lives in anonymous memory and dies with the process.
@@ -109,6 +126,8 @@ class EnvyStore : public StatGroup
     const EnvyConfig &config() const { return cfg_; }
     double cleaningCost() const;
     Controller &controller() { return *controller_; }
+    /** Background cleaner threads; null unless cfg.numCleaners > 0. */
+    CleanerPool *cleanerPool() { return cleanerPool_.get(); }
     FlashArray &flash() { return *flash_; }
     SramArray &sram() { return *sram_; }
     PageTable &pageTable() { return *pageTable_; }
@@ -176,6 +195,9 @@ class EnvyStore : public StatGroup
     std::unique_ptr<Cleaner> cleaner_;
     std::unique_ptr<CleaningPolicy> policy_;
     std::unique_ptr<Controller> controller_;
+    // After the controller: cleaner threads must stop (join) before
+    // anything they reach through it is torn down.
+    std::unique_ptr<CleanerPool> cleanerPool_;
 
     // SRAM layout offsets.
     Addr ptBase_ = 0;

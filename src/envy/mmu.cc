@@ -19,6 +19,7 @@ Mmu::Mmu(PageTable &table, std::uint32_t tlb_size, StatGroup *parent)
 PageTable::Location
 Mmu::lookup(LogicalPageId page)
 {
+    MutexLock lock(stripeFor(page));
     TlbEntry &e = tlb_[indexOf(page)];
     if (e.page == page) {
         ++statHits;
@@ -33,6 +34,7 @@ Mmu::lookup(LogicalPageId page)
 void
 Mmu::mapToFlash(LogicalPageId page, FlashPageAddr addr)
 {
+    MutexLock lock(stripeFor(page));
     table_.mapToFlash(page, addr);
     TlbEntry &e = tlb_[indexOf(page)];
     e.page = page;
@@ -43,6 +45,7 @@ Mmu::mapToFlash(LogicalPageId page, FlashPageAddr addr)
 void
 Mmu::mapToSram(LogicalPageId page, BufferSlotId slot)
 {
+    MutexLock lock(stripeFor(page));
     table_.mapToSram(page, slot);
     TlbEntry &e = tlb_[indexOf(page)];
     e.page = page;
@@ -53,8 +56,13 @@ Mmu::mapToSram(LogicalPageId page, BufferSlotId slot)
 void
 Mmu::flushTlb()
 {
-    for (auto &e : tlb_)
-        e.page = LogicalPageId::invalid();
+    // Recovery-time only (the store is quiesced), but sweep stripe by
+    // stripe anyway so the method is safe to call concurrently.
+    for (std::uint32_t s = 0; s < numStripes; ++s) {
+        MutexLock lock(stripeMu_[s]);
+        for (std::uint32_t i = s; i < tlb_.size(); i += numStripes)
+            tlb_[i].page = LogicalPageId::invalid();
+    }
 }
 
 } // namespace envy

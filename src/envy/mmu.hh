@@ -12,9 +12,11 @@
 #ifndef ENVY_ENVY_MMU_HH
 #define ENVY_ENVY_MMU_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "envy/page_table.hh"
 #include "sim/stats.hh"
 
@@ -57,9 +59,26 @@ class Mmu : public StatGroup
         return static_cast<std::uint32_t>(page.value()) & mask_;
     }
 
+    /**
+     * Stripe guarding one group of TLB ways and, transitively, the
+     * page-table entries reached through them.  Keyed by TLB index so
+     * two pages aliasing the same direct-mapped way always serialize;
+     * pages in different stripes touch disjoint TLB ways and disjoint
+     * 6-byte table entries.  Leaf locks: every public method acquires
+     * and releases its stripe internally, so no lock-order edge ever
+     * points out of the MMU (docs/INTERNALS.md lock-order table).
+     */
+    Mutex &stripeFor(LogicalPageId page)
+    {
+        return stripeMu_[indexOf(page) & (numStripes - 1)];
+    }
+
+    static constexpr std::uint32_t numStripes = 64;
+
     PageTable &table_;
     std::uint32_t mask_;
     std::vector<TlbEntry> tlb_;
+    std::array<Mutex, numStripes> stripeMu_;
 };
 
 } // namespace envy

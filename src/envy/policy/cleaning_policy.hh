@@ -69,6 +69,44 @@ class CleaningPolicy
      *  redistribution and bookkeeping). */
     virtual void onCleaned(std::uint32_t log_seg) { (void)log_seg; }
 
+    /** Sentinel: "no segment" for peekDestination/backgroundClean. */
+    static constexpr std::uint32_t noSegment = 0xFFFFFFFFu;
+
+    /**
+     * Non-cleaning twin of flushDestination() (PR 8 concurrent mode):
+     * return a logical segment that *already* has a free slot for a
+     * page with @p origin_tag, or noSegment when making room would
+     * require a clean.  Must not clean and must not mutate policy
+     * state — the caller may retry or give up and wait for a
+     * background cleaner.  Pair a successful flush with noteFlush().
+     */
+    virtual std::uint32_t peekDestination(std::uint64_t origin_tag)
+    {
+        (void)origin_tag;
+        return noSegment;
+    }
+
+    /**
+     * Bookkeeping a flushDestination() call would have done (write
+     * rate accounting etc.), applied when the caller flushed to a
+     * segment obtained from peekDestination().
+     */
+    virtual void noteFlush(std::uint64_t origin_tag) { (void)origin_tag; }
+
+    /**
+     * One increment of proactive cleaning (PR 8 background cleaner
+     * pool): if some partition/segment is below the policy's free
+     * watermark (@p watermark free pages per partition), clean one
+     * victim and return its logical segment; otherwise return
+     * noSegment without cleaning.  Runs with the same exclusive
+     * structural lock the inline flushDestination() path holds.
+     */
+    virtual std::uint32_t backgroundClean(PageCount watermark)
+    {
+        (void)watermark;
+        return noSegment;
+    }
+
     /**
      * Tag to record when a page whose old copy lived in logical
      * segment @p log_seg enters the write buffer.  Locality gathering

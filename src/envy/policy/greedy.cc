@@ -43,6 +43,35 @@ GreedyPolicy::flushDestination(std::uint64_t origin_tag)
 }
 
 std::uint32_t
+GreedyPolicy::peekDestination(std::uint64_t origin_tag)
+{
+    (void)origin_tag;
+    if (space_->freeSlots(active_) > PageCount(0))
+        return active_;
+    if (space_->maxFreeSlots() > PageCount(0))
+        return space_->roomiestLogical();
+    return noSegment;
+}
+
+std::uint32_t
+GreedyPolicy::backgroundClean(PageCount watermark)
+{
+    // Whole-array watermark: clean ahead while total free space is
+    // below it and cleaning can actually make room.
+    const PageCount free =
+        space_->freeInRange(0, space_->numLogical());
+    if (free >= watermark)
+        return noSegment;
+    const std::uint32_t victim = pickVictim();
+    if (space_->invalidCount(victim) == PageCount(0) &&
+        space_->liveCount(victim) >= space_->segmentCapacity())
+        return noSegment; // all-live victim: cleaning frees nothing
+    cleaner_->clean(victim, this);
+    active_ = victim;
+    return victim;
+}
+
+std::uint32_t
 GreedyPolicy::pickVictim()
 {
     // Most invalidated wins; the index keeps the historical scan's

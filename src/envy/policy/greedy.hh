@@ -29,6 +29,11 @@ class GreedyPolicy : public CleaningPolicy
     std::uint32_t flushDestination(std::uint64_t origin_tag) override;
     std::uint64_t defaultOrigin(LogicalPageId page) const override;
 
+    // PR 8 concurrent-mode hooks (FifoPolicy inherits these; only
+    // pickVictim() differs).
+    std::uint32_t peekDestination(std::uint64_t origin_tag) override;
+    std::uint32_t backgroundClean(PageCount watermark) override;
+
   protected:
     /** Pick the next victim; greedy takes the most-invalidated. */
     virtual std::uint32_t pickVictim();

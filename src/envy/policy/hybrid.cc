@@ -123,6 +123,66 @@ HybridPolicy::flushDestination(std::uint64_t origin_tag)
 }
 
 std::uint32_t
+HybridPolicy::peekDestination(std::uint64_t origin_tag)
+{
+    const auto origin = static_cast<std::uint32_t>(origin_tag);
+    ENVY_ASSERT(origin < space_->numLogical(),
+                "policy: bad origin tag");
+    const std::uint32_t part = partitionOf(origin);
+    if (space_->freeSlots(active_[part]) > PageCount(0))
+        return active_[part];
+    const std::uint32_t first = firstSeg(part);
+    const std::uint32_t open =
+        space_->firstWithFreeInRange(first, first + segsIn(part));
+    if (open != SegmentSpace::noLogical)
+        return open;
+    return noSegment;
+}
+
+void
+HybridPolicy::noteFlush(std::uint64_t origin_tag)
+{
+    const auto origin = static_cast<std::uint32_t>(origin_tag);
+    const std::uint32_t part = partitionOf(origin);
+    writes_[part] += 1.0;
+    if (++sinceDecay_ >= decayPeriod_) {
+        for (double &w : writes_)
+            w *= 0.5;
+        sinceDecay_ = 0;
+    }
+}
+
+std::uint32_t
+HybridPolicy::backgroundClean(PageCount watermark)
+{
+    // Clean ahead in the partition that is furthest below the free
+    // watermark — weighted by write rate so hot partitions get the
+    // cleaner's attention first.
+    std::uint32_t worst = noSegment;
+    double worst_score = 0.0;
+    for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+        const std::uint64_t free = partitionFree(p);
+        if (free >= watermark.value())
+            continue;
+        // A partition that is all-live cannot be cleaned into room.
+        if (partitionLive(p) >= partitionCapacity(p))
+            continue;
+        const double deficit =
+            static_cast<double>(watermark.value() - free);
+        const double score = deficit * writes_[p];
+        if (worst == noSegment || score > worst_score) {
+            worst = p;
+            worst_score = score;
+        }
+    }
+    if (worst == noSegment)
+        return noSegment;
+    const std::uint32_t victim = cleanNext(worst);
+    active_[worst] = victim;
+    return victim;
+}
+
+std::uint32_t
 HybridPolicy::cleanNext(std::uint32_t part)
 {
     const std::uint32_t victim =

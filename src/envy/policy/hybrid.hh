@@ -35,6 +35,11 @@ class HybridPolicy : public CleaningPolicy
     void onCleaned(std::uint32_t log_seg) override;
     std::uint64_t defaultOrigin(LogicalPageId page) const override;
 
+    // PR 8 concurrent-mode hooks.
+    std::uint32_t peekDestination(std::uint64_t origin_tag) override;
+    void noteFlush(std::uint64_t origin_tag) override;
+    std::uint32_t backgroundClean(PageCount watermark) override;
+
     std::uint32_t partitionSize() const { return partitionSize_; }
     std::uint32_t numPartitions() const { return numPartitions_; }
     std::uint32_t partitionOf(std::uint32_t log_seg) const

@@ -92,6 +92,17 @@ Options::applyPersist(EnvyConfig &cfg) const
 }
 
 void
+Options::applyConcurrency(EnvyConfig &cfg) const
+{
+    cfg.numWorkers = static_cast<unsigned>(
+        getUint("num_workers", cfg.numWorkers));
+    cfg.numCleaners = static_cast<unsigned>(
+        getUint("num_cleaners", cfg.numCleaners));
+    cfg.cleanerWatermark = static_cast<std::uint32_t>(
+        getUint("cleaner_watermark", cfg.cleanerWatermark));
+}
+
+void
 Options::warnUnused() const
 {
     for (const auto &[key, value] : values_) {

@@ -43,6 +43,14 @@ class Options
      */
     void applyPersist(EnvyConfig &cfg) const;
 
+    /**
+     * Read the concurrency keys (docs/PERFORMANCE.md §Concurrency)
+     * into @p cfg: `num_workers=N` client threads, `num_cleaners=N`
+     * background cleaner threads, `cleaner_watermark=N` free pages
+     * per partition below which they engage (0 = auto).
+     */
+    void applyConcurrency(EnvyConfig &cfg) const;
+
     /** Keys that were provided but never read (typo detection). */
     void warnUnused() const;
 

@@ -121,9 +121,9 @@ MetricsRegistry::snapshot() const
         out.name = e.name;
         out.unit = e.unit;
         out.kind = e.kind;
-        out.value = e.counter.value;
-        out.gaugeValue = e.gauge.value;
-        out.gaugeHigh = e.gauge.high;
+        out.value = e.counter.value.load(std::memory_order_relaxed);
+        out.gaugeValue = e.gauge.value.load(std::memory_order_relaxed);
+        out.gaugeHigh = e.gauge.high.load(std::memory_order_relaxed);
         out.edges = e.histogram.edges;
         out.counts = e.histogram.counts;
         out.histCount = e.histogram.count;
@@ -138,8 +138,10 @@ MetricsRegistry::reset()
 {
     MutexLock lock(mu_);
     for (Entry &e : entries_) {
-        e.counter.value = 0;
-        e.gauge = detail::GaugeCell();
+        e.counter.value.store(0, std::memory_order_relaxed);
+        e.gauge.value.store(0.0, std::memory_order_relaxed);
+        e.gauge.high.store(0.0, std::memory_order_relaxed);
+        e.gauge.everSet.store(false, std::memory_order_relaxed);
         std::fill(e.histogram.counts.begin(), e.histogram.counts.end(),
                   std::uint64_t(0));
         e.histogram.count = 0;

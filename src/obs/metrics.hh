@@ -9,8 +9,9 @@
  * those counters first-class: each component registers its metrics
  * once at construction and bumps them on the hot path through a
  * handle that is a single pointer indirection (no lookup, no
- * allocation, no lock — a store and its registry belong to one
- * simulated controller, which is single-threaded like the paper's).
+ * allocation, no lock).  Counter and gauge cells are relaxed atomics
+ * so concurrent workers and cleaners (PR 8) can bump them without
+ * lost updates; histograms are only recorded under exclusive locks.
  *
  * Three metric kinds:
  *
@@ -38,6 +39,7 @@
 #ifndef ENVY_OBS_METRICS_HH
 #define ENVY_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -60,18 +62,25 @@ const char *metricKindName(MetricKind kind);
 
 namespace detail {
 
+// Counter and gauge cells are relaxed atomics so worker and cleaner
+// threads can bump them concurrently with no lost updates (PR 8).
+// Snapshots read them relaxed too: consumers only look at snapshots
+// taken at quiesce points, so no ordering is implied or needed.
 struct CounterCell
 {
-    std::uint64_t value = 0;
+    std::atomic<std::uint64_t> value{0};
 };
 
 struct GaugeCell
 {
-    double value = 0.0;
-    double high = 0.0;
-    bool everSet = false;
+    std::atomic<double> value{0.0};
+    std::atomic<double> high{0.0};
+    std::atomic<bool> everSet{false};
 };
 
+// Histogram cells stay plain: every record() site runs under an
+// exclusive lock (flush/clean paths hold the structural lock), and
+// snapshots are only taken at quiesce points.
 struct HistogramCell
 {
     std::vector<std::uint64_t> edges; //!< ascending, fixed at creation
@@ -92,10 +101,14 @@ class Counter
     add(std::uint64_t n = 1)
     {
         if (cell_)
-            cell_->value += n;
+            cell_->value.fetch_add(n, std::memory_order_relaxed);
     }
 
-    std::uint64_t value() const { return cell_ ? cell_->value : 0; }
+    std::uint64_t
+    value() const
+    {
+        return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+    }
 
   private:
     friend class MetricsRegistry;
@@ -114,14 +127,31 @@ class Gauge
     {
         if (!cell_)
             return;
-        cell_->value = v;
-        if (!cell_->everSet || v > cell_->high)
-            cell_->high = v;
-        cell_->everSet = true;
+        cell_->value.store(v, std::memory_order_relaxed);
+        // High-water: seed from the 0.0 default exactly once (so a
+        // negative first sample still lands), then CAS-max.
+        if (!cell_->everSet.exchange(true, std::memory_order_relaxed)) {
+            double expected = 0.0;
+            cell_->high.compare_exchange_strong(expected, v,
+                                                std::memory_order_relaxed);
+        }
+        double high = cell_->high.load(std::memory_order_relaxed);
+        while (v > high &&
+               !cell_->high.compare_exchange_weak(
+                   high, v, std::memory_order_relaxed)) {
+        }
     }
 
-    double value() const { return cell_ ? cell_->value : 0.0; }
-    double high() const { return cell_ ? cell_->high : 0.0; }
+    double
+    value() const
+    {
+        return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+    }
+    double
+    high() const
+    {
+        return cell_ ? cell_->high.load(std::memory_order_relaxed) : 0.0;
+    }
 
   private:
     friend class MetricsRegistry;

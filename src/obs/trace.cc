@@ -176,6 +176,7 @@ registry()
         return std::vector<std::string>{
             "ctl.cow",            // copy-on-write fault absorbed
             "ctl.flush",          // one buffer page flushed to flash
+            "ctl.backpressure",   // producer waited for buffer room
             "cleaner.clean.start", // victim chosen, clean beginning
             "cleaner.clean.end",  // clean committed
             "wear.rotate",        // wear-leveling rotation finished

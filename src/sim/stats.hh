@@ -10,6 +10,7 @@
 #ifndef ENVY_SIM_STATS_HH
 #define ENVY_SIM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -48,16 +49,30 @@ class Counter : public Stat
   public:
     using Stat::Stat;
 
-    Counter &operator++() { ++value_; return *this; }
-    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    Counter &operator++()
+    {
+        value_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    Counter &operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
 
-    std::uint64_t value() const { return value_; }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
     void print(std::ostream &os) const override;
-    void reset() override { value_ = 0; }
+    void reset() override { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    // Relaxed atomic: counters are bumped from worker/cleaner threads
+    // (e.g. statPageReads under the shared structural lock) and only
+    // ever read for reporting after a quiesce point.
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** Running mean / min / max of a sampled quantity. */

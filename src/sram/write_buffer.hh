@@ -21,6 +21,7 @@
 #ifndef ENVY_SRAM_WRITE_BUFFER_HH
 #define ENVY_SRAM_WRITE_BUFFER_HH
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -121,6 +122,21 @@ class WriteBuffer : public StatGroup
     bool slotResident(BufferSlotId slot) const;
 
     /**
+     * Stripe lock guarding the *data* window of @p slot (PR 8).
+     * Concurrent hit-writers and the flusher serialize one slot's page
+     * bytes through this; the FIFO metadata stays under mu_.  Lock
+     * order: acquired after the controller's shard/structural locks
+     * and before mu_ (docs/INTERNALS.md lock-order table).  A writer
+     * must re-validate slotOwner(slot) after taking the stripe: the
+     * flusher holds it across program + map-swing + popTail, so an
+     * owner match under the stripe proves the slot is still live.
+     */
+    Mutex &slotStripe(BufferSlotId slot)
+    {
+        return stripeMu_[slot.value() & (numStripes - 1)];
+    }
+
+    /**
      * Rebuild the in-core mirrors from SRAM after a power failure.
      * Only metadata is mirrored, so this re-reads the header.
      */
@@ -204,6 +220,10 @@ class WriteBuffer : public StatGroup
 
     std::vector<std::uint32_t> probe_ ENVY_GUARDED_BY(mu_);
     std::uint32_t probeMask_ = 0;
+
+    // Data stripe locks (see slotStripe()).
+    static constexpr std::uint32_t numStripes = 64;
+    std::array<Mutex, numStripes> stripeMu_;
 };
 
 } // namespace envy

@@ -1,6 +1,10 @@
 // Firing fixture: blocking syscalls and a ParallelRunner submission
-// inside a locked region.
+// inside a locked region, flash program/erase under a shard lock,
+// and a condition-variable wait on a non-cleaner cv while locked.
 //
+// expect-finding: lock-discipline
+// expect-finding: lock-discipline
+// expect-finding: lock-discipline
 // expect-finding: lock-discipline
 // expect-finding: lock-discipline
 // expect-finding: lock-discipline
@@ -34,6 +38,34 @@ class Journalish
     {
         MutexLock lock(mu_);
         runner_.submit(task_);
+    }
+
+    // A shard lock serializes one page's host-facing translation;
+    // programming the array under it stalls every writer hashing to
+    // the same shard behind device latency (and inverts the lock
+    // order against the structural lock).
+    void programUnderShardLock()
+    {
+        ShardLock shard(shardMuFor(page_));
+        flash_.appendPage(seg_, page_, staged_);
+    }
+
+    // Worse still for an erase: 50 ms of device time inside a shard
+    // scope.
+    void eraseUnderShardLock()
+    {
+        ShardLock shard(shardMuFor(page_));
+        flash_.eraseSegment(victim_);
+    }
+
+    // Waiting on an arbitrary cv with a scope open parks the thread
+    // with the lock's invariants half-established; only the cleaner
+    // wakeup cvs (cv_, roomCv_) are exempt by contract.
+    void waitOnForeignCv()
+    {
+        MutexLock lock(mu_);
+        while (busy_)
+            doneCv_.wait_for(lock, timeout_);
     }
 
   private:

@@ -36,12 +36,39 @@ class JournalishOk
         callback_ = [this] { ::fdatasync(fd_); };
     }
 
-    // Condition-variable waits release the lock by construction.
+    // cv_ is the cleaner doze cv: waiting on it with the scope open
+    // is the contract (the doze mutex guards nothing else and sits
+    // at the bottom of the lock order).
     void waitUnderLock()
     {
         MutexLock lock(mu_);
         while (busy_)
             cv_.wait(mu_);
+    }
+
+    // Same exemption for the backpressure cv in the controller.
+    void dozeForRoom()
+    {
+        MutexLock wait(waitMu_);
+        roomCv_.wait_for(wait, timeout_);
+    }
+
+    // Flash programming under the *structural* lock is the design:
+    // ExclusiveLock is not a shard lock, so this is legal.
+    void programUnderStructuralLock()
+    {
+        ExclusiveLock s(structMu_);
+        flash_.appendPage(seg_, page_, staged_);
+    }
+
+    // The shard scope closes before the device op starts.
+    void programAfterShardScope()
+    {
+        {
+            ShardLock shard(shardMuFor(page_));
+            dirty_ = false;
+        }
+        flash_.appendPage(seg_, page_, staged_);
     }
 
     // Submission with no lock held at all.

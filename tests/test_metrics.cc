@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hh"
@@ -192,6 +193,74 @@ TEST(Metrics, SnapshotToJsonContainsEveryEntry)
     EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
     EXPECT_NE(json.find("\"name\":\"test.lat\""), std::string::npos);
     EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsLoseNoUpdates)
+{
+    // PR 8: counter cells are relaxed atomics, so worker and cleaner
+    // threads bump shared metrics without a lock and without losing
+    // updates.  4 threads x 50k mixed-width adds must sum exactly.
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.mt", "events", "contended counter");
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kIters = 50000;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg] {
+            // Handles are per-thread, but registration is idempotent
+            // and returns the same cell.
+            Counter mine =
+                reg.counter("test.mt", "events", "contended counter");
+            for (std::uint64_t i = 0; i < kIters; ++i)
+                mine.add(i % 2 ? 3 : 1);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(), kThreads * kIters * 2);
+}
+
+TEST(Metrics, ConcurrentGaugeKeepsTrueHighWater)
+{
+    MetricsRegistry reg;
+    Gauge g = reg.gauge("test.mt_gauge", "pages", "contended gauge");
+    constexpr unsigned kThreads = 4;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg, t] {
+            Gauge mine = reg.gauge("test.mt_gauge", "pages",
+                                   "contended gauge");
+            for (int i = 0; i < 20000; ++i)
+                mine.set(static_cast<double>(t * 100000 + i));
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    // The high-water is the global max of every value ever set,
+    // regardless of interleaving; the last-writer value is one of
+    // the threads' final samples.
+    const double high = (kThreads - 1) * 100000 + 19999;
+    EXPECT_EQ(g.high(), high);
+}
+
+TEST(Metrics, SingleThreadedSnapshotOutputUnchangedByAtomicCells)
+{
+    // The atomic cells must not perturb single-threaded snapshots:
+    // same values, same JSON rendering as the pre-atomic registry.
+    MetricsRegistry reg;
+    Counter c = reg.counter("test.events", "events", "a counter");
+    Gauge g = reg.gauge("test.level", "pages", "a gauge");
+    c.add(3);
+    c.add(39);
+    g.set(4.5);
+    g.set(1.25);
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("test.events"), 42u);
+    EXPECT_EQ(snap.gauge("test.level"), 1.25);
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"value\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"value\":1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"high\":4.5"), std::string::npos);
 }
 
 TEST(MetricsDeath, KindMismatchIsFatal)

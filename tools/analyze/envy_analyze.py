@@ -21,7 +21,18 @@ themselves findings):
                           ::read, ::write, pread, pwrite) and no
                           ParallelRunner submission inside a region
                           holding a MutexLock / std::lock_guard /
-                          std::unique_lock.
+                          std::unique_lock.  Two concurrency-era
+                          refinements (PR 8): condition-variable waits
+                          while locked are flagged too, EXCEPT waits on
+                          the cleaner wakeup cvs (cv_, roomCv_), which
+                          by contract wait on a dedicated doze mutex at
+                          the bottom of the lock order; and flash
+                          program/erase calls (appendPage,
+                          eraseSegment) inside a ShardLock scope are
+                          flagged -- a shard lock serializes one page's
+                          host-facing translation, device ops belong
+                          under the structural lock
+                          (docs/INTERNALS.md lock order).
   crash-point-reachable   every crash point in the canonical inventory
                           (src/faults/crash_point.cc) is reachable in
                           the call graph from a public entry point of
@@ -87,17 +98,37 @@ STORE_WRITE_LHS = ("meta",)
 # valid flag IS the commit record of store creation.
 JOURNAL_EXEMPT_CLASSES = ("BankBacking", "StoreFile")
 
-# Rule lock-discipline: how a locked region starts...
+# Rule lock-discipline: how a locked region starts.  ShardLock is
+# tracked separately from the plain mutex wrappers: it admits the
+# usual blocking checks AND the flash-under-shard check below.
 LOCK_DECL_TYPES = ("MutexLock", "lock_guard", "unique_lock",
-                   "scoped_lock")
-# ...and what must never run inside one.  `wait` is deliberately
-# absent: condition-variable waits release the lock by construction.
+                   "scoped_lock", "ShardLock")
+SHARD_LOCK_TYPES = ("ShardLock",)
+# ...and what must never run inside one.
 BLOCKING_SYSCALLS = ("fdatasync", "fsync", "msync", "pread", "pwrite",
                      "read", "write", "sleep", "usleep", "nanosleep")
 # read/write are only blocking syscalls when they are NOT member
 # calls (SramArray::write is a memory copy); member calls named
 # submit are ParallelRunner submissions.
 BLOCKING_MEMBER_CALLS = ("submit",)
+# Condition-variable waits release the mutex they are handed, but a
+# wait while holding ANY scoped lock still parks the thread with that
+# scope open.  The cleaner wakeup cvs are the contract exception:
+# CleanerPool::cv_ (the doze cv) and Controller::roomCv_ (the
+# backpressure cv) wait on dedicated doze mutexes that sit at the
+# bottom of the lock order and guard nothing else.
+CV_WAIT_CALLS = ("wait", "wait_for", "wait_until")
+CLEANER_CV_BASES = ("cv_", "roomCv_")
+# ParallelRunner's internal cvs predate this refinement and follow
+# the classic protocol: each wait releases mutex_ itself, the only
+# lock its scope holds (see the predicate-loop comment in
+# src/envysim/parallel.cc).  Exempt by name, like the cleaner cvs.
+RUNNER_CV_BASES = ("queueSpace_", "queueWork_", "allDone_")
+# Flash device entry points that program or erase the array.  Under a
+# shard lock these deadlock-by-design: shard locks serialize one
+# page's translation, device mutation runs under the structural lock
+# (docs/INTERNALS.md lock-order table).
+FLASH_DEVICE_CALLS = ("appendPage", "eraseSegment")
 
 # Rule crash-point-reachable: public API surfaces a test or bench
 # drives directly.  ShadowManager is the paper's transaction API and
@@ -211,7 +242,8 @@ def scan_allows(text):
 #
 #   ("call", chain, name, line, member)   call op, evaluation order
 #   ("assign", lhs_base, line)            assignment through a chain
-#   ("lock", line)                        a scoped-lock declaration
+#   ("lock", line, flavor)                a scoped-lock declaration;
+#                                         flavor "shard" or "plain"
 #   ("block", [nodes])                    explicit { } scope
 #   ("if", [then_nodes], [else_nodes])    both branches analysed
 #   ("loop", [body_nodes])                body may run zero times
@@ -610,7 +642,9 @@ class InternalFrontend:
                         j += 1
                 if j < end and toks[j].kind == "id" and \
                         j + 1 < end and toks[j + 1].text in ("(", "{"):
-                    nodes.append(("lock", t.line))
+                    flavor = "shard" if t.text in SHARD_LOCK_TYPES \
+                        else "plain"
+                    nodes.append(("lock", t.line, flavor))
                     k = j
                     break
             k += 1
@@ -662,7 +696,8 @@ class InternalFrontend:
                                     b -= 1
                                     break
                             b -= 1
-                        if b >= 0 and toks[b].kind == "id":
+                        if b >= 0 and toks[b].kind == "id" and \
+                                toks[b].text not in KEYWORDS:
                             chain.append(toks[b].text)
                             b -= 1
                     else:
@@ -809,8 +844,13 @@ class LibclangFrontend:
                         tname = kid.type.spelling
                         if any(lt in tname
                                for lt in LOCK_DECL_TYPES):
+                            flavor = "shard" if any(
+                                st in tname
+                                for st in SHARD_LOCK_TYPES) \
+                                else "plain"
                             nodes.append(("lock",
-                                          kid.location.line))
+                                          kid.location.line,
+                                          flavor))
                             continue
                     self._lower_expr(kid, nodes)
             else:
@@ -1050,44 +1090,73 @@ def rule_journal_before_mmap(functions, findings):
 
 # -- rule: lock-discipline -------------------------------------------
 
-def lock_walk(nodes, locked, hits):
+def _is_exempt_cv(base):
+    """True when a member wait's base chain names one of the cleaner
+    wakeup cvs (cv_.wait_for / roomCv_.wait_for / this->cv_...) or
+    ParallelRunner's self-releasing cvs."""
+    for part in re.split(r"\.|->|::", base):
+        if part in CLEANER_CV_BASES or part in RUNNER_CV_BASES:
+            return True
+    return False
+
+
+def lock_walk(nodes, locked, shard, hits):
+    """Walk a body tracking (any-lock-held, shard-lock-held); append
+    (line, what, why) for each discipline violation."""
     for n in nodes:
         kind = n[0]
         if kind == "lock":
             locked = True
+            shard = shard or n[2] == "shard"
         elif kind == "call":
             _, base, name, line, member = n
             if member:
                 if name in BLOCKING_MEMBER_CALLS and locked:
-                    hits.append((line, f"{base or name}()"))
+                    hits.append((line, f"{base or name}()",
+                                 "blocking"))
+                elif name in FLASH_DEVICE_CALLS and shard:
+                    hits.append((line, f"{base or name}()", "flash"))
+                elif name in CV_WAIT_CALLS and locked and \
+                        not _is_exempt_cv(base):
+                    hits.append((line, f"{base or name}()", "cvwait"))
             elif name in BLOCKING_SYSCALLS and locked:
-                hits.append((line, f"{name}()"))
+                hits.append((line, f"{name}()", "blocking"))
         elif kind == "block":
             # a lock declared inside the block dies with it; one held
             # on entry is still held inside.
-            lock_walk(n[1], locked, hits)
+            lock_walk(n[1], locked, shard, hits)
         elif kind == "if":
-            lock_walk(n[1], locked, hits)
-            lock_walk(n[2], locked, hits)
+            lock_walk(n[1], locked, shard, hits)
+            lock_walk(n[2], locked, shard, hits)
         elif kind == "loop":
-            lock_walk(n[1], locked, hits)
+            lock_walk(n[1], locked, shard, hits)
         elif kind == "defer":
-            lock_walk(n[1], False, hits)
+            lock_walk(n[1], False, False, hits)
         elif kind == "return":
             pass
     return locked
 
 
 def rule_lock_discipline(functions, findings):
+    why_text = {
+        "blocking": "while holding a mutex -- blocking syscalls and "
+                    "ParallelRunner submission must run outside "
+                    "locked regions",
+        "flash": "while holding a shard lock -- shard locks "
+                 "serialize one page's translation; flash "
+                 "program/erase belongs under the structural lock "
+                 "(docs/INTERNALS.md lock order)",
+        "cvwait": "while holding a scoped lock -- only the cleaner "
+                  "wakeup cvs (cv_, roomCv_) may wait with a scope "
+                  "open, on their dedicated doze mutexes",
+    }
     for fn in functions:
         hits = []
-        lock_walk(fn.body, False, hits)
-        for line, what in hits:
+        lock_walk(fn.body, False, False, hits)
+        for line, what, why in hits:
             findings.report(
                 fn.relpath, line, "lock-discipline",
-                f"{fn.qualname} calls {what} while holding a mutex "
-                "-- blocking syscalls and ParallelRunner submission "
-                "must run outside locked regions")
+                f"{fn.qualname} calls {what} {why_text[why]}")
 
 
 # -- rule: crash-point-reachable -------------------------------------

@@ -30,6 +30,11 @@ A report must be a JSON object with:
                                    of counts
                         sum        number
 
+One bench-specific check rides on top of the schema: a full-run
+(smoke=false) "concurrency" report must contain the acceptance row --
+8 workers + 2 cleaners with a speedup of at least 3x over the serial
+baseline (the PR 8 scaling floor; see bench/bench_concurrency.cc).
+
 Exit status: 0 when every file validates, 1 otherwise, 2 on usage
 errors.  Directories are scanned for *.json (non-recursively).
 """
@@ -39,6 +44,11 @@ import os
 import sys
 
 SCHEMAS = ("envy-bench-v1", "envy-bench-v2")
+
+# The concurrency bench's acceptance floor: aggregate write
+# throughput at 8 workers + 2 cleaners vs the 1-thread/inline-clean
+# baseline.
+CONCURRENCY_MIN_SPEEDUP = 3.0
 
 
 def fail(path, msg):
@@ -111,6 +121,36 @@ def check_metrics(path, metrics):
     return True
 
 
+def check_concurrency_scaling(path, tables):
+    """Full-run concurrency reports must carry the acceptance row:
+    8 workers + 2 cleaners at >= CONCURRENCY_MIN_SPEEDUP x."""
+    for t in tables:
+        cols = t.get("columns", [])
+        if not {"workers", "cleaners", "speedup"} <= set(cols):
+            continue
+        iw = cols.index("workers")
+        ic = cols.index("cleaners")
+        isp = cols.index("speedup")
+        for j, row in enumerate(t.get("rows", [])):
+            if row[iw] != "8" or row[ic] != "2":
+                continue
+            cell = row[isp]
+            try:
+                speedup = float(cell.rstrip("x"))
+            except ValueError:
+                return fail(path, f"concurrency acceptance row has "
+                                  f"unparseable speedup {cell!r}")
+            if speedup < CONCURRENCY_MIN_SPEEDUP:
+                return fail(path, f"concurrency: 8-worker/2-cleaner "
+                                  f"speedup {cell} is below the "
+                                  f"{CONCURRENCY_MIN_SPEEDUP}x "
+                                  "acceptance floor")
+            return True
+    return fail(path, "concurrency full run must include an "
+                      "8-worker/2-cleaner row in a table with "
+                      "workers/cleaners/speedup columns")
+
+
 def check_report(path, doc=None):
     if doc is None:
         try:
@@ -177,6 +217,10 @@ def check_report(path, doc=None):
         if not check_metrics(path, doc["metrics"]):
             return False
 
+    if doc["bench"] == "concurrency" and not doc["smoke"]:
+        if not check_concurrency_scaling(path, tables):
+            return False
+
     nmetrics = len(doc.get("metrics", {}))
     suffix = f", {nmetrics} metrics label(s)" if nmetrics else ""
     print(f"{path}: OK ({len(tables)} table(s){suffix})")
@@ -209,6 +253,13 @@ def self_test():
         base.update(kw)
         return base
 
+    def scaling(speedup):
+        return {"title": "scaling",
+                "columns": ["workers", "cleaners", "speedup"],
+                "rows": [["1", "0", "1.00x"],
+                         ["8", "2", speedup]],
+                "notes": []}
+
     good = [
         ("v1 plain", doc(schema="envy-bench-v1")),
         ("v2 plain", doc()),
@@ -217,6 +268,12 @@ def self_test():
         ("v2 empty label list", doc(metrics={"u=30%": []})),
         ("v2 wall_ms", doc(tables=[{**table, "wall_ms": 12.345}])),
         ("v2 wall_ms zero", doc(tables=[{**table, "wall_ms": 0}])),
+        ("concurrency full run at floor",
+         doc(bench="concurrency", smoke=False,
+             tables=[scaling("3.00x")])),
+        ("concurrency smoke skips the floor",
+         doc(bench="concurrency", smoke=True,
+             tables=[scaling("0.50x")])),
     ]
     bad = [
         ("unknown schema", doc(schema="envy-bench-v3")),
@@ -246,6 +303,14 @@ def self_test():
         ("bool wall_ms", doc(tables=[{**table, "wall_ms": True}])),
         ("string wall_ms", doc(tables=[{**table,
                                         "wall_ms": "3.5"}])),
+        ("concurrency below floor",
+         doc(bench="concurrency", smoke=False,
+             tables=[scaling("2.41x")])),
+        ("concurrency missing acceptance row",
+         doc(bench="concurrency", smoke=False)),
+        ("concurrency unparseable speedup",
+         doc(bench="concurrency", smoke=False,
+             tables=[scaling("fast")])),
     ]
     failures = 0
     for name, d in good:

@@ -18,12 +18,11 @@ on the same line or the line directly above):
   no-raw-alloc            no raw new / malloc family in src/ (the code
                           models battery-backed SRAM with owned
                           containers; raw allocations dodge that)
-  typed-id-params         no raw-integer parameters named page/slot/seg
-                          (use LogicalPageId/SlotId/SegmentId)
   no-naked-thread         no std::thread/std::jthread/std::async outside
-                          src/envysim/parallel.* — all concurrency flows
-                          through ParallelRunner so the isolation
-                          argument is made exactly once
+                          src/envysim/parallel.* and the background
+                          cleaner pool (src/envy/cleaner_pool.*) — the
+                          isolation argument for each thread-owning
+                          component is made exactly once, in its header
   trace-event-unique      every ENVY_TRACE event name is emitted from
                           exactly one call site (an event name IS the
                           call site, so traces stay attributable)
@@ -47,14 +46,11 @@ on the same line or the line directly above):
                           occurrence; a stale suppression hides the
                           next genuine finding at that site
 
-Deprecated rules (superseded by the AST-level checks in
-tools/analyze/envy_analyze.py) still run but print a deprecation
-warning; fix new findings in the successor's terms:
-
-  typed-id-params         superseded by envy-analyze `typed-id`,
-                          which parses parameter lists structurally
-                          (const, references, multi-line) instead of
-                          pattern-matching one line
+Rules superseded by an AST-level check in
+tools/analyze/envy_analyze.py are removed outright, not kept as
+deprecated twins (the regex side would drift from the structural
+side).  Removed so far: typed-id-params, superseded by envy-analyze
+`typed-id`.
 
 Exit status: 0 when clean, 1 when any finding survives, 2 on usage or
 internal errors.
@@ -71,7 +67,6 @@ RULES = (
     "crash-point-coverage",
     "panic-prefix",
     "no-raw-alloc",
-    "typed-id-params",
     "no-naked-thread",
     "trace-event-unique",
     "trace-event-registered",
@@ -79,13 +74,6 @@ RULES = (
     "no-raw-mmap",
     "unused-allow",
 )
-
-# Rules with an AST-level successor in tools/analyze/envy_analyze.py.
-# They keep running (headers, for one, are cheaper to scan here) but
-# announce the hand-off so nobody extends the regex side.
-DEPRECATED_RULES = {
-    "typed-id-params": "envy-analyze rule 'typed-id'",
-}
 
 # Functions that mutate durable state (flash contents or the page
 # table).  A function in a MUTATION_FILES file that calls one of these
@@ -109,15 +97,15 @@ TRACE_EVENT = re.compile(r'ENVY_TRACE\(\s*"([^"]+)"')
 PANIC_CALL = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*(.)')
 PANIC_PREFIX = re.compile(r'ENVY_(?:PANIC|FATAL)\(\s*"[a-z][a-z0-9_-]*: ')
 RAW_ALLOC = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(|\bnew\b")
-TYPED_PARAM = re.compile(
-    r"\b(?:std::)?uint(?:32|64)_t\s+(?:page|slot|seg)\s*[,)]"
-)
 NAKED_THREAD = re.compile(
     r"\bstd::(?:jthread|thread)\b|\bstd::async\s*\(")
-# The one file allowed to create threads (see its header comment).
+# The files allowed to create threads (see their header comments):
+# the experiment fan-out runner and the background cleaner pool.
 THREAD_EXEMPT = (
     os.path.join("src", "envysim", "parallel.hh"),
     os.path.join("src", "envysim", "parallel.cc"),
+    os.path.join("src", "envy", "cleaner_pool.hh"),
+    os.path.join("src", "envy", "cleaner_pool.cc"),
 )
 PER_BYTE_PAGE = re.compile(
     r"\bprogramByte\s*\(|\bwriteCommand\s*\(\s*FlashCmd::ProgramSetup\b"
@@ -217,7 +205,6 @@ class Linter:
         for src in sources:
             self.check_panic_prefix(src)
             self.check_raw_alloc(src)
-            self.check_typed_params(src)
             self.check_naked_thread(src)
             self.check_per_byte_page(src)
             self.check_raw_mmap(src)
@@ -377,14 +364,6 @@ class Linter:
                     f"raw allocation '{m.group(0).strip()}' — use "
                     "std::vector / std::unique_ptr")
 
-    def check_typed_params(self, src):
-        for num, line in enumerate(src.stripped, 1):
-            if TYPED_PARAM.search(line):
-                self.report(
-                    src, num, "typed-id-params",
-                    "raw integer parameter named page/slot/seg — use "
-                    "LogicalPageId / SlotId / SegmentId")
-
     def check_naked_thread(self, src):
         if src.relpath in THREAD_EXEMPT:
             return
@@ -464,7 +443,6 @@ SELF_TEST_EXPECT = (
     "crash-point-coverage",
     "panic-prefix",
     "no-raw-alloc",
-    "typed-id-params",
     "no-naked-thread",
     "trace-event-unique",
     "trace-event-registered",
@@ -537,10 +515,6 @@ def main():
     findings = Linter(root).run(source_files(root))
     for f in findings:
         print(f)
-    for rule, successor in sorted(DEPRECATED_RULES.items()):
-        print(f"envy-lint: warning: rule '{rule}' is deprecated — "
-              f"{successor} checks this at the AST level; do not "
-              "extend the regex side", file=sys.stderr)
     if findings:
         print(f"envy-lint: {len(findings)} finding(s)")
         return 1
