@@ -1,0 +1,131 @@
+/**
+ * @file
+ * envy-loadgen: latency-throughput curves for the serve front end
+ * (docs/SERVING.md §6).
+ *
+ * For each workload (zipf single-op traffic, TPC-A batch
+ * transactions) the harness stands up a threaded Server over a
+ * concurrent-mode store, prefills the key population, then drives the
+ * Loadgen curve: one closed-loop capacity point followed by open-loop
+ * points at fixed fractions of that capacity, with
+ * coordinated-omission-safe percentiles (latency from the *scheduled*
+ * arrival).  Every row lands in BENCH_serve.json (envy-bench-v2);
+ * check_bench_json.py's serve rule holds the committed full run to
+ * >= 2 workloads x >= 3 open-loop points with sane percentiles.
+ *
+ * Unlike the simulator benches, these numbers are host wall-clock:
+ * they measure the serve stack (protocol, admission, worker handoff,
+ * engine, COW controller) on whatever machine runs the bench, so
+ * absolute throughput varies by host while the *shape* — p99 rising
+ * toward capacity, shed appearing past saturation — is the subject.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "envysim/experiment.hh"
+#include "serve/kv_engine.hh"
+#include "serve/loadgen.hh"
+#include "serve/loopback.hh"
+#include "serve/server.hh"
+
+using namespace envy;
+using namespace envy::serve;
+
+namespace {
+
+struct WorkloadRun
+{
+    std::vector<LoadPoint> points;
+    obs::MetricsSnapshot snapshot;
+};
+
+WorkloadRun
+runWorkload(const LoadgenConfig &cfg)
+{
+    EnvyConfig storeCfg;
+    storeCfg.geom = kvGeometryFor(cfg.keys + cfg.keys / 4);
+    storeCfg.numWorkers = 4;
+    storeCfg.numCleaners = 1;
+    EnvyStore store(storeCfg);
+    KvEngineConfig engCfg;
+    engCfg.numShards = 8;
+    KvEngine engine(store, engCfg);
+
+    ServeConfig serveCfg;
+    serveCfg.workers = 4;
+    Server server(store, engine, serveCfg);
+
+    Loadgen gen(
+        &engine,
+        [&server] {
+            LoopbackPair pair = loopbackPair();
+            server.attach(std::move(pair.server));
+            return std::move(pair.client);
+        },
+        cfg);
+    WorkloadRun run;
+    run.points = gen.run();
+    server.stop();
+    run.snapshot = store.metrics().snapshot();
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchReport report("serve", opt);
+
+    LoadgenConfig base;
+    if (opt.smoke) {
+        base.keys = 20'000;
+        base.clients = 4;
+        base.warmupSeconds = 0.1;
+        base.measureSeconds = 0.25;
+        base.loadFractions = {0.5, 0.9};
+    }
+
+    ResultTable t("Serve: latency-throughput curves over the "
+                  "loopback transport");
+    t.setColumns({"workload", "mode", "clients", "offered_rps",
+                  "achieved_rps", "p50_us", "p99_us", "p999_us",
+                  "shed", "queued"});
+    std::vector<std::pair<std::string, obs::MetricsSnapshot>> snaps;
+    for (const std::string workload : {"zipf", "tpca"}) {
+        LoadgenConfig cfg = base;
+        cfg.workload = workload;
+        WorkloadRun run = runWorkload(cfg);
+        for (const LoadPoint &p : run.points)
+            t.addRow({p.workload, p.mode,
+                      ResultTable::integer(p.clients),
+                      ResultTable::num(p.offeredRps, 0),
+                      ResultTable::num(p.achievedRps, 0),
+                      ResultTable::integer(p.p50Us),
+                      ResultTable::integer(p.p99Us),
+                      ResultTable::integer(p.p999Us),
+                      ResultTable::integer(p.shed),
+                      ResultTable::integer(p.queued)});
+        snaps.emplace_back(workload, std::move(run.snapshot));
+    }
+    t.addNote("closed loop measures capacity; open-loop points "
+              "offer fixed fractions of it with exponential "
+              "arrivals");
+    t.addNote("latency is measured from the scheduled arrival "
+              "(coordinated-omission-safe); host wall-clock, so "
+              "absolute rates are machine-dependent");
+    t.addNote("zipf: single GET/PUT, theta=" +
+              ResultTable::num(base.theta, 2) + ", " +
+              ResultTable::integer(base.keys) + " keys; tpca: one "
+              "6-op BATCH per transaction (account/teller/branch "
+              "read+update)");
+    report.add(t);
+    for (auto &[label, snap] : snaps)
+        report.addMetrics(label, snap);
+    return report.finish();
+}

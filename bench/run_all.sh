@@ -56,6 +56,7 @@ bench_endurance
 bench_fault_recovery
 bench_dataplane
 bench_concurrency
+bench_serve
 "
 
 if [ -n "$list" ]; then

@@ -187,6 +187,12 @@ registry()
             "fault.power_loss",   // injector cut power at a point
             "fault.program_fail", // injected program spec-failure
             "fault.erase_fail",   // injected transient erase failure
+            "serve.request",      // one request executed
+            "serve.batch",        // a Batch request's sub-ops ran
+            "serve.shed",         // request refused by admission
+            "serve.queue",        // request admitted under pressure
+            "serve.protocol_error", // malformed request payload
+            "serve.frame_error",  // malformed frame, conn torn down
         };
     }();
     return events;

@@ -1,0 +1,133 @@
+#include "serve/client.hh"
+
+#include "common/logging.hh"
+
+namespace envy {
+namespace serve {
+
+KvClient::KvClient(ByteStreamPtr stream)
+    : stream_(std::move(stream)), readBuf_(64 * 1024)
+{
+    ENVY_ASSERT(stream_, "serve: client needs a stream");
+}
+
+std::uint64_t
+KvClient::sendRequest(Request &&req)
+{
+    req.requestId = nextId_++;
+    const std::vector<std::uint8_t> bytes = encodeRequest(req);
+    stream_->write(bytes);
+    return req.requestId;
+}
+
+std::uint64_t
+KvClient::sendGet(std::uint64_t key)
+{
+    Request req;
+    req.op = Op::Get;
+    req.key = key;
+    return sendRequest(std::move(req));
+}
+
+std::uint64_t
+KvClient::sendPut(std::uint64_t key, std::string_view value)
+{
+    Request req;
+    req.op = Op::Put;
+    req.key = key;
+    req.value.assign(value);
+    return sendRequest(std::move(req));
+}
+
+std::uint64_t
+KvClient::sendDel(std::uint64_t key)
+{
+    Request req;
+    req.op = Op::Del;
+    req.key = key;
+    return sendRequest(std::move(req));
+}
+
+std::uint64_t
+KvClient::sendBatch(std::vector<SubOp> ops)
+{
+    Request req;
+    req.op = Op::Batch;
+    req.ops = std::move(ops);
+    return sendRequest(std::move(req));
+}
+
+std::uint64_t
+KvClient::sendStat()
+{
+    Request req;
+    req.op = Op::Stat;
+    return sendRequest(std::move(req));
+}
+
+bool
+KvClient::recv(Response &out, bool block)
+{
+    for (;;) {
+        if (auto frame = decoder_.next()) {
+            const FrameError err = parseResponse(*frame, out);
+            ENVY_ASSERT(err == FrameError::None,
+                        "serve: malformed response frame (",
+                        frameErrorName(err), ")");
+            return true;
+        }
+        ENVY_ASSERT(decoder_.error() == FrameError::None,
+                    "serve: response stream corrupt (",
+                    frameErrorName(decoder_.error()), ")");
+        const std::size_t n = stream_->read(readBuf_, block);
+        if (n == 0)
+            return false; // closed (blocking) or dry (non-blocking)
+        decoder_.feed({readBuf_.data(), n});
+    }
+}
+
+Response
+KvClient::await(std::uint64_t id)
+{
+    Response resp;
+    const bool ok = recv(resp, true);
+    ENVY_ASSERT(ok, "serve: stream closed awaiting response ", id);
+    ENVY_ASSERT(resp.requestId == id,
+                "serve: sync reply mismatch: sent ", id, ", got ",
+                resp.requestId,
+                " (pipelined requests still outstanding?)");
+    return resp;
+}
+
+Response
+KvClient::get(std::uint64_t key)
+{
+    return await(sendGet(key));
+}
+
+Response
+KvClient::put(std::uint64_t key, std::string_view value)
+{
+    return await(sendPut(key, value));
+}
+
+Response
+KvClient::del(std::uint64_t key)
+{
+    return await(sendDel(key));
+}
+
+Response
+KvClient::batch(std::vector<SubOp> ops)
+{
+    return await(sendBatch(std::move(ops)));
+}
+
+Response
+KvClient::stat()
+{
+    return await(sendStat());
+}
+
+} // namespace serve
+} // namespace envy

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The envy-serve client: encodes requests, decodes responses, over
+ * any ByteStream (docs/SERVING.md §5).
+ *
+ * Two usage styles:
+ *
+ *  - **Synchronous**: get()/put()/del()/batch()/stat() send one
+ *    request and block until its response arrives.  Requires a
+ *    threaded server (something must execute while we block).
+ *  - **Pipelined**: sendGet()/sendPut()/... fire and return the
+ *    requestId; recv() collects responses in arrival order.  With
+ *    block=false this also drives the deterministic pump-mode tests:
+ *    send, Server::pump(), recv.
+ *
+ * One client owns one stream and is used from one thread; run many
+ * clients for concurrency (tests/test_serve_histories.cc).
+ */
+
+#ifndef ENVY_SERVE_CLIENT_HH
+#define ENVY_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/transport.hh"
+
+namespace envy {
+namespace serve {
+
+class KvClient
+{
+  public:
+    explicit KvClient(ByteStreamPtr stream);
+
+    KvClient(const KvClient &) = delete;
+    KvClient &operator=(const KvClient &) = delete;
+
+    // ---- pipelined ------------------------------------------------
+
+    std::uint64_t sendGet(std::uint64_t key);
+    std::uint64_t sendPut(std::uint64_t key, std::string_view value);
+    std::uint64_t sendDel(std::uint64_t key);
+    std::uint64_t sendBatch(std::vector<SubOp> ops);
+    std::uint64_t sendStat();
+
+    /**
+     * Next response in arrival order.  Blocking: false until the
+     * stream closes.  Non-blocking: false when no complete response
+     * is buffered.  Fatal on a malformed response frame — the server
+     * never sends one.
+     */
+    bool recv(Response &out, bool block = true);
+
+    // ---- synchronous ----------------------------------------------
+
+    Response get(std::uint64_t key);
+    Response put(std::uint64_t key, std::string_view value);
+    Response del(std::uint64_t key);
+    Response batch(std::vector<SubOp> ops);
+    Response stat();
+
+    void close() { stream_->close(); }
+    ByteStream &stream() { return *stream_; }
+
+    /** Requests sent so far (also the next requestId). */
+    std::uint64_t sent() const { return nextId_; }
+
+  private:
+    std::uint64_t sendRequest(Request &&req);
+    /** Blocking recv that insists on @p id (sync path). */
+    Response await(std::uint64_t id);
+
+    ByteStreamPtr stream_;
+    FrameDecoder decoder_;
+    std::uint64_t nextId_ = 1;
+    std::vector<std::uint8_t> readBuf_;
+};
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_CLIENT_HH

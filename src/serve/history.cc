@@ -1,0 +1,154 @@
+#include "serve/history.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace envy {
+namespace serve {
+
+RecordingClient::RecordingClient(std::uint64_t clientId,
+                                 ByteStreamPtr stream,
+                                 std::atomic<std::uint64_t> &clock)
+    : clientId_(clientId), client_(std::move(stream)), clock_(clock)
+{}
+
+Status
+RecordingClient::put(std::uint64_t key, std::uint64_t version)
+{
+    HistoryOp op;
+    op.kind = HistoryOp::Kind::Put;
+    op.client = clientId_;
+    op.key = key;
+    op.version = version;
+    op.invokeSeq = clock_.fetch_add(1) + 1;
+    const Response resp = client_.put(key, std::to_string(version));
+    op.ackSeq = clock_.fetch_add(1) + 1;
+    op.status = resp.status;
+    ops_.push_back(op);
+    return resp.status;
+}
+
+Status
+RecordingClient::get(std::uint64_t key)
+{
+    HistoryOp op;
+    op.kind = HistoryOp::Kind::Get;
+    op.client = clientId_;
+    op.key = key;
+    op.invokeSeq = clock_.fetch_add(1) + 1;
+    const Response resp = client_.get(key);
+    op.ackSeq = clock_.fetch_add(1) + 1;
+    op.status = resp.status;
+    if (resp.status == Status::Ok) {
+        op.version = std::stoull(resp.value);
+    } else {
+        op.version = 0; // NotFound / Shed observe nothing
+    }
+    ops_.push_back(op);
+    return resp.status;
+}
+
+namespace {
+
+struct Write
+{
+    std::uint64_t version;
+    std::uint64_t invokeSeq;
+    std::uint64_t ackSeq;
+};
+
+} // namespace
+
+std::vector<std::string>
+checkHistory(const std::vector<std::vector<HistoryOp>> &histories)
+{
+    std::vector<std::string> errors;
+    auto fail = [&errors](const std::string &msg) {
+        errors.push_back(msg);
+    };
+
+    // Index the acked writes per key and pin the discipline: one
+    // writer per key, versions 1..n in issue order.
+    std::map<std::uint64_t, std::uint64_t> writerOf;
+    std::map<std::uint64_t, std::vector<Write>> writes;
+    for (const auto &ops : histories) {
+        for (const HistoryOp &op : ops) {
+            if (op.kind != HistoryOp::Kind::Put)
+                continue;
+            auto [it, fresh] = writerOf.emplace(op.key, op.client);
+            ENVY_ASSERT(fresh || it->second == op.client,
+                        "serve: history breaks the single-writer "
+                        "discipline on key ",
+                        op.key);
+            if (op.status == Status::Ok)
+                writes[op.key].push_back(
+                    {op.version, op.invokeSeq, op.ackSeq});
+        }
+    }
+    for (auto &[key, ws] : writes) {
+        std::sort(ws.begin(), ws.end(),
+                  [](const Write &a, const Write &b) {
+                      return a.invokeSeq < b.invokeSeq;
+                  });
+        for (std::size_t i = 1; i < ws.size(); i++) {
+            // Sequential writer: each write acked before the next
+            // one was invoked, versions strictly increasing.
+            if (ws[i].version <= ws[i - 1].version ||
+                ws[i].invokeSeq <= ws[i - 1].ackSeq) {
+                std::ostringstream os;
+                os << "key " << key << ": writer not sequential at "
+                   << "version " << ws[i].version;
+                fail(os.str());
+            }
+        }
+    }
+
+    // Check every read's legal window and per-reader monotonicity.
+    for (const auto &ops : histories) {
+        std::map<std::uint64_t, std::uint64_t> lastSeen; // per reader
+        for (const HistoryOp &op : ops) {
+            if (op.kind != HistoryOp::Kind::Get)
+                continue;
+            if (op.status != Status::Ok &&
+                op.status != Status::NotFound)
+                continue; // shed reads observe nothing
+            std::uint64_t floor = 0;   // max acked before invoke
+            std::uint64_t ceiling = 0; // max invoked before ack
+            auto it = writes.find(op.key);
+            if (it != writes.end()) {
+                for (const Write &w : it->second) {
+                    if (w.ackSeq < op.invokeSeq)
+                        floor = std::max(floor, w.version);
+                    if (w.invokeSeq < op.ackSeq)
+                        ceiling = std::max(ceiling, w.version);
+                }
+            }
+            if (op.version < floor || op.version > ceiling) {
+                std::ostringstream os;
+                os << "client " << op.client << " read key " << op.key
+                   << " version " << op.version
+                   << " outside legal window [" << floor << ", "
+                   << ceiling << "]";
+                fail(os.str());
+            }
+            auto [seen, fresh] = lastSeen.emplace(op.key, op.version);
+            if (!fresh) {
+                if (op.version < seen->second) {
+                    std::ostringstream os;
+                    os << "client " << op.client
+                       << " went backwards on key " << op.key << ": "
+                       << seen->second << " then " << op.version;
+                    fail(os.str());
+                }
+                seen->second = op.version;
+            }
+        }
+    }
+    return errors;
+}
+
+} // namespace serve
+} // namespace envy

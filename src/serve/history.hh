@@ -1,0 +1,94 @@
+/**
+ * @file
+ * History recording and checking for the concurrent serving tests
+ * (tests/test_serve_histories.cc, docs/SERVING.md §7).
+ *
+ * The consistency contract under test: once a PUT is acked, every
+ * later GET of that key sees it or something newer, and one reader's
+ * view of a key never goes backwards.  To make that checkable without
+ * a full linearizability search, the tests impose a *single-writer
+ * discipline*: every key is written by exactly one client, which
+ * waits for each ack before the next write, tagging values with a
+ * per-key version that increases by one per PUT.  Readers are
+ * unconstrained.  Under that discipline the legal window for a read
+ * is an interval:
+ *
+ *   maxAckedBefore(invoke) <= readVersion <= maxInvokedBefore(ack)
+ *
+ * — the lower bound is the acked-writes-are-visible guarantee, the
+ * upper is "you cannot read a write that had not been issued".  The
+ * checker verifies both bounds plus per-reader monotonicity against a
+ * global happens-before clock (one atomic counter stamped around
+ * every operation).
+ *
+ * Values on the wire are decimal version strings; version 0 means
+ * the key has never been written (GET -> NotFound).
+ */
+
+#ifndef ENVY_SERVE_HISTORY_HH
+#define ENVY_SERVE_HISTORY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+
+namespace envy {
+namespace serve {
+
+/** One completed operation, stamped against the shared clock. */
+struct HistoryOp
+{
+    enum class Kind : std::uint8_t { Put, Get };
+
+    Kind kind = Kind::Get;
+    std::uint64_t client = 0;
+    std::uint64_t key = 0;
+    /** Version written (Put) or observed (Get; 0 = NotFound). */
+    std::uint64_t version = 0;
+    std::uint64_t invokeSeq = 0; //!< clock before the send
+    std::uint64_t ackSeq = 0;    //!< clock after the response
+    Status status = Status::Ok;
+};
+
+/**
+ * A synchronous client that stamps every operation against @p clock
+ * and keeps the completed-op log for the checker.  Shed responses
+ * are recorded (status Shed) but carry no consistency obligation.
+ */
+class RecordingClient
+{
+  public:
+    RecordingClient(std::uint64_t clientId, ByteStreamPtr stream,
+                    std::atomic<std::uint64_t> &clock);
+
+    /** Sync PUT of version @p version to @p key; returns status. */
+    Status put(std::uint64_t key, std::uint64_t version);
+    /** Sync GET; the observed version lands in the log. */
+    Status get(std::uint64_t key);
+
+    const std::vector<HistoryOp> &ops() const { return ops_; }
+    KvClient &client() { return client_; }
+
+  private:
+    std::uint64_t clientId_;
+    KvClient client_;
+    std::atomic<std::uint64_t> &clock_;
+    std::vector<HistoryOp> ops_;
+};
+
+/**
+ * Check merged histories against the single-writer contract.
+ * Returns human-readable violations; empty means the history is
+ * consistent.  Fatal if the input breaks the discipline itself (two
+ * clients writing one key).
+ */
+std::vector<std::string>
+checkHistory(const std::vector<std::vector<HistoryOp>> &histories);
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_HISTORY_HH

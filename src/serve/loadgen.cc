@@ -1,0 +1,302 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+#include "serve/client.hh"
+#include "sim/random.hh"
+#include "workload/tpca.hh"
+#include "workload/zipf.hh"
+
+namespace envy {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ThreadResult
+{
+    std::vector<std::uint64_t> latUs;
+    std::uint64_t requests = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t queued = 0;
+};
+
+std::uint64_t
+usBetween(Clock::time_point a, Clock::time_point b)
+{
+    const auto d =
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+            .count();
+    return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+} // namespace
+
+std::uint64_t
+percentileUs(std::vector<std::uint64_t> &us, double p)
+{
+    if (us.empty())
+        return 0;
+    std::sort(us.begin(), us.end());
+    const double pos = p * static_cast<double>(us.size() - 1);
+    const auto idx = static_cast<std::size_t>(std::llround(pos));
+    return us[std::min(idx, us.size() - 1)];
+}
+
+Loadgen::Loadgen(KvEngine *engine, ConnectFn connect,
+                 const LoadgenConfig &cfg)
+    : engine_(engine), connect_(std::move(connect)), cfg_(cfg)
+{
+    ENVY_ASSERT(cfg_.workload == "zipf" || cfg_.workload == "tpca",
+                "serve: unknown workload '", cfg_.workload, "'");
+    ENVY_ASSERT(cfg_.clients > 0, "serve: loadgen needs clients");
+    ENVY_ASSERT(cfg_.keys > 0, "serve: loadgen needs keys");
+    ENVY_ASSERT(engine_ || !cfg_.prefill,
+                "serve: prefill needs a local engine");
+}
+
+namespace {
+
+/** One client's traffic source: issues one request per call. */
+class TrafficSource
+{
+  public:
+    TrafficSource(const LoadgenConfig &cfg, const ZipfPicker *zipf,
+                  const TpcaKeys *tpca, std::uint64_t seed)
+        : cfg_(cfg), zipf_(zipf), tpca_(tpca), rng_(seed),
+          value_(cfg.valueBytes, 'v')
+    {}
+
+    /** Send one request/transaction, return its ack. */
+    Response issue(KvClient &client)
+    {
+        if (zipf_) {
+            const std::uint64_t key = zipf_->pick(rng_);
+            if (rng_.chance(cfg_.readFraction))
+                return client.get(key);
+            return client.put(key, value_);
+        }
+        // TPC-A transaction: read + update account, teller, branch,
+        // as one Batch request (docs/SERVING.md §6).
+        const std::uint64_t a =
+            rng_.below(tpca_->cfg.numAccounts);
+        const std::uint64_t t = tpca_->tellerOf(a);
+        const std::uint64_t b = tpca_->branchOf(t);
+        std::vector<SubOp> ops(6);
+        ops[0] = {Op::Get, TpcaKeys::account(a), {}};
+        ops[1] = {Op::Get, TpcaKeys::teller(t), {}};
+        ops[2] = {Op::Get, TpcaKeys::branch(b), {}};
+        ops[3] = {Op::Put, TpcaKeys::account(a), value_};
+        ops[4] = {Op::Put, TpcaKeys::teller(t), value_};
+        ops[5] = {Op::Put, TpcaKeys::branch(b), value_};
+        return client.batch(std::move(ops));
+    }
+
+    Rng &rng() { return rng_; }
+
+  private:
+    const LoadgenConfig &cfg_;
+    const ZipfPicker *zipf_;
+    const TpcaKeys *tpca_;
+    Rng rng_;
+    std::string value_;
+};
+
+void
+countResponse(const Response &resp, ThreadResult &res)
+{
+    res.requests++;
+    if (resp.status == Status::Shed)
+        res.shed++;
+    else if (resp.admission == Admission::Queued)
+        res.queued++;
+}
+
+} // namespace
+
+std::vector<LoadPoint>
+Loadgen::run()
+{
+    // Prefill straight into the engine so GETs hit from the first
+    // request (protocol round-trips would dominate setup time).
+    if (cfg_.prefill) {
+        const std::string v(cfg_.valueBytes, 'p');
+        const std::span<const std::uint8_t> vs{
+            reinterpret_cast<const std::uint8_t *>(v.data()),
+            v.size()};
+        if (cfg_.workload == "zipf") {
+            for (std::uint64_t k = 0; k < cfg_.keys; k++)
+                ENVY_ASSERT(engine_->put(k, vs) == Status::Ok,
+                            "serve: loadgen prefill failed at key ",
+                            k, " — store too small for --keys");
+        } else {
+            TpcaKeys tk(cfg_.keys);
+            for (std::uint64_t a = 0; a < cfg_.keys; a++)
+                ENVY_ASSERT(
+                    engine_->put(TpcaKeys::account(a), vs) ==
+                        Status::Ok,
+                    "serve: loadgen prefill failed at account ", a);
+            for (std::uint64_t t = 0; t < tk.cfg.numTellers(); t++)
+                ENVY_ASSERT(
+                    engine_->put(TpcaKeys::teller(t), vs) ==
+                        Status::Ok,
+                    "serve: loadgen prefill failed at teller ", t);
+            for (std::uint64_t b = 0; b < tk.cfg.numBranches(); b++)
+                ENVY_ASSERT(
+                    engine_->put(TpcaKeys::branch(b), vs) ==
+                        Status::Ok,
+                    "serve: loadgen prefill failed at branch ", b);
+        }
+    }
+
+    std::vector<LoadPoint> points;
+    points.push_back(runClosed());
+    const double capacity = points.front().achievedRps;
+    for (const double f : cfg_.loadFractions)
+        points.push_back(runOpen(capacity * f));
+    return points;
+}
+
+LoadPoint
+Loadgen::runClosed()
+{
+    const ZipfPicker zipf(cfg_.keys, cfg_.theta);
+    const TpcaKeys tpca(cfg_.keys);
+    const bool isZipf = cfg_.workload == "zipf";
+
+    std::vector<ThreadResult> results(cfg_.clients);
+    std::vector<std::thread> threads;
+    const auto start = Clock::now();
+    const auto warmEnd =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(cfg_.warmupSeconds));
+    const auto deadline =
+        warmEnd + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          cfg_.measureSeconds));
+    for (unsigned c = 0; c < cfg_.clients; c++) {
+        threads.emplace_back([&, c] {
+            KvClient client(connect_());
+            TrafficSource src(cfg_, isZipf ? &zipf : nullptr,
+                              isZipf ? nullptr : &tpca,
+                              cfg_.seed * 7919 + c + 1);
+            ThreadResult &res = results[c];
+            for (;;) {
+                const auto t0 = Clock::now();
+                if (t0 >= deadline)
+                    break;
+                const Response resp = src.issue(client);
+                const auto t1 = Clock::now();
+                if (t0 >= warmEnd) {
+                    countResponse(resp, res);
+                    res.latUs.push_back(usBetween(t0, t1));
+                }
+            }
+            client.close();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    LoadPoint point;
+    point.workload = cfg_.workload;
+    point.mode = "closed";
+    point.clients = cfg_.clients;
+    std::vector<std::uint64_t> lat;
+    for (ThreadResult &res : results) {
+        point.requests += res.requests;
+        point.shed += res.shed;
+        point.queued += res.queued;
+        lat.insert(lat.end(), res.latUs.begin(), res.latUs.end());
+    }
+    point.achievedRps =
+        static_cast<double>(point.requests) / cfg_.measureSeconds;
+    point.offeredRps = point.achievedRps;
+    point.p50Us = percentileUs(lat, 0.50);
+    point.p99Us = percentileUs(lat, 0.99);
+    point.p999Us = percentileUs(lat, 0.999);
+    return point;
+}
+
+LoadPoint
+Loadgen::runOpen(double offeredRps)
+{
+    ENVY_ASSERT(offeredRps > 0.0,
+                "serve: open-loop point needs a positive rate");
+    const ZipfPicker zipf(cfg_.keys, cfg_.theta);
+    const TpcaKeys tpca(cfg_.keys);
+    const bool isZipf = cfg_.workload == "zipf";
+    const double perThreadRps =
+        offeredRps / static_cast<double>(cfg_.clients);
+
+    std::vector<ThreadResult> results(cfg_.clients);
+    std::vector<std::thread> threads;
+    const auto start = Clock::now();
+    const auto warmEnd =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(cfg_.warmupSeconds));
+    const auto deadline =
+        warmEnd + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          cfg_.measureSeconds));
+    for (unsigned c = 0; c < cfg_.clients; c++) {
+        threads.emplace_back([&, c] {
+            KvClient client(connect_());
+            TrafficSource src(cfg_, isZipf ? &zipf : nullptr,
+                              isZipf ? nullptr : &tpca,
+                              cfg_.seed * 104729 + c + 1);
+            ThreadResult &res = results[c];
+            // Exponential arrivals at the offered rate.  Latency is
+            // measured from the *scheduled* arrival: when the server
+            // falls behind, delay accumulates instead of the load
+            // generator silently backing off (coordinated omission).
+            auto scheduled = start;
+            for (;;) {
+                const double gapS =
+                    src.rng().exponential(1.0 / perThreadRps);
+                scheduled +=
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(gapS));
+                if (scheduled >= deadline)
+                    break;
+                std::this_thread::sleep_until(scheduled);
+                const Response resp = src.issue(client);
+                const auto done = Clock::now();
+                if (scheduled >= warmEnd) {
+                    countResponse(resp, res);
+                    res.latUs.push_back(usBetween(scheduled, done));
+                }
+            }
+            client.close();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    LoadPoint point;
+    point.workload = cfg_.workload;
+    point.mode = "open";
+    point.clients = cfg_.clients;
+    point.offeredRps = offeredRps;
+    std::vector<std::uint64_t> lat;
+    for (ThreadResult &res : results) {
+        point.requests += res.requests;
+        point.shed += res.shed;
+        point.queued += res.queued;
+        lat.insert(lat.end(), res.latUs.begin(), res.latUs.end());
+    }
+    point.achievedRps =
+        static_cast<double>(point.requests) / cfg_.measureSeconds;
+    point.p50Us = percentileUs(lat, 0.50);
+    point.p99Us = percentileUs(lat, 0.99);
+    point.p999Us = percentileUs(lat, 0.999);
+    return point;
+}
+
+} // namespace serve
+} // namespace envy

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The envy-serve load generator: closed- and open-loop traffic with
+ * coordinated-omission-safe latency percentiles (docs/SERVING.md §6).
+ *
+ * Two workloads drive the server through real protocol frames:
+ *
+ *  - **zipf**: single GET/PUT requests, keys zipf(theta)-distributed
+ *    over the population, 50/50 read/write — the skewed cache-ish
+ *    traffic a KV front end actually sees.
+ *  - **tpca**: one Batch request per transaction carrying the TPC-A
+ *    storage ops — read and update the account, its teller and its
+ *    branch (paper §5.2 scaling: 10,000 accounts per teller, 10
+ *    tellers per branch) — so every transaction exercises request
+ *    batching through the write buffer.
+ *
+ * Measurement runs in two phases per workload.  A *closed loop*
+ * (clients issue back-to-back) measures capacity; then *open-loop*
+ * points offer fixed fractions of that capacity with exponential
+ * arrivals, and latency is measured from the *scheduled* arrival
+ * time, not the send — a stalled server keeps accumulating offered
+ * work, so queueing delay shows up in the percentiles instead of
+ * being coordinated away.
+ *
+ * The generator only needs a way to dial the server (ConnectFn): the
+ * in-process bench uses loopback pairs, envy_loadgen can dial TCP.
+ */
+
+#ifndef ENVY_SERVE_LOADGEN_HH
+#define ENVY_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/kv_engine.hh"
+#include "serve/transport.hh"
+#include "workload/tpca.hh"
+
+namespace envy {
+namespace serve {
+
+struct LoadgenConfig
+{
+    /** "zipf" or "tpca". */
+    std::string workload = "zipf";
+    /** Key population (zipf) / account count (tpca). */
+    std::uint64_t keys = 1'000'000;
+    double theta = 0.99;       //!< zipf skew
+    double readFraction = 0.5; //!< zipf GET share
+    unsigned clients = 8;
+    std::uint32_t valueBytes = 64;
+    double warmupSeconds = 0.5;
+    double measureSeconds = 2.0;
+    /** Open-loop offered load as fractions of closed-loop capacity. */
+    std::vector<double> loadFractions = {0.3, 0.6, 0.9};
+    std::uint64_t seed = 1;
+    /** PUT every key once (straight into the engine) before driving
+     *  traffic, so GETs hit. */
+    bool prefill = true;
+};
+
+/**
+ * TPC-A entity keys, disjoint by namespace tag in the low bits, with
+ * the paper's §5.2 scaling (10,000 accounts per teller, 10 tellers
+ * per branch).  Shared by in-process prefill, wire prefill
+ * (tools/serve/envy_loadgen.cc) and the traffic source so the key
+ * spaces can never drift apart.
+ */
+struct TpcaKeys
+{
+    explicit TpcaKeys(std::uint64_t accounts)
+    {
+        cfg.numAccounts = accounts;
+    }
+
+    static std::uint64_t account(std::uint64_t a) { return a * 4; }
+    static std::uint64_t teller(std::uint64_t t) { return t * 4 + 1; }
+    static std::uint64_t branch(std::uint64_t b) { return b * 4 + 2; }
+
+    std::uint64_t tellerOf(std::uint64_t a) const
+    {
+        return a / cfg.accountsPerTeller;
+    }
+    std::uint64_t branchOf(std::uint64_t t) const
+    {
+        return t / cfg.tellersPerBranch;
+    }
+
+    TpcaConfig cfg;
+};
+
+/** One row of the latency-throughput curve. */
+struct LoadPoint
+{
+    std::string workload;
+    std::string mode; //!< "closed" or "open"
+    unsigned clients = 0;
+    double offeredRps = 0.0; //!< closed loop: == achievedRps
+    double achievedRps = 0.0;
+    std::uint64_t requests = 0;
+    std::uint64_t shed = 0;   //!< client-observed Shed responses
+    std::uint64_t queued = 0; //!< client-observed Queued admissions
+    std::uint64_t p50Us = 0;
+    std::uint64_t p99Us = 0;
+    std::uint64_t p999Us = 0;
+};
+
+class Loadgen
+{
+  public:
+    using ConnectFn = std::function<ByteStreamPtr()>;
+
+    /** @p engine is only used for prefill; traffic goes through
+     *  streams dialed with @p connect.  May be null when
+     *  cfg.prefill is off (remote loadgen has no local engine). */
+    Loadgen(KvEngine *engine, ConnectFn connect,
+            const LoadgenConfig &cfg);
+
+    /**
+     * Run the full curve for the configured workload: prefill, one
+     * closed-loop capacity point, then one open-loop point per load
+     * fraction.
+     */
+    std::vector<LoadPoint> run();
+
+  private:
+    LoadPoint runClosed();
+    LoadPoint runOpen(double offeredRps);
+
+    KvEngine *engine_;
+    ConnectFn connect_;
+    LoadgenConfig cfg_;
+};
+
+/** @return ceil(p-th percentile) of @p us (sorted in place). */
+std::uint64_t percentileUs(std::vector<std::uint64_t> &us, double p);
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_LOADGEN_HH

@@ -1,0 +1,115 @@
+#include "serve/loopback.hh"
+
+#include <algorithm>
+
+namespace envy {
+namespace serve {
+
+namespace detail {
+
+void
+Pipe::push(std::span<const std::uint8_t> in)
+{
+    {
+        MutexLock lock(mu);
+        if (closed)
+            return;
+        bytes.insert(bytes.end(), in.begin(), in.end());
+    }
+    dataCv_.notify_all();
+}
+
+std::size_t
+Pipe::pull(std::span<std::uint8_t> out, bool block)
+{
+    MutexLock lock(mu);
+    if (block) {
+        while (bytes.empty() && !closed)
+            dataCv_.wait(lock);
+    }
+    const std::size_t n = std::min(out.size(), bytes.size());
+    std::copy_n(bytes.begin(), n, out.begin());
+    bytes.erase(bytes.begin(), bytes.begin() +
+                                   static_cast<std::ptrdiff_t>(n));
+    return n;
+}
+
+void
+Pipe::close()
+{
+    {
+        MutexLock lock(mu);
+        closed = true;
+    }
+    dataCv_.notify_all();
+}
+
+bool
+Pipe::isClosed()
+{
+    MutexLock lock(mu);
+    return closed;
+}
+
+} // namespace detail
+
+namespace {
+
+/** One endpoint: reads from @p in, writes to @p out. */
+class LoopbackStream : public ByteStream
+{
+  public:
+    LoopbackStream(std::shared_ptr<detail::Pipe> in,
+                   std::shared_ptr<detail::Pipe> out)
+        : in_(std::move(in)), out_(std::move(out))
+    {}
+
+    ~LoopbackStream() override { LoopbackStream::close(); }
+
+    std::size_t
+    read(std::span<std::uint8_t> out, bool block) override
+    {
+        return in_->pull(out, block);
+    }
+
+    void
+    write(std::span<const std::uint8_t> in) override
+    {
+        out_->push(in);
+    }
+
+    void
+    close() override
+    {
+        // Close both directions: a closed endpoint neither delivers
+        // nor accepts, and the peer's blocked reader wakes with 0.
+        in_->close();
+        out_->close();
+    }
+
+    bool
+    closed() const override
+    {
+        return in_->isClosed() || out_->isClosed();
+    }
+
+  private:
+    std::shared_ptr<detail::Pipe> in_;
+    std::shared_ptr<detail::Pipe> out_;
+};
+
+} // namespace
+
+LoopbackPair
+loopbackPair()
+{
+    auto c2s = std::make_shared<detail::Pipe>();
+    auto s2c = std::make_shared<detail::Pipe>();
+    LoopbackPair pair;
+    pair.client = std::make_unique<LoopbackStream>(s2c, c2s);
+    pair.server = std::make_unique<LoopbackStream>(c2s, s2c);
+    return pair;
+}
+
+} // namespace serve
+} // namespace envy

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic in-process transport (docs/SERVING.md §5).
+ *
+ * A loopback "connection" is a pair of ByteStream endpoints joined by
+ * two byte queues, one per direction.  No sockets, no file
+ * descriptors: unit tests drive every protocol and admission-control
+ * path through this, and the single-threaded Server::pump() mode uses
+ * the non-blocking read to run client and server in one thread (the
+ * restart-durability test forks exactly such a process and SIGKILLs
+ * it).
+ *
+ * Each direction is a mutex + condition variable + byte deque.  The
+ * wait runs on the queue's own mutex, which guards nothing else and
+ * sits at the bottom of the lock order — the same contract as the
+ * cleaner wakeup cvs (docs/INTERNALS.md), and registered with the
+ * envy_analyze lock-discipline exemptions under the name dataCv_.
+ */
+
+#ifndef ENVY_SERVE_LOOPBACK_HH
+#define ENVY_SERVE_LOOPBACK_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+
+#include "common/thread_annotations.hh"
+#include "serve/transport.hh"
+
+namespace envy {
+namespace serve {
+
+namespace detail {
+
+/** One direction of a loopback connection: a guarded byte queue. */
+struct Pipe
+{
+    Mutex mu;
+    std::condition_variable_any dataCv_;
+    std::deque<std::uint8_t> bytes ENVY_GUARDED_BY(mu);
+    bool closed ENVY_GUARDED_BY(mu) = false;
+
+    void push(std::span<const std::uint8_t> in);
+    std::size_t pull(std::span<std::uint8_t> out, bool block);
+    void close();
+    bool isClosed();
+};
+
+} // namespace detail
+
+/**
+ * Both endpoints of one loopback connection.  Typical use:
+ *
+ *     auto [client, server] = loopbackPair();
+ *     serverObj.attach(std::move(server));
+ *     KvClient c(std::move(client));
+ */
+struct LoopbackPair
+{
+    ByteStreamPtr client;
+    ByteStreamPtr server;
+};
+
+LoopbackPair loopbackPair();
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_LOOPBACK_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The envy-serve server core: connections in, admission control,
+ * request execution against the KvEngine (docs/SERVING.md §3).
+ *
+ * The server is transport-agnostic — it owns ByteStream endpoints
+ * (loopback in tests, TCP sockets in envy_served) and never opens one
+ * itself.  Two execution modes share every code path that matters:
+ *
+ *  - **Threaded** (cfg.workers > 0): attach() starts one reader
+ *    thread per connection that decodes frames and routes them
+ *    through admission control into a bounded work queue; a fixed
+ *    pool of worker threads drains the queue, executes against the
+ *    engine (meeting the PR 8 sharded controller underneath) and
+ *    writes responses back under the connection's write lock.
+ *  - **Pump** (cfg.workers == 0): no threads at all.  pump() drains
+ *    whatever bytes the attached loopbacks hold and executes every
+ *    complete request inline, deterministically — the mode the
+ *    protocol, restart and model-checking tests run in.
+ *
+ * Admission control turns the controller's flush→clean backpressure
+ * into explicit, observable outcomes instead of silent stalls:
+ *
+ *    depth >= queueHard                 -> Shed   (refused, not run)
+ *    depth >= queueSoft or backpressure -> Queued (run, flagged)
+ *    otherwise                          -> Direct
+ *
+ * The backpressure flag is fed by chaining onto
+ * Controller::backpressureHook (the cleaner pool keeps its poke) and
+ * cleared once a worker drains the queue empty.  Every decision is
+ * visible three ways: the response's admission/status byte, the
+ * serve.shed / serve.queued counters, and serve.* trace events — the
+ * admission tests cross-check all three.
+ *
+ * Ordering contract: one connection's requests enter the queue in
+ * send order, but a worker pool may *execute* them concurrently, so
+ * pipelined writes to the same key may land in any order.  A client
+ * that waits for each ack before the next dependent request gets
+ * strict per-key ordering (the engine's shard lock orders every op on
+ * a key); that is the discipline the history tests verify.
+ */
+
+#ifndef ENVY_SERVE_SERVER_HH
+#define ENVY_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+#include "obs/metrics.hh"
+#include "serve/kv_engine.hh"
+#include "serve/protocol.hh"
+#include "serve/transport.hh"
+
+namespace envy {
+namespace serve {
+
+struct ServeConfig
+{
+    /** Executor threads; 0 selects the deterministic pump() mode. */
+    unsigned workers = 0;
+    /** Queue depth at which admission flips Direct -> Queued. */
+    std::size_t queueSoft = 64;
+    /** Queue depth at which requests are shed outright. */
+    std::size_t queueHard = 256;
+    /** Batch sub-ops accepted per request (<= kMaxBatchOps). */
+    std::size_t maxBatchOps = kMaxBatchOps;
+    /**
+     * Make every mutation SIGKILL-durable before its ack leaves the
+     * server (EnvyStore::persistFlush, the crash-harness ack-prefix
+     * contract).  Requires a persistent store.
+     */
+    bool durableAcks = false;
+};
+
+/** Where admission control routed (or refused) a request. */
+enum class AdmitDecision : std::uint8_t
+{
+    Direct,
+    Queued,
+    Shed,
+};
+
+const char *admitDecisionName(AdmitDecision d);
+
+/**
+ * The admission decision function, pure and alone so the unit tests
+ * can pin its contract without a server (docs/SERVING.md §3).
+ */
+AdmitDecision admitRequest(std::size_t depth, std::size_t queueSoft,
+                           std::size_t queueHard, bool backpressure);
+
+/** Meaning of the u64s in a Stat response, by index. */
+enum class StatField : std::size_t
+{
+    Requests = 0,       //!< requests executed (not shed)
+    Shed,               //!< requests refused by admission control
+    Queued,             //!< requests admitted with pressure observed
+    Admitted,           //!< requests admitted Direct
+    BatchOps,           //!< sub-ops executed inside Batch requests
+    ProtocolErrors,     //!< connections torn down on malformed frames
+    Keys,               //!< live keys in the engine right now
+    NumFields,
+};
+
+class Server
+{
+  public:
+    /**
+     * @p store and @p engine outlive the server.  Registers serve.*
+     * metrics with the store's registry and chains onto the
+     * controller's backpressure hook (restored on destruction).
+     */
+    Server(EnvyStore &store, KvEngine &engine, const ServeConfig &cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Adopt a connection.  Threaded mode starts its reader here. */
+    void attach(ByteStreamPtr stream);
+
+    /**
+     * Pump mode only: drain buffered bytes on every attached
+     * connection and execute the complete requests inline.  Returns
+     * the number of requests handled (including sheds); call until 0
+     * for a quiesce.
+     */
+    std::size_t pump();
+
+    /** Stop readers and workers, close every connection, join. */
+    void stop();
+
+    const ServeConfig &config() const { return cfg_; }
+
+    /** Outstanding admitted requests (threaded mode). */
+    std::size_t queueDepth() const;
+
+    /** True while the controller's backpressure signal is latched. */
+    bool backpressureActive() const
+    {
+        return backpressure_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Conn
+    {
+        ByteStreamPtr stream;
+        FrameDecoder decoder;
+        std::thread reader;   //!< threaded mode only
+        Mutex writeMu;        //!< serialises response writes
+        bool dead = false;    //!< protocol error or peer close
+    };
+    using ConnPtr = std::shared_ptr<Conn>;
+
+    struct Work
+    {
+        ConnPtr conn;
+        Request req;
+        Admission admission = Admission::Direct;
+    };
+
+    void readerLoop(ConnPtr conn);
+    /** Decode and route every buffered frame; false on dead conn. */
+    bool drainConn(const ConnPtr &conn, std::span<const std::uint8_t> bytes,
+                   std::size_t *handled);
+    /** Admission + dispatch for one decoded request. */
+    void routeRequest(const ConnPtr &conn, Request &&req);
+    /** Execute and respond (worker thread or pump). */
+    void executeAndRespond(const ConnPtr &conn, const Request &req,
+                           Admission admission);
+    Response execute(const Request &req);
+    void respond(const ConnPtr &conn, const Response &resp,
+                 bool mutated);
+    void workerLoop();
+
+    EnvyStore &store_;
+    KvEngine &engine_;
+    ServeConfig cfg_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> backpressure_{false};
+    std::function<void()> prevHook_; //!< cleaner pool's poke, chained
+
+    mutable Mutex connMu_;
+    std::vector<ConnPtr> conns_ ENVY_GUARDED_BY(connMu_);
+
+    mutable Mutex queueMu_;
+    std::condition_variable_any workCv_; //!< waits on queueMu_
+    std::deque<Work> queue_ ENVY_GUARDED_BY(queueMu_);
+    std::vector<std::thread> workers_;
+
+    // serve.* instrumentation (docs/OBSERVABILITY.md).
+    obs::Counter metRequests_;
+    obs::Counter metBatchOps_;
+    obs::Counter metShed_;
+    obs::Counter metQueued_;
+    obs::Counter metAdmitted_;
+    obs::Counter metBackpressureSignals_;
+    obs::Counter metBytesIn_;
+    obs::Counter metBytesOut_;
+    obs::Counter metProtocolErrors_;
+    obs::Gauge metQueueDepth_;
+    // Registry histograms are not thread-safe; every record goes
+    // through this server-owned lock (metrics.hh file comment).
+    Mutex histMu_;
+    obs::Histogram metExecUs_ ENVY_GUARDED_BY(histMu_);
+};
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_SERVER_HH

@@ -1,0 +1,242 @@
+#include "serve/socket_transport.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace envy {
+namespace serve {
+
+namespace {
+
+/** epoll instance watching @p fd (in) and @p cancelFd (in). */
+int
+makeEpoll(int fd, int cancelFd)
+{
+    const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+    ENVY_ASSERT(ep >= 0, "serve: epoll_create1: ",
+                std::strerror(errno));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ENVY_ASSERT(::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "serve: epoll_ctl(fd): ", std::strerror(errno));
+    ev.data.fd = cancelFd;
+    ENVY_ASSERT(::epoll_ctl(ep, EPOLL_CTL_ADD, cancelFd, &ev) == 0,
+                "serve: epoll_ctl(cancel): ", std::strerror(errno));
+    return ep;
+}
+
+void
+signalEventFd(int fd)
+{
+    const std::uint64_t one = 1;
+    ssize_t n;
+    do {
+        n = ::write(fd, &one, sizeof(one));
+    } while (n < 0 && errno == EINTR);
+}
+
+/** A connected TCP socket as a ByteStream. */
+class SocketStream : public ByteStream
+{
+  public:
+    explicit SocketStream(int fd) : fd_(fd)
+    {
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        cancelFd_ = ::eventfd(0, EFD_CLOEXEC);
+        ENVY_ASSERT(cancelFd_ >= 0, "serve: eventfd: ",
+                    std::strerror(errno));
+        epollFd_ = makeEpoll(fd_, cancelFd_);
+    }
+
+    ~SocketStream() override
+    {
+        SocketStream::close();
+        ::close(epollFd_);
+        ::close(cancelFd_);
+        ::close(fd_);
+    }
+
+    std::size_t
+    read(std::span<std::uint8_t> out, bool block) override
+    {
+        for (;;) {
+            if (closed_.load(std::memory_order_relaxed))
+                return 0;
+            const ssize_t n = ::recv(fd_, out.data(), out.size(),
+                                     MSG_DONTWAIT);
+            if (n > 0)
+                return static_cast<std::size_t>(n);
+            if (n == 0) {
+                closed_.store(true, std::memory_order_relaxed);
+                return 0; // orderly peer close
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                closed_.store(true, std::memory_order_relaxed);
+                return 0; // reset, etc: treat as close
+            }
+            if (!block)
+                return 0;
+            epoll_event evs[2];
+            const int hits =
+                ::epoll_wait(epollFd_, evs, 2, -1);
+            if (hits < 0 && errno == EINTR)
+                continue;
+            // Readable or cancelled: loop either way; the recv or
+            // the closed_ check resolves which.
+        }
+    }
+
+    void
+    write(std::span<const std::uint8_t> in) override
+    {
+        std::size_t off = 0;
+        while (off < in.size()) {
+            if (closed_.load(std::memory_order_relaxed))
+                return; // drop after close, per the contract
+            const ssize_t n =
+                ::send(fd_, in.data() + off, in.size() - off,
+                       MSG_NOSIGNAL);
+            if (n > 0) {
+                off += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            closed_.store(true, std::memory_order_relaxed);
+            return; // peer gone
+        }
+    }
+
+    void
+    close() override
+    {
+        if (closed_.exchange(true, std::memory_order_relaxed))
+            return;
+        ::shutdown(fd_, SHUT_RDWR);
+        signalEventFd(cancelFd_);
+    }
+
+    bool
+    closed() const override
+    {
+        return closed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    int fd_;
+    int epollFd_ = -1;
+    int cancelFd_ = -1;
+    std::atomic<bool> closed_{false};
+};
+
+} // namespace
+
+TcpListener::TcpListener(std::uint16_t port)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ENVY_ASSERT(listenFd_ >= 0, "serve: socket: ",
+                std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ENVY_ASSERT(::bind(listenFd_,
+                       reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr)) == 0,
+                "serve: bind 127.0.0.1:", port, ": ",
+                std::strerror(errno));
+    ENVY_ASSERT(::listen(listenFd_, 128) == 0, "serve: listen: ",
+                std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    ENVY_ASSERT(::getsockname(listenFd_,
+                              reinterpret_cast<sockaddr *>(&addr),
+                              &len) == 0,
+                "serve: getsockname: ", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+    stopFd_ = ::eventfd(0, EFD_CLOEXEC);
+    ENVY_ASSERT(stopFd_ >= 0, "serve: eventfd: ",
+                std::strerror(errno));
+    epollFd_ = makeEpoll(listenFd_, stopFd_);
+}
+
+TcpListener::~TcpListener()
+{
+    stop();
+    ::close(epollFd_);
+    ::close(stopFd_);
+    ::close(listenFd_);
+}
+
+ByteStreamPtr
+TcpListener::accept()
+{
+    for (;;) {
+        epoll_event evs[2];
+        const int hits = ::epoll_wait(epollFd_, evs, 2, -1);
+        if (hits < 0 && errno == EINTR)
+            continue;
+        ENVY_ASSERT(hits > 0, "serve: epoll_wait: ",
+                    std::strerror(errno));
+        for (int i = 0; i < hits; i++)
+            if (evs[i].data.fd == stopFd_)
+                return nullptr;
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == ECONNABORTED)
+                continue;
+            return nullptr; // listener torn down
+        }
+        return std::make_unique<SocketStream>(fd);
+    }
+}
+
+void
+TcpListener::stop()
+{
+    signalEventFd(stopFd_);
+}
+
+ByteStreamPtr
+tcpConnect(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ENVY_ASSERT(fd >= 0, "serve: socket: ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ENVY_ASSERT(::inet_pton(AF_INET, host.c_str(),
+                            &addr.sin_addr) == 1,
+                "serve: bad address '", host, "'");
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    ENVY_ASSERT(rc == 0, "serve: connect ", host, ":", port, ": ",
+                std::strerror(errno));
+    return std::make_unique<SocketStream>(fd);
+}
+
+} // namespace serve
+} // namespace envy

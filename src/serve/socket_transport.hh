@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The TCP transport: real sockets behind the ByteStream interface,
+ * multiplexed with epoll (docs/SERVING.md §5).
+ *
+ * Everything the unit tests exercise over the loopback runs
+ * unmodified over this layer — it adds only I/O:
+ *
+ *  - SocketStream wraps a connected fd.  Blocking reads epoll_wait on
+ *    {fd, cancel eventfd}, so close() from any thread wakes a blocked
+ *    reader immediately — the same semantics the loopback gives the
+ *    server's reader threads, with no signals and no timeouts.
+ *  - TcpListener owns the listening socket, again epoll-multiplexed
+ *    with a stop eventfd: accept() returns attached-ready streams
+ *    until stop(), then null.
+ *
+ * envy_served composes the two: accept loop -> Server::attach.  All
+ * syscalls are EINTR-retried; write errors after peer close are
+ * swallowed (ByteStream contract: writes after close drop).
+ */
+
+#ifndef ENVY_SERVE_SOCKET_TRANSPORT_HH
+#define ENVY_SERVE_SOCKET_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/transport.hh"
+
+namespace envy {
+namespace serve {
+
+class TcpListener
+{
+  public:
+    /** Bind + listen on 127.0.0.1:@p port (0 = ephemeral). */
+    explicit TcpListener(std::uint16_t port);
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** The bound port (useful after asking for 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Next connection, or null once stop() was called. */
+    ByteStreamPtr accept();
+
+    /** Wake and fail any blocked accept(); idempotent. */
+    void stop();
+
+  private:
+    int listenFd_ = -1;
+    int epollFd_ = -1;
+    int stopFd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/** Dial @p host:@p port; fatal on refusal (tools exit loudly). */
+ByteStreamPtr tcpConnect(const std::string &host, std::uint16_t port);
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_SOCKET_TRANSPORT_HH

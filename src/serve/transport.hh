@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The byte-stream boundary between the server core and whatever
+ * carries its bytes (docs/SERVING.md §5).
+ *
+ * The Server, clients and the load generator only ever see this
+ * interface.  Two implementations ship: the deterministic in-process
+ * loopback (loopback.hh — every protocol and admission path runs in
+ * ctest with no sockets), and the TCP/epoll front end
+ * (socket_transport.hh — the envy_served binary).  Unit tests are
+ * written against the loopback; the socket layer adds only I/O.
+ */
+
+#ifndef ENVY_SERVE_TRANSPORT_HH
+#define ENVY_SERVE_TRANSPORT_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace envy {
+namespace serve {
+
+/**
+ * One direction-agnostic endpoint of a reliable, ordered byte
+ * stream.  Writes never block indefinitely against a connected peer;
+ * reads block until bytes arrive or the stream closes (unless asked
+ * not to).  Implementations are thread-safe per endpoint: one reader
+ * and any number of serialised writers.
+ */
+class ByteStream
+{
+  public:
+    virtual ~ByteStream() = default;
+
+    /**
+     * Read up to out.size() bytes.  Blocks until at least one byte is
+     * available or the stream is closed when @p block; returns the
+     * byte count, or 0 meaning closed (when blocking) / no bytes
+     * buffered (when not).
+     */
+    virtual std::size_t read(std::span<std::uint8_t> out,
+                             bool block = true) = 0;
+
+    /** Append bytes to the stream.  Silently drops after close. */
+    virtual void write(std::span<const std::uint8_t> in) = 0;
+
+    /** Close both directions; wakes any blocked reader. */
+    virtual void close() = 0;
+
+    /** True once close() was called on either endpoint. */
+    virtual bool closed() const = 0;
+};
+
+using ByteStreamPtr = std::unique_ptr<ByteStream>;
+
+} // namespace serve
+} // namespace envy
+
+#endif // ENVY_SERVE_TRANSPORT_HH

@@ -1,0 +1,50 @@
+#include "workload/zipf.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace envy {
+
+namespace {
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfPicker::ZipfPicker(std::uint64_t population, double theta)
+    : population_(population), theta_(theta)
+{
+    ENVY_ASSERT(population_ > 0, "workload: zipf over empty range");
+    ENVY_ASSERT(theta_ > 0.0 && theta_ < 1.0,
+                "workload: zipf theta ", theta_, " outside (0, 1)");
+    zetan_ = zeta(population_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(population_),
+                           1.0 - theta_)) /
+           (1.0 - zeta(2, theta_) / zetan_);
+}
+
+std::uint64_t
+ZipfPicker::pick(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(population_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= population_ ? population_ - 1 : r;
+}
+
+} // namespace envy

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Zipfian key selection for skewed serving traffic.
+ *
+ * The classic power-law popularity distribution: rank r is drawn with
+ * probability proportional to 1 / r^theta.  The generator uses the
+ * standard Gray et al. construction ("Quickly Generating
+ * Billion-Record Synthetic Databases", SIGMOD '94): one O(n) zeta
+ * precomputation at construction, then O(1) draws — millions of keys
+ * cost a few milliseconds of setup and nothing per sample.  theta in
+ * (0, 1); 0.99 is the YCSB-style default used by the envy-serve load
+ * generator (docs/SERVING.md §6).
+ *
+ * Draws are deterministic given the Rng, like every workload in this
+ * tree.
+ */
+
+#ifndef ENVY_WORKLOAD_ZIPF_HH
+#define ENVY_WORKLOAD_ZIPF_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+
+namespace envy {
+
+class ZipfPicker
+{
+  public:
+    /**
+     * @param population draws land in [0, population)
+     * @param theta      skew in (0, 1); larger = more skewed
+     */
+    ZipfPicker(std::uint64_t population, double theta);
+
+    std::uint64_t pick(Rng &rng) const;
+
+    std::uint64_t population() const { return population_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t population_;
+    double theta_;
+    double zetan_;   //!< zeta(n, theta)
+    double alpha_;   //!< 1 / (1 - theta)
+    double eta_;     //!< Gray's eta shortcut constant
+};
+
+} // namespace envy
+
+#endif // ENVY_WORKLOAD_ZIPF_HH

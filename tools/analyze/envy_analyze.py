@@ -124,6 +124,12 @@ CLEANER_CV_BASES = ("cv_", "roomCv_")
 # lock its scope holds (see the predicate-loop comment in
 # src/envysim/parallel.cc).  Exempt by name, like the cleaner cvs.
 RUNNER_CV_BASES = ("queueSpace_", "queueWork_", "allDone_")
+# The serve layer's cvs follow the same classic protocol: the
+# loopback pipe's dataCv_ waits on the pipe mutex (its scope's only
+# lock) and the server's workCv_ waits on the admission queue mutex
+# (docs/SERVING.md §3); condition_variable_any releases that lock
+# itself for the park.
+SERVE_CV_BASES = ("dataCv_", "workCv_")
 # Flash device entry points that program or erase the array.  Under a
 # shard lock these deadlock-by-design: shard locks serialize one
 # page's translation, device mutation runs under the structural lock
@@ -1092,10 +1098,12 @@ def rule_journal_before_mmap(functions, findings):
 
 def _is_exempt_cv(base):
     """True when a member wait's base chain names one of the cleaner
-    wakeup cvs (cv_.wait_for / roomCv_.wait_for / this->cv_...) or
-    ParallelRunner's self-releasing cvs."""
+    wakeup cvs (cv_.wait_for / roomCv_.wait_for / this->cv_...),
+    ParallelRunner's self-releasing cvs, or the serve layer's
+    pipe/queue cvs."""
     for part in re.split(r"\.|->|::", base):
-        if part in CLEANER_CV_BASES or part in RUNNER_CV_BASES:
+        if (part in CLEANER_CV_BASES or part in RUNNER_CV_BASES or
+                part in SERVE_CV_BASES):
             return True
     return False
 
@@ -1147,8 +1155,10 @@ def rule_lock_discipline(functions, findings):
                  "program/erase belongs under the structural lock "
                  "(docs/INTERNALS.md lock order)",
         "cvwait": "while holding a scoped lock -- only the cleaner "
-                  "wakeup cvs (cv_, roomCv_) may wait with a scope "
-                  "open, on their dedicated doze mutexes",
+                  "wakeup cvs (cv_, roomCv_) and the serve "
+                  "pipe/queue cvs (dataCv_, workCv_) may wait with "
+                  "a scope open, each on a mutex its wait releases "
+                  "itself",
     }
     for fn in functions:
         hits = []

@@ -30,10 +30,19 @@ A report must be a JSON object with:
                                    of counts
                         sum        number
 
-One bench-specific check rides on top of the schema: a full-run
-(smoke=false) "concurrency" report must contain the acceptance row --
-8 workers + 2 cleaners with a speedup of at least 3x over the serial
-baseline (the PR 8 scaling floor; see bench/bench_concurrency.cc).
+Bench-specific checks ride on top of the schema:
+
+  - a full-run (smoke=false) "concurrency" report must contain the
+    acceptance row -- 8 workers + 2 cleaners with a speedup of at
+    least 3x over the serial baseline (the PR 8 scaling floor; see
+    bench/bench_concurrency.cc);
+  - a full-run "serve" report must carry the committed
+    latency-throughput curves: a table with the
+    workload/mode/offered_rps/p50_us/p99_us/p999_us columns covering
+    at least SERVE_MIN_WORKLOADS workloads, each with at least
+    SERVE_MIN_OPEN_POINTS open-loop rows plus a closed-loop capacity
+    row, and p50 <= p99 <= p999 on every row (see
+    bench/bench_serve.cc).
 
 Exit status: 0 when every file validates, 1 otherwise, 2 on usage
 errors.  Directories are scanned for *.json (non-recursively).
@@ -49,6 +58,12 @@ SCHEMAS = ("envy-bench-v1", "envy-bench-v2")
 # throughput at 8 workers + 2 cleaners vs the 1-thread/inline-clean
 # baseline.
 CONCURRENCY_MIN_SPEEDUP = 3.0
+
+# The serve bench's committed curve must cover this many workloads,
+# each with this many open-loop offered-load points (plus the closed
+# capacity point).
+SERVE_MIN_WORKLOADS = 2
+SERVE_MIN_OPEN_POINTS = 3
 
 
 def fail(path, msg):
@@ -151,6 +166,57 @@ def check_concurrency_scaling(path, tables):
                       "workers/cleaners/speedup columns")
 
 
+SERVE_COLUMNS = ("workload", "mode", "offered_rps", "p50_us",
+                 "p99_us", "p999_us")
+
+
+def check_serve_curves(path, tables):
+    """Full-run serve reports must carry the latency-throughput
+    curves: >= SERVE_MIN_WORKLOADS workloads, each with a closed
+    capacity point and >= SERVE_MIN_OPEN_POINTS open-loop points,
+    percentiles ordered on every row."""
+    for t in tables:
+        cols = t.get("columns", [])
+        if not set(SERVE_COLUMNS) <= set(cols):
+            continue
+        iw = cols.index("workload")
+        im = cols.index("mode")
+        pct = [cols.index(c) for c in ("p50_us", "p99_us", "p999_us")]
+        modes = {}  # workload -> {"closed": n, "open": n}
+        for j, row in enumerate(t.get("rows", [])):
+            if row[im] not in ("closed", "open"):
+                return fail(path, f"serve row {j} has mode "
+                                  f"{row[im]!r}, expected closed or "
+                                  "open")
+            try:
+                p50, p99, p999 = (float(row[i]) for i in pct)
+            except ValueError:
+                return fail(path, f"serve row {j} has unparseable "
+                                  "percentiles")
+            if not p50 <= p99 <= p999:
+                return fail(path, f"serve row {j} percentiles are "
+                                  f"not ordered: p50={row[pct[0]]} "
+                                  f"p99={row[pct[1]]} "
+                                  f"p999={row[pct[2]]}")
+            per = modes.setdefault(row[iw], {"closed": 0, "open": 0})
+            per[row[im]] += 1
+        if len(modes) < SERVE_MIN_WORKLOADS:
+            return fail(path, f"serve curve covers {len(modes)} "
+                              f"workload(s), needs "
+                              f"{SERVE_MIN_WORKLOADS}")
+        for w, per in modes.items():
+            if per["closed"] < 1:
+                return fail(path, f"serve workload {w!r} has no "
+                                  "closed-loop capacity point")
+            if per["open"] < SERVE_MIN_OPEN_POINTS:
+                return fail(path, f"serve workload {w!r} has "
+                                  f"{per['open']} open-loop point(s),"
+                                  f" needs {SERVE_MIN_OPEN_POINTS}")
+        return True
+    return fail(path, "serve full run must include a table with the "
+                      f"{'/'.join(SERVE_COLUMNS)} columns")
+
+
 def check_report(path, doc=None):
     if doc is None:
         try:
@@ -220,6 +286,9 @@ def check_report(path, doc=None):
     if doc["bench"] == "concurrency" and not doc["smoke"]:
         if not check_concurrency_scaling(path, tables):
             return False
+    if doc["bench"] == "serve" and not doc["smoke"]:
+        if not check_serve_curves(path, tables):
+            return False
 
     nmetrics = len(doc.get("metrics", {}))
     suffix = f", {nmetrics} metrics label(s)" if nmetrics else ""
@@ -260,6 +329,21 @@ def self_test():
                          ["8", "2", speedup]],
                 "notes": []}
 
+    def serve_rows(workloads=("zipf", "tpca"), open_points=3,
+                   p=("10", "50", "90")):
+        rows = []
+        for w in workloads:
+            rows.append([w, "closed", "1000", *p])
+            for k in range(open_points):
+                rows.append([w, "open", str(300 * (k + 1)), *p])
+        return rows
+
+    def serve_table(rows):
+        return {"title": "serve curves",
+                "columns": ["workload", "mode", "offered_rps",
+                            "p50_us", "p99_us", "p999_us"],
+                "rows": rows, "notes": []}
+
     good = [
         ("v1 plain", doc(schema="envy-bench-v1")),
         ("v2 plain", doc()),
@@ -274,6 +358,13 @@ def self_test():
         ("concurrency smoke skips the floor",
          doc(bench="concurrency", smoke=True,
              tables=[scaling("0.50x")])),
+        ("serve full curves",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows())])),
+        ("serve smoke skips the curve check",
+         doc(bench="serve", smoke=True,
+             tables=[serve_table(serve_rows(workloads=("zipf",),
+                                            open_points=1))])),
     ]
     bad = [
         ("unknown schema", doc(schema="envy-bench-v3")),
@@ -311,6 +402,32 @@ def self_test():
         ("concurrency unparseable speedup",
          doc(bench="concurrency", smoke=False,
              tables=[scaling("fast")])),
+        ("serve missing table",
+         doc(bench="serve", smoke=False)),
+        ("serve one workload",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows(
+                 workloads=("zipf",)))])),
+        ("serve too few open points",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows(open_points=2))])),
+        ("serve missing closed point",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table([r for r in serve_rows()
+                                  if r[1] != "closed"])])),
+        ("serve bad mode",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows() +
+                                 [["zipf", "sideways", "1",
+                                   "1", "2", "3"]])])),
+        ("serve unordered percentiles",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows(
+                 p=("90", "50", "10")))])),
+        ("serve unparseable percentile",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows(
+                 p=("fast", "50", "90")))])),
     ]
     failures = 0
     for name, d in good:

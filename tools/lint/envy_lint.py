@@ -106,6 +106,13 @@ THREAD_EXEMPT = (
     os.path.join("src", "envysim", "parallel.cc"),
     os.path.join("src", "envy", "cleaner_pool.hh"),
     os.path.join("src", "envy", "cleaner_pool.cc"),
+    # The serve front end owns long-lived reader/worker threads (one
+    # per connection / per configured worker) and the loadgen owns
+    # its client threads; ParallelRunner's bounded task queue fits
+    # neither lifecycle (docs/SERVING.md).
+    os.path.join("src", "serve", "server.hh"),
+    os.path.join("src", "serve", "server.cc"),
+    os.path.join("src", "serve", "loadgen.cc"),
 )
 PER_BYTE_PAGE = re.compile(
     r"\bprogramByte\s*\(|\bwriteCommand\s*\(\s*FlashCmd::ProgramSetup\b"
