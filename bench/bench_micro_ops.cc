@@ -17,6 +17,7 @@
 #include "envy/segment_space.hh"
 #include "flash/flash_bank.hh"
 #include "flash/flash_timing.hh"
+#include "serve/protocol.hh"
 #include "sim/random.hh"
 
 namespace {
@@ -232,6 +233,48 @@ BM_VictimSelection(benchmark::State &state)
     state.SetLabel(std::to_string(segments) + " segments");
 }
 BENCHMARK(BM_VictimSelection)->RangeMultiplier(4)->Range(128, 8192);
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    // Wire-protocol round trip for one Ok Get response (the serve
+    // front end's per-request encode + the client's decode).
+    // Arg(0)=1 is the hot path — encodeResponseInto() reusing one
+    // scratch buffer, as Server::respond does per connection — and
+    // Arg(0)=0 the allocating encodeResponse() wrapper, so the pair
+    // prints what the scratch buffer buys per response.
+    serve::Response resp;
+    resp.op = serve::Op::Get;
+    resp.requestId = 42;
+    resp.status = serve::Status::Ok;
+    resp.value.assign(64, 'v');
+
+    std::vector<std::uint8_t> scratch;
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        serve::FrameDecoder dec;
+        if (state.range(0)) {
+            serve::encodeResponseInto(resp, scratch);
+            dec.feed(scratch);
+            bytes += scratch.size();
+        } else {
+            const std::vector<std::uint8_t> frame =
+                serve::encodeResponse(resp);
+            dec.feed(frame);
+            bytes += frame.size();
+        }
+        auto raw = dec.next();
+        ENVY_ASSERT(raw.has_value(), "encode/decode round trip lost");
+        serve::Response out;
+        const serve::FrameError err = serve::parseResponse(*raw, out);
+        ENVY_ASSERT(err == serve::FrameError::None, "bad frame");
+        benchmark::DoNotOptimize(out.value.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    state.SetLabel(state.range(0) ? "scratch" : "alloc");
+}
+BENCHMARK(BM_EncodeDecode)->Arg(1)->Arg(0);
 
 void
 BM_SegmentClean(benchmark::State &state)

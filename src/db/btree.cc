@@ -54,8 +54,45 @@ BTree::open(EnvyStore &store, Addr base, std::uint64_t bytes)
         ENVY_FATAL("btree: no B-tree found at address ", base);
     t.root_ = store.readU64(base + 8);
     t.nextNode_ = store.readU64(base + 16);
-    t.count_ = store.readU64(base + 24);
-    t.height_ = static_cast<std::uint32_t>(store.readU64(base + 32));
+    // The count and height header words trail the structural publish
+    // (see the file comment), so after a crash they may be one step
+    // stale.  Recompute both — and the free list — from a
+    // reachability walk instead of trusting them.
+    struct Frame
+    {
+        std::uint64_t idx;
+        std::uint32_t depth;
+    };
+    std::vector<Frame> stack{{t.root_, 0}};
+    std::vector<bool> reachable;
+    std::uint64_t counted = 0;
+    std::uint32_t height = 0;
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (f.idx >= reachable.size())
+            reachable.resize(f.idx + 1, false);
+        reachable[f.idx] = true;
+        const Node n = t.load(f.idx);
+        if (n.leaf) {
+            counted += n.count;
+            ENVY_ASSERT(height == 0 || height == f.depth + 1,
+                        "btree: ragged leaf depth at node ", f.idx);
+            height = f.depth + 1;
+            continue;
+        }
+        for (std::uint32_t i = 0; i <= n.count; ++i)
+            stack.push_back({n.vals[i], f.depth + 1});
+    }
+    t.count_ = counted;
+    t.height_ = height;
+    if (reachable.size() > t.nextNode_)
+        t.nextNode_ = reachable.size();
+    for (std::uint64_t i = 0; i < t.nextNode_; ++i) {
+        if (i >= reachable.size() || !reachable[i])
+            t.freeNodes_.push_back(i);
+    }
+    t.persistHeader(); // settle any stale trailing words
     return t;
 }
 
@@ -72,10 +109,33 @@ BTree::persistHeader()
 std::uint64_t
 BTree::allocNode()
 {
+    if (!freeNodes_.empty()) {
+        const std::uint64_t idx = freeNodes_.back();
+        freeNodes_.pop_back();
+        return idx;
+    }
     if (nextNode_ >= capacityNodes_)
         ENVY_FATAL("btree: node region exhausted (",
                    capacityNodes_, " nodes)");
-    return nextNode_++;
+    const std::uint64_t idx = nextNode_++;
+    // Persist the watermark before the slot can become reachable so
+    // a crash-replayed prefix never hands it out a second time.
+    store_.writeU64(base_ + 16, nextNode_);
+    return idx;
+}
+
+void
+BTree::freeNode(std::uint64_t idx)
+{
+    freeNodes_.push_back(idx);
+}
+
+void
+BTree::publish(Addr link, std::uint64_t idx)
+{
+    store_.writeU64(link, idx);
+    if (link == base_ + 8)
+        root_ = idx;
 }
 
 BTree::Node
@@ -125,103 +185,138 @@ BTree::lookup(std::uint64_t key)
     }
 }
 
-BTree::Split
-BTree::insertInto(std::uint64_t idx, std::uint64_t key,
-                  std::uint64_t value, bool &added)
+bool
+BTree::nodeFull(const Node &n) const
 {
-    Node n = load(idx);
+    return n.count >= (n.leaf ? leafCapacity : internalKeys);
+}
 
-    if (n.leaf) {
-        const std::uint32_t i = n.lowerBound(key);
-        if (i < n.count && n.keys[i] == key) {
-            n.vals[i] = value; // update in place
-            added = false;
-            storeNode(n);
-            return {};
-        }
-        added = true;
-        ENVY_ASSERT(n.count < leafCapacity, "leaf overflow");
-        for (std::uint32_t j = n.count; j > i; --j) {
-            n.keys[j] = n.keys[j - 1];
-            n.vals[j] = n.vals[j - 1];
-        }
-        n.keys[i] = key;
-        n.vals[i] = value;
-        ++n.count;
-
-        if (n.count < leafCapacity) {
-            storeNode(n);
-            return {};
-        }
-        // Split the full leaf.
-        Node right;
-        right.idx = allocNode();
-        right.leaf = true;
-        const std::uint32_t half = n.count / 2;
-        right.count = n.count - half;
-        std::memcpy(right.keys, n.keys + half, right.count * 8);
-        std::memcpy(right.vals, n.vals + half, right.count * 8);
-        n.count = half;
-        storeNode(n);
-        storeNode(right);
-        return {true, right.keys[0], right.idx};
-    }
-
-    const std::uint32_t i = n.lowerBound(key);
-    const std::uint32_t child =
-        (i < n.count && n.keys[i] == key) ? i + 1 : i;
-    const Split s = insertInto(n.vals[child], key, value, added);
-    if (!s.happened)
-        return {};
-
-    ENVY_ASSERT(n.count < internalKeys, "internal overflow");
-    for (std::uint32_t j = n.count; j > child; --j) {
-        n.keys[j] = n.keys[j - 1];
-        n.vals[j + 1] = n.vals[j];
-    }
-    n.keys[child] = s.key;
-    n.vals[child + 1] = s.right;
-    ++n.count;
-
-    if (n.count < internalKeys) {
-        storeNode(n);
-        return {};
-    }
-    // Split the full internal node; the middle key moves up.
-    Node right;
+std::uint64_t
+BTree::splitHalves(const Node &c, Node &left, Node &right)
+{
+    left = c;
+    left.idx = allocNode();
     right.idx = allocNode();
-    right.leaf = false;
-    const std::uint32_t mid = n.count / 2;
-    const std::uint64_t up = n.keys[mid];
-    right.count = n.count - mid - 1;
-    std::memcpy(right.keys, n.keys + mid + 1, right.count * 8);
-    std::memcpy(right.vals, n.vals + mid + 1, (right.count + 1) * 8);
-    n.count = mid;
-    storeNode(n);
+    right.leaf = c.leaf;
+    if (c.leaf) {
+        const std::uint32_t half = c.count / 2;
+        right.count = c.count - half;
+        std::memcpy(right.keys, c.keys + half, right.count * 8);
+        std::memcpy(right.vals, c.vals + half, right.count * 8);
+        left.count = half;
+        return right.keys[0];
+    }
+    // The middle key moves up; it separates the halves.
+    const std::uint32_t mid = c.count / 2;
+    right.count = c.count - mid - 1;
+    std::memcpy(right.keys, c.keys + mid + 1, right.count * 8);
+    std::memcpy(right.vals, c.vals + mid + 1, (right.count + 1) * 8);
+    left.count = mid;
+    return c.keys[mid];
+}
+
+void
+BTree::splitRoot(const Node &root)
+{
+    Node left, right;
+    const std::uint64_t sep = splitHalves(root, left, right);
+    Node top;
+    top.idx = allocNode();
+    top.leaf = false;
+    top.count = 1;
+    top.keys[0] = sep;
+    top.vals[0] = left.idx;
+    top.vals[1] = right.idx;
+    // All three copies are unreachable until the one-word root swing
+    // publishes them together.
+    storeNode(left);
     storeNode(right);
-    return {true, up, right.idx};
+    storeNode(top);
+    store_.writeU64(base_ + 8, top.idx);
+    root_ = top.idx;
+    freeNode(root.idx);
+    ++height_;
+    store_.writeU64(base_ + 32, height_);
+}
+
+BTree::Node
+BTree::splitChild(const Node &parent, Addr parentLink,
+                  std::uint32_t childPos, const Node &c)
+{
+    ENVY_ASSERT(!nodeFull(parent), "btree: split under a full parent");
+    Node left, right;
+    const std::uint64_t sep = splitHalves(c, left, right);
+
+    // New parent version: separator inserted at childPos, halves
+    // wired in place of the old child.
+    Node next = parent;
+    next.idx = allocNode();
+    for (std::uint32_t j = parent.count; j > childPos; --j) {
+        next.keys[j] = parent.keys[j - 1];
+        next.vals[j + 1] = parent.vals[j];
+    }
+    next.keys[childPos] = sep;
+    next.vals[childPos] = left.idx;
+    next.vals[childPos + 1] = right.idx;
+    next.count = parent.count + 1;
+
+    storeNode(left);
+    storeNode(right);
+    storeNode(next);
+    publish(parentLink, next.idx); // one-word publish
+    freeNode(c.idx);
+    freeNode(parent.idx);
+    return next;
 }
 
 void
 BTree::insert(std::uint64_t key, std::uint64_t value)
 {
-    bool added = false;
-    const Split s = insertInto(root_, key, value, added);
-    if (s.happened) {
-        Node root;
-        root.idx = allocNode();
-        root.leaf = false;
-        root.count = 1;
-        root.keys[0] = s.key;
-        root.vals[0] = root_;
-        root.vals[1] = s.right;
-        storeNode(root);
-        root_ = root.idx;
-        ++height_;
+    Node cur = load(root_);
+    if (nodeFull(cur)) {
+        splitRoot(cur);
+        cur = load(root_);
     }
-    if (added)
-        ++count_;
-    persistHeader();
+    // Descend with preemptive splits: cur is never full (the root is
+    // handled above and split halves are at most half full), so a
+    // child split never propagates upward.
+    Addr link = base_ + 8; // the word that references cur
+    while (!cur.leaf) {
+        std::uint32_t i = cur.lowerBound(key);
+        std::uint32_t pos =
+            (i < cur.count && cur.keys[i] == key) ? i + 1 : i;
+        Node child = load(cur.vals[pos]);
+        if (nodeFull(child)) {
+            cur = splitChild(cur, link, pos, child);
+            i = cur.lowerBound(key);
+            pos = (i < cur.count && cur.keys[i] == key) ? i + 1 : i;
+            child = load(cur.vals[pos]);
+        }
+        link = valAddr(cur.idx, pos);
+        cur = child;
+    }
+
+    const std::uint32_t i = cur.lowerBound(key);
+    if (i < cur.count && cur.keys[i] == key) {
+        // Update: one aligned word, atomic in place.
+        store_.writeU64(valAddr(cur.idx, i), value);
+        return;
+    }
+    ENVY_ASSERT(cur.count < leafCapacity, "leaf overflow");
+    Node next = cur; // new leaf version in a fresh slot
+    next.idx = allocNode();
+    for (std::uint32_t j = cur.count; j > i; --j) {
+        next.keys[j] = cur.keys[j - 1];
+        next.vals[j] = cur.vals[j - 1];
+    }
+    next.keys[i] = key;
+    next.vals[i] = value;
+    next.count = cur.count + 1;
+    storeNode(next);          // unreachable until...
+    publish(link, next.idx);  // ...this one-word publish
+    freeNode(cur.idx);
+    ++count_;
+    store_.writeU64(base_ + 24, count_);
 }
 
 void

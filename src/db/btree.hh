@@ -22,7 +22,33 @@
  *
  * Keys are unique uint64; values are uint64 (record addresses).
  * Inserts and updates only — TPC-A never deletes.  Node storage is
- * bump-allocated from a caller-supplied region of the array.
+ * bump-allocated from a caller-supplied region of the array, with
+ * slots recycled through an in-core free list once node copies
+ * retire them (rebuilt by a reachability walk on open()).
+ *
+ * Crash ordering.  On a persistent store the durable image after a
+ * crash is the result of some *prefix* of this code's word writes
+ * (the journal replays whole frames, and every frame boundary falls
+ * between writes, never inside an aligned word).  The tree therefore
+ * never mutates reachable structure in place except for single-word
+ * value updates:
+ *
+ *  - updating an existing key rewrites one value word (atomic);
+ *  - inserting into a leaf builds the *new version* of the leaf in a
+ *    fresh node slot, then publishes it with one word write to the
+ *    parent's child pointer (or the header root word);
+ *  - splits are preemptive (a full child is split on the way down,
+ *    so its parent is never full) and build the two halves plus the
+ *    new parent version in fresh slots, published by one pointer
+ *    swing at the grandparent — crash cuts see the old or the new
+ *    subtree, never a half-split one.
+ *
+ * The bump watermark is persisted *before* a fresh slot can become
+ * reachable, so a replayed prefix never hands the same slot out
+ * twice.  The header's count and height words trail the structural
+ * publish and may read one step stale after a crash; open() recomputes
+ * both (and the free list) from the reachability walk instead of
+ * trusting them.
  */
 
 #ifndef ENVY_DB_BTREE_HH
@@ -31,6 +57,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "envy/envy_store.hh"
 
@@ -66,6 +93,8 @@ class BTree
 
     std::uint64_t size() const { return count_; }
     std::uint32_t height() const { return height_; }
+    /** Bump watermark: slots ever claimed, including the handful
+     *  sitting on the free list between node copies. */
     std::uint64_t nodesAllocated() const { return nextNode_; }
 
     /** Consistency check: ordering, fill and reachability. */
@@ -82,23 +111,35 @@ class BTree
         return base_ + headerBytes + idx * nodeBytes;
     }
 
+    /** Address of value/child word @p i of node @p idx — the 8-byte
+     *  aligned words that single-word publishes and updates target. */
+    Addr valAddr(std::uint64_t idx, std::uint32_t i) const
+    {
+        return nodeAddr(idx) + 8 + 8 * leafCapacity + 8 * i;
+    }
+
     std::uint64_t allocNode();
+    void freeNode(std::uint64_t idx);
+    /** One-word publish of @p idx at @p link, keeping the in-core
+     *  root mirror coherent when @p link is the header root word. */
+    void publish(Addr link, std::uint64_t idx);
     Node load(std::uint64_t idx);
     void storeNode(const Node &n);
     void persistHeader();
 
-    /**
-     * Insert into subtree @p idx.  If the child splits, returns the
-     * separator key and the new right sibling's index.
-     */
-    struct Split
-    {
-        bool happened = false;
-        std::uint64_t key = 0;
-        std::uint64_t right = 0;
-    };
-    Split insertInto(std::uint64_t idx, std::uint64_t key,
-                     std::uint64_t value, bool &added);
+    bool nodeFull(const Node &n) const;
+    /** Build fresh left/right halves of full @p c (allocating their
+     *  slots, storing nothing yet); returns the separator key that
+     *  routes to the right half. */
+    std::uint64_t splitHalves(const Node &c, Node &left, Node &right);
+    /** Split full @p c (child @p childPos of non-full @p parent) via
+     *  fresh copies and one pointer swing at @p parentLink; returns
+     *  the new parent version. */
+    Node splitChild(const Node &parent, Addr parentLink,
+                    std::uint32_t childPos, const Node &c);
+    /** Split a full root: fresh halves + fresh root, swing the
+     *  header root word. */
+    void splitRoot(const Node &root);
 
     bool validateNode(std::uint64_t idx, std::uint32_t depth,
                       std::uint64_t lo, std::uint64_t hi,
@@ -115,6 +156,9 @@ class BTree
     std::uint64_t nextNode_ = 0;
     std::uint64_t count_ = 0;
     std::uint32_t height_ = 1;
+    /** Slots retired by node copies, ready for reuse (in-core only;
+     *  open() rebuilds it as allocated-minus-reachable). */
+    std::vector<std::uint64_t> freeNodes_;
 };
 
 } // namespace envy

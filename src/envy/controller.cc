@@ -115,6 +115,18 @@ Controller::notifyRoom()
 }
 
 void
+Controller::quiesce(const std::function<void()> &fn)
+{
+    if (concurrent_) {
+        ExclusiveLock s(structMu_);
+        fn();
+        return;
+    }
+    MutexLock lock(mu_);
+    fn();
+}
+
+void
 Controller::populate(Placement placement, std::uint32_t aged_stride)
 {
     MutexLock lock(mu_);
@@ -542,6 +554,28 @@ Controller::makeRoomBlocking(AccessOutcome &outcome)
     notifyRoom();
 }
 
+bool
+Controller::hitWriteLocked(LogicalPageId page, BufferSlotId slot,
+                           std::span<const std::uint8_t> in,
+                           std::uint32_t off, AccessOutcome &outcome)
+{
+    MutexLock stripe(buffer_.slotStripe(slot));
+    // Revalidate under the stripe: the flusher holds it across
+    // program + pop, so an owner match proves the slot still carries
+    // this page's live copy.  Only this thread can COW the page (we
+    // hold its shard lock).
+    if (buffer_.slotOwner(slot) != page)
+        return false; // recycled since the lookup; retranslate
+    outcome.hitSram = true;
+    ++statBufferHits;
+    metBufferHits.add();
+    if (flash_.storesData()) {
+        auto dst = buffer_.slotData(slot);
+        std::copy(in.begin(), in.end(), dst.begin() + off);
+    }
+    return true;
+}
+
 void
 Controller::writePageConcurrent(LogicalPageId page,
                                 std::span<const std::uint8_t> in,
@@ -551,21 +585,23 @@ Controller::writePageConcurrent(LogicalPageId page,
     for (;;) {
         const PageTable::Location loc = mmu_.lookup(page);
         if (loc.kind == PageTable::LocKind::Sram) {
-            MutexLock stripe(buffer_.slotStripe(loc.sramSlot));
-            // Revalidate under the stripe: the flusher holds it
-            // across program + pop, so an owner match proves the
-            // slot still carries this page's live copy.  Only this
-            // thread can COW the page (we hold its shard lock).
-            if (buffer_.slotOwner(loc.sramSlot) != page)
-                continue; // recycled since the lookup; retranslate
-            outcome.hitSram = true;
-            ++statBufferHits;
-            metBufferHits.add();
-            if (flash_.storesData()) {
-                auto dst = buffer_.slotData(loc.sramSlot);
-                std::copy(in.begin(), in.end(), dst.begin() + off);
+            bool hit;
+            if (persistentConcurrent_) {
+                // Shared structural lock across the slot mutation:
+                // the commit pipeline captures dirty SRAM under the
+                // exclusive side, so a capture never observes half
+                // of this write (lock order: shard -> structMu_ ->
+                // stripe, same as the flusher).
+                SharedLock journalBarrier(structMu_);
+                hit = hitWriteLocked(page, loc.sramSlot, in, off,
+                                     outcome);
+            } else {
+                hit = hitWriteLocked(page, loc.sramSlot, in, off,
+                                     outcome);
             }
-            return;
+            if (hit)
+                return;
+            continue;
         }
         if (buffer_.full()) {
             makeRoomBlocking(outcome);

@@ -139,6 +139,30 @@ class Controller : public StatGroup
     bool concurrent() const { return concurrent_; }
 
     /**
+     * Couple the concurrent data path to a durable journal (PR 10):
+     * SRAM-hit writers additionally hold the structural lock *shared*
+     * across the slot mutation, so quiesce() — which the commit
+     * pipeline uses to capture dirty SRAM ranges — excludes them and
+     * never journals a torn write.  No-op in serial mode.  Call
+     * before any worker thread touches the store.
+     */
+    void setPersistentConcurrent(bool on)
+    {
+        persistentConcurrent_ = on;
+    }
+
+    bool persistentConcurrent() const { return persistentConcurrent_; }
+
+    /**
+     * Run @p fn with every store mutator excluded: structural lock
+     * exclusive in concurrent mode (flushes, cleans, COWs, and —
+     * with setPersistentConcurrent() — SRAM-hit writes all hold it),
+     * the serial mu_ otherwise.  The commit pipeline's dirty-capture
+     * window; @p fn must not re-enter the controller.
+     */
+    void quiesce(const std::function<void()> &fn);
+
+    /**
      * One increment of proactive cleaning on behalf of a background
      * cleaner thread (CleanerPool): ask the policy to clean ahead if
      * any partition is below @p watermark free pages.
@@ -244,6 +268,17 @@ class Controller : public StatGroup
                              std::span<const std::uint8_t> in,
                              std::uint32_t off, AccessOutcome &outcome)
         ENVY_NO_THREAD_SAFETY_ANALYSIS;
+    /**
+     * Apply an SRAM-hit write under the slot's stripe, revalidating
+     * ownership.  @return false if the slot was recycled (caller
+     * retranslates).  Annotated out because the stripe is picked
+     * dynamically and the caller may wrap it in a shared structural
+     * lock (persistent-concurrent mode).
+     */
+    bool hitWriteLocked(LogicalPageId page, BufferSlotId slot,
+                        std::span<const std::uint8_t> in,
+                        std::uint32_t off, AccessOutcome &outcome)
+        ENVY_NO_THREAD_SAFETY_ANALYSIS;
     /** Stall until the full buffer has room (counted backpressure). */
     void makeRoomBlocking(AccessOutcome &outcome);
     /** Drain above-threshold occupancy without ever cleaning. */
@@ -280,6 +315,7 @@ class Controller : public StatGroup
     // (COW, flush, clean); structMu_ shared covers host flash reads
     // against concurrent erases.
     bool concurrent_ = false;
+    bool persistentConcurrent_ = false;
     unsigned numCleaners_ = 0;
     static constexpr std::uint64_t numShards = 64;
     std::deque<Mutex> shardMu_;

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "envy/recovery.hh"
 #include "persist/backend.hh"
+#include "persist/commit_pipeline.hh"
 
 namespace envy {
 
@@ -58,11 +59,13 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
         cfg_.autoDrain, this, &metrics_);
 
     if (cfg_.numWorkers > 1 || cfg_.numCleaners > 0) {
-        ENVY_ASSERT(cfg_.persistPath.empty(),
-                    "store: concurrent mode (numWorkers > 1 or "
-                    "numCleaners > 0) excludes durable persistence");
         controller_->setConcurrency(cfg_.numWorkers,
                                     cfg_.numCleaners);
+        // Durable + concurrent (PR 10): SRAM-hit writers take the
+        // structural lock shared so the commit pipeline's quiesced
+        // dirty capture never sees a torn write.
+        if (persist_)
+            controller_->setPersistentConcurrent(true);
         if (cfg_.numCleaners > 0) {
             const PageCount watermark(
                 cfg_.cleanerWatermark != 0
@@ -99,12 +102,29 @@ EnvyStore::EnvyStore(const EnvyConfig &cfg)
             persist_->finishFresh();
     }
 
+    if (persist_ && controller_->concurrent()) {
+        // Group commit: one multi-range journal record per epoch,
+        // flushed by a dedicated pipeline thread that coalesces
+        // concurrent persistFlush()/persistCommit() callers.
+        persist_->journal().setGroupCommit(true);
+        commitPipeline_ = std::make_unique<persist::CommitPipeline>(
+            *controller_, *persist_, *sram_, &metrics_);
+        commitPipeline_->start();
+    }
+
     if (cleanerPool_)
         cleanerPool_->start();
 }
 
 EnvyStore::~EnvyStore()
 {
+    // Stop every background thread before the shutdown checkpoint
+    // walks SRAM: epoch thread first (it quiesces through the
+    // controller), then the cleaners.
+    if (commitPipeline_)
+        commitPipeline_->stop();
+    if (cleanerPool_)
+        cleanerPool_->stop();
     if (persist_)
         persist_->shutdown();
 }
@@ -125,7 +145,9 @@ void
 EnvyStore::write(Addr addr, std::span<const std::uint8_t> in)
 {
     controller_->write(addr, in);
-    if (persist_)
+    // Serial stores journal after every op; concurrent stores batch
+    // through the pipeline — durability is claimed at persistFlush().
+    if (persist_ && !commitPipeline_)
         persist_->opEnd();
 }
 
@@ -185,8 +207,7 @@ void
 EnvyStore::flushAll()
 {
     controller_->flushAll();
-    if (persist_)
-        persist_->opEnd();
+    persistFlush();
 }
 
 double
@@ -198,8 +219,10 @@ EnvyStore::cleaningCost() const
 RecoveryReport
 EnvyStore::powerFailAndRecover()
 {
-    // Quiesce the background cleaners: recovery rebuilds the very
+    // Quiesce every background thread: recovery rebuilds the very
     // structures they walk, and a "power failure" stops every thread.
+    if (commitPipeline_)
+        commitPipeline_->stop();
     if (cleanerPool_)
         cleanerPool_->stop();
     const RecoveryReport report = Recovery::run(*this);
@@ -207,6 +230,8 @@ EnvyStore::powerFailAndRecover()
         persist_->opEnd(); // recovery's SRAM repairs become durable
     if (cleanerPool_)
         cleanerPool_->start();
+    if (commitPipeline_)
+        commitPipeline_->start();
     return report;
 }
 
@@ -220,14 +245,33 @@ EnvyStore::persistReport() const
 void
 EnvyStore::persistFlush()
 {
-    if (persist_)
+    if (!persist_)
+        return;
+    if (commitPipeline_)
+        commitPipeline_->flushWait();
+    else
         persist_->opEnd();
+}
+
+void
+EnvyStore::persistSync()
+{
+    if (!persist_)
+        return;
+    if (commitPipeline_)
+        commitPipeline_->syncWait();
+    else
+        persist_->opEndSync();
 }
 
 void
 EnvyStore::persistCommit()
 {
-    if (persist_)
+    if (!persist_)
+        return;
+    if (commitPipeline_)
+        commitPipeline_->commitWait();
+    else
         persist_->commit();
 }
 

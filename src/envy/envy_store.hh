@@ -36,6 +36,7 @@
 namespace envy {
 
 namespace persist {
+class CommitPipeline;
 class PersistBackend;
 struct PersistReport;
 } // namespace persist
@@ -72,8 +73,11 @@ struct EnvyConfig
      * concurrent mode: multiple client threads may call read()/
      * write() simultaneously, and numCleaners background threads
      * clean ahead of the per-partition free-space watermark.
-     * Concurrent mode excludes durable persistence (persistPath
-     * must stay empty: SRAM dirty tracking is unsynchronised).
+     * Concurrent mode composes with durable persistence (PR 10):
+     * with persistPath also set, SRAM dirty marking is atomic,
+     * hit-writers hold the structural lock shared, and a
+     * CommitPipeline thread group-commits persistFlush() callers
+     * into shared journal epochs (docs/PERSISTENCE.md §group-commit).
      */
     unsigned numWorkers = 1;
     unsigned numCleaners = 0;
@@ -169,12 +173,34 @@ class EnvyStore : public StatGroup
      * dirty SRAM ranges to the journal (plain write(2) — a completed
      * write survives process death).  Harnesses call this before
      * acknowledging work done through paths that bypass write(),
-     * e.g. shadow-transaction commits.
+     * e.g. shadow-transaction commits.  On a concurrent store this
+     * blocks on the commit pipeline's next group epoch instead of
+     * running a private flush, so N concurrent callers share one
+     * journal append.
      */
     void persistFlush();
 
-    /** Power-loss barrier: journal fdatasync + store-file msync. */
+    /**
+     * persistFlush() plus the journal log force (fdatasync): the
+     * appended records survive power loss, and on a concurrent store
+     * one device barrier is shared by every caller in the epoch —
+     * the group-commit amortisation durable acks ride
+     * (serve::ServeConfig::syncAcks).  Flash-resident pages the
+     * journal no longer covers still ride the checkpoint/commit
+     * schedule; the full barrier is persistCommit().
+     */
+    void persistSync();
+
+    /** Power-loss barrier: journal fdatasync + store-file msync
+     *  (on a concurrent store, via the pipeline's sync epoch). */
     void persistCommit();
+
+    /** The group-commit epoch thread; null unless the store is both
+     *  persistent and concurrent. */
+    persist::CommitPipeline *commitPipeline()
+    {
+        return commitPipeline_.get();
+    }
 
   private:
     EnvyConfig cfg_;
@@ -198,6 +224,9 @@ class EnvyStore : public StatGroup
     // After the controller: cleaner threads must stop (join) before
     // anything they reach through it is torn down.
     std::unique_ptr<CleanerPool> cleanerPool_;
+    // Last: the epoch thread reaches the controller, backend, and
+    // SRAM, so it stops first (the dtor stops it explicitly too).
+    std::unique_ptr<persist::CommitPipeline> commitPipeline_;
 
     // SRAM layout offsets.
     Addr ptBase_ = 0;

@@ -8,6 +8,7 @@ namespace crash_points {
 
 namespace detail {
 thread_local CrashSink *sink = nullptr;
+std::atomic<CrashSink *> globalSink{nullptr};
 } // namespace detail
 
 namespace {
@@ -100,6 +101,13 @@ CrashSink *
 currentSink()
 {
     return detail::sink;
+}
+
+CrashSink *
+setGlobalSink(CrashSink *sink)
+{
+    return detail::globalSink.exchange(sink,
+                                       std::memory_order_acq_rel);
 }
 
 } // namespace crash_points

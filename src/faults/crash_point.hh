@@ -31,11 +31,21 @@
  * thread-local — a FaultInjector armed on one worker only sees the
  * crash points its own System hits — and the name registry, the one
  * piece of genuinely shared state, takes a mutex.
+ *
+ * The concurrent store inverts that shape: ONE system, MANY threads
+ * (host workers, the cleaner pool, the commit pipeline's epoch
+ * thread), all of whose crash points belong to the same experiment.
+ * For that case a process-wide fallback sink (setGlobalSink) sees
+ * hits from every thread that has no thread-local sink installed.
+ * The thread-local sink, when present, still wins — a worker running
+ * an isolated System keeps its isolation even if a global sink is
+ * armed elsewhere in the process.
  */
 
 #ifndef ENVY_FAULTS_CRASH_POINT_HH
 #define ENVY_FAULTS_CRASH_POINT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,8 +84,17 @@ CrashSink *setSink(CrashSink *sink);
 
 CrashSink *currentSink();
 
+/**
+ * Install @p sink for EVERY thread that has no thread-local sink
+ * (nullptr to clear).  Returns the previous global sink.  The sink
+ * must be thread-safe: the concurrent store hits points from host
+ * workers, cleaners and the commit pipeline simultaneously.
+ */
+CrashSink *setGlobalSink(CrashSink *sink);
+
 namespace detail {
 extern thread_local CrashSink *sink; // one sink per worker thread
+extern std::atomic<CrashSink *> globalSink; // process-wide fallback
 
 struct Registrar
 {
@@ -86,8 +105,13 @@ struct Registrar
 inline void
 hit(const char *name)
 {
-    if (detail::sink)
+    if (detail::sink) {
         detail::sink->onCrashPoint(name);
+        return;
+    }
+    if (CrashSink *g =
+            detail::globalSink.load(std::memory_order_acquire))
+        g->onCrashPoint(name);
 }
 
 } // namespace crash_points

@@ -58,10 +58,13 @@ FlashBank::readPage(std::uint32_t block, std::uint32_t page_off,
     // CUI enforcement at the page boundary: any lane not in
     // read-array mode (a chip left in ReadStatus returns its status
     // byte; a pending program/erase asserts) must take the exact
-    // per-chip path.
-    for (std::uint32_t j = 0; j < chipsPerBank_; ++j) {
-        if (!chips_[j].inReadArray())
-            return readPageSlow(block, page_off, out);
+    // per-chip path.  The lockstep cache answers the common all-idle
+    // case without touching pageSize chip objects.
+    if (!lanesLockstep()) {
+        for (std::uint32_t j = 0; j < chipsPerBank_; ++j) {
+            if (!chips_[j].inReadArray())
+                return readPageSlow(block, page_off, out);
+        }
     }
 
     if (!storeData_) {
@@ -107,11 +110,17 @@ FlashBank::programPage(std::uint32_t block, std::uint32_t page_off,
     const Tick t = timing_.programTimeAfter(chips_[0].blockCycles(block));
     const bool overrun = t > timing_.maxProgramTime;
 
-    for (auto &c : chips_)
-        c.applyBankProgram(); // net ProgramSetup + programByte effect
+    // applyBankProgram (mode back to read-array, suspended cleared)
+    // is a no-op on a lockstep-idle lane, so the all-idle case skips
+    // the per-chip walk entirely.
+    if (!lanesLockstep()) {
+        for (auto &c : chips_)
+            c.applyBankProgram(); // net ProgramSetup + programByte effect
+    }
 
     if (!storeData_) {
         if (overrun) {
+            lanesLockstep_ = false; // latches programError per lane
             for (auto &c : chips_)
                 c.noteProgramSpecFail(block);
         }
@@ -133,6 +142,7 @@ FlashBank::programPage(std::uint32_t block, std::uint32_t page_off,
             std::memcpy(cells.data(), data.data(), chipsPerBank_);
         }
         if (overrun) {
+            lanesLockstep_ = false;
             for (auto &c : chips_)
                 c.noteProgramSpecFail(block);
         }
@@ -151,11 +161,13 @@ FlashBank::programPage(std::uint32_t block, std::uint32_t page_off,
         for (std::uint32_t j = 0; j < chipsPerBank_; ++j)
             cells[j] = static_cast<std::uint8_t>(cells[j] & data[j]);
         if (overrun) {
+            lanesLockstep_ = false;
             for (auto &c : chips_)
                 c.noteProgramSpecFail(block);
         }
         return t;
     }
+    lanesLockstep_ = false; // some lane latches programError below
     for (std::uint32_t j = 0; j < chipsPerBank_; ++j) {
         if ((data[j] & ~cells[j]) != 0) {
             chips_[j].noteProgramError();
@@ -189,6 +201,8 @@ FlashBank::eraseSegment(std::uint32_t block)
     const std::uint64_t cycles = chips_[0].blockCycles(block);
     const Tick t = timing_.eraseTimeAfter(cycles);
     const bool overrun = t > timing_.maxEraseTime;
+    if (overrun)
+        lanesLockstep_ = false; // applyBankErase latches eraseError
     for (auto &c : chips_) {
         ENVY_ASSERT(c.blockCycles(block) == cycles,
                     "flash: bank wear out of lockstep");
@@ -202,6 +216,8 @@ FlashBank::eraseSegment(std::uint32_t block)
 bool
 FlashBank::allReady() const
 {
+    if (lanesLockstep())
+        return true;
     return std::all_of(chips_.begin(), chips_.end(),
                        [](const FlashChip &c) {
                            return (c.status() & FlashStatus::ready) != 0;
@@ -211,6 +227,8 @@ FlashBank::allReady() const
 bool
 FlashBank::allProgrammedOk() const
 {
+    if (lanesLockstep())
+        return true;
     return std::all_of(chips_.begin(), chips_.end(),
                        [](const FlashChip &c) {
                            return (c.status() &
@@ -221,6 +239,8 @@ FlashBank::allProgrammedOk() const
 bool
 FlashBank::allErasedOk() const
 {
+    if (lanesLockstep())
+        return true;
     return std::all_of(chips_.begin(), chips_.end(),
                        [](const FlashChip &c) {
                            return (c.status() &
@@ -231,6 +251,9 @@ FlashBank::allErasedOk() const
 void
 FlashBank::clearStatus()
 {
+    // ClearStatus leaves lanes in read-status mode on real parts; the
+    // model mirrors whatever FlashChip does, so revalidate lazily.
+    lanesLockstep_ = false;
     for (auto &chip : chips_)
         chip.writeCommand(FlashCmd::ClearStatus);
 }

@@ -130,10 +130,45 @@ class FlashBank
             store_->scrubTail(block, from_page);
     }
 
-    FlashChip &chip(std::uint32_t i) { return chips_[i]; }
+    FlashChip &chip(std::uint32_t i)
+    {
+        // Arbitrary CUI access may leave this lane in any mode, so
+        // the lockstep cache cannot survive it; the next bulk
+        // operation revalidates with one full scan.
+        lanesLockstep_ = false;
+        return chips_[i];
+    }
     const FlashChip &chip(std::uint32_t i) const { return chips_[i]; }
 
   private:
+    /**
+     * True iff every chip is lockstep-idle (read-array mode, clean
+     * status).  In that state programPage's per-lane mode reset and
+     * the parallel status checks are all no-ops, so the bulk paths
+     * skip their pageSize-wide chip walks — the dominant cost of a
+     * page program once the data movement itself is one memcpy.
+     * Lazily revalidated: cleared pessimistically by anything that
+     * can perturb a lane (external chip() access, latched errors,
+     * ClearStatus), re-established by one scan on the next query.
+     * Callers already serialize bank operations (the chips' own
+     * mode/status fields are plain members), so the mutable cache
+     * adds no new concurrency requirement.  Never consulted in
+     * slow-dataplane mode, where per-chip CUI sequences mutate lanes
+     * without telling the bank.
+     */
+    bool lanesLockstep() const
+    {
+        if (slowDataplane_)
+            return false;
+        if (lanesLockstep_)
+            return true;
+        for (const auto &c : chips_) {
+            if (!c.lockstepIdle())
+                return false;
+        }
+        lanesLockstep_ = true;
+        return true;
+    }
     std::uint64_t byteAddr(std::uint32_t block, std::uint32_t page_off) const
     {
         return std::uint64_t(block) * blockBytes_ + page_off;
@@ -153,6 +188,8 @@ class FlashBank
     FlashTiming timing_;
     std::unique_ptr<BankPageStore> store_; //!< null in metadata mode
     std::vector<FlashChip> chips_;
+    //! Cached "every lane is lockstep-idle"; see lanesLockstep().
+    mutable bool lanesLockstep_ = false;
 };
 
 } // namespace envy

@@ -169,6 +169,19 @@ class FlashChip
 
     bool inReadArray() const { return mode_ == Mode::ReadArray; }
 
+    /**
+     * Read-array mode with a clean status register — the state every
+     * lane holds between bulk bank operations.  When all lanes are
+     * lockstep-idle the bank's per-page CUI bookkeeping (mode reset,
+     * status checks) is a no-op on every chip, so FlashBank caches
+     * the conjunction instead of walking pageSize chips per page.
+     */
+    bool lockstepIdle() const
+    {
+        return mode_ == Mode::ReadArray &&
+               status_ == FlashStatus::ready;
+    }
+
     /** Net CUI effect of ProgramSetup + programByte (any mode). */
     void applyBankProgram()
     {

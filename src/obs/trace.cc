@@ -184,6 +184,7 @@ registry()
             "recovery.done",      // Recovery::run finished
             "persist.reopen",     // persistent store replayed on open
             "persist.checkpoint", // journal compacted to a checkpoint
+            "persist.group_commit", // one group-commit epoch completed
             "fault.power_loss",   // injector cut power at a point
             "fault.program_fail", // injected program spec-failure
             "fault.erase_fail",   // injected transient erase failure
@@ -193,6 +194,7 @@ registry()
             "serve.queue",        // request admitted under pressure
             "serve.protocol_error", // malformed request payload
             "serve.frame_error",  // malformed frame, conn torn down
+            "serve.commit_batch", // durable-ack batch shared one flush
         };
     }();
     return events;

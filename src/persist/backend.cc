@@ -107,11 +107,43 @@ PersistBackend::activate(SramArray &sram)
 }
 
 void
+PersistBackend::traceCheckpoint()
+{
+    ENVY_TRACE("persist.checkpoint",
+               obs::tv("journal_bytes", journal_.bytesSinceCheckpoint()));
+}
+
+void
 PersistBackend::checkpointNow()
 {
     journal_.checkpoint();
-    ENVY_TRACE("persist.checkpoint",
-               obs::tv("journal_bytes", journal_.bytesSinceCheckpoint()));
+    traceCheckpoint();
+}
+
+void
+PersistBackend::epochFlush()
+{
+    journal_.flush();
+}
+
+void
+PersistBackend::epochSyncJournal()
+{
+    journal_.syncOnly();
+}
+
+void
+PersistBackend::epochSync()
+{
+    journal_.syncOnly();
+    file_.syncAll();
+}
+
+void
+PersistBackend::checkpointWithImage(std::span<const std::uint8_t> image)
+{
+    journal_.checkpointFromImage(image);
+    traceCheckpoint();
 }
 
 void
@@ -142,6 +174,14 @@ void
 PersistBackend::opEnd()
 {
     journal_.flush();
+    if (journal_.needsCheckpoint())
+        checkpointNow();
+}
+
+void
+PersistBackend::opEndSync()
+{
+    journal_.commit();
     if (journal_.needsCheckpoint())
         checkpointNow();
 }

@@ -85,25 +85,53 @@ class PersistBackend
     /** Per-operation durability: flush dirty SRAM, auto-checkpoint. */
     void opEnd();
 
+    /**
+     * opEnd() plus the journal log force (fdatasync): the appended
+     * records survive power loss.  Flash-resident pages the journal
+     * no longer covers still ride the checkpoint/commit schedule —
+     * the full barrier is commit().
+     */
+    void opEndSync();
+
     /** Power-loss barrier: journal fdatasync + store-file msync. */
     void commit();
+
+    // ---- group-commit epoch pieces (CommitPipeline) ---------------
+
+    /** Journal the dirty SRAM batch.  The pipeline calls this under
+     *  Controller::quiesce so the capture is a consistent cut. */
+    void epochFlush();
+
+    /** Journal fdatasync only (syncWait's log force), *outside* the
+     *  quiesce.  One device barrier shared by the whole epoch. */
+    void epochSyncJournal();
+
+    /** fdatasync + store-file msync, *outside* the quiesce. */
+    void epochSync();
+
+    /** Compact the journal to @p image (a quiesced SRAM copy) —
+     *  the concurrent twin of the serial auto-checkpoint. */
+    void checkpointWithImage(std::span<const std::uint8_t> image);
 
     /** Orderly close (EnvyStore dtor): checkpoint, sync, disarm. */
     void shutdown();
 
   private:
     void checkpointNow();
+    void traceCheckpoint();
 
     StoreFile file_;
     MetaJournal journal_;
     FlashPersist flashPersist_;
     PersistReport report_;
 
-    // Guards the staged journal-replay image.  The open/opEnd/commit
-    // sequencing itself is serialised by EnvyStore (under the
-    // controller lock); the backend deliberately takes no lock around
-    // journal flushes — fdatasync under a mutex is exactly what
-    // envy_analyze rule `lock-discipline` forbids.
+    // Guards the staged journal-replay image.  The backend itself
+    // holds no lock around journal appends or syncs: sequencing of
+    // the journal *file* lives inside MetaJournal's journalMu_ (a
+    // leaf lock below the controller's structMu_ in the system lock
+    // order — see docs/INTERNALS.md), so serial stores, the commit
+    // pipeline, and the flash write-through barrier all append
+    // through the same ordered path.
     mutable Mutex mu_;
     std::vector<std::uint8_t> replayedSram_ ENVY_GUARDED_BY(mu_);
 };

@@ -1,0 +1,209 @@
+#include "persist/commit_pipeline.hh"
+
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "envy/controller.hh"
+#include "obs/trace.hh"
+#include "persist/backend.hh"
+#include "sram/sram_array.hh"
+
+namespace envy {
+namespace persist {
+
+namespace {
+
+std::vector<std::uint64_t>
+batchEdges()
+{
+    return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+std::vector<std::uint64_t>
+epochUsEdges()
+{
+    return {50,    100,   200,    500,    1'000,
+            2'000, 5'000, 10'000, 20'000, 50'000};
+}
+
+} // namespace
+
+CommitPipeline::CommitPipeline(Controller &ctl, PersistBackend &backend,
+                               SramArray &sram,
+                               obs::MetricsRegistry *metrics)
+    : ctl_(ctl),
+      backend_(backend),
+      sram_(sram),
+      metEpochs_(obs::counterOf(metrics, "persist.group_commit.epochs",
+                                "epochs",
+                                "group-commit epochs completed")),
+      metBatch_(obs::histogramOf(metrics, "persist.group_commit.batch",
+                                 "callers",
+                                 "persistFlush/persistCommit callers "
+                                 "coalesced per epoch",
+                                 batchEdges())),
+      metEpochUs_(obs::histogramOf(metrics,
+                                   "persist.group_commit.epoch_us",
+                                   "us",
+                                   "wall time per group-commit epoch",
+                                   epochUsEdges()))
+{
+}
+
+CommitPipeline::~CommitPipeline()
+{
+    stop();
+}
+
+void
+CommitPipeline::start()
+{
+    if (thread_.joinable())
+        return;
+    {
+        MutexLock lock(mu_);
+        stop_ = false;
+    }
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+CommitPipeline::stop()
+{
+    {
+        MutexLock lock(mu_);
+        stop_ = true;
+        workCv_.notify_all();
+        doneCv_.notify_all();
+    }
+    if (thread_.joinable())
+        thread_.join();
+}
+
+bool
+CommitPipeline::running() const
+{
+    return thread_.joinable();
+}
+
+void
+CommitPipeline::flushWait()
+{
+    MutexLock lock(mu_);
+    // Any epoch that *starts* after this point captures our marks;
+    // epoch epochSeq_ may already be mid-capture, so wait out one
+    // more.
+    const std::uint64_t my = epochSeq_;
+    pendingFlush_ = true;
+    ++batchPending_;
+    workCv_.notify_one();
+    while (flushDone_ <= my && !stop_)
+        doneCv_.wait(lock);
+}
+
+void
+CommitPipeline::syncWait()
+{
+    MutexLock lock(mu_);
+    const std::uint64_t my = epochSeq_;
+    pendingJournalSync_ = true;
+    ++batchPending_;
+    workCv_.notify_one();
+    while (journalSyncDone_ <= my && !stop_)
+        doneCv_.wait(lock);
+}
+
+void
+CommitPipeline::commitWait()
+{
+    MutexLock lock(mu_);
+    const std::uint64_t my = epochSeq_;
+    pendingSync_ = true;
+    ++batchPending_;
+    workCv_.notify_one();
+    while (syncDone_ <= my && !stop_)
+        doneCv_.wait(lock);
+}
+
+void
+CommitPipeline::run()
+{
+    for (;;) {
+        bool wantJournalSync, wantSync;
+        std::uint64_t epoch, batch;
+        {
+            MutexLock lock(mu_);
+            while (!stop_ && !pendingFlush_ && !pendingJournalSync_ &&
+                   !pendingSync_)
+                workCv_.wait(lock);
+            if (stop_ && !pendingFlush_ && !pendingJournalSync_ &&
+                !pendingSync_)
+                return; // drained: a stop never drops a request
+            wantSync = pendingSync_;
+            // The full barrier subsumes the log force.
+            wantJournalSync = pendingJournalSync_ || wantSync;
+            pendingFlush_ = false;
+            pendingJournalSync_ = false;
+            pendingSync_ = false;
+            batch = batchPending_;
+            batchPending_ = 0;
+            epoch = ++epochSeq_;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+
+        // Capture under the quiesce: every mutator (flush, clean,
+        // COW, and SRAM-hit writes in persistent-concurrent mode)
+        // holds the structural lock, so the drained ranges are a
+        // consistent cut.  The journal write(2) itself happens here
+        // too — it is what makes flushWait() SIGKILL-durable.
+        ctl_.quiesce([this] { backend_.epochFlush(); });
+
+        // The expensive barriers run with the store unlocked.
+        if (wantSync)
+            backend_.epochSync();
+        else if (wantJournalSync)
+            backend_.epochSyncJournal();
+
+        if (backend_.journal().needsCheckpoint()) {
+            // Copy the image under a short quiesce (dropping dirty
+            // marks the image covers), compact outside it.
+            std::vector<std::uint8_t> image;
+            ctl_.quiesce([this, &image] {
+                sram_.drainDirty(
+                    [](std::uint64_t, std::span<const std::uint8_t>) {
+                    });
+                const auto raw = sram_.raw();
+                image.assign(raw.begin(), raw.end());
+            });
+            backend_.checkpointWithImage(image);
+        }
+
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        metEpochs_.add();
+        metBatch_.record(batch);
+        metEpochUs_.record(static_cast<std::uint64_t>(us));
+        ENVY_TRACE("persist.group_commit", obs::tv("epoch", epoch),
+                   obs::tv("batch", batch),
+                   obs::tv("log_forced", wantJournalSync),
+                   obs::tv("synced", wantSync),
+                   obs::tv("us", static_cast<std::uint64_t>(us)));
+
+        {
+            MutexLock lock(mu_);
+            flushDone_ = epoch;
+            if (wantJournalSync)
+                journalSyncDone_ = epoch;
+            if (wantSync)
+                syncDone_ = epoch;
+            doneCv_.notify_all();
+        }
+    }
+}
+
+} // namespace persist
+} // namespace envy

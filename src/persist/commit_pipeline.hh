@@ -1,0 +1,133 @@
+/**
+ * @file
+ * CommitPipeline: the group-commit epoch thread for a concurrent
+ * persistent store (docs/PERSISTENCE.md §group-commit).
+ *
+ * Serial stores journal inline: every EnvyStore::persistFlush() runs
+ * its own drain + append.  Under the PR 8 sharded controller that
+ * would serialize every durable caller behind a whole-journal flush,
+ * so the pipeline batches instead: callers publish a request and
+ * block until an *epoch* that started after their request completes.
+ * One epoch serves every caller that arrived while the previous one
+ * ran —
+ *
+ *   1. quiesce the controller (structural lock exclusive; with
+ *      Controller::setPersistentConcurrent() even SRAM-hit writers
+ *      hold it shared, so the capture sees no torn writes) and
+ *      append the dirty SRAM ranges as ONE Group record;
+ *   2. outside the quiesce, fdatasync the journal and msync the
+ *      store file if any caller asked for the power-loss barrier
+ *      (commitWait) — the data path keeps running meanwhile;
+ *   3. auto-checkpoint when the journal has grown past its
+ *      threshold: the SRAM image is copied under a second short
+ *      quiesce, the temp-write + rename happens outside it.
+ *
+ * Durability contract, three tiers: flushWait() returns once the
+ * caller's SRAM mutations are in the journal file (SIGKILL-durable,
+ * the ack point the crash harness leans on); syncWait() additionally
+ * waits for the journal fdatasync — the group-commit *log force*,
+ * power-loss durable for everything the journal covers, one device
+ * barrier shared by the whole epoch; commitWait() waits for the full
+ * barrier (journal fdatasync + store-file msync), power-loss durable
+ * including flash-resident pages the journal no longer carries.
+ *
+ * Lock order (docs/INTERNALS.md): the pipeline's own mu_ is a leaf
+ * taken by callers and the epoch thread; the epoch thread acquires
+ * structMu_ (via Controller::quiesce) and then journalMu_ (inside
+ * MetaJournal) with mu_ released, so callers never wait on a lock
+ * the epoch thread holds across a syscall.
+ */
+
+#ifndef ENVY_PERSIST_COMMIT_PIPELINE_HH
+#define ENVY_PERSIST_COMMIT_PIPELINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <thread>
+
+#include "common/thread_annotations.hh"
+#include "obs/metrics.hh"
+
+namespace envy {
+
+class Controller;
+class SramArray;
+
+namespace persist {
+
+class PersistBackend;
+
+class CommitPipeline
+{
+  public:
+    CommitPipeline(Controller &ctl, PersistBackend &backend,
+                   SramArray &sram,
+                   obs::MetricsRegistry *metrics = nullptr);
+    ~CommitPipeline();
+
+    CommitPipeline(const CommitPipeline &) = delete;
+    CommitPipeline &operator=(const CommitPipeline &) = delete;
+
+    /** Launch the epoch thread (idempotent). */
+    void start();
+
+    /**
+     * Drain pending requests through one final epoch, then stop and
+     * join the thread (idempotent; safe to restart).  Callers still
+     * blocked in flushWait/commitWait are released.
+     */
+    void stop();
+
+    bool running() const;
+
+    /**
+     * Block until an epoch started after this call has journaled the
+     * dirty SRAM (SIGKILL-durable).  Many concurrent callers share
+     * one epoch — the group-commit point.
+     */
+    void flushWait();
+
+    /**
+     * Block until the epoch's journal fdatasync also completed (the
+     * shared log force).  Cheaper than commitWait: the store-file
+     * msync — whose cost scales with the dirty flash pages of the
+     * whole batch — is left to the checkpoint/commit schedule.
+     */
+    void syncWait();
+
+    /** Block until the epoch's fdatasync + store-file msync barrier
+     *  also completed (power-loss durable). */
+    void commitWait();
+
+  private:
+    void run();
+
+    Controller &ctl_;
+    PersistBackend &backend_;
+    SramArray &sram_;
+
+    obs::Counter metEpochs_;   //!< persist.group_commit.epochs
+    obs::Histogram metBatch_;  //!< persist.group_commit.batch
+    obs::Histogram metEpochUs_; //!< persist.group_commit.epoch_us
+
+    mutable Mutex mu_;
+    std::condition_variable_any workCv_; //!< wakes the epoch thread
+    std::condition_variable_any doneCv_; //!< wakes blocked callers
+    bool stop_ ENVY_GUARDED_BY(mu_) = false;
+    bool pendingFlush_ ENVY_GUARDED_BY(mu_) = false;
+    bool pendingJournalSync_ ENVY_GUARDED_BY(mu_) = false;
+    bool pendingSync_ ENVY_GUARDED_BY(mu_) = false;
+    //! Callers coalesced into the next epoch (batch-size metric).
+    std::uint64_t batchPending_ ENVY_GUARDED_BY(mu_) = 0;
+    std::uint64_t epochSeq_ ENVY_GUARDED_BY(mu_) = 0;
+    std::uint64_t flushDone_ ENVY_GUARDED_BY(mu_) = 0;
+    std::uint64_t journalSyncDone_ ENVY_GUARDED_BY(mu_) = 0;
+    std::uint64_t syncDone_ ENVY_GUARDED_BY(mu_) = 0;
+
+    std::thread thread_;
+};
+
+} // namespace persist
+} // namespace envy
+
+#endif // ENVY_PERSIST_COMMIT_PIPELINE_HH

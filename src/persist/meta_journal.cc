@@ -110,6 +110,7 @@ void
 MetaJournal::createFresh()
 {
     std::remove(tmpPath().c_str()); // stale temp from a dead process
+    MutexLock lock(journalMu_);
     if (fd_ >= 0)
         ::close(fd_);
     fd_ = ::open(path_.c_str(),
@@ -123,7 +124,7 @@ MetaJournal::createFresh()
     writeFully(fd_, header.data(), header.size(), 0, path_);
     endOff_ = headerBytes;
     seq_ = 1;
-    bytesSinceCheckpoint_ = 0;
+    bytesSinceCheckpoint_.store(0, std::memory_order_relaxed);
 }
 
 MetaJournal::ReplayResult
@@ -179,7 +180,10 @@ MetaJournal::replay()
             break;
         const std::uint8_t *rec = file.data() + off;
         const std::uint32_t len = getU32(rec);
-        if (len > sramBytes_ + 16 ||
+        // Worst-case Group payload: every granule dirty with one
+        // range header per granule — still under 2x the image plus
+        // slack, so anything larger is garbage, not a record.
+        if (len > 2 * sramBytes_ + 32 ||
             recordOverhead + len > file.size() - off)
             break;
         const std::uint8_t type = rec[4];
@@ -203,6 +207,39 @@ MetaJournal::replay()
             if (addr > sramBytes_ || n > sramBytes_ - addr)
                 break;
             std::memcpy(res.sram.data() + addr, payload + 8, n);
+        } else if (type == recGroup) {
+            // A group frame is atomic: validate every sub-range
+            // before applying any, so a malformed frame (impossible
+            // without CRC collision, but cheap to check) drops whole.
+            if (!sawCheckpoint || len == 0)
+                break;
+            std::uint64_t p = 0;
+            bool good = true;
+            while (p < len) {
+                if (len - p < groupRangeOverhead) {
+                    good = false;
+                    break;
+                }
+                const std::uint64_t addr = getU64(payload + p);
+                const std::uint32_t n = getU32(payload + p + 8);
+                p += groupRangeOverhead;
+                if (n > len - p || addr > sramBytes_ ||
+                    n > sramBytes_ - addr) {
+                    good = false;
+                    break;
+                }
+                p += n;
+            }
+            if (!good || p != len)
+                break;
+            p = 0;
+            while (p < len) {
+                const std::uint64_t addr = getU64(payload + p);
+                const std::uint32_t n = getU32(payload + p + 8);
+                p += groupRangeOverhead;
+                std::memcpy(res.sram.data() + addr, payload + p, n);
+                p += n;
+            }
         } else {
             break;
         }
@@ -227,12 +264,14 @@ MetaJournal::replay()
         return res;
     }
 
+    MutexLock lock(journalMu_);
     if (fd_ >= 0)
         ::close(fd_);
     fd_ = fd;
     endOff_ = off;
     seq_ = prevSeq + 1;
-    bytesSinceCheckpoint_ = off - headerBytes;
+    bytesSinceCheckpoint_.store(off - headerBytes,
+                                std::memory_order_relaxed);
     res.ok = true;
     return res;
 }
@@ -266,28 +305,96 @@ MetaJournal::appendRecord(std::vector<std::uint8_t> &out,
     metRecords_.add();
 }
 
+namespace {
+
+/**
+ * Finish a record whose 13-byte header was reserved at @p start and
+ * whose payload has been appended in place: patch the header, append
+ * the CRC.  A free function so the drain lambdas on the flush hot
+ * path can seal without touching journalMu_-guarded state.
+ */
+void
+sealRecord(std::vector<std::uint8_t> &out, std::size_t start,
+           std::uint8_t type, std::uint64_t seq)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        out.size() - start - (MetaJournal::recordOverhead - 4));
+    std::uint8_t *h = out.data() + start;
+    for (int i = 0; i < 4; ++i)
+        h[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    h[4] = type;
+    for (int i = 0; i < 8; ++i)
+        h[5 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    putU32(out, crc32({out.data() + start, out.size() - start}));
+}
+
+} // namespace
+
 void
 MetaJournal::flush()
 {
     if (!active_)
         return;
-    std::vector<std::uint8_t> batch;
-    std::vector<std::uint8_t> payload;
-    drain_([&](std::uint64_t addr,
-               std::span<const std::uint8_t> bytes) {
-        payload.clear();
-        putU64(payload, addr);
-        payload.insert(payload.end(), bytes.begin(), bytes.end());
-        appendRecord(batch, recSramWrite, payload);
-    });
-    if (batch.empty())
-        return;
-    writeFully(fd_, batch.data(), batch.size(), endOff_, path_);
-    endOff_ += batch.size();
-    bytesSinceCheckpoint_ += batch.size();
-    metBytes_.add(batch.size());
+    // journalMu_ is a leaf lock: the drain callback only reads SRAM
+    // (the caller already excludes mutators), and holding it across
+    // the write(2) is the point — appends are sequenced here.
+    //
+    // Records are serialized straight into the reused buffer (header
+    // space reserved, payload streamed in place, header patched and
+    // CRC appended by sealRecord) — no per-range staging vectors,
+    // no payload double-copy.  Flash-meta barriers call this once
+    // per meta write, so the empty-drain case must stay near-free.
+    MutexLock lock(journalMu_);
+    std::vector<std::uint8_t> &out = flushBuf_;
+    out.clear();
+    std::uint64_t seq = seq_;
+    if (groupCommit_) {
+        // One Group record around the whole batch.
+        out.resize(recordOverhead - 4);
+        drain_([&](std::uint64_t addr,
+                   std::span<const std::uint8_t> bytes) {
+            putU64(out, addr);
+            putU32(out, static_cast<std::uint32_t>(bytes.size()));
+            out.insert(out.end(), bytes.begin(), bytes.end());
+        });
+        if (out.size() == recordOverhead - 4)
+            return;
+        sealRecord(out, 0, recGroup, seq++);
+        metRecords_.add();
+    } else {
+        // One SramWrite record per dirty range.
+        drain_([&](std::uint64_t addr,
+                   std::span<const std::uint8_t> bytes) {
+            const std::size_t start = out.size();
+            out.resize(start + (recordOverhead - 4));
+            putU64(out, addr);
+            out.insert(out.end(), bytes.begin(), bytes.end());
+            sealRecord(out, start, recSramWrite, seq++);
+        });
+        if (out.empty())
+            return;
+        metRecords_.add(seq - seq_);
+    }
+    seq_ = seq;
+    writeFully(fd_, out.data(), out.size(), endOff_, path_);
+    endOff_ += out.size();
+    bytesSinceCheckpoint_.fetch_add(out.size(),
+                                    std::memory_order_relaxed);
+    metBytes_.add(out.size());
     metFlushes_.add();
     ENVY_CRASH_POINT("persist.journal.after_flush");
+}
+
+void
+MetaJournal::syncOnly()
+{
+    if (!active_)
+        return;
+    MutexLock lock(journalMu_);
+    if (::fdatasync(fd_) != 0)
+        ENVY_FATAL("persist: fdatasync '", path_,
+                   "': ", std::strerror(errno));
+    metCommits_.add();
 }
 
 void
@@ -296,10 +403,7 @@ MetaJournal::commit()
     if (!active_)
         return;
     flush();
-    if (::fdatasync(fd_) != 0)
-        ENVY_FATAL("persist: fdatasync '", path_,
-                   "': ", std::strerror(errno));
-    metCommits_.add();
+    syncOnly();
 }
 
 void
@@ -325,9 +429,17 @@ MetaJournal::checkpoint()
     // the new journal does not replay them twice.
     drain_([](std::uint64_t, std::span<const std::uint8_t>) {});
 
-    const std::span<const std::uint8_t> image = snapshot_();
+    checkpointFromImage(snapshot_());
+}
+
+void
+MetaJournal::checkpointFromImage(std::span<const std::uint8_t> image)
+{
+    if (!active_)
+        return;
     ENVY_ASSERT(image.size() == sramBytes_);
 
+    MutexLock lock(journalMu_);
     std::vector<std::uint8_t> out;
     out.reserve(headerBytes + recordOverhead + image.size());
     out.insert(out.end(), magic, magic + 8);
@@ -355,7 +467,7 @@ MetaJournal::checkpoint()
     ENVY_CRASH_POINT("persist.checkpoint.after_rename");
 
     openForAppend(out.size());
-    bytesSinceCheckpoint_ = 0;
+    bytesSinceCheckpoint_.store(0, std::memory_order_relaxed);
     metBytes_.add(out.size());
     metCheckpoints_.add();
 }

@@ -14,9 +14,13 @@
  *
  * little-endian throughout, crc = CRC-32 (zlib polynomial) over
  * everything before it (len..payload).  Types: 1 = Checkpoint (the
- * full SRAM image), 2 = SramWrite (u64 address + changed bytes).
- * Sequence numbers are strictly consecutive; the first record of a
- * journal file is always a Checkpoint.
+ * full SRAM image), 2 = SramWrite (u64 address + changed bytes),
+ * 3 = Group (a whole flush batch in one record: repeated
+ * {addr u64 | n u32 | bytes[n]} sub-ranges under a single CRC, so a
+ * tear anywhere inside the frame drops the *entire* batch on replay —
+ * the group-commit atomicity unit).  Sequence numbers are strictly
+ * consecutive; the first record of a journal file is always a
+ * Checkpoint.
  *
  * Commit protocol (docs/PERSISTENCE.md):
  *
@@ -36,17 +40,30 @@
  * corrupt record (bad length, bad CRC, out-of-order sequence), and
  * truncates that tail away — a half-appended record from a crash is
  * expected, never fatal.
+ *
+ * Concurrency: every file mutation (append, sync, checkpoint swap)
+ * is serialized under the internal `journalMu_`, which sits *below*
+ * the controller's structural lock in the system lock order
+ * (docs/INTERNALS.md): flush() runs with the controller quiesced and
+ * therefore acquires journalMu_ under structMu_, while syncOnly()
+ * takes journalMu_ alone so the fdatasync of a group-commit epoch
+ * never blocks the data path.  journalMu_ deliberately covers the
+ * write(2)/fdatasync syscalls — it is a leaf lock that only other
+ * journal appenders can contend on (envy_analyze knows journal leaf
+ * locks are exempt from rule lock-discipline).
  */
 
 #ifndef ENVY_PERSIST_META_JOURNAL_HH
 #define ENVY_PERSIST_META_JOURNAL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "obs/metrics.hh"
 
 namespace envy {
@@ -59,8 +76,11 @@ class MetaJournal
     static constexpr std::uint64_t headerBytes = 16;
     static constexpr std::uint8_t recCheckpoint = 1;
     static constexpr std::uint8_t recSramWrite = 2;
+    static constexpr std::uint8_t recGroup = 3;
     /** len(4) + type(1) + seq(8) + crc(4) around the payload. */
     static constexpr std::uint64_t recordOverhead = 17;
+    /** addr(8) + n(4) before each Group sub-range's bytes. */
+    static constexpr std::uint64_t groupRangeOverhead = 12;
 
     /** Receives one dirty range; bytes are copied before returning. */
     using Emit =
@@ -112,10 +132,36 @@ class MetaJournal
     void commit();
     void checkpoint();
 
+    /**
+     * fdatasync the journal file without draining anything — the
+     * power-loss barrier for ranges a previous flush() already
+     * appended.  The commit pipeline calls this *outside* the
+     * controller quiesce so the sync does not stall the data path.
+     */
+    void syncOnly();
+
+    /**
+     * Compact the journal to one Checkpoint record holding @p image
+     * (a copy of the SRAM the caller captured while the store was
+     * quiesced).  Unlike checkpoint(), does not call the drain or
+     * snapshot hooks, so it is safe to run while workers mutate SRAM
+     * — their marks land in ranges a later flush picks up.
+     */
+    void checkpointFromImage(std::span<const std::uint8_t> image);
+
+    /**
+     * Group-commit mode: flush() emits the whole dirty batch as one
+     * Group record (single CRC — replay drops a torn batch whole)
+     * instead of one SramWrite per range.  Serial stores leave this
+     * off, keeping their journal bytes identical to prior releases.
+     */
+    void setGroupCommit(bool on) { groupCommit_ = on; }
+    bool groupCommit() const { return groupCommit_; }
+
     /** Journal bytes appended since the last checkpoint. */
     std::uint64_t bytesSinceCheckpoint() const
     {
-        return bytesSinceCheckpoint_;
+        return bytesSinceCheckpoint_.load(std::memory_order_relaxed);
     }
 
     /** Auto-checkpoint once bytesSinceCheckpoint() crosses this. */
@@ -125,26 +171,36 @@ class MetaJournal
     }
     bool needsCheckpoint() const
     {
-        return bytesSinceCheckpoint_ >= checkpointThreshold_;
+        return bytesSinceCheckpoint() >= checkpointThreshold_;
     }
 
   private:
     std::string tmpPath() const { return path_ + ".tmp"; }
-    void openForAppend(std::uint64_t end_off);
+    void openForAppend(std::uint64_t end_off)
+        ENVY_REQUIRES(journalMu_);
     void appendRecord(std::vector<std::uint8_t> &out,
                       std::uint8_t type,
-                      std::span<const std::uint8_t> payload);
+                      std::span<const std::uint8_t> payload)
+        ENVY_REQUIRES(journalMu_);
     void syncDirectoryOf(const std::string &path);
 
     std::string path_;
     std::uint64_t sramBytes_;
-    int fd_ = -1;
-    std::uint64_t endOff_ = 0;
-    std::uint64_t seq_ = 1; //!< sequence of the next record written
+    //! Leaf lock over the journal file state; below structMu_ in the
+    //! system lock order, never held while calling out.
+    mutable Mutex journalMu_;
+    int fd_ ENVY_GUARDED_BY(journalMu_) = -1;
+    std::uint64_t endOff_ ENVY_GUARDED_BY(journalMu_) = 0;
+    //! Reused flush() serialization buffer: barriers flush once per
+    //! flash-meta write, so the hot path must not allocate.
+    std::vector<std::uint8_t> flushBuf_ ENVY_GUARDED_BY(journalMu_);
+    //! Sequence of the next record written.
+    std::uint64_t seq_ ENVY_GUARDED_BY(journalMu_) = 1;
     bool active_ = false;
+    bool groupCommit_ = false;
     DrainFn drain_;
     SnapshotFn snapshot_;
-    std::uint64_t bytesSinceCheckpoint_ = 0;
+    std::atomic<std::uint64_t> bytesSinceCheckpoint_{0};
     std::uint64_t checkpointThreshold_ = ~std::uint64_t(0);
 
     obs::Counter metRecords_;

@@ -18,6 +18,7 @@ constexpr Addr kShardBytesOff = 0x18;
 
 constexpr Addr kKeysOff = 0;
 constexpr Addr kCursorOff = 8;
+constexpr Addr kFreeOff = 16; //!< head of the freed-slot list (0 = end)
 
 } // namespace
 
@@ -40,6 +41,8 @@ KvEngine::KvEngine(EnvyStore &store, const KvEngineConfig &cfg)
                 cfg_.numShards);
     ENVY_ASSERT(cfg_.treeFraction > 0.0 && cfg_.treeFraction < 1.0,
                 "serve: treeFraction out of (0,1)");
+    ENVY_ASSERT(cfg_.valueCapBytes >= 4,
+                "serve: slots must fit the free-list next pointer");
     ENVY_ASSERT(store_.size() > kShardBase,
                 "serve: store too small for the engine header");
     shardBytes_ = (store_.size() - kShardBase) / cfg_.numShards;
@@ -64,6 +67,7 @@ KvEngine::KvEngine(EnvyStore &store, const KvEngineConfig &cfg)
             store_, sh.base + kShardHeaderBytes, tree_bytes);
         store_.writeU64(sh.base + kKeysOff, 0);
         store_.writeU64(sh.base + kCursorOff, sh.heapBase);
+        store_.writeU64(sh.base + kFreeOff, 0);
     }
 }
 
@@ -83,6 +87,11 @@ KvEngine::KvEngine(EnvyStore &store, const KvEngineConfig &cfg,
         const Addr cursor = store_.readU64(sh.base + kCursorOff);
         ENVY_ASSERT(cursor >= sh.heapBase && cursor <= sh.heapEnd,
                     "serve: shard ", s, " cursor ", cursor,
+                    " outside its heap — corrupt engine header");
+        const Addr free_head = store_.readU64(sh.base + kFreeOff);
+        ENVY_ASSERT(free_head == 0 || (free_head >= sh.heapBase &&
+                                       free_head < sh.heapEnd),
+                    "serve: shard ", s, " free-list head ", free_head,
                     " outside its heap — corrupt engine header");
     }
 }
@@ -193,6 +202,39 @@ KvEngine::get(std::uint64_t key)
     return res;
 }
 
+Addr
+KvEngine::allocSlot(Shard &sh)
+{
+    // Freed slots first: their first word holds the next-free link.
+    // The pop is a single word write; a crash right after it leaks
+    // at most this one slot.
+    const Addr head = store_.readU64(sh.base + kFreeOff);
+    if (head != 0) {
+        store_.writeU64(sh.base + kFreeOff, store_.readU64(head));
+        return head;
+    }
+    const Addr cursor = store_.readU64(sh.base + kCursorOff);
+    const std::uint64_t slot_bytes =
+        4 + std::uint64_t{cfg_.valueCapBytes};
+    if (cursor + slot_bytes > sh.heapEnd)
+        return 0; // heap full
+    // Burn the cursor before the slot holds anything: a replayed
+    // prefix that sees the slot referenced also sees the advance,
+    // so it can never hand the same slot out again.
+    store_.writeU64(sh.base + kCursorOff, cursor + slot_bytes);
+    return cursor;
+}
+
+void
+KvEngine::freeSlot(Shard &sh, Addr slot)
+{
+    // Only called once nothing references @p slot, so overwriting
+    // its first word with the link is safe at any crash cut; a cut
+    // between the two writes merely leaks the slot.
+    store_.writeU64(slot, store_.readU64(sh.base + kFreeOff));
+    store_.writeU64(sh.base + kFreeOff, slot);
+}
+
 Status
 KvEngine::put(std::uint64_t key, std::span<const std::uint8_t> value)
 {
@@ -201,32 +243,33 @@ KvEngine::put(std::uint64_t key, std::span<const std::uint8_t> value)
     Shard &sh = shardOf(key);
     MutexLock lock(sh.mu);
     const auto at = sh.tree->lookup(key);
-    if (at && *at != 0) {
-        // Overwrite: in-place update of the existing slot, the
-        // traffic the paper's COW write buffer is built for.
-        store_.writeU32(*at, static_cast<std::uint32_t>(value.size()));
-        if (!value.empty())
-            store_.write(*at + 4, value);
-        return Status::Ok;
-    }
-    // New key (or resurrecting a tombstone): claim a fresh slot.
-    const Addr cursor = store_.readU64(sh.base + kCursorOff);
-    const std::uint64_t slot_bytes = 4 + std::uint64_t{
-        cfg_.valueCapBytes};
-    if (cursor + slot_bytes > sh.heapEnd)
-        return Status::Error; // heap full
-    // A worst-case insert splits one node per level plus a new root.
-    if (sh.tree->nodesAllocated() + sh.tree->height() + 2 >
-        sh.treeCapacityNodes) {
+    const bool live = at && *at != 0;
+    // Overwrites go to a fresh slot too: an in-place slot update is
+    // a multi-page write the tree still points at, and a crash cut
+    // inside it would tear the key's previously acknowledged value.
+    // The old slot is recycled through the shard free list, so
+    // storage stays bounded by the key count (plus one transient
+    // slot per shard).
+    if (!at && sh.tree->nodesAllocated() + 2 * sh.tree->height() + 6 >
+                   sh.treeCapacityNodes) {
         return Status::Error; // index full
     }
-    store_.writeU32(cursor, static_cast<std::uint32_t>(value.size()));
+    const Addr slot = allocSlot(sh);
+    if (slot == 0)
+        return Status::Error; // heap full
+    store_.writeU32(slot, static_cast<std::uint32_t>(value.size()));
     if (!value.empty())
-        store_.write(cursor + 4, value);
-    sh.tree->insert(key, cursor);
-    store_.writeU64(sh.base + kCursorOff, cursor + slot_bytes);
-    store_.writeU64(sh.base + kKeysOff,
-                    store_.readU64(sh.base + kKeysOff) + 1);
+        store_.write(slot + 4, value);
+    // The one-word tree publish is the commit point: before it the
+    // new slot is unreachable, after it the key maps to the complete
+    // new value.
+    sh.tree->insert(key, slot);
+    if (live) {
+        freeSlot(sh, *at);
+    } else {
+        store_.writeU64(sh.base + kKeysOff,
+                        store_.readU64(sh.base + kKeysOff) + 1);
+    }
     return Status::Ok;
 }
 
@@ -238,7 +281,8 @@ KvEngine::del(std::uint64_t key)
     const auto at = sh.tree->lookup(key);
     if (!at || *at == 0)
         return Status::NotFound;
-    sh.tree->insert(key, 0); // tombstone; the old slot is abandoned
+    sh.tree->insert(key, 0); // tombstone: a one-word value update
+    freeSlot(sh, *at);
     store_.writeU64(sh.base + kKeysOff,
                     store_.readU64(sh.base + kKeysOff) - 1);
     return Status::Ok;

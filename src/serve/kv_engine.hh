@@ -17,16 +17,25 @@
  *         valueCap u32, pad u32, shardBytes u64
  *   shard s at 0x100 + s * shardBytes:
  *     +0   keys u64       live keys in this shard
- *     +8   cursor u64     next free value-slot address
+ *     +8   cursor u64     next never-used value-slot address
+ *     +16  freeHead u64   head of the freed-slot list (0 = empty;
+ *                         a free slot's first word links to the next)
  *     +64  B-tree region  (treeFraction of the shard)
  *     ...  value heap     fixed slots of 4 + valueCap bytes
  *
- * Values are fixed-capacity slots so an overwrite PUT is an
- * *in-place* update of the existing slot — exactly the traffic eNVy
- * is built for — and storage stays bounded by the key count.  DELETE
- * writes a tombstone (tree value 0; real slots always sit above the
- * shard header, so 0 is unreachable as a slot address); a later PUT
- * of the key allocates a fresh slot.
+ * Values are fixed-capacity slots.  Every PUT — including an
+ * overwrite — fills a *fresh* slot and then publishes it with the
+ * tree's one-word value update, so a crash cut never tears a value a
+ * client was already acknowledged for; the superseded slot is
+ * recycled through the shard free list, keeping storage bounded by
+ * the key count.  DELETE writes a tombstone (tree value 0; real
+ * slots always sit above the shard header, so 0 is unreachable as a
+ * slot address) and frees the slot.
+ *
+ * Crash ordering mirrors db/btree.hh: allocator words (cursor,
+ * freeHead) are burned before a slot can become reachable, value
+ * bytes land while the slot is unreachable, and the single-word tree
+ * publish is the commit point for the whole PUT.
  *
  * Shards serialise access per key group with one envy::Mutex each:
  * worker threads on different shards proceed concurrently and meet
@@ -126,6 +135,12 @@ class KvEngine
 
     Shard &shardOf(std::uint64_t key);
     void layoutShard(Shard &s, std::uint32_t index);
+
+    /** Claim a value slot (free list first, else cursor bump with
+     *  the cursor burned ahead of use); 0 means the heap is full. */
+    Addr allocSlot(Shard &sh);
+    /** Recycle a slot nothing references onto the shard free list. */
+    void freeSlot(Shard &sh, Addr slot);
 
     /** Mixed key bits so sequential keys spread across shards. */
     static std::uint64_t mix(std::uint64_t key);

@@ -247,43 +247,69 @@ encodeRequest(const Request &req)
                  std::move(payload));
 }
 
-std::vector<std::uint8_t>
-encodeResponse(const Response &resp)
+void
+encodeResponseInto(const Response &resp, std::vector<std::uint8_t> &out)
 {
-    std::vector<std::uint8_t> payload;
-    payload.push_back(static_cast<std::uint8_t>(resp.status));
-    payload.push_back(static_cast<std::uint8_t>(resp.admission));
+    // Header first, payload appended in place behind it; payloadLen
+    // and checksum are patched once the size is known.  No temporary
+    // payload vector: this is the per-request hot path.
+    out.clear();
+    putU16(out, kMagic);
+    out.push_back(kProtocolVersion);
+    out.push_back(static_cast<std::uint8_t>(resp.op) | kResponseBit);
+    putU64(out, resp.requestId);
+    putU32(out, 0); // payloadLen placeholder
+    putU32(out, 0); // checksum placeholder
+
+    out.push_back(static_cast<std::uint8_t>(resp.status));
+    out.push_back(static_cast<std::uint8_t>(resp.admission));
     switch (resp.op) {
       case Op::Get:
         if (resp.status == Status::Ok) {
-            putU32(payload,
-                   static_cast<std::uint32_t>(resp.value.size()));
-            putBytes(payload, resp.value);
+            putU32(out, static_cast<std::uint32_t>(resp.value.size()));
+            putBytes(out, resp.value);
         }
         break;
       case Op::Put:
       case Op::Del:
         break;
       case Op::Stat:
-        putU32(payload,
-               static_cast<std::uint32_t>(resp.stats.size()));
+        putU32(out, static_cast<std::uint32_t>(resp.stats.size()));
         for (const std::uint64_t v : resp.stats)
-            putU64(payload, v);
+            putU64(out, v);
         break;
       case Op::Batch:
-        putU32(payload, static_cast<std::uint32_t>(resp.ops.size()));
+        putU32(out, static_cast<std::uint32_t>(resp.ops.size()));
         for (const SubReply &sub : resp.ops) {
-            payload.push_back(static_cast<std::uint8_t>(sub.status));
+            out.push_back(static_cast<std::uint8_t>(sub.status));
             if (sub.status == Status::Ok) {
-                putU32(payload, static_cast<std::uint32_t>(
-                                    sub.value.size()));
-                putBytes(payload, sub.value);
+                putU32(out, static_cast<std::uint32_t>(
+                                sub.value.size()));
+                putBytes(out, sub.value);
             }
         }
         break;
     }
-    return frame(static_cast<std::uint8_t>(resp.op) | kResponseBit,
-                 resp.requestId, std::move(payload));
+
+    const std::size_t payload_len = out.size() - kHeaderBytes;
+    ENVY_ASSERT(payload_len <= kMaxPayload,
+                "serve: encoding oversized frame (", payload_len,
+                " bytes)");
+    for (int i = 0; i < 4; i++)
+        out[12 + i] =
+            static_cast<std::uint8_t>(payload_len >> (8 * i));
+    std::uint32_t sum = fnv1a({out.data(), kHeaderBytes});
+    sum = fnv1a({out.data() + kHeaderBytes, payload_len}, sum);
+    for (int i = 0; i < 4; i++)
+        out[16 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+}
+
+std::vector<std::uint8_t>
+encodeResponse(const Response &resp)
+{
+    std::vector<std::uint8_t> out;
+    encodeResponseInto(resp, out);
+    return out;
 }
 
 // ---- incremental decoding -----------------------------------------

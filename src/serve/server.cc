@@ -47,10 +47,19 @@ Server::Server(EnvyStore &store, KvEngine &engine,
                 " outside [1, ", kMaxBatchOps, "]");
     ENVY_ASSERT(!cfg_.durableAcks || store_.persistent(),
                 "serve: durableAcks needs a persistent store");
-    // A persistent store runs the serial controller: at most one
-    // thread may execute against it (envy_store.hh).
-    ENVY_ASSERT(!store_.persistent() || cfg_.workers <= 1,
-                "serve: a persistent store allows at most 1 worker");
+    // A *serial* persistent store allows at most one executor thread;
+    // a concurrent one (numWorkers > 1 / numCleaners > 0 with a
+    // persistPath, PR 10) takes any worker count — SRAM-hit writers
+    // ride the structural lock shared and durability batches through
+    // the commit pipeline (envy_store.hh).
+    ENVY_ASSERT(!store_.persistent() ||
+                    store_.controller().concurrent() ||
+                    cfg_.workers <= 1,
+                "serve: a serial persistent store allows at most 1 "
+                "worker");
+    groupCommit_ = cfg_.durableAcks && cfg_.workers > 0 &&
+                   store_.persistent() &&
+                   store_.controller().concurrent();
 
     obs::MetricsRegistry &reg = store_.metrics();
     metRequests_ = reg.counter("serve.requests", "requests",
@@ -74,8 +83,13 @@ Server::Server(EnvyStore &store, KvEngine &engine,
     metProtocolErrors_ =
         reg.counter("serve.protocol_errors", "connections",
                     "connections torn down on malformed frames");
+    metCommitBatches_ =
+        reg.counter("serve.commit_batches", "batches",
+                    "durable-ack batches sharing one journal flush");
     metQueueDepth_ = reg.gauge("serve.queue_depth", "requests",
                                "admission queue depth");
+    metCommitQueue_ = reg.gauge("serve.commit_queue", "responses",
+                                "acks parked for the next flush epoch");
     {
         MutexLock lock(histMu_);
         metExecUs_ = reg.histogram(
@@ -98,6 +112,8 @@ Server::Server(EnvyStore &store, KvEngine &engine,
 
     for (unsigned w = 0; w < cfg_.workers; w++)
         workers_.emplace_back([this] { workerLoop(); });
+    if (groupCommit_)
+        commitThread_ = std::thread([this] { commitLoop(); });
 }
 
 Server::~Server()
@@ -361,14 +377,71 @@ Server::respond(const ConnPtr &conn, const Response &resp,
     // Ack-prefix durability (docs/SERVING.md §3): the journal append
     // completes before the ack bytes exist anywhere, so every ack a
     // client ever observes names a mutation that survives SIGKILL.
-    if (mutated && cfg_.durableAcks)
-        store_.persistFlush();
-    const std::vector<std::uint8_t> bytes = encodeResponse(resp);
+    if (mutated && cfg_.durableAcks) {
+        if (groupCommit_) {
+            // Park the ack; the commit thread joins one pipeline
+            // flush epoch for the whole batch and writes it then.
+            std::size_t depth;
+            {
+                MutexLock lock(commitMu_);
+                commitQueue_.push_back(PendingAck{conn, resp});
+                depth = commitQueue_.size();
+            }
+            metCommitQueue_.set(static_cast<double>(depth));
+            commitCv_.notify_one();
+            return;
+        }
+        if (cfg_.syncAcks)
+            store_.persistSync();
+        else
+            store_.persistFlush();
+    }
+    writeResponse(conn, resp);
+}
+
+void
+Server::writeResponse(const ConnPtr &conn, const Response &resp)
+{
+    std::size_t n;
     {
         MutexLock lock(conn->writeMu);
-        conn->stream->write(bytes);
+        encodeResponseInto(resp, conn->scratch);
+        conn->stream->write(conn->scratch);
+        n = conn->scratch.size();
     }
-    metBytesOut_.add(bytes.size());
+    metBytesOut_.add(n);
+}
+
+void
+Server::commitLoop()
+{
+    for (;;) {
+        std::deque<PendingAck> batch;
+        {
+            MutexLock lock(commitMu_);
+            while (commitQueue_.empty() && !commitStop_)
+                commitCv_.wait(lock);
+            if (commitQueue_.empty())
+                return; // stopping and fully drained
+            batch.swap(commitQueue_);
+        }
+        metCommitQueue_.set(0);
+        // One journal flush epoch covers every mutation in the batch:
+        // persistFlush() blocks until the CommitPipeline's next epoch
+        // lands, and the batch's mutations all happened-before this
+        // call, so the epoch's quiesced capture includes them.  With
+        // syncAcks the batch also shares a single device barrier
+        // (fdatasync) — the classic group-commit amortisation.
+        if (cfg_.syncAcks)
+            store_.persistSync();
+        else
+            store_.persistFlush();
+        for (const PendingAck &ack : batch)
+            writeResponse(ack.conn, ack.resp);
+        metCommitBatches_.add();
+        ENVY_TRACE("serve.commit_batch",
+                   obs::tv("acks", batch.size()));
+    }
 }
 
 std::size_t
@@ -424,6 +497,17 @@ Server::stop()
     for (std::thread &w : workers_)
         w.join();
     workers_.clear();
+    // Workers are parked, so no new acks arrive; the commit thread
+    // drains whatever is still queued (flushing it durable) before it
+    // honours the stop — no acknowledged mutation is dropped.
+    if (commitThread_.joinable()) {
+        {
+            MutexLock lock(commitMu_);
+            commitStop_ = true;
+        }
+        commitCv_.notify_one();
+        commitThread_.join();
+    }
     for (const ConnPtr &conn : conns)
         if (conn->reader.joinable())
             conn->reader.join();

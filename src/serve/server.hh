@@ -38,6 +38,19 @@
  * that waits for each ack before the next dependent request gets
  * strict per-key ordering (the engine's shard lock orders every op on
  * a key); that is the discipline the history tests verify.
+ *
+ * Durable ack-prefix contract (cfg.durableAcks, docs/SERVING.md §3):
+ * a mutation's ack bytes are handed to the transport only after a
+ * journal flush covering that mutation completed, so at any SIGKILL
+ * the set of acks each client has observed names only mutations that
+ * survive restart — acked writes are never lost, and unacked writes
+ * may or may not survive.  On a serial persistent store the flush is
+ * inline per response.  On a *concurrent* persistent store (PR 10) a
+ * commit thread batches: workers enqueue mutated responses on the
+ * commit queue, the thread drains a batch, joins ONE CommitPipeline
+ * flush epoch for all of them, then writes every ack — N in-flight
+ * PUTs share one journal append without weakening the prefix
+ * property (enqueue precedes flush precedes ack, per response).
  */
 
 #ifndef ENVY_SERVE_SERVER_HH
@@ -75,9 +88,23 @@ struct ServeConfig
     /**
      * Make every mutation SIGKILL-durable before its ack leaves the
      * server (EnvyStore::persistFlush, the crash-harness ack-prefix
-     * contract).  Requires a persistent store.
+     * contract).  Requires a persistent store.  With a *concurrent*
+     * persistent store and workers > 0 the flush is group-committed:
+     * mutated responses queue on a commit thread that shares one
+     * journal epoch across the batch (file comment above).
      */
     bool durableAcks = false;
+    /**
+     * Strengthen durableAcks with the journal log force: acks wait
+     * for EnvyStore::persistSync (journal append + fdatasync)
+     * instead of persistFlush, so an acked mutation's journal record
+     * survives power loss, not just SIGKILL.  In group-commit mode
+     * the commit thread pays ONE device barrier per batch; the
+     * serial inline path pays one per mutated request — exactly the
+     * comparison bench_serve's durable table measures.  Ignored
+     * unless durableAcks is set.
+     */
+    bool syncAcks = false;
 };
 
 /** Where admission control routed (or refused) a request. */
@@ -156,6 +183,9 @@ class Server
         FrameDecoder decoder;
         std::thread reader;   //!< threaded mode only
         Mutex writeMu;        //!< serialises response writes
+        /** Response encode scratch, reused under writeMu: the encode
+         *  is allocation-free once the buffer has warmed up. */
+        std::vector<std::uint8_t> scratch ENVY_GUARDED_BY(writeMu);
         bool dead = false;    //!< protocol error or peer close
     };
     using ConnPtr = std::shared_ptr<Conn>;
@@ -165,6 +195,13 @@ class Server
         ConnPtr conn;
         Request req;
         Admission admission = Admission::Direct;
+    };
+
+    /** A mutated response parked until its journal flush epoch. */
+    struct PendingAck
+    {
+        ConnPtr conn;
+        Response resp;
     };
 
     void readerLoop(ConnPtr conn);
@@ -179,7 +216,11 @@ class Server
     Response execute(const Request &req);
     void respond(const ConnPtr &conn, const Response &resp,
                  bool mutated);
+    /** Encode into the connection scratch and write, under writeMu. */
+    void writeResponse(const ConnPtr &conn, const Response &resp);
     void workerLoop();
+    /** Group-commit drain: batch -> one flush -> acks (PR 10). */
+    void commitLoop();
 
     EnvyStore &store_;
     KvEngine &engine_;
@@ -197,6 +238,16 @@ class Server
     std::deque<Work> queue_ ENVY_GUARDED_BY(queueMu_);
     std::vector<std::thread> workers_;
 
+    // Group-commit durable acks (concurrent persistent store only):
+    // workers park mutated responses here; commitLoop() drains a
+    // batch, shares one journal flush, then writes the acks.
+    bool groupCommit_ = false; //!< set once in the ctor
+    mutable Mutex commitMu_;
+    std::condition_variable_any commitCv_; //!< waits on commitMu_
+    std::deque<PendingAck> commitQueue_ ENVY_GUARDED_BY(commitMu_);
+    bool commitStop_ ENVY_GUARDED_BY(commitMu_) = false;
+    std::thread commitThread_;
+
     // serve.* instrumentation (docs/OBSERVABILITY.md).
     obs::Counter metRequests_;
     obs::Counter metBatchOps_;
@@ -207,7 +258,9 @@ class Server
     obs::Counter metBytesIn_;
     obs::Counter metBytesOut_;
     obs::Counter metProtocolErrors_;
+    obs::Counter metCommitBatches_;
     obs::Gauge metQueueDepth_;
+    obs::Gauge metCommitQueue_;
     // Registry histograms are not thread-safe; every record goes
     // through this server-owned lock (metrics.hh file comment).
     Mutex histMu_;

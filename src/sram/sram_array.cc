@@ -82,8 +82,27 @@ SramArray::enableDirtyTracking()
     tracking_ = true;
     const std::uint64_t granules =
         (data_.size() + dirtyGranule - 1) / dirtyGranule;
-    dirtyBits_.assign((granules + 63) / 64, 0);
-    dirtyWords_.clear();
+    dirtyWordCount_ = (granules + 63) / 64;
+    dirtyBits_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(dirtyWordCount_);
+    for (std::uint64_t w = 0; w < dirtyWordCount_; ++w)
+        dirtyBits_[w].store(0, std::memory_order_relaxed);
+    summaryWordCount_ = (dirtyWordCount_ + 63) / 64;
+    dirtySummary_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        summaryWordCount_);
+    for (std::uint64_t w = 0; w < summaryWordCount_; ++w)
+        dirtySummary_[w].store(0, std::memory_order_relaxed);
+}
+
+bool
+SramArray::anyDirty() const
+{
+    if (!dirtyHint_.load(std::memory_order_relaxed))
+        return false;
+    for (std::uint64_t w = 0; w < summaryWordCount_; ++w)
+        if (dirtySummary_[w].load(std::memory_order_relaxed) != 0)
+            return true;
+    return false;
 }
 
 void
@@ -92,10 +111,21 @@ SramArray::drainDirty(
         &emit)
 {
     ENVY_ASSERT(tracking_, "SRAM drain without dirty tracking");
-    std::sort(dirtyWords_.begin(), dirtyWords_.end());
 
-    // Walk set bits in ascending granule order, merging adjacent
-    // granules into maximal runs before emitting.
+    // Nothing marked since the last drain: skip the bitmap walk.
+    // (Mutators are excluded while we run, so the hint cannot trail
+    // a set bit.)
+    if (!dirtyHint_.exchange(false, std::memory_order_relaxed))
+        return;
+
+    // Walk set bits in ascending granule order (the bitmap itself is
+    // the order), merging adjacent granules into maximal runs before
+    // emitting.  The summary level narrows the walk to bitmap words
+    // that were actually touched — a barrier drain with two dirty
+    // granules reads ~20 summary words, not the few-thousand-word
+    // bitmap.  Serial mode takes the same path, so the journal
+    // bytes a given mutation history produces are identical whether
+    // or not the store runs concurrently.
     std::uint64_t runStart = 0;
     std::uint64_t runEnd = 0; // exclusive granule; 0 == no open run
     const auto flushRun = [&] {
@@ -108,25 +138,32 @@ SramArray::drainDirty(
         emit(addr, std::span<const std::uint8_t>(data_.data() + addr,
                                                  len));
     };
-    for (const std::uint64_t word : dirtyWords_) {
-        std::uint64_t bits = dirtyBits_[word];
-        dirtyBits_[word] = 0;
-        while (bits != 0) {
-            const unsigned bit =
-                static_cast<unsigned>(std::countr_zero(bits));
-            bits &= bits - 1;
-            const std::uint64_t g = word * 64 + bit;
-            if (runEnd == g) {
-                ++runEnd;
-            } else {
-                flushRun();
-                runStart = g;
-                runEnd = g + 1;
+    for (std::uint64_t sw = 0; sw < summaryWordCount_; ++sw) {
+        std::uint64_t sbits =
+            dirtySummary_[sw].exchange(0, std::memory_order_relaxed);
+        while (sbits != 0) {
+            const unsigned sbit =
+                static_cast<unsigned>(std::countr_zero(sbits));
+            sbits &= sbits - 1;
+            const std::uint64_t word = sw * 64 + sbit;
+            std::uint64_t bits =
+                dirtyBits_[word].exchange(0, std::memory_order_relaxed);
+            while (bits != 0) {
+                const unsigned bit =
+                    static_cast<unsigned>(std::countr_zero(bits));
+                bits &= bits - 1;
+                const std::uint64_t g = word * 64 + bit;
+                if (runEnd == g) {
+                    ++runEnd;
+                } else {
+                    flushRun();
+                    runStart = g;
+                    runEnd = g + 1;
+                }
             }
         }
     }
     flushRun();
-    dirtyWords_.clear();
 }
 
 void

@@ -21,8 +21,10 @@
 #ifndef ENVY_SRAM_SRAM_ARRAY_HH
 #define ENVY_SRAM_SRAM_ARRAY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -82,13 +84,16 @@ class SramArray
     /**
      * Emit every dirty range as (addr, bytes) — coalescing adjacent
      * granules, ascending, clipped to size() — and mark all clean.
+     * The caller must exclude concurrent mutators (the commit
+     * pipeline quiesces the controller); the atomic bitmap only makes
+     * *marking* safe from many threads, not draining while they run.
      */
     void drainDirty(
         const std::function<void(Addr, std::span<const std::uint8_t>)>
             &emit);
 
-    /** True if any granule is dirty (cheap: list emptiness). */
-    bool anyDirty() const { return !dirtyWords_.empty(); }
+    /** True if any granule is dirty (scans the bitmap words). */
+    bool anyDirty() const;
 
   private:
     void markDirty(Addr a, std::uint64_t len)
@@ -98,19 +103,43 @@ class SramArray
         const std::uint64_t first = a / dirtyGranule;
         const std::uint64_t last = (a + len - 1) / dirtyGranule;
         for (std::uint64_t g = first; g <= last; ++g) {
-            const std::uint64_t word = g / 64;
-            const std::uint64_t bit = g % 64;
-            if (dirtyBits_[word] == 0)
-                dirtyWords_.push_back(word); // 0 -> nonzero: new word
-            dirtyBits_[word] |= std::uint64_t(1) << bit;
+            // Relaxed fetch_or: concurrent markers on the same word
+            // are fine, and the drain happens under the controller's
+            // structural lock which orders the data bytes too.
+            const std::uint64_t prev = dirtyBits_[g / 64].fetch_or(
+                std::uint64_t(1) << (g % 64),
+                std::memory_order_relaxed);
+            // Summary level: one bit per bitmap word, so the drain
+            // scan is ~64x narrower.  Skip when the word was already
+            // non-empty — its summary bit is necessarily set.
+            if (prev == 0) {
+                const std::uint64_t w = g / 64;
+                dirtySummary_[w / 64].fetch_or(
+                    std::uint64_t(1) << (w % 64),
+                    std::memory_order_relaxed);
+            }
         }
+        dirtyHint_.store(true, std::memory_order_relaxed);
     }
 
     std::vector<std::uint8_t> data_;
     bool batteryBacked_;
     bool tracking_ = false;
-    std::vector<std::uint64_t> dirtyBits_; //!< one bit per granule
-    std::vector<std::uint64_t> dirtyWords_; //!< words with bits set
+    //! One bit per granule; atomic so concurrent writers under the
+    //! structural lock's *shared* mode can mark without racing.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> dirtyBits_;
+    std::uint64_t dirtyWordCount_ = 0;
+    //! Second level: bit w set iff dirtyBits_[w] may be non-zero.
+    //! Flash-meta barriers drain once per meta write with only a few
+    //! granules marked, so the drain must not walk the full bitmap.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> dirtySummary_;
+    std::uint64_t summaryWordCount_ = 0;
+    //! Set by every markDirty; drainDirty/anyDirty test it before
+    //! scanning the bitmap, so the clean-SRAM case (flash-meta
+    //! barriers fire one per meta write) costs one load, not a walk
+    //! of the whole bitmap.  Callers exclude mutators during drains,
+    //! so a clear hint proves a clear bitmap.
+    std::atomic<bool> dirtyHint_{false};
 };
 
 } // namespace envy

@@ -4,6 +4,7 @@
 //
 // expect-finding: journal-before-mmap
 // expect-finding: journal-before-mmap
+// expect-finding: journal-before-mmap
 
 #include <cstdint>
 
@@ -33,6 +34,19 @@ class FlashMetaView
 
   private:
     bool mapped_ = false;
+};
+
+class PersistBackend
+{
+  public:
+    // Epoch pipeline ordered backwards: the mapping is poked BEFORE
+    // the group flush lands, so a crash between the two leaves flash
+    // metadata newer than the journal.
+    void markThenEpochFlush(SegmentId seg)
+    {
+        meta(seg)[0] = 1;
+        journal_.flush();
+    }
 };
 
 } // namespace persist

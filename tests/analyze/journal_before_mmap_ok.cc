@@ -46,8 +46,41 @@ class PersistBackend
         markValid();
     }
 
+    // Epoch pipeline (PR 10): a group flush is a journal append, so
+    // an epoch that flushes before the store-file sync touches the
+    // mapping is barriered exactly like the serial opEnd() path.
+    void epochFlushThenMark(SegmentId seg)
+    {
+        journal_.flush();
+        meta(seg)[0] = 1;
+    }
+
+    // checkpointFromImage rewrites the journal wholesale -- also a
+    // journal append for ordering purposes.
+    void epochCheckpointThenMark(SegmentId seg)
+    {
+        journal_.checkpointFromImage(image_);
+        meta(seg)[0] = 1;
+    }
+
+    // And syncOnly(), the pipeline's sync-epoch half.
+    void epochSyncThenMark(SegmentId seg)
+    {
+        journal_.syncOnly();
+        meta(seg)[0] = 1;
+    }
+
+    // epochFlush() itself joins the fixpoint like checkpointNow():
+    // callers inside the class count it as the barrier.
+    void epochThenMark(SegmentId seg)
+    {
+        epochFlush();
+        meta(seg)[0] = 1;
+    }
+
   private:
     void checkpointNow() { journal_.checkpoint(); }
+    void epochFlush() { journal_.flush(); }
 };
 
 // Exempt by contract: the map byte and the cell bytes order each

@@ -60,12 +60,13 @@ class Journalish
 
     // Waiting on an arbitrary cv with a scope open parks the thread
     // with the lock's invariants half-established; only the cleaner
-    // wakeup cvs (cv_, roomCv_) are exempt by contract.
+    // wakeup cvs (cv_, roomCv_), the serve cvs and the commit
+    // pipeline's epoch cvs are exempt by contract.
     void waitOnForeignCv()
     {
         MutexLock lock(mu_);
         while (busy_)
-            doneCv_.wait_for(lock, timeout_);
+            barrierCv_.wait_for(lock, timeout_);
     }
 
   private:

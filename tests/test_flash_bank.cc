@@ -109,6 +109,60 @@ TEST(FlashBank, MetadataOnlyStillTracksWear)
     EXPECT_EQ(bank.segmentCycles(0), 1u);
 }
 
+// The bank caches "every lane is lockstep-idle" to skip per-chip
+// walks in the bulk paths; these tests pin the invalidation edges.
+
+TEST(FlashBank, ProgramErrorSticksThroughLaterCleanPrograms)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16, 0x00);
+    bank.programPage(0, 3, page);
+    EXPECT_TRUE(bank.allProgrammedOk()); // primes the lockstep cache
+
+    // 0 -> 1 on every lane: rejected, programError latched.
+    std::vector<std::uint8_t> ones(16, 0xFF);
+    bank.programPage(0, 3, ones);
+    EXPECT_FALSE(bank.allProgrammedOk());
+
+    // A later clean program must not revalidate the cache past the
+    // sticky status bit.
+    bank.programPage(0, 4, page);
+    EXPECT_FALSE(bank.allProgrammedOk());
+
+    bank.clearStatus();
+    EXPECT_TRUE(bank.allProgrammedOk());
+    EXPECT_TRUE(bank.allReady());
+}
+
+TEST(FlashBank, ExternalChipAccessInvalidatesLockstepCache)
+{
+    FlashBank bank = makeBank();
+    std::vector<std::uint8_t> page(16);
+    std::iota(page.begin(), page.end(), 1);
+    bank.programPage(2, 7, page);
+
+    std::vector<std::uint8_t> out(16, 0);
+    bank.readPage(2, 7, out); // primes the lockstep cache
+    EXPECT_EQ(out, page);
+
+    // Drop one lane out of read-array mode behind the bank's back
+    // (the accessor must pessimise the cache): the page read now has
+    // to take the per-chip CUI path, which returns the status byte
+    // for the lane left in ReadStatus.
+    bank.chip(5).writeCommand(FlashCmd::ReadStatus);
+    bank.readPage(2, 7, out);
+    EXPECT_EQ(out[5], FlashStatus::ready);
+    for (std::uint32_t j = 0; j < 16; ++j) {
+        if (j != 5) {
+            EXPECT_EQ(out[j], page[j]);
+        }
+    }
+
+    bank.chip(5).writeCommand(FlashCmd::ReadArray);
+    bank.readPage(2, 7, out);
+    EXPECT_EQ(out, page);
+}
+
 TEST(FlashBankDeathTest, OutOfRangeProgramPanics)
 {
     FlashBank bank = makeBank();

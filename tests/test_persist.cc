@@ -478,6 +478,133 @@ TEST(MetaJournal, CorruptMiddleRecordStopsReplayThere)
     std::remove(path.c_str());
 }
 
+/**
+ * Group-commit frames are all-or-nothing: a recGroup record carries
+ * many dirty ranges under ONE trailing CRC, so a journal cut at ANY
+ * byte inside the frame must drop the whole batch — never replay a
+ * prefix of its ranges.  This is the property the commit pipeline's
+ * durable acks lean on (docs/PERSISTENCE.md): an epoch's writes
+ * become durable together or not at all.
+ *
+ * Exhaustive, not sampled: the journal is small enough to cut at
+ * every single byte offset.
+ */
+TEST(MetaJournal, GroupFrameTornAtEveryByteDropsWholeBatch)
+{
+    const std::string path = tempFile("jrn6") + ".journal";
+    constexpr std::uint64_t bytes = 128;
+    Rng rng(1234);
+
+    // Build a journal of several multi-range group frames; snapshot
+    // the image at each frame boundary.
+    std::vector<std::uint64_t> boundaries; // file size after frame i
+    std::vector<std::vector<std::uint8_t>> states;
+    std::vector<std::uint8_t> full;
+    {
+        JournalRig rig(path, bytes);
+        rig.journal.createFresh();
+        rig.arm();
+        rig.journal.setGroupCommit(true);
+        rig.journal.checkpoint();
+        boundaries.push_back(fileSize(path));
+        states.push_back(rig.image);
+        for (int frame = 0; frame < 6; ++frame) {
+            // 2-5 ranges per frame: the batch shape the pipeline's
+            // epoch capture produces from several dirty pages.
+            const int ranges = 2 + static_cast<int>(rng.below(4));
+            for (int r = 0; r < ranges; ++r) {
+                const std::uint64_t addr = rng.below(bytes - 8);
+                std::uint8_t data[8];
+                for (auto &b : data)
+                    b = static_cast<std::uint8_t>(rng.next());
+                rig.poke(addr, {data, 1 + rng.below(8)});
+            }
+            rig.journal.flush(); // ONE recGroup frame
+            boundaries.push_back(fileSize(path));
+            states.push_back(rig.image);
+        }
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            full.push_back(static_cast<std::uint8_t>(c));
+        std::fclose(f);
+    }
+    ASSERT_EQ(boundaries.size(), 7u);
+
+    const std::string cutPath = tempFile("jrn6cut") + ".journal";
+    for (std::uint64_t cut = MetaJournal::headerBytes;
+         cut <= full.size(); ++cut) {
+        {
+            std::FILE *f = std::fopen(cutPath.c_str(), "wb");
+            ASSERT_NE(f, nullptr);
+            ASSERT_EQ(std::fwrite(full.data(), 1, cut, f), cut);
+            std::fclose(f);
+        }
+        MetaJournal journal(cutPath, bytes);
+        const MetaJournal::ReplayResult res = journal.replay();
+        if (cut < boundaries[0]) {
+            // Inside the initial checkpoint: nothing trustworthy.
+            EXPECT_FALSE(res.ok) << "cut " << cut;
+            continue;
+        }
+        ASSERT_TRUE(res.ok) << "cut " << cut << ": " << res.error;
+        // The whole-batch property: the replayed state is EXACTLY
+        // the one at the last intact frame boundary — a cut one byte
+        // short of a boundary loses every range of that frame.
+        std::size_t last = 0;
+        while (last + 1 < boundaries.size() &&
+               boundaries[last + 1] <= cut)
+            ++last;
+        EXPECT_EQ(res.sram, states[last]) << "cut " << cut;
+        EXPECT_EQ(res.truncatedBytes, cut - boundaries[last])
+            << "cut " << cut;
+        EXPECT_EQ(fileSize(cutPath), boundaries[last])
+            << "truncation must persist, cut " << cut;
+    }
+    std::remove(path.c_str());
+    std::remove(cutPath.c_str());
+}
+
+/**
+ * A group-commit journal replays through a reader that knows nothing
+ * about batching modes — and mixed journals (serial records, then
+ * group frames, as after a setGroupCommit toggle) replay in order.
+ */
+TEST(MetaJournal, MixedSerialAndGroupRecordsReplayInOrder)
+{
+    const std::string path = tempFile("jrn7") + ".journal";
+    constexpr std::uint64_t bytes = 96;
+    std::vector<std::uint8_t> want;
+    {
+        JournalRig rig(path, bytes);
+        rig.journal.createFresh();
+        rig.arm();
+        rig.journal.checkpoint();
+
+        const std::uint8_t a[] = {1, 2, 3, 4};
+        rig.poke(0, a);
+        rig.journal.flush(); // serial recSramWrite
+
+        rig.journal.setGroupCommit(true);
+        rig.poke(16, a);
+        rig.poke(0, {a, 2}); // overwrites part of the first range
+        rig.journal.flush(); // one recGroup frame, two ranges
+
+        rig.journal.setGroupCommit(false);
+        rig.poke(90, {a, 3});
+        rig.journal.commit(); // serial again, plus fdatasync
+        want = rig.image;
+    }
+    MetaJournal journal(path, bytes);
+    const MetaJournal::ReplayResult res = journal.replay();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.truncatedBytes, 0u);
+    EXPECT_EQ(res.records, 4u); // checkpoint + write + group + write
+    EXPECT_EQ(res.sram, want);
+    std::remove(path.c_str());
+}
+
 // ---- differential twin: persistent vs anonymous ------------------
 
 EnvyConfig

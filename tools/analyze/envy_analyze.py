@@ -85,7 +85,11 @@ JOURNAL_CLASSES = ("FlashMetaView", "PersistBackend")
 # FlashMetaView's own journal hook; chains whose base mentions the
 # journal cover PersistBackend (journal_.flush() etc.).
 JOURNAL_CALL_NAMES = ("flush", "commit", "checkpoint", "appendRecord",
-                      "createFresh", "replay")
+                      "createFresh", "replay",
+                      # Epoch-pipeline entry points (PR 10): a group
+                      # flush or an image checkpoint IS a journal
+                      # append, so paths through them are barriered.
+                      "syncOnly", "checkpointFromImage", "epochFlush")
 JOURNAL_BARE_CALLS = ("barrier",)
 # Calls / assignments that mutate the store-file mapping.
 STORE_WRITE_CALLS = ("storeU32", "storeU64", "memset", "memcpy",
@@ -119,6 +123,14 @@ BLOCKING_MEMBER_CALLS = ("submit",)
 # bottom of the lock order and guard nothing else.
 CV_WAIT_CALLS = ("wait", "wait_for", "wait_until")
 CLEANER_CV_BASES = ("cv_", "roomCv_")
+# Journal leaf locks (docs/INTERNALS.md lock order): journalMu_ sits
+# at the bottom of the order and *deliberately* covers write(2) /
+# pwrite / fdatasync — sequencing of the journal file IS the lock's
+# job, so serial stores, the commit pipeline and the flash
+# write-through barrier all append through one ordered path.  A
+# scoped lock whose constructor argument names one of these is exempt
+# from the blocking-syscall check (docs/PERSISTENCE.md §group-commit).
+JOURNAL_LEAF_LOCKS = ("journalMu_",)
 # ParallelRunner's internal cvs predate this refinement and follow
 # the classic protocol: each wait releases mutex_ itself, the only
 # lock its scope holds (see the predicate-loop comment in
@@ -126,10 +138,15 @@ CLEANER_CV_BASES = ("cv_", "roomCv_")
 RUNNER_CV_BASES = ("queueSpace_", "queueWork_", "allDone_")
 # The serve layer's cvs follow the same classic protocol: the
 # loopback pipe's dataCv_ waits on the pipe mutex (its scope's only
-# lock) and the server's workCv_ waits on the admission queue mutex
-# (docs/SERVING.md §3); condition_variable_any releases that lock
-# itself for the park.
-SERVE_CV_BASES = ("dataCv_", "workCv_")
+# lock), the server's workCv_ waits on the admission queue mutex and
+# its commitCv_ on the commit-queue mutex (docs/SERVING.md §3);
+# condition_variable_any releases that lock itself for the park.
+SERVE_CV_BASES = ("dataCv_", "workCv_", "commitCv_")
+# The commit pipeline's cvs (docs/PERSISTENCE.md §group-commit):
+# workCv_ wakes the epoch thread, doneCv_ parks persistFlush()
+# callers until their epoch lands; both wait on the pipeline's own
+# leaf mutex mu_, which guards nothing the epoch body touches.
+PIPELINE_CV_BASES = ("doneCv_",)
 # Flash device entry points that program or erase the array.  Under a
 # shard lock these deadlock-by-design: shard locks serialize one
 # page's translation, device mutation runs under the structural lock
@@ -648,8 +665,24 @@ class InternalFrontend:
                         j += 1
                 if j < end and toks[j].kind == "id" and \
                         j + 1 < end and toks[j + 1].text in ("(", "{"):
-                    flavor = "shard" if t.text in SHARD_LOCK_TYPES \
-                        else "plain"
+                    if t.text in SHARD_LOCK_TYPES:
+                        flavor = "shard"
+                    else:
+                        flavor = "plain"
+                        # Constructor argument naming a journal leaf
+                        # lock -> the exempt "leaf" flavor.
+                        a = j + 2
+                        depth2 = 1
+                        while a < end and depth2 > 0:
+                            tt = toks[a]
+                            if tt.text in "([{":
+                                depth2 += 1
+                            elif tt.text in ")]}":
+                                depth2 -= 1
+                            elif tt.kind == "id" and \
+                                    tt.text in JOURNAL_LEAF_LOCKS:
+                                flavor = "leaf"
+                            a += 1
                     nodes.append(("lock", t.line, flavor))
                     k = j
                     break
@@ -850,10 +883,15 @@ class LibclangFrontend:
                         tname = kid.type.spelling
                         if any(lt in tname
                                for lt in LOCK_DECL_TYPES):
-                            flavor = "shard" if any(
-                                st in tname
-                                for st in SHARD_LOCK_TYPES) \
-                                else "plain"
+                            if any(st in tname
+                                   for st in SHARD_LOCK_TYPES):
+                                flavor = "shard"
+                            elif any(
+                                    t.spelling in JOURNAL_LEAF_LOCKS
+                                    for t in kid.get_tokens()):
+                                flavor = "leaf"
+                            else:
+                                flavor = "plain"
                             nodes.append(("lock",
                                           kid.location.line,
                                           flavor))
@@ -1099,11 +1137,11 @@ def rule_journal_before_mmap(functions, findings):
 def _is_exempt_cv(base):
     """True when a member wait's base chain names one of the cleaner
     wakeup cvs (cv_.wait_for / roomCv_.wait_for / this->cv_...),
-    ParallelRunner's self-releasing cvs, or the serve layer's
-    pipe/queue cvs."""
+    ParallelRunner's self-releasing cvs, the serve layer's
+    pipe/queue/commit cvs, or the commit pipeline's epoch cvs."""
     for part in re.split(r"\.|->|::", base):
         if (part in CLEANER_CV_BASES or part in RUNNER_CV_BASES or
-                part in SERVE_CV_BASES):
+                part in SERVE_CV_BASES or part in PIPELINE_CV_BASES):
             return True
     return False
 
@@ -1114,7 +1152,13 @@ def lock_walk(nodes, locked, shard, hits):
     for n in nodes:
         kind = n[0]
         if kind == "lock":
-            locked = True
+            # A journal leaf lock (JOURNAL_LEAF_LOCKS) does not count
+            # as "locked": covering the journal's write/fdatasync is
+            # the lock's documented job, and nothing else nests
+            # below it, so parking under it blocks no one who holds
+            # anything higher in the order.
+            if n[2] != "leaf":
+                locked = True
             shard = shard or n[2] == "shard"
         elif kind == "call":
             _, base, name, line, member = n

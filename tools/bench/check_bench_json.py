@@ -42,7 +42,13 @@ Bench-specific checks ride on top of the schema:
     at least SERVE_MIN_WORKLOADS workloads, each with at least
     SERVE_MIN_OPEN_POINTS open-loop rows plus a closed-loop capacity
     row, and p50 <= p99 <= p999 on every row (see
-    bench/bench_serve.cc).
+    bench/bench_serve.cc);
+  - a full-run "serve" report must also carry the durable-acks
+    comparison: a table with workload/ack_mode/achieved_rps columns
+    holding a "flush" (per-request journal flush) and a "group"
+    (commit-thread batching) row, with group at least
+    SERVE_DURABLE_MIN_SPEEDUP x the flush throughput (the PR 10
+    group-commit floor; see bench/bench_serve.cc).
 
 Exit status: 0 when every file validates, 1 otherwise, 2 on usage
 errors.  Directories are scanned for *.json (non-recursively).
@@ -64,6 +70,11 @@ CONCURRENCY_MIN_SPEEDUP = 3.0
 # capacity point).
 SERVE_MIN_WORKLOADS = 2
 SERVE_MIN_OPEN_POINTS = 3
+
+# The durable-acks acceptance floor: group-commit (one shared journal
+# epoch + one fdatasync per commit-thread batch) vs one journal
+# append + fdatasync inline per mutated request.
+SERVE_DURABLE_MIN_SPEEDUP = 5.0
 
 
 def fail(path, msg):
@@ -217,6 +228,50 @@ def check_serve_curves(path, tables):
                       f"{'/'.join(SERVE_COLUMNS)} columns")
 
 
+SERVE_DURABLE_COLUMNS = ("workload", "ack_mode", "achieved_rps")
+
+
+def check_serve_durable(path, tables):
+    """Full-run serve reports must carry the durable-acks comparison:
+    one "flush" and one "group" row, with group throughput at least
+    SERVE_DURABLE_MIN_SPEEDUP x flush."""
+    for t in tables:
+        cols = t.get("columns", [])
+        if not set(SERVE_DURABLE_COLUMNS) <= set(cols):
+            continue
+        im = cols.index("ack_mode")
+        ir = cols.index("achieved_rps")
+        rps = {}
+        for j, row in enumerate(t.get("rows", [])):
+            if row[im] not in ("flush", "group"):
+                return fail(path, f"serve durable row {j} has "
+                                  f"ack_mode {row[im]!r}, expected "
+                                  "flush or group")
+            try:
+                rps[row[im]] = float(row[ir])
+            except ValueError:
+                return fail(path, f"serve durable row {j} has "
+                                  "unparseable achieved_rps "
+                                  f"{row[ir]!r}")
+        for mode in ("flush", "group"):
+            if mode not in rps:
+                return fail(path, f"serve durable table has no "
+                                  f"{mode!r} row")
+        if rps["flush"] <= 0:
+            return fail(path, "serve durable flush throughput must "
+                              "be positive")
+        speedup = rps["group"] / rps["flush"]
+        if speedup < SERVE_DURABLE_MIN_SPEEDUP:
+            return fail(path, f"serve durable group-commit speedup "
+                              f"{speedup:.2f}x is below the "
+                              f"{SERVE_DURABLE_MIN_SPEEDUP}x "
+                              "acceptance floor")
+        return True
+    return fail(path, "serve full run must include the durable-acks "
+                      "table with the "
+                      f"{'/'.join(SERVE_DURABLE_COLUMNS)} columns")
+
+
 def check_report(path, doc=None):
     if doc is None:
         try:
@@ -289,6 +344,8 @@ def check_report(path, doc=None):
     if doc["bench"] == "serve" and not doc["smoke"]:
         if not check_serve_curves(path, tables):
             return False
+        if not check_serve_durable(path, tables):
+            return False
 
     nmetrics = len(doc.get("metrics", {}))
     suffix = f", {nmetrics} metrics label(s)" if nmetrics else ""
@@ -344,6 +401,25 @@ def self_test():
                             "p50_us", "p99_us", "p999_us"],
                 "rows": rows, "notes": []}
 
+    def durable_rows(flush="1000", group="6000", modes=("flush",
+                                                        "group")):
+        vals = {"flush": flush, "group": group}
+        return [["zipf-durable", m, "64", vals[m], "1", "2", "3"]
+                for m in modes]
+
+    def durable_table(rows):
+        return {"title": "serve durable",
+                "columns": ["workload", "ack_mode", "clients",
+                            "achieved_rps", "p50_us", "p99_us",
+                            "p999_us"],
+                "rows": rows, "notes": []}
+
+    def serve_full(curve_rows=None, durable=None):
+        return [serve_table(serve_rows() if curve_rows is None
+                            else curve_rows),
+                durable_table(durable_rows() if durable is None
+                              else durable)]
+
     good = [
         ("v1 plain", doc(schema="envy-bench-v1")),
         ("v2 plain", doc()),
@@ -359,8 +435,11 @@ def self_test():
          doc(bench="concurrency", smoke=True,
              tables=[scaling("0.50x")])),
         ("serve full curves",
+         doc(bench="serve", smoke=False, tables=serve_full())),
+        ("serve durable at the floor",
          doc(bench="serve", smoke=False,
-             tables=[serve_table(serve_rows())])),
+             tables=serve_full(durable=durable_rows(
+                 flush="1000", group="5000")))),
         ("serve smoke skips the curve check",
          doc(bench="serve", smoke=True,
              tables=[serve_table(serve_rows(workloads=("zipf",),
@@ -426,8 +505,28 @@ def self_test():
                  p=("90", "50", "10")))])),
         ("serve unparseable percentile",
          doc(bench="serve", smoke=False,
-             tables=[serve_table(serve_rows(
-                 p=("fast", "50", "90")))])),
+             tables=serve_full(curve_rows=serve_rows(
+                 p=("fast", "50", "90"))))),
+        ("serve missing durable table",
+         doc(bench="serve", smoke=False,
+             tables=[serve_table(serve_rows())])),
+        ("serve durable below floor",
+         doc(bench="serve", smoke=False,
+             tables=serve_full(durable=durable_rows(
+                 flush="1000", group="4990")))),
+        ("serve durable missing group row",
+         doc(bench="serve", smoke=False,
+             tables=serve_full(durable=durable_rows(
+                 modes=("flush",))))),
+        ("serve durable bad ack_mode",
+         doc(bench="serve", smoke=False,
+             tables=serve_full(durable=durable_rows() +
+                               [["zipf-durable", "inline", "64",
+                                 "1", "1", "2", "3"]]))),
+        ("serve durable unparseable rps",
+         doc(bench="serve", smoke=False,
+             tables=serve_full(durable=durable_rows(
+                 group="fast")))),
     ]
     failures = 0
     for name, d in good:

@@ -106,6 +106,11 @@ THREAD_EXEMPT = (
     os.path.join("src", "envysim", "parallel.cc"),
     os.path.join("src", "envy", "cleaner_pool.hh"),
     os.path.join("src", "envy", "cleaner_pool.cc"),
+    # The group-commit pipeline owns exactly one long-lived epoch
+    # thread that coalesces persistFlush() callers; its isolation
+    # argument lives in the header (docs/PERSISTENCE.md §group-commit).
+    os.path.join("src", "persist", "commit_pipeline.hh"),
+    os.path.join("src", "persist", "commit_pipeline.cc"),
     # The serve front end owns long-lived reader/worker threads (one
     # per connection / per configured worker) and the loadgen owns
     # its client threads; ParallelRunner's bounded task queue fits

@@ -18,8 +18,14 @@
  *  - tpca: every account/teller/branch balance matches the completed
  *    debit/credit transactions, the interrupted transaction's three
  *    records each independently pre or post;
+ *  - cchurn (PR 10): four client threads churn disjoint page regions
+ *    of a *concurrent* persistent store (numWorkers = 4, one
+ *    background cleaner, group-commit pipeline); every page must
+ *    hold the image of some operation at or past the last
+ *    acknowledged one targeting it — zero acknowledged-write loss
+ *    under real SIGKILL with the sharded controller underneath;
  *  - always: InvariantChecker passes on the recovered store, and for
- *    churn an aftershock workload runs and verifies exactly.
+ *    the churn workloads an aftershock runs and verifies exactly.
  *
  * Acknowledgement = the child appended the op ordinal to an ack log
  * with write(2) after EnvyStore::persistFlush() returned; both the
@@ -33,6 +39,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -40,8 +47,10 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -72,24 +81,36 @@ struct Options
     std::string dir;
     std::uint64_t seed = 1;
     std::uint64_t ops = 220;
-    std::uint64_t minCases = 100; //!< across both workloads
+    std::uint64_t minCases = 100; //!< across all selected workloads
+    /** Which workloads to run: "all", "serial" (churn + tpca) or
+     *  "concurrent" (the PR 10 sharded-store churn alone). */
+    std::string workloads = "all";
     bool verbose = false;
 };
 
+/** Client threads of the concurrent-churn workload. */
+constexpr unsigned kCcWorkers = 4;
+
 // ---- crash-point sinks -------------------------------------------
 
-/** Probe phase: record how often every point fires. */
+/** Probe phase: record how often every point fires.  The concurrent
+ *  workload hits points from several threads, hence the lock. */
 class CountingSink final : public CrashSink
 {
   public:
     void onCrashPoint(const char *name) override
     {
+        const std::lock_guard<std::mutex> lock(mu_);
         ++counts[name];
     }
     std::map<std::string, std::uint64_t> counts;
+
+  private:
+    std::mutex mu_;
 };
 
-/** Case phase: SIGKILL the process at one exact instant. */
+/** Case phase: SIGKILL the process at one exact instant.  The count
+ *  is atomic so concurrent threads race to exactly one kill. */
 class KillSink final : public CrashSink
 {
   public:
@@ -100,14 +121,16 @@ class KillSink final : public CrashSink
 
     void onCrashPoint(const char *name) override
     {
-        if (point_ == name && ++count_ == occurrence_)
+        if (point_ == name &&
+            count_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+                occurrence_)
             ::raise(SIGKILL); // no unwinding, no destructors
     }
 
   private:
     std::string point_;
     std::uint64_t occurrence_ = 0;
-    std::uint64_t count_ = 0;
+    std::atomic<std::uint64_t> count_{0};
 };
 
 // ---- ack log -----------------------------------------------------
@@ -130,6 +153,27 @@ class AckLog
             std::fprintf(stderr, "ack log write failed\n");
             ::_exit(3);
         }
+    }
+
+    /** Every acknowledged value, in append order.  The concurrent
+     *  workload's threads interleave records arbitrarily; each
+     *  8-byte O_APPEND write is atomic, so records never tear. */
+    static std::vector<std::uint64_t>
+    readAll(const std::string &path)
+    {
+        std::vector<std::uint64_t> out;
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            return out;
+        std::uint8_t b[8];
+        while (std::fread(b, 1, 8, f) == 8) {
+            std::uint64_t v = 0;
+            for (int i = 7; i >= 0; --i)
+                v = (v << 8) | b[i];
+            out.push_back(v);
+        }
+        std::fclose(f);
+        return out;
     }
 
     /** Highest acknowledged value, 0 if the log is empty. */
@@ -212,6 +256,56 @@ class ChurnScript
     std::uint32_t pageSize_;
 };
 
+// ---- concurrent-churn page images --------------------------------
+//
+// Each worker owns a disjoint page region and writes exactly one
+// whole page per operation, round-robin across its region, with a
+// deterministic image of (seed, worker, op).  Page writes are
+// capture-atomic against the commit pipeline's quiesced journal
+// epochs (hit-writers hold the structural lock shared, COW runs
+// exclusive), so the recovered page must be EXACTLY some op's image
+// — at or past the newest acknowledged op targeting that page — or
+// the initial zero page if no ack pins it.
+
+std::uint64_t
+ccMix(std::uint64_t seed, unsigned worker, std::uint64_t op)
+{
+    std::uint64_t x =
+        seed ^ (std::uint64_t(worker + 1) << 56) ^ (op + 1);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Stamp header (worker + 1, op + 1 as LE u64s) + mixed body. */
+void
+ccFillPage(std::vector<std::uint8_t> &page, std::uint64_t seed,
+           unsigned worker, std::uint64_t op)
+{
+    auto put64 = [&](std::size_t at, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            page[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put64(0, worker + 1);
+    put64(8, op + 1);
+    std::uint64_t x = ccMix(seed, worker, op);
+    for (std::size_t off = 16; off < page.size(); ++off) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        page[off] = static_cast<std::uint8_t>(x >> 33);
+    }
+}
+
+/** Op-completion ack record: worker in the high half so values never
+ *  collide with the "ready" ack (1). */
+std::uint64_t
+ccAckValue(unsigned worker, std::uint64_t op)
+{
+    return ((std::uint64_t(worker) + 1) << 32) | (op + 1);
+}
+
 /** TPC-A parameters shared by child and verifying parent. */
 TpcaDatabase::Params
 tpcaParams(std::uint32_t page_size)
@@ -293,20 +387,35 @@ enum class Workload
 {
     Churn,
     Tpca,
+    ConcurrentChurn,
 };
 
 const char *
 workloadName(Workload w)
 {
-    return w == Workload::Churn ? "churn" : "tpca";
+    switch (w) {
+      case Workload::Churn:
+        return "churn";
+      case Workload::Tpca:
+        return "tpca";
+      case Workload::ConcurrentChurn:
+        return "cchurn";
+    }
+    return "?";
 }
 
 EnvyConfig
 storeConfig(Workload w, const std::string &path)
 {
-    EnvyConfig cfg = w == Workload::Churn
-                         ? CrashExplorerConfig::churnStore()
-                         : CrashExplorerConfig::tpcaStore();
+    EnvyConfig cfg = w == Workload::Tpca
+                         ? CrashExplorerConfig::tpcaStore()
+                         : CrashExplorerConfig::churnStore();
+    if (w == Workload::ConcurrentChurn) {
+        // The PR 10 combination under test: sharded controller,
+        // background cleaner, group-commit pipeline, all persistent.
+        cfg.numWorkers = kCcWorkers;
+        cfg.numCleaners = 1;
+    }
     cfg.persistPath = path;
     return cfg;
 }
@@ -357,6 +466,34 @@ runWorkload(Workload w, const Options &opt, const CasePaths &paths,
 
     EnvyStore store(storeConfig(w, paths.store));
     ShadowManager txns(store);
+
+    if (w == Workload::ConcurrentChurn) {
+        store.persistFlush();
+        ack(1);
+        const std::uint32_t pageSize = store.config().geom.pageSize;
+        const std::uint64_t regionPages =
+            store.size() / pageSize / kCcWorkers;
+        std::vector<std::thread> threads;
+        for (unsigned cw = 0; cw < kCcWorkers; ++cw) {
+            threads.emplace_back([&store, &opt, &ack, regionPages,
+                                  pageSize, cw] {
+                std::vector<std::uint8_t> page(pageSize);
+                for (std::uint64_t i = 0; i < opt.ops; ++i) {
+                    const std::uint64_t p =
+                        cw * regionPages + i % regionPages;
+                    ccFillPage(page, opt.seed, cw, i);
+                    store.write(p * pageSize, page);
+                    // Join a group-commit epoch, then claim i as
+                    // durable: the ack-prefix contract per worker.
+                    store.persistFlush();
+                    ack(ccAckValue(cw, i));
+                }
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        return;
+    }
 
     if (w == Workload::Churn) {
         store.persistFlush();
@@ -549,6 +686,105 @@ verifyChurn(EnvyStore &store, const Options &opt,
 }
 
 void
+verifyConcurrentChurn(EnvyStore &store, const Options &opt,
+                      const std::vector<std::uint64_t> &acks,
+                      std::vector<std::string> &out)
+{
+    const std::uint32_t pageSize = store.config().geom.pageSize;
+    const std::uint64_t regionPages =
+        store.size() / pageSize / kCcWorkers;
+
+    // Newest acknowledged op per worker.  Each worker acks in op
+    // order, so one maximum pins the whole acknowledged prefix.
+    std::vector<std::int64_t> maxAcked(kCcWorkers, -1);
+    for (const std::uint64_t v : acks) {
+        if (v < (1ull << 32))
+            continue; // the "ready" ack
+        const std::uint64_t cw = (v >> 32) - 1;
+        const std::int64_t i =
+            static_cast<std::int64_t>((v & 0xFFFFFFFFull) - 1);
+        if (cw < kCcWorkers)
+            maxAcked[cw] = std::max(maxAcked[cw], i);
+    }
+
+    auto le64 = [](const std::vector<std::uint8_t> &b,
+                   std::size_t at) {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | b[at + i];
+        return v;
+    };
+
+    std::vector<std::uint8_t> got(pageSize), want(pageSize);
+    for (unsigned cw = 0; cw < kCcWorkers; ++cw) {
+        for (std::uint64_t pi = 0; pi < regionPages; ++pi) {
+            const std::uint64_t p = cw * regionPages + pi;
+            store.read(p * pageSize, got);
+
+            // The newest acknowledged op that targeted this page
+            // (ops hit page i % regionPages, so project maxAcked
+            // down onto pi), or -1 when no ack pins it.
+            std::int64_t floor = -1;
+            if (maxAcked[cw] >= 0 &&
+                static_cast<std::uint64_t>(maxAcked[cw]) + 1 > pi) {
+                const std::uint64_t m =
+                    static_cast<std::uint64_t>(maxAcked[cw]);
+                if (m >= pi)
+                    floor = static_cast<std::int64_t>(
+                        m - (m - pi) % regionPages);
+            }
+
+            if (floor < 0 &&
+                std::all_of(got.begin(), got.end(),
+                            [](std::uint8_t b) { return b == 0; }))
+                continue; // never captured: the populate image
+
+            const std::uint64_t sw = le64(got, 0);
+            const std::uint64_t si = le64(got, 8);
+            bool bad = sw != cw + 1 || si == 0;
+            const std::uint64_t i = si - 1;
+            if (!bad)
+                bad = i % regionPages != pi || i >= opt.ops;
+            if (!bad && floor >= 0 &&
+                static_cast<std::int64_t>(i) < floor) {
+                out.push_back(format(
+                    "worker ", cw, " page ", pi, " holds op ", i,
+                    " but op ", floor, " was acknowledged"));
+                continue;
+            }
+            if (!bad) {
+                ccFillPage(want, opt.seed, cw, i);
+                bad = !std::equal(got.begin(), got.end(),
+                                  want.begin());
+            }
+            if (bad) {
+                out.push_back(format(
+                    "worker ", cw, " page ", pi,
+                    " matches no operation's image"));
+            }
+            if (out.size() > 5)
+                return; // enough evidence
+        }
+    }
+
+    // Aftershock: the recovered store (reopened serial) keeps
+    // working; overwrite one page per worker region and re-verify
+    // exactly.
+    for (unsigned cw = 0; cw < kCcWorkers; ++cw) {
+        const std::uint64_t p = cw * regionPages;
+        ccFillPage(want, opt.seed ^ 0xAF7E2ull, cw, 0);
+        store.write(p * pageSize, want);
+        store.read(p * pageSize, got);
+        if (!std::equal(got.begin(), got.end(), want.begin())) {
+            out.push_back(format("worker ", cw,
+                                 " region diverged after the "
+                                 "aftershock"));
+            return;
+        }
+    }
+}
+
+void
 verifyTpca(EnvyStore &store, const Options &opt,
            std::uint64_t last_ack, std::vector<std::string> &out)
 {
@@ -632,7 +868,11 @@ runCase(Workload w, const Options &opt, const std::string &point,
         if (ack_fd < 0)
             ::_exit(3);
         KillSink sink(point, occurrence);
-        crash_points::setSink(&sink);
+        // Global, not thread-local: the concurrent workload hits
+        // crash points from host workers, the cleaner pool and the
+        // commit pipeline's epoch thread, and any of them must be
+        // able to pull the plug.
+        crash_points::setGlobalSink(&sink);
         runWorkload(w, opt, paths, ack_fd);
         // The planned point never fired: exit without running the
         // store's destructor, leaving exactly the journal-flushed
@@ -653,9 +893,13 @@ runCase(Workload w, const Options &opt, const std::string &point,
             "child ended unexpectedly (status ", status, ")"));
         return cr;
     }
-    if (finished) {
+    if (finished && w != Workload::ConcurrentChurn) {
         // The schedule came from the probe run of the same binary,
         // so a planned kill that never fires is a determinism bug.
+        // The concurrent workload's interleavings shift occurrence
+        // counts run to run, so there a never-fired plan is
+        // tolerated: the child _exited without destructors, and the
+        // journal-flushed state is verified exactly like a kill.
         cr.violations.push_back("planned crash point never fired");
         return cr;
     }
@@ -678,7 +922,11 @@ runCase(Workload w, const Options &opt, const std::string &point,
     }
 
     checkInvariants(*store, cr.violations);
-    if (lastAck >= 1) {
+    if (w == Workload::ConcurrentChurn) {
+        verifyConcurrentChurn(*store, opt,
+                              AckLog::readAll(paths.acks),
+                              cr.violations);
+    } else if (lastAck >= 1) {
         // Database/setup acked; ops 0..lastAck-2 completed.
         if (w == Workload::Churn)
             verifyChurn(*store, opt, lastAck, cr.violations);
@@ -746,9 +994,11 @@ probe(Workload w, const Options &opt)
     const CasePaths paths = casePaths(opt, w);
     removeCaseFiles(paths);
     CountingSink sink;
-    CrashSink *prev = crash_points::setSink(&sink);
+    // Match the child's sink scope: count hits from every thread of
+    // the store, not only the probe thread.
+    CrashSink *prev = crash_points::setGlobalSink(&sink);
     runWorkload(w, opt, paths, -1);
-    crash_points::setSink(prev);
+    crash_points::setGlobalSink(prev);
     removeCaseFiles(paths);
     return sink.counts;
 }
@@ -802,14 +1052,31 @@ schedule(const std::map<std::string, std::uint64_t> &hits,
 int
 run(const Options &opt)
 {
+    std::vector<Workload> workloads;
+    if (opt.workloads == "all") {
+        workloads = {Workload::Churn, Workload::Tpca,
+                     Workload::ConcurrentChurn};
+    } else if (opt.workloads == "serial") {
+        workloads = {Workload::Churn, Workload::Tpca};
+    } else if (opt.workloads == "concurrent") {
+        workloads = {Workload::ConcurrentChurn};
+    } else {
+        std::fprintf(stderr,
+                     "unknown --workloads '%s' (all|serial|"
+                     "concurrent)\n",
+                     opt.workloads.c_str());
+        return 2;
+    }
+    const std::uint64_t perWorkload =
+        (opt.minCases + workloads.size() - 1) / workloads.size();
+
     std::uint64_t cases = 0, failures = 0, kills = 0;
     std::map<std::string, std::uint64_t> unionHits;
-    for (const Workload w : {Workload::Churn, Workload::Tpca}) {
+    for (const Workload w : workloads) {
         const auto hits = probe(w, opt);
         for (const auto &[point, count] : hits)
             unionHits[point] += count;
-        const auto plan =
-            schedule(hits, (opt.minCases + 1) / 2, opt.seed);
+        const auto plan = schedule(hits, perWorkload, opt.seed);
         std::printf("[%s] %zu crash points reachable, %zu cases\n",
                     workloadName(w), hits.size(), plan.size());
         for (const auto &[point, occ] : plan) {
@@ -832,22 +1099,36 @@ run(const Options &opt)
             }
         }
     }
-    const std::vector<std::string> missing =
-        missingSeededPoints(unionHits);
+    // Seeded-point coverage is a *serial* determinism contract: the
+    // concurrent workload has no transactions and its occurrence
+    // counts drift, so running it alone must not fail the seed list.
+    std::vector<std::string> missing;
+    if (opt.workloads != "concurrent")
+        missing = missingSeededPoints(unionHits);
     for (const std::string &point : missing) {
         ++failures;
         std::printf("FAIL seeded ordering-critical crash point "
                     "\"%s\" was never reached by any workload\n",
                     point.c_str());
     }
-    std::printf("crash-harness: %llu cases, %llu SIGKILLs, "
-                "%llu failures (%zu/%zu seeded ordering points "
-                "reached)\n",
-                static_cast<unsigned long long>(cases),
-                static_cast<unsigned long long>(kills),
-                static_cast<unsigned long long>(failures),
-                std::size(orderingCriticalPoints) - missing.size(),
-                std::size(orderingCriticalPoints));
+    if (opt.workloads == "concurrent") {
+        std::printf("crash-harness: %llu cases, %llu SIGKILLs, "
+                    "%llu failures (seeded-point check skipped: "
+                    "concurrent-only run)\n",
+                    static_cast<unsigned long long>(cases),
+                    static_cast<unsigned long long>(kills),
+                    static_cast<unsigned long long>(failures));
+    } else {
+        std::printf("crash-harness: %llu cases, %llu SIGKILLs, "
+                    "%llu failures (%zu/%zu seeded ordering points "
+                    "reached)\n",
+                    static_cast<unsigned long long>(cases),
+                    static_cast<unsigned long long>(kills),
+                    static_cast<unsigned long long>(failures),
+                    std::size(orderingCriticalPoints) -
+                        missing.size(),
+                    std::size(orderingCriticalPoints));
+    }
     if (cases < opt.minCases) {
         std::printf("crash-harness: FAIL (needed at least %llu "
                     "cases)\n",
@@ -886,13 +1167,16 @@ main(int argc, char **argv)
             opt.ops = std::stoull(value());
         } else if (arg == "--cases") {
             opt.minCases = std::stoull(value());
+        } else if (arg == "--workloads") {
+            opt.workloads = value();
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
             std::fprintf(
                 stderr,
                 "usage: crash_harness [--dir DIR] [--seed N] "
-                "[--ops N] [--cases N] [--verbose]\n");
+                "[--ops N] [--cases N] "
+                "[--workloads all|serial|concurrent] [--verbose]\n");
             return arg == "--help" ? 0 : 2;
         }
     }

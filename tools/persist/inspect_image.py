@@ -60,7 +60,9 @@ JOURNAL_MAGIC = b"ENVYJRN1"
 JOURNAL_HEADER_BYTES = 16
 REC_CHECKPOINT = 1
 REC_SRAM_WRITE = 2
-RECORD_OVERHEAD = 17  # len(4) + type(1) + seq(8) + crc(4)
+REC_GROUP = 3
+RECORD_OVERHEAD = 17      # len(4) + type(1) + seq(8) + crc(4)
+GROUP_RANGE_OVERHEAD = 12  # addr(8) + n(4) per range in a Group
 
 
 def u64(buf, off):
@@ -174,6 +176,25 @@ def inspect_store(path, want_segments):
 
 # ---- journal -------------------------------------------------------
 
+def decode_group(data, off, length):
+    """Walk a Group payload — repeated {addr u64 | n u32 | bytes[n]}
+    (one group-commit epoch's coalesced dirty ranges, sealed under a
+    single record CRC).  Returns (ranges, dataBytes), or None when a
+    range header or its bytes overrun the payload."""
+    end = off + length
+    ranges, total = 0, 0
+    while off < end:
+        if off + GROUP_RANGE_OVERHEAD > end:
+            return None
+        n = u32(data, off + 8)
+        if off + GROUP_RANGE_OVERHEAD + n > end:
+            return None
+        ranges += 1
+        total += n
+        off += GROUP_RANGE_OVERHEAD + n
+    return ranges, total
+
+
 def inspect_journal(path, want_records):
     """Walk `path` exactly as MetaJournal::replay() would."""
     out = {"path": path, "present": False}
@@ -189,7 +210,8 @@ def inspect_journal(path, want_records):
         return out
 
     records = []
-    counts = {"records": 0, "checkpoints": 0, "sramWrites": 0}
+    counts = {"records": 0, "checkpoints": 0, "sramWrites": 0,
+              "groups": 0}
     seqs = []
     off = JOURNAL_HEADER_BYTES
     stop = None
@@ -208,7 +230,7 @@ def inspect_journal(path, want_records):
                 data, off + 13 + length):
             stop = "crc mismatch"
             break
-        if rtype not in (REC_CHECKPOINT, REC_SRAM_WRITE):
+        if rtype not in (REC_CHECKPOINT, REC_SRAM_WRITE, REC_GROUP):
             stop = "unknown type %d" % rtype
             break
         if not records and not seqs and rtype != REC_CHECKPOINT:
@@ -220,12 +242,22 @@ def inspect_journal(path, want_records):
         if rtype == REC_SRAM_WRITE and length < 8:
             stop = "short SramWrite payload"
             break
+        group = None
+        if rtype == REC_GROUP:
+            group = decode_group(data, off + 13, length)
+            if group is None:
+                stop = "malformed Group payload"
+                break
         seqs.append(seq)
         counts["records"] += 1
         if rtype == REC_CHECKPOINT:
             counts["checkpoints"] += 1
             rec = {"seq": seq, "type": "checkpoint",
                    "sramBytes": length}
+        elif rtype == REC_GROUP:
+            counts["groups"] += 1
+            rec = {"seq": seq, "type": "group",
+                   "ranges": group[0], "bytes": group[1]}
         else:
             counts["sramWrites"] += 1
             rec = {"seq": seq, "type": "sramWrite",
@@ -279,7 +311,7 @@ def check_schema(doc):
     journal = doc["journal"]
     need(journal, "present", bool)
     if journal["present"] and journal.get("magicOk"):
-        for key in ("records", "checkpoints", "sramWrites",
+        for key in ("records", "checkpoints", "sramWrites", "groups",
                     "tornTailBytes"):
             need(journal, key, int)
 
@@ -303,6 +335,12 @@ def inspect(store_path, want_segments=False, want_records=False):
 
 def align_up(v, a):
     return (v + a - 1) // a * a
+
+
+def journal_record(rtype, seq, payload):
+    """Frame one journal record exactly as MetaJournal seals it."""
+    body = struct.pack("<IBQ", len(payload), rtype, seq) + payload
+    return body + struct.pack("<I", zlib.crc32(body))
 
 
 def synthesize_store(path):
@@ -355,15 +393,17 @@ def synthesize_store(path):
         f.write(b"\x01\x00")  # block 0 materialized, block 1 a hole
         f.truncate(file_bytes)
 
-    def record(rtype, seq, payload):
-        body = struct.pack("<IBQ", len(payload), rtype, seq) + payload
-        return body + struct.pack("<I", zlib.crc32(body))
-
     with open(path + ".journal", "wb") as f:
         f.write(JOURNAL_MAGIC + b"\x00" * 8)
-        f.write(record(REC_CHECKPOINT, 1, b"\x00" * params["sramBytes"]))
-        f.write(record(REC_SRAM_WRITE, 2,
-                       struct.pack("<Q", 8) + b"\xAA\xBB\xCC\xDD"))
+        f.write(journal_record(REC_CHECKPOINT, 1,
+                               b"\x00" * params["sramBytes"]))
+        f.write(journal_record(REC_SRAM_WRITE, 2,
+                               struct.pack("<Q", 8) + b"\xAA\xBB\xCC\xDD"))
+        # One group-commit epoch: two coalesced ranges under one CRC.
+        f.write(journal_record(
+            REC_GROUP, 3,
+            struct.pack("<QI", 16, 4) + b"\x10\x11\x12\x13" +
+            struct.pack("<QI", 64, 2) + b"\x20\x21"))
         f.write(b"\x01\x02\x03")  # torn tail from a crash mid-append
     return params
 
@@ -388,13 +428,32 @@ def self_test():
         assert s["blockMap"] == {"banks": [1], "materialized": 1,
                                  "total": 2}, s["blockMap"]
         j = doc["journal"]
-        assert j["records"] == 2 and j["checkpoints"] == 1
-        assert j["sramWrites"] == 1 and j["tornTailBytes"] == 3
+        assert j["records"] == 3 and j["checkpoints"] == 1
+        assert j["sramWrites"] == 1 and j["groups"] == 1
+        assert j["tornTailBytes"] == 3
         assert j["recordDetail"][1] == {
             "seq": 2, "type": "sramWrite", "addr": 8, "bytes": 4}
+        assert j["recordDetail"][2] == {
+            "seq": 3, "type": "group", "ranges": 2, "bytes": 6}
+
+        # A Group range claiming more bytes than its payload holds
+        # must stop the walk even though the record CRC is intact.
+        jpath = store + ".journal"
+        with open(jpath, "wb") as f:
+            f.write(JOURNAL_MAGIC + b"\x00" * 8)
+            f.write(journal_record(REC_CHECKPOINT, 1,
+                                   b"\x00" * params["sramBytes"]))
+            f.write(journal_record(REC_GROUP, 2,
+                                   struct.pack("<QI", 0, 99)))
+        doc = inspect(store, want_records=True)
+        assert doc["journal"]["records"] == 1
+        assert doc["journal"]["stoppedAt"] == "malformed Group payload"
 
         # A flipped payload byte must stop the walk at that record.
-        jpath = store + ".journal"
+        with open(jpath, "wb") as f:
+            f.write(JOURNAL_MAGIC + b"\x00" * 8)
+            f.write(journal_record(REC_CHECKPOINT, 1,
+                                   b"\x00" * params["sramBytes"]))
         blob = bytearray(open(jpath, "rb").read())
         blob[JOURNAL_HEADER_BYTES + 14] ^= 0xFF  # inside the checkpoint
         open(jpath, "wb").write(bytes(blob))

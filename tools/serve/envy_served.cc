@@ -4,15 +4,19 @@
  *
  * Stands an epoll-multiplexed TcpListener in front of a threaded
  * Server and accepts connections until SIGINT/SIGTERM, then prints
- * the serve.* counters.  An anonymous store runs the full concurrent
- * stack (worker shards + background cleaner); --persist switches to
- * the durable serial controller (concurrent mode excludes
- * persistence), re-opening an existing database in place so a
- * restarted daemon picks up exactly where the last one stopped.
+ * the serve.* counters.  --persist re-opens an existing database in
+ * place, so a restarted daemon picks up exactly where the last one
+ * stopped.  A persistent store keeps the full concurrent stack
+ * (--store-workers/--cleaners); with --durable-acks that combination
+ * batches every mutating ack through the commit thread — one shared
+ * journal flush per batch (group commit, docs/SERVING.md §3), plus
+ * one device barrier per batch under --sync-acks.  --store-workers 0
+ * selects the serial persistent controller instead, which clamps the
+ * daemon to one protocol worker and flushes inline per request.
  *
  *   envy_served [--port N] [--capacity KEYS] [--workers N]
  *               [--store-workers N] [--cleaners N]
- *               [--persist PATH [--durable-acks]]
+ *               [--persist PATH [--durable-acks [--sync-acks]]]
  */
 
 #include <algorithm>
@@ -51,6 +55,7 @@ struct Options
     unsigned cleaners = 1;
     std::string persistPath;
     bool durableAcks = false;
+    bool syncAcks = false;
 };
 
 [[noreturn]] void
@@ -60,7 +65,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--port N] [--capacity KEYS] [--workers N]\n"
         "          [--store-workers N] [--cleaners N]\n"
-        "          [--persist PATH [--durable-acks]]\n",
+        "          [--persist PATH [--durable-acks [--sync-acks]]]\n",
         argv0);
     std::exit(2);
 }
@@ -74,6 +79,10 @@ parse(int argc, char **argv)
         const char *val = i + 1 < argc ? argv[i + 1] : nullptr;
         if (arg == "--durable-acks") {
             opt.durableAcks = true;
+            continue;
+        }
+        if (arg == "--sync-acks") {
+            opt.syncAcks = true;
             continue;
         }
         if (!val)
@@ -99,6 +108,8 @@ parse(int argc, char **argv)
     }
     if (opt.durableAcks && opt.persistPath.empty())
         usage(argv[0]);
+    if (opt.syncAcks && !opt.durableAcks)
+        usage(argv[0]);
     return opt;
 }
 
@@ -111,14 +122,16 @@ main(int argc, char **argv)
 
     EnvyConfig cfg;
     cfg.geom = kvGeometryFor(opt.capacity);
-    if (opt.persistPath.empty()) {
-        cfg.numWorkers = opt.storeWorkers;
-        cfg.numCleaners = opt.cleaners;
-    } else {
-        // Persistence runs the serial controller; the Server then
-        // requires a single protocol worker (server.cc asserts it).
-        cfg.persistPath = opt.persistPath;
-    }
+    cfg.numWorkers = opt.storeWorkers;
+    cfg.numCleaners = opt.cleaners;
+    cfg.persistPath = opt.persistPath;
+    // --persist with --store-workers 0 runs the serial persistent
+    // controller, which limits the Server to one protocol worker
+    // (server.cc asserts it); a concurrent persistent store takes
+    // the full worker pool and batches durable acks through the
+    // commit thread.
+    const bool serialPersist =
+        !opt.persistPath.empty() && opt.storeWorkers == 0;
     EnvyStore store(cfg);
 
     std::unique_ptr<KvEngine> engine;
@@ -133,10 +146,10 @@ main(int argc, char **argv)
     }
 
     ServeConfig serveCfg;
-    serveCfg.workers = opt.persistPath.empty()
-                           ? opt.workers
-                           : std::min(opt.workers, 1u);
+    serveCfg.workers =
+        serialPersist ? std::min(opt.workers, 1u) : opt.workers;
     serveCfg.durableAcks = opt.durableAcks;
+    serveCfg.syncAcks = opt.syncAcks;
     Server server(store, *engine, serveCfg);
 
     TcpListener listener(opt.port);
